@@ -1,0 +1,102 @@
+// Ablation A6: the price of partial information.
+//
+// Three knowledge levels on the same stop-length law:
+//   full law known     -> Fujiwara-Iwama optimal fixed threshold
+//   (mu_B-, q_B+) only -> the paper's COA
+//   nothing            -> N-Rand
+// plus the LP adversary's certificate that COA's worst case is tight.
+#include <cstdio>
+#include <memory>
+
+#include "analysis/adversary.h"
+#include "analysis/average_case.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+#include "traces/area_profiles.h"
+#include "util/math.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+
+constexpr double kB = 28.0;
+
+void run_case(const std::string& label,
+              const dist::StopLengthDistribution& law, util::Table& table) {
+  const auto stats = dist::ShortStopStats::from_distribution(law, kB);
+  const double offline = stats.expected_offline_cost(kB);
+
+  // Full knowledge: optimal threshold.
+  const auto oracle = analysis::optimal_threshold(law, kB);
+
+  // Two moments: COA's realized expected cost against the true law.
+  core::ProposedPolicy coa(kB, stats);
+  const double coa_cost =
+      util::integrate(
+          [&](double y) {
+            return y <= 0.0 ? 0.0 : coa.expected_cost(y) * law.pdf(y);
+          },
+          0.0, kB, 1e-9) +
+      law.tail_probability(kB) * coa.expected_cost(2.0 * kB);
+
+  // No knowledge: N-Rand = e/(e-1) x offline, by the equalizer property.
+  const double nrand_cost = util::kEOverEMinus1 * offline;
+
+  table.add_row({label,
+                 std::isinf(oracle.threshold)
+                     ? std::string("NEV")
+                     : util::fmt(oracle.threshold, 1) + " s",
+                 util::fmt(oracle.expected_cr, 3),
+                 core::to_string(coa.choice().strategy),
+                 util::fmt(coa_cost / offline, 3),
+                 util::fmt(nrand_cost / offline, 3)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", util::banner("Ablation A6: full law vs two moments vs "
+                                 "no information (B = 28 s)").c_str());
+  util::Table table({"stop-length law", "oracle x*", "oracle CR",
+                     "COA picks", "COA CR", "N-Rand CR"});
+  run_case("Exponential(mean 12)", dist::Exponential(12.0), table);
+  run_case("Exponential(mean 80)", dist::Exponential(80.0), table);
+  run_case("Uniform[0, 40]", dist::Uniform(0.0, 40.0), table);
+  {
+    dist::Mixture bimodal({{0.7, std::make_shared<dist::Uniform>(0.0, 10.0)},
+                           {0.3, std::make_shared<dist::Uniform>(60.0,
+                                                                 120.0)}});
+    run_case("bimodal 70/30", bimodal, table);
+  }
+  run_case("Chicago synthetic law",
+           *traces::area_stop_distribution(traces::chicago()), table);
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("%s", util::banner("LP adversary certificate for COA").c_str());
+  util::Table cert({"(mu/B, q)", "COA bound (closed form)",
+                    "LP adversary value", "gap"});
+  for (auto [mu_frac, q] : {std::pair{0.02, 0.3}, std::pair{0.2, 0.3},
+                            std::pair{0.4, 0.2}, std::pair{0.1, 0.6}}) {
+    dist::ShortStopStats s;
+    s.mu_b_minus = mu_frac * kB;
+    s.q_b_plus = q;
+    const auto choice = core::choose_strategy(s, kB);
+    core::ProposedPolicy coa(kB, s);
+    analysis::AdversaryOptions opt;
+    opt.grid_short = 1000;
+    const auto adv = analysis::worst_case_adversary(coa, s, opt);
+    cert.add_row({"(" + util::fmt(mu_frac, 2) + ", " + util::fmt(q, 2) + ")",
+                  util::fmt(choice.expected_cost, 4),
+                  util::fmt(adv.expected_cost, 4),
+                  util::fmt(choice.expected_cost - adv.expected_cost, 5)});
+  }
+  std::printf("%s\n", cert.str().c_str());
+  std::printf("Reading: the LP adversary attains (up to grid resolution) "
+              "exactly the closed-form worst case — the paper's bounds are "
+              "tight, and knowing the full law buys a further margin that "
+              "two moments cannot.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation A8: how much of the theoretical idling saving survives the
+// battery's energy constraint? Sweeps the usable battery window and the
+// accessory load, running the COA policy (and TOI) through an NREL-like
+// week with SOC accounting, and reports forced-idle/aborted-shutoff rates
+// and the realized CR inflation vs the unconstrained policy.
+#include <cstdio>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "sim/battery.h"
+#include "sim/evaluator.h"
+#include "traces/fleet_generator.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+
+constexpr double kB = 28.0;
+
+struct RunResult {
+  double cr;
+  std::size_t forced;
+  std::size_t aborted;
+  double final_soc;
+};
+
+RunResult run(const core::PolicyPtr& policy, const sim::BatteryModel& battery,
+              const std::vector<double>& stops, std::uint64_t seed) {
+  sim::SocConstrainedController ctl(policy, battery);
+  util::Rng rng(seed);
+  // Urban stop-and-go: short drives between stops (~40 s), so the
+  // alternator surplus barely covers the engine-off drain and the battery
+  // state actually matters.
+  util::Rng drive_rng(seed + 1);
+  for (double y : stops) {
+    ctl.process_stop(y, drive_rng.exponential(40.0), rng);
+  }
+  return {ctl.totals().cr(), ctl.forced_idle_stops(),
+          ctl.aborted_shutoffs(), ctl.soc()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", util::banner("Ablation A8: battery-constrained "
+                                 "stop-start control (B = 28 s)").c_str());
+
+  util::Rng rng(20140601);
+  const auto trace = traces::generate_vehicle(traces::chicago(), 0, rng);
+  const auto& stops = trace.stops;
+  core::ProposedPolicy coa_policy(kB, stops);
+  const auto coa = std::make_shared<core::ProposedPolicy>(coa_policy);
+  const double unconstrained_cr =
+      sim::evaluate_expected(*coa, stops).cr();
+  std::printf("workload: one Chicago week, %zu stops | unconstrained COA "
+              "CR = %.3f (picks %s)\n\n",
+              stops.size(), unconstrained_cr,
+              core::to_string(coa_policy.choice().strategy).c_str());
+
+  std::printf("--- usable battery window sweep (accessory load 600 W, "
+              "alternator surplus 600 W) ---\n");
+  util::Table t1({"capacity (Wh)", "COA CR", "forced idles",
+                  "aborted shutoffs", "final SOC"});
+  for (double wh : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+    sim::BatteryModel b;
+    b.capacity_wh = wh;
+    b.accessory_draw_w = 600.0;
+    b.recharge_w = 600.0;
+    const auto r = run(coa, b, stops, 17);
+    t1.add_row({util::fmt(wh, 0), util::fmt(r.cr, 3),
+                std::to_string(r.forced), std::to_string(r.aborted),
+                util::fmt(r.final_soc, 2)});
+  }
+  std::printf("%s\n", t1.str().c_str());
+
+  std::printf("--- accessory load sweep (100 Wh window, 600 W surplus) ---\n");
+  util::Table t2({"accessory load (W)", "COA CR", "forced idles",
+                  "aborted shutoffs"});
+  for (double w : {150.0, 300.0, 600.0, 1200.0, 2400.0}) {
+    sim::BatteryModel b;
+    b.capacity_wh = 100.0;
+    b.recharge_w = 600.0;
+    b.accessory_draw_w = w;
+    const auto r = run(coa, b, stops, 17);
+    t2.add_row({util::fmt(w, 0), util::fmt(r.cr, 3),
+                std::to_string(r.forced), std::to_string(r.aborted)});
+  }
+  std::printf("%s\n", t2.str().c_str());
+
+  std::printf("--- TOI under the same constraints (factory SSS) ---\n");
+  util::Table t3({"capacity (Wh)", "TOI CR (constrained)",
+                  "TOI CR (unconstrained)"});
+  const auto toi = core::make_toi(kB);
+  const double toi_free = sim::evaluate_expected(*toi, stops).cr();
+  for (double wh : {50.0, 100.0, 400.0}) {
+    sim::BatteryModel b;
+    b.capacity_wh = wh;
+    b.accessory_draw_w = 600.0;
+    b.recharge_w = 600.0;
+    const auto r = run(toi, b, stops, 23);
+    t3.add_row({util::fmt(wh, 0), util::fmt(r.cr, 3),
+                util::fmt(toi_free, 3)});
+  }
+  std::printf("%s\n", t3.str().c_str());
+  std::printf("Reading: generous packs preserve the unconstrained CR; as "
+              "the window shrinks or the house load grows, forced idles "
+              "and aborted shutoffs push the realized CR toward NEV's — "
+              "quantifying why SSVs ship upgraded AGM batteries "
+              "(Appendix C).\n");
+  return 0;
+}

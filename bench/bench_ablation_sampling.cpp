@@ -1,0 +1,59 @@
+// Ablation A4: expected-cost evaluation vs Monte-Carlo threshold sampling.
+//
+// The figure reproductions evaluate randomized policies by their exact
+// per-stop expected cost (eq. 19/20). A deployed controller instead draws
+// one threshold per stop. This bench quantifies the gap as a function of
+// trace length, confirming the O(1/sqrt(n)) convergence that justifies
+// expected-mode evaluation.
+#include <cmath>
+#include <cstdio>
+
+#include "core/policies.h"
+#include "sim/evaluator.h"
+#include "traces/area_profiles.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  using namespace idlered;
+  constexpr double kB = 28.0;
+  constexpr int kRepeats = 30;
+
+  std::printf("%s", util::banner("Ablation A4: sampled vs expected "
+                                 "evaluation of randomized policies").c_str());
+
+  const auto law = traces::area_stop_distribution(traces::chicago());
+  const auto policy = core::make_n_rand(kB);
+
+  util::Table table({"trace stops n", "expected CR", "mean sampled CR",
+                     "|gap|", "sampled CR stddev", "stddev * sqrt(n)"});
+  util::Rng rng(31415);
+  for (int n : {10, 30, 100, 300, 1000, 3000, 10000}) {
+    util::Rng trace_rng = rng.fork(static_cast<std::uint64_t>(n));
+    const auto stops = law->sample_many(trace_rng, static_cast<std::size_t>(n));
+    const double expected_cr =
+        sim::evaluate_expected(*policy, stops).cr();
+
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int r = 0; r < kRepeats; ++r) {
+      util::Rng eval_rng = rng.fork(1000u + static_cast<std::uint64_t>(r) +
+                                    static_cast<std::uint64_t>(n) * 100u);
+      const double cr =
+          sim::evaluate_sampled(*policy, stops, eval_rng).cr();
+      sum += cr;
+      sq += cr * cr;
+    }
+    const double mean = sum / kRepeats;
+    const double var = std::max(0.0, sq / kRepeats - mean * mean);
+    const double sd = std::sqrt(var);
+    table.add_row({std::to_string(n), util::fmt(expected_cr, 4),
+                   util::fmt(mean, 4), util::fmt(std::abs(mean - expected_cr), 4),
+                   util::fmt(sd, 4), util::fmt(sd * std::sqrt(n), 3)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Reading: the sampled CR is unbiased and its spread shrinks "
+              "as 1/sqrt(n) (last column ~ constant), so expected-mode "
+              "evaluation is the right tool for the figure reproductions.\n");
+  return 0;
+}

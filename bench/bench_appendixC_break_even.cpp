@@ -1,0 +1,77 @@
+// Reproduction of Appendix C: the break-even interval derivation.
+// Regenerates every intermediate quantity the paper reports — idling cost
+// (eq. 45-46), restart fuel, starter wear, battery wear, NOx penalty — and
+// the headline B values (28 s SSV / 47 s conventional), plus sensitivity
+// sweeps over fuel price and wear parameters.
+#include <cstdio>
+
+#include "costmodel/break_even.h"
+#include "util/table.h"
+
+int main() {
+  using namespace idlered;
+  using namespace idlered::costmodel;
+
+  std::printf("%s", util::banner("Appendix C.1: idling cost").c_str());
+  EngineSpec fusion;  // 2011 Ford Fusion 2.5 L, measured 0.279 cc/s
+  FuelPricing price;  // $3.50 / gallon
+  std::printf("eq. 45 regression at D = 2.5 L : %.4f L/h\n",
+              idle_fuel_l_per_h(2.5));
+  std::printf("measured idle burn           : %.3f cc/s (Argonne)\n",
+              fusion.measured_idle_fuel_cc_per_s);
+  std::printf("idling cost (eq. 46)         : %.4f cents/s "
+              "(paper: 0.0258)\n\n",
+              idling_cost_cents_per_s(fusion, price));
+
+  std::printf("%s", util::banner("Appendix C.2: restart cost components").c_str());
+  util::Table parts({"component", "SSV", "conventional", "paper range"});
+  const auto ssv = compute_break_even(ssv_vehicle());
+  const auto conv = compute_break_even(conventional_vehicle());
+  parts.add_row({"fuel (s of idling)", util::fmt(ssv.fuel_s, 2),
+                 util::fmt(conv.fuel_s, 2), "10"});
+  parts.add_row({"starter wear (s)", util::fmt(ssv.starter_s, 2),
+                 util::fmt(conv.starter_s, 2), "0 / 19.4 - 155"});
+  parts.add_row({"battery wear (s)", util::fmt(ssv.battery_s, 2),
+                 util::fmt(conv.battery_s, 2), ">= 18.76"});
+  parts.add_row({"NOx penalty (s)", util::fmt(ssv.emissions_s, 2),
+                 util::fmt(conv.emissions_s, 2), "~0.14"});
+  parts.add_row({"break-even B (s)", util::fmt(ssv.break_even_s, 2),
+                 util::fmt(conv.break_even_s, 2), "28 / 47"});
+  std::printf("%s\n", parts.str().c_str());
+
+  std::printf("SSV breakdown:\n%s\n", ssv.describe().c_str());
+  std::printf("conventional breakdown:\n%s\n", conv.describe().c_str());
+
+  std::printf("%s", util::banner("Sensitivity: B vs fuel price").c_str());
+  util::Table fuel_sweep({"$/gallon", "B SSV (s)", "B conventional (s)"});
+  for (double usd : {2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0}) {
+    VehicleConfig s = ssv_vehicle();
+    VehicleConfig c = conventional_vehicle();
+    s.fuel.usd_per_gallon = usd;
+    c.fuel.usd_per_gallon = usd;
+    fuel_sweep.add_row({util::fmt(usd, 2),
+                        util::fmt(compute_break_even(s).break_even_s, 1),
+                        util::fmt(compute_break_even(c).break_even_s, 1)});
+  }
+  std::printf("%s\n", fuel_sweep.str().c_str());
+
+  std::printf("%s", util::banner("Sensitivity: B vs starter durability "
+                                 "(conventional)").c_str());
+  util::Table wear_sweep(
+      {"starts/replacement", "starter cents/start", "B (s)"});
+  for (double starts : {20000.0, 30000.0, 40000.0}) {
+    VehicleConfig c = conventional_vehicle();
+    c.starter.starts_per_replacement = starts;
+    const auto b = compute_break_even(c);
+    wear_sweep.add_row(
+        {util::fmt(starts, 0),
+         util::fmt(starter_cost_cents_per_start(c.starter), 3),
+         util::fmt(b.break_even_s, 1)});
+  }
+  std::printf("%s\n", wear_sweep.str().c_str());
+
+  std::printf("note: the paper rounds its published figures to 28 s and "
+              "47 s; our parameterization reproduces them within ~1 s "
+              "(see EXPERIMENTS.md for the exact arithmetic).\n");
+  return 0;
+}

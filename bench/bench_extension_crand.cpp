@@ -1,0 +1,138 @@
+// Extension X1: the c-Rand reproduction finding.
+//
+// Maps where the truncated-support randomized strategy (c-Rand) strictly
+// improves on the paper's four-vertex selector across the (mu_B-/B, q_B+)
+// plane, reports the headline counterexample with three independent
+// verifications (closed form, adversary LP, double-oracle minimax), and
+// quantifies the realized gain on trace workloads.
+#include <cstdio>
+
+#include "analysis/adversary.h"
+#include "analysis/minimax.h"
+#include "core/crand.h"
+#include "core/proposed.h"
+#include "sim/evaluator.h"
+#include "traces/fleet_generator.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+
+constexpr double kB = 28.0;
+
+dist::ShortStopStats stats_at(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB;
+  s.q_b_plus = q;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", util::banner("Extension X1: c-Rand vs the paper's "
+                                 "four-vertex selector").c_str());
+
+  // Improvement map: '.' infeasible, '-' no change, digits = % improvement.
+  const int n = 48;
+  std::printf("improvement of the extended selector over the paper's "
+              "(rows: q_B+ descending, cols: mu_B-/B ascending;\n"
+              " '-' none, '1'-'9' ~ percent, '+' means >= 10%%)\n");
+  int improved_cells = 0;
+  int feasible_cells = 0;
+  double max_improvement_pct = 0.0;
+  for (int j = n - 1; j >= 0; --j) {
+    const double q = (j + 0.5) / n;
+    for (int i = 0; i < n; ++i) {
+      const double mu_frac = (i + 0.5) / n;
+      const auto s = stats_at(mu_frac, q);
+      if (!s.feasible(kB)) {
+        std::printf(".");
+        continue;
+      }
+      ++feasible_cells;
+      const auto ext = core::choose_strategy_extended(s, kB);
+      const double pct =
+          100.0 * ext.improvement / ext.classic.expected_cost;
+      max_improvement_pct = std::max(max_improvement_pct, pct);
+      if (pct < 0.5) {
+        std::printf("-");
+      } else {
+        ++improved_cells;
+        std::printf("%c", pct >= 9.5 ? '+'
+                                     : static_cast<char>('0' + static_cast<int>(
+                                           std::lround(pct))));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nc-Rand improves on %d of %d feasible cells (max "
+              "improvement %.1f%%)\n\n",
+              improved_cells, feasible_cells, max_improvement_pct);
+
+  // Headline counterexample with three-way verification.
+  std::printf("%s", util::banner("headline counterexample: mu = 0.02 B, "
+                                 "q = 0.3 (B = 28)").c_str());
+  const auto s = stats_at(0.02, 0.3);
+  const auto classic = core::choose_strategy(s, kB);
+  const auto ext = core::choose_strategy_extended(s, kB);
+
+  util::Table table({"method", "worst-case expected cost"});
+  table.add_row({"paper's selector (" + core::to_string(classic.strategy) +
+                     ", closed form)",
+                 util::fmt(classic.expected_cost, 4)});
+  table.add_row({"c-Rand closed form (c* = " + util::fmt(ext.c, 2) + " s)",
+                 util::fmt(ext.expected_cost, 4)});
+  {
+    analysis::AdversaryOptions opt;
+    opt.grid_short = 2000;
+    opt.extra_short_points = {ext.c};
+    const auto adv = analysis::worst_case_adversary(
+        *core::make_c_rand(kB, ext.c), s, opt);
+    table.add_row({"c-Rand vs LP adversary", util::fmt(adv.expected_cost, 4)});
+  }
+  {
+    analysis::MinimaxOptions opt;
+    opt.threshold_grid = 160;
+    opt.max_iterations = 120;
+    const auto mm = analysis::solve_minimax(s, kB, opt);
+    table.add_row({"double-oracle minimax (no family assumed)",
+                   util::fmt(mm.value, 4)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Realized gain on trace workloads where the extension fires.
+  std::printf("%s", util::banner("realized CR on synthetic workloads").c_str());
+  util::Table traces_table({"workload", "classic COA CR", "extended CR",
+                            "extension used"});
+  util::Rng rng(20140601);
+  for (double mean_stop : {15.0, 30.0, 60.0, 120.0}) {
+    const auto law = traces::scaled_stop_distribution(traces::chicago(),
+                                                      mean_stop);
+    const auto stops = law->sample_many(rng, 100000);
+    const auto est = dist::ShortStopStats::from_sample(stops, kB);
+    const auto ext_choice = core::choose_strategy_extended(est, kB);
+    core::ProposedPolicy classic_policy(kB, est);
+    const double classic_cr =
+        sim::evaluate_expected(classic_policy, stops).cr();
+    double extended_cr = classic_cr;
+    if (ext_choice.uses_c_rand) {
+      extended_cr = sim::evaluate_expected(
+                        *core::make_c_rand(kB, ext_choice.c), stops)
+                        .cr();
+    }
+    traces_table.add_row({"Chicago shape, mean " + util::fmt(mean_stop, 0) +
+                              " s",
+                          util::fmt(classic_cr, 4), util::fmt(extended_cr, 4),
+                          ext_choice.uses_c_rand ? "yes" : "no"});
+  }
+  std::printf("%s\n", traces_table.str().c_str());
+  std::printf(
+      "Note: c-Rand optimizes the WORST case over Q(mu, q); on benign "
+      "actual laws it may realize a slightly higher CR than the classic "
+      "pick while carrying a strictly better guarantee.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduction of Figure 1: (a) the strategy-selection regions of the
+// proposed online algorithm over the (mu_B-/B, q_B+) plane, and (b) its
+// worst-case competitive-ratio surface.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/region.h"
+#include "util/math.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+
+void print_cr_surface(double break_even) {
+  // A coarse numeric slice of the Figure 1(b) surface: worst-case CR rows
+  // (mu ascending) by columns (q ascending).
+  const int n = 10;
+  std::vector<std::string> header{"mu/B \\ q"};
+  for (int j = 0; j < n; ++j) {
+    header.push_back(util::fmt((j + 0.5) / n, 2));
+  }
+  util::Table table(std::move(header));
+  const auto cells = core::compute_region_map(break_even, n, n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::string> row{util::fmt((i + 0.5) / n, 2)};
+    for (int j = 0; j < n; ++j) {
+      const auto& c = cells[static_cast<std::size_t>(i * n + j)];
+      row.push_back(c.feasible ? util::fmt(c.cr, 3) : "  -  ");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const double b = 28.0;  // the region map is scale-free in mu/B and q
+
+  std::printf("%s", util::banner("Figure 1(a): strategy selection regions "
+                                 "over (mu_B-/B, q_B+)").c_str());
+  const int n = 64;
+  const auto cells = core::compute_region_map(b, n, n);
+  std::printf("%s\n", core::render_region_map(cells, n, n).c_str());
+
+  // Region occupancy summary.
+  int toi = 0;
+  int det = 0;
+  int bdet = 0;
+  int nrand = 0;
+  int infeasible = 0;
+  double cr_max = 0.0;
+  for (const auto& c : cells) {
+    if (!c.feasible) {
+      ++infeasible;
+      continue;
+    }
+    cr_max = std::max(cr_max, c.cr);
+    switch (c.strategy) {
+      case core::Strategy::kToi: ++toi; break;
+      case core::Strategy::kDet: ++det; break;
+      case core::Strategy::kBDet: ++bdet; break;
+      case core::Strategy::kNRand: ++nrand; break;
+    }
+  }
+  util::Table occupancy({"region", "cells", "share of feasible"});
+  const double feasible_total = static_cast<double>(n * n - infeasible);
+  occupancy.add_row({"TOI", std::to_string(toi),
+                     util::fmt(toi / feasible_total, 3)});
+  occupancy.add_row({"DET", std::to_string(det),
+                     util::fmt(det / feasible_total, 3)});
+  occupancy.add_row({"b-DET", std::to_string(bdet),
+                     util::fmt(bdet / feasible_total, 3)});
+  occupancy.add_row({"N-Rand", std::to_string(nrand),
+                     util::fmt(nrand / feasible_total, 3)});
+  std::printf("%s\n", occupancy.str().c_str());
+
+  std::printf("%s", util::banner("Figure 1(b): worst-case CR of the proposed "
+                                 "algorithm").c_str());
+  print_cr_surface(b);
+  std::printf(
+      "\nmax worst-case CR over the plane: %.4f (theory cap e/(e-1) = "
+      "%.4f)\n",
+      cr_max, util::kEOverEMinus1);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduction of Figure 3: the stop-length probability distribution of the
+// three synthetic NREL-like areas, plus the paper's Kolmogorov-Smirnov check
+// that the laws are *not* exponential (heavy tails).
+#include <cstdio>
+
+#include "sim/trace.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/ks_test.h"
+#include "traces/fleet_generator.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  using namespace idlered;
+
+  util::Rng rng(20140601);
+  util::Table summary({"area", "vehicles", "stops", "mean stop (s)",
+                       "median (s)", "P{y >= 28}", "P{y >= 47}",
+                       "KS vs exponential", "p-value"});
+
+  for (const auto& area : traces::all_areas()) {
+    util::Rng area_rng = rng.fork(std::hash<std::string>{}(area.name));
+    const auto fleet = traces::generate_area_fleet(area, area_rng);
+    const auto stops = sim::pooled_stops(fleet);
+
+    std::printf("%s", util::banner("Figure 3: stop-length distribution, " +
+                                   area.name).c_str());
+    stats::Histogram hist(0.0, 240.0, 24);
+    hist.add_all(stops);
+    std::printf("%s\n", hist.ascii(48).c_str());
+
+    const auto ks = stats::ks_test_exponential(stops);
+    double at_28 = 0.0;
+    double at_47 = 0.0;
+    for (double y : stops) {
+      if (y >= 28.0) at_28 += 1.0;
+      if (y >= 47.0) at_47 += 1.0;
+    }
+    const auto n = static_cast<double>(stops.size());
+    summary.add_row(
+        {area.name, std::to_string(fleet.size()),
+         std::to_string(stops.size()), util::fmt(stats::mean(stops), 1),
+         util::fmt(stats::median(stops), 1), util::fmt(at_28 / n, 3),
+         util::fmt(at_47 / n, 3), util::fmt(ks.statistic, 4),
+         ks.p_value < 1e-12 ? "<1e-12" : util::fmt(ks.p_value, 6)});
+  }
+
+  std::printf("%s", util::banner("Figure 3 summary").c_str());
+  std::printf("%s\n", summary.str().c_str());
+  std::printf("Paper claim: all three areas' distributions differ from the "
+              "exponential law by the KS test (heavy tails). Reproduced when "
+              "every p-value above is ~0.\n");
+  return 0;
+}

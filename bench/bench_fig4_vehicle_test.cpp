@@ -1,0 +1,85 @@
+// Reproduction of Figure 4 (Individual Vehicle Test) and the Section 5
+// headline numbers: per-area worst-case and average CR of the six
+// strategies on the full 1182-vehicle cohort, for SSV (B = 28 s) and
+// conventional vehicles (B = 47 s).
+//
+// Paper reference values (real NREL data; ours is the synthetic fleet of
+// DESIGN.md, so compare shape, not digits):
+//   B = 28: proposed best in 1169/1182 vehicles; mean CR 1.11 / 1.32 / 1.10
+//           for California / Chicago / Atlanta.
+//   B = 47: proposed best in 977/1182 vehicles; mean CR 1.35 / 1.42 / 1.35.
+#include <cstdio>
+
+#include "costmodel/break_even.h"
+#include "sim/fleet_eval.h"
+#include "traces/fleet_generator.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+
+struct PaperMeans {
+  double california;
+  double chicago;
+  double atlanta;
+  int best_count;
+};
+
+void run_cohort(const sim::Fleet& fleet, double break_even,
+                const char* vehicle_kind, const PaperMeans& paper) {
+  const auto specs = sim::standard_strategy_set();
+  const auto cmp = sim::compare_strategies(fleet, break_even, specs);
+
+  std::printf("%s", util::banner(std::string("Figure 4, ") + vehicle_kind +
+                                 " (B = " + util::fmt(break_even, 0) +
+                                 " s)").c_str());
+
+  for (const char* area : {"California", "Chicago", "Atlanta"}) {
+    const auto part = cmp.filter_area(area);
+    const auto means = part.mean_cr();
+    const auto worsts = part.worst_cr();
+    util::Table table({"strategy", "average CR", "worst CR"});
+    for (std::size_t s = 0; s < part.num_strategies(); ++s) {
+      table.add_row({part.strategy_names[s], util::fmt(means[s], 3),
+                     worsts[s] > 100.0 ? ">100" : util::fmt(worsts[s], 3)});
+    }
+    std::printf("--- %s (%zu vehicles) ---\n%s\n", area,
+                part.vehicles.size(), table.str().c_str());
+  }
+
+  const auto best = cmp.best_counts(1e-9);
+  const std::size_t coa = cmp.num_strategies() - 1;  // COA is last
+  std::printf("proposed (COA) best on %zu of %zu vehicles "
+              "(paper: %d of 1182)\n",
+              best[coa], cmp.vehicles.size(), paper.best_count);
+
+  util::Table headline({"area", "COA mean CR (measured)", "paper"});
+  headline.add_row({"California",
+                    util::fmt(cmp.filter_area("California").mean_cr()[coa], 2),
+                    util::fmt(paper.california, 2)});
+  headline.add_row({"Chicago",
+                    util::fmt(cmp.filter_area("Chicago").mean_cr()[coa], 2),
+                    util::fmt(paper.chicago, 2)});
+  headline.add_row({"Atlanta",
+                    util::fmt(cmp.filter_area("Atlanta").mean_cr()[coa], 2),
+                    util::fmt(paper.atlanta, 2)});
+  std::printf("%s\n", headline.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace idlered;
+
+  const auto fleet = traces::generate_study_fleet(20140601);
+  std::printf("synthetic NREL-like cohort: %zu vehicles "
+              "(217 California + 312 Chicago + 653 Atlanta), one week each\n\n",
+              fleet.size());
+
+  run_cohort(fleet, costmodel::kPaperBreakEvenSsv, "stop-start vehicles",
+             PaperMeans{1.11, 1.32, 1.10, 1169});
+  run_cohort(fleet, costmodel::kPaperBreakEvenConventional,
+             "vehicles without SSS", PaperMeans{1.35, 1.42, 1.35, 977});
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduction of Figure 5: worst-case CR of every strategy as a function
+// of the average stop length, for stop-start vehicles (B = 28 s). The
+// workload follows the paper's methodology: the Chicago-shaped stop-length
+// law rescaled to each target mean.
+#include <cstdio>
+
+#include "common/sweep.h"
+#include "sim/fleet_eval.h"
+#include "util/table.h"
+
+int main() {
+  using namespace idlered;
+
+  std::printf("%s", util::banner("Figure 5: worst-case CR vs average stop "
+                                 "length (B = 28 s)").c_str());
+  const auto config = bench::default_sweep(28.0);
+  const auto points = bench::run_traffic_sweep(config);
+  std::vector<std::string> names;
+  for (const auto& s : sim::standard_strategy_set()) names.push_back(s.name);
+  bench::print_sweep(points, names, config.break_even);
+  return 0;
+}

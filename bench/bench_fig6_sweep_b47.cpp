@@ -1,0 +1,21 @@
+// Reproduction of Figure 6: worst-case CR of every strategy as a function
+// of the average stop length, for conventional vehicles (B = 47 s). Same
+// methodology as Figure 5 with the larger break-even interval.
+#include <cstdio>
+
+#include "common/sweep.h"
+#include "sim/fleet_eval.h"
+#include "util/table.h"
+
+int main() {
+  using namespace idlered;
+
+  std::printf("%s", util::banner("Figure 6: worst-case CR vs average stop "
+                                 "length (B = 47 s)").c_str());
+  const auto config = bench::default_sweep(47.0);
+  const auto points = bench::run_traffic_sweep(config);
+  std::vector<std::string> names;
+  for (const auto& s : sim::standard_strategy_set()) names.push_back(s.name);
+  bench::print_sweep(points, names, config.break_even);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduction of the Introduction's headline numbers: the US national
+// idling bill ("more than 6 billion gallons ... more than $20 billion each
+// year", idle share 13%-23% of operating time) and the share of it each
+// online strategy would recover on the synthetic NREL-like traffic.
+#include <cstdio>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "costmodel/fleet_economics.h"
+#include "sim/evaluator.h"
+#include "traces/fleet_generator.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  using namespace idlered;
+
+  std::printf("%s", util::banner("Introduction claims: the US idling "
+                                 "bill").c_str());
+  util::Table bill_table({"idle fraction", "fuel (B gal/yr)", "cost (B$/yr)",
+                          "CO2 (Mt/yr)"});
+  for (double frac : {0.13, 0.18, 0.23}) {
+    costmodel::NationalFleetModel fleet;
+    fleet.idle_fraction = frac;
+    const auto bill = costmodel::national_idling_bill(fleet);
+    bill_table.add_row({util::fmt(frac, 2),
+                        util::fmt(bill.fuel_gallons_per_year / 1e9, 2),
+                        util::fmt(bill.usd_per_year / 1e9, 1),
+                        util::fmt(bill.co2_tonnes_per_year / 1e6, 1)});
+  }
+  std::printf("%s", bill_table.str().c_str());
+  std::printf("paper: \"more than 6 billion gallons of fuel at a cost of "
+              "more than $20 billion each year\" — reproduced by the\n"
+              "13%%-23%% idle band around a ~250M-vehicle fleet at ~1.2 h/day "
+              "behind the wheel.\n\n");
+
+  std::printf("%s", util::banner("How much of the bill does each strategy "
+                                 "recover? (B = 28 s)").c_str());
+  // Aggregate stop workload from the three synthetic areas.
+  util::Rng rng(20140601);
+  std::vector<double> stops;
+  for (const auto& area : traces::all_areas()) {
+    const auto law = traces::area_stop_distribution(area);
+    util::Rng fork = rng.fork(std::hash<std::string>{}(area.name));
+    const auto part = law->sample_many(fork, 40000);
+    stops.insert(stops.end(), part.begin(), part.end());
+  }
+  const double b = 28.0;
+  const auto nev = sim::evaluate_expected(*core::make_nev(b), stops);
+  core::ProposedPolicy coa(b, stops);
+
+  costmodel::NationalFleetModel fleet;
+  const auto bill = costmodel::national_idling_bill(fleet);
+
+  util::Table rec({"strategy", "cost vs NEV", "recoverable share",
+                   "fuel saved (B gal/yr)", "saved ($B/yr)"});
+  auto add = [&](const char* name, const sim::CostTotals& totals) {
+    const double f = costmodel::recoverable_fraction(
+        totals.online / static_cast<double>(totals.num_stops),
+        nev.online / static_cast<double>(nev.num_stops));
+    const auto saved = costmodel::scale_bill(bill, f);
+    rec.add_row({name, util::fmt(totals.online / nev.online, 3),
+                 util::fmt(f, 3),
+                 util::fmt(saved.fuel_gallons_per_year / 1e9, 2),
+                 util::fmt(saved.usd_per_year / 1e9, 1)});
+  };
+  const double offline_total = sim::offline_cost_total(stops, b);
+  add("offline clairvoyant",
+      sim::CostTotals{offline_total, offline_total, stops.size()});
+  add("COA (proposed)", sim::evaluate_expected(coa, stops));
+  add("TOI (factory SSS)",
+      sim::evaluate_expected(*core::make_toi(b), stops));
+  add("DET (wait B)", sim::evaluate_expected(*core::make_det(b), stops));
+  add("N-Rand", sim::evaluate_expected(*core::make_n_rand(b), stops));
+  std::printf("%s\n", rec.str().c_str());
+  std::printf("Reading: on signal-dominated traffic a stop-start system "
+              "recovers the majority of the national idling bill, and COA "
+              "closes most of the remaining gap between the factory TOI "
+              "strategy and the clairvoyant bound.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Performance microbenchmarks (google-benchmark), including ablation A3:
+// the LP-backed constrained-ski-rental solver vs the closed-form vertex
+// enumeration. A stop-start controller runs on embedded hardware, so the
+// per-stop decision path (statistics update + strategy selection +
+// threshold draw) must be cheap; these benches pin down its cost.
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "core/solver_lp.h"
+#include "sim/fleet_eval.h"
+#include "traces/fleet_generator.h"
+#include "traffic/intersection.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace idlered;
+
+constexpr double kB = 28.0;
+
+dist::ShortStopStats stats_point(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB;
+  s.q_b_plus = q;
+  return s;
+}
+
+// --------------------------- A3: closed-form vertex enumeration vs LP solver
+
+void BM_ChooseStrategyClosedForm(benchmark::State& state) {
+  const auto s = stats_point(0.2, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::choose_strategy(s, kB));
+  }
+}
+BENCHMARK(BM_ChooseStrategyClosedForm);
+
+void BM_ChooseStrategyViaLp(benchmark::State& state) {
+  const auto s = stats_point(0.2, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_constrained_lp(s, kB));
+  }
+}
+BENCHMARK(BM_ChooseStrategyViaLp);
+
+// ----------------------------------------------------- per-stop decision path
+
+void BM_EstimatorObserve(benchmark::State& state) {
+  core::DecayingStatsEstimator est(kB, 0.99);
+  util::Rng rng(1);
+  double y = 10.0;
+  for (auto _ : state) {
+    est.observe(y);
+    y = y < 100.0 ? y + 0.37 : 1.0;
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_EstimatorObserve);
+
+void BM_ProposedPolicyConstruction(benchmark::State& state) {
+  const auto s = stats_point(0.15, 0.35);
+  for (auto _ : state) {
+    core::ProposedPolicy p(kB, s);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ProposedPolicyConstruction);
+
+void BM_NRandSampleThreshold(benchmark::State& state) {
+  core::NRandPolicy p(kB);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.sample_threshold(rng));
+  }
+}
+BENCHMARK(BM_NRandSampleThreshold);
+
+void BM_MomRandSampleThreshold(benchmark::State& state) {
+  // Bisection-based inverse CDF: the expensive sampling path.
+  core::MomRandPolicy p(kB, 0.3 * kB);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.sample_threshold(rng));
+  }
+}
+BENCHMARK(BM_MomRandSampleThreshold);
+
+void BM_NRandExpectedCost(benchmark::State& state) {
+  core::NRandPolicy p(kB);
+  double y = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.expected_cost(y));
+    y = y < 60.0 ? y + 0.1 : 0.5;
+  }
+}
+BENCHMARK(BM_NRandExpectedCost);
+
+// ----------------------------------------------------------- bulk throughput
+
+void BM_FleetComparison(benchmark::State& state) {
+  auto profile = traces::california();
+  profile.num_vehicles_driving = static_cast<int>(state.range(0));
+  util::Rng rng(4);
+  const auto fleet = traces::generate_area_fleet(profile, rng);
+  const auto specs = sim::standard_strategy_set();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compare_strategies(fleet, kB, specs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetComparison)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_VehicleGeneration(benchmark::State& state) {
+  const auto profile = traces::chicago();
+  util::Rng rng(5);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traces::generate_vehicle(profile, ++i, rng));
+  }
+}
+BENCHMARK(BM_VehicleGeneration);
+
+void BM_IntersectionSimulation(benchmark::State& state) {
+  traffic::IntersectionConfig cfg;
+  cfg.arrival_rate_per_s = 0.15;
+  traffic::IntersectionSimulator sim(cfg);
+  util::Rng rng(6);
+  const double horizon = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(horizon, rng));
+  }
+}
+BENCHMARK(BM_IntersectionSimulation)->Arg(3600)->Arg(86400);
+
+}  // namespace

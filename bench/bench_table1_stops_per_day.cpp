@@ -1,0 +1,65 @@
+// Reproduction of Table 1 (Stops Per Day in 3 Locations): mean, standard
+// deviation, and P{X <= mu + 2 sigma} of stops/day over each area's
+// stops-per-day cohort, plus the mu + 2 sigma amortization bound the battery
+// wear model uses (~32.43 in the paper).
+#include <cstdio>
+
+#include "stats/descriptive.h"
+#include "traces/fleet_generator.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  using namespace idlered;
+
+  std::printf("%s", util::banner("Table 1: stops per day in 3 locations").c_str());
+
+  util::Table table({"Location", "Vehicles", "Mean (paper)", "Mean (ours)",
+                     "Std (paper)", "Std (ours)", "P{X<=mu+2s} (paper)",
+                     "P{X<=mu+2s} (ours)"});
+
+  struct PaperRow {
+    const char* name;
+    double mean;
+    double std;
+    double tail;
+  };
+  const PaperRow paper[] = {
+      {"Atlanta", 10.37, 8.42, 0.9091},
+      {"Chicago", 12.49, 9.97, 0.9534},
+      {"California", 9.37, 7.68, 0.9553},
+  };
+
+  util::Rng rng(20140601);
+  double pooled_mu_plus_2sigma = 0.0;
+  double pooled_weight = 0.0;
+  for (const auto& row : paper) {
+    // Find the matching profile.
+    traces::AreaProfile profile;
+    for (const auto& a : traces::all_areas()) {
+      if (a.name == row.name) profile = a;
+    }
+    util::Rng area_rng = rng.fork(std::hash<std::string>{}(profile.name));
+    // One week of days per vehicle in the stops/day dataset.
+    const int n_draws =
+        profile.num_vehicles_stops_dataset * profile.days_recorded;
+    const auto xs = traces::sample_stops_per_day(profile, n_draws, area_rng);
+
+    const double mean = stats::mean(xs);
+    const double std = stats::stddev(xs);
+    const double tail = stats::fraction_at_most(xs, mean + 2.0 * std);
+    table.add_row({row.name,
+                   std::to_string(profile.num_vehicles_stops_dataset),
+                   util::fmt(row.mean, 2), util::fmt(mean, 2),
+                   util::fmt(row.std, 2), util::fmt(std, 2),
+                   util::fmt(row.tail, 4), util::fmt(tail, 4)});
+    pooled_mu_plus_2sigma +=
+        (mean + 2.0 * std) * profile.num_vehicles_stops_dataset;
+    pooled_weight += profile.num_vehicles_stops_dataset;
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("fleet-weighted mu + 2 sigma = %.2f stops/day "
+              "(paper uses 32.43 for battery amortization)\n",
+              pooled_mu_plus_2sigma / pooled_weight);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Validation V1: do the mechanistic substrates corroborate the statistical
+// stop-length model? Compares four independent stop sources — the
+// NREL-like statistical mixture, the queueing intersection model, the
+// coordinated/uncoordinated arterial corridors, and the microscopic IDM
+// simulator — on their (mu_B-, q_B+) statistics, heavy-tail KS verdicts,
+// and the strategy COA selects on each.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/crand.h"
+#include "core/proposed.h"
+#include "sim/evaluator.h"
+#include "stats/descriptive.h"
+#include "stats/ks_test.h"
+#include "traces/fleet_generator.h"
+#include "traffic/arterial.h"
+#include "traffic/intersection.h"
+#include "traffic/microsim.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+
+constexpr double kB = 28.0;
+
+void report(const std::string& label, const std::vector<double>& stops,
+            util::Table& table) {
+  if (stops.size() < 30) {
+    table.add_row({label, "-", "-", "-", "-", "-", "-", "(too few stops)"});
+    return;
+  }
+  const auto s = dist::ShortStopStats::from_sample(stops, kB);
+  core::ProposedPolicy coa(kB, stops);
+  const auto ks = stats::ks_test_exponential(stops);
+  const auto ext = core::choose_strategy_extended(s, kB);
+  table.add_row(
+      {label, std::to_string(stops.size()),
+       util::fmt(stats::mean(stops), 1), util::fmt(s.mu_b_minus / kB, 3),
+       util::fmt(s.q_b_plus, 3),
+       ks.reject_at(0.01) ? "non-exp" : "exp-like",
+       core::to_string(coa.choice().strategy),
+       ext.uses_c_rand ? "c-Rand(" + util::fmt(ext.c, 1) + "s)"
+                       : core::to_string(ext.classic.strategy)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", util::banner("Validation V1: stop-length substrates "
+                                 "(B = 28 s)").c_str());
+
+  util::Table table({"substrate", "stops", "mean (s)", "mu_B-/B", "q_B+",
+                     "KS verdict", "COA picks", "extended picks"});
+  util::Rng rng(20140601);
+
+  {
+    const auto law = traces::area_stop_distribution(traces::chicago());
+    report("statistical NREL-like (Chicago)", law->sample_many(rng, 30000),
+           table);
+  }
+  {
+    traffic::IntersectionConfig cfg;
+    cfg.arrival_rate_per_s = 0.15;
+    traffic::IntersectionSimulator sim(cfg);
+    util::Rng fork = rng.fork(1);
+    report("queueing intersection (rho=0.6)", sim.simulate(1.0e6, fork),
+           table);
+  }
+  {
+    util::Rng fork = rng.fork(2);
+    traffic::ArterialSimulator sim(
+        traffic::green_wave(8, 90.0, 45.0, 60.0));
+    std::vector<double> stops;
+    for (int i = 0; i < 3000; ++i) {
+      const auto trip = sim.simulate_trip(fork);
+      stops.insert(stops.end(), trip.begin(), trip.end());
+    }
+    report("arterial, green wave", stops, table);
+  }
+  {
+    util::Rng cfg_rng = rng.fork(3);
+    util::Rng fork = rng.fork(4);
+    traffic::ArterialSimulator sim(
+        traffic::uncoordinated(8, 90.0, 45.0, 60.0, cfg_rng));
+    std::vector<double> stops;
+    for (int i = 0; i < 3000; ++i) {
+      const auto trip = sim.simulate_trip(fork);
+      stops.insert(stops.end(), trip.begin(), trip.end());
+    }
+    report("arterial, uncoordinated", stops, table);
+  }
+  {
+    traffic::MicrosimConfig cfg;
+    cfg.signal.cycle_s = 90.0;
+    cfg.signal.green_s = 45.0;
+    cfg.arrival_rate_per_s = 0.12;
+    traffic::MicroSimulator sim(cfg);
+    util::Rng fork = rng.fork(5);
+    report("IDM microsimulation", sim.stop_durations(1.0e5, fork), table);
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Reading: every mechanistic source lands in the same region of the\n"
+      "(mu_B-, q_B+) plane as the calibrated statistical model and draws\n"
+      "the same strategy selection — signal-dominated stop processes put\n"
+      "COA in its TOI/DET/randomized bands exactly as the NREL data did.\n"
+      "Pure signal-queue sources are bounded by a few cycles (KS verdict\n"
+      "may read exp-like); the heavy tail of real data comes from parking\n"
+      "events, which the statistical model adds via its Pareto component.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "common/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/proposed.h"
+#include "dist/distribution.h"
+#include "sim/evaluator.h"
+#include "traces/fleet_generator.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace idlered::bench {
+
+SweepConfig default_sweep(double break_even) {
+  SweepConfig c;
+  c.break_even = break_even;
+  // From ~B/6 to ~6B: covers the DET regime, the crossover band, and the
+  // TOI regime of Figures 5-6.
+  c.mean_stops_s = util::logspace(break_even / 6.0, break_even * 6.0, 17);
+  return c;
+}
+
+std::vector<SweepPoint> run_traffic_sweep(const SweepConfig& config) {
+  const auto profile = traces::chicago();
+  const auto specs = sim::standard_strategy_set();
+  util::Rng rng(config.seed);
+
+  std::vector<SweepPoint> points;
+  points.reserve(config.mean_stops_s.size());
+  for (double mean_stop : config.mean_stops_s) {
+    util::Rng point_rng = rng.fork(static_cast<std::uint64_t>(
+        mean_stop * 1000.0));
+    const auto fleet = traces::generate_scaled_fleet(
+        profile, mean_stop, config.vehicles_per_point, point_rng);
+    const auto cmp =
+        sim::compare_strategies(fleet, config.break_even, specs);
+
+    SweepPoint p;
+    p.mean_stop_s = mean_stop;
+    p.worst_cr = cmp.worst_cr();
+
+    const auto law =
+        traces::scaled_stop_distribution(profile, mean_stop);
+    const auto stats =
+        dist::ShortStopStats::from_distribution(*law, config.break_even);
+    p.coa_choice =
+        core::to_string(core::choose_strategy(stats, config.break_even)
+                            .strategy);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void print_sweep(const std::vector<SweepPoint>& points,
+                 const std::vector<std::string>& strategy_names,
+                 double break_even) {
+  std::vector<std::string> header{"mean_stop_s"};
+  header.insert(header.end(), strategy_names.begin(), strategy_names.end());
+  header.push_back("COA picks");
+  util::Table table(std::move(header));
+
+  for (const auto& p : points) {
+    std::vector<std::string> row{util::fmt(p.mean_stop_s, 1)};
+    for (double cr : p.worst_cr) row.push_back(util::fmt(cr, 3));
+    row.push_back(p.coa_choice);
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.str().c_str());
+
+  // Headline shape checks the paper reports: DET wins short means, TOI wins
+  // long means, COA is the lower envelope throughout.
+  const auto index_of = [&](const std::string& name) {
+    return static_cast<std::size_t>(
+        std::find(strategy_names.begin(), strategy_names.end(), name) -
+        strategy_names.begin());
+  };
+  const std::size_t i_coa = index_of("COA");
+  const std::size_t i_det = index_of("DET");
+  const std::size_t i_toi = index_of("TOI");
+
+  // COA provably dominates TOI / DET / N-Rand (and NEV in practice) on
+  // every vehicle; MOM-Rand is outside its candidate set, so on easy
+  // low-mean fleets its realized worst can occasionally dip below COA's
+  // even though its worst-case guarantee is weaker. Report both facts.
+  bool coa_is_envelope = true;
+  int momrand_dips = 0;
+  for (const auto& p : points) {
+    for (std::size_t s = 0; s < p.worst_cr.size(); ++s) {
+      if (s == i_coa) continue;
+      if (p.worst_cr[i_coa] > p.worst_cr[s] + 1e-6) {
+        if (strategy_names[s] == "MOM-Rand") {
+          ++momrand_dips;
+        } else {
+          coa_is_envelope = false;
+        }
+      }
+    }
+  }
+  std::printf("\nCOA is the lower envelope of TOI/NEV/DET/N-Rand: %s\n",
+              coa_is_envelope ? "YES" : "NO");
+  if (momrand_dips > 0) {
+    std::printf("MOM-Rand's realized worst dipped below COA's at %d "
+                "point(s) — its guarantee (>= e/(e-1) once any vehicle's "
+                "mean exceeds 2(e-2)/(e-1) B) is still weaker.\n",
+                momrand_dips);
+  }
+  std::printf("DET worst CR at shortest mean (%0.1f s): %.3f  |  at longest"
+              " (%0.1f s): %.3f\n",
+              points.front().mean_stop_s, points.front().worst_cr[i_det],
+              points.back().mean_stop_s, points.back().worst_cr[i_det]);
+  std::printf("TOI worst CR at shortest mean: %.3f  |  at longest: %.3f\n",
+              points.front().worst_cr[i_toi], points.back().worst_cr[i_toi]);
+  std::printf("Paper shape: DET good for short stops, TOI good for long"
+              " stops, COA (B=%.0f) robust everywhere.\n",
+              break_even);
+}
+
+}  // namespace idlered::bench

@@ -1,0 +1,44 @@
+// Shared machinery for the Figure 5/6 benchmarks: per-mean-stop-length
+// fleets, per-strategy worst-case (max-over-vehicles) CR, and the table
+// printer both figures share.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fleet_eval.h"
+#include "traces/area_profiles.h"
+
+namespace idlered::bench {
+
+struct SweepPoint {
+  double mean_stop_s = 0.0;
+  /// Worst-case (max over the simulated fleet) CR per strategy, in
+  /// standard_strategy_set() order.
+  std::vector<double> worst_cr;
+  /// The strategy COA selected from the fleet-level statistics.
+  std::string coa_choice;
+};
+
+struct SweepConfig {
+  double break_even = 28.0;
+  int vehicles_per_point = 150;
+  std::uint64_t seed = 20140601;  // DAC'14 conference date
+  std::vector<double> mean_stops_s;  ///< sweep grid
+};
+
+/// Default grid: mean stop lengths from well below to well above B.
+SweepConfig default_sweep(double break_even);
+
+/// Simulate a fleet per mean-stop-length point (Chicago-shaped law rescaled,
+/// the paper's Figures 5-6 methodology) and record worst-case CRs.
+std::vector<SweepPoint> run_traffic_sweep(const SweepConfig& config);
+
+/// Render the sweep as the figure's series table and print headline
+/// observations (who wins where, crossover locations).
+void print_sweep(const std::vector<SweepPoint>& points,
+                 const std::vector<std::string>& strategy_names,
+                 double break_even);
+
+}  // namespace idlered::bench

@@ -1,0 +1,82 @@
+// Fleet study: generate a synthetic NREL-like fleet for one metro area and
+// compare all six online strategies on it — a compact version of the
+// paper's Figure 4 experiment that you can point at your own parameters.
+//
+// Usage: fleet_study [area] [vehicles] [break_even_s] [seed]
+//   area        California | Chicago | Atlanta   (default Chicago)
+//   vehicles    fleet size                       (default 100)
+//   break_even  seconds                          (default 28)
+//   seed        RNG seed                         (default 1)
+//
+// Also writes the generated traces to fleet_<area>.csv so the same fleet
+// can be re-analyzed or inspected.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/fleet_eval.h"
+#include "sim/trace.h"
+#include "stats/descriptive.h"
+#include "traces/fleet_generator.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace idlered;
+
+  const std::string area_name = argc > 1 ? argv[1] : "Chicago";
+  const int vehicles = argc > 2 ? std::atoi(argv[2]) : 100;
+  const double b = argc > 3 ? std::atof(argv[3]) : 28.0;
+  const std::uint64_t seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+
+  traces::AreaProfile profile;
+  bool found = false;
+  for (const auto& a : traces::all_areas()) {
+    if (a.name == area_name) {
+      profile = a;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown area '%s' (use California, Chicago, or "
+                         "Atlanta)\n",
+                 area_name.c_str());
+    return 1;
+  }
+  profile.num_vehicles_driving = vehicles;
+
+  util::Rng rng(seed);
+  const auto fleet = traces::generate_area_fleet(profile, rng);
+  const std::string csv_path = "fleet_" + area_name + ".csv";
+  sim::write_fleet_csv(fleet, csv_path);
+
+  std::size_t total_stops = 0;
+  for (const auto& t : fleet) total_stops += t.num_stops();
+  std::printf("generated %zu vehicles, %zu stops (one week each); traces "
+              "written to %s\n\n",
+              fleet.size(), total_stops, csv_path.c_str());
+
+  const auto cmp = sim::compare_strategies(fleet, b,
+                                           sim::standard_strategy_set());
+  const auto means = cmp.mean_cr();
+  const auto worsts = cmp.worst_cr();
+  const auto best = cmp.best_counts(1e-9);
+
+  util::Table table({"strategy", "average CR", "worst CR", "best on"});
+  for (std::size_t s = 0; s < cmp.num_strategies(); ++s) {
+    table.add_row({cmp.strategy_names[s], util::fmt(means[s], 3),
+                   worsts[s] > 100.0 ? ">100" : util::fmt(worsts[s], 3),
+                   std::to_string(best[s]) + " vehicles"});
+  }
+  std::printf("strategy comparison for %s at B = %.0f s:\n%s\n",
+              area_name.c_str(), b, table.str().c_str());
+
+  // Per-vehicle CR distribution for COA.
+  std::vector<double> coa_crs;
+  for (const auto& v : cmp.vehicles) coa_crs.push_back(v.cr.back());
+  std::printf("COA per-vehicle CR: median %.3f, p90 %.3f, max %.3f\n",
+              stats::median(coa_crs), stats::quantile(coa_crs, 0.9),
+              stats::max(coa_crs));
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "analysis/adversary.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace idlered::analysis {
+
+AdversaryResult worst_case_adversary(const core::Policy& policy,
+                                     const dist::ShortStopStats& stats,
+                                     const AdversaryOptions& options) {
+  const double b = policy.break_even();
+  if (!stats.feasible(b))
+    throw std::invalid_argument("worst_case_adversary: infeasible stats");
+  if (options.grid_short < 2 || options.grid_long < 1)
+    throw std::invalid_argument("worst_case_adversary: grid too small");
+
+  // Stop-length grid: [0, B) densely (including a point just below B so the
+  // boundary statistics stay representable), then [B, horizon * B].
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(options.grid_short) +
+               static_cast<std::size_t>(options.grid_long) + 1);
+  for (int i = 0; i < options.grid_short; ++i) {
+    grid.push_back(b * static_cast<double>(i) /
+                   static_cast<double>(options.grid_short));
+  }
+  grid.push_back(b * (1.0 - 1e-9));  // just below the break-even boundary
+  for (double extra : options.extra_short_points) {
+    if (extra >= 0.0 && extra < b) grid.push_back(extra);
+  }
+  const std::size_t num_short = grid.size();
+  for (int i = 0; i < options.grid_long; ++i) {
+    const double frac = static_cast<double>(i) /
+                        static_cast<double>(std::max(1, options.grid_long - 1));
+    grid.push_back(b * (1.0 + (options.long_horizon - 1.0) * frac));
+  }
+
+  // LP: maximize sum_i cost_i q_i subject to the moment constraints.
+  lp::Problem problem;
+  problem.maximize = true;
+  problem.objective.reserve(grid.size());
+  for (double y : grid) problem.objective.push_back(policy.expected_cost(y));
+
+  std::vector<double> mu_row(grid.size(), 0.0);
+  std::vector<double> q_row(grid.size(), 0.0);
+  std::vector<double> one_row(grid.size(), 1.0);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (i < num_short) {
+      mu_row[i] = grid[i];
+    } else {
+      q_row[i] = 1.0;
+    }
+  }
+  problem.add_constraint(mu_row, lp::Sense::kEqual, stats.mu_b_minus);
+  problem.add_constraint(q_row, lp::Sense::kEqual, stats.q_b_plus);
+  problem.add_constraint(one_row, lp::Sense::kEqual, 1.0);
+
+  const lp::Solution sol = lp::solve(problem);
+  if (!sol.optimal())
+    throw std::runtime_error("worst_case_adversary: LP " +
+                             lp::to_string(sol.status));
+
+  AdversaryResult result;
+  result.expected_cost = sol.objective_value;
+  result.lambda_mu = sol.duals[0];
+  result.lambda_q = sol.duals[1];
+  result.lambda_norm = sol.duals[2];
+  const double offline = stats.expected_offline_cost(b);
+  result.cr = offline > 0.0 ? sol.objective_value / offline : 1.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (sol.x[i] > 1e-9) {
+      result.atoms.push_back({grid[i], sol.x[i]});
+    }
+  }
+  std::sort(result.atoms.begin(), result.atoms.end(),
+            [](const AdversaryResult::Atom& a, const AdversaryResult::Atom& o) {
+              return a.stop_length < o.stop_length;
+            });
+  return result;
+}
+
+}  // namespace idlered::analysis

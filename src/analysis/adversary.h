@@ -1,0 +1,62 @@
+// Numerical worst-case adversary construction.
+//
+// Section 3 of the paper defines the distribution class Q(mu_B-, q_B+); the
+// worst-case expected cost of a policy is a *linear program* over q(y):
+//
+//   max_q  sum_i  E_x[cost_online(x, y_i)] q_i          (linear in q)
+//   s.t.   sum_{y_i < B} y_i q_i        = mu_B-          (eq. 10)
+//          sum_{y_i >= B} q_i           = q_B+           (eq. 11)
+//          sum_i q_i                    = 1,   q_i >= 0
+//
+// after discretizing the stop length onto a grid. Solving it with the
+// simplex of src/lp mechanically reconstructs the paper's adversaries (the
+// optimal q concentrates on at most three atoms — one LP vertex) and
+// cross-validates every closed-form worst-case bound in core/analytic.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.h"
+#include "dist/distribution.h"
+
+namespace idlered::analysis {
+
+struct AdversaryResult {
+  double expected_cost = 0.0;  ///< the worst-case expected online cost
+  double cr = 0.0;             ///< divided by the expected offline cost
+  /// The adversarial distribution: stop lengths with positive probability.
+  struct Atom {
+    double stop_length = 0.0;
+    double probability = 0.0;
+  };
+  std::vector<Atom> atoms;
+
+  /// Shadow prices of the three constraints — the Lagrange multipliers of
+  /// the paper's Section 4.1 Lagrangian, recovered from the LP duals:
+  ///   d(worst cost)/d(mu_B-), d(worst cost)/d(q_B+), and the value of the
+  ///   normalization constraint. For DET these are (1, 2B, .); for N-Rand
+  ///   (e/(e-1), e/(e-1) B, .), matching the closed-form cost gradients.
+  double lambda_mu = 0.0;
+  double lambda_q = 0.0;
+  double lambda_norm = 0.0;
+};
+
+struct AdversaryOptions {
+  int grid_short = 200;       ///< grid points in [0, B)
+  int grid_long = 40;         ///< grid points in [B, long_horizon * B]
+  double long_horizon = 10.0; ///< longest considered stop, in units of B
+  /// Additional short-stop grid points (< B). Policies with threshold atoms
+  /// have cost discontinuities exactly at those thresholds; aligning the
+  /// adversary grid with them is required for a tight worst case (the
+  /// minimax solver passes the designer's support here).
+  std::vector<double> extra_short_points;
+};
+
+/// Solve the discretized worst-case LP for `policy` under the statistics
+/// constraints. Throws std::invalid_argument on infeasible statistics and
+/// std::runtime_error if the LP fails (cannot happen for feasible stats).
+AdversaryResult worst_case_adversary(const core::Policy& policy,
+                                     const dist::ShortStopStats& stats,
+                                     const AdversaryOptions& options = {});
+
+}  // namespace idlered::analysis

@@ -1,0 +1,84 @@
+#include "analysis/average_case.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/costs.h"
+#include "util/math.h"
+
+namespace idlered::analysis {
+
+double expected_cost_at_threshold(const dist::StopLengthDistribution& law,
+                                  double threshold, double break_even) {
+  core::require_valid_break_even(break_even);
+  if (std::isinf(threshold)) {
+    // NEV: idle through every stop.
+    const double m = law.mean();
+    return m;  // may be +inf for very heavy tails
+  }
+  if (threshold < 0.0)
+    throw std::invalid_argument("expected_cost_at_threshold: x must be >= 0");
+  return law.partial_expectation(threshold) +
+         law.tail_probability(threshold) * (threshold + break_even);
+}
+
+double expected_offline_cost(const dist::StopLengthDistribution& law,
+                             double break_even) {
+  const auto stats = dist::ShortStopStats::from_distribution(law, break_even);
+  return stats.expected_offline_cost(break_even);
+}
+
+AverageCaseOptimum optimal_threshold(const dist::StopLengthDistribution& law,
+                                     double break_even, double search_horizon,
+                                     int grid) {
+  core::require_valid_break_even(break_even);
+  if (grid < 8)
+    throw std::invalid_argument("optimal_threshold: grid too small");
+
+  const double hi = search_horizon * break_even;
+  auto g = [&](double x) {
+    return expected_cost_at_threshold(law, x, break_even);
+  };
+
+  // Coarse scan.
+  double best_x = 0.0;
+  double best_g = g(0.0);
+  const auto xs = util::linspace(0.0, hi, grid);
+  for (double x : xs) {
+    const double v = g(x);
+    if (v < best_g) {
+      best_g = v;
+      best_x = x;
+    }
+  }
+  // Golden polish around the best grid point.
+  const double step = hi / static_cast<double>(grid - 1);
+  const double lo_b = std::max(0.0, best_x - step);
+  const double hi_b = std::min(hi, best_x + step);
+  const double polished = util::minimize_golden(g, lo_b, hi_b, 1e-9 * hi);
+  if (g(polished) < best_g) {
+    best_x = polished;
+    best_g = g(polished);
+  }
+
+  // NEV endpoint (threshold = +inf).
+  // Prefer NEV on (floating-point) ties: a finite threshold that equals the
+  // mean in double precision is the same strategy, and +inf states the
+  // intent (memoryless laws tie exactly).
+  const double nev = law.mean();
+  AverageCaseOptimum out;
+  if (std::isfinite(nev) && nev <= best_g) {
+    out.threshold = std::numeric_limits<double>::infinity();
+    out.expected_cost = nev;
+  } else {
+    out.threshold = best_x;
+    out.expected_cost = best_g;
+  }
+  const double offline = expected_offline_cost(law, break_even);
+  out.expected_cr = offline > 0.0 ? out.expected_cost / offline : 1.0;
+  return out;
+}
+
+}  // namespace idlered::analysis

@@ -1,0 +1,43 @@
+// Average-case analysis with a fully known stop-length distribution —
+// the Fujiwara & Iwama setting the paper contrasts itself against.
+//
+// When q(y) is known exactly (not just two moments of it), the best
+// deterministic threshold minimizes
+//
+//   g(x) = E[cost_online(x, y)]
+//        = integral_0^x y q(y) dy + P{y >= x} (x + B)
+//        = partial_expectation(x) + tail_probability(x) * (x + B)
+//
+// over x in [0, +inf]; x = +inf is NEV (never turn off). This module
+// computes g, finds the optimum, and provides the classic closed-form
+// answers for the exponential law (all-or-nothing by memorylessness) that
+// tests validate against.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace idlered::analysis {
+
+/// g(x): exact expected online cost of the fixed threshold x against `law`.
+double expected_cost_at_threshold(const dist::StopLengthDistribution& law,
+                                  double threshold, double break_even);
+
+struct AverageCaseOptimum {
+  double threshold = 0.0;      ///< best x; +inf means "never turn off"
+  double expected_cost = 0.0;  ///< g at the optimum
+  double expected_cr = 0.0;    ///< vs E[cost_offline] under the same law
+};
+
+/// Global search over [0, search_horizon * B] plus the NEV endpoint.
+/// g is piecewise-smooth but not unimodal in general, so the search scans a
+/// grid and polishes the best bracket with golden-section.
+AverageCaseOptimum optimal_threshold(const dist::StopLengthDistribution& law,
+                                     double break_even,
+                                     double search_horizon = 20.0,
+                                     int grid = 400);
+
+/// Expected offline cost under a known law: mu_B- + q_B+ B.
+double expected_offline_cost(const dist::StopLengthDistribution& law,
+                             double break_even);
+
+}  // namespace idlered::analysis

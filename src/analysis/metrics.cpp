@@ -1,0 +1,54 @@
+#include "analysis/metrics.h"
+
+#include <stdexcept>
+
+#include "core/costs.h"
+#include "util/math.h"
+
+namespace idlered::analysis {
+
+double expected_ratio_cr(const core::Policy& policy,
+                         const std::vector<double>& stops) {
+  const double b = policy.break_even();
+  double sum = 0.0;
+  std::size_t used = 0;
+  for (double y : stops) {
+    if (y <= 0.0) continue;
+    sum += policy.expected_cost(y) / core::offline_cost(y, b);
+    ++used;
+  }
+  if (used == 0)
+    throw std::invalid_argument("expected_ratio_cr: no positive stops");
+  return sum / static_cast<double>(used);
+}
+
+double expected_ratio_cr(const core::Policy& policy,
+                         const dist::StopLengthDistribution& law,
+                         double quadrature_tol) {
+  const double b = policy.break_even();
+  // Short range: integrate the per-stop ratio against the density. The
+  // integrand can blow up as y -> 0 for policies with an atom at 0 (TOI);
+  // the paper's 0+ limit excludes that point, and for laws with q(0) -> 0
+  // the integral converges; start just above 0.
+  const double lo = 1e-6 * b;
+  const double short_part = util::integrate(
+      [&](double y) {
+        return policy.expected_cost(y) / core::offline_cost(y, b) *
+               law.pdf(y);
+      },
+      lo, b, quadrature_tol);
+  // Long stops: for y >= B the offline cost is B and every policy supported
+  // on [0, B] has a constant expected cost there.
+  const double long_part =
+      law.tail_probability(b) * policy.expected_cost(2.0 * b) / b;
+  return short_part + long_part;
+}
+
+double mom_rand_cr_prime_bound(double mu, double break_even) {
+  core::require_valid_break_even(break_even);
+  if (mu < 0.0)
+    throw std::invalid_argument("mom_rand_cr_prime_bound: mu must be >= 0");
+  return 1.0 + mu / (2.0 * break_even * (util::kE - 2.0));
+}
+
+}  // namespace idlered::analysis

@@ -1,0 +1,36 @@
+// Alternative competitive metrics.
+//
+// The paper evaluates with the expected competitive ratio CR (eq. 5,
+// ratio-of-expectations); the related MOM-Rand work of Khanafer et al.
+// optimizes CR' (eq. 8, expectation-of-ratios). The two orderings can
+// disagree; this module computes CR' for traces and distributions so the
+// ablation benches can compare both, and provides the published MOM-Rand
+// CR' bound for validation.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.h"
+#include "dist/distribution.h"
+
+namespace idlered::analysis {
+
+/// Trace-level CR' (eq. 8): mean over stops of
+/// E_x[cost_online(x, y_i)] / cost_offline(y_i). Stops of length 0 are
+/// skipped (the ratio is undefined there, matching the 0+ lower limits of
+/// the paper's integrals). Throws if no usable stop exists.
+double expected_ratio_cr(const core::Policy& policy,
+                         const std::vector<double>& stops);
+
+/// Distribution-level CR' by adaptive quadrature over the short range plus
+/// the analytic long-stop lump (every policy's expected cost is constant in
+/// y for y >= B, and offline cost is B there).
+double expected_ratio_cr(const core::Policy& policy,
+                         const dist::StopLengthDistribution& law,
+                         double quadrature_tol = 1e-8);
+
+/// Khanafer et al.'s bound for the revised MOM-Rand density:
+/// CR' <= 1 + mu / (2 B (e - 2)), valid when mu <= 2(e-2)/(e-1) B.
+double mom_rand_cr_prime_bound(double mu, double break_even);
+
+}  // namespace idlered::analysis

@@ -1,0 +1,134 @@
+#include "analysis/minimax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/adversary.h"
+#include "core/analytic.h"
+#include "core/costs.h"
+#include "core/decision_distribution.h"
+#include "lp/simplex.h"
+#include "util/math.h"
+
+namespace idlered::analysis {
+
+namespace {
+
+/// Build the designer's policy object from grid masses (drops zero-mass
+/// thresholds to keep the atom list short).
+core::DecisionDistribution make_policy(double break_even,
+                                       const std::vector<double>& grid,
+                                       const std::vector<double>& masses) {
+  std::vector<core::DecisionDistribution::Atom> atoms;
+  double total = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (masses[i] > 1e-12) {
+      atoms.push_back({grid[i], masses[i]});
+      total += masses[i];
+    }
+  }
+  // Renormalize away LP round-off.
+  for (auto& a : atoms) a.mass /= total;
+  return core::DecisionDistribution(break_even, std::move(atoms), 0.0);
+}
+
+}  // namespace
+
+MinimaxResult solve_minimax(const dist::ShortStopStats& stats,
+                            double break_even,
+                            const MinimaxOptions& options) {
+  if (!stats.feasible(break_even))
+    throw std::invalid_argument("solve_minimax: infeasible statistics");
+  if (options.threshold_grid < 4)
+    throw std::invalid_argument("solve_minimax: threshold grid too small");
+
+  // Designer grid over [0, B]; include b* so the known optimum is exactly
+  // representable.
+  std::vector<double> grid =
+      util::linspace(0.0, break_even, options.threshold_grid);
+  if (core::b_det_feasible(stats, break_even)) {
+    grid.push_back(core::b_det_optimal_threshold(stats, break_even));
+    std::sort(grid.begin(), grid.end());
+  }
+  const std::size_t n = grid.size();
+
+  AdversaryOptions adv_opt;
+  adv_opt.grid_short = options.adversary_grid_short;
+  adv_opt.grid_long = options.adversary_grid_long;
+  // Align the adversary with the designer's threshold grid: the cost
+  // function jumps exactly at each threshold, and the worst case places
+  // mass right on those jumps.
+  adv_opt.extra_short_points = grid;
+
+  // Adversary support pool: each entry is a finite distribution in Q.
+  std::vector<std::vector<AdversaryResult::Atom>> pool;
+  {
+    // Seed with the best response to the uniform designer mix.
+    std::vector<double> uniform(n, 1.0 / static_cast<double>(n));
+    const auto seed = worst_case_adversary(
+        make_policy(break_even, grid, uniform), stats, adv_opt);
+    pool.push_back(seed.atoms);
+  }
+
+  MinimaxResult result;
+  std::vector<double> masses(n, 1.0 / static_cast<double>(n));
+  double designer_value = 0.0;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Designer LP: variables P_1..P_n, t; minimize t subject to
+    //   sum_i E_{q_hat}[cost(x_i, y)] P_i - t <= 0 for each pooled q_hat,
+    //   sum_i P_i = 1.
+    lp::Problem designer;
+    designer.objective.assign(n + 1, 0.0);
+    designer.objective[n] = 1.0;
+    for (const auto& q_hat : pool) {
+      std::vector<double> row(n + 1, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        double coeff = 0.0;
+        for (const auto& atom : q_hat) {
+          coeff += atom.probability *
+                   core::online_cost(grid[i], atom.stop_length, break_even);
+        }
+        row[i] = coeff;
+      }
+      row[n] = -1.0;
+      designer.add_constraint(row, lp::Sense::kLessEqual, 0.0);
+    }
+    std::vector<double> ones(n + 1, 1.0);
+    ones[n] = 0.0;
+    designer.add_constraint(ones, lp::Sense::kEqual, 1.0);
+
+    const lp::Solution sol = lp::solve(designer);
+    if (!sol.optimal())
+      throw std::runtime_error("solve_minimax: designer LP " +
+                               lp::to_string(sol.status));
+    masses.assign(sol.x.begin(), sol.x.begin() + static_cast<long>(n));
+    designer_value = sol.x[n];
+
+    // Adversary oracle against the current designer mix.
+    const auto policy = make_policy(break_even, grid, masses);
+    const auto response = worst_case_adversary(policy, stats, adv_opt);
+    result.value = response.expected_cost;
+
+    if (response.expected_cost <=
+        designer_value * (1.0 + options.tolerance) + 1e-12) {
+      result.converged = true;
+      break;
+    }
+    pool.push_back(response.atoms);
+  }
+
+  const double offline = stats.expected_offline_cost(break_even);
+  result.cr = offline > 0.0 ? result.value / offline : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (masses[i] > 1e-6) {
+      result.strategy.push_back({grid[i], masses[i]});
+    }
+  }
+  return result;
+}
+
+}  // namespace idlered::analysis

@@ -1,0 +1,59 @@
+// Numeric solution of the constrained ski-rental minimax problem (eq. 16)
+// by a double-oracle / cutting-plane loop — deriving the optimal online
+// strategy *without* the paper's closed-form analysis, as an independent
+// check of Section 4.
+//
+// The game: the designer picks a distribution P over thresholds x in [0, B]
+// (discretized); the adversary picks a stop-length distribution q in
+// Q(mu_B-, q_B+). Payoff: expected online cost (eq. 15).
+//
+//   repeat:
+//     1. designer LP: given the finite adversary support Y_hat, minimize t
+//        s.t. sum_x cost(x, y) P(x) <= t for every y in Y_hat,
+//             sum_x P(x) q-weights consistent — handled by the adversary's
+//             mixture, see .cpp — P a probability vector;
+//     2. adversary oracle: solve the full worst-case LP (analysis/adversary)
+//        against the current P; if its value exceeds t, add the new
+//        adversary atoms to Y_hat and repeat.
+//
+// At convergence the designer's value equals the paper's closed-form
+// optimum min over {TOI, DET, b-DET, N-Rand} (tests assert this across the
+// statistics plane), and the recovered P(x) concentrates the way eq. (18)
+// predicts (atoms at 0 / b* / B or the exponential continuous shape).
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace idlered::analysis {
+
+struct MinimaxOptions {
+  int threshold_grid = 120;   ///< designer grid points over [0, B]
+  int max_iterations = 60;    ///< double-oracle rounds
+  double tolerance = 1e-5;    ///< relative convergence gap
+  int adversary_grid_short = 400;
+  int adversary_grid_long = 40;
+};
+
+struct MinimaxResult {
+  double value = 0.0;  ///< worst-case expected online cost of the optimum
+  double cr = 0.0;     ///< divided by the expected offline cost
+  bool converged = false;
+  int iterations = 0;
+  /// The designer's mixed strategy over thresholds (grid points with
+  /// positive probability).
+  struct ThresholdMass {
+    double threshold = 0.0;
+    double probability = 0.0;
+  };
+  std::vector<ThresholdMass> strategy;
+};
+
+/// Solve the minimax game for the given statistics. Throws on infeasible
+/// statistics.
+MinimaxResult solve_minimax(const dist::ShortStopStats& stats,
+                            double break_even,
+                            const MinimaxOptions& options = {});
+
+}  // namespace idlered::analysis

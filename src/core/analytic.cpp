@@ -1,0 +1,152 @@
+#include "core/analytic.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/costs.h"
+#include "util/math.h"
+
+namespace idlered::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void require_feasible(const dist::ShortStopStats& s, double break_even) {
+  require_valid_break_even(break_even);
+  if (!s.feasible(break_even))
+    throw std::invalid_argument(
+        "ShortStopStats infeasible: need 0 <= q <= 1 and mu <= B(1-q)");
+}
+
+double offline(const dist::ShortStopStats& s, double break_even) {
+  return s.expected_offline_cost(break_even);
+}
+
+}  // namespace
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kToi: return "TOI";
+    case Strategy::kDet: return "DET";
+    case Strategy::kBDet: return "b-DET";
+    case Strategy::kNRand: return "N-Rand";
+  }
+  return "unknown";
+}
+
+double worst_case_cost_nrand(const dist::ShortStopStats& s,
+                             double break_even) {
+  require_feasible(s, break_even);
+  return util::kEOverEMinus1 * offline(s, break_even);
+}
+
+double worst_case_cost_toi(const dist::ShortStopStats& s, double break_even) {
+  require_feasible(s, break_even);
+  return break_even;
+}
+
+double worst_case_cost_det(const dist::ShortStopStats& s, double break_even) {
+  require_feasible(s, break_even);
+  return s.mu_b_minus + 2.0 * s.q_b_plus * break_even;
+}
+
+bool b_det_feasible(const dist::ShortStopStats& s, double break_even) {
+  require_feasible(s, break_even);
+  if (s.q_b_plus <= 0.0 || s.mu_b_minus <= 0.0) return false;
+  // Eq. (36): mu/B < (1-q)^2 / q  (ensures b* > mu / (1-q), i.e. the
+  // adversary cannot force every stop to reach b*).
+  const double lhs = s.mu_b_minus / break_even;
+  const double rhs =
+      (1.0 - s.q_b_plus) * (1.0 - s.q_b_plus) / s.q_b_plus;
+  if (!(lhs < rhs)) return false;
+  // b* must also lie strictly inside (0, B); b* >= B degenerates to DET.
+  return b_det_optimal_threshold(s, break_even) < break_even;
+}
+
+double b_det_optimal_threshold(const dist::ShortStopStats& s,
+                               double break_even) {
+  require_feasible(s, break_even);
+  if (s.q_b_plus <= 0.0)
+    throw std::invalid_argument("b_det_optimal_threshold: q_B_plus must be > 0");
+  return std::sqrt(s.mu_b_minus * break_even / s.q_b_plus);
+}
+
+double worst_case_cost_b_det(const dist::ShortStopStats& s,
+                             double break_even) {
+  if (!b_det_feasible(s, break_even)) return kInf;
+  const double root =
+      std::sqrt(s.mu_b_minus) + std::sqrt(s.q_b_plus * break_even);
+  return root * root;  // eq. (35)
+}
+
+double worst_case_cost_b_det_at(const dist::ShortStopStats& s,
+                                double break_even, double b) {
+  require_feasible(s, break_even);
+  if (!(b > 0.0) || b > break_even)
+    throw std::invalid_argument("worst_case_cost_b_det_at: need 0 < b <= B");
+  // The adversary needs q2 = mu/b <= 1 - q to place the short mass at b;
+  // otherwise it can force the policy to pay b + B on (almost) every stop.
+  if (s.mu_b_minus / b + s.q_b_plus > 1.0 + 1e-12) return b + break_even;
+  return (b + break_even) * (s.mu_b_minus / b + s.q_b_plus);
+}
+
+StrategyChoice choose_strategy(const dist::ShortStopStats& s,
+                               double break_even) {
+  require_feasible(s, break_even);
+
+  StrategyChoice best;
+  best.strategy = Strategy::kToi;
+  best.expected_cost = worst_case_cost_toi(s, break_even);
+
+  const double det = worst_case_cost_det(s, break_even);
+  if (det < best.expected_cost) {
+    best.strategy = Strategy::kDet;
+    best.expected_cost = det;
+  }
+
+  const double bdet = worst_case_cost_b_det(s, break_even);
+  if (bdet < best.expected_cost) {
+    best.strategy = Strategy::kBDet;
+    best.expected_cost = bdet;
+    best.b = b_det_optimal_threshold(s, break_even);
+  }
+
+  const double nrand = worst_case_cost_nrand(s, break_even);
+  if (nrand < best.expected_cost) {
+    best.strategy = Strategy::kNRand;
+    best.expected_cost = nrand;
+    best.b = 0.0;
+  }
+
+  const double off = offline(s, break_even);
+  best.cr = off > 0.0 ? best.expected_cost / off : 1.0;
+  return best;
+}
+
+namespace {
+double cr_of(double cost, const dist::ShortStopStats& s, double break_even) {
+  const double off = s.expected_offline_cost(break_even);
+  if (off <= 0.0) return cost <= 0.0 ? 1.0 : kInf;
+  return cost / off;
+}
+}  // namespace
+
+double worst_case_cr_nrand(const dist::ShortStopStats& s, double break_even) {
+  return cr_of(worst_case_cost_nrand(s, break_even), s, break_even);
+}
+
+double worst_case_cr_toi(const dist::ShortStopStats& s, double break_even) {
+  return cr_of(worst_case_cost_toi(s, break_even), s, break_even);
+}
+
+double worst_case_cr_det(const dist::ShortStopStats& s, double break_even) {
+  return cr_of(worst_case_cost_det(s, break_even), s, break_even);
+}
+
+double worst_case_cr_b_det(const dist::ShortStopStats& s, double break_even) {
+  return cr_of(worst_case_cost_b_det(s, break_even), s, break_even);
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,71 @@
+// Worst-case analysis of the constrained ski-rental problem, Sections 3-4.
+//
+// Given the side information (mu_B_minus, q_B_plus), the adversary may pick
+// any stop-length distribution q(y) consistent with it (the class Q, eq. 12).
+// Each candidate strategy then has a *worst-case expected online cost* over
+// Q; the paper shows (Section 4.4) the optimal mixture concentrates on one
+// of four vertices, and the proposed algorithm simply picks the vertex with
+// the smallest worst-case expected cost:
+//
+//   N-Rand :  e/(e-1) * (mu + q B)
+//   TOI    :  B
+//   DET    :  mu + 2 q B
+//   b-DET  :  (sqrt(mu) + sqrt(q B))^2   at b* = sqrt(mu B / q),
+//             feasible iff mu/B < (1 - q)^2 / q and b* < B  (eq. 36)
+//
+// The worst-case CR divides by the expected offline cost mu + q B (eq. 13).
+#pragma once
+
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace idlered::core {
+
+enum class Strategy { kToi, kDet, kBDet, kNRand };
+
+std::string to_string(Strategy s);
+
+/// Worst-case expected online cost of each vertex strategy over the
+/// distribution class Q(mu_B_minus, q_B_plus). Throws std::invalid_argument
+/// if the statistics are infeasible for the given B.
+double worst_case_cost_nrand(const dist::ShortStopStats& s, double break_even);
+double worst_case_cost_toi(const dist::ShortStopStats& s, double break_even);
+double worst_case_cost_det(const dist::ShortStopStats& s, double break_even);
+
+/// b-DET support. The optimal threshold is b* = sqrt(mu B / q); the vertex
+/// is usable only when (36) holds *and* b* lies strictly inside (0, B).
+bool b_det_feasible(const dist::ShortStopStats& s, double break_even);
+double b_det_optimal_threshold(const dist::ShortStopStats& s,
+                               double break_even);
+/// Worst-case expected cost at b*; +infinity when infeasible (so the vertex
+/// never wins the minimum).
+double worst_case_cost_b_det(const dist::ShortStopStats& s, double break_even);
+
+/// Worst-case expected cost of an arbitrary fixed threshold b in (0, B],
+/// eq. (34) before optimizing b: (b + B)(mu/b + q), clamped by validity.
+/// Exposed for the ablation that sweeps b around b*.
+double worst_case_cost_b_det_at(const dist::ShortStopStats& s,
+                                double break_even, double b);
+
+/// The proposed algorithm's selection: the vertex with the smallest
+/// worst-case expected cost (ties broken TOI < DET < b-DET < N-Rand, i.e.
+/// toward simpler deterministic rules).
+struct StrategyChoice {
+  Strategy strategy = Strategy::kNRand;
+  double expected_cost = 0.0;  ///< worst-case expected online cost
+  double cr = 0.0;             ///< worst-case CR = cost / (mu + q B)
+  double b = 0.0;              ///< b* when strategy == kBDet, else unused
+};
+
+StrategyChoice choose_strategy(const dist::ShortStopStats& s,
+                               double break_even);
+
+/// Worst-case CR of each fixed strategy (used by Figures 1-2, 5-6):
+/// cost / (mu + q B). For TOI this is B / (mu + q B), etc.
+double worst_case_cr_nrand(const dist::ShortStopStats& s, double break_even);
+double worst_case_cr_toi(const dist::ShortStopStats& s, double break_even);
+double worst_case_cr_det(const dist::ShortStopStats& s, double break_even);
+double worst_case_cr_b_det(const dist::ShortStopStats& s, double break_even);
+
+}  // namespace idlered::core

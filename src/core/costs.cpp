@@ -1,0 +1,34 @@
+#include "core/costs.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace idlered::core {
+
+double offline_cost(double y, double break_even) {
+  if (y < 0.0) throw std::invalid_argument("offline_cost: y must be >= 0");
+  return y < break_even ? y : break_even;
+}
+
+double online_cost(double x, double y, double break_even) {
+  if (y < 0.0) throw std::invalid_argument("online_cost: y must be >= 0");
+  if (x < 0.0) throw std::invalid_argument("online_cost: x must be >= 0");
+  return y < x ? y : x + break_even;
+}
+
+double competitive_ratio(double x, double y, double break_even) {
+  const double off = offline_cost(y, break_even);
+  const double on = online_cost(x, y, break_even);
+  if (off == 0.0) {
+    return on == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return on / off;
+}
+
+void require_valid_break_even(double break_even) {
+  if (!(break_even > 0.0) || !std::isfinite(break_even))
+    throw std::invalid_argument("break-even interval must be finite and > 0");
+}
+
+}  // namespace idlered::core

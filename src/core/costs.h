@@ -1,0 +1,32 @@
+// Cost primitives of the idling-reduction ski-rental problem,
+// Section 2.1 of the paper (equations 2-4).
+//
+// All costs are expressed in idle-second equivalents: idling for one second
+// costs 1, restarting the engine costs B (the break-even interval).
+#pragma once
+
+namespace idlered::core {
+
+/// Optimal offline cost for a stop of known length y (eq. 2):
+/// idle through short stops, shut off immediately for long ones.
+///   cost_offline(y) = y      if 0 <= y < B
+///                   = B      if y >= B
+double offline_cost(double y, double break_even);
+
+/// Online cost when the controller waits until threshold x before shutting
+/// the engine off (eq. 3):
+///   cost_online(x, y) = y        if y < x   (the stop ended first)
+///                     = x + B    if y >= x  (idled x, then paid a restart)
+double online_cost(double x, double y, double break_even);
+
+/// Pointwise competitive ratio cr(x, y) = cost_online / cost_offline (eq. 4).
+/// For y == 0 the offline cost vanishes; cr is defined as 1 if the online
+/// cost is also 0 (x > 0 means the engine never shut off during a
+/// zero-length stop) and +infinity otherwise.
+double competitive_ratio(double x, double y, double break_even);
+
+/// Validates a break-even interval (must be finite and > 0); throws
+/// std::invalid_argument otherwise. Shared by all policy constructors.
+void require_valid_break_even(double break_even);
+
+}  // namespace idlered::core

@@ -1,0 +1,119 @@
+#include "core/crand.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/costs.h"
+#include "util/math.h"
+
+namespace idlered::core {
+
+CRandPolicy::CRandPolicy(double break_even, double c)
+    : Policy(break_even), c_(c), kappa_(0.0) {
+  if (!(c > 0.0) || c > break_even)
+    throw std::invalid_argument("CRandPolicy: need 0 < c <= B");
+  const double ec = std::exp(c / break_even);
+  kappa_ = ec / (ec - 1.0);
+}
+
+double CRandPolicy::pdf(double x) const {
+  if (x < 0.0 || x > c_) return 0.0;
+  const double b = break_even();
+  return std::exp(x / b) / (b * (std::exp(c_ / b) - 1.0));
+}
+
+double CRandPolicy::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= c_) return 1.0;
+  const double b = break_even();
+  return (std::exp(x / b) - 1.0) / (std::exp(c_ / b) - 1.0);
+}
+
+double CRandPolicy::expected_cost(double y) const {
+  if (y < 0.0) throw std::invalid_argument("expected_cost: y must be >= 0");
+  // Equalizer over the truncated support: integrating eq. (19) with the
+  // density e^{x/B}/(B(e^{c/B}-1)) on [0, c] gives kappa * y for y <= c
+  // and the constant kappa * c for y >= c (all thresholds have fired).
+  return kappa_ * std::min(y, c_);
+}
+
+double CRandPolicy::sample_threshold(util::Rng& rng) const {
+  const double b = break_even();
+  const double u = rng.uniform();
+  return b * std::log(1.0 + u * (std::exp(c_ / b) - 1.0));
+}
+
+PolicyPtr make_c_rand(double break_even, double c) {
+  return std::make_shared<CRandPolicy>(break_even, c);
+}
+
+double worst_case_cost_c_rand(const dist::ShortStopStats& stats,
+                              double break_even, double c) {
+  require_valid_break_even(break_even);
+  if (!stats.feasible(break_even))
+    throw std::invalid_argument("worst_case_cost_c_rand: infeasible stats");
+  if (!(c > 0.0) || c > break_even)
+    throw std::invalid_argument("worst_case_cost_c_rand: need 0 < c <= B");
+  const double ec = std::exp(c / break_even);
+  const double kappa = ec / (ec - 1.0);
+  // Worst adversary maximizes E[min(y, c)]: short mass at c while the
+  // budget mu allows (mass mu/c), else all short mass pushed above c.
+  const double short_part =
+      std::min(stats.mu_b_minus, c * (1.0 - stats.q_b_plus));
+  return kappa * (short_part + stats.q_b_plus * c);
+}
+
+double c_rand_optimal_truncation(const dist::ShortStopStats& stats,
+                                 double break_even) {
+  require_valid_break_even(break_even);
+  if (!stats.feasible(break_even))
+    throw std::invalid_argument("c_rand_optimal_truncation: infeasible");
+  // The closed form is piecewise (the short-mass term switches branch at
+  // c = mu/(1-q)) and not globally unimodal: scan a grid, then polish the
+  // best bracket with golden-section.
+  const double lo = 1e-6 * break_even;
+  auto f = [&](double c) {
+    return worst_case_cost_c_rand(stats, break_even, c);
+  };
+  const int grid = 400;
+  double best_c = break_even;
+  double best_f = f(break_even);
+  for (double c : util::linspace(lo, break_even, grid)) {
+    const double v = f(c);
+    if (v < best_f) {
+      best_f = v;
+      best_c = c;
+    }
+  }
+  const double step = (break_even - lo) / (grid - 1);
+  const double c_star = util::minimize_golden(
+      f, std::max(lo, best_c - step), std::min(break_even, best_c + step),
+      1e-10 * break_even);
+  const double winner = f(c_star) <= best_f ? c_star : best_c;
+  // Prefer the exact N-Rand endpoint when it is as good (within round-off):
+  // keeps the classic regions reporting the classic strategy.
+  if (f(break_even) <= f(winner) * (1.0 + 1e-12)) return break_even;
+  return winner;
+}
+
+ExtendedChoice choose_strategy_extended(const dist::ShortStopStats& stats,
+                                        double break_even) {
+  ExtendedChoice out;
+  out.classic = choose_strategy(stats, break_even);
+  out.c = c_rand_optimal_truncation(stats, break_even);
+  const double c_rand_cost =
+      worst_case_cost_c_rand(stats, break_even, out.c);
+  if (c_rand_cost < out.classic.expected_cost - 1e-12) {
+    out.uses_c_rand = true;
+    out.expected_cost = c_rand_cost;
+  } else {
+    out.expected_cost = out.classic.expected_cost;
+  }
+  const double offline = stats.expected_offline_cost(break_even);
+  out.cr = offline > 0.0 ? out.expected_cost / offline : 1.0;
+  out.improvement = out.classic.expected_cost - out.expected_cost;
+  return out;
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,110 @@
+#include "core/decision_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/costs.h"
+#include "core/policies.h"
+#include "util/math.h"
+
+namespace idlered::core {
+
+DecisionDistribution::DecisionDistribution(double break_even,
+                                           std::vector<Atom> atoms,
+                                           double continuous_mass)
+    : Policy(break_even),
+      atoms_(std::move(atoms)),
+      continuous_mass_(continuous_mass) {
+  if (continuous_mass_ < -1e-12)
+    throw std::invalid_argument(
+        "DecisionDistribution: continuous mass must be >= 0");
+  continuous_mass_ = std::max(0.0, continuous_mass_);
+  double total = continuous_mass_;
+  for (const Atom& a : atoms_) {
+    if (a.mass < -1e-12)
+      throw std::invalid_argument("DecisionDistribution: negative atom mass");
+    if (a.threshold < 0.0 || a.threshold > break_even)
+      throw std::invalid_argument(
+          "DecisionDistribution: atoms must lie in [0, B] (Appendix A)");
+    total += a.mass;
+  }
+  if (!util::approx_equal(total, 1.0, 1e-9, 1e-9))
+    throw std::invalid_argument(
+        "DecisionDistribution: masses must sum to 1");
+  std::sort(atoms_.begin(), atoms_.end(),
+            [](const Atom& a, const Atom& b) {
+              return a.threshold < b.threshold;
+            });
+}
+
+double DecisionDistribution::expected_cost(double y) const {
+  if (y < 0.0) throw std::invalid_argument("expected_cost: y must be >= 0");
+  const double b = break_even();
+  double cost = 0.0;
+  for (const Atom& a : atoms_) {
+    if (a.mass > 0.0) cost += a.mass * online_cost(a.threshold, y, b);
+  }
+  if (continuous_mass_ > 0.0) {
+    // The continuous part is N-Rand-shaped, so its conditional expected
+    // cost equalizes at e/(e-1) * offline_cost(y).
+    cost += continuous_mass_ * util::kEOverEMinus1 * offline_cost(y, b);
+  }
+  return cost;
+}
+
+double DecisionDistribution::sample_threshold(util::Rng& rng) const {
+  double u = rng.uniform();
+  for (const Atom& a : atoms_) {
+    if (u < a.mass) return a.threshold;
+    u -= a.mass;
+  }
+  // Continuous component: N-Rand inverse CDF on the leftover uniform,
+  // renormalized to [0, 1).
+  const double v =
+      continuous_mass_ > 0.0 ? util::clamp(u / continuous_mass_, 0.0, 1.0)
+                             : 0.0;
+  return break_even() * std::log(1.0 + v * (util::kE - 1.0));
+}
+
+bool DecisionDistribution::deterministic() const {
+  if (continuous_mass_ > 0.0) return false;
+  int live_atoms = 0;
+  for (const Atom& a : atoms_) {
+    if (a.mass > 0.0) ++live_atoms;
+  }
+  return live_atoms <= 1;
+}
+
+double DecisionDistribution::cdf(double x) const {
+  double total = 0.0;
+  for (const Atom& a : atoms_) {
+    if (a.threshold <= x) total += a.mass;
+  }
+  if (continuous_mass_ > 0.0) {
+    const double b = break_even();
+    const double clamped = util::clamp(x, 0.0, b);
+    total += continuous_mass_ * (std::exp(clamped / b) - 1.0) /
+             (util::kE - 1.0);
+  }
+  return total;
+}
+
+DecisionDistribution DecisionDistribution::from_lp_solution(
+    double break_even, const LpStrategySolution& solution) {
+  std::vector<Atom> atoms;
+  if (solution.alpha > 0.0) atoms.push_back({0.0, solution.alpha});
+  if (solution.beta > 0.0) atoms.push_back({break_even, solution.beta});
+  if (solution.gamma > 0.0) atoms.push_back({solution.b, solution.gamma});
+  const double continuous =
+      1.0 - solution.alpha - solution.beta - solution.gamma;
+  return DecisionDistribution(break_even, std::move(atoms), continuous);
+}
+
+DecisionDistribution DecisionDistribution::optimal(
+    double break_even, const dist::ShortStopStats& stats) {
+  return from_lp_solution(break_even,
+                          solve_constrained_lp(stats, break_even));
+}
+
+}  // namespace idlered::core

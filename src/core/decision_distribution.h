@@ -1,0 +1,66 @@
+// The paper's generic solution format, eq. (18):
+//
+//   P(x) = p(x) + alpha delta(x - eps) + beta delta(x - B) + gamma delta(x - b)
+//
+// a mixed decision distribution over idle-wait thresholds: a continuous
+// density p(x) on [0, B] plus point masses at 0+ (TOI), at B (DET), and at
+// an interior b (b-DET). This module represents such objects explicitly —
+// atoms plus a scaled N-Rand-shaped continuous part — computes their exact
+// expected cost C(P, y) (eq. 19-20), samples thresholds, and builds the
+// optimal P(x) from a constrained-LP solution. The vertex solutions of
+// Section 4.4 are the special cases with all mass in one component; tests
+// verify the mixed object degenerates to each of them exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/solver_lp.h"
+
+namespace idlered::core {
+
+class DecisionDistribution final : public Policy {
+ public:
+  struct Atom {
+    double threshold = 0.0;  ///< x location in [0, B]
+    double mass = 0.0;       ///< probability, >= 0
+  };
+
+  /// `continuous_mass` rides on the N-Rand-shaped density
+  /// e^{x/B} / (B (e-1)), scaled to that mass — the shape eq. (29)-(30)
+  /// proves optimal for the continuous part. Masses must sum to 1.
+  DecisionDistribution(double break_even, std::vector<Atom> atoms,
+                       double continuous_mass);
+
+  std::string name() const override { return "Mixed-P(x)"; }
+
+  /// Exact expected cost, eq. (19)-(20): atoms contribute
+  /// online_cost(x_i, y) with weight m_i; the continuous part contributes
+  /// its closed-form equalizer value scaled by its mass.
+  double expected_cost(double y) const override;
+
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override;
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  double continuous_mass() const { return continuous_mass_; }
+
+  /// Total probability mass at threshold <= x (CDF of P).
+  double cdf(double x) const;
+
+  /// Build the optimal mixed distribution from an LP solution: alpha at
+  /// 0+, beta at B, gamma at b*, remainder on the continuous part.
+  static DecisionDistribution from_lp_solution(
+      double break_even, const LpStrategySolution& solution);
+
+  /// Build directly from statistics (solves the LP internally).
+  static DecisionDistribution optimal(double break_even,
+                                      const dist::ShortStopStats& stats);
+
+ private:
+  std::vector<Atom> atoms_;
+  double continuous_mass_;
+};
+
+}  // namespace idlered::core

@@ -1,0 +1,70 @@
+#include "core/estimator.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/costs.h"
+
+namespace idlered::core {
+
+StatsEstimator::StatsEstimator(double break_even) : break_even_(break_even) {
+  require_valid_break_even(break_even);
+}
+
+void StatsEstimator::observe(double stop_length) {
+  if (stop_length < 0.0)
+    throw std::invalid_argument("StatsEstimator: stop length must be >= 0");
+  ++n_;
+  if (stop_length >= break_even_) {
+    ++long_count_;
+  } else {
+    short_sum_ += stop_length;
+  }
+}
+
+dist::ShortStopStats StatsEstimator::stats() const {
+  if (n_ == 0) throw std::logic_error("StatsEstimator: no observations");
+  dist::ShortStopStats s;
+  s.mu_b_minus = short_sum_ / static_cast<double>(n_);
+  s.q_b_plus = static_cast<double>(long_count_) / static_cast<double>(n_);
+  return s;
+}
+
+DecayingStatsEstimator::DecayingStatsEstimator(double break_even,
+                                               double lambda)
+    : break_even_(break_even), lambda_(lambda) {
+  require_valid_break_even(break_even);
+  if (!(lambda > 0.0) || lambda > 1.0)
+    throw std::invalid_argument(
+        "DecayingStatsEstimator: lambda must be in (0, 1]");
+}
+
+void DecayingStatsEstimator::observe(double stop_length) {
+  if (stop_length < 0.0)
+    throw std::invalid_argument(
+        "DecayingStatsEstimator: stop length must be >= 0");
+  weight_ = lambda_ * weight_ + 1.0;
+  short_sum_ *= lambda_;
+  long_weight_ *= lambda_;
+  if (stop_length >= break_even_) {
+    long_weight_ += 1.0;
+  } else {
+    short_sum_ += stop_length;
+  }
+}
+
+dist::ShortStopStats DecayingStatsEstimator::stats() const {
+  if (weight_ <= 0.0)
+    throw std::logic_error("DecayingStatsEstimator: no observations");
+  dist::ShortStopStats s;
+  s.mu_b_minus = short_sum_ / weight_;
+  s.q_b_plus = long_weight_ / weight_;
+  return s;
+}
+
+double DecayingStatsEstimator::effective_window() const {
+  if (lambda_ >= 1.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (1.0 - lambda_);
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,70 @@
+// Online estimation of the side statistics (mu_B_minus, q_B_plus).
+//
+// The paper assumes the statistics are given; a deployed stop-start
+// controller must learn them from the vehicle's own stop history. This
+// module provides two estimators:
+//
+//  * StatsEstimator — running sample averages over the full history;
+//  * DecayingStatsEstimator — exponentially forgetting averages, so the
+//    controller adapts when traffic conditions drift (rush hour vs. night).
+//
+// Both feed ProposedPolicy; the ablation bench A2 quantifies how estimation
+// error affects the achieved CR.
+#pragma once
+
+#include <cstddef>
+
+#include "dist/distribution.h"
+
+namespace idlered::core {
+
+/// Full-history estimator:
+///   mu_B_minus ~= (1/n) sum y_i 1{y_i < B},  q_B_plus ~= #{y_i >= B} / n.
+class StatsEstimator {
+ public:
+  explicit StatsEstimator(double break_even);
+
+  void observe(double stop_length);
+
+  std::size_t count() const { return n_; }
+  bool has_observations() const { return n_ > 0; }
+
+  /// Current estimate; throws std::logic_error before any observation.
+  dist::ShortStopStats stats() const;
+
+  double break_even() const { return break_even_; }
+
+ private:
+  double break_even_;
+  std::size_t n_ = 0;
+  double short_sum_ = 0.0;
+  std::size_t long_count_ = 0;
+};
+
+/// Exponentially weighted estimator with per-observation decay factor
+/// `lambda` in (0, 1]: weight of an observation k stops in the past is
+/// lambda^k. lambda = 1 reproduces StatsEstimator exactly.
+class DecayingStatsEstimator {
+ public:
+  DecayingStatsEstimator(double break_even, double lambda);
+
+  void observe(double stop_length);
+
+  bool has_observations() const { return weight_ > 0.0; }
+  dist::ShortStopStats stats() const;
+
+  double break_even() const { return break_even_; }
+  double lambda() const { return lambda_; }
+
+  /// Effective sample size 1/(1-lambda) in steady state (inf for lambda=1).
+  double effective_window() const;
+
+ private:
+  double break_even_;
+  double lambda_;
+  double weight_ = 0.0;       ///< sum of weights
+  double short_sum_ = 0.0;    ///< weighted sum of short-stop lengths
+  double long_weight_ = 0.0;  ///< weighted count of long stops
+};
+
+}  // namespace idlered::core

@@ -1,0 +1,230 @@
+#include "core/multislope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace idlered::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MultislopeInstance::MultislopeInstance(std::vector<SlopeState> states)
+    : states_(std::move(states)) {
+  if (states_.size() < 2)
+    throw std::invalid_argument("MultislopeInstance: need >= 2 states");
+  if (states_.front().switch_cost != 0.0)
+    throw std::invalid_argument("MultislopeInstance: state 0 must be free");
+  if (!(states_.front().rate > 0.0))
+    throw std::invalid_argument("MultislopeInstance: state 0 rate must be > 0");
+  for (std::size_t i = 1; i < states_.size(); ++i) {
+    if (!(states_[i].switch_cost > states_[i - 1].switch_cost))
+      throw std::invalid_argument(
+          "MultislopeInstance: switch costs must increase");
+    if (!(states_[i].rate < states_[i - 1].rate) || states_[i].rate < 0.0)
+      throw std::invalid_argument(
+          "MultislopeInstance: rates must strictly decrease and stay >= 0");
+  }
+  breakpoints_.reserve(states_.size() - 1);
+  for (std::size_t i = 1; i < states_.size(); ++i) {
+    const double num = states_[i].switch_cost - states_[i - 1].switch_cost;
+    const double den = states_[i - 1].rate - states_[i].rate;
+    breakpoints_.push_back(num / den);
+  }
+  for (std::size_t i = 1; i < breakpoints_.size(); ++i) {
+    if (!(breakpoints_[i] > breakpoints_[i - 1]))
+      throw std::invalid_argument(
+          "MultislopeInstance: every state must appear on the lower "
+          "envelope (breakpoints must increase)");
+  }
+}
+
+double MultislopeInstance::offline_cost(double y) const {
+  if (y < 0.0)
+    throw std::invalid_argument("offline_cost: y must be >= 0");
+  double best = kInf;
+  for (const SlopeState& s : states_) {
+    best = std::min(best, s.switch_cost + s.rate * y);
+  }
+  return best;
+}
+
+std::size_t MultislopeInstance::offline_state(double y) const {
+  if (y < 0.0)
+    throw std::invalid_argument("offline_state: y must be >= 0");
+  std::size_t j = 0;
+  while (j < breakpoints_.size() && y >= breakpoints_[j]) ++j;
+  return j;
+}
+
+MultislopeInstance MultislopeInstance::classic(double break_even) {
+  return MultislopeInstance({{0.0, 1.0}, {break_even, 0.0}});
+}
+
+Schedule::Schedule(const MultislopeInstance& instance,
+                   std::vector<double> switch_times, std::string name)
+    : instance_(instance),
+      switch_times_(std::move(switch_times)),
+      name_(std::move(name)) {
+  if (switch_times_.size() != instance.num_states())
+    throw std::invalid_argument("Schedule: one switch time per state");
+  if (switch_times_.front() != 0.0)
+    throw std::invalid_argument("Schedule: state 0 starts at time 0");
+  for (std::size_t i = 1; i < switch_times_.size(); ++i) {
+    if (switch_times_[i] < switch_times_[i - 1])
+      throw std::invalid_argument("Schedule: switch times must not decrease");
+  }
+}
+
+double Schedule::online_cost(double y) const {
+  if (y < 0.0)
+    throw std::invalid_argument("online_cost: y must be >= 0");
+  // Deepest state entered by time y (y == t counts as entered, matching
+  // the classic convention cost(x, y) = x + B for y >= x).
+  std::size_t j = 0;
+  while (j + 1 < switch_times_.size() && switch_times_[j + 1] <= y) ++j;
+
+  double cost = instance_.state(j).switch_cost;
+  for (std::size_t i = 0; i < j; ++i) {
+    cost += instance_.state(i).rate *
+            (switch_times_[i + 1] - switch_times_[i]);
+  }
+  cost += instance_.state(j).rate * (y - switch_times_[j]);
+  return cost;
+}
+
+double Schedule::competitive_ratio(double y) const {
+  const double off = instance_.offline_cost(y);
+  const double on = online_cost(y);
+  if (off == 0.0) return on == 0.0 ? 1.0 : kInf;
+  return on / off;
+}
+
+double Schedule::worst_case_cr() const {
+  // Any state entered at time 0 with positive switch cost makes cr(0+)
+  // infinite (TOI-like schedules).
+  for (std::size_t i = 1; i < switch_times_.size(); ++i) {
+    if (switch_times_[i] == 0.0 &&
+        instance_.state(i).switch_cost > 0.0) {
+      return kInf;
+    }
+  }
+  // cr is piecewise-monotone between events (switch times and offline
+  // breakpoints); the supremum is attained at event points or in the limit
+  // y -> infinity.
+  std::vector<double> candidates;
+  for (double t : switch_times_) {
+    if (std::isfinite(t) && t > 0.0) {
+      candidates.push_back(t);
+      candidates.push_back(std::max(0.0, t - 1e-9));
+      candidates.push_back(t + 1e-9);
+    }
+  }
+  for (double bp : instance_.breakpoints()) {
+    candidates.push_back(bp);
+    candidates.push_back(bp * (1.0 + 1e-9));
+  }
+  candidates.push_back(1e-6);
+
+  double sup = 1.0;
+  for (double y : candidates) {
+    sup = std::max(sup, competitive_ratio(y));
+  }
+
+  // Tail behaviour: in the limit, the schedule sits in its deepest reached
+  // state and the offline optimum in the overall deepest state.
+  std::size_t deepest = 0;
+  for (std::size_t i = 0; i < switch_times_.size(); ++i) {
+    if (std::isfinite(switch_times_[i])) deepest = i;
+  }
+  const double r_mine = instance_.state(deepest).rate;
+  const double r_best = instance_.state(instance_.num_states() - 1).rate;
+  if (r_mine > 0.0 && r_best == 0.0) return kInf;  // NEV-like divergence
+  if (r_best > 0.0) sup = std::max(sup, r_mine / r_best);
+  // Large-but-finite probes to cover slow approaches to the asymptote.
+  const double far = 1e6 * (instance_.breakpoints().back() + 1.0);
+  sup = std::max(sup, competitive_ratio(far));
+  return sup;
+}
+
+Schedule envelope_follower(const MultislopeInstance& instance) {
+  std::vector<double> times{0.0};
+  for (double bp : instance.breakpoints()) times.push_back(bp);
+  return Schedule(instance, std::move(times), "envelope-DET");
+}
+
+Schedule immediate_deepest(const MultislopeInstance& instance) {
+  std::vector<double> times(instance.num_states(), 0.0);
+  return Schedule(instance, std::move(times), "immediate-TOI");
+}
+
+Schedule never_switch(const MultislopeInstance& instance) {
+  std::vector<double> times(instance.num_states(), kInf);
+  times[0] = 0.0;
+  return Schedule(instance, std::move(times), "never-NEV");
+}
+
+namespace {
+
+/// Density e^u / (e - 1) on [0, 1]; inverse CDF u(p) = ln(1 + p(e-1)).
+double draw_scale(util::Rng& rng) {
+  return std::log(1.0 + rng.uniform() * (util::kE - 1.0));
+}
+
+Schedule scaled_schedule(const MultislopeInstance& instance, double u) {
+  std::vector<double> times{0.0};
+  for (double bp : instance.breakpoints()) times.push_back(u * bp);
+  return Schedule(instance, std::move(times), "randomized-envelope");
+}
+
+}  // namespace
+
+Schedule randomized_envelope(const MultislopeInstance& instance,
+                             util::Rng& rng) {
+  return scaled_schedule(instance, draw_scale(rng));
+}
+
+double randomized_envelope_expected_cost(const MultislopeInstance& instance,
+                                         double y) {
+  return util::integrate(
+      [&](double u) {
+        const double density = std::exp(u) / (util::kE - 1.0);
+        return scaled_schedule(instance, u).online_cost(y) * density;
+      },
+      0.0, 1.0, 1e-9);
+}
+
+double randomized_envelope_worst_cr(const MultislopeInstance& instance) {
+  double sup = 1.0;
+  const auto& bps = instance.breakpoints();
+  std::vector<double> candidates{1e-4};
+  for (double bp : bps) {
+    for (double f : {0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0}) {
+      candidates.push_back(bp * f);
+    }
+  }
+  candidates.push_back(bps.back() * 10.0);
+  candidates.push_back(bps.back() * 100.0);
+  for (double y : candidates) {
+    const double off = instance.offline_cost(y);
+    if (off <= 0.0) continue;
+    sup = std::max(sup, randomized_envelope_expected_cost(instance, y) / off);
+  }
+  return sup;
+}
+
+MultislopeInstance three_state_vehicle(double hvac_rate,
+                                       double engine_off_cost,
+                                       double deep_off_cost) {
+  if (!(hvac_rate > 0.0) || hvac_rate >= 1.0)
+    throw std::invalid_argument("three_state_vehicle: hvac rate in (0, 1)");
+  return MultislopeInstance({{0.0, 1.0},
+                             {engine_off_cost, hvac_rate},
+                             {deep_off_cost, 0.0}});
+}
+
+}  // namespace idlered::core

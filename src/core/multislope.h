@@ -1,0 +1,129 @@
+// Multislope ski rental — the rent/lease/buy generalization the paper cites
+// (Lotker, Patt-Shamir, Rawitz), applied to vehicles with several shutdown
+// depths. A stop-start controller may have more options than on/off:
+//
+//   state 0: engine idling                (rate 1, no switch cost)
+//   state 1: engine off, HVAC on battery  (lower rate, small restart cost)
+//   state 2: deep off (all accessories)   (near-zero rate, full restart cost)
+//
+// Each state i has a cumulative switch-in cost b_i (restart included, in
+// idle-second equivalents) and a running rate r_i, with b increasing and r
+// decreasing. The offline optimum is the lower envelope min_i (b_i + r_i y).
+//
+// Strategies are *schedules*: the time at which the controller enters each
+// deeper state. Provided:
+//   - envelope_follower: enter state i when the offline envelope would —
+//     the DET generalization; provably <= 2-competitive (the rent paid
+//     along the envelope equals the offline cost, and the unpaid-for switch
+//     cost is at most the offline cost).
+//   - immediate_deepest: jump straight to the deepest state (TOI).
+//   - never_switch: stay idling (NEV).
+//   - randomized_envelope: scale the envelope breakpoints by a random
+//     factor u ~ e^u/(e-1) on [0,1] — reduces to N-Rand for two slopes;
+//     its CR is evaluated numerically (empirically below the deterministic
+//     2 on all tested instances).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace idlered::core {
+
+struct SlopeState {
+  double switch_cost = 0.0;  ///< cumulative b_i (idle-second equivalents)
+  double rate = 1.0;         ///< running cost per second r_i
+};
+
+class MultislopeInstance {
+ public:
+  /// States must start at (0, r_0) and have strictly increasing switch
+  /// costs and strictly decreasing nonnegative rates.
+  explicit MultislopeInstance(std::vector<SlopeState> states);
+
+  std::size_t num_states() const { return states_.size(); }
+  const SlopeState& state(std::size_t i) const { return states_.at(i); }
+
+  /// Offline optimum: min_i (b_i + r_i y).
+  double offline_cost(double y) const;
+
+  /// Offline-optimal state for a stop of known length y (lowest line).
+  std::size_t offline_state(double y) const;
+
+  /// Envelope breakpoints: y value at which state i overtakes state i-1 on
+  /// the lower envelope (size num_states() - 1, increasing). States that
+  /// never appear on the envelope yield collapsed (equal) breakpoints.
+  const std::vector<double>& breakpoints() const { return breakpoints_; }
+
+  /// The classic two-state ski-rental instance (idle vs off at cost B).
+  static MultislopeInstance classic(double break_even);
+
+ private:
+  std::vector<SlopeState> states_;
+  std::vector<double> breakpoints_;
+};
+
+/// A switching schedule: switch_times[i] is the absolute time the
+/// controller enters state i (switch_times[0] == 0; nondecreasing; +inf
+/// allowed, meaning the state is never entered).
+class Schedule {
+ public:
+  Schedule(const MultislopeInstance& instance,
+           std::vector<double> switch_times, std::string name);
+
+  /// Online cost for a stop of length y: rent accrued in each visited
+  /// state plus the cumulative switch cost of the deepest state entered.
+  double online_cost(double y) const;
+
+  /// Pointwise competitive ratio online/offline at y > 0.
+  double competitive_ratio(double y) const;
+
+  /// sup_y cr(y), evaluated at all switch times (and just before them),
+  /// breakpoints, and asymptotically; may be +inf (e.g. TOI near y = 0).
+  double worst_case_cr() const;
+
+  const std::vector<double>& switch_times() const { return switch_times_; }
+  const std::string& name() const { return name_; }
+
+  const MultislopeInstance& instance() const { return instance_; }
+
+ private:
+  MultislopeInstance instance_;  ///< by value: schedules outlive callers'
+                                 ///< temporaries (instances are tiny)
+  std::vector<double> switch_times_;
+  std::string name_;
+};
+
+/// DET generalization: enter state i at the envelope breakpoint.
+Schedule envelope_follower(const MultislopeInstance& instance);
+
+/// TOI generalization: enter the deepest state immediately.
+Schedule immediate_deepest(const MultislopeInstance& instance);
+
+/// NEV: never leave state 0.
+Schedule never_switch(const MultislopeInstance& instance);
+
+/// Draw a randomized schedule: breakpoints scaled by u ~ e^u/(e-1), u in
+/// [0,1] (inverse-CDF draw). For the classic two-state instance this is
+/// exactly N-Rand.
+Schedule randomized_envelope(const MultislopeInstance& instance,
+                             util::Rng& rng);
+
+/// Expected cost of the randomized envelope strategy for a stop of length
+/// y, by quadrature over u (exact to tolerance; no sampling noise).
+double randomized_envelope_expected_cost(const MultislopeInstance& instance,
+                                         double y);
+
+/// Worst-case expected CR of the randomized envelope strategy, by scanning
+/// y over breakpoint neighbourhoods and a tail grid.
+double randomized_envelope_worst_cr(const MultislopeInstance& instance);
+
+/// Vehicle-flavoured instance builder: idle + engine-off-with-HVAC +
+/// deep-off, parameterized by the two restart costs (idle-second
+/// equivalents) and the HVAC battery draw relative to idling.
+MultislopeInstance three_state_vehicle(double hvac_rate,
+                                       double engine_off_cost,
+                                       double deep_off_cost);
+
+}  // namespace idlered::core

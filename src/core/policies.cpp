@@ -1,0 +1,191 @@
+#include "core/policies.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/costs.h"
+#include "util/math.h"
+
+namespace idlered::core {
+
+using util::kE;
+
+// ------------------------------------------------------------ ThresholdPolicy
+
+ThresholdPolicy::ThresholdPolicy(double break_even, double threshold,
+                                 std::string name)
+    : Policy(break_even), threshold_(threshold), name_(std::move(name)) {
+  if (threshold < 0.0)
+    throw std::invalid_argument("ThresholdPolicy: threshold must be >= 0");
+}
+
+double ThresholdPolicy::expected_cost(double y) const {
+  if (y < 0.0) throw std::invalid_argument("expected_cost: y must be >= 0");
+  if (std::isinf(threshold_)) return y;  // NEV: idle through the whole stop
+  return online_cost(threshold_, y, break_even());
+}
+
+double ThresholdPolicy::sample_threshold(util::Rng& /*rng*/) const {
+  return threshold_;
+}
+
+PolicyPtr make_nev(double break_even) {
+  return std::make_shared<ThresholdPolicy>(
+      break_even, std::numeric_limits<double>::infinity(), "NEV");
+}
+
+PolicyPtr make_toi(double break_even) {
+  return std::make_shared<ThresholdPolicy>(break_even, 0.0, "TOI");
+}
+
+PolicyPtr make_det(double break_even) {
+  return std::make_shared<ThresholdPolicy>(break_even, break_even, "DET");
+}
+
+PolicyPtr make_b_det(double break_even, double b) {
+  if (!(b > 0.0) || b > break_even)
+    throw std::invalid_argument("make_b_det: need 0 < b <= B");
+  return std::make_shared<ThresholdPolicy>(break_even, b, "b-DET");
+}
+
+// ----------------------------------------------------------------- NRandPolicy
+
+NRandPolicy::NRandPolicy(double break_even) : Policy(break_even) {}
+
+double NRandPolicy::pdf(double x) const {
+  const double b = break_even();
+  if (x < 0.0 || x > b) return 0.0;
+  return std::exp(x / b) / (b * (kE - 1.0));
+}
+
+double NRandPolicy::cdf(double x) const {
+  const double b = break_even();
+  if (x <= 0.0) return 0.0;
+  if (x >= b) return 1.0;
+  return (std::exp(x / b) - 1.0) / (kE - 1.0);
+}
+
+double NRandPolicy::expected_cost(double y) const {
+  if (y < 0.0) throw std::invalid_argument("expected_cost: y must be >= 0");
+  // Equalizing property of the density e^{x/B}/(B(e-1)):
+  //   integral_0^y (x+B) P(x) dx + y integral_y^B P(x) dx
+  //     = e/(e-1) * y                        for y <= B
+  //   integral_0^B (x+B) P(x) dx = e/(e-1)*B for y >= B
+  // i.e. exactly e/(e-1) times the offline cost, for every y.
+  return util::kEOverEMinus1 * offline_cost(y, break_even());
+}
+
+double NRandPolicy::sample_threshold(util::Rng& rng) const {
+  // Inverse CDF: u = (e^{x/B} - 1)/(e - 1)  =>  x = B ln(1 + u(e-1)).
+  const double u = rng.uniform();
+  return break_even() * std::log(1.0 + u * (kE - 1.0));
+}
+
+PolicyPtr make_n_rand(double break_even) {
+  return std::make_shared<NRandPolicy>(break_even);
+}
+
+// --------------------------------------------------------------- MomRandPolicy
+
+double MomRandPolicy::mu_threshold(double break_even) {
+  return 2.0 * (kE - 2.0) / (kE - 1.0) * break_even;  // ~= 0.836 B
+}
+
+MomRandPolicy::MomRandPolicy(double break_even, double mu)
+    : Policy(break_even),
+      revised_(mu <= mu_threshold(break_even)),
+      fallback_(break_even) {
+  if (mu < 0.0) throw std::invalid_argument("MomRandPolicy: mu must be >= 0");
+}
+
+double MomRandPolicy::pdf(double x) const {
+  if (!revised_) return fallback_.pdf(x);
+  const double b = break_even();
+  if (x < 0.0 || x > b) return 0.0;
+  return (std::exp(x / b) - 1.0) / (b * (kE - 2.0));
+}
+
+double MomRandPolicy::cdf(double x) const {
+  if (!revised_) return fallback_.cdf(x);
+  const double b = break_even();
+  if (x <= 0.0) return 0.0;
+  if (x >= b) return 1.0;
+  return (b * (std::exp(x / b) - 1.0) - x) / (b * (kE - 2.0));
+}
+
+double MomRandPolicy::expected_cost(double y) const {
+  if (!revised_) return fallback_.expected_cost(y);
+  if (y < 0.0) throw std::invalid_argument("expected_cost: y must be >= 0");
+  const double b = break_even();
+  // For the density (e^{x/B} - 1)/(B(e-2)) and y <= B:
+  //   integral_0^y (x+B)(e^{x/B}-1) dx = B y e^{y/B} - y^2/2 - B y
+  //   y integral_y^B (e^{x/B}-1) dx   = y (B e - B e^{y/B} - B + y)
+  // summing and dividing by B(e-2):
+  //   E[cost] = y (y/2 - 2B + B e) / (B (e - 2))
+  // For y >= B the first integral alone applies with y = B:
+  //   E[cost] = B (e - 3/2) / (e - 2)
+  if (y <= b) {
+    return y * (0.5 * y - 2.0 * b + b * kE) / (b * (kE - 2.0));
+  }
+  return b * (kE - 1.5) / (kE - 2.0);
+}
+
+double MomRandPolicy::sample_threshold(util::Rng& rng) const {
+  if (!revised_) return fallback_.sample_threshold(rng);
+  // Numeric inverse of the revised CDF (strictly increasing on [0, B]).
+  const double u = rng.uniform();
+  const double b = break_even();
+  if (u <= 0.0) return 0.0;
+  if (u >= 1.0) return b;
+  return util::bisect([this, u](double x) { return cdf(x) - u; }, 0.0, b,
+                      1e-12 * b);
+}
+
+PolicyPtr make_mom_rand(double break_even, double mu) {
+  return std::make_shared<MomRandPolicy>(break_even, mu);
+}
+
+// ----------------------------------------------------- GenericRandomizedPolicy
+
+GenericRandomizedPolicy::GenericRandomizedPolicy(
+    double break_even, std::function<double(double)> pdf_on_0_b,
+    std::string name)
+    : Policy(break_even), pdf_(std::move(pdf_on_0_b)), name_(std::move(name)) {
+  if (!pdf_) throw std::invalid_argument("GenericRandomizedPolicy: null pdf");
+  norm_ = util::integrate(pdf_, 0.0, break_even, 1e-10);
+  if (!util::approx_equal(norm_, 1.0, 1e-6, 1e-6))
+    throw std::invalid_argument(
+        "GenericRandomizedPolicy: pdf must integrate to 1 over [0, B]");
+}
+
+double GenericRandomizedPolicy::cdf(double x) const {
+  const double b = break_even();
+  if (x <= 0.0) return 0.0;
+  if (x >= b) return 1.0;
+  return util::integrate(pdf_, 0.0, x, 1e-10) / norm_;
+}
+
+double GenericRandomizedPolicy::expected_cost(double y) const {
+  if (y < 0.0) throw std::invalid_argument("expected_cost: y must be >= 0");
+  const double b = break_even();
+  const double top = std::min(y, b);
+  // integral_0^min(y,B) (x+B) P(x) dx: stops where the policy shut off first.
+  const double shutoff_part = util::integrate(
+      [this, b](double x) { return (x + b) * pdf_(x); }, 0.0, top, 1e-10);
+  if (y >= b) return shutoff_part / norm_;
+  // integral_y^B P(x) dx: stops where the vehicle moved before the threshold.
+  const double survive_mass = util::integrate(pdf_, y, b, 1e-10);
+  return (shutoff_part + y * survive_mass) / norm_;
+}
+
+double GenericRandomizedPolicy::sample_threshold(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const double b = break_even();
+  if (u <= 0.0) return 0.0;
+  if (u >= 1.0) return b;
+  return util::bisect([this, u](double x) { return cdf(x) - u; }, 0.0, b,
+                      1e-10 * b);
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,124 @@
+// The concrete online strategies of the paper (Section 2.2 and Section 4):
+//
+//   NEV      never turn the engine off (threshold +inf)
+//   TOI      turn off immediately (threshold 0)
+//   DET      Karlin et al. deterministic: wait exactly B (2-competitive)
+//   b-DET    wait exactly b in (0, B) — the new vertex of the paper's LP
+//   N-Rand   Karlin et al. randomized, pdf e^{x/B} / (B(e-1)) on [0, B]
+//            (e/(e-1)-competitive in expectation, the "equalizer")
+//   MOM-Rand Khanafer et al. first-moment randomized,
+//            pdf (e^{x/B} - 1) / (B(e-2)) on [0, B] when mu <= 2(e-2)/(e-1) B,
+//            else identical to N-Rand
+//
+// All expected costs are closed-form (derivations in the .cpp); a generic
+// quadrature-based randomized policy is provided for arbitrary densities and
+// serves as the oracle the closed forms are tested against.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/policy.h"
+
+namespace idlered::core {
+
+/// Deterministic policy waiting exactly `threshold` seconds before shutting
+/// the engine off. threshold = 0 is TOI, threshold = B is DET, +inf is NEV.
+class ThresholdPolicy final : public Policy {
+ public:
+  ThresholdPolicy(double break_even, double threshold, std::string name);
+
+  std::string name() const override { return name_; }
+  double expected_cost(double y) const override;
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override { return true; }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  std::string name_;
+};
+
+/// "Never turn the engine off" — the behaviour of drivers reluctant to stop
+/// the engine. Costs y on every stop; unbounded competitive ratio.
+PolicyPtr make_nev(double break_even);
+
+/// "Turn off immediately" — the naive SSV factory strategy. Costs B always.
+PolicyPtr make_toi(double break_even);
+
+/// Deterministic ski-rental strategy, wait until B. 2-competitive.
+PolicyPtr make_det(double break_even);
+
+/// Deterministic wait-until-b strategy for b in (0, B].
+PolicyPtr make_b_det(double break_even, double b);
+
+/// Karlin et al. randomized strategy (eq. 7). Its expected cost equalizes:
+/// E[cost] = e/(e-1) * cost_offline(y) for every y.
+class NRandPolicy final : public Policy {
+ public:
+  explicit NRandPolicy(double break_even);
+
+  std::string name() const override { return "N-Rand"; }
+  double expected_cost(double y) const override;
+  double sample_threshold(util::Rng& rng) const override;  ///< inverse CDF
+  bool deterministic() const override { return false; }
+
+  double pdf(double x) const;  ///< e^{x/B} / (B(e-1)) on [0, B]
+  double cdf(double x) const;
+};
+
+PolicyPtr make_n_rand(double break_even);
+
+/// Khanafer et al. first-moment randomized strategy (eq. 9). Falls back to
+/// N-Rand when the first moment mu exceeds 2(e-2)/(e-1) * B ~= 0.836 B.
+class MomRandPolicy final : public Policy {
+ public:
+  /// `mu` is the (full) first moment of the stop-length distribution.
+  MomRandPolicy(double break_even, double mu);
+
+  std::string name() const override { return "MOM-Rand"; }
+  double expected_cost(double y) const override;
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override { return false; }
+
+  /// True when mu was small enough for the revised density to apply.
+  bool revised() const { return revised_; }
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+
+  /// The activation threshold 2(e-2)/(e-1) * B of the revised density.
+  static double mu_threshold(double break_even);
+
+ private:
+  bool revised_;
+  NRandPolicy fallback_;
+};
+
+PolicyPtr make_mom_rand(double break_even, double mu);
+
+/// Generic randomized policy over an arbitrary density on [0, B]; expected
+/// costs by adaptive quadrature, sampling by numeric inverse CDF. Exists to
+/// cross-validate the closed-form policies and to experiment with custom
+/// densities.
+class GenericRandomizedPolicy final : public Policy {
+ public:
+  GenericRandomizedPolicy(double break_even,
+                          std::function<double(double)> pdf_on_0_b,
+                          std::string name);
+
+  std::string name() const override { return name_; }
+  double expected_cost(double y) const override;
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override { return false; }
+
+  double cdf(double x) const;
+
+ private:
+  std::function<double(double)> pdf_;
+  std::string name_;
+  double norm_;  ///< integral of pdf over [0, B]; must be ~1
+};
+
+}  // namespace idlered::core

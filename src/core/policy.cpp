@@ -1,0 +1,11 @@
+#include "core/policy.h"
+
+#include "core/costs.h"
+
+namespace idlered::core {
+
+Policy::Policy(double break_even) : break_even_(break_even) {
+  require_valid_break_even(break_even);
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,52 @@
+// The online-policy interface.
+//
+// A policy is a (possibly randomized) rule for choosing the idle-wait
+// threshold x at the start of each vehicle stop. Two evaluation modes are
+// exposed:
+//
+//  * expected_cost(y): the exact expected online cost E_x[cost_online(x, y)]
+//    for a stop of length y — eq. (19)/(20) of the paper. Deterministic
+//    policies return cost_online(x0, y). This is how the reproduction
+//    experiments evaluate randomized policies (no Monte-Carlo noise).
+//
+//  * sample_threshold(rng): draw one threshold, for trace-level simulation
+//    of a deployed controller (and as a cross-check of expected_cost).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+
+namespace idlered::core {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Short identifier used in tables ("TOI", "DET", "N-Rand", ...).
+  virtual std::string name() const = 0;
+
+  /// Exact expected online cost for a stop of length y >= 0.
+  virtual double expected_cost(double y) const = 0;
+
+  /// Draw a wait threshold for one stop. May be +infinity (NEV never
+  /// turns the engine off).
+  virtual double sample_threshold(util::Rng& rng) const = 0;
+
+  /// True if sample_threshold is deterministic (same x every stop).
+  virtual bool deterministic() const = 0;
+
+  /// The break-even interval this policy was built for.
+  double break_even() const { return break_even_; }
+
+ protected:
+  explicit Policy(double break_even);
+
+ private:
+  double break_even_;
+};
+
+using PolicyPtr = std::shared_ptr<const Policy>;
+
+}  // namespace idlered::core

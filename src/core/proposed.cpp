@@ -1,0 +1,58 @@
+#include "core/proposed.h"
+
+#include <stdexcept>
+
+#include "core/policies.h"
+
+namespace idlered::core {
+
+namespace {
+
+PolicyPtr build_delegate(double break_even, const StrategyChoice& choice) {
+  switch (choice.strategy) {
+    case Strategy::kToi: return make_toi(break_even);
+    case Strategy::kDet: return make_det(break_even);
+    case Strategy::kBDet: return make_b_det(break_even, choice.b);
+    case Strategy::kNRand: return make_n_rand(break_even);
+  }
+  throw std::logic_error("ProposedPolicy: unknown strategy");
+}
+
+}  // namespace
+
+ProposedPolicy::ProposedPolicy(double break_even,
+                               const dist::ShortStopStats& stats)
+    : Policy(break_even),
+      stats_(stats),
+      choice_(choose_strategy(stats, break_even)),
+      delegate_(build_delegate(break_even, choice_)) {}
+
+ProposedPolicy::ProposedPolicy(double break_even,
+                               const dist::StopLengthDistribution& q)
+    : ProposedPolicy(break_even,
+                     dist::ShortStopStats::from_distribution(q, break_even)) {}
+
+ProposedPolicy::ProposedPolicy(double break_even,
+                               const std::vector<double>& stop_sample)
+    : ProposedPolicy(
+          break_even,
+          dist::ShortStopStats::from_sample(stop_sample, break_even)) {}
+
+double ProposedPolicy::expected_cost(double y) const {
+  return delegate_->expected_cost(y);
+}
+
+double ProposedPolicy::sample_threshold(util::Rng& rng) const {
+  return delegate_->sample_threshold(rng);
+}
+
+bool ProposedPolicy::deterministic() const {
+  return delegate_->deterministic();
+}
+
+PolicyPtr make_proposed(double break_even,
+                        const dist::ShortStopStats& stats) {
+  return std::make_shared<ProposedPolicy>(break_even, stats);
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,46 @@
+// The paper's proposed online algorithm ("COA" — Cost-efficient Online
+// Algorithm). Given the side statistics (mu_B_minus, q_B_plus) it selects
+// the minimum-worst-case-cost vertex strategy (Section 4.4, Figure 1a) and
+// behaves as that strategy from then on.
+#pragma once
+
+#include "core/analytic.h"
+#include "core/policy.h"
+#include "dist/distribution.h"
+
+namespace idlered::core {
+
+class ProposedPolicy final : public Policy {
+ public:
+  /// Builds from explicit side statistics.
+  ProposedPolicy(double break_even, const dist::ShortStopStats& stats);
+
+  /// Convenience: derive the statistics from a stop-length distribution.
+  ProposedPolicy(double break_even, const dist::StopLengthDistribution& q);
+
+  /// Convenience: derive the statistics empirically from a stop sample
+  /// (what a deployed controller learns from the vehicle's history).
+  ProposedPolicy(double break_even, const std::vector<double>& stop_sample);
+
+  std::string name() const override { return "COA"; }
+  double expected_cost(double y) const override;
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override;
+
+  /// Which vertex strategy was selected and its worst-case guarantees.
+  const StrategyChoice& choice() const { return choice_; }
+  const dist::ShortStopStats& stats() const { return stats_; }
+
+  /// Worst-case CR guarantee of the selection (eq. 38 when b-DET wins).
+  double worst_case_cr() const { return choice_.cr; }
+
+ private:
+  dist::ShortStopStats stats_;
+  StrategyChoice choice_;
+  PolicyPtr delegate_;
+};
+
+/// Factory matching the make_* family of policies.h.
+PolicyPtr make_proposed(double break_even, const dist::ShortStopStats& stats);
+
+}  // namespace idlered::core

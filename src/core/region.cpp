@@ -1,0 +1,84 @@
+#include "core/region.h"
+
+#include <sstream>
+
+#include "util/math.h"
+
+namespace idlered::core {
+
+std::vector<RegionCell> compute_region_map(double break_even, int n_mu,
+                                           int n_q) {
+  std::vector<RegionCell> cells;
+  cells.reserve(static_cast<std::size_t>(n_mu) * static_cast<std::size_t>(n_q));
+  for (int i = 0; i < n_mu; ++i) {
+    const double mu_frac = (i + 0.5) / n_mu;
+    for (int j = 0; j < n_q; ++j) {
+      const double q = (j + 0.5) / n_q;
+      RegionCell cell;
+      cell.mu_fraction = mu_frac;
+      cell.q_b_plus = q;
+      dist::ShortStopStats s;
+      s.mu_b_minus = mu_frac * break_even;
+      s.q_b_plus = q;
+      cell.feasible = s.feasible(break_even);
+      if (cell.feasible) {
+        const StrategyChoice choice = choose_strategy(s, break_even);
+        cell.strategy = choice.strategy;
+        cell.cr = choice.cr;
+      }
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+std::vector<ProjectionPoint> compute_projection(double break_even,
+                                                double mu_fraction,
+                                                int n_points, double q_max) {
+  std::vector<ProjectionPoint> points;
+  points.reserve(static_cast<std::size_t>(n_points));
+  for (double q : util::linspace(q_max / n_points, q_max, n_points)) {
+    dist::ShortStopStats s;
+    s.mu_b_minus = mu_fraction * break_even;
+    s.q_b_plus = q;
+    if (!s.feasible(break_even)) continue;
+    ProjectionPoint p;
+    p.q_b_plus = q;
+    p.cr_nrand = worst_case_cr_nrand(s, break_even);
+    p.cr_toi = worst_case_cr_toi(s, break_even);
+    p.cr_det = worst_case_cr_det(s, break_even);
+    p.cr_b_det = worst_case_cr_b_det(s, break_even);
+    const StrategyChoice choice = choose_strategy(s, break_even);
+    p.cr_proposed = choice.cr;
+    p.winner = choice.strategy;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::string render_region_map(const std::vector<RegionCell>& cells, int n_mu,
+                              int n_q) {
+  auto symbol = [](const RegionCell& c) -> char {
+    if (!c.feasible) return '.';
+    switch (c.strategy) {
+      case Strategy::kToi: return 'T';
+      case Strategy::kDet: return 'D';
+      case Strategy::kBDet: return 'b';
+      case Strategy::kNRand: return 'N';
+    }
+    return '?';
+  };
+  std::ostringstream out;
+  out << "rows: q_B+ descending (top ~1), cols: mu_B-/B ascending (left ~0)\n";
+  for (int j = n_q - 1; j >= 0; --j) {
+    for (int i = 0; i < n_mu; ++i) {
+      out << symbol(cells[static_cast<std::size_t>(i) *
+                          static_cast<std::size_t>(n_q) +
+                          static_cast<std::size_t>(j)]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,51 @@
+// Strategy-region and worst-case-CR maps over the (mu_B_minus, q_B_plus)
+// plane — the machinery behind Figure 1 (selection regions + CR surface)
+// and Figure 2 (projected views at fixed mu_B_minus).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analytic.h"
+
+namespace idlered::core {
+
+/// One grid cell of the Figure-1 map.
+struct RegionCell {
+  double mu_fraction = 0.0;  ///< mu_B_minus / B
+  double q_b_plus = 0.0;
+  bool feasible = false;     ///< mu <= B (1 - q)
+  Strategy strategy = Strategy::kNRand;  ///< winner (valid when feasible)
+  double cr = 0.0;                       ///< proposed worst-case CR
+};
+
+/// Dense map over [0,1] x [0,1]; infeasible cells are flagged.
+/// `n_mu` x `n_q` cells, sampled at cell centers.
+std::vector<RegionCell> compute_region_map(double break_even, int n_mu,
+                                           int n_q);
+
+/// One point of a Figure-2 projection: worst-case CR of every strategy at a
+/// fixed mu_B_minus as q_B_plus varies.
+struct ProjectionPoint {
+  double q_b_plus = 0.0;
+  double cr_nrand = 0.0;
+  double cr_toi = 0.0;
+  double cr_det = 0.0;
+  double cr_b_det = 0.0;  ///< +inf when infeasible
+  double cr_proposed = 0.0;
+  Strategy winner = Strategy::kNRand;
+};
+
+/// Sweep q_B_plus over (0, q_max] at fixed mu_fraction = mu_B_minus / B.
+/// Points where (mu, q) is infeasible are skipped.
+std::vector<ProjectionPoint> compute_projection(double break_even,
+                                                double mu_fraction,
+                                                int n_points,
+                                                double q_max = 1.0);
+
+/// ASCII rendering of the region map (one character per cell:
+/// T = TOI, D = DET, b = b-DET, N = N-Rand, '.' = infeasible).
+std::string render_region_map(const std::vector<RegionCell>& cells, int n_mu,
+                              int n_q);
+
+}  // namespace idlered::core

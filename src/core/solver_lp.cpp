@@ -1,0 +1,61 @@
+#include "core/solver_lp.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace idlered::core {
+
+LpCoefficients lp_coefficients(const dist::ShortStopStats& stats,
+                               double break_even) {
+  LpCoefficients k;
+  k.constant = worst_case_cost_nrand(stats, break_even);
+  k.k_alpha = worst_case_cost_toi(stats, break_even) - k.constant;
+  k.k_beta = worst_case_cost_det(stats, break_even) - k.constant;
+  const double bdet = worst_case_cost_b_det(stats, break_even);
+  k.k_gamma = std::isinf(bdet)
+                  ? std::numeric_limits<double>::infinity()
+                  : bdet - k.constant;
+  return k;
+}
+
+LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
+                                        double break_even) {
+  const LpCoefficients k = lp_coefficients(stats, break_even);
+  const bool gamma_usable = std::isfinite(k.k_gamma);
+
+  lp::Problem problem;
+  problem.objective = {k.k_alpha, k.k_beta,
+                       gamma_usable ? k.k_gamma : 0.0};
+  problem.add_constraint({1.0, 1.0, 1.0}, lp::Sense::kLessEqual, 1.0);
+  if (!gamma_usable) {
+    // Exclude the b-DET atom entirely when eq. (36) fails.
+    problem.add_constraint({0.0, 0.0, 1.0}, lp::Sense::kLessEqual, 0.0);
+  }
+
+  const lp::Solution sol = lp::solve(problem);
+  if (!sol.optimal())
+    throw std::runtime_error("solve_constrained_lp: LP not optimal: " +
+                             lp::to_string(sol.status));
+
+  LpStrategySolution out;
+  out.alpha = sol.x[0];
+  out.beta = sol.x[1];
+  out.gamma = sol.x[2];
+  out.expected_cost = sol.objective_value + k.constant;
+  if (gamma_usable && out.gamma > 0.5) {
+    out.strategy = Strategy::kBDet;
+    out.b = b_det_optimal_threshold(stats, break_even);
+  } else if (out.alpha > 0.5) {
+    out.strategy = Strategy::kToi;
+  } else if (out.beta > 0.5) {
+    out.strategy = Strategy::kDet;
+  } else {
+    out.strategy = Strategy::kNRand;
+  }
+  return out;
+}
+
+}  // namespace idlered::core

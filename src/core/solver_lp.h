@@ -1,0 +1,48 @@
+// LP-backed solution of the constrained ski-rental problem, Section 4.4.
+//
+// After the Lagrangian elimination of Sections 4.1-4.3 the design reduces to
+// choosing the probability masses (alpha, beta, gamma) on the TOI / DET /
+// b-DET atoms of the decision distribution (eq. 18), with the continuous
+// N-Rand-shaped part carrying the remaining 1 - alpha - beta - gamma:
+//
+//   min  K_a a + K_b b + K_g g + e/(e-1) (mu + q B)        (eq. 32)
+//   s.t. a + b + g <= 1,   a, b, g >= 0                     (eq. 33)
+//
+// where each K is (vertex cost - N-Rand cost). The paper argues the optimum
+// sits at a simplex vertex; here the LP is fed to the generic simplex solver
+// of src/lp/ and the result is mapped back to a strategy. Tests assert this
+// path agrees exactly with the closed-form choose_strategy().
+#pragma once
+
+#include "core/analytic.h"
+#include "dist/distribution.h"
+
+namespace idlered::core {
+
+struct LpStrategySolution {
+  double alpha = 0.0;  ///< mass on TOI (atom at 0+)
+  double beta = 0.0;   ///< mass on DET (atom at B)
+  double gamma = 0.0;  ///< mass on b-DET (atom at b*)
+  double expected_cost = 0.0;  ///< optimal worst-case expected online cost
+  Strategy strategy = Strategy::kNRand;  ///< vertex the optimum maps to
+  double b = 0.0;  ///< b* used for the gamma column (0 when excluded)
+};
+
+/// Solve eq. (32)-(33) with the dense simplex. Throws if the statistics are
+/// infeasible for the break-even interval.
+LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
+                                        double break_even);
+
+/// The K coefficients of eq. (32), exposed for tests/ablations. K_gamma is
+/// +infinity when the b-DET vertex is infeasible (eq. 36 violated).
+struct LpCoefficients {
+  double k_alpha = 0.0;
+  double k_beta = 0.0;
+  double k_gamma = 0.0;
+  double constant = 0.0;  ///< e/(e-1) (mu + q B), the N-Rand baseline
+};
+
+LpCoefficients lp_coefficients(const dist::ShortStopStats& stats,
+                               double break_even);
+
+}  // namespace idlered::core

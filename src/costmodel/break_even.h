@@ -1,0 +1,59 @@
+// Break-even interval computation, Appendix C of the paper.
+//
+// Every restart-side cost is normalized by the per-second idling cost, so
+// the break-even interval decomposes as
+//     B = B_fuel + B_starter + B_battery + B_emissions   (seconds).
+// The paper's headline values are B ~= 28 s for stop-start vehicles (SSV)
+// and B ~= 47 s for conventional vehicles; `ssv_vehicle()` and
+// `conventional_vehicle()` reproduce those operating points from the
+// published parameter ranges (see EXPERIMENTS.md for the exact arithmetic).
+#pragma once
+
+#include <string>
+
+#include "costmodel/emissions.h"
+#include "costmodel/fuel.h"
+#include "costmodel/wear.h"
+
+namespace idlered::costmodel {
+
+struct VehicleConfig {
+  EngineSpec engine;
+  FuelPricing fuel;
+  StarterSpec starter;
+  BatterySpec battery;
+  EmissionRates emissions;
+  EmissionPricing emission_pricing;
+};
+
+/// Itemized break-even computation. All *_s fields are idle-second
+/// equivalents; cents fields are absolute monetary values.
+struct BreakEvenBreakdown {
+  double idling_cost_cents_per_s = 0.0;
+
+  double fuel_s = 0.0;       ///< restart fuel, fixed at 10 s equivalent
+  double starter_s = 0.0;    ///< amortized starter wear
+  double battery_s = 0.0;    ///< amortized battery wear
+  double emissions_s = 0.0;  ///< priced THC/NOx/CO restart emissions
+
+  double restart_cost_cents = 0.0;  ///< total one-time restart cost
+  double break_even_s = 0.0;        ///< B = restart / idling-per-second
+
+  std::string describe() const;  ///< multi-line itemized report
+};
+
+/// Compute the full breakdown for a vehicle configuration.
+BreakEvenBreakdown compute_break_even(const VehicleConfig& vehicle);
+
+/// Stop-start vehicle at the paper's operating point (strengthened starter,
+/// 4-year stop-start battery): B ~= 28 s.
+VehicleConfig ssv_vehicle();
+
+/// Conventional vehicle (amortized starter wear included): B ~= 47 s.
+VehicleConfig conventional_vehicle();
+
+/// The break-even values the paper's experiments use directly.
+inline constexpr double kPaperBreakEvenSsv = 28.0;
+inline constexpr double kPaperBreakEvenConventional = 47.0;
+
+}  // namespace idlered::costmodel

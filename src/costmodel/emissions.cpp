@@ -1,0 +1,25 @@
+#include "costmodel/emissions.h"
+
+namespace idlered::costmodel {
+
+namespace {
+constexpr double kMgPerKg = 1.0e6;
+}
+
+double emission_cost_cents_per_restart(const EmissionRates& rates,
+                                       const EmissionPricing& pricing) {
+  return (rates.thc_mg_per_restart * pricing.thc_cents_per_kg +
+          rates.nox_mg_per_restart * pricing.nox_cents_per_kg +
+          rates.co_mg_per_restart * pricing.co_cents_per_kg) /
+         kMgPerKg;
+}
+
+double emission_cost_cents_per_idle_s(const EmissionRates& rates,
+                                      const EmissionPricing& pricing) {
+  return (rates.thc_mg_per_idle_s * pricing.thc_cents_per_kg +
+          rates.nox_mg_per_idle_s * pricing.nox_cents_per_kg +
+          rates.co_mg_per_idle_s * pricing.co_cents_per_kg) /
+         kMgPerKg;
+}
+
+}  // namespace idlered::costmodel

@@ -1,0 +1,40 @@
+// Exhaust-emission costs, Appendix C.2.3 of the paper.
+//
+// CO2 scales with fuel and is already inside the 10 s restart-fuel figure.
+// THC / NOx / CO are priced separately; the paper's worked example prices
+// only NOx (Swedish NOx charge, ~4.3 EUR/kg) and finds the restart penalty
+// equivalent to ~0.14 s of idling — small but modeled for completeness.
+#pragma once
+
+namespace idlered::costmodel {
+
+/// Pollutants emitted per restart and per second of idling (milligrams),
+/// defaults from Argonne National Laboratory measurements cited in the paper.
+struct EmissionRates {
+  double thc_mg_per_restart = 44.0;
+  double nox_mg_per_restart = 6.0;
+  double co_mg_per_restart = 1253.0;
+
+  double thc_mg_per_idle_s = 0.266;
+  double nox_mg_per_idle_s = 0.0097;
+  double co_mg_per_idle_s = 0.108;
+};
+
+/// Per-kilogram pollutant prices in US cents. Default: only NOx priced, at
+/// the Swedish charge of ~4.3 EUR/kg ~= 580 US cents/kg (2014 exchange rate),
+/// matching the paper's $0.0035-cents-per-restart example within rounding.
+struct EmissionPricing {
+  double thc_cents_per_kg = 0.0;
+  double nox_cents_per_kg = 580.0;
+  double co_cents_per_kg = 0.0;
+};
+
+/// Priced emission cost of one restart, US cents.
+double emission_cost_cents_per_restart(const EmissionRates& rates,
+                                       const EmissionPricing& pricing);
+
+/// Priced emission cost of one second of idling, US cents.
+double emission_cost_cents_per_idle_s(const EmissionRates& rates,
+                                      const EmissionPricing& pricing);
+
+}  // namespace idlered::costmodel

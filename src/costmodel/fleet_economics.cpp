@@ -1,0 +1,53 @@
+#include "costmodel/fleet_economics.h"
+
+#include <stdexcept>
+
+namespace idlered::costmodel {
+
+namespace {
+constexpr double kCo2KgPerGallon = 8.74;  // EPA gasoline combustion factor
+}
+
+NationalIdlingBill national_idling_bill(const NationalFleetModel& fleet) {
+  if (fleet.vehicles <= 0.0 || fleet.driving_hours_per_day <= 0.0)
+    throw std::invalid_argument(
+        "national_idling_bill: fleet size and driving time must be > 0");
+  if (fleet.idle_fraction < 0.0 || fleet.idle_fraction > 1.0)
+    throw std::invalid_argument(
+        "national_idling_bill: idle fraction must be in [0, 1]");
+
+  NationalIdlingBill bill;
+  bill.idle_hours_per_year = fleet.vehicles * fleet.driving_hours_per_day *
+                             365.0 * fleet.idle_fraction;
+  const double cc_per_s = idle_fuel_cc_per_s(fleet.engine);
+  const double gallons_per_hour = cc_per_s * 3600.0 / kCcPerGallon;
+  bill.fuel_gallons_per_year = bill.idle_hours_per_year * gallons_per_hour;
+  bill.usd_per_year = bill.fuel_gallons_per_year * fleet.fuel.usd_per_gallon;
+  bill.co2_tonnes_per_year =
+      bill.fuel_gallons_per_year * kCo2KgPerGallon / 1000.0;
+  return bill;
+}
+
+double recoverable_fraction(double strategy_cost_per_stop,
+                            double nev_cost_per_stop) {
+  if (nev_cost_per_stop <= 0.0)
+    throw std::invalid_argument(
+        "recoverable_fraction: NEV cost must be > 0");
+  if (strategy_cost_per_stop < 0.0)
+    throw std::invalid_argument(
+        "recoverable_fraction: strategy cost must be >= 0");
+  const double f = 1.0 - strategy_cost_per_stop / nev_cost_per_stop;
+  return f;  // may be negative if the strategy idles *more* than NEV
+}
+
+NationalIdlingBill scale_bill(const NationalIdlingBill& bill,
+                              double fraction) {
+  NationalIdlingBill scaled = bill;
+  scaled.idle_hours_per_year *= fraction;
+  scaled.fuel_gallons_per_year *= fraction;
+  scaled.usd_per_year *= fraction;
+  scaled.co2_tonnes_per_year *= fraction;
+  return scaled;
+}
+
+}  // namespace idlered::costmodel

@@ -1,0 +1,28 @@
+#include "costmodel/fuel.h"
+
+#include <stdexcept>
+
+namespace idlered::costmodel {
+
+double idle_fuel_l_per_h(double displacement_liters) {
+  if (displacement_liters <= 0.0)
+    throw std::invalid_argument("idle_fuel_l_per_h: displacement must be > 0");
+  return 0.3644 * displacement_liters + 0.5188;
+}
+
+double idle_fuel_cc_per_s(const EngineSpec& engine) {
+  if (engine.measured_idle_fuel_cc_per_s > 0.0)
+    return engine.measured_idle_fuel_cc_per_s;
+  // L/h -> cc/s: * 1000 cc/L / 3600 s/h
+  return idle_fuel_l_per_h(engine.displacement_liters) * 1000.0 / 3600.0;
+}
+
+double idling_cost_cents_per_s(const EngineSpec& engine,
+                               const FuelPricing& pricing) {
+  if (pricing.usd_per_gallon <= 0.0)
+    throw std::invalid_argument("idling_cost: fuel price must be > 0");
+  const double cents_per_gallon = pricing.usd_per_gallon * 100.0;
+  return idle_fuel_cc_per_s(engine) * cents_per_gallon / kCcPerGallon;
+}
+
+}  // namespace idlered::costmodel

@@ -1,0 +1,42 @@
+// Idling fuel-cost model, Appendix C.1 of the paper.
+//
+//   fuel_{L/h} = 0.3644 * D + 0.5188                  (eq. 45, from the CMEM
+//                                                      modal emission model)
+//   cost_{idling/s} = fuel_{cc/s} * p_gallon / 3785   (eq. 46)
+//
+// The paper's reference vehicle is Argonne's 2011 Ford Fusion (2.5 L) with a
+// *measured* idle consumption of 0.279 cc/s, which it uses in preference to
+// the regression; both paths are supported here.
+#pragma once
+
+namespace idlered::costmodel {
+
+/// Cubic centimetres per US gallon, the paper's conversion constant.
+inline constexpr double kCcPerGallon = 3785.0;
+
+struct EngineSpec {
+  double displacement_liters = 2.5;
+  /// Measured idle fuel burn in cc/s. When > 0 this overrides the
+  /// displacement regression (the paper uses Argonne's 0.279 cc/s).
+  double measured_idle_fuel_cc_per_s = 0.279;
+};
+
+struct FuelPricing {
+  double usd_per_gallon = 3.50;  ///< the paper's worked example
+};
+
+/// Eq. (45): idle fuel consumption in litres/hour from engine displacement.
+double idle_fuel_l_per_h(double displacement_liters);
+
+/// Idle fuel burn in cc/s: the measurement if available, else eq. (45).
+double idle_fuel_cc_per_s(const EngineSpec& engine);
+
+/// Eq. (46): idling cost in US cents per second.
+double idling_cost_cents_per_s(const EngineSpec& engine,
+                               const FuelPricing& pricing);
+
+/// Fuel consumed by one restart, expressed in seconds of idling. The paper
+/// cites several independent measurements converging on 10 s.
+inline constexpr double kRestartFuelIdleSeconds = 10.0;
+
+}  // namespace idlered::costmodel

@@ -1,0 +1,26 @@
+#include "costmodel/wear.h"
+
+#include <stdexcept>
+
+namespace idlered::costmodel {
+
+double starter_cost_cents_per_start(const StarterSpec& starter) {
+  if (starter.strengthened) return 0.0;
+  if (starter.starts_per_replacement <= 0.0)
+    throw std::invalid_argument("starter: starts_per_replacement must be > 0");
+  if (starter.replacement_usd < 0.0 || starter.labor_usd < 0.0)
+    throw std::invalid_argument("starter: costs must be >= 0");
+  const double usd = starter.replacement_usd + starter.labor_usd;
+  return usd * 100.0 / starter.starts_per_replacement;
+}
+
+double battery_cost_cents_per_start(const BatterySpec& battery) {
+  if (battery.warranty_years <= 0.0 || battery.stops_per_day <= 0.0)
+    throw std::invalid_argument("battery: warranty and stops/day must be > 0");
+  if (battery.cost_usd < 0.0)
+    throw std::invalid_argument("battery: cost must be >= 0");
+  const double starts = battery.warranty_years * 365.0 * battery.stops_per_day;
+  return battery.cost_usd * 100.0 / starts;
+}
+
+}  // namespace idlered::costmodel

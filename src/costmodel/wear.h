@@ -1,0 +1,33 @@
+// Mechanical-wear restart costs, Appendix C.2.2 of the paper: amortized
+// starter and battery replacement per engine start. ICE wear itself is
+// negligible per the paper and carries no model here.
+#pragma once
+
+namespace idlered::costmodel {
+
+struct StarterSpec {
+  /// SSV starters are rated for ~1.2 million starts — effectively a
+  /// lifetime part, so their amortized cost is taken as zero.
+  bool strengthened = false;
+  double replacement_usd = 55.0;     ///< paper range: $55 - $400
+  double labor_usd = 115.0;          ///< paper range: $115 - $225
+  double starts_per_replacement = 40000.0;  ///< paper range: 20k - 40k
+};
+
+/// Amortized starter cost in US cents per start (0 for strengthened units).
+/// The paper's reported range is 0.5 - 4 cents/start.
+double starter_cost_cents_per_start(const StarterSpec& starter);
+
+struct BatterySpec {
+  double cost_usd = 230.0;      ///< stop-start AGM battery, no labor
+  double warranty_years = 4.0;  ///< paper range: 2 - 4 years
+  /// Stops per day used for amortization. The paper takes mu + 2 sigma over
+  /// its three-area fleet = 32.43 so that 95% of vehicles are covered.
+  double stops_per_day = 32.43;
+};
+
+/// Amortized battery cost in US cents per start.
+/// The paper's reported range is 0.4841 - 0.9713 cents/start.
+double battery_cost_cents_per_start(const BatterySpec& battery);
+
+}  // namespace idlered::costmodel

@@ -1,0 +1,137 @@
+#include "dist/adaptors.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace idlered::dist {
+
+// --------------------------------------------------------------------- Scaled
+
+Scaled::Scaled(DistributionPtr base, double scale)
+    : base_(std::move(base)), scale_(scale) {
+  if (!base_) throw std::invalid_argument("Scaled: null base distribution");
+  if (scale <= 0.0) throw std::invalid_argument("Scaled: scale must be > 0");
+}
+
+Scaled Scaled::with_mean(DistributionPtr base, double target_mean) {
+  if (!base) throw std::invalid_argument("Scaled: null base distribution");
+  const double m = base->mean();
+  if (!(m > 0.0) || !std::isfinite(m))
+    throw std::invalid_argument("Scaled: base mean must be finite positive");
+  if (target_mean <= 0.0)
+    throw std::invalid_argument("Scaled: target mean must be > 0");
+  return Scaled(std::move(base), target_mean / m);
+}
+
+double Scaled::pdf(double y) const { return base_->pdf(y / scale_) / scale_; }
+
+double Scaled::cdf(double y) const { return base_->cdf(y / scale_); }
+
+double Scaled::sample(util::Rng& rng) const {
+  return scale_ * base_->sample(rng);
+}
+
+double Scaled::mean() const { return scale_ * base_->mean(); }
+
+std::string Scaled::name() const {
+  std::ostringstream ss;
+  ss << "Scaled(" << scale_ << " * " << base_->name() << ")";
+  return ss.str();
+}
+
+double Scaled::partial_expectation(double b) const {
+  // integral_0^b y q(y) dy with y = s u: s * integral_0^{b/s} u q_base(u) du
+  return scale_ * base_->partial_expectation(b / scale_);
+}
+
+double Scaled::tail_probability(double b) const {
+  return base_->tail_probability(b / scale_);
+}
+
+double Scaled::quantile(double p) const {
+  return scale_ * base_->quantile(p);
+}
+
+// ------------------------------------------------------------------ Truncated
+
+Truncated::Truncated(DistributionPtr base, double lo, double hi)
+    : base_(std::move(base)), lo_(lo), hi_(hi), mass_(0.0) {
+  if (!base_) throw std::invalid_argument("Truncated: null base distribution");
+  if (!(hi > lo)) throw std::invalid_argument("Truncated: need hi > lo");
+  mass_ = base_->cdf(hi_) - base_->cdf(lo_);
+  if (mass_ <= 0.0)
+    throw std::invalid_argument("Truncated: base has no mass in [lo, hi]");
+}
+
+double Truncated::pdf(double y) const {
+  if (y < lo_ || y > hi_) return 0.0;
+  return base_->pdf(y) / mass_;
+}
+
+double Truncated::cdf(double y) const {
+  if (y <= lo_) return 0.0;
+  if (y >= hi_) return 1.0;
+  return (base_->cdf(y) - base_->cdf(lo_)) / mass_;
+}
+
+double Truncated::sample(util::Rng& rng) const {
+  // Rejection sampling; acceptance probability is mass_, which the
+  // constructor guarantees to be positive. Fall back to the midpoint after
+  // an implausible number of rejections to keep the call total.
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const double y = base_->sample(rng);
+    if (y >= lo_ && y <= hi_) return y;
+  }
+  return 0.5 * (lo_ + hi_);
+}
+
+double Truncated::mean() const {
+  return util::integrate([this](double y) { return y * pdf(y); }, lo_, hi_,
+                         1e-10);
+}
+
+std::string Truncated::name() const {
+  std::ostringstream ss;
+  ss << "Truncated(" << base_->name() << ", [" << lo_ << ", " << hi_ << "])";
+  return ss.str();
+}
+
+// ------------------------------------------------------------------ PointMass
+
+PointMass::PointMass(double value) : value_(value) {
+  if (value < 0.0) throw std::invalid_argument("PointMass: value must be >= 0");
+}
+
+double PointMass::pdf(double y) const {
+  return y == value_ ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double PointMass::cdf(double y) const { return y >= value_ ? 1.0 : 0.0; }
+
+double PointMass::sample(util::Rng& /*rng*/) const { return value_; }
+
+std::string PointMass::name() const {
+  std::ostringstream ss;
+  ss << "PointMass(" << value_ << ")";
+  return ss.str();
+}
+
+double PointMass::partial_expectation(double b) const {
+  return value_ < b ? value_ : 0.0;
+}
+
+double PointMass::tail_probability(double b) const {
+  return value_ >= b ? 1.0 : 0.0;
+}
+
+double PointMass::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("quantile: p must be in (0, 1)");
+  return value_;
+}
+
+}  // namespace idlered::dist

@@ -1,0 +1,78 @@
+// Distribution adaptors.
+//
+// `Scaled` implements the paper's Figures 5-6 methodology verbatim: "we
+// generate simulation driving data by following the distribution of Chicago,
+// but scaling its mean value". `Truncated` conditions a law on an interval
+// (used by the traffic substrate and by worst-case adversary constructions).
+#pragma once
+
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace idlered::dist {
+
+/// Y' = scale * Y for a base distribution Y.
+class Scaled final : public StopLengthDistribution {
+ public:
+  Scaled(DistributionPtr base, double scale);
+
+  /// Convenience: rescale `base` so its mean becomes `target_mean`.
+  static Scaled with_mean(DistributionPtr base, double target_mean);
+
+  double pdf(double y) const override;
+  double cdf(double y) const override;
+  double sample(util::Rng& rng) const override;
+  double mean() const override;
+  std::string name() const override;
+
+  double partial_expectation(double b) const override;
+  double tail_probability(double b) const override;
+  double quantile(double p) const override;  ///< scale * base quantile
+
+  double scale() const { return scale_; }
+
+ private:
+  DistributionPtr base_;
+  double scale_;
+};
+
+/// Y | Y in [lo, hi] for a base distribution Y. Requires P{Y in [lo,hi]} > 0.
+class Truncated final : public StopLengthDistribution {
+ public:
+  Truncated(DistributionPtr base, double lo, double hi);
+
+  double pdf(double y) const override;
+  double cdf(double y) const override;
+  double sample(util::Rng& rng) const override;  ///< rejection sampling
+  double mean() const override;                  ///< via quadrature
+  std::string name() const override;
+
+ private:
+  DistributionPtr base_;
+  double lo_;
+  double hi_;
+  double mass_;  ///< P{Y in [lo, hi]} under the base law
+};
+
+/// Point mass at a single stop length (used by adversary constructions in
+/// the worst-case analysis tests: "all short stops have length 0 or b").
+class PointMass final : public StopLengthDistribution {
+ public:
+  explicit PointMass(double value);
+
+  double pdf(double y) const override;  ///< 0 a.e.; +inf at the atom
+  double cdf(double y) const override;
+  double sample(util::Rng& rng) const override;
+  double mean() const override { return value_; }
+  std::string name() const override;
+
+  double partial_expectation(double b) const override;
+  double tail_probability(double b) const override;
+  double quantile(double p) const override;  ///< the atom itself
+
+ private:
+  double value_;
+};
+
+}  // namespace idlered::dist

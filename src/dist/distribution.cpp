@@ -1,0 +1,83 @@
+#include "dist/distribution.h"
+
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace idlered::dist {
+
+double StopLengthDistribution::partial_expectation(double b) const {
+  if (b <= 0.0) return 0.0;
+  // Guard y = 0: densities may be singular there (e.g. Weibull with
+  // shape < 1), making 0 * pdf(0) a NaN even though the integral is finite.
+  return util::integrate(
+      [this](double y) { return y <= 0.0 ? 0.0 : y * pdf(y); }, 0.0, b,
+      1e-10);
+}
+
+double StopLengthDistribution::tail_probability(double b) const {
+  return 1.0 - cdf(b);
+}
+
+double StopLengthDistribution::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("quantile: p must be in (0, 1)");
+  // Bracket the quantile by doubling, then bisect cdf(y) - p.
+  double hi = 1.0;
+  for (int i = 0; i < 200 && cdf(hi) < p; ++i) hi *= 2.0;
+  if (cdf(hi) < p)
+    throw std::runtime_error("quantile: failed to bracket (tail too heavy)");
+  return util::bisect([this, p](double y) { return cdf(y) - p; }, 0.0, hi,
+                      1e-12 * hi);
+}
+
+std::vector<double> StopLengthDistribution::sample_many(util::Rng& rng,
+                                                        std::size_t n) const {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+bool ShortStopStats::feasible(double break_even) const {
+  return mu_b_minus >= 0.0 && q_b_plus >= 0.0 && q_b_plus <= 1.0 &&
+         mu_b_minus <= break_even * (1.0 - q_b_plus) + 1e-12;
+}
+
+double ShortStopStats::expected_offline_cost(double break_even) const {
+  return mu_b_minus + q_b_plus * break_even;
+}
+
+ShortStopStats ShortStopStats::from_distribution(
+    const StopLengthDistribution& q, double break_even) {
+  if (break_even <= 0.0)
+    throw std::invalid_argument("ShortStopStats: break_even must be > 0");
+  ShortStopStats s;
+  s.mu_b_minus = q.partial_expectation(break_even);
+  s.q_b_plus = q.tail_probability(break_even);
+  return s;
+}
+
+ShortStopStats ShortStopStats::from_sample(const std::vector<double>& sample,
+                                           double break_even) {
+  if (sample.empty())
+    throw std::invalid_argument("ShortStopStats: empty sample");
+  if (break_even <= 0.0)
+    throw std::invalid_argument("ShortStopStats: break_even must be > 0");
+  double sum_short = 0.0;
+  std::size_t num_long = 0;
+  for (double y : sample) {
+    if (y >= break_even) {
+      ++num_long;
+    } else {
+      sum_short += y;
+    }
+  }
+  ShortStopStats s;
+  const auto n = static_cast<double>(sample.size());
+  s.mu_b_minus = sum_short / n;
+  s.q_b_plus = static_cast<double>(num_long) / n;
+  return s;
+}
+
+}  // namespace idlered::dist

@@ -1,0 +1,82 @@
+// Stop-length distribution interface.
+//
+// Every source of vehicle stop lengths — parametric laws, mixtures, empirical
+// traces, the traffic-light simulator — implements this interface, so the
+// analytic experiments (Figures 1/2/5/6) and the trace-driven ones (Figures
+// 3/4) share all downstream code.
+//
+// The constrained ski-rental statistics of the paper, Section 3:
+//   mu_B_minus = integral_0^B y q(y) dy     (partial expectation, eq. 10)
+//   q_B_plus   = P{ y >= B }                (long-stop probability, eq. 11)
+// are exposed through ShortStopStats, computable either analytically from a
+// distribution or empirically from a stop sample.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace idlered::dist {
+
+class StopLengthDistribution {
+ public:
+  virtual ~StopLengthDistribution() = default;
+
+  /// Probability density at y (stop lengths live on [0, +inf)).
+  virtual double pdf(double y) const = 0;
+
+  /// P{ Y <= y }.
+  virtual double cdf(double y) const = 0;
+
+  /// Draw one stop length.
+  virtual double sample(util::Rng& rng) const = 0;
+
+  /// E[Y]; may be +inf for very heavy tails (Pareto with shape <= 1).
+  virtual double mean() const = 0;
+
+  /// Short human-readable identifier used in tables and logs.
+  virtual std::string name() const = 0;
+
+  /// Partial expectation  integral_0^b y q(y) dy  (the paper's mu_B_minus
+  /// when b = B). Default: adaptive quadrature of y * pdf(y); overridden by
+  /// families with closed forms.
+  virtual double partial_expectation(double b) const;
+
+  /// Tail probability P{ Y >= b } (the paper's q_B_plus when b = B).
+  virtual double tail_probability(double b) const;
+
+  /// Quantile function: smallest y with cdf(y) >= p, p in (0, 1).
+  /// Default: bisection on the cdf; overridden where closed forms exist.
+  virtual double quantile(double p) const;
+
+  /// Draw n stop lengths.
+  std::vector<double> sample_many(util::Rng& rng, std::size_t n) const;
+};
+
+using DistributionPtr = std::shared_ptr<const StopLengthDistribution>;
+
+/// The pair of constrained-ski-rental statistics (mu_B_minus, q_B_plus).
+struct ShortStopStats {
+  double mu_b_minus = 0.0;  ///< expected length contribution of short stops
+  double q_b_plus = 0.0;    ///< probability of a long stop (y >= B)
+
+  /// Feasibility: short stops are < B with total probability 1 - q_B_plus,
+  /// so mu_B_minus <= B * (1 - q_B_plus) must hold.
+  bool feasible(double break_even) const;
+
+  /// Expected offline cost  mu_B_minus + q_B_plus * B  (eq. 13).
+  double expected_offline_cost(double break_even) const;
+
+  /// Compute analytically from a distribution.
+  static ShortStopStats from_distribution(const StopLengthDistribution& q,
+                                          double break_even);
+
+  /// Compute empirically from a stop-length sample:
+  ///   mu_B_minus ~= (1/n) sum y_i 1{y_i < B},   q_B_plus ~= #{y_i >= B}/n.
+  static ShortStopStats from_sample(const std::vector<double>& sample,
+                                    double break_even);
+};
+
+}  // namespace idlered::dist

@@ -1,0 +1,79 @@
+#include "dist/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace idlered::dist {
+
+namespace {
+std::vector<double> validated(std::vector<double> sample) {
+  if (sample.empty()) throw std::invalid_argument("Empirical: empty sample");
+  for (double x : sample) {
+    if (x < 0.0 || !std::isfinite(x))
+      throw std::invalid_argument("Empirical: stop lengths must be >= 0");
+  }
+  return sample;
+}
+}  // namespace
+
+Empirical::Empirical(std::vector<double> sample)
+    : ecdf_(validated(std::move(sample))), mean_(0.0), bin_width_(1.0) {
+  const auto& xs = ecdf_.sorted_sample();
+  mean_ = std::accumulate(xs.begin(), xs.end(), 0.0) /
+          static_cast<double>(xs.size());
+  // Sturges' rule for the histogram density estimate backing pdf().
+  const double bins =
+      std::max(1.0, std::ceil(std::log2(static_cast<double>(xs.size())) + 1));
+  const double top = std::max(xs.back(), 1e-9);
+  bin_width_ = top / bins;
+}
+
+double Empirical::pdf(double y) const {
+  if (y < 0.0) return 0.0;
+  const double lo = std::floor(y / bin_width_) * bin_width_;
+  const double hi = lo + bin_width_;
+  const double mass = cdf(hi) - (lo > 0.0 ? cdf(lo - 1e-12) : 0.0);
+  return mass / bin_width_;
+}
+
+double Empirical::cdf(double y) const { return ecdf_(y); }
+
+double Empirical::sample(util::Rng& rng) const {
+  const auto& xs = ecdf_.sorted_sample();
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1));
+  return xs[idx];
+}
+
+std::string Empirical::name() const {
+  std::ostringstream ss;
+  ss << "Empirical(n=" << size() << ", mean=" << mean_ << ")";
+  return ss.str();
+}
+
+double Empirical::partial_expectation(double b) const {
+  const auto& xs = ecdf_.sorted_sample();
+  double acc = 0.0;
+  for (double x : xs) {
+    if (x >= b) break;  // sorted: all later samples are >= b too
+    acc += x;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double Empirical::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("quantile: p must be in (0, 1)");
+  return ecdf_.inverse(p);
+}
+
+double Empirical::tail_probability(double b) const {
+  const auto& xs = ecdf_.sorted_sample();
+  const auto it = std::lower_bound(xs.begin(), xs.end(), b);
+  return static_cast<double>(xs.end() - it) / static_cast<double>(xs.size());
+}
+
+}  // namespace idlered::dist

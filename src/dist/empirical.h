@@ -1,0 +1,47 @@
+// Empirical stop-length distribution built from an observed (or generated)
+// stop sample — the model a deployed stop-start controller would actually
+// learn from a vehicle's history, and the bridge between recorded traces and
+// the analytic machinery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "stats/ecdf.h"
+
+namespace idlered::dist {
+
+class Empirical final : public StopLengthDistribution {
+ public:
+  /// Builds from a sample of stop lengths (must be non-empty, nonnegative).
+  explicit Empirical(std::vector<double> sample);
+
+  /// pdf() is a histogram density estimate (the underlying law is discrete);
+  /// bins default to Sturges' rule over [0, max].
+  double pdf(double y) const override;
+  double cdf(double y) const override;
+
+  /// Samples by bootstrap resampling from the stored sample.
+  double sample(util::Rng& rng) const override;
+
+  double mean() const override { return mean_; }
+  std::string name() const override;
+
+  /// Exact sample versions (no quadrature).
+  double partial_expectation(double b) const override;
+  double tail_probability(double b) const override;
+  double quantile(double p) const override;  ///< ECDF generalized inverse
+
+  std::size_t size() const { return ecdf_.size(); }
+  const std::vector<double>& sorted_sample() const {
+    return ecdf_.sorted_sample();
+  }
+
+ private:
+  stats::Ecdf ecdf_;
+  double mean_;
+  double bin_width_;
+};
+
+}  // namespace idlered::dist

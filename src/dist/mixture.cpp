@@ -1,0 +1,77 @@
+#include "dist/mixture.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace idlered::dist {
+
+Mixture::Mixture(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty())
+    throw std::invalid_argument("Mixture: need at least one component");
+  double total = 0.0;
+  for (const Component& c : components_) {
+    if (!c.distribution)
+      throw std::invalid_argument("Mixture: null component distribution");
+    if (c.weight < 0.0)
+      throw std::invalid_argument("Mixture: negative component weight");
+    total += c.weight;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("Mixture: weights must not all be zero");
+  for (Component& c : components_) c.weight /= total;
+}
+
+double Mixture::pdf(double y) const {
+  double acc = 0.0;
+  for (const Component& c : components_) acc += c.weight * c.distribution->pdf(y);
+  return acc;
+}
+
+double Mixture::cdf(double y) const {
+  double acc = 0.0;
+  for (const Component& c : components_) acc += c.weight * c.distribution->cdf(y);
+  return acc;
+}
+
+double Mixture::sample(util::Rng& rng) const {
+  double u = rng.uniform();
+  for (const Component& c : components_) {
+    if (u < c.weight) return c.distribution->sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().distribution->sample(rng);
+}
+
+double Mixture::mean() const {
+  double acc = 0.0;
+  for (const Component& c : components_) acc += c.weight * c.distribution->mean();
+  return acc;
+}
+
+std::string Mixture::name() const {
+  std::ostringstream ss;
+  ss << "Mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) ss << " + ";
+    ss << components_[i].weight << "*" << components_[i].distribution->name();
+  }
+  ss << ")";
+  return ss.str();
+}
+
+double Mixture::partial_expectation(double b) const {
+  double acc = 0.0;
+  for (const Component& c : components_)
+    acc += c.weight * c.distribution->partial_expectation(b);
+  return acc;
+}
+
+double Mixture::tail_probability(double b) const {
+  double acc = 0.0;
+  for (const Component& c : components_)
+    acc += c.weight * c.distribution->tail_probability(b);
+  return acc;
+}
+
+}  // namespace idlered::dist

@@ -1,0 +1,39 @@
+// Finite mixtures of stop-length distributions.
+//
+// The synthetic NREL-like stop-length law (DESIGN.md, substitution table) is
+// a lognormal body plus a Pareto tail — exactly what this class composes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace idlered::dist {
+
+class Mixture final : public StopLengthDistribution {
+ public:
+  struct Component {
+    double weight = 0.0;
+    DistributionPtr distribution;
+  };
+
+  /// Weights must be nonnegative and are normalized to sum to one.
+  explicit Mixture(std::vector<Component> components);
+
+  double pdf(double y) const override;
+  double cdf(double y) const override;
+  double sample(util::Rng& rng) const override;
+  double mean() const override;
+  std::string name() const override;
+
+  double partial_expectation(double b) const override;
+  double tail_probability(double b) const override;
+
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace idlered::dist

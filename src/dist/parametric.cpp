@@ -1,0 +1,317 @@
+#include "dist/parametric.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace idlered::dist {
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  if (mean <= 0.0)
+    throw std::invalid_argument("Exponential: mean must be > 0");
+}
+
+double Exponential::pdf(double y) const {
+  return y < 0.0 ? 0.0 : std::exp(-y / mean_) / mean_;
+}
+
+double Exponential::cdf(double y) const {
+  return y <= 0.0 ? 0.0 : 1.0 - std::exp(-y / mean_);
+}
+
+double Exponential::sample(util::Rng& rng) const {
+  return rng.exponential(mean_);
+}
+
+std::string Exponential::name() const {
+  std::ostringstream ss;
+  ss << "Exponential(mean=" << mean_ << ")";
+  return ss.str();
+}
+
+double Exponential::partial_expectation(double b) const {
+  if (b <= 0.0) return 0.0;
+  // integral_0^b (y/m) e^{-y/m} dy = m - (b + m) e^{-b/m}
+  return mean_ - (b + mean_) * std::exp(-b / mean_);
+}
+
+double Exponential::tail_probability(double b) const {
+  return b <= 0.0 ? 1.0 : std::exp(-b / mean_);
+}
+
+double Exponential::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("quantile: p must be in (0, 1)");
+  return -mean_ * std::log1p(-p);
+}
+
+// -------------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (lo < 0.0 || hi <= lo)
+    throw std::invalid_argument("Uniform: need 0 <= lo < hi");
+}
+
+double Uniform::pdf(double y) const {
+  return (y >= lo_ && y <= hi_) ? 1.0 / (hi_ - lo_) : 0.0;
+}
+
+double Uniform::cdf(double y) const {
+  if (y <= lo_) return 0.0;
+  if (y >= hi_) return 1.0;
+  return (y - lo_) / (hi_ - lo_);
+}
+
+double Uniform::sample(util::Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+std::string Uniform::name() const {
+  std::ostringstream ss;
+  ss << "Uniform[" << lo_ << ", " << hi_ << "]";
+  return ss.str();
+}
+
+double Uniform::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("quantile: p must be in (0, 1)");
+  return lo_ + p * (hi_ - lo_);
+}
+
+double Uniform::partial_expectation(double b) const {
+  if (b <= lo_) return 0.0;
+  const double top = std::min(b, hi_);
+  return (top * top - lo_ * lo_) / (2.0 * (hi_ - lo_));
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("LogNormal: sigma must be > 0");
+}
+
+LogNormal LogNormal::from_mean_median(double mean, double median) {
+  if (median <= 0.0 || mean <= median)
+    throw std::invalid_argument("LogNormal: need mean > median > 0");
+  const double mu = std::log(median);
+  const double sigma = std::sqrt(2.0 * std::log(mean / median));
+  return LogNormal(mu, sigma);
+}
+
+double LogNormal::pdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  const double z = (std::log(y) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (y * sigma_ * std::sqrt(2.0 * 3.14159265358979323846));
+}
+
+double LogNormal::cdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  return normal_cdf((std::log(y) - mu_) / sigma_);
+}
+
+double LogNormal::sample(util::Rng& rng) const {
+  return rng.lognormal(mu_, sigma_);
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::string LogNormal::name() const {
+  std::ostringstream ss;
+  ss << "LogNormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return ss.str();
+}
+
+double LogNormal::partial_expectation(double b) const {
+  if (b <= 0.0) return 0.0;
+  // E[Y; Y <= b] = E[Y] * Phi((ln b - mu - sigma^2) / sigma)
+  return mean() * normal_cdf((std::log(b) - mu_ - sigma_ * sigma_) / sigma_);
+}
+
+// --------------------------------------------------------------------- Pareto
+
+Pareto::Pareto(double scale, double shape) : scale_(scale), shape_(shape) {
+  if (scale <= 0.0 || shape <= 0.0)
+    throw std::invalid_argument("Pareto: scale and shape must be > 0");
+}
+
+double Pareto::pdf(double y) const {
+  if (y < scale_) return 0.0;
+  return shape_ * std::pow(scale_, shape_) / std::pow(y, shape_ + 1.0);
+}
+
+double Pareto::cdf(double y) const {
+  if (y <= scale_) return 0.0;
+  return 1.0 - std::pow(scale_ / y, shape_);
+}
+
+double Pareto::sample(util::Rng& rng) const {
+  return rng.pareto(scale_, shape_);
+}
+
+double Pareto::mean() const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return shape_ * scale_ / (shape_ - 1.0);
+}
+
+std::string Pareto::name() const {
+  std::ostringstream ss;
+  ss << "Pareto(x_m=" << scale_ << ", alpha=" << shape_ << ")";
+  return ss.str();
+}
+
+double Pareto::partial_expectation(double b) const {
+  if (b <= scale_) return 0.0;
+  if (shape_ == 1.0) return scale_ * std::log(b / scale_);
+  // integral_{x_m}^b y pdf(y) dy
+  //   = alpha/(alpha-1) * (x_m - x_m^alpha * b^{1-alpha})
+  return shape_ / (shape_ - 1.0) *
+         (scale_ - std::pow(scale_, shape_) * std::pow(b, 1.0 - shape_));
+}
+
+double Pareto::tail_probability(double b) const {
+  if (b <= scale_) return 1.0;
+  return std::pow(scale_ / b, shape_);
+}
+
+double Pareto::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("quantile: p must be in (0, 1)");
+  return scale_ * std::pow(1.0 - p, -1.0 / shape_);
+}
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (shape <= 0.0 || scale <= 0.0)
+    throw std::invalid_argument("Weibull: shape and scale must be > 0");
+}
+
+double Weibull::pdf(double y) const {
+  if (y < 0.0) return 0.0;
+  if (y == 0.0) return shape_ >= 1.0 ? (shape_ == 1.0 ? 1.0 / scale_ : 0.0)
+                                     : std::numeric_limits<double>::infinity();
+  const double t = y / scale_;
+  return shape_ / scale_ * std::pow(t, shape_ - 1.0) *
+         std::exp(-std::pow(t, shape_));
+}
+
+double Weibull::cdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(y / scale_, shape_));
+}
+
+double Weibull::sample(util::Rng& rng) const {
+  return rng.weibull(shape_, scale_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::quantile(double p) const {
+  if (!(p > 0.0) || !(p < 1.0))
+    throw std::invalid_argument("quantile: p must be in (0, 1)");
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+std::string Weibull::name() const {
+  std::ostringstream ss;
+  ss << "Weibull(k=" << shape_ << ", lambda=" << scale_ << ")";
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------- Gamma
+
+namespace {
+
+double lower_gamma_series(double k, double x) {
+  // P(k, x) by the power series, x < k + 1.
+  double term = 1.0 / k;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (k + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + k * std::log(x) - std::lgamma(k));
+}
+
+double upper_gamma_cf(double k, double x) {
+  // Q(k, x) by Lentz's continued fraction, x >= k + 1.
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - k;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - k);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + k * std::log(x) - std::lgamma(k));
+}
+
+}  // namespace
+
+double regularized_lower_gamma(double k, double x) {
+  if (k <= 0.0)
+    throw std::invalid_argument("regularized_lower_gamma: k must be > 0");
+  if (x <= 0.0) return 0.0;
+  if (x < k + 1.0) return lower_gamma_series(k, x);
+  return 1.0 - upper_gamma_cf(k, x);
+}
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (shape <= 0.0 || scale <= 0.0)
+    throw std::invalid_argument("Gamma: shape and scale must be > 0");
+}
+
+double Gamma::pdf(double y) const {
+  if (y < 0.0) return 0.0;
+  if (y == 0.0) {
+    if (shape_ > 1.0) return 0.0;
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::exp((shape_ - 1.0) * std::log(y / scale_) - y / scale_ -
+                  std::lgamma(shape_)) /
+         scale_;
+}
+
+double Gamma::cdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  return regularized_lower_gamma(shape_, y / scale_);
+}
+
+double Gamma::sample(util::Rng& rng) const {
+  return std::gamma_distribution<double>(shape_, scale_)(rng.engine());
+}
+
+std::string Gamma::name() const {
+  std::ostringstream ss;
+  ss << "Gamma(k=" << shape_ << ", theta=" << scale_ << ")";
+  return ss.str();
+}
+
+double Gamma::partial_expectation(double b) const {
+  if (b <= 0.0) return 0.0;
+  return shape_ * scale_ *
+         regularized_lower_gamma(shape_ + 1.0, b / scale_);
+}
+
+}  // namespace idlered::dist

@@ -1,0 +1,55 @@
+// Umbrella header: include everything the public API offers.
+//
+// Fine-grained headers remain available (and are preferred inside the
+// library itself); this is a convenience for downstream applications.
+#pragma once
+
+#include "analysis/adversary.h"        // IWYU pragma: export
+#include "analysis/average_case.h"     // IWYU pragma: export
+#include "analysis/metrics.h"          // IWYU pragma: export
+#include "analysis/minimax.h"          // IWYU pragma: export
+#include "core/analytic.h"             // IWYU pragma: export
+#include "core/costs.h"                // IWYU pragma: export
+#include "core/crand.h"                // IWYU pragma: export
+#include "core/decision_distribution.h"  // IWYU pragma: export
+#include "core/estimator.h"            // IWYU pragma: export
+#include "core/multislope.h"           // IWYU pragma: export
+#include "core/policies.h"             // IWYU pragma: export
+#include "core/policy.h"               // IWYU pragma: export
+#include "core/proposed.h"             // IWYU pragma: export
+#include "core/region.h"               // IWYU pragma: export
+#include "core/solver_lp.h"            // IWYU pragma: export
+#include "costmodel/break_even.h"      // IWYU pragma: export
+#include "costmodel/emissions.h"       // IWYU pragma: export
+#include "costmodel/fleet_economics.h" // IWYU pragma: export
+#include "costmodel/fuel.h"            // IWYU pragma: export
+#include "costmodel/wear.h"            // IWYU pragma: export
+#include "dist/adaptors.h"             // IWYU pragma: export
+#include "dist/distribution.h"         // IWYU pragma: export
+#include "dist/empirical.h"            // IWYU pragma: export
+#include "dist/mixture.h"              // IWYU pragma: export
+#include "dist/parametric.h"           // IWYU pragma: export
+#include "lp/simplex.h"                // IWYU pragma: export
+#include "sim/battery.h"               // IWYU pragma: export
+#include "sim/controller.h"            // IWYU pragma: export
+#include "sim/evaluator.h"             // IWYU pragma: export
+#include "sim/fleet_eval.h"            // IWYU pragma: export
+#include "sim/savings.h"               // IWYU pragma: export
+#include "sim/trace.h"                 // IWYU pragma: export
+#include "stats/bootstrap.h"           // IWYU pragma: export
+#include "stats/descriptive.h"         // IWYU pragma: export
+#include "stats/ecdf.h"                // IWYU pragma: export
+#include "stats/histogram.h"           // IWYU pragma: export
+#include "stats/kaplan_meier.h"        // IWYU pragma: export
+#include "stats/ks_test.h"             // IWYU pragma: export
+#include "traces/area_profiles.h"      // IWYU pragma: export
+#include "traces/drive_cycles.h"       // IWYU pragma: export
+#include "traces/fleet_generator.h"    // IWYU pragma: export
+#include "traffic/arterial.h"          // IWYU pragma: export
+#include "traffic/intersection.h"      // IWYU pragma: export
+#include "traffic/microsim.h"          // IWYU pragma: export
+#include "util/cli.h"                  // IWYU pragma: export
+#include "util/csv.h"                  // IWYU pragma: export
+#include "util/math.h"                 // IWYU pragma: export
+#include "util/random.h"               // IWYU pragma: export
+#include "util/table.h"                // IWYU pragma: export

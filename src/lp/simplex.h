@@ -1,0 +1,65 @@
+// A small, dependency-free dense linear-programming solver.
+//
+// The constrained ski-rental problem of the paper reduces (Section 4.4) to a
+// three-variable LP over the probability masses (alpha, beta, gamma) placed
+// on the TOI / DET / b-DET atoms of the decision distribution, eq. (32)-(33).
+// The paper solves it by vertex enumeration; we provide a generic two-phase
+// simplex so the reduction can be solved mechanically as well, and the two
+// paths are cross-checked in tests.
+//
+// Problems are stated as
+//     minimize    c' x
+//     subject to  a_i' x  {<=, =, >=}  b_i      for every constraint i
+//                 x >= 0
+// which is exactly the form the paper's LP takes. Maximization is available
+// through `Problem::maximize`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace idlered::lp {
+
+enum class Sense { kLessEqual, kEqual, kGreaterEqual };
+
+struct Constraint {
+  std::vector<double> coeffs;  ///< a_i; must match Problem::num_vars
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;  ///< b_i
+};
+
+struct Problem {
+  std::vector<double> objective;  ///< c
+  std::vector<Constraint> constraints;
+  bool maximize = false;  ///< if true, maximize c'x instead
+
+  std::size_t num_vars() const { return objective.size(); }
+
+  /// Append a constraint; throws std::invalid_argument on width mismatch.
+  void add_constraint(std::vector<double> coeffs, Sense sense, double rhs);
+};
+
+enum class Status { kOptimal, kInfeasible, kUnbounded };
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  std::vector<double> x;        ///< primal solution (valid when optimal)
+  double objective_value = 0.0; ///< c'x in the problem's own sense
+
+  /// Dual value (shadow price) per constraint, in the problem's own sense:
+  /// d(objective) / d(rhs_i). For the constrained ski-rental adversary LP
+  /// these are the paper's Lagrange multipliers (Section 4.1).
+  std::vector<double> duals;
+
+  bool optimal() const { return status == Status::kOptimal; }
+};
+
+/// Solve with a dense two-phase simplex (Bland's rule; no cycling).
+/// Suitable for the small instances that arise here (tens of variables).
+Solution solve(const Problem& problem);
+
+/// Human-readable status name (for logs and test diagnostics).
+std::string to_string(Status status);
+
+}  // namespace idlered::lp

@@ -1,0 +1,87 @@
+#include "sim/battery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/costs.h"
+
+namespace idlered::sim {
+
+SocConstrainedController::SocConstrainedController(core::PolicyPtr policy,
+                                                   const BatteryModel& battery)
+    : policy_(std::move(policy)), battery_(battery),
+      soc_(battery.initial_soc) {
+  if (!policy_)
+    throw std::invalid_argument("SocConstrainedController: null policy");
+  if (battery_.capacity_wh <= 0.0 || battery_.accessory_draw_w < 0.0 ||
+      battery_.recharge_w < 0.0 || battery_.restart_pulse_wh < 0.0)
+    throw std::invalid_argument(
+        "SocConstrainedController: battery parameters must be nonnegative "
+        "with positive capacity");
+  if (battery_.min_soc < 0.0 || battery_.min_soc >= 1.0 ||
+      battery_.initial_soc < 0.0 || battery_.initial_soc > 1.0)
+    throw std::invalid_argument(
+        "SocConstrainedController: SOC values must be in [0, 1]");
+}
+
+void SocConstrainedController::recharge(double drive_s) {
+  if (drive_s < 0.0)
+    throw std::invalid_argument("recharge: drive time must be >= 0");
+  const double gained = battery_.recharge_w * drive_s / 3600.0;
+  soc_ = std::min(1.0, soc_ + gained / battery_.capacity_wh);
+}
+
+double SocConstrainedController::process_stop(double stop_length,
+                                              double drive_s,
+                                              util::Rng& rng) {
+  if (stop_length < 0.0)
+    throw std::invalid_argument("process_stop: stop length must be >= 0");
+  const double b = policy_->break_even();
+  ++stops_seen_;
+
+  double cost = 0.0;
+  if (soc_ < battery_.min_soc) {
+    // Electrical floor: the engine must keep running (and charges a bit —
+    // folded into the post-stop drive recharge for simplicity).
+    cost = stop_length;
+    ++forced_idle_stops_;
+  } else {
+    const double x = policy_->sample_threshold(rng);
+    if (stop_length < x || std::isinf(x)) {
+      cost = stop_length;  // the stop ended before the threshold
+    } else {
+      // Engine off at time x. The accessories may only drain down to the
+      // floor; compute how long that allows.
+      const double available_wh =
+          (soc_ - battery_.min_soc) * battery_.capacity_wh;
+      const double max_off_s =
+          battery_.accessory_draw_w > 0.0
+              ? available_wh * 3600.0 / battery_.accessory_draw_w
+              : std::numeric_limits<double>::infinity();
+      const double off_s = std::min(stop_length - x, max_off_s);
+      const bool aborted = off_s < stop_length - x;
+
+      const double drained_wh =
+          battery_.accessory_draw_w * off_s / 3600.0 +
+          battery_.restart_pulse_wh;
+      soc_ = std::max(0.0, soc_ - drained_wh / battery_.capacity_wh);
+
+      // Idling before the shut-off, the restart cost, and — if the floor
+      // was hit — idling again through the rest of the stop.
+      cost = x + b;
+      if (aborted) {
+        cost += stop_length - x - off_s;
+        ++aborted_shutoffs_;
+      }
+    }
+  }
+
+  totals_.online += cost;
+  totals_.offline += core::offline_cost(stop_length, b);
+  ++totals_.num_stops;
+  recharge(drive_s);
+  return cost;
+}
+
+}  // namespace idlered::sim

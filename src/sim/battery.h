@@ -1,0 +1,62 @@
+// State-of-charge constrained stop-start control.
+//
+// Appendix C of the paper prices battery *wear*; a deployed SSS also faces
+// a battery *energy* constraint: during engine-off stops the accessories
+// (HVAC, electronics) draw from the battery, and below a state-of-charge
+// floor the controller must keep the engine running regardless of what the
+// ski-rental policy says. This module models that interaction: an energy
+// bucket charged while driving and drained during engine-off phases, a
+// wrapped base policy, and per-stop override accounting — quantifying how
+// much of the theoretical saving survives the electrical constraint.
+#pragma once
+
+#include "core/policy.h"
+#include "sim/evaluator.h"
+
+namespace idlered::sim {
+
+struct BatteryModel {
+  double capacity_wh = 600.0;      ///< usable energy window of the AGM pack
+  double accessory_draw_w = 400.0; ///< engine-off house load (HVAC on)
+  double recharge_w = 1200.0;      ///< alternator surplus while driving
+  double restart_pulse_wh = 5.0;   ///< cranking energy per restart
+  double min_soc = 0.30;           ///< engine-off forbidden below this
+  double initial_soc = 0.80;
+};
+
+class SocConstrainedController {
+ public:
+  SocConstrainedController(core::PolicyPtr policy, const BatteryModel& battery);
+
+  /// One stop followed by `drive_s` seconds of driving (recharge window).
+  /// Decision logic per stop:
+  ///   - if SOC < min_soc: forced idle (engine stays on; cost = y);
+  ///   - else: draw a threshold x from the base policy; if the stop reaches
+  ///     x, shut off, drain accessories for (y - x), pay the restart.
+  /// Shut-off is also abandoned early (engine restarts) if the battery
+  /// floor is hit mid-stop, paying the idling remainder.
+  /// Returns the cost charged for this stop.
+  double process_stop(double stop_length, double drive_s, util::Rng& rng);
+
+  double soc() const { return soc_; }
+  const CostTotals& totals() const { return totals_; }
+  std::size_t forced_idle_stops() const { return forced_idle_stops_; }
+  std::size_t aborted_shutoffs() const { return aborted_shutoffs_; }
+  std::size_t stops_seen() const { return stops_seen_; }
+
+  const core::Policy& policy() const { return *policy_; }
+  const BatteryModel& battery() const { return battery_; }
+
+ private:
+  void recharge(double drive_s);
+
+  core::PolicyPtr policy_;
+  BatteryModel battery_;
+  double soc_;
+  CostTotals totals_;
+  std::size_t forced_idle_stops_ = 0;
+  std::size_t aborted_shutoffs_ = 0;
+  std::size_t stops_seen_ = 0;
+};
+
+}  // namespace idlered::sim

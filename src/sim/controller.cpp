@@ -1,0 +1,48 @@
+#include "sim/controller.h"
+
+#include <cmath>
+
+#include "core/costs.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+
+namespace idlered::sim {
+
+AdaptiveController::AdaptiveController(const Config& config)
+    : config_(config),
+      estimator_(config.break_even, config.decay_lambda),
+      policy_(core::make_n_rand(config.break_even)) {}
+
+double AdaptiveController::process_stop_expected(double stop_length) {
+  const double cost = policy_->expected_cost(stop_length);
+  totals_.online += cost;
+  totals_.offline += core::offline_cost(stop_length, config_.break_even);
+  ++totals_.num_stops;
+  observe(stop_length);
+  return cost;
+}
+
+double AdaptiveController::process_stop_sampled(double stop_length,
+                                                util::Rng& rng) {
+  const double x = policy_->sample_threshold(rng);
+  const double cost = std::isinf(x)
+                          ? stop_length
+                          : core::online_cost(x, stop_length,
+                                              config_.break_even);
+  totals_.online += cost;
+  totals_.offline += core::offline_cost(stop_length, config_.break_even);
+  ++totals_.num_stops;
+  observe(stop_length);
+  return cost;
+}
+
+void AdaptiveController::observe(double stop_length) {
+  estimator_.observe(stop_length);
+  ++stops_seen_;
+  if (stops_seen_ >= config_.warmup_stops) {
+    policy_ = std::make_shared<core::ProposedPolicy>(config_.break_even,
+                                                     estimator_.stats());
+  }
+}
+
+}  // namespace idlered::sim

@@ -1,0 +1,57 @@
+// A stateful stop-start controller, simulating deployment.
+//
+// The paper assumes the side statistics (mu_B_minus, q_B_plus) are known;
+// a real controller learns them from the stops it has already seen. The
+// AdaptiveController processes a stop stream strictly online: the policy
+// used for stop i depends only on stops 1..i-1. During warm-up (too little
+// history) it falls back to N-Rand, whose e/(e-1) guarantee needs no
+// statistics. Optional exponential forgetting tracks drifting traffic.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/estimator.h"
+#include "core/policy.h"
+#include "sim/evaluator.h"
+
+namespace idlered::sim {
+
+class AdaptiveController {
+ public:
+  struct Config {
+    double break_even = 28.0;
+    std::size_t warmup_stops = 10;  ///< use fallback until this many stops
+    double decay_lambda = 1.0;      ///< 1 = full history, <1 = forgetting
+  };
+
+  explicit AdaptiveController(const Config& config);
+
+  /// Process one stop in expected-cost mode: pay the current policy's
+  /// expected cost, then fold the observed length into the estimator.
+  /// Returns the cost paid for this stop.
+  double process_stop_expected(double stop_length);
+
+  /// Process one stop in sampled mode (draws a threshold).
+  double process_stop_sampled(double stop_length, util::Rng& rng);
+
+  /// The policy that will act on the *next* stop.
+  const core::Policy& current_policy() const { return *policy_; }
+
+  /// Accumulated totals so far (online cost, offline cost, stop count).
+  const CostTotals& totals() const { return totals_; }
+
+  std::size_t stops_seen() const { return stops_seen_; }
+  const Config& config() const { return config_; }
+
+ private:
+  void observe(double stop_length);
+
+  Config config_;
+  core::DecayingStatsEstimator estimator_;
+  core::PolicyPtr policy_;  ///< current acting policy
+  CostTotals totals_;
+  std::size_t stops_seen_ = 0;
+};
+
+}  // namespace idlered::sim

@@ -1,0 +1,51 @@
+#include "sim/evaluator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/costs.h"
+
+namespace idlered::sim {
+
+double CostTotals::cr() const {
+  if (num_stops == 0) return 1.0;
+  if (offline <= 0.0) {
+    return online <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return online / offline;
+}
+
+CostTotals evaluate_expected(const core::Policy& policy,
+                             const std::vector<double>& stops) {
+  CostTotals totals;
+  const double b = policy.break_even();
+  for (double y : stops) {
+    totals.online += policy.expected_cost(y);
+    totals.offline += core::offline_cost(y, b);
+    ++totals.num_stops;
+  }
+  return totals;
+}
+
+CostTotals evaluate_sampled(const core::Policy& policy,
+                            const std::vector<double>& stops,
+                            util::Rng& rng) {
+  CostTotals totals;
+  const double b = policy.break_even();
+  for (double y : stops) {
+    const double x = policy.sample_threshold(rng);
+    totals.online += std::isinf(x) ? y : core::online_cost(x, y, b);
+    totals.offline += core::offline_cost(y, b);
+    ++totals.num_stops;
+  }
+  return totals;
+}
+
+double offline_cost_total(const std::vector<double>& stops,
+                          double break_even) {
+  double total = 0.0;
+  for (double y : stops) total += core::offline_cost(y, break_even);
+  return total;
+}
+
+}  // namespace idlered::sim

@@ -1,0 +1,45 @@
+// Trace-level evaluation of online policies.
+//
+// The empirical competitive ratio of a policy on a vehicle is the ratio of
+// accumulated costs over the vehicle's stops (the empirical form of eq. 5):
+//
+//   CR = sum_i E_x[cost_online(x, y_i)] / sum_i cost_offline(y_i)
+//
+// Two modes:
+//  * expected — randomized policies contribute their exact expected cost per
+//    stop (no Monte-Carlo noise); this is the mode the figure reproductions
+//    use, matching the paper's definition of CR directly.
+//  * sampled  — one threshold is drawn per stop, simulating a deployed
+//    controller; by the law of large numbers this converges to expected
+//    mode (ablation A4 quantifies the gap).
+#pragma once
+
+#include <vector>
+
+#include "core/policy.h"
+
+namespace idlered::sim {
+
+struct CostTotals {
+  double online = 0.0;
+  double offline = 0.0;
+  std::size_t num_stops = 0;
+
+  /// Empirical competitive ratio; 1 when there were no stops (vacuous).
+  double cr() const;
+};
+
+/// Accumulate exact expected costs over a stop sequence.
+CostTotals evaluate_expected(const core::Policy& policy,
+                             const std::vector<double>& stops);
+
+/// Accumulate sampled costs (one threshold draw per stop).
+CostTotals evaluate_sampled(const core::Policy& policy,
+                            const std::vector<double>& stops,
+                            util::Rng& rng);
+
+/// Offline-only totals (the denominator of eq. 5) for a stop sequence.
+double offline_cost_total(const std::vector<double>& stops,
+                          double break_even);
+
+}  // namespace idlered::sim

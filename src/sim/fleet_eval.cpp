@@ -1,0 +1,99 @@
+#include "sim/fleet_eval.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+
+namespace idlered::sim {
+
+std::vector<StrategySpec> standard_strategy_set() {
+  std::vector<StrategySpec> specs;
+  specs.push_back({"TOI", [](const StopTrace&, double b) {
+                     return core::make_toi(b);
+                   }});
+  specs.push_back({"NEV", [](const StopTrace&, double b) {
+                     return core::make_nev(b);
+                   }});
+  specs.push_back({"DET", [](const StopTrace&, double b) {
+                     return core::make_det(b);
+                   }});
+  specs.push_back({"N-Rand", [](const StopTrace&, double b) {
+                     return core::make_n_rand(b);
+                   }});
+  specs.push_back({"MOM-Rand", [](const StopTrace& t, double b) {
+                     return core::make_mom_rand(b, t.mean_stop_length());
+                   }});
+  specs.push_back({"COA", [](const StopTrace& t, double b) {
+                     return std::make_shared<core::ProposedPolicy>(b, t.stops);
+                   }});
+  return specs;
+}
+
+std::vector<double> FleetComparison::mean_cr() const {
+  std::vector<double> out(num_strategies(), 0.0);
+  if (vehicles.empty()) return out;
+  for (const VehicleResult& v : vehicles) {
+    for (std::size_t s = 0; s < out.size(); ++s) out[s] += v.cr[s];
+  }
+  for (double& x : out) x /= static_cast<double>(vehicles.size());
+  return out;
+}
+
+std::vector<double> FleetComparison::worst_cr() const {
+  std::vector<double> out(num_strategies(),
+                          -std::numeric_limits<double>::infinity());
+  for (const VehicleResult& v : vehicles) {
+    for (std::size_t s = 0; s < out.size(); ++s)
+      out[s] = std::max(out[s], v.cr[s]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> FleetComparison::best_counts(double tie_tol) const {
+  std::vector<std::size_t> out(num_strategies(), 0);
+  for (const VehicleResult& v : vehicles) {
+    const double best = *std::min_element(v.cr.begin(), v.cr.end());
+    for (std::size_t s = 0; s < out.size(); ++s) {
+      if (v.cr[s] <= best + tie_tol) ++out[s];
+    }
+  }
+  return out;
+}
+
+FleetComparison FleetComparison::filter_area(const std::string& area) const {
+  FleetComparison out;
+  out.strategy_names = strategy_names;
+  for (const VehicleResult& v : vehicles) {
+    if (v.area == area) out.vehicles.push_back(v);
+  }
+  return out;
+}
+
+FleetComparison compare_strategies(const Fleet& fleet, double break_even,
+                                   const std::vector<StrategySpec>& specs) {
+  if (specs.empty())
+    throw std::invalid_argument("compare_strategies: no strategies given");
+  FleetComparison result;
+  result.strategy_names.reserve(specs.size());
+  for (const StrategySpec& s : specs) result.strategy_names.push_back(s.name);
+
+  for (const StopTrace& trace : fleet) {
+    if (trace.stops.empty()) continue;
+    VehicleResult vr;
+    vr.vehicle_id = trace.vehicle_id;
+    vr.area = trace.area;
+    vr.cr.reserve(specs.size());
+    for (const StrategySpec& spec : specs) {
+      const core::PolicyPtr policy = spec.factory(trace, break_even);
+      vr.cr.push_back(evaluate_expected(*policy, trace.stops).cr());
+    }
+    result.vehicles.push_back(std::move(vr));
+  }
+  return result;
+}
+
+}  // namespace idlered::sim

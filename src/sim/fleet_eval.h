@@ -1,0 +1,66 @@
+// Fleet-level strategy comparison — the machinery behind Figure 4 and the
+// Figure 5/6 sweeps.
+//
+// For every vehicle, each strategy is instantiated with whatever side
+// information it is entitled to (MOM-Rand sees the vehicle's first moment,
+// COA sees the vehicle's (mu_B_minus, q_B_plus); NEV/TOI/DET/N-Rand need
+// nothing), evaluated in expected mode over the vehicle's stops, and the
+// per-vehicle CRs are aggregated into worst case (max over vehicles),
+// average, and best-strategy counts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/evaluator.h"
+#include "sim/trace.h"
+
+namespace idlered::sim {
+
+/// Builds a policy for one vehicle given its trace and the break-even B.
+using PolicyFactory =
+    std::function<core::PolicyPtr(const StopTrace&, double break_even)>;
+
+struct StrategySpec {
+  std::string name;
+  PolicyFactory factory;
+};
+
+/// The paper's Figure-4 lineup: TOI, NEV, DET, N-Rand, MOM-Rand, COA
+/// (COA last, as "Proposed").
+std::vector<StrategySpec> standard_strategy_set();
+
+struct VehicleResult {
+  std::string vehicle_id;
+  std::string area;
+  std::vector<double> cr;  ///< one CR per strategy, strategy order preserved
+};
+
+struct FleetComparison {
+  std::vector<std::string> strategy_names;
+  std::vector<VehicleResult> vehicles;
+
+  std::size_t num_strategies() const { return strategy_names.size(); }
+
+  /// Mean CR per strategy over all vehicles.
+  std::vector<double> mean_cr() const;
+
+  /// Worst (max) CR per strategy over all vehicles.
+  std::vector<double> worst_cr() const;
+
+  /// Number of vehicles on which each strategy achieves the (possibly tied)
+  /// minimum CR, within `tie_tol` of the vehicle's best.
+  std::vector<std::size_t> best_counts(double tie_tol = 1e-9) const;
+
+  /// Restrict to one area (for the per-area panels of Figure 4).
+  FleetComparison filter_area(const std::string& area) const;
+};
+
+/// Evaluate every strategy on every vehicle (expected mode). Vehicles with
+/// no stops are skipped.
+FleetComparison compare_strategies(const Fleet& fleet, double break_even,
+                                   const std::vector<StrategySpec>& specs);
+
+}  // namespace idlered::sim

@@ -1,0 +1,39 @@
+#include "sim/savings.h"
+
+#include <stdexcept>
+
+namespace idlered::sim {
+
+RealCost to_real_cost(double idle_second_equivalents,
+                      const costmodel::VehicleConfig& vehicle) {
+  RealCost r;
+  r.idle_second_equivalents = idle_second_equivalents;
+  const double cc_per_s = costmodel::idle_fuel_cc_per_s(vehicle.engine);
+  r.fuel_liters = idle_second_equivalents * cc_per_s / 1000.0;
+  const double cents_per_s =
+      costmodel::idling_cost_cents_per_s(vehicle.engine, vehicle.fuel);
+  r.usd = idle_second_equivalents * cents_per_s / 100.0;
+  r.co2_kg = r.fuel_liters * kCo2KgPerLiterGasoline;
+  return r;
+}
+
+RealCost savings(const CostTotals& policy, const CostTotals& baseline,
+                 const costmodel::VehicleConfig& vehicle) {
+  return to_real_cost(baseline.online - policy.online, vehicle);
+}
+
+RealCost project_fleet_year(const RealCost& per_vehicle_sample,
+                            double sample_days, double fleet_size) {
+  if (sample_days <= 0.0 || fleet_size <= 0.0)
+    throw std::invalid_argument(
+        "project_fleet_year: days and fleet size must be > 0");
+  const double factor = 365.0 / sample_days * fleet_size;
+  RealCost r = per_vehicle_sample;
+  r.idle_second_equivalents *= factor;
+  r.fuel_liters *= factor;
+  r.usd *= factor;
+  r.co2_kg *= factor;
+  return r;
+}
+
+}  // namespace idlered::sim

@@ -1,0 +1,42 @@
+// Real-unit accounting: converts the dimensionless idle-second-equivalent
+// costs the algorithms work in back into fuel, money, and CO2, and
+// projects per-vehicle savings to fleets and years — the bridge from the
+// competitive-ratio results to the paper's motivating "6 billion gallons
+// each year" framing.
+#pragma once
+
+#include "costmodel/break_even.h"
+#include "sim/evaluator.h"
+
+namespace idlered::sim {
+
+/// One cost expressed in physical units.
+struct RealCost {
+  double idle_second_equivalents = 0.0;
+  double fuel_liters = 0.0;
+  double usd = 0.0;
+  double co2_kg = 0.0;
+};
+
+/// Kilograms of CO2 per litre of gasoline burned (combustion stoichiometry).
+inline constexpr double kCo2KgPerLiterGasoline = 2.31;
+
+/// Litres per US gallon.
+inline constexpr double kLitersPerGallon = 3.785;
+
+/// Convert idle-second equivalents into physical units for a vehicle.
+RealCost to_real_cost(double idle_second_equivalents,
+                      const costmodel::VehicleConfig& vehicle);
+
+/// Savings of `policy` relative to `baseline` on the same stop sequence,
+/// in physical units. Negative values mean the policy cost *more*.
+RealCost savings(const CostTotals& policy, const CostTotals& baseline,
+                 const costmodel::VehicleConfig& vehicle);
+
+/// Scale a per-sample cost to a yearly, fleet-level figure:
+/// the sample covered `sample_days` days of one vehicle; the projection
+/// covers `fleet_size` vehicles for 365 days.
+RealCost project_fleet_year(const RealCost& per_vehicle_sample,
+                            double sample_days, double fleet_size);
+
+}  // namespace idlered::sim

@@ -1,0 +1,86 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace idlered::sim {
+
+double StopTrace::total_stop_time() const {
+  return std::accumulate(stops.begin(), stops.end(), 0.0);
+}
+
+double StopTrace::mean_stop_length() const {
+  if (stops.empty())
+    throw std::logic_error("StopTrace::mean_stop_length: empty trace");
+  return total_stop_time() / static_cast<double>(stops.size());
+}
+
+std::vector<double> pooled_stops(const Fleet& fleet) {
+  std::vector<double> all;
+  std::size_t total = 0;
+  for (const StopTrace& t : fleet) total += t.stops.size();
+  all.reserve(total);
+  for (const StopTrace& t : fleet)
+    all.insert(all.end(), t.stops.begin(), t.stops.end());
+  return all;
+}
+
+std::string fleet_to_csv(const Fleet& fleet) {
+  util::CsvWriter w;
+  w.add_row(util::CsvRow{"vehicle_id", "area", "stop_s"});
+  for (const StopTrace& t : fleet) {
+    for (double y : t.stops) {
+      std::ostringstream val;
+      val.precision(17);
+      val << y;
+      w.add_row(util::CsvRow{t.vehicle_id, t.area, val.str()});
+    }
+  }
+  return w.str();
+}
+
+Fleet fleet_from_csv(const std::string& csv_text) {
+  const util::CsvDocument doc = util::parse_csv(csv_text, /*has_header=*/true);
+  const int id_col = doc.column("vehicle_id");
+  const int area_col = doc.column("area");
+  const int stop_col = doc.column("stop_s");
+  if (id_col < 0 || area_col < 0 || stop_col < 0)
+    throw std::runtime_error(
+        "fleet_from_csv: need vehicle_id, area, stop_s columns");
+
+  Fleet fleet;
+  for (const util::CsvRow& row : doc.rows) {
+    const std::string& id = row.at(static_cast<std::size_t>(id_col));
+    const std::string& area = row.at(static_cast<std::size_t>(area_col));
+    const double stop = std::stod(row.at(static_cast<std::size_t>(stop_col)));
+    if (fleet.empty() || fleet.back().vehicle_id != id ||
+        fleet.back().area != area) {
+      fleet.push_back(StopTrace{id, area, {}});
+    }
+    fleet.back().stops.push_back(stop);
+  }
+  return fleet;
+}
+
+void write_fleet_csv(const Fleet& fleet, const std::string& path) {
+  // Serialize through fleet_to_csv to keep one serialization path.
+  const std::string text = fleet_to_csv(fleet);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write fleet CSV: " + path);
+  out << text;
+  if (!out) throw std::runtime_error("short write to fleet CSV: " + path);
+}
+
+Fleet read_fleet_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open fleet CSV: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return fleet_from_csv(buf.str());
+}
+
+}  // namespace idlered::sim

@@ -1,0 +1,35 @@
+// Stop traces: the per-vehicle sequences of stop lengths that every
+// trace-driven experiment consumes. Mirrors the structure of the NREL
+// driving-data release the paper uses (per-vehicle, one week of stops,
+// grouped by metropolitan area).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idlered::sim {
+
+struct StopTrace {
+  std::string vehicle_id;
+  std::string area;                ///< "California", "Chicago", "Atlanta", ...
+  std::vector<double> stops;       ///< stop lengths in seconds, all > 0
+
+  std::size_t num_stops() const { return stops.size(); }
+  double total_stop_time() const;
+  double mean_stop_length() const;  ///< throws on an empty trace
+};
+
+using Fleet = std::vector<StopTrace>;
+
+/// All stop lengths of a fleet flattened into one sample (Figure 3 input).
+std::vector<double> pooled_stops(const Fleet& fleet);
+
+/// CSV round-trip: columns vehicle_id, area, stop_s (one row per stop).
+std::string fleet_to_csv(const Fleet& fleet);
+Fleet fleet_from_csv(const std::string& csv_text);
+
+/// File variants; throw std::runtime_error on I/O failure.
+void write_fleet_csv(const Fleet& fleet, const std::string& path);
+Fleet read_fleet_csv(const std::string& path);
+
+}  // namespace idlered::sim

@@ -1,0 +1,59 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace idlered::stats {
+
+BootstrapCi bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    int resamples, double confidence, util::Rng& rng) {
+  if (sample.empty())
+    throw std::invalid_argument("bootstrap_ci: empty sample");
+  if (resamples < 2)
+    throw std::invalid_argument("bootstrap_ci: need >= 2 resamples");
+  if (!(confidence > 0.0) || !(confidence < 1.0))
+    throw std::invalid_argument("bootstrap_ci: confidence must be in (0, 1)");
+
+  BootstrapCi ci;
+  ci.confidence = confidence;
+  ci.estimate = statistic(sample);
+
+  const auto n = static_cast<std::int64_t>(sample.size());
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      resample[i] = sample[static_cast<std::size_t>(
+          rng.uniform_int(0, n - 1))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = 0.5 * (1.0 - confidence);
+  ci.lo = quantile(stats, alpha);
+  ci.hi = quantile(std::move(stats), 1.0 - alpha);
+  return ci;
+}
+
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& sample,
+                              int resamples, double confidence,
+                              util::Rng& rng) {
+  return bootstrap_ci(
+      sample, [](const std::vector<double>& xs) { return mean(xs); },
+      resamples, confidence, rng);
+}
+
+BootstrapCi bootstrap_quantile_ci(const std::vector<double>& sample, double p,
+                                  int resamples, double confidence,
+                                  util::Rng& rng) {
+  return bootstrap_ci(
+      sample,
+      [p](const std::vector<double>& xs) { return quantile(xs, p); },
+      resamples, confidence, rng);
+}
+
+}  // namespace idlered::stats

@@ -1,0 +1,42 @@
+// Nonparametric bootstrap confidence intervals (percentile method).
+//
+// The Figure-4 reproduction reports fleet-mean CRs from a finite synthetic
+// cohort; bootstrap CIs over vehicles state how much of the COA-vs-baseline
+// gap is resolution and how much is signal.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/random.h"
+
+namespace idlered::stats {
+
+struct BootstrapCi {
+  double estimate = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;        ///< lower percentile bound
+  double hi = 0.0;        ///< upper percentile bound
+  double confidence = 0.0;
+
+  bool contains(double value) const { return value >= lo && value <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Generic percentile bootstrap: resample with replacement, evaluate
+/// `statistic` on each resample, report the (1-c)/2 and (1+c)/2 quantiles.
+BootstrapCi bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    int resamples, double confidence, util::Rng& rng);
+
+/// Convenience: CI on the sample mean.
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& sample,
+                              int resamples, double confidence,
+                              util::Rng& rng);
+
+/// Convenience: CI on a quantile (e.g. the p90 per-vehicle CR).
+BootstrapCi bootstrap_quantile_ci(const std::vector<double>& sample, double p,
+                                  int resamples, double confidence,
+                                  util::Rng& rng);
+
+}  // namespace idlered::stats

@@ -1,0 +1,131 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace idlered::stats {
+
+namespace {
+void require_nonempty(const std::vector<double>& xs, const char* what) {
+  if (xs.empty()) throw std::invalid_argument(std::string(what) + ": empty sample");
+}
+}  // namespace
+
+double mean(const std::vector<double>& xs) {
+  require_nonempty(xs, "mean");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) throw std::invalid_argument("variance: need >= 2 samples");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min(const std::vector<double>& xs) {
+  require_nonempty(xs, "min");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(const std::vector<double>& xs) {
+  require_nonempty(xs, "max");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::vector<double> xs, double p) {
+  require_nonempty(xs, "quantile");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("quantile: p must be in [0, 1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
+
+double fraction_at_most(const std::vector<double>& xs, double threshold) {
+  require_nonempty(xs, "fraction_at_most");
+  std::size_t k = 0;
+  for (double x : xs) {
+    if (x <= threshold) ++k;
+  }
+  return static_cast<double>(k) / static_cast<double>(xs.size());
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::mean: empty");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) throw std::logic_error("RunningStats::variance: need >= 2");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::min: empty");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::max: empty");
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) *
+             static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  s.min = min(xs);
+  s.max = max(xs);
+  s.median = median(xs);
+  return s;
+}
+
+}  // namespace idlered::stats

@@ -1,0 +1,69 @@
+// Descriptive statistics over samples: the building blocks for Table 1
+// (stops/day mean, std, tail probability) and for the per-vehicle CR
+// summaries in Figure 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace idlered::stats {
+
+/// Arithmetic mean; throws std::invalid_argument on an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased (n-1) sample variance; requires at least two samples.
+double variance(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation.
+double stddev(const std::vector<double>& xs);
+
+double min(const std::vector<double>& xs);
+double max(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile (type 7, the numpy/R default), p in [0,1].
+double quantile(std::vector<double> xs, double p);
+
+double median(const std::vector<double>& xs);
+
+/// Fraction of samples <= threshold — e.g. Table 1's P{X <= mu + 2 sigma}.
+double fraction_at_most(const std::vector<double>& xs, double threshold);
+
+/// One-pass accumulator for mean/variance (Welford) with min/max tracking.
+/// Used by the simulators where samples are produced incrementally.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< unbiased; requires count() >= 2
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator (parallel reduction of fleet shards).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a sample in one struct (convenience for tables).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace idlered::stats

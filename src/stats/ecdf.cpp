@@ -1,0 +1,30 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace idlered::stats {
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  if (sorted_.empty()) throw std::invalid_argument("Ecdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double p) const {
+  if (p <= 0.0 || p > 1.0)
+    throw std::invalid_argument("Ecdf::inverse: p must be in (0, 1]");
+  // Smallest k with k/n >= p, i.e. k = ceil(p * n), clamped to [1, n].
+  const std::size_t n = sorted_.size();
+  auto k = static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+  k = std::max<std::size_t>(1, std::min(k, n));
+  return sorted_[k - 1];
+}
+
+}  // namespace idlered::stats

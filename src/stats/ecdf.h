@@ -1,0 +1,31 @@
+// Empirical cumulative distribution function. Backs the empirical
+// stop-length distribution model and the Kolmogorov-Smirnov tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace idlered::stats {
+
+class Ecdf {
+ public:
+  /// Builds from a sample (copied and sorted). Throws on empty input.
+  explicit Ecdf(std::vector<double> sample);
+
+  /// F(x) = fraction of samples <= x (right-continuous step function).
+  double operator()(double x) const;
+
+  /// Generalized inverse: smallest sample value v with F(v) >= p, p in (0,1].
+  double inverse(double p) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace idlered::stats

@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace idlered::stats {
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / num_bins) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (num_bins < 1) throw std::invalid_argument("Histogram: need >= 1 bin");
+  counts_.assign(static_cast<std::size_t>(num_bins), 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard rounding at hi_
+  ++counts_[bin];
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lower(int i) const { return lo_ + width_ * i; }
+double Histogram::bin_upper(int i) const { return lo_ + width_ * (i + 1); }
+double Histogram::bin_center(int i) const { return lo_ + width_ * (i + 0.5); }
+
+std::size_t Histogram::count(int i) const {
+  return counts_.at(static_cast<std::size_t>(i));
+}
+
+double Histogram::probability(int i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::density(int i) const { return probability(i) / width_; }
+
+std::string Histogram::ascii(int max_bar_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (int i = 0; i < num_bins(); ++i) {
+    const int bar = static_cast<int>(std::lround(
+        static_cast<double>(count(i)) / static_cast<double>(peak) *
+        max_bar_width));
+    out << std::setw(8) << std::fixed << std::setprecision(1) << bin_lower(i)
+        << " - " << std::setw(8) << bin_upper(i) << " | " << std::setw(7)
+        << std::setprecision(4) << probability(i) << " | "
+        << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  if (overflow_ > 0) {
+    out << "    >= " << std::setw(8) << hi_ << "   | " << std::setw(7)
+        << std::setprecision(4)
+        << static_cast<double>(overflow_) / static_cast<double>(total_)
+        << " | (tail)\n";
+  }
+  return out.str();
+}
+
+}  // namespace idlered::stats

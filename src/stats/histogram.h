@@ -1,0 +1,55 @@
+// Fixed-bin histogram used to reproduce Figure 3 (stop-length probability
+// distributions) and to build empirical stop-length models from traces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace idlered::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); samples outside the range are counted in
+  /// the underflow/overflow tallies, not dropped silently.
+  Histogram(double lo, double hi, int num_bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+
+  /// Inclusive-lower / exclusive-upper edges of bin i.
+  double bin_lower(int i) const;
+  double bin_upper(int i) const;
+  double bin_center(int i) const;
+
+  std::size_t count(int i) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  /// Fraction of all samples (including under/overflow) in bin i.
+  double probability(int i) const;
+
+  /// Probability density estimate at bin i (probability / bin width).
+  double density(int i) const;
+
+  /// ASCII rendering with proportional bars — how bench_fig3 prints the
+  /// per-area stop-length distributions.
+  std::string ascii(int max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace idlered::stats

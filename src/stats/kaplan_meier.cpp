@@ -1,0 +1,91 @@
+#include "stats/kaplan_meier.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace idlered::stats {
+
+KaplanMeier::KaplanMeier(std::vector<CensoredObservation> observations)
+    : n_(observations.size()) {
+  if (observations.empty())
+    throw std::invalid_argument("KaplanMeier: empty sample");
+  for (const auto& o : observations) {
+    if (o.time < 0.0)
+      throw std::invalid_argument("KaplanMeier: negative time");
+    if (o.event) ++events_;
+  }
+  if (events_ == 0)
+    throw std::invalid_argument(
+        "KaplanMeier: need at least one uncensored event");
+
+  std::sort(observations.begin(), observations.end(),
+            [](const CensoredObservation& a, const CensoredObservation& b) {
+              // Ties: events before censorings (the censored subject was
+              // still at risk at the event time).
+              if (a.time != b.time) return a.time < b.time;
+              return a.event && !b.event;
+            });
+
+  double survival = 1.0;
+  std::size_t at_risk = n_;
+  std::size_t i = 0;
+  while (i < observations.size()) {
+    const double t = observations[i].time;
+    std::size_t deaths = 0;
+    std::size_t leaving = 0;
+    while (i < observations.size() && observations[i].time == t) {
+      if (observations[i].event) ++deaths;
+      ++leaving;
+      ++i;
+    }
+    if (deaths > 0) {
+      survival *= 1.0 - static_cast<double>(deaths) /
+                            static_cast<double>(at_risk);
+      steps_.push_back({t, survival});
+    }
+    at_risk -= leaving;
+  }
+}
+
+double KaplanMeier::survival(double t) const {
+  double s = 1.0;
+  for (const Step& step : steps_) {
+    if (step.time <= t) {
+      s = step.survival;
+    } else {
+      break;
+    }
+  }
+  return s;
+}
+
+dist::ShortStopStats KaplanMeier::short_stop_stats(double break_even) const {
+  if (break_even <= 0.0)
+    throw std::invalid_argument("short_stop_stats: break_even must be > 0");
+  // integral_0^B S(t) dt over the step function, and S just below B.
+  double integral = 0.0;
+  double prev_time = 0.0;
+  double prev_survival = 1.0;
+  for (const Step& step : steps_) {
+    if (step.time >= break_even) break;
+    integral += prev_survival * (step.time - prev_time);
+    prev_time = step.time;
+    prev_survival = step.survival;
+  }
+  integral += prev_survival * (break_even - prev_time);
+  const double s_at_b = prev_survival;  // S(B-)
+
+  dist::ShortStopStats out;
+  out.q_b_plus = s_at_b;
+  out.mu_b_minus = integral - break_even * s_at_b;
+  // Numerical guard: clamp into the feasible wedge.
+  out.mu_b_minus = std::max(0.0, out.mu_b_minus);
+  return out;
+}
+
+dist::ShortStopStats censored_short_stop_stats(
+    const std::vector<CensoredObservation>& observations, double break_even) {
+  return KaplanMeier(observations).short_stop_stats(break_even);
+}
+
+}  // namespace idlered::stats

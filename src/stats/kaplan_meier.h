@@ -1,0 +1,66 @@
+// Kaplan-Meier survival estimation for right-censored stop lengths.
+//
+// A deployed controller does not always observe a stop's full length: when
+// the driver parks and keys off, the "stop" ends the observation window —
+// the true waiting time (had the vehicle stayed) is only known to exceed
+// the observed duration. Treating such censored stops as exact observations
+// biases q_B+ (and hence the strategy choice). The Kaplan-Meier
+// product-limit estimator handles censoring properly:
+//
+//   S(t) = prod_{t_i <= t} (1 - d_i / n_i)
+//
+// with d_i events and n_i at-risk at each distinct observed time, and the
+// ski-rental statistics follow from the survival curve:
+//
+//   q_B+  = S(B-)                (probability a stop survives past B)
+//   mu_B- = integral_0^B S(t) dt - B S(B-)     (since E[min(y, B)] =
+//                                               integral_0^B S)
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace idlered::stats {
+
+struct CensoredObservation {
+  double time = 0.0;   ///< observed duration, >= 0
+  bool event = true;   ///< true: stop ended (exact); false: censored (>=)
+};
+
+class KaplanMeier {
+ public:
+  /// Builds the product-limit estimator. Throws on empty input or negative
+  /// times.
+  explicit KaplanMeier(std::vector<CensoredObservation> observations);
+
+  /// S(t) = P{ Y > t }; right-continuous step function. Beyond the largest
+  /// observed time the curve holds its last value (undefined region;
+  /// conventional for KM).
+  double survival(double t) const;
+
+  /// The paper's side statistics from the survival curve.
+  dist::ShortStopStats short_stop_stats(double break_even) const;
+
+  std::size_t num_observations() const { return n_; }
+  std::size_t num_events() const { return events_; }
+  std::size_t num_censored() const { return n_ - events_; }
+
+  /// Step points of the curve: (time, survival-after-time).
+  struct Step {
+    double time = 0.0;
+    double survival = 0.0;
+  };
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+  std::size_t n_ = 0;
+  std::size_t events_ = 0;
+};
+
+/// Convenience: side statistics from censored data in one call.
+dist::ShortStopStats censored_short_stop_stats(
+    const std::vector<CensoredObservation>& observations, double break_even);
+
+}  // namespace idlered::stats

@@ -1,0 +1,81 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace idlered::stats {
+
+KsResult ks_test(const std::vector<double>& sample,
+                 const std::function<double(double)>& cdf) {
+  if (sample.empty()) throw std::invalid_argument("ks_test: empty sample");
+  std::vector<double> xs = sample;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  KsResult result;
+  result.statistic = d;
+  result.p_value = kolmogorov_p_value(d, n);
+  return result;
+}
+
+KsResult ks_test_exponential(const std::vector<double>& sample) {
+  const double m = std::accumulate(sample.begin(), sample.end(), 0.0) /
+                   static_cast<double>(sample.size());
+  if (m <= 0.0)
+    throw std::invalid_argument("ks_test_exponential: non-positive mean");
+  return ks_test(sample, [m](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / m);
+  });
+}
+
+KsResult ks_test_two_sample(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("ks_test_two_sample: empty sample");
+  std::vector<double> xs = a;
+  std::vector<double> ys = b;
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.begin(), ys.end());
+  const auto na = static_cast<double>(xs.size());
+  const auto nb = static_cast<double>(ys.size());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < xs.size() && j < ys.size()) {
+    const double v = std::min(xs[i], ys[j]);
+    while (i < xs.size() && xs[i] <= v) ++i;
+    while (j < ys.size() && ys[j] <= v) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  KsResult result;
+  result.statistic = d;
+  result.p_value = kolmogorov_p_value(d, na * nb / (na + nb));
+  return result;
+}
+
+double kolmogorov_p_value(double statistic, double effective_n) {
+  if (statistic <= 0.0) return 1.0;
+  const double sqrt_n = std::sqrt(effective_n);
+  // Stephens' small-sample correction for the asymptotic series.
+  const double lambda =
+      (sqrt_n + 0.12 + 0.11 / sqrt_n) * statistic;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * lambda * lambda);
+    sum += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  return std::min(1.0, std::max(0.0, sum));
+}
+
+}  // namespace idlered::stats

@@ -1,0 +1,37 @@
+// Kolmogorov-Smirnov goodness-of-fit tests.
+//
+// The paper remarks (Section 5) that the measured stop-length distributions
+// differ from an exponential law "according to the Kolmogorov-Smirnov test,
+// mostly due to their heavy tails". bench_fig3 reproduces that check against
+// our synthetic fleets with the one-sample test below.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace idlered::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F_n(x) - F(x)| (or |F_n - G_m|)
+  double p_value = 1.0;    ///< asymptotic Kolmogorov p-value
+  bool reject_at(double alpha) const { return p_value < alpha; }
+};
+
+/// One-sample KS test of `sample` against the continuous CDF `cdf`.
+KsResult ks_test(const std::vector<double>& sample,
+                 const std::function<double(double)>& cdf);
+
+/// One-sample KS test against an exponential law with the sample's own mean
+/// (the comparison the paper makes). Note: estimating the rate from the data
+/// makes the classic p-value conservative (Lilliefors effect); we report the
+/// classic value, which is what matters for "clearly not exponential".
+KsResult ks_test_exponential(const std::vector<double>& sample);
+
+/// Two-sample KS test (used to compare areas / synthetic vs model).
+KsResult ks_test_two_sample(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+/// Asymptotic Kolmogorov distribution complement: P(K > x).
+double kolmogorov_p_value(double statistic, double effective_n);
+
+}  // namespace idlered::stats

@@ -1,0 +1,83 @@
+#include "traces/area_profiles.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "dist/adaptors.h"
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+
+namespace idlered::traces {
+
+AreaProfile california() {
+  AreaProfile p;
+  p.name = "California";
+  p.num_vehicles_driving = 217;
+  p.num_vehicles_stops_dataset = 291;
+  p.mean_stop_s = 63.0;  // long signal waits: near-TOI regime at B = 28
+  p.stops_per_day_mean = 9.37;   // Table 1
+  p.stops_per_day_std = 7.68;
+  return p;
+}
+
+AreaProfile chicago() {
+  AreaProfile p;
+  p.name = "Chicago";
+  p.num_vehicles_driving = 312;
+  p.num_vehicles_stops_dataset = 408;
+  // Stop-and-go downtown traffic: shorter but more frequent stops that
+  // straddle the break-even interval — the hardest regime (highest CR).
+  p.mean_stop_s = 38.0;
+  p.stops_per_day_mean = 12.49;  // Table 1
+  p.stops_per_day_std = 9.97;
+  return p;
+}
+
+AreaProfile atlanta() {
+  AreaProfile p;
+  p.name = "Atlanta";
+  p.num_vehicles_driving = 653;
+  p.num_vehicles_stops_dataset = 827;
+  p.mean_stop_s = 60.0;
+  p.stops_per_day_mean = 10.37;  // Table 1
+  p.stops_per_day_std = 8.42;
+  return p;
+}
+
+std::vector<AreaProfile> all_areas() {
+  return {california(), chicago(), atlanta()};
+}
+
+namespace {
+
+/// The unscaled mixture shape shared by all areas: brief stops + signal
+/// waits (lognormal) + parking tail (Pareto).
+dist::DistributionPtr base_shape(const AreaProfile& p) {
+  auto brief = std::make_shared<dist::LogNormal>(
+      dist::LogNormal::from_mean_median(p.short_mean_s, p.short_median_s));
+  auto signal = std::make_shared<dist::LogNormal>(
+      dist::LogNormal::from_mean_median(p.signal_mean_s, p.signal_median_s));
+  auto tail = std::make_shared<dist::Pareto>(p.tail_scale_s, p.tail_shape);
+  std::vector<dist::Mixture::Component> comps;
+  comps.push_back({p.short_weight, brief});
+  comps.push_back({1.0 - p.short_weight - p.tail_weight, signal});
+  comps.push_back({p.tail_weight, tail});
+  return std::make_shared<dist::Mixture>(std::move(comps));
+}
+
+}  // namespace
+
+dist::DistributionPtr area_stop_distribution(const AreaProfile& profile) {
+  return scaled_stop_distribution(profile, profile.mean_stop_s);
+}
+
+dist::DistributionPtr scaled_stop_distribution(const AreaProfile& profile,
+                                               double target_mean_s) {
+  if (target_mean_s <= 0.0)
+    throw std::invalid_argument(
+        "scaled_stop_distribution: target mean must be > 0");
+  return std::make_shared<dist::Scaled>(
+      dist::Scaled::with_mean(base_shape(profile), target_mean_s));
+}
+
+}  // namespace idlered::traces

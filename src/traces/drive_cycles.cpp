@@ -1,0 +1,85 @@
+#include "traces/drive_cycles.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace idlered::traces {
+
+double DriveCycle::total_idle_s() const {
+  return std::accumulate(stop_lengths_s.begin(), stop_lengths_s.end(), 0.0);
+}
+
+double DriveCycle::idle_fraction() const {
+  return duration_s > 0.0 ? total_idle_s() / duration_s : 0.0;
+}
+
+double DriveCycle::mean_stop_s() const {
+  if (stop_lengths_s.empty())
+    throw std::logic_error("DriveCycle::mean_stop_s: cycle has no stops");
+  return total_idle_s() / static_cast<double>(stop_lengths_s.size());
+}
+
+DriveCycle nycc() {
+  // 598 s total; published idle fraction ~35% (~210 s) across ~11 stops of
+  // very uneven length — dense Manhattan stop-and-go.
+  DriveCycle c;
+  c.name = "NYCC";
+  c.duration_s = 598.0;
+  c.stop_lengths_s = {20.0, 14.0, 32.0, 9.0, 26.0, 17.0,
+                      41.0, 12.0, 18.0, 11.0, 10.0};
+  return c;
+}
+
+DriveCycle udds() {
+  // 1369 s total; ~18% idle (~250 s) across 17 stops, mostly brief signal
+  // waits with one long opening idle (cold start).
+  DriveCycle c;
+  c.name = "UDDS";
+  c.duration_s = 1369.0;
+  c.stop_lengths_s = {20.0, 19.0, 12.0, 24.0, 10.0, 21.0, 15.0, 9.0, 22.0,
+                      13.0, 8.0,  17.0, 11.0, 14.0, 12.0, 16.0, 7.0};
+  return c;
+}
+
+DriveCycle nedc() {
+  // 1180 s total; ~24% idle. The urban part repeats the ECE-15 elementary
+  // cycle four times; each repetition's idle phases are the regulation's
+  // fixed 11 s / 21 s / 21 s / 16 s blocks, then the EUDC opens with 20 s.
+  DriveCycle c;
+  c.name = "NEDC";
+  c.duration_s = 1180.0;
+  for (int rep = 0; rep < 4; ++rep) {
+    c.stop_lengths_s.insert(c.stop_lengths_s.end(),
+                            {11.0, 21.0, 21.0, 16.0});
+  }
+  c.stop_lengths_s.push_back(20.0);
+  return c;
+}
+
+DriveCycle wltc3() {
+  // 1800 s total; ~13% idle (~226 s) across 9 stops — faster, more
+  // transient cycle with fewer but longer waits.
+  DriveCycle c;
+  c.name = "WLTC-3";
+  c.duration_s = 1800.0;
+  c.stop_lengths_s = {18.0, 36.0, 22.0, 30.0, 14.0, 39.0, 21.0, 26.0, 20.0};
+  return c;
+}
+
+std::vector<DriveCycle> standard_cycles() {
+  return {nycc(), udds(), nedc(), wltc3()};
+}
+
+std::vector<double> repeat_cycle(const DriveCycle& cycle, int repeats) {
+  if (repeats < 1)
+    throw std::invalid_argument("repeat_cycle: repeats must be >= 1");
+  std::vector<double> out;
+  out.reserve(cycle.stop_lengths_s.size() * static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    out.insert(out.end(), cycle.stop_lengths_s.begin(),
+               cycle.stop_lengths_s.end());
+  }
+  return out;
+}
+
+}  // namespace idlered::traces

@@ -1,0 +1,47 @@
+// Standard regulatory drive cycles, reduced to their stop/idle phases.
+//
+// Certification cycles (NYCC, EPA UDDS, NEDC, WLTC) prescribe second-by-
+// second speed traces; for idling-reduction studies only the stop phases
+// matter. The tables here are *stylized* reductions calibrated to the
+// published cycle summaries (total duration, idle fraction, stop count) —
+// exact phase-by-phase transcription is not needed because the policies
+// only consume stop lengths. They give the repository a deterministic,
+// recognizable workload alongside the stochastic fleet generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idlered::traces {
+
+struct DriveCycle {
+  std::string name;
+  double duration_s = 0.0;            ///< total cycle duration
+  std::vector<double> stop_lengths_s; ///< idle phases, in cycle order
+
+  double total_idle_s() const;
+  double idle_fraction() const;       ///< total idle / duration
+  std::size_t num_stops() const { return stop_lengths_s.size(); }
+  double mean_stop_s() const;         ///< throws if the cycle has no stops
+};
+
+/// New York City Cycle: low-speed urban crawl, ~35% idle.
+DriveCycle nycc();
+
+/// EPA Urban Dynamometer Driving Schedule (FTP-75 urban phases), ~18% idle.
+DriveCycle udds();
+
+/// New European Driving Cycle (4x ECE-15 + EUDC), ~24% idle; the ECE-15
+/// idle phases are fixed 11/21/21 s blocks by regulation.
+DriveCycle nedc();
+
+/// WLTC class 3 (worldwide harmonized), ~13% idle, longer and faster.
+DriveCycle wltc3();
+
+std::vector<DriveCycle> standard_cycles();
+
+/// Stop sequence of `repeats` back-to-back cycles (a commute made of the
+/// same certification loop).
+std::vector<double> repeat_cycle(const DriveCycle& cycle, int repeats);
+
+}  // namespace idlered::traces

@@ -1,0 +1,117 @@
+#include "traces/fleet_generator.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "dist/adaptors.h"
+
+namespace idlered::traces {
+
+namespace {
+
+/// Lognormal (mu, sigma) matched to a target (mean, std):
+/// sigma^2 = ln(1 + cv^2), mu = ln(mean) - sigma^2 / 2.
+struct LogNormalParams {
+  double mu;
+  double sigma;
+};
+
+LogNormalParams match_moments(double mean, double std) {
+  const double cv2 = (std / mean) * (std / mean);
+  LogNormalParams p{};
+  p.sigma = std::sqrt(std::log1p(cv2));
+  p.mu = std::log(mean) - 0.5 * p.sigma * p.sigma;
+  return p;
+}
+
+sim::StopTrace generate_vehicle_from(const AreaProfile& profile,
+                                     const dist::DistributionPtr& area_law,
+                                     int index, util::Rng& rng) {
+  // Per-vehicle congestion factor: unit-mean lognormal.
+  const double s = profile.vehicle_sigma;
+  const double factor = rng.lognormal(-0.5 * s * s, s);
+  const dist::Scaled vehicle_law(area_law, factor);
+
+  sim::StopTrace trace;
+  std::ostringstream id;
+  id << profile.name << "-" << index;
+  trace.vehicle_id = id.str();
+  trace.area = profile.name;
+
+  for (int day = 0; day < profile.days_recorded; ++day) {
+    const int count = draw_daily_stop_count(profile, rng);
+    for (int k = 0; k < count; ++k) {
+      trace.stops.push_back(vehicle_law.sample(rng));
+    }
+  }
+  // A week with zero stops would make the trace unusable; give such a
+  // vehicle a single stop, matching how sparse NREL vehicles still appear.
+  if (trace.stops.empty()) trace.stops.push_back(vehicle_law.sample(rng));
+  return trace;
+}
+
+}  // namespace
+
+int draw_daily_stop_count(const AreaProfile& profile, util::Rng& rng) {
+  const LogNormalParams p =
+      match_moments(profile.stops_per_day_mean, profile.stops_per_day_std);
+  const double draw = rng.lognormal(p.mu, p.sigma);
+  return static_cast<int>(std::lround(draw));
+}
+
+std::vector<double> sample_stops_per_day(const AreaProfile& profile, int n,
+                                         util::Rng& rng) {
+  const LogNormalParams p =
+      match_moments(profile.stops_per_day_mean, profile.stops_per_day_std);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(std::round(rng.lognormal(p.mu, p.sigma)));
+  }
+  return out;
+}
+
+sim::StopTrace generate_vehicle(const AreaProfile& profile, int index,
+                                util::Rng& rng) {
+  return generate_vehicle_from(profile, area_stop_distribution(profile),
+                               index, rng);
+}
+
+sim::Fleet generate_area_fleet(const AreaProfile& profile, util::Rng& rng) {
+  sim::Fleet fleet;
+  fleet.reserve(static_cast<std::size_t>(profile.num_vehicles_driving));
+  const dist::DistributionPtr law = area_stop_distribution(profile);
+  for (int i = 0; i < profile.num_vehicles_driving; ++i) {
+    util::Rng vehicle_rng = rng.fork(static_cast<std::uint64_t>(i));
+    fleet.push_back(generate_vehicle_from(profile, law, i, vehicle_rng));
+  }
+  return fleet;
+}
+
+sim::Fleet generate_study_fleet(std::uint64_t seed) {
+  util::Rng rng(seed);
+  sim::Fleet fleet;
+  for (const AreaProfile& area : all_areas()) {
+    util::Rng area_rng = rng.fork(std::hash<std::string>{}(area.name));
+    sim::Fleet area_fleet = generate_area_fleet(area, area_rng);
+    fleet.insert(fleet.end(), area_fleet.begin(), area_fleet.end());
+  }
+  return fleet;
+}
+
+sim::Fleet generate_scaled_fleet(const AreaProfile& profile,
+                                 double target_mean_s, int n,
+                                 util::Rng& rng) {
+  sim::Fleet fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  const dist::DistributionPtr law =
+      scaled_stop_distribution(profile, target_mean_s);
+  for (int i = 0; i < n; ++i) {
+    util::Rng vehicle_rng = rng.fork(static_cast<std::uint64_t>(i));
+    fleet.push_back(generate_vehicle_from(profile, law, i, vehicle_rng));
+  }
+  return fleet;
+}
+
+}  // namespace idlered::traces

@@ -1,0 +1,42 @@
+// Synthetic fleet generation: turns an AreaProfile into per-vehicle stop
+// traces shaped like the NREL driving-data release (one week per vehicle).
+#pragma once
+
+#include <vector>
+
+#include "sim/trace.h"
+#include "traces/area_profiles.h"
+#include "util/random.h"
+
+namespace idlered::traces {
+
+/// One vehicle: draws a per-vehicle scale factor, a stops/day count for each
+/// recorded day, then samples that many stop lengths from the scaled law.
+/// `index` only labels the vehicle id.
+sim::StopTrace generate_vehicle(const AreaProfile& profile, int index,
+                                util::Rng& rng);
+
+/// The area's Figure-4 fleet (profile.num_vehicles_driving vehicles). Each
+/// vehicle gets an independent forked RNG stream, so results do not depend
+/// on generation order.
+sim::Fleet generate_area_fleet(const AreaProfile& profile, util::Rng& rng);
+
+/// All three areas in one fleet — the paper's full 1182-vehicle study.
+sim::Fleet generate_study_fleet(std::uint64_t seed);
+
+/// A fleet of `n` vehicles whose stop law is the profile's shape rescaled
+/// to `target_mean_s` — one data point of the Figures 5/6 sweeps.
+sim::Fleet generate_scaled_fleet(const AreaProfile& profile,
+                                 double target_mean_s, int n,
+                                 util::Rng& rng);
+
+/// Stops/day draws for the Table 1 reproduction: one value per vehicle-day,
+/// lognormal matched to the profile's (mean, std).
+std::vector<double> sample_stops_per_day(const AreaProfile& profile, int n,
+                                         util::Rng& rng);
+
+/// Number of stops for one vehicle-day (integer draw used by the trace
+/// generator; shares the lognormal model above).
+int draw_daily_stop_count(const AreaProfile& profile, util::Rng& rng);
+
+}  // namespace idlered::traces

@@ -1,0 +1,106 @@
+#include "traffic/arterial.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace idlered::traffic {
+
+ArterialConfig green_wave(int num_intersections, double cycle_s,
+                          double green_s, double link_travel_s) {
+  if (num_intersections < 1)
+    throw std::invalid_argument("green_wave: need >= 1 intersection");
+  ArterialConfig c;
+  c.signal.cycle_s = cycle_s;
+  c.signal.green_s = green_s;
+  c.link_travel_s = link_travel_s;
+  c.offsets_s.reserve(static_cast<std::size_t>(num_intersections));
+  for (int i = 0; i < num_intersections; ++i) {
+    c.offsets_s.push_back(std::fmod(link_travel_s * i, cycle_s));
+  }
+  return c;
+}
+
+ArterialConfig uncoordinated(int num_intersections, double cycle_s,
+                             double green_s, double link_travel_s,
+                             util::Rng& rng) {
+  ArterialConfig c = green_wave(num_intersections, cycle_s, green_s,
+                                link_travel_s);
+  for (double& offset : c.offsets_s) {
+    offset = rng.uniform(0.0, cycle_s);
+  }
+  return c;
+}
+
+ArterialSimulator::ArterialSimulator(const ArterialConfig& config)
+    : config_(config) {
+  const SignalTiming& s = config.signal;
+  if (!(s.cycle_s > 0.0) || !(s.green_s > 0.0) || s.green_s >= s.cycle_s)
+    throw std::invalid_argument("ArterialSimulator: need 0 < green < cycle");
+  if (config.offsets_s.empty())
+    throw std::invalid_argument("ArterialSimulator: need >= 1 intersection");
+  if (config.link_travel_s <= 0.0)
+    throw std::invalid_argument("ArterialSimulator: link time must be > 0");
+  if (config.link_sigma < 0.0 || config.queue_delay_s < 0.0)
+    throw std::invalid_argument("ArterialSimulator: noise params must be >= 0");
+}
+
+double ArterialSimulator::signal_wait(double t, double offset) const {
+  const double cycle = config_.signal.cycle_s;
+  const double phase = std::fmod(std::fmod(t - offset, cycle) + cycle, cycle);
+  if (phase < config_.signal.green_s) return 0.0;  // green
+  return cycle - phase;  // time until the next green onset
+}
+
+std::vector<double> ArterialSimulator::simulate_trip(util::Rng& rng) const {
+  std::vector<double> stops;
+  double t = rng.uniform(0.0, config_.signal.cycle_s);
+  for (double offset : config_.offsets_s) {
+    double wait = signal_wait(t, offset);
+    if (wait > 0.0) {
+      // Red arrival: queued vehicles ahead add discharge delay.
+      if (config_.queue_delay_s > 0.0) {
+        wait += rng.exponential(config_.queue_delay_s);
+      }
+      stops.push_back(wait);
+      t += wait;
+    }
+    // Drive the link to the next intersection.
+    const double sigma = config_.link_sigma;
+    const double factor =
+        sigma > 0.0 ? rng.lognormal(-0.5 * sigma * sigma, sigma) : 1.0;
+    t += config_.link_travel_s * factor;
+  }
+  return stops;
+}
+
+sim::StopTrace ArterialSimulator::simulate_vehicle(
+    const std::string& vehicle_id, int num_trips, util::Rng& rng) const {
+  if (num_trips < 1)
+    throw std::invalid_argument("simulate_vehicle: need >= 1 trip");
+  sim::StopTrace trace;
+  trace.vehicle_id = vehicle_id;
+  trace.area = "Arterial";
+  for (int trip = 0; trip < num_trips; ++trip) {
+    const auto stops = simulate_trip(rng);
+    trace.stops.insert(trace.stops.end(), stops.begin(), stops.end());
+  }
+  return trace;
+}
+
+sim::Fleet ArterialSimulator::simulate_fleet(int num_vehicles, int num_trips,
+                                             util::Rng& rng) const {
+  if (num_vehicles < 1)
+    throw std::invalid_argument("simulate_fleet: need >= 1 vehicle");
+  sim::Fleet fleet;
+  fleet.reserve(static_cast<std::size_t>(num_vehicles));
+  for (int v = 0; v < num_vehicles; ++v) {
+    std::ostringstream id;
+    id << "arterial-" << v;
+    util::Rng vehicle_rng = rng.fork(static_cast<std::uint64_t>(v));
+    fleet.push_back(simulate_vehicle(id.str(), num_trips, vehicle_rng));
+  }
+  return fleet;
+}
+
+}  // namespace idlered::traffic

@@ -1,0 +1,100 @@
+#include "traffic/intersection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace idlered::traffic {
+
+IntersectionSimulator::IntersectionSimulator(const IntersectionConfig& config)
+    : config_(config) {
+  const SignalTiming& s = config.signal;
+  if (!(s.cycle_s > 0.0) || !(s.green_s > 0.0) || s.green_s >= s.cycle_s)
+    throw std::invalid_argument(
+        "IntersectionSimulator: need 0 < green < cycle");
+  if (config.arrival_rate_per_s <= 0.0)
+    throw std::invalid_argument(
+        "IntersectionSimulator: arrival rate must be > 0");
+  if (config.saturation_headway_s <= 0.0)
+    throw std::invalid_argument(
+        "IntersectionSimulator: saturation headway must be > 0");
+  if (config.startup_lost_time_s < 0.0)
+    throw std::invalid_argument(
+        "IntersectionSimulator: start-up lost time must be >= 0");
+}
+
+double IntersectionSimulator::utilization() const {
+  const double green_ratio = config_.signal.green_s / config_.signal.cycle_s;
+  const double capacity = green_ratio / config_.saturation_headway_s;
+  return config_.arrival_rate_per_s / capacity;
+}
+
+bool IntersectionSimulator::is_green(double t) const {
+  const double phase = std::fmod(t, config_.signal.cycle_s);
+  return phase < config_.signal.green_s;
+}
+
+double IntersectionSimulator::next_departure_opportunity(double t) const {
+  const double cycle = config_.signal.cycle_s;
+  const double green = config_.signal.green_s;
+  const double phase = std::fmod(t, cycle);
+  if (phase < green) return t;  // already green: depart now
+  // Red: wait for the start of the next green, plus start-up lost time
+  // (this vehicle is at the head of the queue when the light turns).
+  const double next_green_start = t - phase + cycle;
+  return next_green_start + config_.startup_lost_time_s;
+}
+
+std::vector<double> IntersectionSimulator::simulate(double horizon_s,
+                                                    util::Rng& rng) const {
+  if (horizon_s <= 0.0)
+    throw std::invalid_argument("simulate: horizon must be > 0");
+
+  std::vector<double> stops;
+  // `server_free_at` is when the last departing vehicle clears the stop
+  // line; a following queued vehicle needs one saturation headway more.
+  double server_free_at = 0.0;
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(1.0 / config_.arrival_rate_per_s);
+    if (t >= horizon_s) break;
+
+    if (t >= server_free_at && is_green(t)) {
+      // Free-flow passage: no queue ahead, light is green. The vehicle
+      // occupies the stop line for one headway but does not stop.
+      server_free_at = t + config_.saturation_headway_s;
+      continue;
+    }
+
+    // The vehicle must queue: behind the previous vehicle's departure
+    // (plus one discharge headway) and within a green phase.
+    const double after_queue =
+        std::max(t, server_free_at) +
+        (t < server_free_at ? config_.saturation_headway_s : 0.0);
+    double depart = next_departure_opportunity(after_queue);
+    // Start-up lost time applies to the queue head at green onset; if the
+    // vehicle departs mid-green behind others, next_departure_opportunity
+    // already returned the unmodified time.
+    depart = std::max(depart, t);
+    server_free_at = depart;
+    const double wait = depart - t;
+    if (wait > 0.0) stops.push_back(wait);
+  }
+  return stops;
+}
+
+std::vector<double> simulate_corridor(const CorridorConfig& corridor,
+                                      double horizon_s, util::Rng& rng) {
+  if (corridor.intersections.empty())
+    throw std::invalid_argument("simulate_corridor: no intersections");
+  std::vector<double> pooled;
+  for (std::size_t i = 0; i < corridor.intersections.size(); ++i) {
+    IntersectionSimulator sim(corridor.intersections[i]);
+    util::Rng fork = rng.fork(i);
+    std::vector<double> stops = sim.simulate(horizon_s, fork);
+    pooled.insert(pooled.end(), stops.begin(), stops.end());
+  }
+  return pooled;
+}
+
+}  // namespace idlered::traffic

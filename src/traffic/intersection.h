@@ -1,0 +1,68 @@
+// Signalized-intersection stop generator — a mechanistic substrate for stop
+// lengths, complementing the statistical NREL-like generator in src/traces.
+//
+// Model: a fixed-cycle traffic signal (green G out of cycle C) with Poisson
+// vehicle arrivals. During red, arrivals queue; during green, the queue
+// discharges one vehicle per saturation headway after a start-up lost time.
+// A vehicle's stop length is the time from joining the queue until it
+// departs. Vehicles that sail through on green without queuing produce no
+// stop. Under heavy demand the queue spills across cycles, producing the
+// multi-cycle waits that give real stop-length data its heavy tail — the
+// phenomenon the paper's algorithms exploit.
+#pragma once
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace idlered::traffic {
+
+struct SignalTiming {
+  double cycle_s = 90.0;  ///< full signal cycle
+  double green_s = 45.0;  ///< effective green per cycle (rest is red)
+};
+
+struct IntersectionConfig {
+  SignalTiming signal;
+  double arrival_rate_per_s = 0.10;   ///< Poisson vehicle arrivals
+  double saturation_headway_s = 2.0;  ///< per-vehicle discharge headway
+  double startup_lost_time_s = 2.0;   ///< first-vehicle start-up delay
+};
+
+class IntersectionSimulator {
+ public:
+  explicit IntersectionSimulator(const IntersectionConfig& config);
+
+  /// Simulate `horizon_s` seconds of operation and return the stop length
+  /// of every vehicle that had to stop (strictly positive durations).
+  std::vector<double> simulate(double horizon_s, util::Rng& rng) const;
+
+  /// Demand / capacity ratio (rho). Queues are stable for rho < 1; above 1
+  /// stops grow without bound over the horizon.
+  double utilization() const;
+
+  const IntersectionConfig& config() const { return config_; }
+
+ private:
+  /// Is absolute time t inside a green phase? (Cycle starts green at 0.)
+  bool is_green(double t) const;
+
+  /// Earliest time >= t at which a queued vehicle may depart, honouring
+  /// green phases and start-up lost time.
+  double next_departure_opportunity(double t) const;
+
+  IntersectionConfig config_;
+};
+
+/// A corridor of independent intersections: a vehicle driving through
+/// encounters each intersection's stop process in turn. Returns the pooled
+/// stop-length sample (the stop-length *law* of the corridor, not a
+/// per-vehicle trajectory).
+struct CorridorConfig {
+  std::vector<IntersectionConfig> intersections;
+};
+
+std::vector<double> simulate_corridor(const CorridorConfig& corridor,
+                                      double horizon_s, util::Rng& rng);
+
+}  // namespace idlered::traffic

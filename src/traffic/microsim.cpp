@@ -1,0 +1,155 @@
+#include "traffic/microsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace idlered::traffic {
+
+namespace {
+
+struct Vehicle {
+  int id = 0;
+  double position_m = 0.0;  ///< front bumper
+  double speed_mps = 0.0;
+  bool stopped = false;     ///< currently inside a stop event
+  double stop_start_s = 0.0;
+};
+
+double idm_acceleration(const IdmParams& p, double v, double gap,
+                        double closing_speed) {
+  const double v0 = p.desired_speed_mps;
+  const double free_term = 1.0 - std::pow(v / v0, 4.0);
+  if (gap == std::numeric_limits<double>::infinity()) {
+    return p.max_accel_mps2 * free_term;
+  }
+  const double s_star =
+      p.min_gap_m + v * p.time_headway_s +
+      v * closing_speed /
+          (2.0 * std::sqrt(p.max_accel_mps2 * p.comfort_decel_mps2));
+  const double interaction = std::max(0.0, s_star) / std::max(gap, 0.1);
+  return p.max_accel_mps2 * (free_term - interaction * interaction);
+}
+
+}  // namespace
+
+MicroSimulator::MicroSimulator(const MicrosimConfig& config)
+    : config_(config) {
+  const SignalTiming& s = config.signal;
+  if (!(s.cycle_s > 0.0) || !(s.green_s > 0.0) || s.green_s >= s.cycle_s)
+    throw std::invalid_argument("MicroSimulator: need 0 < green < cycle");
+  if (config.signal_position_m <= 0.0 ||
+      config.signal_position_m >= config.road_length_m)
+    throw std::invalid_argument(
+        "MicroSimulator: signal must sit strictly inside the road");
+  if (config.arrival_rate_per_s <= 0.0 || config.time_step_s <= 0.0)
+    throw std::invalid_argument(
+        "MicroSimulator: arrival rate and time step must be > 0");
+  if (config.idm.desired_speed_mps <= 0.0 ||
+      config.idm.max_accel_mps2 <= 0.0 ||
+      config.idm.comfort_decel_mps2 <= 0.0)
+    throw std::invalid_argument("MicroSimulator: invalid IDM parameters");
+}
+
+bool MicroSimulator::is_green(double t) const {
+  return std::fmod(t, config_.signal.cycle_s) < config_.signal.green_s;
+}
+
+std::vector<StopEvent> MicroSimulator::run(double horizon_s,
+                                           util::Rng& rng) const {
+  if (horizon_s <= 0.0)
+    throw std::invalid_argument("run: horizon must be > 0");
+
+  std::vector<StopEvent> events;
+  std::deque<Vehicle> road;  // front() is the most downstream vehicle
+  double next_arrival =
+      rng.exponential(1.0 / config_.arrival_rate_per_s);
+  int next_id = 0;
+  const double dt = config_.time_step_s;
+  const IdmParams& idm = config_.idm;
+
+  for (double t = 0.0; t < horizon_s; t += dt) {
+    // Inject arrivals (if the entrance is clear).
+    while (next_arrival <= t) {
+      const bool entrance_clear =
+          road.empty() ||
+          road.back().position_m - idm.vehicle_length_m > idm.min_gap_m;
+      if (entrance_clear) {
+        Vehicle v;
+        v.id = next_id++;
+        v.position_m = 0.0;
+        v.speed_mps = idm.desired_speed_mps * 0.8;
+        road.push_back(v);
+      }
+      // If blocked, the arrival is dropped (demand exceeds entry capacity).
+      next_arrival += rng.exponential(1.0 / config_.arrival_rate_per_s);
+    }
+
+    // Compute accelerations against each vehicle's effective leader.
+    const bool green = is_green(t);
+    std::vector<double> accel(road.size(), 0.0);
+    for (std::size_t i = 0; i < road.size(); ++i) {
+      Vehicle& v = road[i];
+      double gap = std::numeric_limits<double>::infinity();
+      double closing = 0.0;
+      if (i > 0) {
+        const Vehicle& leader = road[i - 1];
+        gap = leader.position_m - idm.vehicle_length_m - v.position_m;
+        closing = v.speed_mps - leader.speed_mps;
+      }
+      // A red signal ahead acts as a standing virtual leader at the line.
+      if (!green && v.position_m < config_.signal_position_m) {
+        const double signal_gap =
+            config_.signal_position_m - v.position_m;
+        if (signal_gap < gap) {
+          gap = signal_gap;
+          closing = v.speed_mps;
+        }
+      }
+      accel[i] = idm_acceleration(idm, v.speed_mps, gap, closing);
+    }
+
+    // Integrate (ballistic update, clamped at v >= 0).
+    for (std::size_t i = 0; i < road.size(); ++i) {
+      Vehicle& v = road[i];
+      const double v_new = std::max(0.0, v.speed_mps + accel[i] * dt);
+      v.position_m += 0.5 * (v.speed_mps + v_new) * dt;
+      v.speed_mps = v_new;
+
+      // Stop-event bookkeeping.
+      const bool at_rest = v.speed_mps < config_.stop_speed_mps;
+      if (at_rest && !v.stopped) {
+        v.stopped = true;
+        v.stop_start_s = t;
+      } else if (!at_rest && v.stopped) {
+        v.stopped = false;
+        events.push_back({v.id, v.stop_start_s, t - v.stop_start_s});
+      }
+    }
+
+    // Retire vehicles that left the road.
+    while (!road.empty() && road.front().position_m > config_.road_length_m) {
+      if (road.front().stopped) {
+        // Close the open stop at exit (cannot happen at positive speed,
+        // but guard against the threshold edge).
+        events.push_back({road.front().id, road.front().stop_start_s,
+                          t - road.front().stop_start_s});
+      }
+      road.pop_front();
+    }
+  }
+  return events;
+}
+
+std::vector<double> MicroSimulator::stop_durations(double horizon_s,
+                                                   util::Rng& rng) const {
+  std::vector<double> out;
+  for (const StopEvent& e : run(horizon_s, rng)) {
+    if (e.duration_s > 0.0) out.push_back(e.duration_s);
+  }
+  return out;
+}
+
+}  // namespace idlered::traffic

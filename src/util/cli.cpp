@@ -1,0 +1,58 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace idlered::util {
+
+Args::Args(int argc, char** argv) {
+  if (argc < 1) throw std::invalid_argument("Args: argc must be >= 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string name = token.substr(2);
+      // A following token that is not itself an option becomes the value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_.emplace_back(name, std::string(argv[i + 1]));
+        ++i;
+      } else {
+        options_.emplace_back(name, std::nullopt);
+      }
+    } else {
+      positional_.push_back(token);
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  for (const auto& [key, _] : options_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> Args::value(const std::string& name) const {
+  for (const auto& [key, val] : options_) {
+    if (key == name) return val;
+  }
+  return std::nullopt;
+}
+
+double Args::value_or(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  return v ? std::atof(v->c_str()) : fallback;
+}
+
+int Args::value_or(const std::string& name, int fallback) const {
+  const auto v = value(name);
+  return v ? std::atoi(v->c_str()) : fallback;
+}
+
+std::string Args::value_or(const std::string& name,
+                           const std::string& fallback) const {
+  const auto v = value(name);
+  return v ? *v : fallback;
+}
+
+}  // namespace idlered::util

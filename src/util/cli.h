@@ -1,0 +1,42 @@
+// Minimal command-line argument parsing for the tools and examples:
+// positional arguments plus --flag and --key value options. Deliberately
+// tiny — no registration, no help generation — because every consumer
+// prints its own usage text.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace idlered::util {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  /// Positional arguments (everything not starting with "--" and not
+  /// consumed as an option value).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True if --name appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of "--name value"; nullopt if absent or used as a bare flag.
+  std::optional<std::string> value(const std::string& name) const;
+
+  /// Typed access with defaults.
+  double value_or(const std::string& name, double fallback) const;
+  int value_or(const std::string& name, int fallback) const;
+  std::string value_or(const std::string& name,
+                       const std::string& fallback) const;
+
+ private:
+  std::string program_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::optional<std::string>>> options_;
+};
+
+}  // namespace idlered::util

@@ -1,0 +1,52 @@
+// Minimal CSV reading/writing used by the trace generators and the benchmark
+// harness to persist stop traces and experiment series. Handles quoted fields
+// containing commas/quotes/newlines — enough for our own round-trips plus
+// externally produced trace files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idlered::util {
+
+/// One parsed CSV row (field per column).
+using CsvRow = std::vector<std::string>;
+
+/// A parsed CSV document: optional header plus data rows.
+struct CsvDocument {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+
+  /// Index of a named header column, or -1 if absent.
+  int column(const std::string& name) const;
+};
+
+/// Parse CSV text. If has_header, the first record becomes `header`.
+CsvDocument parse_csv(const std::string& text, bool has_header);
+
+/// Read and parse a CSV file. Throws std::runtime_error on I/O failure.
+CsvDocument read_csv_file(const std::string& path, bool has_header);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  /// Append one row; fields are quoted when needed.
+  void add_row(const CsvRow& row);
+
+  /// Convenience: append a row of doubles formatted with max precision.
+  void add_row(const std::vector<double>& row);
+
+  /// Serialize all rows added so far.
+  std::string str() const;
+
+  /// Write to a file. Throws std::runtime_error on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<CsvRow> rows_;
+};
+
+/// Quote a single CSV field if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace idlered::util

@@ -1,0 +1,133 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace idlered::util {
+
+double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  if (n < 1) throw std::invalid_argument("linspace: n must be >= 1");
+  if (n == 1) return {lo};
+  std::vector<double> out(static_cast<std::size_t>(n));
+  const double step = (hi - lo) / (n - 1);
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = lo + step * i;
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int n) {
+  if (lo <= 0.0 || hi <= 0.0)
+    throw std::invalid_argument("logspace: endpoints must be positive");
+  auto grid = linspace(std::log(lo), std::log(hi), n);
+  for (double& g : grid) g = std::exp(g);
+  return grid;
+}
+
+namespace {
+
+double simpson_panel(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_step(const std::function<double(double)>& f, double a,
+                     double fa, double b, double fb, double m, double fm,
+                     double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson_panel(a, fa, m, fm, flm);
+  const double right = simpson_panel(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_step(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive_step(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol) {
+  if (a == b) return 0.0;
+  const double sign = (a < b) ? 1.0 : -1.0;
+  if (a > b) std::swap(a, b);
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = simpson_panel(a, fa, b, fb, fm);
+  return sign * adaptive_step(f, a, fa, b, fb, m, fm, whole, tol, 50);
+}
+
+double integrate_simpson(const std::function<double(double)>& f, double a,
+                         double b, int n) {
+  if (n < 2 || n % 2 != 0)
+    throw std::invalid_argument("integrate_simpson: n must be even and >= 2");
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + h * i) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+double bisect(const std::function<double(double)>& f, double a, double b,
+              double tol) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if (fa * fb > 0.0)
+    throw std::invalid_argument("bisect: f(a) and f(b) have the same sign");
+  while (b - a > tol) {
+    const double m = 0.5 * (a + b);
+    const double fm = f(m);
+    if (fm == 0.0) return m;
+    if (fa * fm < 0.0) {
+      b = m;
+      fb = fm;
+    } else {
+      a = m;
+      fa = fm;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double minimize_golden(const std::function<double(double)>& f, double a,
+                       double b, double tol) {
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  while (b - a > tol) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace idlered::util

@@ -1,0 +1,50 @@
+// Small math helpers shared across modules: constants, grids, numeric
+// integration, and root finding. Kept dependency-free so every module can use
+// them without pulling in heavier components.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace idlered::util {
+
+/// Euler's number, spelled out because the analytic competitive-ratio
+/// formulas of the paper use e/(e-1) and e-2 pervasively.
+inline constexpr double kE = 2.718281828459045235360287471352662498;
+
+/// e / (e - 1): the optimal competitive ratio of the unconstrained
+/// randomized ski-rental algorithm (N-Rand).
+inline constexpr double kEOverEMinus1 = kE / (kE - 1.0);
+
+/// Clamp x into [lo, hi].
+double clamp(double x, double lo, double hi);
+
+/// True if |a - b| <= atol + rtol * max(|a|, |b|).
+bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// n evenly spaced values from lo to hi inclusive (n >= 2), or {lo} if n == 1.
+std::vector<double> linspace(double lo, double hi, int n);
+
+/// n logarithmically spaced values from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, int n);
+
+/// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance tol.
+/// Used for expected-cost integrals of continuous decision densities.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10);
+
+/// Fixed-panel composite Simpson rule (n panels, n even); used where the
+/// integrand is known to be smooth and a predictable cost matters.
+double integrate_simpson(const std::function<double(double)>& f, double a,
+                         double b, int n);
+
+/// Bisection root finding for a continuous f with f(a) * f(b) <= 0.
+/// Returns the root to absolute tolerance tol.
+double bisect(const std::function<double(double)>& f, double a, double b,
+              double tol = 1e-12);
+
+/// Golden-section minimization of a unimodal f over [a, b].
+double minimize_golden(const std::function<double(double)>& f, double a,
+                       double b, double tol = 1e-10);
+
+}  // namespace idlered::util

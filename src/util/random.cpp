@@ -1,0 +1,61 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace idlered::util {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::pareto(double scale, double shape) {
+  // Inverse CDF: x = x_m * (1 - u)^{-1/alpha}.
+  const double u = uniform();
+  return scale * std::pow(1.0 - u, -1.0 / shape);
+}
+
+double Rng::weibull(double shape, double scale) {
+  return std::weibull_distribution<double>(shape, scale)(engine_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  const std::uint64_t base = engine_();
+  return Rng(mix64(base ^ mix64(salt)));
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace idlered::util

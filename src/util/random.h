@@ -1,0 +1,64 @@
+// Deterministic random-number utilities shared by every stochastic component.
+//
+// All randomized experiments in this repository are seeded explicitly so that
+// benchmark output is reproducible run-to-run. `Rng` wraps std::mt19937_64
+// with the handful of draw primitives the simulators need, plus `fork()`,
+// which derives an independent child stream (used to give every synthetic
+// vehicle its own stream so fleet results do not depend on evaluation order).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace idlered::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform draw in [0, 1).
+  double uniform();
+
+  /// Uniform draw in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential draw with the given mean (not rate).
+  double exponential(double mean);
+
+  /// Normal draw.
+  double normal(double mean, double stddev);
+
+  /// Log-normal draw parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (Type I) draw with scale x_m > 0 and shape alpha > 0.
+  double pareto(double scale, double shape);
+
+  /// Weibull draw with shape k and scale lambda.
+  double weibull(double shape, double scale);
+
+  /// Poisson draw with the given mean.
+  std::int64_t poisson(double mean);
+
+  /// Bernoulli draw.
+  bool bernoulli(double p);
+
+  /// Derive an independent child stream. The child is seeded from this
+  /// stream's output mixed with `salt`, so fork(i) and fork(j) differ.
+  Rng fork(std::uint64_t salt);
+
+  /// Access to the raw engine for std:: distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 finalizer; used to decorrelate fork() seeds.
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace idlered::util

@@ -1,0 +1,38 @@
+// ASCII table formatting for the benchmark harness. Every reproduction
+// binary prints its figure/table as an aligned text table so the paper's
+// series can be read (and diffed) straight from the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idlered::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row of preformatted cells; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision. (Named
+  /// differently from add_row so braced-init rows stay unambiguous.)
+  void add_numeric_row(const std::vector<double>& row, int precision = 4);
+
+  /// Render with column alignment and a separator under the header.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for mixed-type rows).
+std::string fmt(double v, int precision = 4);
+
+/// Render a section banner used between sub-tables in bench output.
+std::string banner(const std::string& title);
+
+}  // namespace idlered::util

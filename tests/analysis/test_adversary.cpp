@@ -1,0 +1,198 @@
+#include "analysis/adversary.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "core/policies.h"
+#include "util/math.h"
+
+namespace idlered::analysis {
+namespace {
+
+constexpr double kB = 28.0;
+
+dist::ShortStopStats make_stats(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB;
+  s.q_b_plus = q;
+  return s;
+}
+
+TEST(AdversaryTest, ToiWorstCaseIsB) {
+  const auto s = make_stats(0.2, 0.3);
+  const auto r = worst_case_adversary(*core::make_toi(kB), s);
+  // TOI pays B regardless of the adversary.
+  EXPECT_NEAR(r.expected_cost, kB, 1e-6);
+  EXPECT_NEAR(r.cr, core::worst_case_cr_toi(s, kB), 1e-6);
+}
+
+TEST(AdversaryTest, DetWorstCaseMatchesClosedForm) {
+  const auto s = make_stats(0.2, 0.3);
+  const auto r = worst_case_adversary(*core::make_det(kB), s);
+  EXPECT_NEAR(r.expected_cost, core::worst_case_cost_det(s, kB),
+              1e-4 * kB);
+}
+
+TEST(AdversaryTest, NRandWorstCaseMatchesClosedForm) {
+  const auto s = make_stats(0.25, 0.35);
+  const auto r = worst_case_adversary(*core::make_n_rand(kB), s);
+  // N-Rand equalizes: every feasible distribution costs the same.
+  EXPECT_NEAR(r.expected_cost, core::worst_case_cost_nrand(s, kB),
+              1e-4 * kB);
+}
+
+TEST(AdversaryTest, BDetWorstCaseMatchesEq35) {
+  const auto s = make_stats(0.02, 0.3);
+  ASSERT_TRUE(core::b_det_feasible(s, kB));
+  const double b_star = core::b_det_optimal_threshold(s, kB);
+  AdversaryOptions opt;
+  opt.grid_short = 1000;  // fine grid so an atom lands close to b*
+  const auto r =
+      worst_case_adversary(*core::make_b_det(kB, b_star), s, opt);
+  // The LP may lose a little to discretization (atom just off b*), but
+  // must come within a percent of eq. (35) and never exceed it.
+  const double bound = core::worst_case_cost_b_det(s, kB);
+  EXPECT_LE(r.expected_cost, bound + 1e-6);
+  EXPECT_GT(r.expected_cost, bound * 0.99);
+}
+
+TEST(AdversaryTest, AdversaryRespectsConstraints) {
+  const auto s = make_stats(0.15, 0.35);
+  const auto r = worst_case_adversary(*core::make_det(kB), s);
+  double mu = 0.0;
+  double q = 0.0;
+  double total = 0.0;
+  for (const auto& atom : r.atoms) {
+    total += atom.probability;
+    if (atom.stop_length < kB) {
+      mu += atom.stop_length * atom.probability;
+    } else {
+      q += atom.probability;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-7);
+  EXPECT_NEAR(mu, s.mu_b_minus, 1e-6);
+  EXPECT_NEAR(q, s.q_b_plus, 1e-7);
+}
+
+TEST(AdversaryTest, OptimumConcentratesOnFewAtoms) {
+  // The LP optimum is a vertex: at most #constraints = 3 atoms.
+  const auto s = make_stats(0.2, 0.3);
+  const auto r = worst_case_adversary(*core::make_det(kB), s);
+  EXPECT_LE(r.atoms.size(), 3u);
+}
+
+TEST(AdversaryTest, BDetAdversaryConcentratesAtZeroAndB) {
+  // The paper's Section 4 worst case for b-DET: short stops sit at 0 or at
+  // the policy's own threshold b (paying b + B just as it shuts off). The
+  // LP must rediscover exactly that structure.
+  const auto s = make_stats(0.02, 0.3);
+  const double b_star = core::b_det_optimal_threshold(s, kB);
+  AdversaryOptions opt;
+  opt.grid_short = 1000;
+  const auto r = worst_case_adversary(*core::make_b_det(kB, b_star), s, opt);
+  bool atom_at_zero = false;
+  bool atom_near_b = false;
+  for (const auto& atom : r.atoms) {
+    if (atom.stop_length == 0.0) atom_at_zero = true;
+    if (atom.stop_length < kB && atom.stop_length >= b_star * 0.98 &&
+        atom.stop_length <= b_star * 1.1) {
+      atom_near_b = true;
+    }
+  }
+  EXPECT_TRUE(atom_at_zero);
+  EXPECT_TRUE(atom_near_b);
+}
+
+TEST(AdversaryTest, ProposedBeatsEveryFixedStrategyUnderItsOwnAdversary) {
+  // For each vertex strategy, the COA selection's worst case is no worse
+  // than that strategy's own LP worst case.
+  for (auto [mu_frac, q] : {std::pair{0.1, 0.5}, std::pair{0.3, 0.2},
+                            std::pair{0.02, 0.3}, std::pair{0.4, 0.3}}) {
+    const auto s = make_stats(mu_frac, q);
+    const auto choice = core::choose_strategy(s, kB);
+    const double det_lp =
+        worst_case_adversary(*core::make_det(kB), s).expected_cost;
+    const double toi_lp =
+        worst_case_adversary(*core::make_toi(kB), s).expected_cost;
+    EXPECT_LE(choice.expected_cost, det_lp + 1e-6);
+    EXPECT_LE(choice.expected_cost, toi_lp + 1e-6);
+  }
+}
+
+TEST(AdversaryTest, InfeasibleStatsThrow) {
+  EXPECT_THROW(worst_case_adversary(*core::make_det(kB),
+                                    make_stats(0.9, 0.5)),
+               std::invalid_argument);
+}
+
+TEST(AdversaryTest, TinyGridRejected) {
+  AdversaryOptions opt;
+  opt.grid_short = 1;
+  EXPECT_THROW(worst_case_adversary(*core::make_det(kB),
+                                    make_stats(0.2, 0.2), opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::analysis
+
+namespace idlered::analysis {
+namespace {
+
+constexpr double kB2 = 28.0;
+
+dist::ShortStopStats stats2(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB2;
+  s.q_b_plus = q;
+  return s;
+}
+
+// The LP duals are the paper's Lagrange multipliers: they must equal the
+// gradient of each strategy's closed-form worst-case cost with respect to
+// (mu_B-, q_B+).
+
+TEST(AdversaryDualsTest, DetGradient) {
+  // cost_DET = mu + 2 q B  ->  (d/dmu, d/dq) = (1, 2B).
+  const auto r =
+      worst_case_adversary(*core::make_det(kB2), stats2(0.25, 0.3));
+  EXPECT_NEAR(r.lambda_mu, 1.0, 1e-6);
+  EXPECT_NEAR(r.lambda_q, 2.0 * kB2, 1e-4);
+}
+
+TEST(AdversaryDualsTest, NRandGradient) {
+  // cost_NRand = e/(e-1) (mu + q B)  ->  (e/(e-1), e/(e-1) B).
+  const auto r =
+      worst_case_adversary(*core::make_n_rand(kB2), stats2(0.2, 0.35));
+  EXPECT_NEAR(r.lambda_mu, util::kEOverEMinus1, 1e-4);
+  EXPECT_NEAR(r.lambda_q, util::kEOverEMinus1 * kB2, 1e-3);
+}
+
+TEST(AdversaryDualsTest, ToiGradient) {
+  // cost_TOI = B regardless: both moment duals vanish and the whole value
+  // sits on the normalization constraint.
+  const auto r =
+      worst_case_adversary(*core::make_toi(kB2), stats2(0.2, 0.35));
+  EXPECT_NEAR(r.lambda_mu, 0.0, 1e-6);
+  EXPECT_NEAR(r.lambda_q, 0.0, 1e-4);
+  EXPECT_NEAR(r.lambda_norm, kB2, 1e-6);
+}
+
+TEST(AdversaryDualsTest, StrongDualityDecomposition) {
+  // value = lambda_mu * mu + lambda_q * q + lambda_norm * 1.
+  const auto s = stats2(0.3, 0.25);
+  for (const core::PolicyPtr& policy :
+       {core::make_det(kB2), core::make_n_rand(kB2), core::make_toi(kB2)}) {
+    const auto r = worst_case_adversary(*policy, s);
+    EXPECT_NEAR(r.lambda_mu * s.mu_b_minus + r.lambda_q * s.q_b_plus +
+                    r.lambda_norm,
+                r.expected_cost, 1e-6)
+        << policy->name();
+  }
+}
+
+}  // namespace
+}  // namespace idlered::analysis

@@ -1,0 +1,109 @@
+#include "analysis/average_case.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+#include "util/math.h"
+
+namespace idlered::analysis {
+namespace {
+
+constexpr double kB = 28.0;
+
+TEST(ThresholdCostTest, MatchesManualFormula) {
+  dist::Exponential law(20.0);
+  // g(x) = m + (B - m) e^{-x/m} for the exponential law.
+  for (double x : {0.0, 5.0, 20.0, 50.0}) {
+    const double expected = 20.0 + (kB - 20.0) * std::exp(-x / 20.0);
+    EXPECT_NEAR(expected_cost_at_threshold(law, x, kB), expected, 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(ThresholdCostTest, InfiniteThresholdIsMean) {
+  dist::Exponential law(20.0);
+  EXPECT_NEAR(expected_cost_at_threshold(
+                  law, std::numeric_limits<double>::infinity(), kB),
+              20.0, 1e-12);
+}
+
+TEST(ThresholdCostTest, NegativeThresholdThrows) {
+  dist::Exponential law(20.0);
+  EXPECT_THROW(expected_cost_at_threshold(law, -1.0, kB),
+               std::invalid_argument);
+}
+
+TEST(OptimalThresholdTest, ExponentialMemorylessness) {
+  // For exponential stops the optimum is all-or-nothing: NEV when the mean
+  // is below B, TOI when above (the hazard rate is constant).
+  dist::Exponential calm(10.0);  // mean < B
+  const auto nev = optimal_threshold(calm, kB);
+  EXPECT_TRUE(std::isinf(nev.threshold));
+  EXPECT_NEAR(nev.expected_cost, 10.0, 1e-6);
+
+  dist::Exponential jammed(100.0);  // mean > B
+  const auto toi = optimal_threshold(jammed, kB);
+  EXPECT_NEAR(toi.threshold, 0.0, 1e-6);
+  EXPECT_NEAR(toi.expected_cost, kB, 1e-6);
+}
+
+TEST(OptimalThresholdTest, UniformClosedForm) {
+  // Uniform[0, u] with u > B: g(x) = -x^2/(2u) + x(1 - B/u) + B on [0, u],
+  // maximized... minimized at the endpoints (the parabola opens downward),
+  // so the best threshold is x = 0 or x = u (compare g there).
+  dist::Uniform law(0.0, 100.0);
+  const auto opt = optimal_threshold(law, kB);
+  const double g0 = kB;
+  // x = u: every stop ends before the threshold except y = u itself:
+  // expected cost = E[y] = 50... plus boundary term ~ 0.
+  EXPECT_NEAR(opt.expected_cost, std::min(g0, 50.0), 0.05);
+}
+
+TEST(OptimalThresholdTest, BeatsAllClassicStrategiesWhenLawIsKnown) {
+  // Full knowledge of q(y) can only improve on the two-moment COA.
+  dist::Mixture law({{0.8, std::make_shared<dist::Uniform>(0.0, 20.0)},
+                     {0.2, std::make_shared<dist::Uniform>(60.0, 300.0)}});
+  const auto opt = optimal_threshold(law, kB);
+  // Candidates: TOI (B), DET, NEV (mean).
+  EXPECT_LE(opt.expected_cost,
+            expected_cost_at_threshold(law, 0.0, kB) + 1e-9);
+  EXPECT_LE(opt.expected_cost,
+            expected_cost_at_threshold(law, kB, kB) + 1e-9);
+  EXPECT_LE(opt.expected_cost, law.mean() + 1e-9);
+  EXPECT_GE(opt.expected_cr, 1.0 - 1e-9);
+}
+
+TEST(OptimalThresholdTest, BimodalPrefersThresholdAtBodyEdge) {
+  // Stops are either < 10 s or > 60 s: waiting until the body's edge
+  // (x ~ 10) rides out every short stop and pays 10 + B on the long ones;
+  // g(10) = 3.5 + 0.3 * 38 = 14.9, clearly below TOI's 28 and NEV's 30.5.
+  // The offline optimum pays only B on long stops, so the CR settles at
+  // 14.9 / 11.9 ~ 1.25.
+  dist::Mixture law({{0.7, std::make_shared<dist::Uniform>(0.0, 10.0)},
+                     {0.3, std::make_shared<dist::Uniform>(60.0, 120.0)}});
+  const auto opt = optimal_threshold(law, kB);
+  EXPECT_GE(opt.threshold, 9.0);
+  EXPECT_LE(opt.threshold, 12.0);
+  EXPECT_NEAR(opt.expected_cost, 14.9, 0.1);
+  EXPECT_NEAR(opt.expected_cr, 14.9 / 11.9, 0.02);
+}
+
+TEST(OptimalThresholdTest, OfflineCostHelper) {
+  dist::Exponential law(20.0);
+  const auto stats = dist::ShortStopStats::from_distribution(law, kB);
+  EXPECT_NEAR(expected_offline_cost(law, kB),
+              stats.expected_offline_cost(kB), 1e-12);
+}
+
+TEST(OptimalThresholdTest, TinyGridRejected) {
+  dist::Exponential law(20.0);
+  EXPECT_THROW(optimal_threshold(law, kB, 20.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::analysis

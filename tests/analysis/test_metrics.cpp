@@ -1,0 +1,84 @@
+#include "analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "dist/parametric.h"
+#include "util/math.h"
+
+namespace idlered::analysis {
+namespace {
+
+constexpr double kB = 28.0;
+
+TEST(ExpectedRatioCrTest, NRandTraceIsExactlyTheBound) {
+  // N-Rand equalizes pointwise, so CR' == CR == e/(e-1) on any trace.
+  const std::vector<double> stops{1.0, 5.0, 20.0, 30.0, 200.0};
+  EXPECT_NEAR(expected_ratio_cr(*core::make_n_rand(kB), stops),
+              util::kEOverEMinus1, 1e-9);
+}
+
+TEST(ExpectedRatioCrTest, DetTrace) {
+  // DET: ratio 1 for y < B, 2 for y >= B.
+  const std::vector<double> stops{5.0, 10.0, 30.0, 100.0};
+  EXPECT_NEAR(expected_ratio_cr(*core::make_det(kB), stops),
+              (1.0 + 1.0 + 2.0 + 2.0) / 4.0, 1e-12);
+}
+
+TEST(ExpectedRatioCrTest, SkipsZeroStops) {
+  const std::vector<double> stops{0.0, 10.0};
+  EXPECT_NEAR(expected_ratio_cr(*core::make_det(kB), stops), 1.0, 1e-12);
+}
+
+TEST(ExpectedRatioCrTest, AllZeroThrows) {
+  EXPECT_THROW(expected_ratio_cr(*core::make_det(kB), {0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(ExpectedRatioCrTest, CrPrimeDiffersFromCr) {
+  // Expectation-of-ratios penalizes short-stop errors more than
+  // ratio-of-expectations: TOI's CR' explodes on short stops while its CR
+  // stays moderate.
+  const std::vector<double> stops{1.0, 1.0, 1.0, 100.0};
+  const auto toi = core::make_toi(kB);
+  const double cr_prime = expected_ratio_cr(*toi, stops);
+  const double cr = (4.0 * kB) / (3.0 + kB);  // ratio of sums
+  EXPECT_GT(cr_prime, 20.0);
+  EXPECT_LT(cr, 4.0);
+}
+
+TEST(ExpectedRatioCrTest, DistributionVersionMatchesTraceOnLargeSample) {
+  dist::Exponential law(20.0);
+  util::Rng rng(5);
+  const auto stops = law.sample_many(rng, 200000);
+  const auto det = core::make_det(kB);
+  EXPECT_NEAR(expected_ratio_cr(*det, stops),
+              expected_ratio_cr(*det, law), 0.01);
+}
+
+TEST(ExpectedRatioCrTest, MomRandBoundHolds) {
+  // Khanafer et al.: CR' <= 1 + mu/(2B(e-2)) for the revised density,
+  // against any distribution with that first moment. Check a few laws.
+  for (double mean : {5.0, 10.0, 20.0}) {
+    dist::Exponential law(mean);
+    const double mu = law.mean();
+    const auto mom = core::make_mom_rand(kB, mu);
+    const double bound = mom_rand_cr_prime_bound(mu, kB);
+    EXPECT_LE(expected_ratio_cr(*mom, law), bound + 1e-6)
+        << "mean=" << mean;
+  }
+}
+
+TEST(MomRandBoundTest, FormulaValues) {
+  EXPECT_NEAR(mom_rand_cr_prime_bound(0.0, kB), 1.0, 1e-12);
+  EXPECT_NEAR(mom_rand_cr_prime_bound(kB, kB),
+              1.0 + 1.0 / (2.0 * (util::kE - 2.0)), 1e-12);
+}
+
+TEST(MomRandBoundTest, InvalidInputsThrow) {
+  EXPECT_THROW(mom_rand_cr_prime_bound(-1.0, kB), std::invalid_argument);
+  EXPECT_THROW(mom_rand_cr_prime_bound(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::analysis

@@ -1,0 +1,225 @@
+#include "core/analytic.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+using util::kEOverEMinus1;
+
+dist::ShortStopStats make_stats(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB;
+  s.q_b_plus = q;
+  return s;
+}
+
+// ------------------------------------------------------- vertex cost formulas
+
+TEST(VertexCostTest, NRandFormula) {
+  const auto s = make_stats(0.3, 0.4);
+  EXPECT_NEAR(worst_case_cost_nrand(s, kB),
+              kEOverEMinus1 * (0.3 * kB + 0.4 * kB), 1e-12);
+}
+
+TEST(VertexCostTest, ToiIsAlwaysB) {
+  EXPECT_DOUBLE_EQ(worst_case_cost_toi(make_stats(0.1, 0.1), kB), kB);
+  EXPECT_DOUBLE_EQ(worst_case_cost_toi(make_stats(0.0, 1.0), kB), kB);
+}
+
+TEST(VertexCostTest, DetFormula) {
+  const auto s = make_stats(0.3, 0.4);
+  EXPECT_NEAR(worst_case_cost_det(s, kB), 0.3 * kB + 2.0 * 0.4 * kB, 1e-12);
+}
+
+TEST(VertexCostTest, BDetFormulaAtOptimum) {
+  const auto s = make_stats(0.05, 0.1);
+  ASSERT_TRUE(b_det_feasible(s, kB));
+  const double root = std::sqrt(0.05 * kB) + std::sqrt(0.1 * kB);
+  EXPECT_NEAR(worst_case_cost_b_det(s, kB), root * root, 1e-12);
+}
+
+TEST(VertexCostTest, BDetOptimalThresholdFormula) {
+  const auto s = make_stats(0.05, 0.1);
+  EXPECT_NEAR(b_det_optimal_threshold(s, kB),
+              std::sqrt(0.05 * kB * kB / 0.1), 1e-12);
+}
+
+TEST(VertexCostTest, BDetOptimumMinimizesSweep) {
+  // The closed-form b* must beat every other b on the eq. (34) objective.
+  const auto s = make_stats(0.05, 0.1);
+  const double best = worst_case_cost_b_det(s, kB);
+  for (double b : util::linspace(0.5, kB, 100)) {
+    EXPECT_GE(worst_case_cost_b_det_at(s, kB, b), best - 1e-9) << "b=" << b;
+  }
+}
+
+TEST(VertexCostTest, InfeasibleStatsThrow) {
+  EXPECT_THROW(worst_case_cost_det(make_stats(0.9, 0.5), kB),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- b-DET feasibility
+
+TEST(BDetFeasibilityTest, Equation36Boundary) {
+  // mu/B < (1-q)^2/q. At q = 0.6 the boundary is 0.4^2/0.6 ~= 0.2667,
+  // inside the stats-feasible region mu/B <= 0.4.
+  EXPECT_TRUE(b_det_feasible(make_stats(0.25, 0.6), kB));
+  EXPECT_FALSE(b_det_feasible(make_stats(0.28, 0.6), kB));
+}
+
+TEST(BDetFeasibilityTest, NeedsPositiveQAndMu) {
+  EXPECT_FALSE(b_det_feasible(make_stats(0.3, 0.0), kB));
+  EXPECT_FALSE(b_det_feasible(make_stats(0.0, 0.3), kB));
+}
+
+TEST(BDetFeasibilityTest, BStarMustBeInsideInterval) {
+  // mu = 0.3, q = 0.2: eq. 36 gives 0.3 < 3.2 (ok) but
+  // b* = sqrt(0.3/0.2) B = 1.22 B > B -> infeasible.
+  EXPECT_FALSE(b_det_feasible(make_stats(0.3, 0.2), kB));
+  EXPECT_TRUE(std::isinf(worst_case_cost_b_det(make_stats(0.3, 0.2), kB)));
+}
+
+TEST(BDetFeasibilityTest, CostInfiniteWhenInfeasible) {
+  EXPECT_TRUE(std::isinf(worst_case_cost_b_det(make_stats(0.3, 0.0), kB)));
+}
+
+// ------------------------------------------------------------ choose_strategy
+
+TEST(ChooseStrategyTest, PicksMinimumVertex) {
+  for (double mu_frac : util::linspace(0.01, 0.95, 20)) {
+    for (double q : util::linspace(0.01, 0.95, 20)) {
+      const auto s = make_stats(mu_frac, q);
+      if (!s.feasible(kB)) continue;
+      const auto choice = choose_strategy(s, kB);
+      const double expected_min = std::min(
+          std::min(worst_case_cost_nrand(s, kB), worst_case_cost_toi(s, kB)),
+          std::min(worst_case_cost_det(s, kB),
+                   worst_case_cost_b_det(s, kB)));
+      EXPECT_NEAR(choice.expected_cost, expected_min, 1e-9)
+          << "mu=" << mu_frac << " q=" << q;
+    }
+  }
+}
+
+TEST(ChooseStrategyTest, HighQFavorsToi) {
+  // Long stops almost certain: turning off immediately is optimal.
+  const auto c = choose_strategy(make_stats(0.01, 0.95), kB);
+  EXPECT_EQ(c.strategy, Strategy::kToi);
+  EXPECT_NEAR(c.expected_cost, kB, 1e-12);
+}
+
+TEST(ChooseStrategyTest, LowQFavorsDet) {
+  // Long stops rare: waiting until B is near-offline-optimal.
+  const auto c = choose_strategy(make_stats(0.5, 0.02), kB);
+  EXPECT_EQ(c.strategy, Strategy::kDet);
+}
+
+TEST(ChooseStrategyTest, TinyMuSmallQFavorsBDet) {
+  // Figure 2(c)-(d) territory: mu_B- = 0.02 B. At q = 0.3 the b-DET cost
+  // (sqrt(mu) + sqrt(qB))^2 = 0.475 B beats N-Rand's e/(e-1)(mu+qB) = 0.506 B.
+  const auto c = choose_strategy(make_stats(0.02, 0.3), kB);
+  EXPECT_EQ(c.strategy, Strategy::kBDet);
+  EXPECT_GT(c.b, 0.0);
+  EXPECT_LT(c.b, kB);
+}
+
+TEST(ChooseStrategyTest, MiddleGroundFavorsNRand) {
+  // Moderate mu and q: randomization wins (mu+qB < 0.632B keeps N-Rand
+  // below TOI; q > 1.392 mu keeps it below DET; mu/q ~ 0.43 rules out b-DET).
+  const auto c = choose_strategy(make_stats(0.15, 0.35), kB);
+  EXPECT_EQ(c.strategy, Strategy::kNRand);
+}
+
+TEST(ChooseStrategyTest, CrNeverExceedsNRandGuarantee) {
+  // The proposed algorithm can never be worse than N-Rand's e/(e-1).
+  for (double mu_frac : util::linspace(0.0, 1.0, 30)) {
+    for (double q : util::linspace(0.0, 1.0, 30)) {
+      const auto s = make_stats(mu_frac, q);
+      if (!s.feasible(kB)) continue;
+      const auto c = choose_strategy(s, kB);
+      EXPECT_LE(c.cr, kEOverEMinus1 + 1e-9)
+          << "mu=" << mu_frac << " q=" << q;
+    }
+  }
+}
+
+TEST(ChooseStrategyTest, CrAtLeastOne) {
+  for (double mu_frac : util::linspace(0.01, 0.9, 15)) {
+    for (double q : util::linspace(0.01, 0.9, 15)) {
+      const auto s = make_stats(mu_frac, q);
+      if (!s.feasible(kB)) continue;
+      EXPECT_GE(choose_strategy(s, kB).cr, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(ChooseStrategyTest, Eq38WhenBDetWins) {
+  const auto s = make_stats(0.02, 0.3);
+  const auto c = choose_strategy(s, kB);
+  ASSERT_EQ(c.strategy, Strategy::kBDet);
+  const double num =
+      std::pow(std::sqrt(s.mu_b_minus) + std::sqrt(s.q_b_plus * kB), 2);
+  EXPECT_NEAR(c.cr, num / (s.mu_b_minus + s.q_b_plus * kB), 1e-12);
+}
+
+TEST(ChooseStrategyTest, DegenerateNoStopsIsTrivial) {
+  const auto c = choose_strategy(make_stats(0.0, 0.0), kB);
+  EXPECT_NEAR(c.expected_cost, 0.0, 1e-12);  // N-Rand on a zero-cost world
+  EXPECT_DOUBLE_EQ(c.cr, 1.0);
+}
+
+// ------------------------------------------------------------- CR projections
+
+TEST(WorstCaseCrTest, ToiCrFormula) {
+  const auto s = make_stats(0.2, 0.3);
+  EXPECT_NEAR(worst_case_cr_toi(s, kB), kB / (0.2 * kB + 0.3 * kB), 1e-12);
+}
+
+TEST(WorstCaseCrTest, DetCrBoundedByTwo) {
+  for (double mu_frac : util::linspace(0.01, 0.9, 10)) {
+    for (double q : util::linspace(0.01, 0.9, 10)) {
+      const auto s = make_stats(mu_frac, q);
+      if (!s.feasible(kB)) continue;
+      EXPECT_LE(worst_case_cr_det(s, kB), 2.0 + 1e-12);
+    }
+  }
+}
+
+TEST(WorstCaseCrTest, NRandCrIsConstant) {
+  for (double q : {0.1, 0.4, 0.8}) {
+    const auto s = make_stats(0.05, q);
+    EXPECT_NEAR(worst_case_cr_nrand(s, kB), kEOverEMinus1, 1e-12);
+  }
+}
+
+TEST(WorstCaseCrTest, ProposedIsMinOfAllStrategies) {
+  for (double mu_frac : util::linspace(0.02, 0.9, 15)) {
+    for (double q : util::linspace(0.02, 0.9, 15)) {
+      const auto s = make_stats(mu_frac, q);
+      if (!s.feasible(kB)) continue;
+      const double proposed = choose_strategy(s, kB).cr;
+      EXPECT_LE(proposed, worst_case_cr_nrand(s, kB) + 1e-9);
+      EXPECT_LE(proposed, worst_case_cr_toi(s, kB) + 1e-9);
+      EXPECT_LE(proposed, worst_case_cr_det(s, kB) + 1e-9);
+      EXPECT_LE(proposed, worst_case_cr_b_det(s, kB) + 1e-9);
+    }
+  }
+}
+
+// Strategy names for tables.
+TEST(StrategyNameTest, AllNamed) {
+  EXPECT_EQ(to_string(Strategy::kToi), "TOI");
+  EXPECT_EQ(to_string(Strategy::kDet), "DET");
+  EXPECT_EQ(to_string(Strategy::kBDet), "b-DET");
+  EXPECT_EQ(to_string(Strategy::kNRand), "N-Rand");
+}
+
+}  // namespace
+}  // namespace idlered::core

@@ -1,0 +1,86 @@
+#include "core/costs.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+
+TEST(OfflineCostTest, ShortStopCostsItsLength) {
+  EXPECT_DOUBLE_EQ(offline_cost(10.0, kB), 10.0);
+  EXPECT_DOUBLE_EQ(offline_cost(0.0, kB), 0.0);
+}
+
+TEST(OfflineCostTest, LongStopCostsB) {
+  EXPECT_DOUBLE_EQ(offline_cost(28.0, kB), kB);
+  EXPECT_DOUBLE_EQ(offline_cost(1000.0, kB), kB);
+}
+
+TEST(OfflineCostTest, NegativeStopThrows) {
+  EXPECT_THROW(offline_cost(-1.0, kB), std::invalid_argument);
+}
+
+TEST(OnlineCostTest, StopEndsBeforeThreshold) {
+  EXPECT_DOUBLE_EQ(online_cost(20.0, 10.0, kB), 10.0);
+}
+
+TEST(OnlineCostTest, ThresholdReachedPaysRestart) {
+  EXPECT_DOUBLE_EQ(online_cost(10.0, 20.0, kB), 10.0 + kB);
+}
+
+TEST(OnlineCostTest, BoundaryYEqualsXPaysRestart) {
+  // Eq. (3): y >= x -> x + B.
+  EXPECT_DOUBLE_EQ(online_cost(10.0, 10.0, kB), 10.0 + kB);
+}
+
+TEST(OnlineCostTest, ToiAlwaysPaysB) {
+  EXPECT_DOUBLE_EQ(online_cost(0.0, 0.5, kB), kB);
+  EXPECT_DOUBLE_EQ(online_cost(0.0, 500.0, kB), kB);
+}
+
+TEST(OnlineCostTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(online_cost(-1.0, 5.0, kB), std::invalid_argument);
+  EXPECT_THROW(online_cost(5.0, -1.0, kB), std::invalid_argument);
+}
+
+TEST(CompetitiveRatioTest, DetWorstCaseIsTwo) {
+  // DET (x = B) against y = B: online pays 2B, offline pays B.
+  EXPECT_DOUBLE_EQ(competitive_ratio(kB, kB, kB), 2.0);
+}
+
+TEST(CompetitiveRatioTest, DetNeverExceedsTwo) {
+  for (double y : {0.1, 1.0, 10.0, 27.9, 28.0, 29.0, 100.0, 1e6}) {
+    EXPECT_LE(competitive_ratio(kB, y, kB), 2.0 + 1e-12) << "y=" << y;
+  }
+}
+
+TEST(CompetitiveRatioTest, PerfectForShortStopsUnderDet) {
+  EXPECT_DOUBLE_EQ(competitive_ratio(kB, 5.0, kB), 1.0);
+}
+
+TEST(CompetitiveRatioTest, ToiUnboundedNearZero) {
+  EXPECT_GT(competitive_ratio(0.0, 0.001, kB), 1000.0);
+}
+
+TEST(CompetitiveRatioTest, ZeroStopConventions) {
+  // x > 0 with y = 0: both costs zero -> ratio 1.
+  EXPECT_DOUBLE_EQ(competitive_ratio(5.0, 0.0, kB), 1.0);
+  // x = 0 with y = 0: online pays B, offline 0 -> infinite ratio.
+  EXPECT_TRUE(std::isinf(competitive_ratio(0.0, 0.0, kB)));
+}
+
+TEST(RequireValidBreakEvenTest, RejectsBadValues) {
+  EXPECT_THROW(require_valid_break_even(0.0), std::invalid_argument);
+  EXPECT_THROW(require_valid_break_even(-3.0), std::invalid_argument);
+  EXPECT_THROW(require_valid_break_even(
+                   std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(require_valid_break_even(28.0));
+}
+
+}  // namespace
+}  // namespace idlered::core

@@ -1,0 +1,185 @@
+#include "core/crand.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/adversary.h"
+#include "core/policies.h"
+#include "stats/ks_test.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+
+dist::ShortStopStats make_stats(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB;
+  s.q_b_plus = q;
+  return s;
+}
+
+// ------------------------------------------------------------ policy basics
+
+TEST(CRandTest, PdfIntegratesToOne) {
+  CRandPolicy p(kB, 10.0);
+  const double total =
+      util::integrate([&p](double x) { return p.pdf(x); }, 0.0, 10.0, 1e-11);
+  EXPECT_NEAR(total, 1.0, 1e-8);
+  EXPECT_DOUBLE_EQ(p.pdf(10.5), 0.0);  // no mass beyond c
+}
+
+TEST(CRandTest, EqualizerWithTruncatedSlope) {
+  // E[cost](y) = kappa min(y, c); cross-check against the quadrature oracle.
+  CRandPolicy p(kB, 10.0);
+  GenericRandomizedPolicy oracle(kB, [&p](double x) { return p.pdf(x); },
+                                 "oracle");
+  for (double y : {1.0, 5.0, 9.9, 10.0, 20.0, 100.0}) {
+    EXPECT_NEAR(p.expected_cost(y), oracle.expected_cost(y), 1e-6)
+        << "y=" << y;
+    EXPECT_NEAR(p.expected_cost(y), p.kappa() * std::min(y, 10.0), 1e-12);
+  }
+}
+
+TEST(CRandTest, FullTruncationIsNRand) {
+  CRandPolicy p(kB, kB);
+  NRandPolicy nrand(kB);
+  for (double y : {2.0, 14.0, 27.0, 28.0, 200.0}) {
+    EXPECT_NEAR(p.expected_cost(y), nrand.expected_cost(y), 1e-12);
+    EXPECT_NEAR(p.pdf(y < kB ? y : 20.0), nrand.pdf(y < kB ? y : 20.0),
+                1e-12);
+  }
+}
+
+TEST(CRandTest, TinyTruncationApproachesToi) {
+  // c -> 0: pays ~B on every stop (the TOI limit).
+  CRandPolicy p(kB, 0.01);
+  EXPECT_NEAR(p.expected_cost(100.0), kB, 0.1);
+}
+
+TEST(CRandTest, SampledThresholdsFollowCdf) {
+  CRandPolicy p(kB, 12.0);
+  util::Rng rng(7);
+  std::vector<double> draws;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = p.sample_threshold(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 12.0);
+    draws.push_back(x);
+  }
+  const auto ks = stats::ks_test(draws, [&p](double x) { return p.cdf(x); });
+  EXPECT_FALSE(ks.reject_at(0.01));
+}
+
+TEST(CRandTest, InvalidTruncationThrows) {
+  EXPECT_THROW(CRandPolicy(kB, 0.0), std::invalid_argument);
+  EXPECT_THROW(CRandPolicy(kB, kB + 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- worst-case formula
+
+TEST(CRandWorstCaseTest, MatchesAdversaryLp) {
+  for (auto [mu_frac, q, c] :
+       {std::tuple{0.02, 0.3, 9.7}, std::tuple{0.1, 0.4, 15.0},
+        std::tuple{0.3, 0.2, 20.0}, std::tuple{0.05, 0.6, 8.0}}) {
+    const auto s = make_stats(mu_frac, q);
+    const double closed = worst_case_cost_c_rand(s, kB, c);
+    analysis::AdversaryOptions opt;
+    opt.grid_short = 1200;
+    opt.extra_short_points = {c, c * (1.0 - 1e-9)};
+    const auto lp =
+        analysis::worst_case_adversary(*make_c_rand(kB, c), s, opt);
+    EXPECT_NEAR(lp.expected_cost, closed, 1e-3 * closed)
+        << "mu=" << mu_frac << " q=" << q << " c=" << c;
+  }
+}
+
+TEST(CRandWorstCaseTest, EndpointsRecoverClassics) {
+  const auto s = make_stats(0.2, 0.3);
+  EXPECT_NEAR(worst_case_cost_c_rand(s, kB, kB),
+              worst_case_cost_nrand(s, kB), 1e-9);
+  // c -> 0 approaches TOI's B.
+  EXPECT_NEAR(worst_case_cost_c_rand(s, kB, 1e-7), kB, 1e-3);
+}
+
+TEST(CRandWorstCaseTest, ShortMassBranch) {
+  // When mu > c (1 - q) the adversary cannot park all its short budget at
+  // c; the formula switches branch.
+  const auto s = make_stats(0.5, 0.3);  // mu = 14
+  const double c = 10.0;                // c (1-q) = 7 < 14
+  const double ec = std::exp(c / kB);
+  EXPECT_NEAR(worst_case_cost_c_rand(s, kB, c),
+              ec / (ec - 1.0) * (7.0 + 0.3 * 10.0), 1e-12);
+}
+
+// ----------------------------------------------- the reproduction finding
+
+TEST(CRandFindingTest, BeatsAllPaperVerticesAtTinyMu) {
+  // The headline counterexample: at mu = 0.02 B, q = 0.3 the optimal
+  // truncation beats the paper's best vertex (b-DET at 13.2977) by ~11%.
+  const auto s = make_stats(0.02, 0.3);
+  const auto ext = choose_strategy_extended(s, kB);
+  EXPECT_TRUE(ext.uses_c_rand);
+  EXPECT_LT(ext.expected_cost, ext.classic.expected_cost - 1.0);
+  EXPECT_NEAR(ext.expected_cost, 11.85, 0.05);
+  EXPECT_NEAR(ext.c, 9.7, 0.3);
+  EXPECT_GT(ext.improvement, 1.0);
+}
+
+TEST(CRandFindingTest, OptimalTruncationStationarity) {
+  // Interior optima satisfy e^t - t = 1 + mu/(q B), t = c*/B (derivative
+  // of kappa(c)(mu + q c) in the mu < c(1-q) branch).
+  const auto s = make_stats(0.02, 0.3);
+  const double c_star = c_rand_optimal_truncation(s, kB);
+  const double t = c_star / kB;
+  EXPECT_NEAR(std::exp(t) - t,
+              1.0 + s.mu_b_minus / (s.q_b_plus * kB), 1e-5);
+}
+
+TEST(CRandFindingTest, NeverWorseThanClassicAnywhere) {
+  // Extended choice <= classic choice across the feasible plane, and the
+  // improvement region is nonempty.
+  int improved = 0;
+  for (double mu_frac : util::linspace(0.01, 0.9, 25)) {
+    for (double q : util::linspace(0.01, 0.9, 25)) {
+      const auto s = make_stats(mu_frac, q);
+      if (!s.feasible(kB)) continue;
+      const auto ext = choose_strategy_extended(s, kB);
+      EXPECT_LE(ext.expected_cost,
+                ext.classic.expected_cost + 1e-9)
+          << "mu=" << mu_frac << " q=" << q;
+      if (ext.uses_c_rand) ++improved;
+    }
+  }
+  EXPECT_GT(improved, 10);
+}
+
+TEST(CRandFindingTest, ClassicRegionsSurvive) {
+  // Where DET or TOI is truly optimal, the extension changes nothing.
+  const auto det_region = choose_strategy_extended(make_stats(0.5, 0.02), kB);
+  EXPECT_FALSE(det_region.uses_c_rand);
+  EXPECT_DOUBLE_EQ(det_region.improvement, 0.0);
+
+  const auto toi_region = choose_strategy_extended(make_stats(0.01, 0.95), kB);
+  // TOI is the c->0 limit of c-Rand; any interior c is at best equal.
+  EXPECT_LE(toi_region.expected_cost,
+            toi_region.classic.expected_cost + 1e-9);
+}
+
+TEST(CRandFindingTest, ExtendedCrBounded) {
+  for (double mu_frac : {0.02, 0.1, 0.3}) {
+    for (double q : {0.1, 0.3, 0.6}) {
+      const auto s = make_stats(mu_frac, q);
+      if (!s.feasible(kB)) continue;
+      const auto ext = choose_strategy_extended(s, kB);
+      EXPECT_GE(ext.cr, 1.0 - 1e-9);
+      EXPECT_LE(ext.cr, util::kEOverEMinus1 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idlered::core

@@ -1,0 +1,133 @@
+#include "core/decision_distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "stats/ks_test.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+
+dist::ShortStopStats make_stats(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB;
+  s.q_b_plus = q;
+  return s;
+}
+
+TEST(DecisionDistributionTest, PureToiAtom) {
+  DecisionDistribution p(kB, {{0.0, 1.0}}, 0.0);
+  EXPECT_DOUBLE_EQ(p.expected_cost(100.0), kB);
+  EXPECT_DOUBLE_EQ(p.expected_cost(0.5), kB);
+  EXPECT_TRUE(p.deterministic());
+}
+
+TEST(DecisionDistributionTest, PureDetAtom) {
+  DecisionDistribution p(kB, {{kB, 1.0}}, 0.0);
+  const auto det = make_det(kB);
+  for (double y : {1.0, 20.0, 28.0, 90.0}) {
+    EXPECT_DOUBLE_EQ(p.expected_cost(y), det->expected_cost(y));
+  }
+}
+
+TEST(DecisionDistributionTest, PureContinuousIsNRand) {
+  DecisionDistribution p(kB, {}, 1.0);
+  const auto nrand = make_n_rand(kB);
+  for (double y : {1.0, 14.0, 27.0, 28.0, 200.0}) {
+    EXPECT_NEAR(p.expected_cost(y), nrand->expected_cost(y), 1e-12);
+  }
+  EXPECT_FALSE(p.deterministic());
+}
+
+TEST(DecisionDistributionTest, MixedCostIsWeightedSum) {
+  DecisionDistribution p(kB, {{0.0, 0.3}, {kB, 0.2}}, 0.5);
+  const double y = 15.0;
+  const double expected = 0.3 * kB + 0.2 * y +
+                          0.5 * util::kEOverEMinus1 * y;
+  EXPECT_NEAR(p.expected_cost(y), expected, 1e-12);
+}
+
+TEST(DecisionDistributionTest, MassValidation) {
+  EXPECT_THROW(DecisionDistribution(kB, {{0.0, 0.5}}, 0.0),
+               std::invalid_argument);  // doesn't sum to 1
+  EXPECT_THROW(DecisionDistribution(kB, {{0.0, -0.1}}, 1.1),
+               std::invalid_argument);  // negative atom
+  EXPECT_THROW(DecisionDistribution(kB, {{kB + 1.0, 1.0}}, 0.0),
+               std::invalid_argument);  // atom beyond B (Appendix A)
+}
+
+TEST(DecisionDistributionTest, CdfSteps) {
+  DecisionDistribution p(kB, {{0.0, 0.25}, {10.0, 0.25}}, 0.5);
+  EXPECT_NEAR(p.cdf(0.0), 0.25 + 0.5 * 0.0, 1e-12);
+  EXPECT_GT(p.cdf(10.0), 0.5);  // both atoms + some continuous mass
+  EXPECT_NEAR(p.cdf(kB), 1.0, 1e-12);
+}
+
+TEST(DecisionDistributionTest, SamplingMatchesCdf) {
+  DecisionDistribution p(kB, {{0.0, 0.2}, {kB, 0.3}}, 0.5);
+  util::Rng rng(5);
+  int at_zero = 0;
+  int at_b = 0;
+  std::vector<double> continuous_draws;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = p.sample_threshold(rng);
+    if (x == 0.0) ++at_zero;
+    else if (x == kB) ++at_b;
+    else continuous_draws.push_back(x);
+  }
+  EXPECT_NEAR(at_zero / 20000.0, 0.2, 0.01);
+  // N-Rand's inverse CDF can also return exactly B only at u == 1; the
+  // atom dominates the count at B.
+  EXPECT_NEAR(at_b / 20000.0, 0.3, 0.01);
+  // The continuous residue follows the N-Rand law.
+  NRandPolicy nrand(kB);
+  const auto ks = stats::ks_test(
+      continuous_draws, [&nrand](double x) { return nrand.cdf(x); });
+  EXPECT_FALSE(ks.reject_at(0.01));
+}
+
+TEST(DecisionDistributionTest, FromLpSolutionMatchesProposedPolicy) {
+  // For every statistics point, the mixed distribution built from the LP
+  // must behave exactly like the vertex the proposed policy selects.
+  for (auto [mu_frac, q] : {std::pair{0.01, 0.95}, std::pair{0.5, 0.02},
+                            std::pair{0.02, 0.3}, std::pair{0.15, 0.35}}) {
+    const auto s = make_stats(mu_frac, q);
+    const auto mixed = DecisionDistribution::optimal(kB, s);
+    ProposedPolicy vertex(kB, s);
+    for (double y : {0.5, 5.0, 15.0, 27.0, 28.0, 100.0}) {
+      EXPECT_NEAR(mixed.expected_cost(y), vertex.expected_cost(y), 1e-9)
+          << "mu=" << mu_frac << " q=" << q << " y=" << y;
+    }
+  }
+}
+
+TEST(DecisionDistributionTest, OptimalIsVertexConcentrated) {
+  // Section 4.4: the LP optimum sits at a simplex vertex, so the optimal
+  // P(x) has all mass in exactly one component.
+  const auto toi_like = DecisionDistribution::optimal(kB, make_stats(0.01,
+                                                                     0.95));
+  EXPECT_EQ(toi_like.atoms().size(), 1u);
+  EXPECT_NEAR(toi_like.atoms()[0].mass, 1.0, 1e-9);
+  EXPECT_NEAR(toi_like.continuous_mass(), 0.0, 1e-9);
+
+  const auto nrand_like =
+      DecisionDistribution::optimal(kB, make_stats(0.15, 0.35));
+  EXPECT_TRUE(nrand_like.atoms().empty());
+  EXPECT_NEAR(nrand_like.continuous_mass(), 1.0, 1e-9);
+}
+
+TEST(DecisionDistributionTest, AtomsSortedByThreshold) {
+  DecisionDistribution p(kB, {{kB, 0.5}, {0.0, 0.5}}, 0.0);
+  ASSERT_EQ(p.atoms().size(), 2u);
+  EXPECT_LT(p.atoms()[0].threshold, p.atoms()[1].threshold);
+}
+
+}  // namespace
+}  // namespace idlered::core

@@ -1,0 +1,129 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+
+TEST(StatsEstimatorTest, ExactOnKnownStream) {
+  StatsEstimator e(kB);
+  e.observe(5.0);
+  e.observe(10.0);
+  e.observe(30.0);
+  e.observe(50.0);
+  const auto s = e.stats();
+  EXPECT_DOUBLE_EQ(s.mu_b_minus, 15.0 / 4.0);
+  EXPECT_DOUBLE_EQ(s.q_b_plus, 0.5);
+  EXPECT_EQ(e.count(), 4u);
+}
+
+TEST(StatsEstimatorTest, BoundaryCountsAsLong) {
+  StatsEstimator e(kB);
+  e.observe(kB);
+  EXPECT_DOUBLE_EQ(e.stats().q_b_plus, 1.0);
+  EXPECT_DOUBLE_EQ(e.stats().mu_b_minus, 0.0);
+}
+
+TEST(StatsEstimatorTest, EmptyThrows) {
+  StatsEstimator e(kB);
+  EXPECT_FALSE(e.has_observations());
+  EXPECT_THROW(e.stats(), std::logic_error);
+}
+
+TEST(StatsEstimatorTest, NegativeStopThrows) {
+  StatsEstimator e(kB);
+  EXPECT_THROW(e.observe(-1.0), std::invalid_argument);
+}
+
+TEST(StatsEstimatorTest, ConvergesToTrueStatistics) {
+  dist::Exponential law(20.0);
+  const auto truth = dist::ShortStopStats::from_distribution(law, kB);
+  util::Rng rng(31);
+  StatsEstimator e(kB);
+  for (int i = 0; i < 100000; ++i) e.observe(law.sample(rng));
+  EXPECT_NEAR(e.stats().mu_b_minus, truth.mu_b_minus, 0.15);
+  EXPECT_NEAR(e.stats().q_b_plus, truth.q_b_plus, 0.01);
+}
+
+TEST(StatsEstimatorTest, EstimateAlwaysFeasible) {
+  util::Rng rng(32);
+  StatsEstimator e(kB);
+  dist::Pareto law(5.0, 1.3);
+  for (int i = 0; i < 1000; ++i) {
+    e.observe(law.sample(rng));
+    EXPECT_TRUE(e.stats().feasible(kB)) << "after " << i + 1 << " stops";
+  }
+}
+
+TEST(DecayingEstimatorTest, LambdaOneMatchesFullHistory) {
+  util::Rng rng(33);
+  StatsEstimator full(kB);
+  DecayingStatsEstimator decaying(kB, 1.0);
+  dist::Exponential law(25.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double y = law.sample(rng);
+    full.observe(y);
+    decaying.observe(y);
+  }
+  EXPECT_NEAR(decaying.stats().mu_b_minus, full.stats().mu_b_minus, 1e-9);
+  EXPECT_NEAR(decaying.stats().q_b_plus, full.stats().q_b_plus, 1e-9);
+}
+
+TEST(DecayingEstimatorTest, TracksRegimeShift) {
+  // Traffic shifts from short stops to long stops; a forgetting estimator
+  // must follow while the full-history one lags.
+  util::Rng rng(34);
+  DecayingStatsEstimator decaying(kB, 0.95);
+  StatsEstimator full(kB);
+  dist::Exponential calm(8.0);
+  dist::Exponential jammed(120.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double y = calm.sample(rng);
+    decaying.observe(y);
+    full.observe(y);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double y = jammed.sample(rng);
+    decaying.observe(y);
+    full.observe(y);
+  }
+  const auto truth = dist::ShortStopStats::from_distribution(jammed, kB);
+  EXPECT_NEAR(decaying.stats().q_b_plus, truth.q_b_plus, 0.1);
+  EXPECT_LT(full.stats().q_b_plus, decaying.stats().q_b_plus);
+}
+
+TEST(DecayingEstimatorTest, EffectiveWindow) {
+  EXPECT_NEAR(DecayingStatsEstimator(kB, 0.99).effective_window(), 100.0,
+              1e-9);
+  EXPECT_TRUE(std::isinf(
+      DecayingStatsEstimator(kB, 1.0).effective_window()));
+}
+
+TEST(DecayingEstimatorTest, InvalidLambdaThrows) {
+  EXPECT_THROW(DecayingStatsEstimator(kB, 0.0), std::invalid_argument);
+  EXPECT_THROW(DecayingStatsEstimator(kB, 1.5), std::invalid_argument);
+}
+
+TEST(DecayingEstimatorTest, EmptyThrows) {
+  DecayingStatsEstimator e(kB, 0.9);
+  EXPECT_FALSE(e.has_observations());
+  EXPECT_THROW(e.stats(), std::logic_error);
+}
+
+TEST(DecayingEstimatorTest, EstimateAlwaysFeasible) {
+  util::Rng rng(36);
+  DecayingStatsEstimator e(kB, 0.9);
+  dist::LogNormal law(3.0, 1.2);
+  for (int i = 0; i < 500; ++i) {
+    e.observe(law.sample(rng));
+    EXPECT_TRUE(e.stats().feasible(kB));
+  }
+}
+
+}  // namespace
+}  // namespace idlered::core

@@ -1,0 +1,272 @@
+#include "core/policies.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/costs.h"
+#include "stats/ks_test.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+using util::kE;
+
+// ------------------------------------------------------- deterministic family
+
+TEST(ThresholdPolicyTest, ToiAlwaysCostsB) {
+  const auto toi = make_toi(kB);
+  EXPECT_DOUBLE_EQ(toi->expected_cost(0.0), kB);
+  EXPECT_DOUBLE_EQ(toi->expected_cost(5.0), kB);
+  EXPECT_DOUBLE_EQ(toi->expected_cost(1000.0), kB);
+  EXPECT_TRUE(toi->deterministic());
+}
+
+TEST(ThresholdPolicyTest, NevCostsStopLength) {
+  const auto nev = make_nev(kB);
+  EXPECT_DOUBLE_EQ(nev->expected_cost(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(nev->expected_cost(500.0), 500.0);
+  util::Rng rng(1);
+  EXPECT_TRUE(std::isinf(nev->sample_threshold(rng)));
+}
+
+TEST(ThresholdPolicyTest, DetMatchesOfflineForShortStops) {
+  const auto det = make_det(kB);
+  for (double y : {0.0, 1.0, 15.0, 27.99}) {
+    EXPECT_DOUBLE_EQ(det->expected_cost(y), y);
+  }
+  EXPECT_DOUBLE_EQ(det->expected_cost(28.0), 2.0 * kB);
+  EXPECT_DOUBLE_EQ(det->expected_cost(1e6), 2.0 * kB);
+}
+
+TEST(ThresholdPolicyTest, BDetSwitchesAtB) {
+  const auto bdet = make_b_det(kB, 10.0);
+  EXPECT_DOUBLE_EQ(bdet->expected_cost(9.0), 9.0);
+  EXPECT_DOUBLE_EQ(bdet->expected_cost(10.0), 10.0 + kB);
+  EXPECT_DOUBLE_EQ(bdet->expected_cost(100.0), 10.0 + kB);
+}
+
+TEST(ThresholdPolicyTest, BDetRejectsOutOfRange) {
+  EXPECT_THROW(make_b_det(kB, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_b_det(kB, kB + 1.0), std::invalid_argument);
+}
+
+TEST(ThresholdPolicyTest, SampleThresholdIsConstant) {
+  const auto det = make_det(kB);
+  util::Rng rng(2);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(det->sample_threshold(rng), kB);
+}
+
+TEST(ThresholdPolicyTest, InvalidBreakEvenThrows) {
+  EXPECT_THROW(ThresholdPolicy(0.0, 1.0, "x"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------- NRand
+
+TEST(NRandTest, PdfIntegratesToOne) {
+  NRandPolicy p(kB);
+  const double total =
+      util::integrate([&p](double x) { return p.pdf(x); }, 0.0, kB, 1e-11);
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST(NRandTest, PdfMatchesEq7) {
+  NRandPolicy p(kB);
+  EXPECT_NEAR(p.pdf(0.0), 1.0 / (kB * (kE - 1.0)), 1e-12);
+  EXPECT_NEAR(p.pdf(kB), kE / (kB * (kE - 1.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(p.pdf(kB + 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(p.pdf(-0.01), 0.0);
+}
+
+TEST(NRandTest, EqualizerProperty) {
+  // E[cost] = e/(e-1) * cost_offline(y) for every y — the defining property.
+  NRandPolicy p(kB);
+  for (double y : {0.5, 3.0, 14.0, 27.0, 28.0, 50.0, 1e4}) {
+    EXPECT_NEAR(p.expected_cost(y),
+                util::kEOverEMinus1 * offline_cost(y, kB), 1e-9)
+        << "y=" << y;
+  }
+}
+
+TEST(NRandTest, ExpectedCostMatchesQuadratureOracle) {
+  NRandPolicy p(kB);
+  GenericRandomizedPolicy oracle(
+      kB, [&p](double x) { return p.pdf(x); }, "oracle");
+  for (double y : {1.0, 10.0, 20.0, 27.0, 35.0}) {
+    EXPECT_NEAR(p.expected_cost(y), oracle.expected_cost(y), 1e-6);
+  }
+}
+
+TEST(NRandTest, SampledThresholdsFollowCdf) {
+  NRandPolicy p(kB);
+  util::Rng rng(42);
+  std::vector<double> draws;
+  for (int i = 0; i < 5000; ++i) draws.push_back(p.sample_threshold(rng));
+  const auto ks =
+      stats::ks_test(draws, [&p](double x) { return p.cdf(x); });
+  EXPECT_FALSE(ks.reject_at(0.01));
+}
+
+TEST(NRandTest, ThresholdsWithinSupport) {
+  NRandPolicy p(kB);
+  util::Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = p.sample_threshold(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, kB);
+  }
+}
+
+// -------------------------------------------------------------------- MOMRand
+
+TEST(MomRandTest, RevisedWhenMuSmall) {
+  MomRandPolicy p(kB, 0.5 * kB);
+  EXPECT_TRUE(p.revised());
+}
+
+TEST(MomRandTest, FallsBackToNRandWhenMuLarge) {
+  MomRandPolicy p(kB, 0.9 * kB);  // above 2(e-2)/(e-1) B ~= 0.836 B
+  EXPECT_FALSE(p.revised());
+  NRandPolicy n(kB);
+  for (double y : {5.0, 20.0, 40.0}) {
+    EXPECT_DOUBLE_EQ(p.expected_cost(y), n.expected_cost(y));
+  }
+}
+
+TEST(MomRandTest, ActivationThresholdValue) {
+  EXPECT_NEAR(MomRandPolicy::mu_threshold(kB) / kB,
+              2.0 * (kE - 2.0) / (kE - 1.0), 1e-12);
+  EXPECT_NEAR(MomRandPolicy::mu_threshold(kB) / kB, 0.8357, 1e-3);
+}
+
+TEST(MomRandTest, RevisedPdfIntegratesToOne) {
+  MomRandPolicy p(kB, 0.2 * kB);
+  const double total =
+      util::integrate([&p](double x) { return p.pdf(x); }, 0.0, kB, 1e-11);
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST(MomRandTest, RevisedPdfMatchesEq9) {
+  MomRandPolicy p(kB, 0.2 * kB);
+  EXPECT_NEAR(p.pdf(0.0), 0.0, 1e-12);  // (e^0 - 1) = 0
+  EXPECT_NEAR(p.pdf(kB), (kE - 1.0) / (kB * (kE - 2.0)), 1e-12);
+}
+
+TEST(MomRandTest, ExpectedCostMatchesQuadratureOracle) {
+  MomRandPolicy p(kB, 0.2 * kB);
+  GenericRandomizedPolicy oracle(
+      kB, [&p](double x) { return p.pdf(x); }, "oracle");
+  for (double y : {0.5, 5.0, 14.0, 27.5, 28.0, 100.0}) {
+    EXPECT_NEAR(p.expected_cost(y), oracle.expected_cost(y), 1e-6)
+        << "y=" << y;
+  }
+}
+
+TEST(MomRandTest, ExpectedCostContinuousAtB) {
+  MomRandPolicy p(kB, 0.2 * kB);
+  EXPECT_NEAR(p.expected_cost(kB - 1e-9), p.expected_cost(kB + 1e-9), 1e-6);
+}
+
+TEST(MomRandTest, SampledThresholdsFollowCdf) {
+  MomRandPolicy p(kB, 0.3 * kB);
+  util::Rng rng(44);
+  std::vector<double> draws;
+  for (int i = 0; i < 5000; ++i) draws.push_back(p.sample_threshold(rng));
+  const auto ks =
+      stats::ks_test(draws, [&p](double x) { return p.cdf(x); });
+  EXPECT_FALSE(ks.reject_at(0.01));
+}
+
+TEST(MomRandTest, CheaperThanNRandOnShortStops) {
+  // The revised density shifts mass toward larger thresholds, so short
+  // stops (y << B) cost less than under N-Rand.
+  MomRandPolicy mom(kB, 0.2 * kB);
+  NRandPolicy n(kB);
+  EXPECT_LT(mom.expected_cost(2.0), n.expected_cost(2.0));
+}
+
+TEST(MomRandTest, NegativeMuThrows) {
+  EXPECT_THROW(MomRandPolicy(kB, -1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------- GenericRandomizedPolicy
+
+TEST(GenericPolicyTest, RejectsUnnormalizedPdf) {
+  EXPECT_THROW(GenericRandomizedPolicy(kB, [](double) { return 10.0; }, "bad"),
+               std::invalid_argument);
+}
+
+TEST(GenericPolicyTest, UniformDensityExpectedCost) {
+  // P(x) = 1/B on [0, B]. For y <= B:
+  //   E = integral_0^y (x+B)/B dx + y (B - y)/B = y^2/(2B) + y + y - y^2/B
+  //     = 2y - y^2/(2B)
+  GenericRandomizedPolicy p(kB, [](double) { return 1.0 / kB; }, "uniform");
+  for (double y : {1.0, 10.0, 20.0, 28.0}) {
+    EXPECT_NEAR(p.expected_cost(y), 2.0 * y - y * y / (2.0 * kB), 1e-6);
+  }
+  // For y >= B: integral_0^B (x+B)/B dx = 3B/2.
+  EXPECT_NEAR(p.expected_cost(100.0), 1.5 * kB, 1e-6);
+}
+
+TEST(GenericPolicyTest, SamplesFollowUniformCdf) {
+  GenericRandomizedPolicy p(kB, [](double) { return 1.0 / kB; }, "uniform");
+  util::Rng rng(45);
+  std::vector<double> draws;
+  for (int i = 0; i < 3000; ++i) draws.push_back(p.sample_threshold(rng));
+  const auto ks = stats::ks_test(
+      draws, [](double x) { return util::clamp(x / kB, 0.0, 1.0); });
+  EXPECT_FALSE(ks.reject_at(0.01));
+}
+
+// ------------------------------------------------- parameterized sanity sweep
+
+struct PolicyCase {
+  std::string label;
+  PolicyPtr policy;
+};
+
+class AllPolicies : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(AllPolicies, ExpectedCostNonNegativeAndBounded) {
+  const auto& p = *GetParam().policy;
+  for (double y : util::linspace(0.0, 4.0 * kB, 50)) {
+    const double c = p.expected_cost(y);
+    EXPECT_GE(c, 0.0);
+    // No policy in [0, B] pays more than max(y, 2B) in expectation.
+    EXPECT_LE(c, std::max(y, 2.0 * kB) + 1e-9);
+  }
+}
+
+TEST_P(AllPolicies, ExpectedCostNondecreasingInY) {
+  const auto& p = *GetParam().policy;
+  double prev = 0.0;
+  for (double y : util::linspace(0.0, 4.0 * kB, 200)) {
+    const double c = p.expected_cost(y);
+    EXPECT_GE(c, prev - 1e-9) << "at y=" << y;
+    prev = c;
+  }
+}
+
+TEST_P(AllPolicies, NegativeStopThrows) {
+  EXPECT_THROW(GetParam().policy->expected_cost(-1.0), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lineup, AllPolicies,
+    ::testing::Values(PolicyCase{"toi", make_toi(kB)},
+                      PolicyCase{"nev", make_nev(kB)},
+                      PolicyCase{"det", make_det(kB)},
+                      PolicyCase{"bdet", make_b_det(kB, 10.0)},
+                      PolicyCase{"nrand", make_n_rand(kB)},
+                      PolicyCase{"momrand", make_mom_rand(kB, 14.0)}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace idlered::core

@@ -1,0 +1,173 @@
+#include "core/proposed.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "dist/adaptors.h"
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+
+dist::ShortStopStats make_stats(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB;
+  s.q_b_plus = q;
+  return s;
+}
+
+TEST(ProposedTest, DelegatesToChosenStrategy) {
+  ProposedPolicy toi_like(kB, make_stats(0.01, 0.95));
+  ASSERT_EQ(toi_like.choice().strategy, Strategy::kToi);
+  EXPECT_DOUBLE_EQ(toi_like.expected_cost(100.0), kB);  // TOI behaviour
+  EXPECT_TRUE(toi_like.deterministic());
+
+  ProposedPolicy nrand_like(kB, make_stats(0.15, 0.35));
+  ASSERT_EQ(nrand_like.choice().strategy, Strategy::kNRand);
+  EXPECT_FALSE(nrand_like.deterministic());
+  NRandPolicy nrand(kB);
+  EXPECT_NEAR(nrand_like.expected_cost(10.0), nrand.expected_cost(10.0),
+              1e-12);
+}
+
+TEST(ProposedTest, BDetDelegateUsesOptimalThreshold) {
+  ProposedPolicy p(kB, make_stats(0.02, 0.3));
+  ASSERT_EQ(p.choice().strategy, Strategy::kBDet);
+  const double b = p.choice().b;
+  // Just below b: cost y. At/above b: cost b + B.
+  EXPECT_DOUBLE_EQ(p.expected_cost(b * 0.9), b * 0.9);
+  EXPECT_DOUBLE_EQ(p.expected_cost(b + 1.0), b + kB);
+}
+
+TEST(ProposedTest, FromDistributionConstructor) {
+  dist::Exponential q(20.0);
+  ProposedPolicy p(kB, q);
+  const auto expected = dist::ShortStopStats::from_distribution(q, kB);
+  EXPECT_NEAR(p.stats().mu_b_minus, expected.mu_b_minus, 1e-12);
+  EXPECT_NEAR(p.stats().q_b_plus, expected.q_b_plus, 1e-12);
+}
+
+TEST(ProposedTest, FromSampleConstructor) {
+  const std::vector<double> sample{5.0, 10.0, 40.0, 80.0};
+  ProposedPolicy p(kB, sample);
+  EXPECT_DOUBLE_EQ(p.stats().mu_b_minus, 15.0 / 4.0);
+  EXPECT_DOUBLE_EQ(p.stats().q_b_plus, 0.5);
+}
+
+TEST(ProposedTest, WorstCaseCrNeverAboveNRandBound) {
+  for (double mu_frac : util::linspace(0.0, 0.95, 25)) {
+    for (double q : util::linspace(0.0, 0.95, 25)) {
+      const auto s = make_stats(mu_frac, q);
+      if (!s.feasible(kB)) continue;
+      ProposedPolicy p(kB, s);
+      EXPECT_LE(p.worst_case_cr(), util::kEOverEMinus1 + 1e-9);
+    }
+  }
+}
+
+// The central guarantee: against *any* adversarial distribution consistent
+// with the side statistics, the realized expected CR stays within the
+// declared worst-case bound. Adversaries are two-point mixtures (short mass
+// at a point s < B, long mass at L > B), which include the paper's
+// worst-case constructions.
+class AdversarialGuarantee
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(AdversarialGuarantee, RealizedCrWithinBound) {
+  const double mu_frac = GetParam().first;
+  const double q = GetParam().second;
+  const auto s = make_stats(mu_frac, q);
+  if (!s.feasible(kB)) GTEST_SKIP();
+  ProposedPolicy p(kB, s);
+  const double bound = p.worst_case_cr();
+
+  // Sweep two-point adversaries consistent with (mu, q): the short stop sits
+  // at s_pos with probability 1-q (so s_pos (1-q) = mu), except s_pos must
+  // be < B; skip if not representable.
+  if (q < 1.0) {
+    const double s_pos = s.mu_b_minus / (1.0 - q);
+    if (s_pos < kB) {
+      for (double long_len : {kB, 2.0 * kB, 10.0 * kB}) {
+        const double online =
+            (1.0 - q) * p.expected_cost(s_pos) + q * p.expected_cost(long_len);
+        const double offline = s.mu_b_minus + q * kB;
+        if (offline > 0.0) {
+          EXPECT_LE(online / offline, bound + 1e-9)
+              << "adversary: short=" << s_pos << " long=" << long_len;
+        }
+      }
+    }
+  }
+
+  // The paper's b-DET adversary: short stops at 0 or at the policy's own b.
+  if (p.choice().strategy == Strategy::kBDet && q < 1.0) {
+    const double b = p.choice().b;
+    const double p_at_b = s.mu_b_minus / b;  // q2 in the paper
+    if (p_at_b <= 1.0 - q + 1e-12) {
+      const double p_at_0 = 1.0 - q - p_at_b;
+      const double online = p_at_0 * p.expected_cost(0.0) +
+                            p_at_b * p.expected_cost(b) +
+                            q * p.expected_cost(3.0 * kB);
+      const double offline = s.mu_b_minus + q * kB;
+      EXPECT_LE(online / offline, bound + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdversarialGuarantee,
+    ::testing::Values(std::make_pair(0.02, 0.3), std::make_pair(0.05, 0.2),
+                      std::make_pair(0.15, 0.35), std::make_pair(0.3, 0.4),
+                      std::make_pair(0.5, 0.05), std::make_pair(0.01, 0.9),
+                      std::make_pair(0.4, 0.25), std::make_pair(0.1, 0.6)));
+
+TEST(ProposedTest, FactoryMatchesClass) {
+  const auto s = make_stats(0.3, 0.4);
+  const auto p = make_proposed(kB, s);
+  ProposedPolicy direct(kB, s);
+  EXPECT_EQ(p->name(), "COA");
+  EXPECT_NEAR(p->expected_cost(10.0), direct.expected_cost(10.0), 1e-12);
+}
+
+TEST(ProposedTest, SampleThresholdWithinSupport) {
+  ProposedPolicy p(kB, make_stats(0.15, 0.35));  // N-Rand delegate
+  util::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double x = p.sample_threshold(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, kB);
+  }
+}
+
+TEST(ProposedTest, RealDistributionEndToEnd) {
+  // From a heavy-tailed stop law, the whole pipeline (stats -> choice ->
+  // policy) must produce a CR within the worst-case bound when evaluated
+  // against that very distribution.
+  dist::Mixture law({{0.8, std::make_shared<dist::LogNormal>(
+                               dist::LogNormal::from_mean_median(25.0, 15.0))},
+                     {0.2, std::make_shared<dist::Pareto>(50.0, 1.7)}});
+  ProposedPolicy p(kB, law);
+  // Expected online and offline costs against the true law by quadrature +
+  // analytic tail handling.
+  const double online_body = util::integrate(
+      [&](double y) { return p.expected_cost(y) * law.pdf(y); }, 1e-9, kB,
+      1e-9);
+  // For y >= B every policy's expected cost is constant in y.
+  const double online_tail =
+      law.tail_probability(kB) * p.expected_cost(2.0 * kB);
+  const double offline =
+      law.partial_expectation(kB) + law.tail_probability(kB) * kB;
+  const double cr = (online_body + online_tail) / offline;
+  EXPECT_LE(cr, p.worst_case_cr() + 1e-6);
+  EXPECT_GE(cr, 1.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace idlered::core

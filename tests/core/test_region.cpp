@@ -1,0 +1,105 @@
+#include "core/region.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+
+TEST(RegionMapTest, GridDimensions) {
+  const auto cells = compute_region_map(kB, 10, 8);
+  EXPECT_EQ(cells.size(), 80u);
+}
+
+TEST(RegionMapTest, FeasibilityDiagonal) {
+  // Cells with mu_frac + q > 1 are infeasible (mu <= B(1-q)).
+  for (const auto& c : compute_region_map(kB, 20, 20)) {
+    const bool expected = c.mu_fraction <= (1.0 - c.q_b_plus) + 1e-12;
+    EXPECT_EQ(c.feasible, expected)
+        << "mu_frac=" << c.mu_fraction << " q=" << c.q_b_plus;
+  }
+}
+
+TEST(RegionMapTest, AllFourStrategiesAppear) {
+  // Figure 1(a) shows all four regions; a reasonably fine grid must hit each.
+  std::set<Strategy> seen;
+  for (const auto& c : compute_region_map(kB, 60, 60)) {
+    if (c.feasible) seen.insert(c.strategy);
+  }
+  EXPECT_TRUE(seen.count(Strategy::kToi));
+  EXPECT_TRUE(seen.count(Strategy::kDet));
+  EXPECT_TRUE(seen.count(Strategy::kBDet));
+  EXPECT_TRUE(seen.count(Strategy::kNRand));
+}
+
+TEST(RegionMapTest, CrBounds) {
+  for (const auto& c : compute_region_map(kB, 30, 30)) {
+    if (!c.feasible) continue;
+    EXPECT_GE(c.cr, 1.0 - 1e-9);
+    EXPECT_LE(c.cr, util::kEOverEMinus1 + 1e-9);
+  }
+}
+
+TEST(RegionMapTest, RenderUsesExpectedSymbols) {
+  const auto cells = compute_region_map(kB, 30, 30);
+  const std::string art = render_region_map(cells, 30, 30);
+  EXPECT_NE(art.find('T'), std::string::npos);
+  EXPECT_NE(art.find('D'), std::string::npos);
+  EXPECT_NE(art.find('N'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);  // infeasible corner
+}
+
+TEST(ProjectionTest, ProposedIsLowerEnvelope) {
+  for (double mu_frac : {0.02, 0.05, 0.3, 0.6}) {
+    for (const auto& p : compute_projection(kB, mu_frac, 50)) {
+      const double min_other =
+          std::min(std::min(p.cr_nrand, p.cr_toi),
+                   std::min(p.cr_det, p.cr_b_det));
+      EXPECT_NEAR(p.cr_proposed, min_other, 1e-9)
+          << "mu_frac=" << mu_frac << " q=" << p.q_b_plus;
+    }
+  }
+}
+
+TEST(ProjectionTest, SkipsInfeasiblePoints) {
+  // At mu_frac = 0.6, q > 0.4 is infeasible.
+  const auto pts = compute_projection(kB, 0.6, 100);
+  for (const auto& p : pts) EXPECT_LE(p.q_b_plus, 0.4 + 1e-9);
+  EXPECT_FALSE(pts.empty());
+}
+
+TEST(ProjectionTest, BDetImprovementVisibleAtTinyMu) {
+  // Figure 2(c): at mu = 0.02 B there must exist q where b-DET strictly
+  // beats both N-Rand and DET and TOI.
+  bool improvement = false;
+  for (const auto& p : compute_projection(kB, 0.02, 200)) {
+    if (p.winner == Strategy::kBDet &&
+        p.cr_b_det < p.cr_nrand - 1e-9 && p.cr_b_det < p.cr_det - 1e-9 &&
+        p.cr_b_det < p.cr_toi - 1e-9) {
+      improvement = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(improvement);
+}
+
+TEST(ProjectionTest, ToiWinsAsQApproachesOne) {
+  const auto pts = compute_projection(kB, 0.001, 200);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_EQ(pts.back().winner, Strategy::kToi);
+}
+
+TEST(ProjectionTest, DetWinsAsQApproachesZero) {
+  const auto pts = compute_projection(kB, 0.3, 400);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_EQ(pts.front().winner, Strategy::kDet);
+}
+
+}  // namespace
+}  // namespace idlered::core

@@ -1,0 +1,96 @@
+#include "core/solver_lp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+
+namespace idlered::core {
+namespace {
+
+constexpr double kB = 28.0;
+
+dist::ShortStopStats make_stats(double mu_frac, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu_frac * kB;
+  s.q_b_plus = q;
+  return s;
+}
+
+TEST(LpCoefficientsTest, KValuesAreVertexCostDeltas) {
+  const auto s = make_stats(0.2, 0.3);
+  const auto k = lp_coefficients(s, kB);
+  EXPECT_NEAR(k.constant, worst_case_cost_nrand(s, kB), 1e-12);
+  EXPECT_NEAR(k.k_alpha, worst_case_cost_toi(s, kB) - k.constant, 1e-12);
+  EXPECT_NEAR(k.k_beta, worst_case_cost_det(s, kB) - k.constant, 1e-12);
+  EXPECT_NEAR(k.k_gamma, worst_case_cost_b_det(s, kB) - k.constant, 1e-9);
+}
+
+TEST(LpCoefficientsTest, KGammaInfiniteWhenBDetInfeasible) {
+  const auto k = lp_coefficients(make_stats(0.5, 0.02), kB);
+  EXPECT_TRUE(std::isinf(k.k_gamma));
+}
+
+TEST(LpSolverTest, MassesFormADistribution) {
+  const auto sol = solve_constrained_lp(make_stats(0.3, 0.4), kB);
+  EXPECT_GE(sol.alpha, -1e-9);
+  EXPECT_GE(sol.beta, -1e-9);
+  EXPECT_GE(sol.gamma, -1e-9);
+  EXPECT_LE(sol.alpha + sol.beta + sol.gamma, 1.0 + 1e-9);
+}
+
+TEST(LpSolverTest, ToiRegion) {
+  const auto sol = solve_constrained_lp(make_stats(0.01, 0.95), kB);
+  EXPECT_EQ(sol.strategy, Strategy::kToi);
+  EXPECT_NEAR(sol.alpha, 1.0, 1e-9);
+}
+
+TEST(LpSolverTest, DetRegion) {
+  const auto sol = solve_constrained_lp(make_stats(0.5, 0.02), kB);
+  EXPECT_EQ(sol.strategy, Strategy::kDet);
+  EXPECT_NEAR(sol.beta, 1.0, 1e-9);
+}
+
+TEST(LpSolverTest, BDetRegion) {
+  const auto sol = solve_constrained_lp(make_stats(0.02, 0.3), kB);
+  EXPECT_EQ(sol.strategy, Strategy::kBDet);
+  EXPECT_NEAR(sol.gamma, 1.0, 1e-9);
+  EXPECT_GT(sol.b, 0.0);
+}
+
+TEST(LpSolverTest, NRandRegion) {
+  const auto sol = solve_constrained_lp(make_stats(0.15, 0.35), kB);
+  EXPECT_EQ(sol.strategy, Strategy::kNRand);
+  EXPECT_NEAR(sol.alpha + sol.beta + sol.gamma, 0.0, 1e-9);
+}
+
+// Property: the LP path and the closed-form vertex enumeration must agree on
+// the optimal cost everywhere, and on the winning vertex wherever the
+// optimum is unique.
+class LpAgreementSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LpAgreementSweep, MatchesClosedForm) {
+  const double q = GetParam();
+  for (double mu_frac : util::linspace(0.01, 0.95, 40)) {
+    const auto s = make_stats(mu_frac, q);
+    if (!s.feasible(kB)) continue;
+    const auto lp_sol = solve_constrained_lp(s, kB);
+    const auto closed = choose_strategy(s, kB);
+    EXPECT_NEAR(lp_sol.expected_cost, closed.expected_cost,
+                1e-8 * (1.0 + closed.expected_cost))
+        << "mu_frac=" << mu_frac << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QSweep, LpAgreementSweep,
+                         ::testing::Values(0.02, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                           0.7, 0.9));
+
+TEST(LpSolverTest, InfeasibleStatsThrow) {
+  EXPECT_THROW(solve_constrained_lp(make_stats(0.9, 0.5), kB),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::core

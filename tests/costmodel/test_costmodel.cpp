@@ -1,0 +1,249 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "costmodel/break_even.h"
+#include "costmodel/emissions.h"
+#include "costmodel/fuel.h"
+#include "costmodel/wear.h"
+
+namespace idlered::costmodel {
+namespace {
+
+// ------------------------------------------------------------------- fuel
+
+TEST(FuelTest, Equation45Regression) {
+  // fuel_{L/h} = 0.3644 D + 0.5188 (paper eq. 45).
+  EXPECT_NEAR(idle_fuel_l_per_h(2.5), 0.3644 * 2.5 + 0.5188, 1e-12);
+  EXPECT_NEAR(idle_fuel_l_per_h(1.0), 0.8832, 1e-12);
+}
+
+TEST(FuelTest, MeasurementOverridesRegression) {
+  EngineSpec e;
+  e.measured_idle_fuel_cc_per_s = 0.279;  // Argonne's Ford Fusion
+  EXPECT_DOUBLE_EQ(idle_fuel_cc_per_s(e), 0.279);
+}
+
+TEST(FuelTest, RegressionPathWhenNoMeasurement) {
+  EngineSpec e;
+  e.displacement_liters = 2.5;
+  e.measured_idle_fuel_cc_per_s = 0.0;
+  // (0.3644*2.5 + 0.5188) L/h = 1.4298 L/h = 0.3972 cc/s.
+  EXPECT_NEAR(idle_fuel_cc_per_s(e), 1.4298 * 1000.0 / 3600.0, 1e-9);
+}
+
+TEST(FuelTest, PaperIdlingCostWorkedExample) {
+  // 0.279 cc/s at $3.50/gallon -> ~0.0258 cents/s (paper, Appendix C.1).
+  EngineSpec e;
+  FuelPricing p;
+  EXPECT_NEAR(idling_cost_cents_per_s(e, p), 0.0258, 0.0001);
+}
+
+TEST(FuelTest, InvalidInputsThrow) {
+  EXPECT_THROW(idle_fuel_l_per_h(0.0), std::invalid_argument);
+  EngineSpec e;
+  FuelPricing p;
+  p.usd_per_gallon = 0.0;
+  EXPECT_THROW(idling_cost_cents_per_s(e, p), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- wear
+
+TEST(WearTest, StrengthenedStarterIsFree) {
+  StarterSpec s;
+  s.strengthened = true;
+  EXPECT_DOUBLE_EQ(starter_cost_cents_per_start(s), 0.0);
+}
+
+TEST(WearTest, StarterCostInPaperRange) {
+  // Paper: 0.5 - 4 cents/start across the published parameter ranges.
+  StarterSpec cheap;
+  cheap.replacement_usd = 85.0;
+  cheap.labor_usd = 115.0;
+  cheap.starts_per_replacement = 40000.0;
+  EXPECT_NEAR(starter_cost_cents_per_start(cheap), 0.5, 1e-12);
+
+  StarterSpec pricey;
+  pricey.replacement_usd = 400.0;
+  pricey.labor_usd = 225.0;
+  pricey.starts_per_replacement = 20000.0;
+  EXPECT_NEAR(starter_cost_cents_per_start(pricey), 3.125, 1e-12);
+}
+
+TEST(WearTest, BatteryCostInPaperRange) {
+  // Paper: 0.4841 - 0.9713 cents/start for a $230 battery, 2-4 years,
+  // 32.43 stops/day.
+  BatterySpec best;
+  best.warranty_years = 4.0;
+  const double low = battery_cost_cents_per_start(best);
+  BatterySpec worst;
+  worst.warranty_years = 2.0;
+  const double high = battery_cost_cents_per_start(worst);
+  EXPECT_NEAR(low, 0.4858, 0.01);
+  EXPECT_NEAR(high, 0.9713, 0.01);
+}
+
+TEST(WearTest, InvalidInputsThrow) {
+  StarterSpec s;
+  s.starts_per_replacement = 0.0;
+  EXPECT_THROW(starter_cost_cents_per_start(s), std::invalid_argument);
+  BatterySpec b;
+  b.warranty_years = 0.0;
+  EXPECT_THROW(battery_cost_cents_per_start(b), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- emissions
+
+TEST(EmissionsTest, PaperNoxWorkedExample) {
+  // 6 mg NOx/restart at ~580 cents/kg -> ~0.0035 cents/restart.
+  EmissionRates r;
+  EmissionPricing p;
+  EXPECT_NEAR(emission_cost_cents_per_restart(r, p), 0.00348, 0.0005);
+}
+
+TEST(EmissionsTest, IdlingEmissionCostTiny) {
+  EmissionRates r;
+  EmissionPricing p;
+  EXPECT_LT(emission_cost_cents_per_idle_s(r, p), 1e-4);
+}
+
+TEST(EmissionsTest, UnpricedPollutantsContributeNothing) {
+  EmissionRates r;
+  EmissionPricing p;
+  p.nox_cents_per_kg = 0.0;
+  EXPECT_DOUBLE_EQ(emission_cost_cents_per_restart(r, p), 0.0);
+}
+
+TEST(EmissionsTest, CoDominatesByMassWhenPriced) {
+  EmissionRates r;
+  EmissionPricing p;
+  p.thc_cents_per_kg = p.nox_cents_per_kg = p.co_cents_per_kg = 100.0;
+  // CO (1253 mg) >> THC (44) + NOx (6) per restart.
+  const double total = emission_cost_cents_per_restart(r, p);
+  EmissionPricing co_only;
+  co_only.nox_cents_per_kg = 0.0;
+  co_only.co_cents_per_kg = 100.0;
+  EXPECT_GT(emission_cost_cents_per_restart(r, co_only) / total, 0.9);
+}
+
+// -------------------------------------------------------------- break-even
+
+TEST(BreakEvenTest, SsvNearPaperValue) {
+  // Paper: "minimum break-even interval B = 28 seconds for SSV".
+  // Our decomposition: 10 (fuel) + 0 (starter) + ~18.8 (battery) + ~0.1
+  // (NOx) ~= 28.9 s. Allow the rounding band around the paper's figure.
+  const auto b = compute_break_even(ssv_vehicle());
+  EXPECT_NEAR(b.break_even_s, 28.0, 1.5);
+  EXPECT_DOUBLE_EQ(b.starter_s, 0.0);
+  EXPECT_NEAR(b.fuel_s, 10.0, 0.1);
+}
+
+TEST(BreakEvenTest, ConventionalNearPaperValue) {
+  // Paper: "47 seconds otherwise". Ours: 10 + ~19.4 + ~18.8 + ~0.1 ~= 48.3.
+  const auto b = compute_break_even(conventional_vehicle());
+  EXPECT_NEAR(b.break_even_s, 47.0, 2.0);
+  EXPECT_GT(b.starter_s, 15.0);
+}
+
+TEST(BreakEvenTest, ComponentsSumToTotal) {
+  const auto b = compute_break_even(conventional_vehicle());
+  EXPECT_NEAR(b.fuel_s + b.starter_s + b.battery_s + b.emissions_s,
+              b.break_even_s, 1e-9);
+}
+
+TEST(BreakEvenTest, RestartCostConsistent) {
+  const auto b = compute_break_even(ssv_vehicle());
+  EXPECT_NEAR(b.restart_cost_cents,
+              b.break_even_s * b.idling_cost_cents_per_s, 1e-9);
+}
+
+TEST(BreakEvenTest, SsvCheaperThanConventional) {
+  const auto ssv = compute_break_even(ssv_vehicle());
+  const auto conv = compute_break_even(conventional_vehicle());
+  EXPECT_LT(ssv.break_even_s, conv.break_even_s);
+}
+
+TEST(BreakEvenTest, HigherFuelPriceLowersWearShare) {
+  // Pricier fuel makes idling costlier, so wear-dominated B shrinks.
+  VehicleConfig v = conventional_vehicle();
+  const double base = compute_break_even(v).break_even_s;
+  v.fuel.usd_per_gallon = 7.0;
+  EXPECT_LT(compute_break_even(v).break_even_s, base);
+}
+
+TEST(BreakEvenTest, DescribeMentionsAllComponents) {
+  const std::string text = compute_break_even(ssv_vehicle()).describe();
+  EXPECT_NE(text.find("restart fuel"), std::string::npos);
+  EXPECT_NE(text.find("battery wear"), std::string::npos);
+  EXPECT_NE(text.find("break-even interval"), std::string::npos);
+}
+
+TEST(BreakEvenTest, PaperConstantsExposed) {
+  EXPECT_DOUBLE_EQ(kPaperBreakEvenSsv, 28.0);
+  EXPECT_DOUBLE_EQ(kPaperBreakEvenConventional, 47.0);
+}
+
+}  // namespace
+}  // namespace idlered::costmodel
+
+#include "costmodel/fleet_economics.h"
+
+namespace idlered::costmodel {
+namespace {
+
+// ------------------------------------------------------- fleet economics
+
+TEST(FleetEconomicsTest, PaperHeadlineBand) {
+  // The Introduction's "more than 6 billion gallons, more than $20
+  // billion" must fall inside the 13%-23% idle-fraction band.
+  NationalFleetModel lo;
+  lo.idle_fraction = 0.13;
+  NationalFleetModel hi;
+  hi.idle_fraction = 0.23;
+  const auto bill_lo = national_idling_bill(lo);
+  const auto bill_hi = national_idling_bill(hi);
+  EXPECT_LT(bill_lo.fuel_gallons_per_year, 6.0e9);
+  EXPECT_GT(bill_hi.fuel_gallons_per_year, 6.0e9);
+  EXPECT_GT(bill_hi.usd_per_year, 20.0e9);
+}
+
+TEST(FleetEconomicsTest, LinearInFleetSize) {
+  NationalFleetModel base;
+  NationalFleetModel doubled = base;
+  doubled.vehicles *= 2.0;
+  EXPECT_NEAR(national_idling_bill(doubled).fuel_gallons_per_year,
+              2.0 * national_idling_bill(base).fuel_gallons_per_year, 1.0);
+}
+
+TEST(FleetEconomicsTest, Co2TracksFuel) {
+  const auto bill = national_idling_bill(NationalFleetModel{});
+  EXPECT_NEAR(bill.co2_tonnes_per_year,
+              bill.fuel_gallons_per_year * 8.74 / 1000.0, 1.0);
+}
+
+TEST(FleetEconomicsTest, RecoverableFraction) {
+  EXPECT_DOUBLE_EQ(recoverable_fraction(30.0, 100.0), 0.7);
+  EXPECT_DOUBLE_EQ(recoverable_fraction(100.0, 100.0), 0.0);
+  EXPECT_LT(recoverable_fraction(120.0, 100.0), 0.0);  // worse than NEV
+  EXPECT_THROW(recoverable_fraction(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(FleetEconomicsTest, ScaleBill) {
+  const auto bill = national_idling_bill(NationalFleetModel{});
+  const auto half = scale_bill(bill, 0.5);
+  EXPECT_NEAR(half.usd_per_year, 0.5 * bill.usd_per_year, 1e-6);
+  EXPECT_NEAR(half.fuel_gallons_per_year, 0.5 * bill.fuel_gallons_per_year,
+              1e-6);
+}
+
+TEST(FleetEconomicsTest, InvalidModelThrows) {
+  NationalFleetModel m;
+  m.vehicles = 0.0;
+  EXPECT_THROW(national_idling_bill(m), std::invalid_argument);
+  m = NationalFleetModel{};
+  m.idle_fraction = 1.5;
+  EXPECT_THROW(national_idling_bill(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::costmodel

@@ -1,0 +1,121 @@
+#include "dist/adaptors.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered::dist {
+namespace {
+
+TEST(ScaledTest, MeanScales) {
+  Scaled d(std::make_shared<Exponential>(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 30.0);
+}
+
+TEST(ScaledTest, WithMeanHitsTarget) {
+  const auto d =
+      Scaled::with_mean(std::make_shared<Exponential>(10.0), 55.0);
+  EXPECT_NEAR(d.mean(), 55.0, 1e-12);
+  EXPECT_NEAR(d.scale(), 5.5, 1e-12);
+}
+
+TEST(ScaledTest, CdfConsistentWithBase) {
+  auto base = std::make_shared<Exponential>(10.0);
+  Scaled d(base, 2.0);
+  EXPECT_NEAR(d.cdf(20.0), base->cdf(10.0), 1e-12);
+}
+
+TEST(ScaledTest, ScaledExponentialIsExponential) {
+  // Scaling an exponential by s gives an exponential with mean s*m —
+  // the cleanest invariant for the adaptor.
+  Scaled d(std::make_shared<Exponential>(10.0), 2.0);
+  Exponential direct(20.0);
+  for (double y : {1.0, 10.0, 50.0}) {
+    EXPECT_NEAR(d.pdf(y), direct.pdf(y), 1e-12);
+    EXPECT_NEAR(d.cdf(y), direct.cdf(y), 1e-12);
+    EXPECT_NEAR(d.partial_expectation(y), direct.partial_expectation(y),
+                1e-12);
+    EXPECT_NEAR(d.tail_probability(y), direct.tail_probability(y), 1e-12);
+  }
+}
+
+TEST(ScaledTest, SamplingScales) {
+  auto base = std::make_shared<Uniform>(0.0, 1.0);
+  Scaled d(base, 10.0);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 10.0);
+  }
+}
+
+TEST(ScaledTest, RejectsInvalid) {
+  EXPECT_THROW(Scaled(nullptr, 2.0), std::invalid_argument);
+  EXPECT_THROW(Scaled(std::make_shared<Exponential>(1.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Scaled::with_mean(std::make_shared<Pareto>(1.0, 0.9), 10.0),
+      std::invalid_argument);  // infinite base mean cannot be rescaled
+}
+
+TEST(TruncatedTest, SupportRespected) {
+  Truncated d(std::make_shared<Exponential>(10.0), 2.0, 8.0);
+  util::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 8.0);
+  }
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(8.0), 1.0);
+}
+
+TEST(TruncatedTest, DensityRenormalized) {
+  auto base = std::make_shared<Exponential>(10.0);
+  Truncated d(base, 2.0, 8.0);
+  const double mass = base->cdf(8.0) - base->cdf(2.0);
+  EXPECT_NEAR(d.pdf(5.0), base->pdf(5.0) / mass, 1e-12);
+}
+
+TEST(TruncatedTest, MeanInsideSupport) {
+  Truncated d(std::make_shared<Exponential>(10.0), 2.0, 8.0);
+  const double m = d.mean();
+  EXPECT_GT(m, 2.0);
+  EXPECT_LT(m, 8.0);
+}
+
+TEST(TruncatedTest, RejectsEmptyMass) {
+  // Uniform[0,1] has no mass in [5, 6].
+  EXPECT_THROW(Truncated(std::make_shared<Uniform>(0.0, 1.0), 5.0, 6.0),
+               std::invalid_argument);
+}
+
+TEST(PointMassTest, AllMassAtValue) {
+  PointMass d(7.0);
+  EXPECT_DOUBLE_EQ(d.cdf(6.9), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 7.0);
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 7.0);
+}
+
+TEST(PointMassTest, ShortStopStatsSemantics) {
+  PointMass d(7.0);
+  // As a "short stop" w.r.t. B = 10: contributes its full value to mu.
+  EXPECT_DOUBLE_EQ(d.partial_expectation(10.0), 7.0);
+  EXPECT_DOUBLE_EQ(d.tail_probability(10.0), 0.0);
+  // As a "long stop" w.r.t. B = 5.
+  EXPECT_DOUBLE_EQ(d.partial_expectation(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.tail_probability(5.0), 1.0);
+}
+
+TEST(PointMassTest, RejectsNegative) {
+  EXPECT_THROW(PointMass(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::dist

@@ -1,0 +1,97 @@
+#include "dist/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered::dist {
+namespace {
+
+TEST(EmpiricalTest, MeanIsSampleMean) {
+  Empirical d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+}
+
+TEST(EmpiricalTest, CdfIsEcdf) {
+  Empirical d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+}
+
+TEST(EmpiricalTest, PartialExpectationExact) {
+  Empirical d({10.0, 20.0, 30.0, 40.0});
+  // Stops < 25: 10 and 20; mu_25- = 30/4.
+  EXPECT_DOUBLE_EQ(d.partial_expectation(25.0), 7.5);
+  // Boundary: stops < 30 are {10, 20}; 30 itself counts as long.
+  EXPECT_DOUBLE_EQ(d.partial_expectation(30.0), 7.5);
+}
+
+TEST(EmpiricalTest, TailProbabilityCountsAtOrAbove) {
+  Empirical d({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(d.tail_probability(30.0), 0.5);  // {30, 40}
+  EXPECT_DOUBLE_EQ(d.tail_probability(41.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.tail_probability(0.0), 1.0);
+}
+
+TEST(EmpiricalTest, SamplesComeFromSample) {
+  Empirical d({5.0, 7.0, 11.0});
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_TRUE(x == 5.0 || x == 7.0 || x == 11.0);
+  }
+}
+
+TEST(EmpiricalTest, BootstrapHitsAllValues) {
+  Empirical d({5.0, 7.0, 11.0});
+  util::Rng rng(4);
+  bool saw5 = false;
+  bool saw7 = false;
+  bool saw11 = false;
+  for (int i = 0; i < 500; ++i) {
+    const double x = d.sample(rng);
+    saw5 |= (x == 5.0);
+    saw7 |= (x == 7.0);
+    saw11 |= (x == 11.0);
+  }
+  EXPECT_TRUE(saw5 && saw7 && saw11);
+}
+
+TEST(EmpiricalTest, RejectsEmptyAndNegative) {
+  EXPECT_THROW(Empirical({}), std::invalid_argument);
+  EXPECT_THROW(Empirical({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(EmpiricalTest, ApproximatesSourceDistribution) {
+  // An empirical model built from a large exponential sample should agree
+  // with the source law on the ski-rental statistics.
+  Exponential src(20.0);
+  util::Rng rng(42);
+  Empirical emp(src.sample_many(rng, 100000));
+  const double b = 28.0;
+  EXPECT_NEAR(emp.partial_expectation(b), src.partial_expectation(b), 0.2);
+  EXPECT_NEAR(emp.tail_probability(b), src.tail_probability(b), 0.01);
+  EXPECT_NEAR(emp.mean(), src.mean(), 0.3);
+}
+
+TEST(EmpiricalTest, PdfRoughlyMatchesHistogramDensity) {
+  Exponential src(10.0);
+  util::Rng rng(11);
+  Empirical emp(src.sample_many(rng, 50000));
+  // The density estimate should be within a factor ~2 of the true pdf in
+  // the body of the distribution (coarse Sturges bins).
+  const double est = emp.pdf(5.0);
+  const double truth = src.pdf(5.0);
+  EXPECT_GT(est, truth * 0.3);
+  EXPECT_LT(est, truth * 3.0);
+}
+
+TEST(EmpiricalTest, NameMentionsSize) {
+  Empirical d({1.0, 2.0});
+  EXPECT_NE(d.name().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idlered::dist

@@ -1,0 +1,111 @@
+#include "dist/mixture.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dist/parametric.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::dist {
+namespace {
+
+Mixture body_tail_mixture() {
+  // The NREL-like shape from DESIGN.md: lognormal body + Pareto tail.
+  std::vector<Mixture::Component> comps;
+  comps.push_back({0.78, std::make_shared<LogNormal>(
+                             LogNormal::from_mean_median(25.0, 15.0))});
+  comps.push_back({0.22, std::make_shared<Pareto>(60.0, 1.6)});
+  return Mixture(std::move(comps));
+}
+
+TEST(MixtureTest, WeightsNormalized) {
+  std::vector<Mixture::Component> comps;
+  comps.push_back({2.0, std::make_shared<Exponential>(5.0)});
+  comps.push_back({6.0, std::make_shared<Exponential>(10.0)});
+  Mixture m(std::move(comps));
+  EXPECT_DOUBLE_EQ(m.components()[0].weight, 0.25);
+  EXPECT_DOUBLE_EQ(m.components()[1].weight, 0.75);
+}
+
+TEST(MixtureTest, MeanIsWeightedAverage) {
+  std::vector<Mixture::Component> comps;
+  comps.push_back({0.5, std::make_shared<Exponential>(4.0)});
+  comps.push_back({0.5, std::make_shared<Exponential>(8.0)});
+  Mixture m(std::move(comps));
+  EXPECT_DOUBLE_EQ(m.mean(), 6.0);
+}
+
+TEST(MixtureTest, CdfIsWeightedSum) {
+  const Mixture m = body_tail_mixture();
+  const double y = 30.0;
+  const LogNormal body = LogNormal::from_mean_median(25.0, 15.0);
+  const Pareto tail(60.0, 1.6);
+  EXPECT_NEAR(m.cdf(y), 0.78 * body.cdf(y) + 0.22 * tail.cdf(y), 1e-12);
+}
+
+TEST(MixtureTest, PartialStatsAreWeightedSums) {
+  const Mixture m = body_tail_mixture();
+  const LogNormal body = LogNormal::from_mean_median(25.0, 15.0);
+  const Pareto tail(60.0, 1.6);
+  const double b = 28.0;
+  EXPECT_NEAR(m.partial_expectation(b),
+              0.78 * body.partial_expectation(b) +
+                  0.22 * tail.partial_expectation(b),
+              1e-9);
+  EXPECT_NEAR(m.tail_probability(b),
+              0.78 * body.tail_probability(b) + 0.22 * tail.tail_probability(b),
+              1e-12);
+}
+
+TEST(MixtureTest, PdfIntegratesToOne) {
+  const Mixture m = body_tail_mixture();
+  // Integrate far into the tail and add the analytic remainder.
+  const double upto = 100000.0;
+  const double integral =
+      util::integrate([&m](double y) { return m.pdf(y); }, 1e-6, upto, 1e-9);
+  EXPECT_NEAR(integral + m.tail_probability(upto), 1.0, 1e-3);
+}
+
+TEST(MixtureTest, SamplingMatchesComponentWeights) {
+  const Mixture m = body_tail_mixture();
+  util::Rng rng(77);
+  const auto xs = m.sample_many(rng, 100000);
+  std::size_t above = 0;
+  for (double x : xs) {
+    if (x >= 60.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / static_cast<double>(xs.size()),
+              m.tail_probability(60.0), 0.01);
+}
+
+TEST(MixtureTest, HeavyTailSampleExceedsBody) {
+  const Mixture m = body_tail_mixture();
+  util::Rng rng(78);
+  double max_seen = 0.0;
+  for (double x : m.sample_many(rng, 50000)) max_seen = std::max(max_seen, x);
+  EXPECT_GT(max_seen, 500.0);  // Pareto(60, 1.6) tail reaches far out
+}
+
+TEST(MixtureTest, RejectsEmptyAndInvalid) {
+  EXPECT_THROW(Mixture({}), std::invalid_argument);
+  std::vector<Mixture::Component> null_comp;
+  null_comp.push_back({1.0, nullptr});
+  EXPECT_THROW(Mixture(std::move(null_comp)), std::invalid_argument);
+  std::vector<Mixture::Component> neg;
+  neg.push_back({-1.0, std::make_shared<Exponential>(1.0)});
+  EXPECT_THROW(Mixture(std::move(neg)), std::invalid_argument);
+  std::vector<Mixture::Component> zeros;
+  zeros.push_back({0.0, std::make_shared<Exponential>(1.0)});
+  EXPECT_THROW(Mixture(std::move(zeros)), std::invalid_argument);
+}
+
+TEST(MixtureTest, NameListsComponents) {
+  const Mixture m = body_tail_mixture();
+  EXPECT_NE(m.name().find("LogNormal"), std::string::npos);
+  EXPECT_NE(m.name().find("Pareto"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idlered::dist

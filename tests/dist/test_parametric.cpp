@@ -1,0 +1,271 @@
+#include "dist/parametric.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::dist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Family-wide properties, parameterized over every parametric distribution.
+
+struct FamilyCase {
+  std::string label;
+  std::shared_ptr<const StopLengthDistribution> d;
+  double probe_b;  ///< break-even-like probe point for partial stats
+  /// Heavy tails (infinite variance) make sample means converge too slowly
+  /// for a fixed-n test; those families skip the moment-matching checks.
+  bool finite_variance = true;
+};
+
+class ParametricFamily : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(ParametricFamily, CdfIsNondecreasingAndBounded) {
+  const auto& d = *GetParam().d;
+  double prev = 0.0;
+  for (double y : util::linspace(0.0, 5.0 * GetParam().probe_b, 200)) {
+    const double c = d.cdf(y);
+    EXPECT_GE(c, prev - 1e-12) << "at y=" << y;
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(ParametricFamily, PdfIntegratesToCdf) {
+  const auto& d = *GetParam().d;
+  const double b = GetParam().probe_b;
+  // Start just above 0: some pdfs are singular or discontinuous at 0.
+  const double eps = 1e-6;
+  const double integral =
+      util::integrate([&d](double y) { return d.pdf(y); }, eps, b, 1e-10);
+  EXPECT_NEAR(integral, d.cdf(b) - d.cdf(eps), 2e-4) << GetParam().label;
+}
+
+TEST_P(ParametricFamily, PartialExpectationMatchesQuadrature) {
+  const auto& d = *GetParam().d;
+  const double b = GetParam().probe_b;
+  const double eps = 1e-6;
+  const double quad =
+      util::integrate([&d](double y) { return y * d.pdf(y); }, eps, b, 1e-11);
+  EXPECT_NEAR(d.partial_expectation(b), quad, 2e-4 * (1.0 + quad))
+      << GetParam().label;
+}
+
+TEST_P(ParametricFamily, TailPlusCdfIsOne) {
+  const auto& d = *GetParam().d;
+  for (double y : {0.5 * GetParam().probe_b, GetParam().probe_b,
+                   2.0 * GetParam().probe_b}) {
+    EXPECT_NEAR(d.tail_probability(y) + d.cdf(y), 1.0, 1e-9);
+  }
+}
+
+TEST_P(ParametricFamily, SampleMeanMatchesAnalyticMean) {
+  const auto& d = *GetParam().d;
+  if (!std::isfinite(d.mean()) || !GetParam().finite_variance)
+    GTEST_SKIP() << "tail too heavy for a fixed-n sample-mean check";
+  util::Rng rng(12345);
+  const auto xs = d.sample_many(rng, 200000);
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double sample_mean = sum / static_cast<double>(xs.size());
+  EXPECT_NEAR(sample_mean, d.mean(), 0.05 * d.mean() + 0.01)
+      << GetParam().label;
+}
+
+TEST_P(ParametricFamily, SampleTailMatchesAnalyticTail) {
+  const auto& d = *GetParam().d;
+  const double b = GetParam().probe_b;
+  util::Rng rng(999);
+  const auto xs = d.sample_many(rng, 100000);
+  std::size_t above = 0;
+  for (double x : xs) {
+    if (x >= b) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / static_cast<double>(xs.size()),
+              d.tail_probability(b), 0.01)
+      << GetParam().label;
+}
+
+TEST_P(ParametricFamily, PartialExpectationMonotoneInB) {
+  const auto& d = *GetParam().d;
+  double prev = 0.0;
+  for (double b : util::linspace(0.1, 4.0 * GetParam().probe_b, 40)) {
+    const double pe = d.partial_expectation(b);
+    EXPECT_GE(pe, prev - 1e-9);
+    prev = pe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ParametricFamily,
+    ::testing::Values(
+        FamilyCase{"exp", std::make_shared<Exponential>(20.0), 28.0},
+        FamilyCase{"uniform", std::make_shared<Uniform>(0.0, 60.0), 28.0},
+        FamilyCase{"uniform-offset", std::make_shared<Uniform>(5.0, 40.0),
+                   28.0},
+        FamilyCase{"lognormal", std::make_shared<LogNormal>(3.0, 0.8), 28.0},
+        FamilyCase{"pareto", std::make_shared<Pareto>(10.0, 2.5), 28.0},
+        FamilyCase{"pareto-heavy", std::make_shared<Pareto>(5.0, 1.2), 28.0,
+                   /*finite_variance=*/false},
+        FamilyCase{"weibull", std::make_shared<Weibull>(1.5, 30.0), 28.0},
+        FamilyCase{"weibull-decreasing", std::make_shared<Weibull>(0.8, 30.0),
+                   28.0},
+        FamilyCase{"gamma-erlang", std::make_shared<Gamma>(3.0, 12.0), 28.0},
+        FamilyCase{"gamma-decreasing", std::make_shared<Gamma>(0.7, 40.0),
+                   28.0}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      std::string n = info.param.label;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Family-specific closed forms.
+
+TEST(ExponentialTest, PartialExpectationClosedForm) {
+  Exponential d(10.0);
+  // m - (b + m) e^{-b/m} at b = 10: 10 - 20/e.
+  EXPECT_NEAR(d.partial_expectation(10.0), 10.0 - 20.0 / util::kE, 1e-12);
+}
+
+TEST(ExponentialTest, MeanAndTail) {
+  Exponential d(10.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+  EXPECT_NEAR(d.tail_probability(10.0), std::exp(-1.0), 1e-12);
+}
+
+TEST(ExponentialTest, RejectsNonPositiveMean) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+}
+
+TEST(UniformTest, PartialExpectationCapsAtHi) {
+  Uniform d(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(d.partial_expectation(100.0), 5.0);  // full mean
+  EXPECT_DOUBLE_EQ(d.partial_expectation(5.0), 25.0 / 20.0);
+}
+
+TEST(UniformTest, RejectsBadRange) {
+  EXPECT_THROW(Uniform(-1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(Uniform(5.0, 5.0), std::invalid_argument);
+}
+
+TEST(LogNormalTest, MeanFormula) {
+  LogNormal d(2.0, 0.5);
+  EXPECT_NEAR(d.mean(), std::exp(2.0 + 0.125), 1e-12);
+}
+
+TEST(LogNormalTest, FromMeanMedianRoundTrip) {
+  const auto d = LogNormal::from_mean_median(25.0, 15.0);
+  EXPECT_NEAR(d.mean(), 25.0, 1e-9);
+  EXPECT_NEAR(d.cdf(15.0), 0.5, 1e-9);  // median preserved
+}
+
+TEST(LogNormalTest, FromMeanMedianRejectsInvalid) {
+  EXPECT_THROW(LogNormal::from_mean_median(10.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal::from_mean_median(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(ParetoTest, InfiniteMeanForHeavyShape) {
+  Pareto d(1.0, 1.0);
+  EXPECT_TRUE(std::isinf(d.mean()));
+}
+
+TEST(ParetoTest, MeanFormula) {
+  Pareto d(10.0, 3.0);
+  EXPECT_NEAR(d.mean(), 15.0, 1e-12);
+}
+
+TEST(ParetoTest, PartialExpectationBelowScaleIsZero) {
+  Pareto d(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.partial_expectation(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.tail_probability(5.0), 1.0);
+}
+
+TEST(ParetoTest, UnitShapePartialExpectation) {
+  Pareto d(2.0, 1.0);
+  // x_m ln(b / x_m) at b = 2e: 2 * 1 = 2... precisely 2*ln(e)=2.
+  EXPECT_NEAR(d.partial_expectation(2.0 * util::kE), 2.0, 1e-12);
+}
+
+TEST(WeibullTest, MeanViaGamma) {
+  Weibull d(2.0, 10.0);
+  EXPECT_NEAR(d.mean(), 10.0 * std::tgamma(1.5), 1e-12);
+}
+
+TEST(WeibullTest, ShapeOneIsExponential) {
+  Weibull w(1.0, 10.0);
+  Exponential e(10.0);
+  for (double y : {1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(w.cdf(y), e.cdf(y), 1e-12);
+    EXPECT_NEAR(w.pdf(y), e.pdf(y), 1e-12);
+  }
+}
+
+TEST(GammaTest, ShapeOneIsExponential) {
+  Gamma g(1.0, 15.0);
+  Exponential e(15.0);
+  for (double y : {0.5, 5.0, 20.0, 60.0}) {
+    EXPECT_NEAR(g.pdf(y), e.pdf(y), 1e-12);
+    EXPECT_NEAR(g.cdf(y), e.cdf(y), 1e-12);
+    EXPECT_NEAR(g.partial_expectation(y), e.partial_expectation(y), 1e-10);
+  }
+}
+
+TEST(GammaTest, ErlangCdfClosedForm) {
+  // Erlang(2, theta): F(y) = 1 - e^{-y/th}(1 + y/th).
+  Gamma g(2.0, 10.0);
+  for (double y : {1.0, 10.0, 30.0}) {
+    const double t = y / 10.0;
+    EXPECT_NEAR(g.cdf(y), 1.0 - std::exp(-t) * (1.0 + t), 1e-12);
+  }
+}
+
+TEST(GammaTest, MeanAndPartialExpectation) {
+  Gamma g(3.0, 12.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 36.0);
+  // Partial expectation converges to the mean.
+  EXPECT_NEAR(g.partial_expectation(10000.0), 36.0, 1e-9);
+}
+
+TEST(GammaTest, InvalidParametersThrow) {
+  EXPECT_THROW(Gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Gamma(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RegularizedGammaTest, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(regularized_lower_gamma(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(k, 0) = 0 and P(k, inf-ish) = 1.
+  EXPECT_DOUBLE_EQ(regularized_lower_gamma(2.5, 0.0), 0.0);
+  EXPECT_NEAR(regularized_lower_gamma(2.5, 200.0), 1.0, 1e-12);
+  // Continuity across the series/continued-fraction switch at x = k + 1.
+  EXPECT_NEAR(regularized_lower_gamma(3.0, 3.999999),
+              regularized_lower_gamma(3.0, 4.000001), 1e-6);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(NamesTest, HumanReadable) {
+  EXPECT_NE(Exponential(5.0).name().find("Exponential"), std::string::npos);
+  EXPECT_NE(Pareto(1.0, 2.0).name().find("Pareto"), std::string::npos);
+  EXPECT_NE(Weibull(1.0, 2.0).name().find("Weibull"), std::string::npos);
+  EXPECT_NE(LogNormal(0.0, 1.0).name().find("LogNormal"), std::string::npos);
+  EXPECT_NE(Uniform(0.0, 1.0).name().find("Uniform"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idlered::dist

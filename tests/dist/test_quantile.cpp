@@ -1,0 +1,103 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dist/adaptors.h"
+#include "dist/empirical.h"
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+#include "util/math.h"
+
+namespace idlered::dist {
+namespace {
+
+TEST(QuantileTest, ExponentialClosedForm) {
+  Exponential d(10.0);
+  EXPECT_NEAR(d.quantile(0.5), 10.0 * std::log(2.0), 1e-12);
+  EXPECT_NEAR(d.cdf(d.quantile(0.9)), 0.9, 1e-12);
+}
+
+TEST(QuantileTest, UniformClosedForm) {
+  Uniform d(5.0, 25.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 15.0);
+}
+
+TEST(QuantileTest, ParetoClosedForm) {
+  Pareto d(2.0, 1.5);
+  EXPECT_NEAR(d.cdf(d.quantile(0.75)), 0.75, 1e-12);
+  EXPECT_GT(d.quantile(0.99), d.quantile(0.5));
+}
+
+TEST(QuantileTest, WeibullClosedForm) {
+  Weibull d(2.0, 10.0);
+  EXPECT_NEAR(d.cdf(d.quantile(0.3)), 0.3, 1e-12);
+}
+
+TEST(QuantileTest, LogNormalViaDefaultBisection) {
+  LogNormal d(2.5, 0.8);
+  // Median of a lognormal is exp(mu).
+  EXPECT_NEAR(d.quantile(0.5), std::exp(2.5), 1e-6);
+  EXPECT_NEAR(d.cdf(d.quantile(0.9)), 0.9, 1e-9);
+}
+
+TEST(QuantileTest, MixtureViaDefaultBisection) {
+  Mixture m({{0.5, std::make_shared<Exponential>(5.0)},
+             {0.5, std::make_shared<Exponential>(50.0)}});
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(m.cdf(m.quantile(p)), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(QuantileTest, ScaledDelegates) {
+  Scaled d(std::make_shared<Exponential>(10.0), 3.0);
+  Exponential direct(30.0);
+  EXPECT_NEAR(d.quantile(0.7), direct.quantile(0.7), 1e-12);
+}
+
+TEST(QuantileTest, EmpiricalUsesEcdfInverse) {
+  Empirical d({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.26), 20.0);
+}
+
+TEST(QuantileTest, PointMassConstant) {
+  PointMass d(7.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.01), 7.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.99), 7.0);
+}
+
+TEST(QuantileTest, MonotoneInP) {
+  Weibull d(0.8, 20.0);
+  double prev = 0.0;
+  for (double p : util::linspace(0.05, 0.95, 19)) {
+    const double q = d.quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(QuantileTest, RoundTripWithSampling) {
+  // Quantile of the sampled ECDF matches the law's quantile.
+  Exponential d(12.0);
+  util::Rng rng(123);
+  Empirical emp(d.sample_many(rng, 100000));
+  for (double p : {0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(emp.quantile(p), d.quantile(p), 0.05 * d.quantile(p) + 0.1)
+        << "p=" << p;
+  }
+}
+
+TEST(QuantileTest, OutOfRangeThrows) {
+  Exponential d(10.0);
+  EXPECT_THROW(d.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(d.quantile(1.0), std::invalid_argument);
+  Uniform u(0.0, 1.0);
+  EXPECT_THROW(u.quantile(-0.5), std::invalid_argument);
+  PointMass pm(1.0);
+  EXPECT_THROW(pm.quantile(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::dist

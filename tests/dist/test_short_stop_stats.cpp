@@ -1,0 +1,96 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "dist/adaptors.h"
+#include "dist/distribution.h"
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered::dist {
+namespace {
+
+TEST(ShortStopStatsTest, FromDistributionExponential) {
+  Exponential d(20.0);
+  const auto s = ShortStopStats::from_distribution(d, 28.0);
+  EXPECT_NEAR(s.mu_b_minus, d.partial_expectation(28.0), 1e-12);
+  EXPECT_NEAR(s.q_b_plus, std::exp(-28.0 / 20.0), 1e-12);
+  EXPECT_TRUE(s.feasible(28.0));
+}
+
+TEST(ShortStopStatsTest, FromSampleExactCounts) {
+  const std::vector<double> xs{5.0, 10.0, 30.0, 50.0};
+  const auto s = ShortStopStats::from_sample(xs, 28.0);
+  EXPECT_DOUBLE_EQ(s.mu_b_minus, 15.0 / 4.0);
+  EXPECT_DOUBLE_EQ(s.q_b_plus, 0.5);
+}
+
+TEST(ShortStopStatsTest, BoundaryStopCountsAsLong) {
+  // y == B is a long stop (eq. 11 integrates short stops over [0, B)).
+  const auto s = ShortStopStats::from_sample({28.0}, 28.0);
+  EXPECT_DOUBLE_EQ(s.mu_b_minus, 0.0);
+  EXPECT_DOUBLE_EQ(s.q_b_plus, 1.0);
+}
+
+TEST(ShortStopStatsTest, SampleConvergesToDistribution) {
+  Mixture m({{0.7, std::make_shared<LogNormal>(
+                       LogNormal::from_mean_median(25.0, 15.0))},
+             {0.3, std::make_shared<Pareto>(40.0, 1.8)}});
+  util::Rng rng(10);
+  const auto xs = m.sample_many(rng, 200000);
+  const auto empirical = ShortStopStats::from_sample(xs, 28.0);
+  const auto analytic = ShortStopStats::from_distribution(m, 28.0);
+  EXPECT_NEAR(empirical.mu_b_minus, analytic.mu_b_minus, 0.15);
+  EXPECT_NEAR(empirical.q_b_plus, analytic.q_b_plus, 0.01);
+}
+
+TEST(ShortStopStatsTest, FeasibilityBoundary) {
+  dist::ShortStopStats s;
+  s.q_b_plus = 0.4;
+  s.mu_b_minus = 0.6 * 28.0;  // exactly B (1 - q)
+  EXPECT_TRUE(s.feasible(28.0));
+  s.mu_b_minus = 0.61 * 28.0;  // just above
+  EXPECT_FALSE(s.feasible(28.0));
+}
+
+TEST(ShortStopStatsTest, InfeasibleProbability) {
+  dist::ShortStopStats s;
+  s.q_b_plus = 1.5;
+  EXPECT_FALSE(s.feasible(28.0));
+  s.q_b_plus = -0.1;
+  EXPECT_FALSE(s.feasible(28.0));
+}
+
+TEST(ShortStopStatsTest, ExpectedOfflineCost) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = 8.0;
+  s.q_b_plus = 0.25;
+  EXPECT_DOUBLE_EQ(s.expected_offline_cost(28.0), 8.0 + 7.0);
+}
+
+TEST(ShortStopStatsTest, OfflineCostNeverExceedsB) {
+  // mu <= B(1-q) implies mu + qB <= B — the paper's observation that TOI's
+  // cost B upper-bounds the offline cost.
+  for (double q : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    dist::ShortStopStats s;
+    s.q_b_plus = q;
+    s.mu_b_minus = 28.0 * (1.0 - q);  // max feasible
+    EXPECT_LE(s.expected_offline_cost(28.0), 28.0 + 1e-9);
+  }
+}
+
+TEST(ShortStopStatsTest, EmptySampleThrows) {
+  EXPECT_THROW(ShortStopStats::from_sample({}, 28.0), std::invalid_argument);
+}
+
+TEST(ShortStopStatsTest, InvalidBreakEvenThrows) {
+  Exponential d(10.0);
+  EXPECT_THROW(ShortStopStats::from_distribution(d, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ShortStopStats::from_sample({1.0}, -5.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::dist

@@ -1,0 +1,198 @@
+// Cross-module integration tests: the full pipelines behind the paper's
+// experiments, on reduced problem sizes so they stay fast under ctest.
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/proposed.h"
+#include "core/region.h"
+#include "costmodel/break_even.h"
+#include "dist/empirical.h"
+#include "sim/controller.h"
+#include "sim/fleet_eval.h"
+#include "stats/descriptive.h"
+#include "traces/fleet_generator.h"
+#include "traffic/intersection.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered {
+namespace {
+
+// ------------------------------------------------------ Figure 4 in miniature
+
+sim::Fleet mini_study_fleet(std::uint64_t seed, int per_area) {
+  util::Rng rng(seed);
+  sim::Fleet fleet;
+  for (auto area : traces::all_areas()) {
+    area.num_vehicles_driving = per_area;
+    util::Rng area_rng = rng.fork(std::hash<std::string>{}(area.name));
+    auto part = traces::generate_area_fleet(area, area_rng);
+    fleet.insert(fleet.end(), part.begin(), part.end());
+  }
+  return fleet;
+}
+
+class VehicleStudy : public ::testing::TestWithParam<double> {};
+
+TEST_P(VehicleStudy, CoaDominatesFleetwide) {
+  const double b = GetParam();  // 28 (SSV) and 47 (no SSS)
+  const auto fleet = mini_study_fleet(2024, 60);
+  const auto cmp =
+      sim::compare_strategies(fleet, b, sim::standard_strategy_set());
+  ASSERT_EQ(cmp.vehicles.size(), 180u);
+
+  const auto means = cmp.mean_cr();
+  const auto worsts = cmp.worst_cr();
+  const auto best = cmp.best_counts(1e-6);
+  const std::size_t coa = 5;  // COA is last in the standard lineup
+
+  // Headline paper claims, qualitatively: COA has the lowest worst-case CR
+  // and the lowest (or tied-lowest) mean CR of the lineup.
+  for (std::size_t s = 0; s < cmp.num_strategies(); ++s) {
+    EXPECT_LE(worsts[coa], worsts[s] + 1e-9) << cmp.strategy_names[s];
+    // COA provably dominates TOI/DET/N-Rand per vehicle; against NEV and
+    // MOM-Rand the domination is statistical, so allow a small cushion.
+    const double cushion =
+        (cmp.strategy_names[s] == "NEV" || cmp.strategy_names[s] == "MOM-Rand")
+            ? 0.02
+            : 1e-9;
+    EXPECT_LE(means[coa], means[s] + cushion) << cmp.strategy_names[s];
+  }
+  // ... and is the best strategy on the large majority of vehicles
+  // (paper: 1169/1182 ~ 99% for B=28, 977/1182 ~ 83% for B=47; our reduced
+  // 180-vehicle fleet shows the same ordering with wider noise).
+  EXPECT_GT(static_cast<double>(best[coa]) /
+                static_cast<double>(cmp.vehicles.size()),
+            0.65);
+  // Its worst-case CR also respects the theory bound e/(e-1) everywhere.
+  EXPECT_LE(worsts[coa], util::kEOverEMinus1 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BreakEvens, VehicleStudy,
+                         ::testing::Values(28.0, 47.0));
+
+// --------------------------------------------------- Figure 5/6 in miniature
+
+TEST(TrafficSweep, CoaIsLowerEnvelopeAcrossMeans) {
+  // Worst-case CR as a function of mean stop length: DET should win short
+  // means, TOI long means, and COA must match the per-point minimum.
+  const auto profile = traces::chicago();
+  for (double mean_stop : {8.0, 30.0, 60.0, 150.0}) {
+    const auto law = traces::scaled_stop_distribution(profile, mean_stop);
+    const auto s = dist::ShortStopStats::from_distribution(*law, 28.0);
+    const auto choice = core::choose_strategy(s, 28.0);
+    EXPECT_LE(choice.cr, core::worst_case_cr_det(s, 28.0) + 1e-9);
+    EXPECT_LE(choice.cr, core::worst_case_cr_toi(s, 28.0) + 1e-9);
+    EXPECT_LE(choice.cr, util::kEOverEMinus1 + 1e-9);
+  }
+}
+
+TEST(TrafficSweep, RegimesMatchPaperStory) {
+  const auto profile = traces::chicago();
+  // Very short mean stops: DET territory. Very long: TOI territory.
+  const auto short_law = traces::scaled_stop_distribution(profile, 4.0);
+  const auto long_law = traces::scaled_stop_distribution(profile, 400.0);
+  const auto short_choice = core::choose_strategy(
+      dist::ShortStopStats::from_distribution(*short_law, 28.0), 28.0);
+  const auto long_choice = core::choose_strategy(
+      dist::ShortStopStats::from_distribution(*long_law, 28.0), 28.0);
+  EXPECT_EQ(short_choice.strategy, core::Strategy::kDet);
+  EXPECT_EQ(long_choice.strategy, core::Strategy::kToi);
+}
+
+// ------------------------------------------- cost model -> policy -> traffic
+
+TEST(FullPipeline, TrafficSimulatorFeedsController) {
+  // Stops produced by the mechanistic intersection model drive the adaptive
+  // controller end to end; the realized CR must respect the N-Rand bound
+  // (warm-up runs N-Rand; afterwards COA only improves).
+  traffic::IntersectionConfig cfg;
+  cfg.signal.cycle_s = 90.0;
+  cfg.signal.green_s = 40.0;
+  cfg.arrival_rate_per_s = 0.15;
+  traffic::IntersectionSimulator sim(cfg);
+  util::Rng rng(77);
+  const auto stops = sim.simulate(400000.0, rng);
+  ASSERT_GT(stops.size(), 500u);
+
+  const auto breakdown = costmodel::compute_break_even(costmodel::ssv_vehicle());
+  sim::AdaptiveController::Config ctl_cfg;
+  ctl_cfg.break_even = breakdown.break_even_s;
+  ctl_cfg.warmup_stops = 25;
+  sim::AdaptiveController ctl(ctl_cfg);
+  for (double y : stops) ctl.process_stop_expected(y);
+  EXPECT_LE(ctl.totals().cr(), util::kEOverEMinus1 + 0.02);
+  EXPECT_GE(ctl.totals().cr(), 1.0 - 1e-9);
+}
+
+TEST(FullPipeline, EmpiricalModelMatchesDirectStats) {
+  // Building an Empirical distribution from a generated vehicle trace and
+  // deriving (mu, q) from it must agree with the direct sample statistics.
+  util::Rng rng(88);
+  const auto trace = traces::generate_vehicle(traces::atlanta(), 0, rng);
+  dist::Empirical model(trace.stops);
+  const auto via_model = dist::ShortStopStats::from_distribution(model, 28.0);
+  const auto direct = dist::ShortStopStats::from_sample(trace.stops, 28.0);
+  EXPECT_NEAR(via_model.mu_b_minus, direct.mu_b_minus, 1e-9);
+  EXPECT_NEAR(via_model.q_b_plus, direct.q_b_plus, 1e-9);
+}
+
+TEST(FullPipeline, CsvRoundTripPreservesComparison) {
+  const auto fleet = mini_study_fleet(5, 10);
+  const auto restored = sim::fleet_from_csv(sim::fleet_to_csv(fleet));
+  const auto a =
+      sim::compare_strategies(fleet, 28.0, sim::standard_strategy_set());
+  const auto b =
+      sim::compare_strategies(restored, 28.0, sim::standard_strategy_set());
+  ASSERT_EQ(a.vehicles.size(), b.vehicles.size());
+  for (std::size_t i = 0; i < a.vehicles.size(); ++i) {
+    for (std::size_t s = 0; s < a.num_strategies(); ++s) {
+      EXPECT_DOUBLE_EQ(a.vehicles[i].cr[s], b.vehicles[i].cr[s]);
+    }
+  }
+}
+
+TEST(FullPipeline, RegionMapConsistentWithPerVehicleChoices) {
+  // A vehicle's empirical statistics, looked up in the Figure-1 machinery,
+  // must yield the same strategy the ProposedPolicy actually adopts.
+  const auto fleet = mini_study_fleet(7, 15);
+  for (const auto& t : fleet) {
+    if (t.stops.size() < 5) continue;
+    const auto s = dist::ShortStopStats::from_sample(t.stops, 28.0);
+    const auto choice = core::choose_strategy(s, 28.0);
+    core::ProposedPolicy policy(28.0, t.stops);
+    EXPECT_EQ(policy.choice().strategy, choice.strategy) << t.vehicle_id;
+  }
+}
+
+}  // namespace
+}  // namespace idlered
+
+// The umbrella header must compile and expose the whole public API.
+#include "idlered.h"
+
+namespace idlered {
+namespace {
+
+TEST(UmbrellaHeader, ExposesEveryModule) {
+  // One symbol per module, touched through the umbrella include.
+  EXPECT_GT(util::kEOverEMinus1, 1.58);
+  EXPECT_EQ(lp::to_string(lp::Status::kOptimal), "optimal");
+  EXPECT_NO_THROW(stats::Histogram(0.0, 1.0, 2));
+  EXPECT_NO_THROW(dist::Exponential(1.0));
+  EXPECT_NO_THROW(costmodel::ssv_vehicle());
+  EXPECT_NO_THROW(core::make_toi(28.0));
+  EXPECT_NO_THROW(core::make_c_rand(28.0, 10.0));
+  EXPECT_NO_THROW(traces::nycc());
+  EXPECT_NO_THROW(traffic::IntersectionConfig{});
+  EXPECT_NO_THROW(sim::BatteryModel{});
+  dist::ShortStopStats s;
+  s.mu_b_minus = 5.0;
+  s.q_b_plus = 0.3;
+  EXPECT_NO_THROW(analysis::worst_case_adversary(*core::make_det(28.0), s));
+}
+
+}  // namespace
+}  // namespace idlered

@@ -1,0 +1,194 @@
+// Cross-product property suite: every online policy against every
+// stop-length law, checking the invariants that must hold for *all*
+// pairings. gtest Combine instantiates the full matrix so a regression in
+// any policy/distribution interaction is pinpointed to its cell.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "dist/adaptors.h"
+#include "dist/empirical.h"
+#include "dist/mixture.h"
+#include "dist/parametric.h"
+#include "sim/evaluator.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered {
+namespace {
+
+constexpr double kB = 28.0;
+
+enum class PolicyKind { kToi, kNev, kDet, kBDet, kNRand, kMomRand, kCoa };
+enum class LawKind {
+  kExpShort,
+  kExpLong,
+  kUniform,
+  kLogNormal,
+  kParetoMix,
+  kBimodal
+};
+
+const char* to_string(PolicyKind p) {
+  switch (p) {
+    case PolicyKind::kToi: return "TOI";
+    case PolicyKind::kNev: return "NEV";
+    case PolicyKind::kDet: return "DET";
+    case PolicyKind::kBDet: return "bDET";
+    case PolicyKind::kNRand: return "NRand";
+    case PolicyKind::kMomRand: return "MomRand";
+    case PolicyKind::kCoa: return "COA";
+  }
+  return "?";
+}
+
+const char* to_string(LawKind l) {
+  switch (l) {
+    case LawKind::kExpShort: return "ExpShort";
+    case LawKind::kExpLong: return "ExpLong";
+    case LawKind::kUniform: return "Uniform";
+    case LawKind::kLogNormal: return "LogNormal";
+    case LawKind::kParetoMix: return "ParetoMix";
+    case LawKind::kBimodal: return "Bimodal";
+  }
+  return "?";
+}
+
+dist::DistributionPtr make_law(LawKind kind) {
+  switch (kind) {
+    case LawKind::kExpShort:
+      return std::make_shared<dist::Exponential>(9.0);
+    case LawKind::kExpLong:
+      return std::make_shared<dist::Exponential>(75.0);
+    case LawKind::kUniform:
+      return std::make_shared<dist::Uniform>(0.0, 90.0);
+    case LawKind::kLogNormal:
+      return std::make_shared<dist::LogNormal>(
+          dist::LogNormal::from_mean_median(30.0, 18.0));
+    case LawKind::kParetoMix:
+      return std::make_shared<dist::Mixture>(
+          std::vector<dist::Mixture::Component>{
+              {0.8, std::make_shared<dist::LogNormal>(
+                        dist::LogNormal::from_mean_median(20.0, 12.0))},
+              {0.2, std::make_shared<dist::Pareto>(50.0, 1.6)}});
+    case LawKind::kBimodal:
+      return std::make_shared<dist::Mixture>(
+          std::vector<dist::Mixture::Component>{
+              {0.7, std::make_shared<dist::Uniform>(0.0, 8.0)},
+              {0.3, std::make_shared<dist::Uniform>(100.0, 400.0)}});
+  }
+  throw std::logic_error("unknown law");
+}
+
+core::PolicyPtr make_policy(PolicyKind kind,
+                            const std::vector<double>& stops) {
+  switch (kind) {
+    case PolicyKind::kToi: return core::make_toi(kB);
+    case PolicyKind::kNev: return core::make_nev(kB);
+    case PolicyKind::kDet: return core::make_det(kB);
+    case PolicyKind::kBDet: return core::make_b_det(kB, 0.4 * kB);
+    case PolicyKind::kNRand: return core::make_n_rand(kB);
+    case PolicyKind::kMomRand: {
+      double mu = 0.0;
+      for (double y : stops) mu += y;
+      return core::make_mom_rand(kB, mu / static_cast<double>(stops.size()));
+    }
+    case PolicyKind::kCoa:
+      return std::make_shared<core::ProposedPolicy>(kB, stops);
+  }
+  throw std::logic_error("unknown policy");
+}
+
+class PolicyLawMatrix
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, LawKind>> {
+ protected:
+  void SetUp() override {
+    const auto law = make_law(std::get<1>(GetParam()));
+    util::Rng rng(0xC0FFEE);
+    stops_ = law->sample_many(rng, 20000);
+    policy_ = make_policy(std::get<0>(GetParam()), stops_);
+  }
+
+  std::vector<double> stops_;
+  core::PolicyPtr policy_;
+};
+
+TEST_P(PolicyLawMatrix, OnlineNeverBeatsOffline) {
+  // cost_online >= cost_offline pointwise, hence also in expectation.
+  const auto totals = sim::evaluate_expected(*policy_, stops_);
+  EXPECT_GE(totals.online, totals.offline - 1e-9);
+  EXPECT_GE(totals.cr(), 1.0 - 1e-12);
+}
+
+TEST_P(PolicyLawMatrix, PerStopCostWithinHardEnvelope) {
+  // Every policy supported on [0, B] (all but NEV) pays at most
+  // min(y, B) + B per stop in expectation; NEV pays exactly y.
+  const bool is_nev = std::get<0>(GetParam()) == PolicyKind::kNev;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double y = stops_[i];
+    const double c = policy_->expected_cost(y);
+    if (is_nev) {
+      EXPECT_DOUBLE_EQ(c, y);
+    } else {
+      EXPECT_LE(c, std::min(y, kB) + kB + 1e-9) << "y=" << y;
+    }
+  }
+}
+
+TEST_P(PolicyLawMatrix, SampledCostConsistentWithExpected) {
+  // Monte-Carlo evaluation converges to expected-mode on a long trace.
+  util::Rng rng(0xBEEF);
+  const auto sampled = sim::evaluate_sampled(*policy_, stops_, rng);
+  const auto expected = sim::evaluate_expected(*policy_, stops_);
+  // NEV/TOI/DET are deterministic: exact match. Randomized: 2% band.
+  const double tol = policy_->deterministic() ? 1e-9 : 0.02 * expected.cr();
+  EXPECT_NEAR(sampled.cr(), expected.cr(), tol)
+      << to_string(std::get<0>(GetParam())) << " on "
+      << to_string(std::get<1>(GetParam()));
+}
+
+TEST_P(PolicyLawMatrix, ThresholdsStayInSupport) {
+  util::Rng rng(0xABCD);
+  const bool is_nev = std::get<0>(GetParam()) == PolicyKind::kNev;
+  for (int i = 0; i < 300; ++i) {
+    const double x = policy_->sample_threshold(rng);
+    if (is_nev) {
+      EXPECT_TRUE(std::isinf(x));
+    } else {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, kB + 1e-12);
+    }
+  }
+}
+
+TEST_P(PolicyLawMatrix, CoaSpecificGuarantee) {
+  if (std::get<0>(GetParam()) != PolicyKind::kCoa) GTEST_SKIP();
+  // COA's trace CR must respect both the e/(e-1) cap and its own printed
+  // worst-case bound (its statistics come from this very trace).
+  const auto& coa = dynamic_cast<const core::ProposedPolicy&>(*policy_);
+  const double cr = sim::evaluate_expected(coa, stops_).cr();
+  EXPECT_LE(cr, util::kEOverEMinus1 + 1e-9);
+  EXPECT_LE(cr, coa.worst_case_cr() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PolicyLawMatrix,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::kToi, PolicyKind::kNev,
+                          PolicyKind::kDet, PolicyKind::kBDet,
+                          PolicyKind::kNRand, PolicyKind::kMomRand,
+                          PolicyKind::kCoa),
+        ::testing::Values(LawKind::kExpShort, LawKind::kExpLong,
+                          LawKind::kUniform, LawKind::kLogNormal,
+                          LawKind::kParetoMix, LawKind::kBimodal)),
+    [](const ::testing::TestParamInfo<std::tuple<PolicyKind, LawKind>>&
+           info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace idlered

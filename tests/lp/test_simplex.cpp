@@ -1,0 +1,278 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace idlered::lp {
+namespace {
+
+TEST(SimplexTest, BasicMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  ->  x=4, y=0, obj=12
+  Problem p;
+  p.objective = {3.0, 2.0};
+  p.maximize = true;
+  p.add_constraint({1.0, 1.0}, Sense::kLessEqual, 4.0);
+  p.add_constraint({1.0, 3.0}, Sense::kLessEqual, 6.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 12.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, BasicMinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x <= 8  ->  x=8, y=2, obj=22
+  Problem p;
+  p.objective = {2.0, 3.0};
+  p.add_constraint({1.0, 1.0}, Sense::kGreaterEqual, 10.0);
+  p.add_constraint({1.0, 0.0}, Sense::kLessEqual, 8.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 22.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y s.t. x + 2y = 4, x >= 0, y >= 0  ->  y=2, x=0, obj=2
+  Problem p;
+  p.objective = {1.0, 1.0};
+  p.add_constraint({1.0, 2.0}, Sense::kEqual, 4.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  Problem p;
+  p.objective = {1.0};
+  p.add_constraint({1.0}, Sense::kLessEqual, 1.0);
+  p.add_constraint({1.0}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // min -x with only x >= 1: objective decreases without bound.
+  Problem p;
+  p.objective = {-1.0};
+  p.add_constraint({1.0}, Sense::kGreaterEqual, 1.0);
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // x >= 2 expressed as -x <= -2; min x -> 2.
+  Problem p;
+  p.objective = {1.0};
+  p.add_constraint({-1.0}, Sense::kLessEqual, -2.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple constraints meeting at one vertex (degeneracy); Bland's rule
+  // must still terminate.
+  Problem p;
+  p.objective = {-1.0, -1.0};
+  p.add_constraint({1.0, 0.0}, Sense::kLessEqual, 1.0);
+  p.add_constraint({0.0, 1.0}, Sense::kLessEqual, 1.0);
+  p.add_constraint({1.0, 1.0}, Sense::kLessEqual, 2.0);
+  p.add_constraint({2.0, 2.0}, Sense::kLessEqual, 4.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, -2.0, 1e-9);
+}
+
+TEST(SimplexTest, ZeroObjectiveFindsFeasiblePoint) {
+  Problem p;
+  p.objective = {0.0, 0.0};
+  p.add_constraint({1.0, 1.0}, Sense::kEqual, 3.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0] + s.x[1], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantEqualityHandled) {
+  // Second equality is a duplicate of the first (redundant row).
+  Problem p;
+  p.objective = {1.0, 2.0};
+  p.add_constraint({1.0, 1.0}, Sense::kEqual, 5.0);
+  p.add_constraint({2.0, 2.0}, Sense::kEqual, 10.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 5.0, 1e-9);  // x=5, y=0
+}
+
+TEST(SimplexTest, ConstraintWidthMismatchThrows) {
+  Problem p;
+  p.objective = {1.0, 2.0};
+  EXPECT_THROW(p.add_constraint({1.0}, Sense::kLessEqual, 1.0),
+               std::invalid_argument);
+}
+
+TEST(SimplexTest, StatusNames) {
+  EXPECT_EQ(to_string(Status::kOptimal), "optimal");
+  EXPECT_EQ(to_string(Status::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(Status::kUnbounded), "unbounded");
+}
+
+// ---------------------------------------------------------------------------
+// Property: for LPs over the probability simplex (the form the constrained
+// ski-rental problem takes), the optimum is min(0, min_i c_i) — either the
+// origin or the best vertex. Swept over random objectives.
+class SimplexSimplexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexSimplexProperty, SimplexVertexOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    Problem p;
+    p.objective = {rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0),
+                   rng.uniform(-5.0, 5.0)};
+    p.add_constraint({1.0, 1.0, 1.0}, Sense::kLessEqual, 1.0);
+    const Solution s = solve(p);
+    ASSERT_TRUE(s.optimal());
+    const double expected = std::min(
+        0.0, *std::min_element(p.objective.begin(), p.objective.end()));
+    EXPECT_NEAR(s.objective_value, expected, 1e-9);
+    // Solution must be primal feasible.
+    EXPECT_GE(s.x[0], -1e-9);
+    EXPECT_GE(s.x[1], -1e-9);
+    EXPECT_GE(s.x[2], -1e-9);
+    EXPECT_LE(s.x[0] + s.x[1] + s.x[2], 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexSimplexProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Property: random bounded 2-variable LPs cross-checked against a dense
+// grid scan of the feasible region.
+class SimplexGridCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexGridCrossCheck, MatchesGridSearch) {
+  util::Rng rng(1000u + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    Problem p;
+    p.objective = {rng.uniform(0.1, 5.0), rng.uniform(0.1, 5.0)};
+    p.maximize = true;  // bounded: maximize positive costs over a box-ish set
+    const double r1 = rng.uniform(1.0, 10.0);
+    const double r2 = rng.uniform(1.0, 10.0);
+    const double a = rng.uniform(0.1, 2.0);
+    const double b = rng.uniform(0.1, 2.0);
+    p.add_constraint({1.0, 0.0}, Sense::kLessEqual, r1);
+    p.add_constraint({0.0, 1.0}, Sense::kLessEqual, r2);
+    p.add_constraint({a, b}, Sense::kLessEqual, rng.uniform(1.0, 10.0));
+
+    const Solution s = solve(p);
+    ASSERT_TRUE(s.optimal());
+
+    double grid_best = 0.0;
+    const int n = 300;
+    for (int i = 0; i <= n; ++i) {
+      for (int j = 0; j <= n; ++j) {
+        const double x = r1 * i / n;
+        const double y = r2 * j / n;
+        if (a * x + b * y <= p.constraints[2].rhs) {
+          grid_best =
+              std::max(grid_best, p.objective[0] * x + p.objective[1] * y);
+        }
+      }
+    }
+    // LP optimum must dominate the grid and not exceed it by more than the
+    // grid resolution allows.
+    EXPECT_GE(s.objective_value, grid_best - 1e-9);
+    EXPECT_LE(s.objective_value, grid_best + 0.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexGridCrossCheck,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace idlered::lp
+
+namespace idlered::lp {
+namespace {
+
+// --------------------------------------------------------------------- duals
+
+TEST(SimplexDualsTest, KnownMaximizationShadowPrices) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6. Optimum at (4, 0): the
+  // second constraint is slack (dual 0); relaxing the first by 1 adds 3.
+  Problem p;
+  p.objective = {3.0, 2.0};
+  p.maximize = true;
+  p.add_constraint({1.0, 1.0}, Sense::kLessEqual, 4.0);
+  p.add_constraint({1.0, 3.0}, Sense::kLessEqual, 6.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  ASSERT_EQ(s.duals.size(), 2u);
+  EXPECT_NEAR(s.duals[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.duals[1], 0.0, 1e-9);
+}
+
+TEST(SimplexDualsTest, EqualityConstraintDual) {
+  // min x + y s.t. x + 2y = 4 -> optimum y = 2, value 2; relaxing the rhs
+  // by 1 increases the optimum by 1/2.
+  Problem p;
+  p.objective = {1.0, 1.0};
+  p.add_constraint({1.0, 2.0}, Sense::kEqual, 4.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.duals[0], 0.5, 1e-9);
+}
+
+TEST(SimplexDualsTest, GreaterEqualDual) {
+  // min 2x + 3y s.t. x + y >= 10, x <= 8 -> x=8, y=2; d(obj)/d(10) = 3
+  // (extra demand is met by y), d(obj)/d(8) = -1 (more x displaces y).
+  Problem p;
+  p.objective = {2.0, 3.0};
+  p.add_constraint({1.0, 1.0}, Sense::kGreaterEqual, 10.0);
+  p.add_constraint({1.0, 0.0}, Sense::kLessEqual, 8.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.duals[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.duals[1], -1.0, 1e-9);
+}
+
+TEST(SimplexDualsTest, DualsMatchFiniteDifferences) {
+  // Property check on a 3-constraint LP: perturb each rhs and compare the
+  // optimum's change against the reported shadow price.
+  Problem base;
+  base.objective = {4.0, 3.0, 5.0};
+  base.maximize = true;
+  base.add_constraint({2.0, 1.0, 1.0}, Sense::kLessEqual, 10.0);
+  base.add_constraint({1.0, 3.0, 2.0}, Sense::kLessEqual, 15.0);
+  base.add_constraint({0.0, 1.0, 4.0}, Sense::kLessEqual, 12.0);
+  const Solution s0 = solve(base);
+  ASSERT_TRUE(s0.optimal());
+  const double h = 1e-5;
+  for (std::size_t i = 0; i < base.constraints.size(); ++i) {
+    Problem perturbed = base;
+    perturbed.constraints[i].rhs += h;
+    const Solution s1 = solve(perturbed);
+    ASSERT_TRUE(s1.optimal());
+    EXPECT_NEAR((s1.objective_value - s0.objective_value) / h, s0.duals[i],
+                1e-5)
+        << "constraint " << i;
+  }
+}
+
+TEST(SimplexDualsTest, StrongDualityHolds) {
+  // b'y == c'x at the optimum (all constraints in <= form, max sense).
+  Problem p;
+  p.objective = {5.0, 4.0};
+  p.maximize = true;
+  p.add_constraint({6.0, 4.0}, Sense::kLessEqual, 24.0);
+  p.add_constraint({1.0, 2.0}, Sense::kLessEqual, 6.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  const double dual_value = 24.0 * s.duals[0] + 6.0 * s.duals[1];
+  EXPECT_NEAR(dual_value, s.objective_value, 1e-9);
+}
+
+}  // namespace
+}  // namespace idlered::lp

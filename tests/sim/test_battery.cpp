@@ -1,0 +1,133 @@
+#include "sim/battery.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "util/random.h"
+
+namespace idlered::sim {
+namespace {
+
+constexpr double kB = 28.0;
+
+BatteryModel small_battery() {
+  BatteryModel b;
+  b.capacity_wh = 100.0;
+  b.accessory_draw_w = 360.0;  // 0.1 Wh per second engine-off
+  b.recharge_w = 720.0;        // 0.2 Wh per second driving
+  b.restart_pulse_wh = 1.0;
+  b.min_soc = 0.2;
+  b.initial_soc = 0.5;
+  return b;
+}
+
+TEST(BatteryControllerTest, ToiDrainsBatteryOnLongStops) {
+  SocConstrainedController ctl(core::make_toi(kB), small_battery());
+  util::Rng rng(1);
+  const double soc0 = ctl.soc();
+  ctl.process_stop(300.0, 0.0, rng);  // 5 min engine-off, no recharge
+  EXPECT_LT(ctl.soc(), soc0);
+}
+
+TEST(BatteryControllerTest, DrivingRecharges) {
+  SocConstrainedController ctl(core::make_toi(kB), small_battery());
+  util::Rng rng(2);
+  ctl.process_stop(100.0, 0.0, rng);
+  const double drained = ctl.soc();
+  ctl.process_stop(0.5, 600.0, rng);  // short stop, 10 min drive
+  EXPECT_GT(ctl.soc(), drained);
+  EXPECT_LE(ctl.soc(), 1.0);
+}
+
+TEST(BatteryControllerTest, FloorForcesIdling) {
+  BatteryModel b = small_battery();
+  b.initial_soc = 0.19;  // below the floor from the start
+  SocConstrainedController ctl(core::make_toi(kB), b);
+  util::Rng rng(3);
+  const double cost = ctl.process_stop(120.0, 0.0, rng);
+  EXPECT_DOUBLE_EQ(cost, 120.0);  // had to idle the whole stop
+  EXPECT_EQ(ctl.forced_idle_stops(), 1u);
+}
+
+TEST(BatteryControllerTest, MidStopAbortWhenFloorHit) {
+  // SOC 0.5, floor 0.2 -> 30 Wh available -> 300 s of accessories. A 1000 s
+  // stop under TOI must abort the shut-off and idle the remaining 700 s.
+  SocConstrainedController ctl(core::make_toi(kB), small_battery());
+  util::Rng rng(4);
+  const double cost = ctl.process_stop(1000.0, 0.0, rng);
+  EXPECT_NEAR(cost, kB + 700.0, 1.0);
+  EXPECT_EQ(ctl.aborted_shutoffs(), 1u);
+  EXPECT_NEAR(ctl.soc(), 0.2 - 1.0 / 100.0, 1e-9);  // floor minus crank pulse
+}
+
+TEST(BatteryControllerTest, UnconstrainedMatchesPlainEvaluation) {
+  // A huge battery never interferes: costs equal evaluate_sampled with the
+  // same policy and RNG stream.
+  BatteryModel huge;
+  huge.capacity_wh = 1e9;
+  huge.min_soc = 0.0;
+  huge.initial_soc = 1.0;
+  const auto policy = core::make_det(kB);
+  SocConstrainedController ctl(policy, huge);
+  std::vector<double> stops{5.0, 40.0, 12.0, 300.0, 28.0};
+  util::Rng rng_a(5);
+  for (double y : stops) ctl.process_stop(y, 60.0, rng_a);
+  util::Rng rng_b(5);
+  const auto plain = evaluate_sampled(*policy, stops, rng_b);
+  EXPECT_NEAR(ctl.totals().online, plain.online, 1e-9);
+  EXPECT_NEAR(ctl.totals().offline, plain.offline, 1e-9);
+  EXPECT_EQ(ctl.forced_idle_stops(), 0u);
+  EXPECT_EQ(ctl.aborted_shutoffs(), 0u);
+}
+
+TEST(BatteryControllerTest, NevNeverTouchesBattery) {
+  SocConstrainedController ctl(core::make_nev(kB), small_battery());
+  util::Rng rng(6);
+  ctl.process_stop(500.0, 0.0, rng);
+  EXPECT_DOUBLE_EQ(ctl.soc(), 0.5);  // engine never shut off
+  EXPECT_DOUBLE_EQ(ctl.totals().online, 500.0);
+}
+
+TEST(BatteryControllerTest, ConstrainedCostsAtLeastUnconstrained) {
+  // Battery limits can only hurt: compare a tight battery against a huge
+  // one over the same stop stream and RNG draws (deterministic policy).
+  const auto policy = core::make_toi(kB);
+  BatteryModel huge;
+  huge.capacity_wh = 1e9;
+  huge.initial_soc = 1.0;
+  huge.min_soc = 0.0;
+  SocConstrainedController tight(policy, small_battery());
+  SocConstrainedController loose(policy, huge);
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  for (int i = 0; i < 50; ++i) {
+    const double y = 60.0 + 10.0 * (i % 7);
+    tight.process_stop(y, 30.0, rng_a);
+    loose.process_stop(y, 30.0, rng_b);
+  }
+  EXPECT_GE(tight.totals().online, loose.totals().online - 1e-9);
+  EXPECT_GT(tight.forced_idle_stops() + tight.aborted_shutoffs(), 0u);
+}
+
+TEST(BatteryControllerTest, InvalidConfigurationThrows) {
+  BatteryModel b = small_battery();
+  b.capacity_wh = 0.0;
+  EXPECT_THROW(SocConstrainedController(core::make_toi(kB), b),
+               std::invalid_argument);
+  b = small_battery();
+  b.min_soc = 1.5;
+  EXPECT_THROW(SocConstrainedController(core::make_toi(kB), b),
+               std::invalid_argument);
+  EXPECT_THROW(SocConstrainedController(nullptr, small_battery()),
+               std::invalid_argument);
+}
+
+TEST(BatteryControllerTest, InvalidStopThrows) {
+  SocConstrainedController ctl(core::make_toi(kB), small_battery());
+  util::Rng rng(8);
+  EXPECT_THROW(ctl.process_stop(-1.0, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(ctl.process_stop(5.0, -1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::sim

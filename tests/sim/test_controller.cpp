@@ -1,0 +1,105 @@
+#include "sim/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered::sim {
+namespace {
+
+AdaptiveController::Config config(double b = 28.0, std::size_t warmup = 10,
+                                  double lambda = 1.0) {
+  AdaptiveController::Config c;
+  c.break_even = b;
+  c.warmup_stops = warmup;
+  c.decay_lambda = lambda;
+  return c;
+}
+
+TEST(AdaptiveControllerTest, StartsWithNRandFallback) {
+  AdaptiveController ctrl(config());
+  EXPECT_EQ(ctrl.current_policy().name(), "N-Rand");
+}
+
+TEST(AdaptiveControllerTest, SwitchesToCoaAfterWarmup) {
+  AdaptiveController ctrl(config(28.0, 5));
+  for (int i = 0; i < 4; ++i) ctrl.process_stop_expected(10.0);
+  EXPECT_EQ(ctrl.current_policy().name(), "N-Rand");
+  ctrl.process_stop_expected(10.0);
+  EXPECT_EQ(ctrl.current_policy().name(), "COA");
+}
+
+TEST(AdaptiveControllerTest, DecisionPrecedesObservation) {
+  // The cost charged for a stop must come from the policy chosen *before*
+  // that stop was observed — strict online causality. With warmup 1, the
+  // first stop is always priced by N-Rand regardless of its length.
+  AdaptiveController ctrl(config(28.0, 1));
+  const double paid = ctrl.process_stop_expected(1000.0);
+  core::NRandPolicy nrand(28.0);
+  EXPECT_DOUBLE_EQ(paid, nrand.expected_cost(1000.0));
+}
+
+TEST(AdaptiveControllerTest, TotalsAccumulate) {
+  AdaptiveController ctrl(config());
+  ctrl.process_stop_expected(10.0);
+  ctrl.process_stop_expected(50.0);
+  EXPECT_EQ(ctrl.totals().num_stops, 2u);
+  EXPECT_DOUBLE_EQ(ctrl.totals().offline, 10.0 + 28.0);
+  EXPECT_GT(ctrl.totals().online, 0.0);
+}
+
+TEST(AdaptiveControllerTest, ConvergesNearOfflineOnShortStopWorld) {
+  // All stops short: COA learns q ~ 0 and switches to DET, which is
+  // offline-optimal for short stops; long-run CR tends to ~1.
+  util::Rng rng(8);
+  AdaptiveController ctrl(config(28.0, 20));
+  for (int i = 0; i < 5000; ++i) {
+    ctrl.process_stop_expected(rng.uniform(1.0, 20.0));
+  }
+  EXPECT_LT(ctrl.totals().cr(), 1.1);
+  EXPECT_EQ(ctrl.current_policy().name(), "COA");
+}
+
+TEST(AdaptiveControllerTest, BeatsNRandBoundOnStationaryTraffic) {
+  // Exponential(60) traffic puts COA in the TOI region (q_B+ ~ 0.63), whose
+  // realized CR (~1.25) clearly beats the N-Rand fallback's e/(e-1).
+  dist::Exponential law(60.0);
+  util::Rng rng(9);
+  AdaptiveController ctrl(config(28.0, 30));
+  for (int i = 0; i < 20000; ++i) {
+    ctrl.process_stop_expected(law.sample(rng));
+  }
+  EXPECT_LT(ctrl.totals().cr(), 1.45);
+}
+
+TEST(AdaptiveControllerTest, SampledModeAccumulates) {
+  util::Rng rng(10);
+  AdaptiveController ctrl(config(28.0, 5));
+  for (int i = 0; i < 100; ++i) {
+    ctrl.process_stop_sampled(rng.exponential(20.0), rng);
+  }
+  EXPECT_EQ(ctrl.totals().num_stops, 100u);
+  EXPECT_GT(ctrl.totals().online, 0.0);
+  EXPECT_GT(ctrl.totals().offline, 0.0);
+}
+
+TEST(AdaptiveControllerTest, ForgettingAdaptsToRegimeShift) {
+  // After a calm -> jammed shift, a forgetting controller should end up on
+  // a strategy suited to long stops (TOI-like or N-Rand), not DET.
+  util::Rng rng(11);
+  AdaptiveController ctrl(config(28.0, 10, 0.97));
+  for (int i = 0; i < 1000; ++i)
+    ctrl.process_stop_expected(rng.uniform(2.0, 15.0));
+  for (int i = 0; i < 500; ++i)
+    ctrl.process_stop_expected(rng.exponential(300.0) + 28.0);
+  const auto& policy =
+      dynamic_cast<const core::ProposedPolicy&>(ctrl.current_policy());
+  EXPECT_NE(policy.choice().strategy, core::Strategy::kDet);
+  EXPECT_GT(policy.stats().q_b_plus, 0.5);
+}
+
+}  // namespace
+}  // namespace idlered::sim

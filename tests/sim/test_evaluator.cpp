@@ -1,0 +1,94 @@
+#include "sim/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::sim {
+namespace {
+
+constexpr double kB = 28.0;
+
+TEST(CostTotalsTest, CrDefinition) {
+  CostTotals t;
+  t.online = 50.0;
+  t.offline = 40.0;
+  t.num_stops = 3;
+  EXPECT_DOUBLE_EQ(t.cr(), 1.25);
+}
+
+TEST(CostTotalsTest, EmptyTraceIsVacuouslyOne) {
+  EXPECT_DOUBLE_EQ(CostTotals{}.cr(), 1.0);
+}
+
+TEST(CostTotalsTest, ZeroOfflineWithPositiveOnlineIsInfinite) {
+  CostTotals t;
+  t.online = 5.0;
+  t.offline = 0.0;
+  t.num_stops = 1;
+  EXPECT_TRUE(std::isinf(t.cr()));
+}
+
+TEST(EvaluateExpectedTest, DetOnKnownTrace) {
+  const std::vector<double> stops{10.0, 30.0, 100.0};
+  const auto t = evaluate_expected(*core::make_det(kB), stops);
+  // Online: 10 + 2B + 2B = 122; offline: 10 + B + B = 66.
+  EXPECT_DOUBLE_EQ(t.online, 10.0 + 4.0 * kB);
+  EXPECT_DOUBLE_EQ(t.offline, 10.0 + 2.0 * kB);
+  EXPECT_EQ(t.num_stops, 3u);
+}
+
+TEST(EvaluateExpectedTest, ToiOnKnownTrace) {
+  const std::vector<double> stops{1.0, 2.0, 300.0};
+  const auto t = evaluate_expected(*core::make_toi(kB), stops);
+  EXPECT_DOUBLE_EQ(t.online, 3.0 * kB);
+  EXPECT_DOUBLE_EQ(t.offline, 3.0 + kB);
+}
+
+TEST(EvaluateExpectedTest, NRandCrIsExactlyTheBound) {
+  // Because N-Rand equalizes, its trace CR is e/(e-1) on any trace.
+  util::Rng rng(3);
+  std::vector<double> stops;
+  for (int i = 0; i < 200; ++i) stops.push_back(rng.exponential(25.0));
+  const auto t = evaluate_expected(*core::make_n_rand(kB), stops);
+  EXPECT_NEAR(t.cr(), util::kEOverEMinus1, 1e-9);
+}
+
+TEST(EvaluateSampledTest, DeterministicPolicyMatchesExpected) {
+  const std::vector<double> stops{5.0, 29.0, 60.0, 3.0};
+  util::Rng rng(4);
+  const auto sampled = evaluate_sampled(*core::make_det(kB), stops, rng);
+  const auto expected = evaluate_expected(*core::make_det(kB), stops);
+  EXPECT_DOUBLE_EQ(sampled.online, expected.online);
+  EXPECT_DOUBLE_EQ(sampled.offline, expected.offline);
+}
+
+TEST(EvaluateSampledTest, NevNeverPaysRestart) {
+  const std::vector<double> stops{5.0, 500.0};
+  util::Rng rng(5);
+  const auto t = evaluate_sampled(*core::make_nev(kB), stops, rng);
+  EXPECT_DOUBLE_EQ(t.online, 505.0);
+}
+
+TEST(EvaluateSampledTest, ConvergesToExpectedForRandomized) {
+  // Law of large numbers: on a long trace the sampled CR approaches the
+  // expected-mode CR (ablation A4's claim).
+  util::Rng trace_rng(6);
+  std::vector<double> stops;
+  for (int i = 0; i < 30000; ++i) stops.push_back(trace_rng.exponential(30.0));
+  const auto policy = core::make_n_rand(kB);
+  util::Rng eval_rng(7);
+  const auto sampled = evaluate_sampled(*policy, stops, eval_rng);
+  const auto expected = evaluate_expected(*policy, stops);
+  EXPECT_NEAR(sampled.cr(), expected.cr(), 0.02);
+}
+
+TEST(OfflineCostTotalTest, MatchesManualSum) {
+  EXPECT_DOUBLE_EQ(offline_cost_total({10.0, 30.0, 100.0}, kB),
+                   10.0 + kB + kB);
+}
+
+}  // namespace
+}  // namespace idlered::sim

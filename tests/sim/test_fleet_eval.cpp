@@ -1,0 +1,112 @@
+#include "sim/fleet_eval.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+
+namespace idlered::sim {
+namespace {
+
+constexpr double kB = 28.0;
+
+Fleet crafted_fleet() {
+  // veh-short: all stops well under B (DET/NEV should shine).
+  // veh-long: all stops far over B (TOI should shine).
+  // veh-mixed: both kinds.
+  return Fleet{
+      StopTrace{"veh-short", "A", {5.0, 8.0, 3.0, 12.0}},
+      StopTrace{"veh-long", "A", {200.0, 300.0, 150.0}},
+      StopTrace{"veh-mixed", "B", {5.0, 200.0, 10.0, 400.0}},
+  };
+}
+
+TEST(StandardStrategySetTest, LineupAndOrder) {
+  const auto specs = standard_strategy_set();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "TOI");
+  EXPECT_EQ(specs[1].name, "NEV");
+  EXPECT_EQ(specs[2].name, "DET");
+  EXPECT_EQ(specs[3].name, "N-Rand");
+  EXPECT_EQ(specs[4].name, "MOM-Rand");
+  EXPECT_EQ(specs[5].name, "COA");
+}
+
+TEST(CompareStrategiesTest, PerVehicleCrValues) {
+  const auto cmp =
+      compare_strategies(crafted_fleet(), kB, standard_strategy_set());
+  ASSERT_EQ(cmp.vehicles.size(), 3u);
+
+  // veh-short: offline = 28 total. NEV/DET cost 28 -> CR 1. TOI costs
+  // 4B = 112 -> CR 4.
+  const auto& vs = cmp.vehicles[0];
+  EXPECT_NEAR(vs.cr[0], 4.0 * kB / 28.0, 1e-12);  // TOI
+  EXPECT_NEAR(vs.cr[1], 1.0, 1e-12);              // NEV
+  EXPECT_NEAR(vs.cr[2], 1.0, 1e-12);              // DET
+
+  // veh-long: offline = 3B. TOI -> CR 1. NEV -> 650/84. DET -> 2.
+  const auto& vl = cmp.vehicles[1];
+  EXPECT_NEAR(vl.cr[0], 1.0, 1e-12);
+  EXPECT_NEAR(vl.cr[1], 650.0 / (3.0 * kB), 1e-12);
+  EXPECT_NEAR(vl.cr[2], 2.0, 1e-12);
+}
+
+TEST(CompareStrategiesTest, CoaNeverWorseThanItsCandidates) {
+  // COA picks among {TOI, DET, b-DET, N-Rand} using the vehicle's own
+  // statistics; on every vehicle its CR must be within the per-vehicle
+  // worst-case bound and no worse than N-Rand's.
+  const auto cmp =
+      compare_strategies(crafted_fleet(), kB, standard_strategy_set());
+  for (const auto& v : cmp.vehicles) {
+    EXPECT_LE(v.cr[5], util::kEOverEMinus1 + 1e-9) << v.vehicle_id;
+  }
+}
+
+TEST(CompareStrategiesTest, MeanAndWorstAggregates) {
+  const auto cmp =
+      compare_strategies(crafted_fleet(), kB, standard_strategy_set());
+  const auto means = cmp.mean_cr();
+  const auto worsts = cmp.worst_cr();
+  ASSERT_EQ(means.size(), 6u);
+  for (std::size_t s = 0; s < 6; ++s) {
+    EXPECT_LE(means[s], worsts[s] + 1e-12);
+    double manual = 0.0;
+    for (const auto& v : cmp.vehicles) manual += v.cr[s];
+    EXPECT_NEAR(means[s], manual / 3.0, 1e-12);
+  }
+}
+
+TEST(CompareStrategiesTest, BestCountsSumAtLeastVehicles) {
+  const auto cmp =
+      compare_strategies(crafted_fleet(), kB, standard_strategy_set());
+  const auto counts = cmp.best_counts();
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_GE(total, cmp.vehicles.size());  // ties may exceed
+}
+
+TEST(CompareStrategiesTest, FilterArea) {
+  const auto cmp =
+      compare_strategies(crafted_fleet(), kB, standard_strategy_set());
+  const auto area_a = cmp.filter_area("A");
+  EXPECT_EQ(area_a.vehicles.size(), 2u);
+  const auto area_b = cmp.filter_area("B");
+  EXPECT_EQ(area_b.vehicles.size(), 1u);
+  EXPECT_EQ(cmp.filter_area("nowhere").vehicles.size(), 0u);
+}
+
+TEST(CompareStrategiesTest, EmptyVehiclesSkipped) {
+  Fleet fleet = crafted_fleet();
+  fleet.push_back(StopTrace{"veh-empty", "A", {}});
+  const auto cmp = compare_strategies(fleet, kB, standard_strategy_set());
+  EXPECT_EQ(cmp.vehicles.size(), 3u);
+}
+
+TEST(CompareStrategiesTest, NoStrategiesThrows) {
+  EXPECT_THROW(compare_strategies(crafted_fleet(), kB, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::sim

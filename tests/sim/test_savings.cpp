@@ -1,0 +1,78 @@
+#include "sim/savings.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+
+namespace idlered::sim {
+namespace {
+
+costmodel::VehicleConfig fusion() { return costmodel::ssv_vehicle(); }
+
+TEST(RealCostTest, UnitConversions) {
+  // 1000 idle-seconds at 0.279 cc/s = 0.279 L; at 0.0258 cents/s = $0.258.
+  const auto r = to_real_cost(1000.0, fusion());
+  EXPECT_NEAR(r.fuel_liters, 0.279, 1e-9);
+  EXPECT_NEAR(r.usd, 0.258, 0.001);
+  EXPECT_NEAR(r.co2_kg, 0.279 * kCo2KgPerLiterGasoline, 1e-9);
+  EXPECT_DOUBLE_EQ(r.idle_second_equivalents, 1000.0);
+}
+
+TEST(RealCostTest, ZeroIsZero) {
+  const auto r = to_real_cost(0.0, fusion());
+  EXPECT_DOUBLE_EQ(r.fuel_liters, 0.0);
+  EXPECT_DOUBLE_EQ(r.usd, 0.0);
+}
+
+TEST(SavingsTest, PolicyVsBaseline) {
+  CostTotals coa;
+  coa.online = 5000.0;
+  CostTotals nev;
+  nev.online = 9000.0;
+  const auto s = savings(coa, nev, fusion());
+  EXPECT_NEAR(s.idle_second_equivalents, 4000.0, 1e-12);
+  EXPECT_GT(s.usd, 0.0);
+}
+
+TEST(SavingsTest, NegativeWhenPolicyWorse) {
+  CostTotals worse;
+  worse.online = 9000.0;
+  CostTotals better;
+  better.online = 5000.0;
+  EXPECT_LT(savings(worse, better, fusion()).fuel_liters, 0.0);
+}
+
+TEST(ProjectionTest, FleetYearScaling) {
+  RealCost per_week;
+  per_week.fuel_liters = 1.0;
+  per_week.usd = 2.0;
+  per_week.co2_kg = 2.31;
+  per_week.idle_second_equivalents = 3600.0;
+  // One week of one vehicle -> 1182 vehicles for a year.
+  const auto fleet = project_fleet_year(per_week, 7.0, 1182.0);
+  const double factor = 365.0 / 7.0 * 1182.0;
+  EXPECT_NEAR(fleet.fuel_liters, factor, 1e-6);
+  EXPECT_NEAR(fleet.usd, 2.0 * factor, 1e-6);
+}
+
+TEST(ProjectionTest, InvalidArgumentsThrow) {
+  RealCost r;
+  EXPECT_THROW(project_fleet_year(r, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(project_fleet_year(r, 7.0, 0.0), std::invalid_argument);
+}
+
+TEST(EndToEndSavingsTest, CoaSavesFuelVsNevOnLongStops) {
+  // A trace dominated by long stops: COA (TOI-like) vs NEV.
+  std::vector<double> stops(50, 300.0);
+  const auto b = costmodel::compute_break_even(fusion());
+  const auto coa = evaluate_expected(*core::make_toi(b.break_even_s), stops);
+  const auto nev = evaluate_expected(*core::make_nev(b.break_even_s), stops);
+  const auto s = savings(coa, nev, fusion());
+  // NEV burns 300 s per stop; TOI ~29 s equivalent: ~13500 s saved.
+  EXPECT_GT(s.idle_second_equivalents, 10000.0);
+  EXPECT_GT(s.fuel_liters, 2.5);
+  EXPECT_GT(s.co2_kg, 6.0);
+}
+
+}  // namespace
+}  // namespace idlered::sim

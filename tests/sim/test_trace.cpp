@@ -1,0 +1,70 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace idlered::sim {
+namespace {
+
+Fleet small_fleet() {
+  return Fleet{
+      StopTrace{"veh-1", "Chicago", {10.0, 20.5, 100.0}},
+      StopTrace{"veh-2", "Atlanta", {5.0}},
+  };
+}
+
+TEST(StopTraceTest, Totals) {
+  const StopTrace t{"v", "a", {10.0, 20.0, 30.0}};
+  EXPECT_EQ(t.num_stops(), 3u);
+  EXPECT_DOUBLE_EQ(t.total_stop_time(), 60.0);
+  EXPECT_DOUBLE_EQ(t.mean_stop_length(), 20.0);
+}
+
+TEST(StopTraceTest, MeanOfEmptyThrows) {
+  const StopTrace t{"v", "a", {}};
+  EXPECT_THROW(t.mean_stop_length(), std::logic_error);
+}
+
+TEST(PooledStopsTest, FlattensAllVehicles) {
+  const auto pooled = pooled_stops(small_fleet());
+  ASSERT_EQ(pooled.size(), 4u);
+  EXPECT_DOUBLE_EQ(pooled[0], 10.0);
+  EXPECT_DOUBLE_EQ(pooled[3], 5.0);
+}
+
+TEST(FleetCsvTest, RoundTrip) {
+  const Fleet original = small_fleet();
+  const Fleet parsed = fleet_from_csv(fleet_to_csv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].vehicle_id, original[i].vehicle_id);
+    EXPECT_EQ(parsed[i].area, original[i].area);
+    ASSERT_EQ(parsed[i].stops.size(), original[i].stops.size());
+    for (std::size_t j = 0; j < original[i].stops.size(); ++j) {
+      EXPECT_DOUBLE_EQ(parsed[i].stops[j], original[i].stops[j]);
+    }
+  }
+}
+
+TEST(FleetCsvTest, HeaderPresent) {
+  const std::string csv = fleet_to_csv(small_fleet());
+  EXPECT_EQ(csv.rfind("vehicle_id,area,stop_s\n", 0), 0u);
+}
+
+TEST(FleetCsvTest, MissingColumnsRejected) {
+  EXPECT_THROW(fleet_from_csv("a,b\n1,2\n"), std::runtime_error);
+}
+
+TEST(FleetCsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fleet_roundtrip.csv";
+  write_fleet_csv(small_fleet(), path);
+  const Fleet parsed = read_fleet_csv(path);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1].vehicle_id, "veh-2");
+}
+
+TEST(FleetCsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_fleet_csv("/nonexistent/fleet.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace idlered::sim

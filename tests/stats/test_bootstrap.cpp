@@ -1,0 +1,111 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "util/random.h"
+
+namespace idlered::stats {
+namespace {
+
+std::vector<double> normal_sample(double mean, double sd, int n,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.normal(mean, sd));
+  return xs;
+}
+
+TEST(BootstrapTest, EstimateIsSampleStatistic) {
+  const auto xs = normal_sample(10.0, 2.0, 500, 1);
+  util::Rng rng(2);
+  const auto ci = bootstrap_mean_ci(xs, 500, 0.95, rng);
+  EXPECT_DOUBLE_EQ(ci.estimate, mean(xs));
+}
+
+TEST(BootstrapTest, IntervalBracketsEstimate) {
+  const auto xs = normal_sample(5.0, 1.0, 200, 3);
+  util::Rng rng(4);
+  const auto ci = bootstrap_mean_ci(xs, 800, 0.95, rng);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+  EXPECT_TRUE(ci.contains(ci.estimate));
+}
+
+TEST(BootstrapTest, WidthMatchesClassicTheory) {
+  // For the mean of n normals, the 95% CI width is ~ 2 * 1.96 * sd/sqrt(n).
+  const int n = 400;
+  const double sd = 2.0;
+  const auto xs = normal_sample(0.0, sd, n, 5);
+  util::Rng rng(6);
+  const auto ci = bootstrap_mean_ci(xs, 2000, 0.95, rng);
+  const double classic = 2.0 * 1.96 * sd / std::sqrt(n);
+  EXPECT_NEAR(ci.width(), classic, 0.35 * classic);
+}
+
+TEST(BootstrapTest, WidthShrinksWithSampleSize) {
+  util::Rng rng(7);
+  const auto small = normal_sample(0.0, 1.0, 50, 8);
+  const auto large = normal_sample(0.0, 1.0, 5000, 9);
+  const auto ci_small = bootstrap_mean_ci(small, 500, 0.95, rng);
+  const auto ci_large = bootstrap_mean_ci(large, 500, 0.95, rng);
+  EXPECT_LT(ci_large.width(), ci_small.width());
+}
+
+TEST(BootstrapTest, HigherConfidenceWiderInterval) {
+  const auto xs = normal_sample(0.0, 1.0, 300, 10);
+  util::Rng rng_a(11);
+  util::Rng rng_b(11);
+  const auto ci90 = bootstrap_mean_ci(xs, 1000, 0.90, rng_a);
+  const auto ci99 = bootstrap_mean_ci(xs, 1000, 0.99, rng_b);
+  EXPECT_LT(ci90.width(), ci99.width());
+}
+
+TEST(BootstrapTest, CoverageApproximatelyNominal) {
+  // Across many independent samples from a known law, the 90% CI should
+  // contain the true mean roughly 90% of the time.
+  int covered = 0;
+  const int trials = 200;
+  util::Rng rng(12);
+  for (int i = 0; i < trials; ++i) {
+    const auto xs =
+        normal_sample(3.0, 1.5, 60, 100u + static_cast<std::uint64_t>(i));
+    const auto ci = bootstrap_mean_ci(xs, 300, 0.90, rng);
+    if (ci.contains(3.0)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.80);
+  EXPECT_LT(coverage, 0.98);
+}
+
+TEST(BootstrapTest, QuantileCi) {
+  util::Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.exponential(10.0));
+  const auto ci = bootstrap_quantile_ci(xs, 0.5, 500, 0.95, rng);
+  // Exponential(10) median = 10 ln 2 ~ 6.93.
+  EXPECT_GT(ci.hi, 6.0);
+  EXPECT_LT(ci.lo, 8.0);
+}
+
+TEST(BootstrapTest, CustomStatistic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 100.0};
+  util::Rng rng(14);
+  const auto ci = bootstrap_ci(
+      xs, [](const std::vector<double>& s) { return max(s); }, 200, 0.9,
+      rng);
+  EXPECT_DOUBLE_EQ(ci.estimate, 100.0);
+  EXPECT_LE(ci.hi, 100.0 + 1e-12);  // the max can't exceed the sample max
+}
+
+TEST(BootstrapTest, InvalidInputsThrow) {
+  util::Rng rng(15);
+  EXPECT_THROW(bootstrap_mean_ci({}, 100, 0.95, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 1, 0.95, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 100, 1.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::stats

@@ -1,0 +1,140 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace idlered::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanOfKnownSample) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(DescriptiveTest, MeanRejectsEmpty) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(DescriptiveTest, VarianceUnbiased) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sum sq dev 32, var 32/7.
+  EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(DescriptiveTest, VarianceNeedsTwoSamples) {
+  EXPECT_THROW(variance({1.0}), std::invalid_argument);
+}
+
+TEST(DescriptiveTest, StddevIsSqrtVariance) {
+  const std::vector<double> xs{1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(variance(xs)));
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(DescriptiveTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(DescriptiveTest, QuantileEndpoints) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 20.0);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(DescriptiveTest, QuantileRejectsOutOfRangeP) {
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(DescriptiveTest, FractionAtMost) {
+  // Table 1's P{X <= mu + 2 sigma} building block.
+  const std::vector<double> xs{1, 2, 3, 4, 5, 100};
+  EXPECT_NEAR(fraction_at_most(xs, 5.0), 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(fraction_at_most(xs, 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(fraction_at_most(xs, 1000.0), 1.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-8);
+  EXPECT_DOUBLE_EQ(rs.min(), min(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max(xs));
+}
+
+TEST(RunningStatsTest, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), std::logic_error);
+  EXPECT_THROW(rs.min(), std::logic_error);
+}
+
+TEST(RunningStatsTest, MergeEqualsSingleStream) {
+  util::Rng rng(9);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.exponential(3.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(SummaryTest, FieldsPopulated) {
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(SummaryTest, EmptySampleIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace idlered::stats

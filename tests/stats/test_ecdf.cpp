@@ -1,0 +1,57 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+namespace idlered::stats {
+namespace {
+
+TEST(EcdfTest, StepValues) {
+  Ecdf f({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(EcdfTest, HandlesDuplicates) {
+  Ecdf f({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(f(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(1.9), 0.0);
+}
+
+TEST(EcdfTest, EmptyThrows) {
+  EXPECT_THROW(Ecdf({}), std::invalid_argument);
+}
+
+TEST(EcdfTest, InverseIsGeneralizedInverse) {
+  Ecdf f({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(f.inverse(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(f.inverse(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(f.inverse(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(f.inverse(0.01), 10.0);
+}
+
+TEST(EcdfTest, InverseRejectsOutOfRange) {
+  Ecdf f({1.0});
+  EXPECT_THROW(f.inverse(0.0), std::invalid_argument);
+  EXPECT_THROW(f.inverse(1.5), std::invalid_argument);
+}
+
+TEST(EcdfTest, InverseRoundTripProperty) {
+  Ecdf f({3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0});
+  // F(F^{-1}(p)) >= p for every p in (0, 1].
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    EXPECT_GE(f(f.inverse(p)), p - 1e-12);
+  }
+}
+
+TEST(EcdfTest, MinMaxSorted) {
+  Ecdf f({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(f.min(), 1.0);
+  EXPECT_DOUBLE_EQ(f.max(), 5.0);
+  EXPECT_EQ(f.size(), 3u);
+}
+
+}  // namespace
+}  // namespace idlered::stats

@@ -1,0 +1,77 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace idlered::stats {
+namespace {
+
+TEST(HistogramTest, BinningBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0 (inclusive lower)
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, UnderOverflowCounted) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, ProbabilityIncludesTails) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.probability(0), 0.5);
+}
+
+TEST(HistogramTest, DensityIsProbabilityOverWidth) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.density(0), 1.0 / 2.0);  // prob 1, width 2
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(1), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 3.0);
+}
+
+TEST(HistogramTest, AddAll) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_all({0.5, 1.5, 2.5, 3.5});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(h.count(i), 1u);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, AsciiContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, AsciiShowsTailWhenOverflow) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(5.0);
+  EXPECT_NE(h.ascii().find("tail"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idlered::stats

@@ -1,0 +1,117 @@
+#include "stats/kaplan_meier.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered::stats {
+namespace {
+
+std::vector<CensoredObservation> exact(std::initializer_list<double> times) {
+  std::vector<CensoredObservation> out;
+  for (double t : times) out.push_back({t, true});
+  return out;
+}
+
+TEST(KaplanMeierTest, NoCensoringIsEmpiricalSurvival) {
+  KaplanMeier km(exact({1.0, 2.0, 3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(km.survival(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(km.survival(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(km.survival(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(km.survival(4.0), 0.0);
+  EXPECT_EQ(km.num_events(), 4u);
+  EXPECT_EQ(km.num_censored(), 0u);
+}
+
+TEST(KaplanMeierTest, TextbookCensoredExample) {
+  // Times: 1 (event), 2 (censored), 3 (event), 4 (censored), 5 (event).
+  // S(1) = 4/5; S(3) = 4/5 * (1 - 1/3) = 8/15; S(5) = 0.
+  std::vector<CensoredObservation> obs = {
+      {1.0, true}, {2.0, false}, {3.0, true}, {4.0, false}, {5.0, true}};
+  KaplanMeier km(obs);
+  EXPECT_NEAR(km.survival(1.0), 0.8, 1e-12);
+  EXPECT_NEAR(km.survival(3.0), 8.0 / 15.0, 1e-12);
+  EXPECT_NEAR(km.survival(5.0), 0.0, 1e-12);
+  EXPECT_EQ(km.num_censored(), 2u);
+}
+
+TEST(KaplanMeierTest, TiesEventBeforeCensor) {
+  // An event and a censoring at the same time: the censored subject counts
+  // as at-risk for the event.
+  std::vector<CensoredObservation> obs = {
+      {2.0, true}, {2.0, false}, {3.0, true}};
+  KaplanMeier km(obs);
+  EXPECT_NEAR(km.survival(2.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KaplanMeierTest, StatsMatchUncensoredSampleStats) {
+  // With no censoring the KM statistics equal the plain sample statistics.
+  util::Rng rng(9);
+  dist::Exponential law(20.0);
+  std::vector<double> sample;
+  std::vector<CensoredObservation> obs;
+  for (int i = 0; i < 20000; ++i) {
+    const double y = law.sample(rng);
+    sample.push_back(y);
+    obs.push_back({y, true});
+  }
+  const auto plain = dist::ShortStopStats::from_sample(sample, 28.0);
+  const auto km = censored_short_stop_stats(obs, 28.0);
+  EXPECT_NEAR(km.mu_b_minus, plain.mu_b_minus, 0.02);
+  EXPECT_NEAR(km.q_b_plus, plain.q_b_plus, 1e-9);
+}
+
+TEST(KaplanMeierTest, CorrectsCensoringBiasInQbPlus) {
+  // Stops censored at a random observation cutoff: treating censored
+  // durations as exact underestimates q_B+; Kaplan-Meier recovers it.
+  util::Rng rng(10);
+  dist::Exponential law(30.0);
+  const double b = 28.0;
+  std::vector<CensoredObservation> obs;
+  std::vector<double> naive;
+  for (int i = 0; i < 40000; ++i) {
+    const double y = law.sample(rng);
+    const double cutoff = rng.exponential(60.0);
+    if (y <= cutoff) {
+      obs.push_back({y, true});
+      naive.push_back(y);
+    } else {
+      obs.push_back({cutoff, false});
+      naive.push_back(cutoff);  // the biased treatment
+    }
+  }
+  const double truth = law.tail_probability(b);
+  const auto km = censored_short_stop_stats(obs, b);
+  const auto biased = dist::ShortStopStats::from_sample(naive, b);
+  EXPECT_NEAR(km.q_b_plus, truth, 0.02);
+  EXPECT_LT(biased.q_b_plus, truth - 0.05);  // the bias KM removes
+  EXPECT_LT(std::abs(km.q_b_plus - truth),
+            std::abs(biased.q_b_plus - truth));
+}
+
+TEST(KaplanMeierTest, StatsAreFeasible) {
+  util::Rng rng(11);
+  dist::LogNormal law(3.0, 1.0);
+  std::vector<CensoredObservation> obs;
+  for (int i = 0; i < 3000; ++i) {
+    const double y = law.sample(rng);
+    const bool censored = rng.bernoulli(0.3);
+    obs.push_back({censored ? y * rng.uniform() : y, !censored});
+  }
+  const auto s = censored_short_stop_stats(obs, 28.0);
+  EXPECT_TRUE(s.feasible(28.0));
+}
+
+TEST(KaplanMeierTest, InvalidInputsThrow) {
+  EXPECT_THROW(KaplanMeier({}), std::invalid_argument);
+  EXPECT_THROW(KaplanMeier({{-1.0, true}}), std::invalid_argument);
+  EXPECT_THROW(KaplanMeier({{1.0, false}}), std::invalid_argument);
+  KaplanMeier ok(exact({1.0}));
+  EXPECT_THROW(ok.short_stop_stats(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::stats

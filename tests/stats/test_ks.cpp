@@ -1,0 +1,88 @@
+#include "stats/ks_test.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace idlered::stats {
+namespace {
+
+std::vector<double> exponential_sample(double mean, int n,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.exponential(mean));
+  return xs;
+}
+
+TEST(KsTest, ExponentialSampleAcceptedAgainstTrueCdf) {
+  const auto xs = exponential_sample(10.0, 2000, 1);
+  const auto r = ks_test(xs, [](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / 10.0);
+  });
+  EXPECT_FALSE(r.reject_at(0.01));
+  EXPECT_LT(r.statistic, 0.05);
+}
+
+TEST(KsTest, ShiftedCdfRejected) {
+  const auto xs = exponential_sample(10.0, 2000, 2);
+  const auto r = ks_test(xs, [](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / 30.0);  // wrong mean
+  });
+  EXPECT_TRUE(r.reject_at(0.01));
+}
+
+TEST(KsTest, ExponentialSelfTestAccepts) {
+  const auto xs = exponential_sample(5.0, 1000, 3);
+  EXPECT_FALSE(ks_test_exponential(xs).reject_at(0.01));
+}
+
+TEST(KsTest, HeavyTailedSampleRejectedAsExponential) {
+  // Lognormal with sigma=1.5 has a far heavier tail than any exponential —
+  // the paper's Figure 3 observation.
+  util::Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.lognormal(2.0, 1.5));
+  EXPECT_TRUE(ks_test_exponential(xs).reject_at(0.001));
+}
+
+TEST(KsTest, EmptySampleThrows) {
+  EXPECT_THROW(ks_test({}, [](double) { return 0.5; }), std::invalid_argument);
+}
+
+TEST(KsTwoSampleTest, SameDistributionAccepted) {
+  const auto a = exponential_sample(7.0, 1500, 5);
+  const auto b = exponential_sample(7.0, 1500, 6);
+  EXPECT_FALSE(ks_test_two_sample(a, b).reject_at(0.01));
+}
+
+TEST(KsTwoSampleTest, DifferentDistributionsRejected) {
+  const auto a = exponential_sample(7.0, 1500, 7);
+  const auto b = exponential_sample(20.0, 1500, 8);
+  EXPECT_TRUE(ks_test_two_sample(a, b).reject_at(0.001));
+}
+
+TEST(KsTwoSampleTest, StatisticIsOneForDisjointSupports) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 11.0, 12.0};
+  EXPECT_NEAR(ks_test_two_sample(a, b).statistic, 1.0, 1e-12);
+}
+
+TEST(KolmogorovPValueTest, MonotoneDecreasingInStatistic) {
+  const double p1 = kolmogorov_p_value(0.01, 1000.0);
+  const double p2 = kolmogorov_p_value(0.05, 1000.0);
+  const double p3 = kolmogorov_p_value(0.10, 1000.0);
+  EXPECT_GT(p1, p2);
+  EXPECT_GT(p2, p3);
+}
+
+TEST(KolmogorovPValueTest, BoundsRespected) {
+  EXPECT_DOUBLE_EQ(kolmogorov_p_value(0.0, 100.0), 1.0);
+  EXPECT_LE(kolmogorov_p_value(0.9, 10000.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace idlered::stats

@@ -1,0 +1,97 @@
+#include "traces/drive_cycles.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "sim/evaluator.h"
+
+namespace idlered::traces {
+namespace {
+
+TEST(DriveCycleTest, PublishedSummariesRespected) {
+  // Stylized cycles must land near the published idle fractions.
+  const auto ny = nycc();
+  EXPECT_NEAR(ny.idle_fraction(), 0.35, 0.05);
+  EXPECT_EQ(ny.num_stops(), 11u);
+
+  const auto epa = udds();
+  EXPECT_NEAR(epa.idle_fraction(), 0.18, 0.04);
+  EXPECT_EQ(epa.num_stops(), 17u);
+
+  const auto eu = nedc();
+  EXPECT_NEAR(eu.idle_fraction(), 0.24, 0.04);
+  EXPECT_EQ(eu.num_stops(), 17u);  // 4 x 4 ECE idles + 1 EUDC
+
+  const auto wltp = wltc3();
+  EXPECT_NEAR(wltp.idle_fraction(), 0.13, 0.03);
+}
+
+TEST(DriveCycleTest, NedcUsesRegulationIdleBlocks) {
+  const auto eu = nedc();
+  int count_21 = 0;
+  for (double s : eu.stop_lengths_s) {
+    if (s == 21.0) ++count_21;
+  }
+  EXPECT_EQ(count_21, 8);  // two 21 s idles per ECE-15 repetition
+}
+
+TEST(DriveCycleTest, AllStopsPositive) {
+  for (const auto& c : standard_cycles()) {
+    EXPECT_GT(c.num_stops(), 0u) << c.name;
+    for (double s : c.stop_lengths_s) EXPECT_GT(s, 0.0) << c.name;
+    EXPECT_GT(c.duration_s, c.total_idle_s()) << c.name;
+  }
+}
+
+TEST(DriveCycleTest, MeanStop) {
+  const auto eu = nedc();
+  EXPECT_NEAR(eu.mean_stop_s(), eu.total_idle_s() / 17.0, 1e-12);
+  DriveCycle empty;
+  EXPECT_THROW(empty.mean_stop_s(), std::logic_error);
+}
+
+TEST(DriveCycleTest, RepeatCycleConcatenates) {
+  const auto eu = nedc();
+  const auto stops = repeat_cycle(eu, 3);
+  EXPECT_EQ(stops.size(), 3u * eu.num_stops());
+  EXPECT_DOUBLE_EQ(stops[eu.num_stops()], eu.stop_lengths_s[0]);
+  EXPECT_THROW(repeat_cycle(eu, 0), std::invalid_argument);
+}
+
+TEST(DriveCycleTest, PoliciesOnCertificationCycles) {
+  // All cycle stops are below B = 28 except a few NYCC/WLTC waits; DET
+  // should therefore be near-offline-optimal on UDDS/NEDC, while TOI
+  // overpays heavily.
+  for (const auto& cycle : {udds(), nedc()}) {
+    const auto det = sim::evaluate_expected(*core::make_det(28.0),
+                                            cycle.stop_lengths_s);
+    const auto toi = sim::evaluate_expected(*core::make_toi(28.0),
+                                            cycle.stop_lengths_s);
+    EXPECT_LT(det.cr(), 1.1) << cycle.name;
+    EXPECT_GT(toi.cr(), 1.5) << cycle.name;
+  }
+}
+
+TEST(DriveCycleTest, CoaAdaptsPerCycle) {
+  // COA trained on a cycle's own stops must match or beat both TOI and DET
+  // on every certification cycle at both break-even settings.
+  for (const auto& cycle : standard_cycles()) {
+    for (double b : {28.0, 47.0}) {
+      core::ProposedPolicy coa(b, cycle.stop_lengths_s);
+      const double coa_cr =
+          sim::evaluate_expected(coa, cycle.stop_lengths_s).cr();
+      const double det_cr = sim::evaluate_expected(*core::make_det(b),
+                                                   cycle.stop_lengths_s)
+                                .cr();
+      const double toi_cr = sim::evaluate_expected(*core::make_toi(b),
+                                                   cycle.stop_lengths_s)
+                                .cr();
+      EXPECT_LE(coa_cr, det_cr + 1e-9) << cycle.name << " B=" << b;
+      EXPECT_LE(coa_cr, toi_cr + 1e-9) << cycle.name << " B=" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idlered::traces

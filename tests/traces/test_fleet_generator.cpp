@@ -1,0 +1,163 @@
+#include "traces/fleet_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/ks_test.h"
+#include "util/random.h"
+
+namespace idlered::traces {
+namespace {
+
+TEST(AreaProfilesTest, PaperFleetSizes) {
+  EXPECT_EQ(california().num_vehicles_driving, 217);
+  EXPECT_EQ(chicago().num_vehicles_driving, 312);
+  EXPECT_EQ(atlanta().num_vehicles_driving, 653);
+  EXPECT_EQ(california().num_vehicles_stops_dataset, 291);
+  EXPECT_EQ(chicago().num_vehicles_stops_dataset, 408);
+  EXPECT_EQ(atlanta().num_vehicles_stops_dataset, 827);
+}
+
+TEST(AreaProfilesTest, Table1Moments) {
+  EXPECT_NEAR(atlanta().stops_per_day_mean, 10.37, 1e-9);
+  EXPECT_NEAR(chicago().stops_per_day_std, 9.97, 1e-9);
+  EXPECT_NEAR(california().stops_per_day_mean, 9.37, 1e-9);
+}
+
+TEST(AreaDistributionTest, MeanMatchesTarget) {
+  for (const auto& area : all_areas()) {
+    const auto d = area_stop_distribution(area);
+    EXPECT_NEAR(d->mean(), area.mean_stop_s, 1e-6) << area.name;
+  }
+}
+
+TEST(AreaDistributionTest, ScalingHitsArbitraryMean) {
+  const auto d = scaled_stop_distribution(chicago(), 90.0);
+  EXPECT_NEAR(d->mean(), 90.0, 1e-6);
+}
+
+TEST(AreaDistributionTest, SharedShapeAcrossAreas) {
+  // Areas differ only in mean: rescaling California to Chicago's mean must
+  // give the same law (paper: "their shapes ... are quite similar").
+  const auto ca = scaled_stop_distribution(california(), chicago().mean_stop_s);
+  const auto chi = area_stop_distribution(chicago());
+  for (double y : {5.0, 20.0, 50.0, 120.0, 400.0}) {
+    EXPECT_NEAR(ca->cdf(y), chi->cdf(y), 1e-9);
+  }
+}
+
+TEST(AreaDistributionTest, HeavyTailedNotExponential) {
+  // The paper's Figure-3 claim: stop lengths fail a KS test against the
+  // exponential law, mostly due to heavy tails.
+  util::Rng rng(21);
+  const auto d = area_stop_distribution(chicago());
+  const auto sample = d->sample_many(rng, 20000);
+  EXPECT_TRUE(stats::ks_test_exponential(sample).reject_at(0.001));
+}
+
+TEST(GenerateVehicleTest, BasicShape) {
+  util::Rng rng(22);
+  const auto trace = generate_vehicle(chicago(), 3, rng);
+  EXPECT_EQ(trace.area, "Chicago");
+  EXPECT_EQ(trace.vehicle_id, "Chicago-3");
+  EXPECT_GE(trace.num_stops(), 1u);
+  for (double y : trace.stops) EXPECT_GT(y, 0.0);
+}
+
+TEST(GenerateVehicleTest, WeekOfStopsPlausibleCount) {
+  util::Rng rng(23);
+  stats::RunningStats counts;
+  for (int i = 0; i < 200; ++i) {
+    util::Rng fork = rng.fork(static_cast<std::uint64_t>(i));
+    counts.add(static_cast<double>(
+        generate_vehicle(chicago(), i, fork).num_stops()));
+  }
+  // ~12.49 stops/day * 7 days ~= 87 on average.
+  EXPECT_NEAR(counts.mean(), 12.49 * 7.0, 20.0);
+}
+
+TEST(GenerateAreaFleetTest, FleetSizeAndDeterminism) {
+  util::Rng rng_a(24);
+  util::Rng rng_b(24);
+  const auto fleet_a = generate_area_fleet(california(), rng_a);
+  const auto fleet_b = generate_area_fleet(california(), rng_b);
+  ASSERT_EQ(fleet_a.size(), 217u);
+  ASSERT_EQ(fleet_b.size(), 217u);
+  for (std::size_t i = 0; i < fleet_a.size(); ++i) {
+    ASSERT_EQ(fleet_a[i].stops.size(), fleet_b[i].stops.size());
+    for (std::size_t j = 0; j < fleet_a[i].stops.size(); ++j) {
+      EXPECT_DOUBLE_EQ(fleet_a[i].stops[j], fleet_b[i].stops[j]);
+    }
+  }
+}
+
+TEST(GenerateStudyFleetTest, FullPaperCohort) {
+  const auto fleet = generate_study_fleet(12345);
+  EXPECT_EQ(fleet.size(), 1182u);  // 217 + 312 + 653
+  std::size_t chicago_count = 0;
+  for (const auto& t : fleet) {
+    if (t.area == "Chicago") ++chicago_count;
+  }
+  EXPECT_EQ(chicago_count, 312u);
+}
+
+TEST(GenerateStudyFleetTest, VehicleHeterogeneityPresent) {
+  const auto fleet = generate_study_fleet(99);
+  std::vector<double> means;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (fleet[i].num_stops() >= 10) {
+      means.push_back(fleet[i].mean_stop_length());
+    }
+  }
+  ASSERT_GT(means.size(), 30u);
+  // Per-vehicle mean stop lengths must vary noticeably (sigma = 0.35 scale
+  // factor): coefficient of variation above ~15%.
+  EXPECT_GT(stats::stddev(means) / stats::mean(means), 0.15);
+}
+
+TEST(ScaledFleetTest, MeanTracksTarget) {
+  util::Rng rng(25);
+  const auto fleet = generate_scaled_fleet(chicago(), 100.0, 100, rng);
+  ASSERT_EQ(fleet.size(), 100u);
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& t : fleet) {
+    total += t.total_stop_time();
+    n += t.num_stops();
+  }
+  // Pooled mean should be near the 100 s target (heavy tail -> wide band).
+  EXPECT_NEAR(total / static_cast<double>(n), 100.0, 15.0);
+}
+
+TEST(StopsPerDayTest, MomentsNearTable1) {
+  util::Rng rng(26);
+  for (const auto& area : all_areas()) {
+    const auto xs = sample_stops_per_day(area, 20000, rng);
+    EXPECT_NEAR(stats::mean(xs), area.stops_per_day_mean,
+                0.12 * area.stops_per_day_mean)
+        << area.name;
+    EXPECT_NEAR(stats::stddev(xs), area.stops_per_day_std,
+                0.25 * area.stops_per_day_std)
+        << area.name;
+  }
+}
+
+TEST(StopsPerDayTest, TailProbabilityNearPaper) {
+  // Table 1: P{X <= mu + 2 sigma} between ~0.91 and ~0.96.
+  util::Rng rng(27);
+  for (const auto& area : all_areas()) {
+    const auto xs = sample_stops_per_day(area, 20000, rng);
+    const double p = stats::fraction_at_most(
+        xs, area.stops_per_day_mean + 2.0 * area.stops_per_day_std);
+    EXPECT_GT(p, 0.88) << area.name;
+    EXPECT_LT(p, 0.99) << area.name;
+  }
+}
+
+TEST(ScaledDistributionTest, RejectsNonPositiveMean) {
+  EXPECT_THROW(scaled_stop_distribution(chicago(), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::traces

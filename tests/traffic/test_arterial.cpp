@@ -1,0 +1,142 @@
+#include "traffic/arterial.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "util/random.h"
+
+namespace idlered::traffic {
+namespace {
+
+ArterialConfig quiet_corridor(int n = 5) {
+  ArterialConfig c = green_wave(n, 90.0, 45.0, 60.0);
+  c.queue_delay_s = 0.0;
+  c.link_sigma = 0.0;
+  return c;
+}
+
+TEST(ArterialConfigTest, GreenWaveOffsetsFollowTravelTime) {
+  const auto c = green_wave(4, 90.0, 45.0, 60.0);
+  ASSERT_EQ(c.offsets_s.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.offsets_s[0], 0.0);
+  EXPECT_DOUBLE_EQ(c.offsets_s[1], 60.0);
+  EXPECT_DOUBLE_EQ(c.offsets_s[2], 30.0);  // 120 mod 90
+  EXPECT_DOUBLE_EQ(c.offsets_s[3], 0.0);   // 180 mod 90
+}
+
+TEST(ArterialConfigTest, UncoordinatedOffsetsInCycle) {
+  util::Rng rng(1);
+  const auto c = uncoordinated(10, 90.0, 45.0, 60.0, rng);
+  for (double o : c.offsets_s) {
+    EXPECT_GE(o, 0.0);
+    EXPECT_LT(o, 90.0);
+  }
+}
+
+TEST(ArterialSimulatorTest, GreenWaveAtFreeFlowNeverStopsAfterFirstLight) {
+  // With perfect coordination and zero noise, a vehicle that clears the
+  // first intersection on green sails through the rest.
+  ArterialSimulator sim(quiet_corridor());
+  util::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto stops = sim.simulate_trip(rng);
+    EXPECT_LE(stops.size(), 1u);  // at most the initial random-phase stop
+  }
+}
+
+TEST(ArterialSimulatorTest, UncoordinatedStopsMore) {
+  util::Rng cfg_rng(3);
+  ArterialConfig un = uncoordinated(5, 90.0, 45.0, 60.0, cfg_rng);
+  un.queue_delay_s = 0.0;
+  un.link_sigma = 0.0;
+  ArterialSimulator wave(quiet_corridor());
+  ArterialSimulator random(un);
+
+  util::Rng rng_a(4);
+  util::Rng rng_b(4);
+  std::size_t wave_stops = 0;
+  std::size_t random_stops = 0;
+  for (int i = 0; i < 3000; ++i) {
+    wave_stops += wave.simulate_trip(rng_a).size();
+    random_stops += random.simulate_trip(rng_b).size();
+  }
+  EXPECT_GT(random_stops, wave_stops * 2);
+}
+
+TEST(ArterialSimulatorTest, SignalWaitBoundedByRedPhase) {
+  ArterialSimulator sim(quiet_corridor());
+  util::Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    for (double s : sim.simulate_trip(rng)) {
+      EXPECT_GT(s, 0.0);
+      EXPECT_LE(s, 45.0 + 1e-9);  // red phase length, no queue delay
+    }
+  }
+}
+
+TEST(ArterialSimulatorTest, QueueDelayExtendsStops) {
+  ArterialConfig with_queue = quiet_corridor();
+  with_queue.queue_delay_s = 20.0;
+  util::Rng cfg_rng(11);
+  ArterialConfig un = uncoordinated(5, 90.0, 45.0, 60.0, cfg_rng);
+  un.link_sigma = 0.0;
+  un.queue_delay_s = 20.0;
+  ArterialSimulator sim(un);
+  util::Rng rng(6);
+  double longest = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    for (double s : sim.simulate_trip(rng)) longest = std::max(longest, s);
+  }
+  EXPECT_GT(longest, 45.0);  // queue pushes waits past the bare red phase
+}
+
+TEST(ArterialSimulatorTest, VehicleTraceShape) {
+  util::Rng cfg_rng(12);
+  ArterialConfig un = uncoordinated(6, 90.0, 45.0, 45.0, cfg_rng);
+  ArterialSimulator sim(un);
+  util::Rng rng(7);
+  const auto trace = sim.simulate_vehicle("veh-9", 14, rng);
+  EXPECT_EQ(trace.vehicle_id, "veh-9");
+  EXPECT_EQ(trace.area, "Arterial");
+  EXPECT_GT(trace.num_stops(), 10u);  // 14 trips x 6 lights, ~half red
+}
+
+TEST(ArterialSimulatorTest, FleetDeterministicUnderSeed) {
+  util::Rng cfg_rng(13);
+  ArterialConfig un = uncoordinated(4, 90.0, 40.0, 50.0, cfg_rng);
+  ArterialSimulator sim(un);
+  util::Rng a(8);
+  util::Rng b(8);
+  const auto fa = sim.simulate_fleet(20, 10, a);
+  const auto fb = sim.simulate_fleet(20, 10, b);
+  ASSERT_EQ(fa.size(), 20u);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    ASSERT_EQ(fa[i].stops.size(), fb[i].stops.size());
+    for (std::size_t j = 0; j < fa[i].stops.size(); ++j) {
+      EXPECT_DOUBLE_EQ(fa[i].stops[j], fb[i].stops[j]);
+    }
+  }
+}
+
+TEST(ArterialSimulatorTest, InvalidConfigsThrow) {
+  ArterialConfig c = quiet_corridor();
+  c.offsets_s.clear();
+  EXPECT_THROW(ArterialSimulator{c}, std::invalid_argument);
+  c = quiet_corridor();
+  c.signal.green_s = c.signal.cycle_s;
+  EXPECT_THROW(ArterialSimulator{c}, std::invalid_argument);
+  c = quiet_corridor();
+  c.link_travel_s = 0.0;
+  EXPECT_THROW(ArterialSimulator{c}, std::invalid_argument);
+  EXPECT_THROW(green_wave(0, 90.0, 45.0, 60.0), std::invalid_argument);
+}
+
+TEST(ArterialSimulatorTest, TripCountValidation) {
+  ArterialSimulator sim(quiet_corridor());
+  util::Rng rng(9);
+  EXPECT_THROW(sim.simulate_vehicle("v", 0, rng), std::invalid_argument);
+  EXPECT_THROW(sim.simulate_fleet(0, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::traffic

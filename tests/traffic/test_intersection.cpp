@@ -1,0 +1,135 @@
+#include "traffic/intersection.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "util/random.h"
+
+namespace idlered::traffic {
+namespace {
+
+IntersectionConfig light_traffic() {
+  IntersectionConfig c;
+  c.signal.cycle_s = 90.0;
+  c.signal.green_s = 45.0;
+  c.arrival_rate_per_s = 0.02;  // rho ~ 0.08
+  return c;
+}
+
+IntersectionConfig heavy_traffic() {
+  IntersectionConfig c;
+  c.signal.cycle_s = 90.0;
+  c.signal.green_s = 45.0;
+  c.arrival_rate_per_s = 0.20;  // rho ~ 0.8
+  return c;
+}
+
+TEST(IntersectionTest, UtilizationFormula) {
+  // capacity = (45/90) / 2 = 0.25 veh/s.
+  EXPECT_NEAR(IntersectionSimulator(heavy_traffic()).utilization(),
+              0.20 / 0.25, 1e-12);
+}
+
+TEST(IntersectionTest, AllStopsPositive) {
+  IntersectionSimulator sim(light_traffic());
+  util::Rng rng(1);
+  for (double s : sim.simulate(50000.0, rng)) EXPECT_GT(s, 0.0);
+}
+
+TEST(IntersectionTest, LightTrafficWaitsBoundedByRedPhase) {
+  // With nearly empty queues, no stop should much exceed one red phase
+  // plus start-up time.
+  IntersectionSimulator sim(light_traffic());
+  util::Rng rng(2);
+  const auto stops = sim.simulate(200000.0, rng);
+  ASSERT_GT(stops.size(), 100u);
+  const double red = 45.0;
+  std::size_t over = 0;
+  for (double s : stops) {
+    if (s > red + 10.0) ++over;
+  }
+  // A small fraction may queue behind one vehicle; multi-cycle waits should
+  // be essentially absent.
+  EXPECT_LT(static_cast<double>(over) / static_cast<double>(stops.size()),
+            0.05);
+}
+
+TEST(IntersectionTest, HeavyTrafficProducesLongerWaits) {
+  util::Rng rng_l(3);
+  util::Rng rng_h(3);
+  const auto light = IntersectionSimulator(light_traffic())
+                         .simulate(300000.0, rng_l);
+  const auto heavy = IntersectionSimulator(heavy_traffic())
+                         .simulate(300000.0, rng_h);
+  ASSERT_GT(light.size(), 100u);
+  ASSERT_GT(heavy.size(), 100u);
+  EXPECT_GT(stats::mean(heavy), stats::mean(light));
+  EXPECT_GT(stats::max(heavy), 90.0);  // multi-cycle waits appear
+}
+
+TEST(IntersectionTest, HeavierDemandStopsMoreVehicles) {
+  util::Rng rng_l(4);
+  util::Rng rng_h(4);
+  const double horizon = 200000.0;
+  const auto light =
+      IntersectionSimulator(light_traffic()).simulate(horizon, rng_l);
+  const auto heavy =
+      IntersectionSimulator(heavy_traffic()).simulate(horizon, rng_h);
+  // Stop *rate* (stops per arrival) grows with demand.
+  const double light_rate = static_cast<double>(light.size()) /
+                            (light_traffic().arrival_rate_per_s * horizon);
+  const double heavy_rate = static_cast<double>(heavy.size()) /
+                            (heavy_traffic().arrival_rate_per_s * horizon);
+  EXPECT_GT(heavy_rate, light_rate);
+}
+
+TEST(IntersectionTest, DeterministicUnderSeed) {
+  IntersectionSimulator sim(heavy_traffic());
+  util::Rng a(7);
+  util::Rng b(7);
+  const auto sa = sim.simulate(50000.0, a);
+  const auto sb = sim.simulate(50000.0, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(IntersectionTest, InvalidConfigurationsThrow) {
+  IntersectionConfig c = light_traffic();
+  c.signal.green_s = c.signal.cycle_s;  // no red phase
+  EXPECT_THROW(IntersectionSimulator{c}, std::invalid_argument);
+  c = light_traffic();
+  c.arrival_rate_per_s = 0.0;
+  EXPECT_THROW(IntersectionSimulator{c}, std::invalid_argument);
+  c = light_traffic();
+  c.saturation_headway_s = -1.0;
+  EXPECT_THROW(IntersectionSimulator{c}, std::invalid_argument);
+}
+
+TEST(IntersectionTest, InvalidHorizonThrows) {
+  IntersectionSimulator sim(light_traffic());
+  util::Rng rng(8);
+  EXPECT_THROW(sim.simulate(0.0, rng), std::invalid_argument);
+}
+
+TEST(CorridorTest, PoolsAllIntersections) {
+  CorridorConfig corridor;
+  corridor.intersections = {light_traffic(), heavy_traffic()};
+  util::Rng rng(9);
+  const auto pooled = simulate_corridor(corridor, 100000.0, rng);
+  // Two intersections pooled: clearly more stops than either one alone
+  // could produce under light traffic.
+  EXPECT_GT(pooled.size(), 100u);
+}
+
+TEST(CorridorTest, EmptyCorridorThrows) {
+  CorridorConfig corridor;
+  util::Rng rng(10);
+  EXPECT_THROW(simulate_corridor(corridor, 1000.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::traffic

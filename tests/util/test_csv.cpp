@@ -1,0 +1,140 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace idlered::util {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  const auto doc = parse_csv("a,b,c\n1,2,3\n4,5,6\n", /*has_header=*/true);
+  ASSERT_EQ(doc.header.size(), 3u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][2], "6");
+}
+
+TEST(CsvParseTest, NoHeaderMode) {
+  const auto doc = parse_csv("1,2\n3,4\n", /*has_header=*/false);
+  EXPECT_TRUE(doc.header.empty());
+  ASSERT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvParseTest, QuotedFieldWithComma) {
+  const auto doc = parse_csv("\"x,y\",z\n", false);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "x,y");
+  EXPECT_EQ(doc.rows[0][1], "z");
+}
+
+TEST(CsvParseTest, EscapedQuote) {
+  const auto doc = parse_csv("\"he said \"\"hi\"\"\"\n", false);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParseTest, QuotedNewline) {
+  const auto doc = parse_csv("\"line1\nline2\",b\n", false);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, ToleratesCrLf) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvParseTest, MissingFinalNewline) {
+  const auto doc = parse_csv("a,b\n1,2", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(CsvParseTest, ColumnLookup) {
+  const auto doc = parse_csv("id,area,stop\n", true);
+  EXPECT_EQ(doc.column("area"), 1);
+  EXPECT_EQ(doc.column("missing"), -1);
+}
+
+TEST(CsvEscapeTest, PlainFieldUntouched) { EXPECT_EQ(csv_escape("abc"), "abc"); }
+
+TEST(CsvEscapeTest, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscapeTest, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(CsvWriterTest, RoundTrip) {
+  CsvWriter w;
+  w.add_row(CsvRow{"id", "value"});
+  w.add_row(CsvRow{"x,1", "he said \"hi\""});
+  const auto doc = parse_csv(w.str(), true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "x,1");
+  EXPECT_EQ(doc.rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvWriterTest, DoubleRowPreservesPrecision) {
+  CsvWriter w;
+  w.add_row(std::vector<double>{0.1234567890123456, 28.0});
+  const auto doc = parse_csv(w.str(), false);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(doc.rows[0][0]), 0.1234567890123456);
+  EXPECT_DOUBLE_EQ(std::stod(doc.rows[0][1]), 28.0);
+}
+
+TEST(CsvFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv", true),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace idlered::util
+
+#include "util/cli.h"
+
+namespace idlered::util {
+namespace {
+
+char** make_argv(std::vector<std::string>& storage,
+                 std::vector<char*>& ptrs) {
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(ArgsTest, PositionalAndOptions) {
+  std::vector<std::string> raw{"prog", "simulate", "--area", "Chicago",
+                               "--verbose", "--seed", "42"};
+  std::vector<char*> ptrs;
+  Args args(static_cast<int>(raw.size()), make_argv(raw, ptrs));
+  EXPECT_EQ(args.program(), "prog");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "simulate");
+  EXPECT_TRUE(args.has("area"));
+  EXPECT_EQ(args.value_or("area", std::string("x")), "Chicago");
+  EXPECT_EQ(args.value_or("seed", 0), 42);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.value_or("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.value_or("missing", 2.5), 2.5);
+}
+
+TEST(ArgsTest, FlagFollowedByOptionHasNoValue) {
+  std::vector<std::string> raw{"prog", "--flag", "--other", "3"};
+  std::vector<char*> ptrs;
+  Args args(static_cast<int>(raw.size()), make_argv(raw, ptrs));
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.value("flag").has_value());
+  EXPECT_EQ(args.value_or("other", 0), 3);
+}
+
+TEST(ArgsTest, DoubleValues) {
+  std::vector<std::string> raw{"prog", "--break-even", "47.5"};
+  std::vector<char*> ptrs;
+  Args args(static_cast<int>(raw.size()), make_argv(raw, ptrs));
+  EXPECT_DOUBLE_EQ(args.value_or("break-even", 28.0), 47.5);
+}
+
+}  // namespace
+}  // namespace idlered::util

@@ -1,0 +1,134 @@
+#include "util/math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace idlered::util {
+namespace {
+
+TEST(MathTest, ClampInsideRange) { EXPECT_EQ(clamp(0.5, 0.0, 1.0), 0.5); }
+TEST(MathTest, ClampBelow) { EXPECT_EQ(clamp(-3.0, 0.0, 1.0), 0.0); }
+TEST(MathTest, ClampAbove) { EXPECT_EQ(clamp(7.0, 0.0, 1.0), 1.0); }
+
+TEST(MathTest, ApproxEqualExact) { EXPECT_TRUE(approx_equal(1.0, 1.0)); }
+
+TEST(MathTest, ApproxEqualWithinRelTol) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+}
+
+TEST(MathTest, ApproxEqualNearZeroUsesAbsTol) {
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_FALSE(approx_equal(0.0, 1e-3));
+}
+
+TEST(MathTest, LinspaceEndpointsAndSpacing) {
+  const auto g = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_NEAR(g[1] - g[0], 0.25, 1e-15);
+  EXPECT_NEAR(g[3] - g[2], 0.25, 1e-15);
+}
+
+TEST(MathTest, LinspaceSinglePoint) {
+  const auto g = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g[0], 3.0);
+}
+
+TEST(MathTest, LinspaceRejectsNonPositiveCount) {
+  EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(MathTest, LogspaceEndpoints) {
+  const auto g = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_NEAR(g[0], 1.0, 1e-12);
+  EXPECT_NEAR(g[1], 10.0, 1e-12);
+  EXPECT_NEAR(g[2], 100.0, 1e-12);
+}
+
+TEST(MathTest, LogspaceRejectsNonPositiveEndpoints) {
+  EXPECT_THROW(logspace(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, -1.0, 3), std::invalid_argument);
+}
+
+TEST(IntegrateTest, Polynomial) {
+  // integral_0^2 (3x^2 + 1) dx = 8 + 2 = 10
+  const double v =
+      integrate([](double x) { return 3.0 * x * x + 1.0; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 10.0, 1e-9);
+}
+
+TEST(IntegrateTest, Exponential) {
+  const double v = integrate([](double x) { return std::exp(x); }, 0.0, 1.0);
+  EXPECT_NEAR(v, kE - 1.0, 1e-9);
+}
+
+TEST(IntegrateTest, ReversedLimitsNegate) {
+  const double fwd = integrate([](double x) { return x; }, 0.0, 3.0);
+  const double rev = integrate([](double x) { return x; }, 3.0, 0.0);
+  EXPECT_NEAR(fwd, -rev, 1e-12);
+}
+
+TEST(IntegrateTest, ZeroWidthIsZero) {
+  EXPECT_EQ(integrate([](double x) { return x * x; }, 2.0, 2.0), 0.0);
+}
+
+TEST(IntegrateTest, OscillatoryFunction) {
+  // integral_0^pi sin(x) dx = 2
+  const double v = integrate([](double x) { return std::sin(x); }, 0.0,
+                             3.14159265358979323846);
+  EXPECT_NEAR(v, 2.0, 1e-8);
+}
+
+TEST(IntegrateTest, SimpsonFixedPanelPolynomialExact) {
+  // Simpson is exact for cubics.
+  const double v = integrate_simpson(
+      [](double x) { return x * x * x - x; }, 0.0, 2.0, 4);
+  EXPECT_NEAR(v, 4.0 - 2.0, 1e-12);
+}
+
+TEST(IntegrateTest, SimpsonRejectsOddPanelCount) {
+  EXPECT_THROW(integrate_simpson([](double x) { return x; }, 0.0, 1.0, 3),
+               std::invalid_argument);
+}
+
+TEST(BisectTest, FindsRootOfCubic) {
+  const double r =
+      bisect([](double x) { return x * x * x - 8.0; }, 0.0, 10.0);
+  EXPECT_NEAR(r, 2.0, 1e-10);
+}
+
+TEST(BisectTest, EndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(BisectTest, RejectsSameSignEndpoints) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(GoldenTest, MinimizesParabola) {
+  const double m =
+      minimize_golden([](double x) { return (x - 1.5) * (x - 1.5); }, 0.0,
+                      4.0);
+  EXPECT_NEAR(m, 1.5, 1e-7);
+}
+
+TEST(GoldenTest, MinimizesSkiRentalBdetCost) {
+  // (b + B)(mu/b + q) with B=28, mu=2, q=0.1: minimum at sqrt(mu B / q).
+  const double b_star = minimize_golden(
+      [](double b) { return (b + 28.0) * (2.0 / b + 0.1); }, 0.1, 28.0);
+  EXPECT_NEAR(b_star, std::sqrt(2.0 * 28.0 / 0.1), 1e-5);
+}
+
+TEST(ConstantsTest, EulerRatios) {
+  EXPECT_NEAR(kE, std::exp(1.0), 1e-15);
+  EXPECT_NEAR(kEOverEMinus1, 1.5819767068693265, 1e-12);
+}
+
+}  // namespace
+}  // namespace idlered::util

@@ -1,0 +1,147 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace idlered::util {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 8.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 8.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces appear in 1000 rolls
+}
+
+TEST(RngTest, ExponentialMeanApproximately) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(RngTest, NormalMomentsApproximately) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(RngTest, ParetoSupportAndTail) {
+  Rng rng(9);
+  const double scale = 2.0;
+  const double shape = 1.5;
+  int above4 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(scale, shape);
+    ASSERT_GE(x, scale);
+    if (x > 4.0) ++above4;
+  }
+  // P(X > 4) = (2/4)^1.5 ~= 0.3536
+  EXPECT_NEAR(static_cast<double>(above4) / n, std::pow(0.5, 1.5), 0.01);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(4.2));
+  EXPECT_NEAR(sum / n, 4.2, 0.05);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(17);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(100);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  // Correlation of forked streams should be near zero.
+  double sum_ab = 0.0;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sum_ab += x * y;
+    sum_a += x;
+    sum_b += y;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  EXPECT_NEAR(cov, 0.0, 0.005);
+}
+
+TEST(RngTest, ForkWithSameSaltFromSameStateIsReproducible) {
+  Rng p1(55);
+  Rng p2(55);
+  Rng c1 = p1.fork(9);
+  Rng c2 = p2.fork(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.uniform(), c2.uniform());
+}
+
+TEST(Mix64Test, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace idlered::util

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace idlered::util {
+namespace {
+
+TEST(TableTest, HeaderAndRowsRendered) {
+  Table t({"name", "cr"});
+  t.add_row({"TOI", "1.23"});
+  t.add_row({"DET", "2.00"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("TOI"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, DoubleRowFormatting) {
+  Table t({"x", "y"});
+  t.add_numeric_row({1.23456, 2.0}, 2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAlignedToWidestCell) {
+  Table t({"s", "value"});
+  t.add_row({"longer-name", "1"});
+  const std::string rendered = t.str();
+  // Header separator line must be at least as wide as the longest cell.
+  EXPECT_NE(rendered.find("-----------"), std::string::npos);
+}
+
+TEST(TableTest, RowsCounted) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(BannerTest, ContainsTitle) {
+  const std::string b = banner("Figure 4");
+  EXPECT_NE(b.find("Figure 4"), std::string::npos);
+  EXPECT_NE(b.find("=="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idlered::util

@@ -1,0 +1,238 @@
+// idlered_cli — the library's command-line front end.
+//
+//   idlered_cli breakeven [--displacement L] [--fuel-price USD]
+//                         [--conventional]
+//   idlered_cli advise <history.csv> [--break-even B]
+//   idlered_cli region  [--size N]
+//   idlered_cli simulate [--area NAME] [--vehicles N] [--break-even B]
+//                        [--seed S]
+//   idlered_cli worstcase --mu MU --q Q [--break-even B]
+//   idlered_cli cycles  [--break-even B]
+//
+// Each subcommand is a thin veneer over the public API; the examples in
+// examples/ show the same flows as annotated source code.
+#include <cstdio>
+#include <string>
+
+#include "analysis/adversary.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "core/region.h"
+#include "costmodel/break_even.h"
+#include "sim/evaluator.h"
+#include "sim/fleet_eval.h"
+#include "traces/drive_cycles.h"
+#include "traces/fleet_generator.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+
+int usage() {
+  std::printf(
+      "usage: idlered_cli <command> [options]\n\n"
+      "commands:\n"
+      "  breakeven   compute the break-even interval B for a vehicle\n"
+      "              [--displacement L] [--fuel-price USD] [--conventional]\n"
+      "  advise      recommend a shut-off rule from a stop history CSV\n"
+      "              <history.csv> [--break-even B]\n"
+      "  region      print the Figure-1 strategy-selection map [--size N]\n"
+      "  simulate    fleet strategy comparison on a synthetic area\n"
+      "              [--area California|Chicago|Atlanta] [--vehicles N]\n"
+      "              [--break-even B] [--seed S]\n"
+      "  worstcase   worst-case analysis at given statistics\n"
+      "              --mu MU_SECONDS --q Q [--break-even B]\n"
+      "  cycles      strategy comparison on certification drive cycles\n"
+      "              [--break-even B]\n");
+  return 2;
+}
+
+int cmd_breakeven(const util::Args& args) {
+  costmodel::VehicleConfig v = args.has("conventional")
+                                   ? costmodel::conventional_vehicle()
+                                   : costmodel::ssv_vehicle();
+  if (args.has("displacement")) {
+    v.engine.displacement_liters = args.value_or("displacement", 2.5);
+    v.engine.measured_idle_fuel_cc_per_s = 0.0;  // use the eq. 45 regression
+  }
+  v.fuel.usd_per_gallon = args.value_or("fuel-price", v.fuel.usd_per_gallon);
+  std::printf("%s", costmodel::compute_break_even(v).describe().c_str());
+  return 0;
+}
+
+int cmd_advise(const util::Args& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "advise: missing history.csv\n");
+    return 2;
+  }
+  const auto doc = util::read_csv_file(args.positional()[1], true);
+  const int col = doc.column("stop_s");
+  if (col < 0) {
+    std::fprintf(stderr, "advise: CSV needs a stop_s column\n");
+    return 1;
+  }
+  std::vector<double> stops;
+  for (const auto& row : doc.rows) {
+    stops.push_back(std::stod(row.at(static_cast<std::size_t>(col))));
+  }
+  if (stops.empty()) {
+    std::fprintf(stderr, "advise: no stops in history\n");
+    return 1;
+  }
+  const double b =
+      args.value_or("break-even", costmodel::kPaperBreakEvenSsv);
+  core::ProposedPolicy coa(b, stops);
+  std::printf("stops: %zu | mu_B- = %.2f s | q_B+ = %.3f | B = %.1f s\n",
+              stops.size(), coa.stats().mu_b_minus, coa.stats().q_b_plus, b);
+  std::printf("strategy: %s", core::to_string(coa.choice().strategy).c_str());
+  if (coa.choice().strategy == core::Strategy::kBDet) {
+    std::printf(" (shut off after %.1f s)", coa.choice().b);
+  }
+  std::printf(" | worst-case CR guarantee %.3f\n", coa.worst_case_cr());
+  std::printf("on this history: CR %.3f (never-off %.3f, always-off %.3f)\n",
+              sim::evaluate_expected(coa, stops).cr(),
+              sim::evaluate_expected(*core::make_nev(b), stops).cr(),
+              sim::evaluate_expected(*core::make_toi(b), stops).cr());
+  return 0;
+}
+
+int cmd_region(const util::Args& args) {
+  const int n = args.value_or("size", 48);
+  const auto cells = core::compute_region_map(28.0, n, n);
+  std::printf("%s", core::render_region_map(cells, n, n).c_str());
+  std::printf("T = turn off immediately, D = wait B, b = wait b*, "
+              "N = randomized, . = infeasible\n");
+  return 0;
+}
+
+int cmd_simulate(const util::Args& args) {
+  const std::string area_name =
+      args.value_or("area", std::string("Chicago"));
+  traces::AreaProfile profile;
+  bool found = false;
+  for (const auto& a : traces::all_areas()) {
+    if (a.name == area_name) {
+      profile = a;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "simulate: unknown area %s\n", area_name.c_str());
+    return 1;
+  }
+  profile.num_vehicles_driving = args.value_or("vehicles", 100);
+  const double b =
+      args.value_or("break-even", costmodel::kPaperBreakEvenSsv);
+  util::Rng rng(static_cast<std::uint64_t>(args.value_or("seed", 1)));
+  const auto fleet = traces::generate_area_fleet(profile, rng);
+  const auto cmp =
+      sim::compare_strategies(fleet, b, sim::standard_strategy_set());
+  const auto means = cmp.mean_cr();
+  const auto worsts = cmp.worst_cr();
+  const auto best = cmp.best_counts(1e-9);
+  util::Table table({"strategy", "average CR", "worst CR", "best on"});
+  for (std::size_t s = 0; s < cmp.num_strategies(); ++s) {
+    table.add_row({cmp.strategy_names[s], util::fmt(means[s], 3),
+                   worsts[s] > 100.0 ? ">100" : util::fmt(worsts[s], 3),
+                   std::to_string(best[s])});
+  }
+  std::printf("%s at B = %.0f s, %zu vehicles:\n%s", area_name.c_str(), b,
+              cmp.vehicles.size(), table.str().c_str());
+  return 0;
+}
+
+int cmd_worstcase(const util::Args& args) {
+  if (!args.has("mu") || !args.has("q")) {
+    std::fprintf(stderr, "worstcase: need --mu and --q\n");
+    return 2;
+  }
+  const double b =
+      args.value_or("break-even", costmodel::kPaperBreakEvenSsv);
+  dist::ShortStopStats s;
+  s.mu_b_minus = args.value_or("mu", 0.0);
+  s.q_b_plus = args.value_or("q", 0.0);
+  if (!s.feasible(b)) {
+    std::fprintf(stderr,
+                 "worstcase: infeasible statistics (need mu <= B(1-q))\n");
+    return 1;
+  }
+  const auto choice = core::choose_strategy(s, b);
+  util::Table table({"strategy", "worst-case cost", "worst-case CR"});
+  table.add_row({"TOI", util::fmt(core::worst_case_cost_toi(s, b), 3),
+                 util::fmt(core::worst_case_cr_toi(s, b), 3)});
+  table.add_row({"DET", util::fmt(core::worst_case_cost_det(s, b), 3),
+                 util::fmt(core::worst_case_cr_det(s, b), 3)});
+  const double bdet = core::worst_case_cost_b_det(s, b);
+  table.add_row({"b-DET", std::isfinite(bdet) ? util::fmt(bdet, 3) : "inf",
+                 std::isfinite(bdet)
+                     ? util::fmt(core::worst_case_cr_b_det(s, b), 3)
+                     : "inf"});
+  table.add_row({"N-Rand", util::fmt(core::worst_case_cost_nrand(s, b), 3),
+                 util::fmt(core::worst_case_cr_nrand(s, b), 3)});
+  std::printf("%s", table.str().c_str());
+  std::printf("\nCOA selects %s (cost %.3f, CR %.3f",
+              core::to_string(choice.strategy).c_str(), choice.expected_cost,
+              choice.cr);
+  if (choice.strategy == core::Strategy::kBDet) {
+    std::printf(", b* = %.2f s", choice.b);
+  }
+  std::printf(")\n");
+
+  core::ProposedPolicy coa(b, s);
+  const auto adv = analysis::worst_case_adversary(coa, s);
+  std::printf("LP adversary certificate: %.4f (atoms:", adv.expected_cost);
+  for (const auto& atom : adv.atoms) {
+    std::printf(" %.1fs@%.3f", atom.stop_length, atom.probability);
+  }
+  std::printf(")\n");
+  return 0;
+}
+
+int cmd_cycles(const util::Args& args) {
+  const double b =
+      args.value_or("break-even", costmodel::kPaperBreakEvenSsv);
+  util::Table table({"cycle", "idle %", "stops", "COA picks", "COA CR",
+                     "TOI CR", "DET CR", "NEV CR"});
+  for (const auto& cycle : traces::standard_cycles()) {
+    core::ProposedPolicy coa(b, cycle.stop_lengths_s);
+    table.add_row(
+        {cycle.name, util::fmt(100.0 * cycle.idle_fraction(), 1),
+         std::to_string(cycle.num_stops()),
+         core::to_string(coa.choice().strategy),
+         util::fmt(sim::evaluate_expected(coa, cycle.stop_lengths_s).cr(), 3),
+         util::fmt(sim::evaluate_expected(*core::make_toi(b),
+                                          cycle.stop_lengths_s).cr(), 3),
+         util::fmt(sim::evaluate_expected(*core::make_det(b),
+                                          cycle.stop_lengths_s).cr(), 3),
+         util::fmt(sim::evaluate_expected(*core::make_nev(b),
+                                          cycle.stop_lengths_s).cr(), 3)});
+  }
+  std::printf("certification cycles at B = %.0f s:\n%s", b,
+              table.str().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    if (args.positional().empty()) return usage();
+    const std::string& cmd = args.positional()[0];
+    if (cmd == "breakeven") return cmd_breakeven(args);
+    if (cmd == "advise") return cmd_advise(args);
+    if (cmd == "region") return cmd_region(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "worstcase") return cmd_worstcase(args);
+    if (cmd == "cycles") return cmd_cycles(args);
+    std::fprintf(stderr, "unknown command: %s\n\n", cmd.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
