@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_battery.dir/bench_ablation_battery.cpp.o"
+  "CMakeFiles/bench_ablation_battery.dir/bench_ablation_battery.cpp.o.d"
+  "bench_ablation_battery"
+  "bench_ablation_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

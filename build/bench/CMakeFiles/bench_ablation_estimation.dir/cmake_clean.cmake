@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_estimation.dir/bench_ablation_estimation.cpp.o"
+  "CMakeFiles/bench_ablation_estimation.dir/bench_ablation_estimation.cpp.o.d"
+  "bench_ablation_estimation"
+  "bench_ablation_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_metrics.dir/bench_ablation_metrics.cpp.o"
+  "CMakeFiles/bench_ablation_metrics.dir/bench_ablation_metrics.cpp.o.d"
+  "bench_ablation_metrics"
+  "bench_ablation_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

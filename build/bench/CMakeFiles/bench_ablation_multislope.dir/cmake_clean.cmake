@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multislope.dir/bench_ablation_multislope.cpp.o"
+  "CMakeFiles/bench_ablation_multislope.dir/bench_ablation_multislope.cpp.o.d"
+  "bench_ablation_multislope"
+  "bench_ablation_multislope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multislope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

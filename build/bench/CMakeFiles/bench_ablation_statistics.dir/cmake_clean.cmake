@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_statistics.dir/bench_ablation_statistics.cpp.o"
+  "CMakeFiles/bench_ablation_statistics.dir/bench_ablation_statistics.cpp.o.d"
+  "bench_ablation_statistics"
+  "bench_ablation_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixC_break_even.dir/bench_appendixC_break_even.cpp.o"
+  "CMakeFiles/bench_appendixC_break_even.dir/bench_appendixC_break_even.cpp.o.d"
+  "bench_appendixC_break_even"
+  "bench_appendixC_break_even.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixC_break_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_crand.dir/bench_extension_crand.cpp.o"
+  "CMakeFiles/bench_extension_crand.dir/bench_extension_crand.cpp.o.d"
+  "bench_extension_crand"
+  "bench_extension_crand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_crand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_regions.dir/bench_fig1_regions.cpp.o"
+  "CMakeFiles/bench_fig1_regions.dir/bench_fig1_regions.cpp.o.d"
+  "bench_fig1_regions"
+  "bench_fig1_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_projections.dir/bench_fig2_projections.cpp.o"
+  "CMakeFiles/bench_fig2_projections.dir/bench_fig2_projections.cpp.o.d"
+  "bench_fig2_projections"
+  "bench_fig2_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_vehicle_test.dir/bench_fig4_vehicle_test.cpp.o"
+  "CMakeFiles/bench_fig4_vehicle_test.dir/bench_fig4_vehicle_test.cpp.o.d"
+  "bench_fig4_vehicle_test"
+  "bench_fig4_vehicle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_vehicle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

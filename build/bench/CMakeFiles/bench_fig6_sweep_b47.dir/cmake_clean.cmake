@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sweep_b47.dir/bench_fig6_sweep_b47.cpp.o"
+  "CMakeFiles/bench_fig6_sweep_b47.dir/bench_fig6_sweep_b47.cpp.o.d"
+  "bench_fig6_sweep_b47"
+  "bench_fig6_sweep_b47.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sweep_b47.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

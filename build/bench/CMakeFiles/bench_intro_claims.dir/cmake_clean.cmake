@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_claims.dir/bench_intro_claims.cpp.o"
+  "CMakeFiles/bench_intro_claims.dir/bench_intro_claims.cpp.o.d"
+  "bench_intro_claims"
+  "bench_intro_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_stops_per_day.dir/bench_table1_stops_per_day.cpp.o"
+  "CMakeFiles/bench_table1_stops_per_day.dir/bench_table1_stops_per_day.cpp.o.d"
+  "bench_table1_stops_per_day"
+  "bench_table1_stops_per_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_stops_per_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_substrates.dir/bench_validation_substrates.cpp.o"
+  "CMakeFiles/bench_validation_substrates.dir/bench_validation_substrates.cpp.o.d"
+  "bench_validation_substrates"
+  "bench_validation_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

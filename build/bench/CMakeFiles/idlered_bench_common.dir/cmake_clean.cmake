@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_bench_common.dir/common/sweep.cpp.o"
+  "CMakeFiles/idlered_bench_common.dir/common/sweep.cpp.o.d"
+  "libidlered_bench_common.a"
+  "libidlered_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

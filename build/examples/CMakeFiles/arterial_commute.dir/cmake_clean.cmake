@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arterial_commute.dir/arterial_commute.cpp.o"
+  "CMakeFiles/arterial_commute.dir/arterial_commute.cpp.o.d"
+  "arterial_commute"
+  "arterial_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arterial_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arterial_commute.
+# This may be replaced when dependencies are built.

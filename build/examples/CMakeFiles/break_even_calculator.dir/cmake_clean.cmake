@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/break_even_calculator.dir/break_even_calculator.cpp.o"
+  "CMakeFiles/break_even_calculator.dir/break_even_calculator.cpp.o.d"
+  "break_even_calculator"
+  "break_even_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/break_even_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for break_even_calculator.
+# This may be replaced when dependencies are built.

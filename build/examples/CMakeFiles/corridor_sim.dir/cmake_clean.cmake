@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corridor_sim.dir/corridor_sim.cpp.o"
+  "CMakeFiles/corridor_sim.dir/corridor_sim.cpp.o.d"
+  "corridor_sim"
+  "corridor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corridor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_cycle_report.dir/drive_cycle_report.cpp.o"
+  "CMakeFiles/drive_cycle_report.dir/drive_cycle_report.cpp.o.d"
+  "drive_cycle_report"
+  "drive_cycle_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_cycle_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for drive_cycle_report.
+# This may be replaced when dependencies are built.

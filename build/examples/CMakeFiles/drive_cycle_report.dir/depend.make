@@ -1,0 +1,2 @@
+# Empty dependencies file for drive_cycle_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fleet_study.cpp" "examples/CMakeFiles/fleet_study.dir/fleet_study.cpp.o" "gcc" "examples/CMakeFiles/fleet_study.dir/fleet_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/idlered_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/idlered_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idlered_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/idlered_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/idlered_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idlered_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/idlered_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idlered_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/idlered_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/idlered_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

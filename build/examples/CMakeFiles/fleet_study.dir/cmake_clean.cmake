@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_study.dir/fleet_study.cpp.o"
+  "CMakeFiles/fleet_study.dir/fleet_study.cpp.o.d"
+  "fleet_study"
+  "fleet_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

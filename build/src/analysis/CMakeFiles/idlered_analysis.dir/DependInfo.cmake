@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/adversary.cpp" "src/analysis/CMakeFiles/idlered_analysis.dir/adversary.cpp.o" "gcc" "src/analysis/CMakeFiles/idlered_analysis.dir/adversary.cpp.o.d"
+  "/root/repo/src/analysis/average_case.cpp" "src/analysis/CMakeFiles/idlered_analysis.dir/average_case.cpp.o" "gcc" "src/analysis/CMakeFiles/idlered_analysis.dir/average_case.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "src/analysis/CMakeFiles/idlered_analysis.dir/metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/idlered_analysis.dir/metrics.cpp.o.d"
+  "/root/repo/src/analysis/minimax.cpp" "src/analysis/CMakeFiles/idlered_analysis.dir/minimax.cpp.o" "gcc" "src/analysis/CMakeFiles/idlered_analysis.dir/minimax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idlered_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/idlered_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/idlered_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idlered_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idlered_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_analysis.dir/adversary.cpp.o"
+  "CMakeFiles/idlered_analysis.dir/adversary.cpp.o.d"
+  "CMakeFiles/idlered_analysis.dir/average_case.cpp.o"
+  "CMakeFiles/idlered_analysis.dir/average_case.cpp.o.d"
+  "CMakeFiles/idlered_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/idlered_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/idlered_analysis.dir/minimax.cpp.o"
+  "CMakeFiles/idlered_analysis.dir/minimax.cpp.o.d"
+  "libidlered_analysis.a"
+  "libidlered_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/idlered_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/costs.cpp" "src/core/CMakeFiles/idlered_core.dir/costs.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/costs.cpp.o.d"
+  "/root/repo/src/core/crand.cpp" "src/core/CMakeFiles/idlered_core.dir/crand.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/crand.cpp.o.d"
+  "/root/repo/src/core/decision_distribution.cpp" "src/core/CMakeFiles/idlered_core.dir/decision_distribution.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/decision_distribution.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/idlered_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/multislope.cpp" "src/core/CMakeFiles/idlered_core.dir/multislope.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/multislope.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/idlered_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/idlered_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/proposed.cpp" "src/core/CMakeFiles/idlered_core.dir/proposed.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/proposed.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/core/CMakeFiles/idlered_core.dir/region.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/region.cpp.o.d"
+  "/root/repo/src/core/solver_lp.cpp" "src/core/CMakeFiles/idlered_core.dir/solver_lp.cpp.o" "gcc" "src/core/CMakeFiles/idlered_core.dir/solver_lp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/idlered_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/idlered_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/idlered_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idlered_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_core.dir/analytic.cpp.o"
+  "CMakeFiles/idlered_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/costs.cpp.o"
+  "CMakeFiles/idlered_core.dir/costs.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/crand.cpp.o"
+  "CMakeFiles/idlered_core.dir/crand.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/decision_distribution.cpp.o"
+  "CMakeFiles/idlered_core.dir/decision_distribution.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/estimator.cpp.o"
+  "CMakeFiles/idlered_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/multislope.cpp.o"
+  "CMakeFiles/idlered_core.dir/multislope.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/policies.cpp.o"
+  "CMakeFiles/idlered_core.dir/policies.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/policy.cpp.o"
+  "CMakeFiles/idlered_core.dir/policy.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/proposed.cpp.o"
+  "CMakeFiles/idlered_core.dir/proposed.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/region.cpp.o"
+  "CMakeFiles/idlered_core.dir/region.cpp.o.d"
+  "CMakeFiles/idlered_core.dir/solver_lp.cpp.o"
+  "CMakeFiles/idlered_core.dir/solver_lp.cpp.o.d"
+  "libidlered_core.a"
+  "libidlered_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

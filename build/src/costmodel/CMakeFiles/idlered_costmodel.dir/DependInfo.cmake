@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/break_even.cpp" "src/costmodel/CMakeFiles/idlered_costmodel.dir/break_even.cpp.o" "gcc" "src/costmodel/CMakeFiles/idlered_costmodel.dir/break_even.cpp.o.d"
+  "/root/repo/src/costmodel/emissions.cpp" "src/costmodel/CMakeFiles/idlered_costmodel.dir/emissions.cpp.o" "gcc" "src/costmodel/CMakeFiles/idlered_costmodel.dir/emissions.cpp.o.d"
+  "/root/repo/src/costmodel/fleet_economics.cpp" "src/costmodel/CMakeFiles/idlered_costmodel.dir/fleet_economics.cpp.o" "gcc" "src/costmodel/CMakeFiles/idlered_costmodel.dir/fleet_economics.cpp.o.d"
+  "/root/repo/src/costmodel/fuel.cpp" "src/costmodel/CMakeFiles/idlered_costmodel.dir/fuel.cpp.o" "gcc" "src/costmodel/CMakeFiles/idlered_costmodel.dir/fuel.cpp.o.d"
+  "/root/repo/src/costmodel/wear.cpp" "src/costmodel/CMakeFiles/idlered_costmodel.dir/wear.cpp.o" "gcc" "src/costmodel/CMakeFiles/idlered_costmodel.dir/wear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/idlered_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_costmodel.dir/break_even.cpp.o"
+  "CMakeFiles/idlered_costmodel.dir/break_even.cpp.o.d"
+  "CMakeFiles/idlered_costmodel.dir/emissions.cpp.o"
+  "CMakeFiles/idlered_costmodel.dir/emissions.cpp.o.d"
+  "CMakeFiles/idlered_costmodel.dir/fleet_economics.cpp.o"
+  "CMakeFiles/idlered_costmodel.dir/fleet_economics.cpp.o.d"
+  "CMakeFiles/idlered_costmodel.dir/fuel.cpp.o"
+  "CMakeFiles/idlered_costmodel.dir/fuel.cpp.o.d"
+  "CMakeFiles/idlered_costmodel.dir/wear.cpp.o"
+  "CMakeFiles/idlered_costmodel.dir/wear.cpp.o.d"
+  "libidlered_costmodel.a"
+  "libidlered_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

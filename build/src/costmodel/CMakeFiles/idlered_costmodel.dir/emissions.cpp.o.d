@@ -1,0 +1,3 @@
+src/costmodel/CMakeFiles/idlered_costmodel.dir/emissions.cpp.o: \
+ /root/repo/src/costmodel/emissions.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/costmodel/emissions.h

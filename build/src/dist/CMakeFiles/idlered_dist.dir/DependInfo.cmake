@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/adaptors.cpp" "src/dist/CMakeFiles/idlered_dist.dir/adaptors.cpp.o" "gcc" "src/dist/CMakeFiles/idlered_dist.dir/adaptors.cpp.o.d"
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/idlered_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/idlered_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/empirical.cpp" "src/dist/CMakeFiles/idlered_dist.dir/empirical.cpp.o" "gcc" "src/dist/CMakeFiles/idlered_dist.dir/empirical.cpp.o.d"
+  "/root/repo/src/dist/mixture.cpp" "src/dist/CMakeFiles/idlered_dist.dir/mixture.cpp.o" "gcc" "src/dist/CMakeFiles/idlered_dist.dir/mixture.cpp.o.d"
+  "/root/repo/src/dist/parametric.cpp" "src/dist/CMakeFiles/idlered_dist.dir/parametric.cpp.o" "gcc" "src/dist/CMakeFiles/idlered_dist.dir/parametric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/idlered_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idlered_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

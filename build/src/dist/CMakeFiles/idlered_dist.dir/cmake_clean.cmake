@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_dist.dir/adaptors.cpp.o"
+  "CMakeFiles/idlered_dist.dir/adaptors.cpp.o.d"
+  "CMakeFiles/idlered_dist.dir/distribution.cpp.o"
+  "CMakeFiles/idlered_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/idlered_dist.dir/empirical.cpp.o"
+  "CMakeFiles/idlered_dist.dir/empirical.cpp.o.d"
+  "CMakeFiles/idlered_dist.dir/mixture.cpp.o"
+  "CMakeFiles/idlered_dist.dir/mixture.cpp.o.d"
+  "CMakeFiles/idlered_dist.dir/parametric.cpp.o"
+  "CMakeFiles/idlered_dist.dir/parametric.cpp.o.d"
+  "libidlered_dist.a"
+  "libidlered_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

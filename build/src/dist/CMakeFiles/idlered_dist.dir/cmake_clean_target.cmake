@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidlered_dist.a"
+)

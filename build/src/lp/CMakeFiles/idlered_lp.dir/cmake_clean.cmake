@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_lp.dir/simplex.cpp.o"
+  "CMakeFiles/idlered_lp.dir/simplex.cpp.o.d"
+  "libidlered_lp.a"
+  "libidlered_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

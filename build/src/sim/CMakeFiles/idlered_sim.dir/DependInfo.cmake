@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/battery.cpp" "src/sim/CMakeFiles/idlered_sim.dir/battery.cpp.o" "gcc" "src/sim/CMakeFiles/idlered_sim.dir/battery.cpp.o.d"
+  "/root/repo/src/sim/controller.cpp" "src/sim/CMakeFiles/idlered_sim.dir/controller.cpp.o" "gcc" "src/sim/CMakeFiles/idlered_sim.dir/controller.cpp.o.d"
+  "/root/repo/src/sim/evaluator.cpp" "src/sim/CMakeFiles/idlered_sim.dir/evaluator.cpp.o" "gcc" "src/sim/CMakeFiles/idlered_sim.dir/evaluator.cpp.o.d"
+  "/root/repo/src/sim/fleet_eval.cpp" "src/sim/CMakeFiles/idlered_sim.dir/fleet_eval.cpp.o" "gcc" "src/sim/CMakeFiles/idlered_sim.dir/fleet_eval.cpp.o.d"
+  "/root/repo/src/sim/savings.cpp" "src/sim/CMakeFiles/idlered_sim.dir/savings.cpp.o" "gcc" "src/sim/CMakeFiles/idlered_sim.dir/savings.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/idlered_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/idlered_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idlered_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/idlered_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idlered_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idlered_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/idlered_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/idlered_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

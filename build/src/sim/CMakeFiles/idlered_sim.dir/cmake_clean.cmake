@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_sim.dir/battery.cpp.o"
+  "CMakeFiles/idlered_sim.dir/battery.cpp.o.d"
+  "CMakeFiles/idlered_sim.dir/controller.cpp.o"
+  "CMakeFiles/idlered_sim.dir/controller.cpp.o.d"
+  "CMakeFiles/idlered_sim.dir/evaluator.cpp.o"
+  "CMakeFiles/idlered_sim.dir/evaluator.cpp.o.d"
+  "CMakeFiles/idlered_sim.dir/fleet_eval.cpp.o"
+  "CMakeFiles/idlered_sim.dir/fleet_eval.cpp.o.d"
+  "CMakeFiles/idlered_sim.dir/savings.cpp.o"
+  "CMakeFiles/idlered_sim.dir/savings.cpp.o.d"
+  "CMakeFiles/idlered_sim.dir/trace.cpp.o"
+  "CMakeFiles/idlered_sim.dir/trace.cpp.o.d"
+  "libidlered_sim.a"
+  "libidlered_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/idlered_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/idlered_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/idlered_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/idlered_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/idlered_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/idlered_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/idlered_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/idlered_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/kaplan_meier.cpp" "src/stats/CMakeFiles/idlered_stats.dir/kaplan_meier.cpp.o" "gcc" "src/stats/CMakeFiles/idlered_stats.dir/kaplan_meier.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/idlered_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/idlered_stats.dir/ks_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/idlered_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/idlered_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/idlered_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/idlered_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/idlered_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/idlered_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/idlered_stats.dir/histogram.cpp.o"
+  "CMakeFiles/idlered_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/idlered_stats.dir/kaplan_meier.cpp.o"
+  "CMakeFiles/idlered_stats.dir/kaplan_meier.cpp.o.d"
+  "CMakeFiles/idlered_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/idlered_stats.dir/ks_test.cpp.o.d"
+  "libidlered_stats.a"
+  "libidlered_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_traces.dir/area_profiles.cpp.o"
+  "CMakeFiles/idlered_traces.dir/area_profiles.cpp.o.d"
+  "CMakeFiles/idlered_traces.dir/drive_cycles.cpp.o"
+  "CMakeFiles/idlered_traces.dir/drive_cycles.cpp.o.d"
+  "CMakeFiles/idlered_traces.dir/fleet_generator.cpp.o"
+  "CMakeFiles/idlered_traces.dir/fleet_generator.cpp.o.d"
+  "libidlered_traces.a"
+  "libidlered_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_traffic.dir/arterial.cpp.o"
+  "CMakeFiles/idlered_traffic.dir/arterial.cpp.o.d"
+  "CMakeFiles/idlered_traffic.dir/intersection.cpp.o"
+  "CMakeFiles/idlered_traffic.dir/intersection.cpp.o.d"
+  "CMakeFiles/idlered_traffic.dir/microsim.cpp.o"
+  "CMakeFiles/idlered_traffic.dir/microsim.cpp.o.d"
+  "libidlered_traffic.a"
+  "libidlered_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

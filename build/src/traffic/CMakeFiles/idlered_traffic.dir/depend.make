@@ -1,0 +1,2 @@
+# Empty dependencies file for idlered_traffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_util.dir/cli.cpp.o"
+  "CMakeFiles/idlered_util.dir/cli.cpp.o.d"
+  "CMakeFiles/idlered_util.dir/csv.cpp.o"
+  "CMakeFiles/idlered_util.dir/csv.cpp.o.d"
+  "CMakeFiles/idlered_util.dir/math.cpp.o"
+  "CMakeFiles/idlered_util.dir/math.cpp.o.d"
+  "CMakeFiles/idlered_util.dir/random.cpp.o"
+  "CMakeFiles/idlered_util.dir/random.cpp.o.d"
+  "CMakeFiles/idlered_util.dir/table.cpp.o"
+  "CMakeFiles/idlered_util.dir/table.cpp.o.d"
+  "libidlered_util.a"
+  "libidlered_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_adversary.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_adversary.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_average_case.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_average_case.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_metrics.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_metrics.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_minimax.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_minimax.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

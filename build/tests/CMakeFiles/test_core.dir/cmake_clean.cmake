@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_analytic.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_analytic.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_costs.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_costs.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_crand.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_crand.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_decision_distribution.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_decision_distribution.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_estimator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_estimator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multislope.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multislope.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_policies.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_policies.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_proposed.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_proposed.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_region.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_region.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_solver_lp.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_solver_lp.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel.dir/costmodel/test_costmodel.cpp.o"
+  "CMakeFiles/test_costmodel.dir/costmodel/test_costmodel.cpp.o.d"
+  "test_costmodel"
+  "test_costmodel.pdb"
+  "test_costmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

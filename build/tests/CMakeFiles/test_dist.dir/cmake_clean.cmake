@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist.dir/dist/test_adaptors.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_adaptors.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_empirical.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_empirical.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_mixture.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_mixture.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_parametric.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_parametric.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_quantile.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_quantile.cpp.o.d"
+  "CMakeFiles/test_dist.dir/dist/test_short_stop_stats.cpp.o"
+  "CMakeFiles/test_dist.dir/dist/test_short_stop_stats.cpp.o.d"
+  "test_dist"
+  "test_dist.pdb"
+  "test_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_battery.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_battery.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_controller.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_controller.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_evaluator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_fleet_eval.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_fleet_eval.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_savings.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_savings.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_ecdf.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_ecdf.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_kaplan_meier.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_kaplan_meier.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_ks.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_ks.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

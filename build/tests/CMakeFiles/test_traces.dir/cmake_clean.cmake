@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traces.dir/traces/test_drive_cycles.cpp.o"
+  "CMakeFiles/test_traces.dir/traces/test_drive_cycles.cpp.o.d"
+  "CMakeFiles/test_traces.dir/traces/test_fleet_generator.cpp.o"
+  "CMakeFiles/test_traces.dir/traces/test_fleet_generator.cpp.o.d"
+  "test_traces"
+  "test_traces.pdb"
+  "test_traces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_math.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_math.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_random.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_random.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlered_cli.dir/idlered_cli.cpp.o"
+  "CMakeFiles/idlered_cli.dir/idlered_cli.cpp.o.d"
+  "idlered_cli"
+  "idlered_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlered_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
