@@ -1,0 +1,272 @@
+// Fault-sweep robustness bench: achieved CR vs fault rate for the guarded
+// (robust-mode) AdaptiveController against the unguarded legacy path.
+//
+// Every stop is pushed through a seed-driven robust::FaultInjector; costs
+// are always charged against the TRUE stop lengths while the controller
+// only ever sees the corrupted readings — the separation a real vehicle
+// lives with. Four views:
+//
+//   1. mixed-fault rate sweep      — the unguarded path aborts on the first
+//      NaN/negative glitch; the guarded path walks the fallback ladder and
+//      keeps a finite, bounded CR at every rate.
+//   2. actuation-severity sweep    — no sensor glitches at all; the
+//      unguarded CR grows without bound in the cranking cost while the
+//      guarded controller latches NEV once the starter looks unreliable.
+//   3. per-fault-type ablation     — which rung absorbs which fault.
+//   4. weak-battery scenario       — the SOC guard forces NEV at the floor
+//      instead of stranding the vehicle.
+//
+// All schedules are reproducible from the single seed below (the
+// determinism line re-derives one schedule and compares element-wise).
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <vector>
+
+#include "dist/parametric.h"
+#include "robust/fault_model.h"
+#include "sim/controller.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+
+constexpr double kB = 28.0;
+constexpr std::uint64_t kSeed = 20140601;  // DAC'14 conference date
+constexpr std::size_t kStops = 20000;
+
+struct RunResult {
+  bool aborted = false;
+  std::size_t abort_stop = 0;
+  double cr = 0.0;
+  double mode_frac[4] = {0, 0, 0, 0};  ///< robust::ControllerMode order
+  robust::ControllerMode final_mode = robust::ControllerMode::kNRand;
+  robust::HealthState final_health = robust::HealthState::kHealthy;
+  double anomaly_rate = 0.0;
+  std::size_t rejected = 0;
+  std::size_t soc_floor_hits = 0;  ///< stops started below the SOC floor
+  double final_soc = 1.0;
+};
+
+RunResult run_stream(const std::vector<double>& stops,
+                     const robust::FaultProfile& profile, bool guarded,
+                     std::optional<sim::BatteryModel> battery = {},
+                     double drive_s_per_stop = 0.0) {
+  sim::AdaptiveController::Config cfg;
+  cfg.break_even = kB;
+  cfg.warmup_stops = 30;
+  cfg.decay_lambda = 0.995;
+  cfg.robust.enabled = guarded;
+  cfg.battery = battery;
+  sim::AdaptiveController ctl(cfg);
+  robust::FaultInjector injector(profile, kSeed);
+  util::Rng rng(kSeed + 1);
+
+  RunResult r;
+  std::size_t processed = 0;
+  for (double y : stops) {
+    const auto reading = injector.corrupt(y);
+    r.mode_frac[static_cast<int>(ctl.mode())] += 1.0;
+    if (battery && ctl.soc() < battery->min_soc) ++r.soc_floor_hits;
+    try {
+      ctl.process_stop_faulted(y, reading, rng);
+    } catch (const std::exception&) {
+      r.aborted = true;
+      r.abort_stop = processed;
+      break;
+    }
+    if (drive_s_per_stop > 0.0) ctl.note_drive(drive_s_per_stop);
+    ++processed;
+  }
+  for (double& f : r.mode_frac) f /= static_cast<double>(stops.size());
+  r.cr = ctl.totals().cr();
+  r.final_mode = ctl.mode();
+  r.final_health = ctl.health();
+  r.anomaly_rate = ctl.health_monitor().anomaly_rate();
+  r.rejected = ctl.guard_counts().anomalies();
+  r.final_soc = ctl.soc();
+  return r;
+}
+
+std::string cr_cell(const RunResult& r) {
+  if (r.aborted)
+    return "ABORT@" + std::to_string(r.abort_stop) + " (threw)";
+  if (!std::isfinite(r.cr)) return "unbounded";
+  return util::fmt(r.cr, 3);
+}
+
+std::vector<double> urban_stops() {
+  // Urban arterial mix: lognormal body, mean ~13.5 s, ~10% of stops at or
+  // beyond B = 28 s — every strategy region is in play.
+  dist::LogNormal law(2.2, 0.9);
+  util::Rng rng(kSeed + 2);
+  return law.sample_many(rng, kStops);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", util::banner("Robustness: fault-sweep of the adaptive "
+                                 "stop-start controller (B = 28 s)")
+                        .c_str());
+
+  const auto stops = urban_stops();
+  const double clean_cr =
+      run_stream(stops, robust::FaultProfile{}, /*guarded=*/false).cr;
+  std::printf("workload: %zu lognormal(2.2, 0.9) stops | fault-free "
+              "adaptive CR = %.3f\n\n",
+              stops.size(), clean_cr);
+
+  std::printf("--- 1. mixed-fault rate sweep (noise + quantization + stuck "
+              "+ drop + NaN + negative + delay + restart faults) ---\n");
+  util::Table t1({"fault rate", "unguarded CR", "guarded CR", "final mode",
+                  "health", "rejected", "NEV%"});
+  for (double rate : {0.0, 0.05, 0.10, 0.20, 0.40, 0.80}) {
+    const auto profile = robust::FaultProfile::scaled(rate);
+    const auto raw = run_stream(stops, profile, /*guarded=*/false);
+    const auto grd = run_stream(stops, profile, /*guarded=*/true);
+    t1.add_row({util::fmt(rate, 2), cr_cell(raw), cr_cell(grd),
+                robust::to_string(grd.final_mode),
+                robust::to_string(grd.final_health),
+                std::to_string(grd.rejected),
+                util::fmt(100.0 * grd.mode_frac[3], 1)});
+  }
+  std::printf("%s\n", t1.str().c_str());
+
+  std::printf("--- 2. actuation-severity sweep (50%% of engine-offs hit a "
+              "failing starter; no sensor glitches) ---\n");
+  util::Table t2({"delay (s)", "cranks", "unguarded CR", "guarded CR",
+                  "guarded final mode"});
+  for (int sev : {0, 1, 2, 4, 8}) {
+    robust::FaultProfile p;
+    if (sev > 0) {
+      p.actuation_delay_prob = 0.5;
+      p.actuation_delay_s = 4.0 * sev;
+      p.restart_failure_prob = 0.5;
+      p.restart_failure_attempts = 1 + 3 * sev;
+    }
+    const auto raw = run_stream(stops, p, /*guarded=*/false);
+    const auto grd = run_stream(stops, p, /*guarded=*/true);
+    t2.add_row({util::fmt(p.actuation_delay_s * (sev > 0), 0),
+                std::to_string(sev > 0 ? p.restart_failure_attempts : 1),
+                cr_cell(raw), cr_cell(grd),
+                robust::to_string(grd.final_mode)});
+  }
+  std::printf("%s\n", t2.str().c_str());
+
+  std::printf("--- 3. per-fault-type ablation (one fault kind at a time, "
+              "~15%% of stops) ---\n");
+  struct Case {
+    const char* name;
+    robust::FaultProfile p;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"additive noise (sd 10 s)", {}};
+    c.p.additive_noise_prob = 0.15;
+    c.p.additive_noise_sd_s = 10.0;
+    cases.push_back(c);
+    c = {"multiplicative (sd 0.5)", {}};
+    c.p.multiplicative_noise_prob = 0.15;
+    c.p.multiplicative_noise_sd = 0.5;
+    cases.push_back(c);
+    c = {"quantization (15 s grid)", {}};
+    c.p.quantization_prob = 0.15;
+    c.p.quantization_step_s = 15.0;
+    cases.push_back(c);
+    c = {"stuck sensor (long runs)", {}};
+    c.p.stuck_prob = 0.03;
+    c.p.stuck_release_prob = 0.05;
+    cases.push_back(c);
+    c = {"dropped readings", {}};
+    c.p.drop_prob = 0.15;
+    cases.push_back(c);
+    c = {"NaN glitches", {}};
+    c.p.nan_prob = 0.15;
+    cases.push_back(c);
+    c = {"negative glitches", {}};
+    c.p.negative_prob = 0.15;
+    cases.push_back(c);
+    c = {"actuation delay (8 s)", {}};
+    c.p.actuation_delay_prob = 0.15;
+    c.p.actuation_delay_s = 8.0;
+    cases.push_back(c);
+    c = {"restart failure (x4)", {}};
+    c.p.restart_failure_prob = 0.15;
+    c.p.restart_failure_attempts = 4;
+    cases.push_back(c);
+  }
+  util::Table t3({"fault", "unguarded CR", "guarded CR", "final mode",
+                  "anomaly rate"});
+  for (const auto& c : cases) {
+    const auto raw = run_stream(stops, c.p, /*guarded=*/false);
+    const auto grd = run_stream(stops, c.p, /*guarded=*/true);
+    t3.add_row({c.name, cr_cell(raw), cr_cell(grd),
+                robust::to_string(grd.final_mode),
+                util::fmt(grd.anomaly_rate, 3)});
+  }
+  std::printf("%s\n", t3.str().c_str());
+
+  std::printf("--- 4. weak battery in jammed traffic (40 Wh window, 800 W "
+              "house load, 20 s drives): SOC guard ---\n");
+  // Exponential(60 s) stops: engine-off time far exceeds the recharge
+  // window, so a controller that ignores the battery drains it flat.
+  std::vector<double> jam;
+  {
+    dist::Exponential law(60.0);
+    util::Rng rng(kSeed + 3);
+    jam = law.sample_many(rng, 10000);
+  }
+  sim::BatteryModel weak;
+  weak.capacity_wh = 40.0;
+  weak.accessory_draw_w = 800.0;
+  weak.recharge_w = 600.0;
+  weak.min_soc = 0.30;
+  weak.initial_soc = 0.60;
+  util::Table t4({"controller", "CR", "stops below SOC floor", "NEV%",
+                  "final SOC"});
+  for (bool guarded : {false, true}) {
+    const auto r = run_stream(jam, robust::FaultProfile{}, guarded, weak,
+                              /*drive_s_per_stop=*/20.0);
+    t4.add_row({guarded ? "guarded (SOC ladder)" : "unguarded",
+                cr_cell(r), std::to_string(r.soc_floor_hits),
+                util::fmt(100.0 * r.mode_frac[3], 1), util::fmt(r.final_soc, 2)});
+  }
+  std::printf("%s\n", t4.str().c_str());
+
+  // Reproducibility: the same seed must yield the identical fault schedule.
+  {
+    const auto p = robust::FaultProfile::scaled(0.3);
+    robust::FaultInjector a(p, kSeed), b(p, kSeed);
+    const auto sa = a.corrupt_stream(stops);
+    const auto sb = b.corrupt_stream(stops);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      const bool same =
+          sa[i].fault == sb[i].fault && sa[i].dropped == sb[i].dropped &&
+          sa[i].restart_attempts == sb[i].restart_attempts &&
+          sa[i].actuation_delay_s == sb[i].actuation_delay_s &&
+          (sa[i].value == sb[i].value ||
+           (std::isnan(sa[i].value) && std::isnan(sb[i].value)));
+      if (!same) ++mismatches;
+    }
+    std::printf("determinism: %zu faulted stops, %zu mismatches between two "
+                "same-seed schedules (%s)\n\n",
+                a.faulted_stops(), mismatches,
+                mismatches == 0 ? "reproducible" : "NOT REPRODUCIBLE");
+  }
+
+  std::printf(
+      "Reading: the unguarded controller throws on the first NaN/negative "
+      "glitch and its CR grows without bound in the actuation-fault "
+      "severity; the guarded controller filters garbage readings, demotes "
+      "itself down the COA -> DET -> N-Rand -> NEV ladder as health "
+      "degrades, and keeps a finite bounded CR at every fault rate. With a "
+      "weak battery the unguarded controller drains the pack flat while the "
+      "SOC rung holds the charge near the floor, trading CR for never "
+      "stranding the vehicle.\n");
+  return 0;
+}

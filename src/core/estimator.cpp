@@ -1,5 +1,6 @@
 #include "core/estimator.h"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -12,8 +13,9 @@ StatsEstimator::StatsEstimator(double break_even) : break_even_(break_even) {
 }
 
 void StatsEstimator::observe(double stop_length) {
-  if (stop_length < 0.0)
-    throw std::invalid_argument("StatsEstimator: stop length must be >= 0");
+  if (!std::isfinite(stop_length) || stop_length < 0.0)
+    throw std::invalid_argument(
+        "StatsEstimator: stop length must be finite and >= 0");
   ++n_;
   if (stop_length >= break_even_) {
     ++long_count_;
@@ -40,9 +42,9 @@ DecayingStatsEstimator::DecayingStatsEstimator(double break_even,
 }
 
 void DecayingStatsEstimator::observe(double stop_length) {
-  if (stop_length < 0.0)
+  if (!std::isfinite(stop_length) || stop_length < 0.0)
     throw std::invalid_argument(
-        "DecayingStatsEstimator: stop length must be >= 0");
+        "DecayingStatsEstimator: stop length must be finite and >= 0");
   weight_ = lambda_ * weight_ + 1.0;
   short_sum_ *= lambda_;
   long_weight_ *= lambda_;

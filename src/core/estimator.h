@@ -24,6 +24,9 @@ class StatsEstimator {
  public:
   explicit StatsEstimator(double break_even);
 
+  /// Folds one stop into the estimate; throws std::invalid_argument unless
+  /// stop_length is finite and >= 0 (see robust::GuardedEstimator for a
+  /// never-throwing front end).
   void observe(double stop_length);
 
   std::size_t count() const { return n_; }
@@ -48,6 +51,8 @@ class DecayingStatsEstimator {
  public:
   DecayingStatsEstimator(double break_even, double lambda);
 
+  /// Folds one stop into the estimate; throws std::invalid_argument unless
+  /// stop_length is finite and >= 0.
   void observe(double stop_length);
 
   bool has_observations() const { return weight_ > 0.0; }

@@ -30,6 +30,11 @@
 #include "dist/mixture.h"              // IWYU pragma: export
 #include "dist/parametric.h"           // IWYU pragma: export
 #include "lp/simplex.h"                // IWYU pragma: export
+#include "robust/fallback.h"           // IWYU pragma: export
+#include "robust/fault_model.h"        // IWYU pragma: export
+#include "robust/guarded_estimator.h"  // IWYU pragma: export
+#include "robust/health_monitor.h"     // IWYU pragma: export
+#include "robust/input_guard.h"        // IWYU pragma: export
 #include "sim/battery.h"               // IWYU pragma: export
 #include "sim/controller.h"            // IWYU pragma: export
 #include "sim/evaluator.h"             // IWYU pragma: export

@@ -1,0 +1,36 @@
+#include "robust/fallback.h"
+
+#include <stdexcept>
+
+namespace idlered::robust {
+
+std::string to_string(ControllerMode mode) {
+  switch (mode) {
+    case ControllerMode::kProposed: return "COA";
+    case ControllerMode::kDet: return "DET";
+    case ControllerMode::kNRand: return "N-Rand";
+    case ControllerMode::kNev: return "NEV";
+  }
+  return "unknown";
+}
+
+ControllerMode select_mode(const LadderInputs& in) {
+  if (in.soc_low || in.actuator_suspect) return ControllerMode::kNev;
+  switch (in.health) {
+    case HealthState::kCritical: return ControllerMode::kNRand;
+    case HealthState::kDegraded: return ControllerMode::kDet;
+    case HealthState::kHealthy:
+      return in.warmed_up ? ControllerMode::kProposed : ControllerMode::kNRand;
+  }
+  return ControllerMode::kNRand;
+}
+
+void RobustConfig::validate() const {
+  guard.validate();
+  health.validate();
+  if (!(soc_resume_margin >= 0.0) || soc_resume_margin > 1.0)
+    throw std::invalid_argument(
+        "RobustConfig: soc_resume_margin must be in [0, 1]");
+}
+
+}  // namespace idlered::robust

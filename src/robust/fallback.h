@@ -1,0 +1,62 @@
+// The degraded-mode fallback ladder.
+//
+// Each rung needs strictly less of the system to be trustworthy than the
+// one above it, and each keeps a provable guarantee:
+//
+//   kProposed  COA on the learned (mu_B-, q_B+) — needs trustworthy
+//              statistics; best CR when the side information is right.
+//   kDet       wait exactly B — needs only the break-even interval;
+//              2-competitive on EVERY individual stop, no statistics, no
+//              randomness, fully predictable under a suspect sensor.
+//   kNRand     Karlin's randomized rule — distribution-free e/(e-1)
+//              expected guarantee; the best possible when the sensor is so
+//              corrupted that even "statistics look suspicious" can no
+//              longer be judged.
+//   kNev       never shut the engine off — needs nothing, performs no
+//              restarts; the only safe rung when the battery is below its
+//              floor or the starter itself is failing.
+//
+// select_mode is a pure function of the inputs; all hysteresis lives in
+// the HealthMonitor and the controller's SOC latch, so the ladder itself
+// can be tested exhaustively.
+#pragma once
+
+#include <string>
+
+#include "robust/health_monitor.h"
+#include "robust/input_guard.h"
+
+namespace idlered::robust {
+
+enum class ControllerMode { kProposed = 0, kDet, kNRand, kNev };
+
+std::string to_string(ControllerMode mode);
+
+/// Everything the ladder looks at, pre-digested (hysteresis applied).
+struct LadderInputs {
+  HealthState health = HealthState::kHealthy;
+  bool actuator_suspect = false;  ///< restart-failure rate above its band
+  bool soc_low = false;           ///< battery below floor (latched)
+  bool warmed_up = false;         ///< enough *accepted* observations
+};
+
+/// The ladder:  soc_low/actuator_suspect -> NEV;  critical -> N-Rand;
+/// degraded -> DET;  healthy -> Proposed once warmed up, else N-Rand.
+ControllerMode select_mode(const LadderInputs& in);
+
+/// Knobs of the robust path of sim::AdaptiveController. Disabled by
+/// default: an AdaptiveController without robustness enabled behaves
+/// exactly as the original (strict estimator, COA after warm-up).
+struct RobustConfig {
+  bool enabled = false;
+  GuardConfig guard;
+  HealthConfig health;
+  /// SOC must recover to min_soc + resume_margin before leaving NEV
+  /// (hysteresis so a battery hovering at the floor does not flap).
+  double soc_resume_margin = 0.05;
+
+  /// Throws std::invalid_argument on invalid sub-configs or margin.
+  void validate() const;
+};
+
+}  // namespace idlered::robust

@@ -1,0 +1,156 @@
+#include "robust/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace idlered::robust {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kAdditiveNoise: return "additive-noise";
+    case FaultKind::kMultiplicativeNoise: return "multiplicative-noise";
+    case FaultKind::kQuantization: return "quantization";
+    case FaultKind::kStuckAt: return "stuck-at";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kNanGlitch: return "nan-glitch";
+    case FaultKind::kNegativeGlitch: return "negative-glitch";
+    case FaultKind::kActuationDelay: return "actuation-delay";
+    case FaultKind::kRestartFailure: return "restart-failure";
+  }
+  return "unknown";
+}
+
+FaultProfile FaultProfile::scaled(double rate) {
+  if (!(rate >= 0.0) || rate > 1.0)
+    throw std::invalid_argument("FaultProfile: rate must be in [0, 1]");
+  FaultProfile p;
+  p.additive_noise_prob = 0.20 * rate;
+  p.multiplicative_noise_prob = 0.10 * rate;
+  p.quantization_prob = 0.10 * rate;
+  p.stuck_prob = 0.10 * rate;
+  p.drop_prob = 0.10 * rate;
+  p.nan_prob = 0.20 * rate;
+  p.negative_prob = 0.20 * rate;
+  p.actuation_delay_prob = 0.5 * rate;
+  p.restart_failure_prob = 0.25 * rate;
+  return p;
+}
+
+void FaultProfile::validate() const {
+  const double probs[] = {additive_noise_prob, multiplicative_noise_prob,
+                          quantization_prob,   stuck_prob,
+                          stuck_release_prob,  drop_prob,
+                          nan_prob,            negative_prob,
+                          actuation_delay_prob, restart_failure_prob};
+  for (double p : probs)
+    if (!(p >= 0.0) || p > 1.0)
+      throw std::invalid_argument(
+          "FaultProfile: probabilities must be in [0, 1]");
+  const double mass = additive_noise_prob + multiplicative_noise_prob +
+                      quantization_prob + stuck_prob + drop_prob + nan_prob +
+                      negative_prob;
+  if (mass > 1.0 + 1e-12)
+    throw std::invalid_argument(
+        "FaultProfile: measurement-fault probabilities must sum to <= 1");
+  if (!(additive_noise_sd_s >= 0.0) || !(multiplicative_noise_sd >= 0.0) ||
+      !(quantization_step_s > 0.0) || !(actuation_delay_s >= 0.0))
+    throw std::invalid_argument(
+        "FaultProfile: severities must be nonnegative (quantization step "
+        "> 0)");
+  if (restart_failure_attempts < 1)
+    throw std::invalid_argument(
+        "FaultProfile: restart_failure_attempts must be >= 1");
+}
+
+FaultInjector::FaultInjector(const FaultProfile& profile, std::uint64_t seed)
+    : profile_(profile), root_(seed) {
+  profile_.validate();
+}
+
+SensorReading FaultInjector::corrupt(double true_length) {
+  // Per-index child stream: the draws for stop i never depend on how many
+  // draws stop i-1 consumed, so schedules are stable under profile edits.
+  util::Rng rng = root_.fork(index_);
+  ++index_;
+
+  SensorReading r;
+  r.value = true_length;
+
+  // Stuck state resolves first: while stuck, the sensor repeats the held
+  // value no matter what the vehicle does.
+  if (stuck_) {
+    if (rng.bernoulli(profile_.stuck_release_prob)) {
+      stuck_ = false;
+    } else {
+      r.value = stuck_value_;
+      r.fault = FaultKind::kStuckAt;
+    }
+  }
+
+  if (r.fault == FaultKind::kNone) {
+    // One categorical draw selects at most one measurement fault.
+    double u = rng.uniform();
+    const auto take = [&u](double p) {
+      if (u < p) return true;
+      u -= p;
+      return false;
+    };
+    if (take(profile_.additive_noise_prob)) {
+      r.fault = FaultKind::kAdditiveNoise;
+      r.value = std::max(0.0, true_length +
+                                  rng.normal(0.0, profile_.additive_noise_sd_s));
+    } else if (take(profile_.multiplicative_noise_prob)) {
+      r.fault = FaultKind::kMultiplicativeNoise;
+      r.value = true_length *
+                std::max(0.0, 1.0 + rng.normal(0.0,
+                                               profile_.multiplicative_noise_sd));
+    } else if (take(profile_.quantization_prob)) {
+      r.fault = FaultKind::kQuantization;
+      r.value = std::round(true_length / profile_.quantization_step_s) *
+                profile_.quantization_step_s;
+    } else if (take(profile_.stuck_prob)) {
+      r.fault = FaultKind::kStuckAt;
+      stuck_ = true;
+      stuck_value_ = true_length;  // the sensor freezes on this reading
+    } else if (take(profile_.drop_prob)) {
+      r.fault = FaultKind::kDrop;
+      r.dropped = true;
+    } else if (take(profile_.nan_prob)) {
+      r.fault = FaultKind::kNanGlitch;
+      r.value = std::numeric_limits<double>::quiet_NaN();
+    } else if (take(profile_.negative_prob)) {
+      r.fault = FaultKind::kNegativeGlitch;
+      r.value = -(1.0 + true_length);
+    }
+  }
+
+  if (rng.bernoulli(profile_.actuation_delay_prob)) {
+    r.actuation_delay_s = profile_.actuation_delay_s;
+  }
+  if (rng.bernoulli(profile_.restart_failure_prob)) {
+    r.restart_attempts = profile_.restart_failure_attempts;
+  }
+
+  ++counts_[static_cast<std::size_t>(r.fault)];
+  if (r.actuation_delay_s > 0.0)
+    ++counts_[static_cast<std::size_t>(FaultKind::kActuationDelay)];
+  if (r.restart_attempts > 1)
+    ++counts_[static_cast<std::size_t>(FaultKind::kRestartFailure)];
+  if (r.fault != FaultKind::kNone || r.actuation_delay_s > 0.0 ||
+      r.restart_attempts > 1)
+    ++faulted_stops_;
+  return r;
+}
+
+std::vector<SensorReading> FaultInjector::corrupt_stream(
+    const std::vector<double>& stops) {
+  std::vector<SensorReading> out;
+  out.reserve(stops.size());
+  for (double y : stops) out.push_back(corrupt(y));
+  return out;
+}
+
+}  // namespace idlered::robust

@@ -1,0 +1,129 @@
+// Deterministic fault injection for the stop-start sensing/actuation path.
+//
+// The paper's guarantees assume the controller sees the true stop lengths
+// and that engine-off / restart commands execute perfectly. A deployed
+// system does not: the stop-length signal is derived from noisy wheel-speed
+// and GPS data, CAN frames get dropped or stuck, and the starter can need
+// several cranking attempts. This module wraps any stop stream with a
+// seed-driven fault schedule so the robustness of the whole online pipeline
+// (estimator -> strategy selection -> actuation) can be measured, not
+// guessed. The same seed always yields the identical fault sequence, so
+// every experiment in bench_robustness_faults is reproducible bit-for-bit.
+//
+// Fault taxonomy (one measurement fault at most per stop, drawn by a single
+// categorical draw; actuation faults are drawn independently):
+//
+//   measurement: additive noise, multiplicative noise, quantization,
+//                stuck-at (held reading with geometric release), dropped
+//                reading, NaN glitch, negative glitch
+//   actuation:   delayed engine-off (extra idle before shut-off takes
+//                effect), restart failure (cranking cost paid k times)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace idlered::robust {
+
+enum class FaultKind {
+  kNone = 0,
+  kAdditiveNoise,
+  kMultiplicativeNoise,
+  kQuantization,
+  kStuckAt,
+  kDrop,
+  kNanGlitch,
+  kNegativeGlitch,
+  kActuationDelay,
+  kRestartFailure,
+};
+
+inline constexpr std::size_t kNumFaultKinds = 10;
+
+std::string to_string(FaultKind kind);
+
+/// Per-stop fault probabilities and severities. The measurement-fault
+/// probabilities are mutually exclusive (their sum must be <= 1); the two
+/// actuation faults are drawn independently of the measurement fault.
+struct FaultProfile {
+  // Measurement faults.
+  double additive_noise_prob = 0.0;
+  double additive_noise_sd_s = 5.0;  ///< stddev of the added Gaussian, s
+  double multiplicative_noise_prob = 0.0;
+  double multiplicative_noise_sd = 0.25;  ///< relative scale error stddev
+  double quantization_prob = 0.0;
+  double quantization_step_s = 10.0;  ///< coarse-sensor rounding grid
+  double stuck_prob = 0.0;            ///< per-stop chance of entering stuck
+  double stuck_release_prob = 0.25;   ///< per-stop chance of leaving stuck
+  double drop_prob = 0.0;             ///< reading lost entirely
+  double nan_prob = 0.0;              ///< NaN glitch on the CAN bus
+  double negative_prob = 0.0;         ///< sign/underflow glitch
+
+  // Actuation faults.
+  double actuation_delay_prob = 0.0;
+  double actuation_delay_s = 4.0;    ///< extra idle before engine-off
+  double restart_failure_prob = 0.0;
+  int restart_failure_attempts = 3;  ///< total cranks when a restart fails
+
+  /// The canonical mixed profile used by the fault-sweep bench: an overall
+  /// per-stop measurement-fault rate `rate` split across the taxonomy
+  /// (20% additive, 10% multiplicative, 10% quantization, 10% stuck,
+  /// 10% drop, 20% NaN, 20% negative) plus actuation faults at rate/2
+  /// (delay) and rate/4 (restart failure).
+  static FaultProfile scaled(double rate);
+
+  /// Throws std::invalid_argument on negative rates/severities or a
+  /// measurement-fault probability mass exceeding 1.
+  void validate() const;
+};
+
+/// What the injector hands the controller for one stop. `value` is the
+/// corrupted measurement (meaningless when `dropped`); the actuation fields
+/// apply to this stop's engine-off decision regardless of the measurement.
+struct SensorReading {
+  double value = 0.0;
+  bool dropped = false;
+  double actuation_delay_s = 0.0;  ///< 0 when the actuator responded in time
+  int restart_attempts = 1;        ///< restart cost is paid this many times
+  FaultKind fault = FaultKind::kNone;  ///< the measurement fault applied
+};
+
+/// Seed-driven fault schedule over a stop stream. Each stop draws from a
+/// per-index forked RNG stream, so the fault hitting stop i is a pure
+/// function of (profile, seed, i, true length, stuck state) — independent
+/// of how many random numbers earlier faults consumed.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultProfile& profile, std::uint64_t seed);
+
+  /// Corrupt one true stop length into what the sensor reports.
+  SensorReading corrupt(double true_length);
+
+  /// Apply the schedule to a whole stream (index-aligned with the input).
+  std::vector<SensorReading> corrupt_stream(const std::vector<double>& stops);
+
+  std::size_t stops_processed() const { return index_; }
+  std::size_t count(FaultKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  /// Total stops that suffered at least one fault of any kind.
+  std::size_t faulted_stops() const { return faulted_stops_; }
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  FaultProfile profile_;
+  util::Rng root_;
+  std::size_t index_ = 0;
+  bool stuck_ = false;
+  double stuck_value_ = 0.0;
+  std::size_t faulted_stops_ = 0;
+  std::array<std::size_t, kNumFaultKinds> counts_{};
+};
+
+}  // namespace idlered::robust

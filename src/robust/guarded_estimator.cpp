@@ -1,0 +1,21 @@
+#include "robust/guarded_estimator.h"
+
+namespace idlered::robust {
+
+GuardedEstimator::GuardedEstimator(double break_even, double lambda,
+                                   const GuardConfig& guard)
+    : guard_(guard), estimator_(break_even, lambda) {}
+
+Verdict GuardedEstimator::observe(double reading) {
+  const Verdict v = guard_.admit(reading);
+  if (v == Verdict::kAccept) estimator_.observe(reading);
+  return v;
+}
+
+dist::ShortStopStats GuardedEstimator::stats_or(
+    const dist::ShortStopStats& fallback) const {
+  if (!ready()) return fallback;
+  return estimator_.stats();
+}
+
+}  // namespace idlered::robust

@@ -1,0 +1,55 @@
+// A DecayingStatsEstimator behind an InputGuard: the never-throwing
+// observation path a deployed controller needs.
+//
+// Raw estimators throw on invalid input and on stats() before the first
+// observation; both behaviours are correct for direct library users and
+// lethal inside a control loop fed by a real sensor. The GuardedEstimator
+// filters every reading through the guard, only forwards accepted ones,
+// and exposes a total stats accessor (stats_or) that can never throw —
+// closing the pre-observation std::logic_error path that was reachable
+// through the controller.
+#pragma once
+
+#include <cstddef>
+
+#include "core/estimator.h"
+#include "robust/input_guard.h"
+
+namespace idlered::robust {
+
+class GuardedEstimator {
+ public:
+  /// `lambda` as in DecayingStatsEstimator (1 = full history).
+  GuardedEstimator(double break_even, double lambda,
+                   const GuardConfig& guard = {});
+
+  /// Filter one raw reading; accepted readings update the estimator.
+  /// Never throws on any double value (NaN, Inf, negative, ...).
+  Verdict observe(double reading);
+
+  /// Record a reading that never arrived.
+  void note_drop() { guard_.note_drop(); }
+
+  /// True once at least one reading has been accepted.
+  bool ready() const { return estimator_.has_observations(); }
+
+  /// Number of readings the guard accepted so far.
+  std::size_t accepted() const { return guard_.counts().accepted; }
+
+  /// Estimate from the accepted readings; throws std::logic_error before
+  /// the first acceptance (mirrors the raw estimator).
+  dist::ShortStopStats stats() const { return estimator_.stats(); }
+
+  /// Total variant: `fallback` before the first accepted reading.
+  dist::ShortStopStats stats_or(const dist::ShortStopStats& fallback) const;
+
+  const InputGuard& guard() const { return guard_; }
+  const core::DecayingStatsEstimator& estimator() const { return estimator_; }
+  double break_even() const { return estimator_.break_even(); }
+
+ private:
+  InputGuard guard_;
+  core::DecayingStatsEstimator estimator_;
+};
+
+}  // namespace idlered::robust

@@ -1,0 +1,89 @@
+#include "robust/health_monitor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/analytic.h"
+
+namespace idlered::robust {
+
+std::string to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+void HealthConfig::validate() const {
+  const double rates[] = {ewma_alpha,     degraded_enter, degraded_exit,
+                          critical_enter, critical_exit,  actuator_enter,
+                          actuator_exit};
+  for (double r : rates)
+    if (!(r > 0.0) || r > 1.0)
+      throw std::invalid_argument("HealthConfig: rates must be in (0, 1]");
+  if (degraded_exit >= degraded_enter || critical_exit >= critical_enter ||
+      actuator_exit >= actuator_enter)
+    throw std::invalid_argument(
+        "HealthConfig: each exit threshold must lie below its enter "
+        "threshold (hysteresis band)");
+  if (degraded_enter >= critical_enter)
+    throw std::invalid_argument(
+        "HealthConfig: degraded_enter must lie below critical_enter");
+  if (!(b_det_margin > 0.0) || b_det_margin > 1.0)
+    throw std::invalid_argument("HealthConfig: b_det_margin must be in (0, 1]");
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {
+  config_.validate();
+}
+
+void HealthMonitor::record_observation(bool anomalous) {
+  anomaly_rate_ = (1.0 - config_.ewma_alpha) * anomaly_rate_ +
+                  config_.ewma_alpha * (anomalous ? 1.0 : 0.0);
+  // Two-threshold state machine; one level of movement per observation so a
+  // single outlier never jumps Healthy -> Critical.
+  switch (state_) {
+    case HealthState::kHealthy:
+      if (anomaly_rate_ > config_.degraded_enter)
+        state_ = HealthState::kDegraded;
+      break;
+    case HealthState::kDegraded:
+      if (anomaly_rate_ > config_.critical_enter)
+        state_ = HealthState::kCritical;
+      else if (anomaly_rate_ < config_.degraded_exit)
+        state_ = HealthState::kHealthy;
+      break;
+    case HealthState::kCritical:
+      if (anomaly_rate_ < config_.critical_exit)
+        state_ = HealthState::kDegraded;
+      break;
+  }
+}
+
+void HealthMonitor::record_restart(bool clean) {
+  restart_failure_rate_ = (1.0 - config_.ewma_alpha) * restart_failure_rate_ +
+                          config_.ewma_alpha * (clean ? 0.0 : 1.0);
+  if (actuator_suspect_) {
+    if (restart_failure_rate_ < config_.actuator_exit)
+      actuator_suspect_ = false;
+  } else if (restart_failure_rate_ > config_.actuator_enter) {
+    actuator_suspect_ = true;
+  }
+}
+
+bool trust_b_det(const dist::ShortStopStats& stats, double break_even,
+                 double margin) {
+  if (!(margin > 0.0) || margin > 1.0)
+    throw std::invalid_argument("trust_b_det: margin must be in (0, 1]");
+  const double q = stats.q_b_plus;
+  if (q <= 0.0 || q >= 1.0) return false;  // b* undefined at the extremes
+  const double lhs = stats.mu_b_minus / break_even;
+  const double rhs = margin * (1.0 - q) * (1.0 - q) / q;
+  if (!(lhs < rhs)) return false;
+  const double b_star = core::b_det_optimal_threshold(stats, break_even);
+  return b_star > 0.0 && b_star < break_even;
+}
+
+}  // namespace idlered::robust

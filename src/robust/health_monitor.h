@@ -1,0 +1,87 @@
+// Smoothed sensor/actuator health with hysteresis.
+//
+// The InputGuard classifies individual readings; this module turns the
+// stream of verdicts into a *state* the fallback ladder can act on without
+// flapping. Two exponentially-weighted rates are tracked:
+//
+//   * anomaly rate   — fraction of recent readings the guard rejected
+//                      (plus dropped readings);
+//   * restart-failure rate — fraction of recent engine restarts that needed
+//                      more than one cranking attempt.
+//
+// Each rate drives a two-threshold (enter high / exit low) hysteresis band,
+// so a rate hovering between the thresholds never toggles the state. The
+// resulting HealthState feeds robust::select_mode.
+//
+// The monitor also owns the statistics-trust check: the b-DET vertex is
+// only as good as the side statistics behind it, and its feasibility
+// condition mu_B-/B < (1 - q_B+)^2 / q_B+ (eq. 36) sits on a boundary where
+// estimation error flips the LP vertex. trust_b_det demands the condition
+// with a safety margin before the controller may act on that vertex.
+#pragma once
+
+#include <string>
+
+#include "dist/distribution.h"
+
+namespace idlered::robust {
+
+enum class HealthState { kHealthy = 0, kDegraded, kCritical };
+
+std::string to_string(HealthState state);
+
+struct HealthConfig {
+  double ewma_alpha = 0.05;  ///< smoothing for both rates
+
+  // Anomaly-rate hysteresis bands (enter > exit for each state).
+  double degraded_enter = 0.10;
+  double degraded_exit = 0.05;
+  double critical_enter = 0.30;
+  double critical_exit = 0.15;
+
+  // Restart-failure band: above `actuator_enter` the starter is considered
+  // unreliable and the ladder pins the controller to NEV.
+  double actuator_enter = 0.30;
+  double actuator_exit = 0.10;
+
+  /// b-DET trust margin in (0, 1]: require mu/B < margin * (1-q)^2 / q.
+  double b_det_margin = 0.9;
+
+  /// Throws std::invalid_argument on inverted bands or rates outside [0,1].
+  void validate() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthConfig& config = {});
+
+  /// Fold one guard verdict (or a dropped reading) into the anomaly rate
+  /// and update the health state machine.
+  void record_observation(bool anomalous);
+
+  /// Fold one restart outcome into the actuator rate. `clean` means the
+  /// engine started on the first cranking attempt.
+  void record_restart(bool clean);
+
+  HealthState state() const { return state_; }
+  bool actuator_suspect() const { return actuator_suspect_; }
+
+  double anomaly_rate() const { return anomaly_rate_; }
+  double restart_failure_rate() const { return restart_failure_rate_; }
+
+  const HealthConfig& config() const { return config_; }
+
+ private:
+  HealthConfig config_;
+  HealthState state_ = HealthState::kHealthy;
+  bool actuator_suspect_ = false;
+  double anomaly_rate_ = 0.0;
+  double restart_failure_rate_ = 0.0;
+};
+
+/// True when the b-DET feasibility condition (eq. 36) holds with the given
+/// safety margin AND the optimal threshold b* lies strictly inside (0, B).
+bool trust_b_det(const dist::ShortStopStats& stats, double break_even,
+                 double margin = 0.9);
+
+}  // namespace idlered::robust

@@ -1,0 +1,75 @@
+#include "robust/input_guard.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace idlered::robust {
+
+void GuardConfig::validate() const {
+  if (!(min_stop_s >= 0.0) || !std::isfinite(min_stop_s))
+    throw std::invalid_argument("GuardConfig: min_stop_s must be >= 0");
+  if (!(max_stop_s > min_stop_s))
+    throw std::invalid_argument("GuardConfig: max_stop_s must exceed min_stop_s");
+}
+
+std::string to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAccept: return "accept";
+    case Verdict::kRejectNonFinite: return "reject-non-finite";
+    case Verdict::kRejectNegative: return "reject-negative";
+    case Verdict::kRejectOutOfRange: return "reject-out-of-range";
+    case Verdict::kRejectStuck: return "reject-stuck";
+  }
+  return "unknown";
+}
+
+InputGuard::InputGuard(const GuardConfig& config) : config_(config) {
+  config_.validate();
+}
+
+Verdict InputGuard::check(double reading) const {
+  if (!std::isfinite(reading)) return Verdict::kRejectNonFinite;
+  if (reading < 0.0) return Verdict::kRejectNegative;
+  // Stuck wins over out-of-range: a sensor frozen on an implausible value
+  // is still frozen, and "stuck" is the more actionable diagnosis.
+  if (config_.stuck_run_limit > 0 && run_length_ >= config_.stuck_run_limit &&
+      reading == last_value_)
+    return Verdict::kRejectStuck;
+  if (reading < config_.min_stop_s || reading > config_.max_stop_s)
+    return Verdict::kRejectOutOfRange;
+  return Verdict::kAccept;
+}
+
+Verdict InputGuard::admit(double reading) {
+  const Verdict v = check(reading);
+  switch (v) {
+    case Verdict::kAccept: ++counts_.accepted; break;
+    case Verdict::kRejectNonFinite: ++counts_.non_finite; break;
+    case Verdict::kRejectNegative: ++counts_.negative; break;
+    case Verdict::kRejectOutOfRange: ++counts_.out_of_range; break;
+    case Verdict::kRejectStuck: ++counts_.stuck; break;
+  }
+  // The frozen-sensor tracker sees every finite reading, rejected or not:
+  // a sensor stuck on an out-of-range value is still stuck.
+  if (std::isfinite(reading)) {
+    if (run_length_ > 0 && reading == last_value_) {
+      ++run_length_;
+    } else {
+      last_value_ = reading;
+      run_length_ = 1;
+    }
+  } else {
+    run_length_ = 0;
+  }
+  return v;
+}
+
+void InputGuard::note_drop() { ++counts_.dropped; }
+
+double InputGuard::anomaly_fraction() const {
+  const std::size_t total = counts_.total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts_.anomalies()) / static_cast<double>(total);
+}
+
+}  // namespace idlered::robust

@@ -1,0 +1,84 @@
+// Validation gate between the stop-length sensor and the estimators.
+//
+// The estimators in core/estimator.h throw on invalid input — correct for a
+// library entry point, fatal for a controller that must survive a glitchy
+// sensor. The InputGuard sits in front of them and classifies every raw
+// reading: finite-and-in-range readings pass through, everything else is
+// rejected and counted. The running anomaly fraction is the raw signal the
+// HealthMonitor smooths into a health state.
+//
+// Detectable corruption (NaN, Inf, negative, absurdly long, frozen sensor)
+// is filtered here; undetectable corruption (plausible-but-wrong values
+// from noise or quantization) necessarily reaches the estimator — bounding
+// its effect is the fallback ladder's job, not the guard's.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace idlered::robust {
+
+struct GuardConfig {
+  double min_stop_s = 0.0;
+  /// Readings above this are rejected as implausible. Default: 4 hours —
+  /// far beyond any traffic stop, so only sensor garbage is caught.
+  double max_stop_s = 4.0 * 3600.0;
+  /// A reading repeated exactly this many times in a row flags a frozen
+  /// sensor; the repeats beyond the first are rejected. 0 disables.
+  std::size_t stuck_run_limit = 8;
+
+  /// Throws std::invalid_argument on an empty or inverted range.
+  void validate() const;
+};
+
+enum class Verdict {
+  kAccept = 0,
+  kRejectNonFinite,
+  kRejectNegative,
+  kRejectOutOfRange,
+  kRejectStuck,
+};
+
+std::string to_string(Verdict verdict);
+
+struct GuardCounts {
+  std::size_t accepted = 0;
+  std::size_t non_finite = 0;
+  std::size_t negative = 0;
+  std::size_t out_of_range = 0;
+  std::size_t stuck = 0;
+  std::size_t dropped = 0;  ///< readings that never arrived
+
+  std::size_t total() const {
+    return accepted + non_finite + negative + out_of_range + stuck + dropped;
+  }
+  std::size_t anomalies() const { return total() - accepted; }
+};
+
+class InputGuard {
+ public:
+  explicit InputGuard(const GuardConfig& config = {});
+
+  /// Classify without recording (pure).
+  Verdict check(double reading) const;
+
+  /// Classify, record the verdict and update the frozen-sensor tracker.
+  Verdict admit(double reading);
+
+  /// Record a reading that never arrived (counted as an anomaly).
+  void note_drop();
+
+  const GuardCounts& counts() const { return counts_; }
+  const GuardConfig& config() const { return config_; }
+
+  /// Fraction of all seen readings that were anomalous; 0 before any.
+  double anomaly_fraction() const;
+
+ private:
+  GuardConfig config_;
+  GuardCounts counts_;
+  double last_value_ = 0.0;
+  std::size_t run_length_ = 0;  ///< consecutive repeats of last_value_
+};
+
+}  // namespace idlered::robust

@@ -1,6 +1,9 @@
 #include "sim/controller.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "core/costs.h"
 #include "core/policies.h"
@@ -8,41 +11,200 @@
 
 namespace idlered::sim {
 
+namespace {
+
+// Legacy mode keeps the original contract: every finite nonnegative stop
+// length is learned from, however implausible. The guard then only exists
+// to give the controller a never-throwing observation path.
+robust::GuardConfig effective_guard(const AdaptiveController::Config& config) {
+  if (config.robust.enabled) return config.robust.guard;
+  robust::GuardConfig open;
+  open.max_stop_s = std::numeric_limits<double>::infinity();
+  open.stuck_run_limit = 0;
+  return open;
+}
+
+}  // namespace
+
 AdaptiveController::AdaptiveController(const Config& config)
     : config_(config),
-      estimator_(config.break_even, config.decay_lambda),
-      policy_(core::make_n_rand(config.break_even)) {}
+      estimator_(config.break_even, config.decay_lambda,
+                 effective_guard(config)),
+      health_(config.robust.health),
+      policy_(core::make_n_rand(config.break_even)) {
+  core::require_valid_break_even(config.break_even);
+  if (config.warmup_stops < 1)
+    throw std::invalid_argument(
+        "AdaptiveController: warmup_stops must be >= 1 (the fallback policy "
+        "must price at least the first stop)");
+  if (!(config.decay_lambda > 0.0) || config.decay_lambda > 1.0)
+    throw std::invalid_argument(
+        "AdaptiveController: decay_lambda must be in (0, 1]");
+  config_.robust.validate();
+  if (config_.battery) {
+    // Reuse SocConstrainedController's parameter validation.
+    SocConstrainedController(core::make_nev(config.break_even),
+                             *config_.battery);
+    soc_ = config_.battery->initial_soc;
+    soc_low_ = soc_ < config_.battery->min_soc;
+  }
+}
 
 double AdaptiveController::process_stop_expected(double stop_length) {
+  if (!std::isfinite(stop_length) || stop_length < 0.0) {
+    if (!config_.robust.enabled)
+      throw std::invalid_argument(
+          "AdaptiveController: stop length must be finite and >= 0");
+    observe_reading(stop_length);  // absorbed by the guard, no cost known
+    return 0.0;
+  }
   const double cost = policy_->expected_cost(stop_length);
   totals_.online += cost;
   totals_.offline += core::offline_cost(stop_length, config_.break_even);
   ++totals_.num_stops;
-  observe(stop_length);
+  observe_reading(stop_length);
   return cost;
 }
 
 double AdaptiveController::process_stop_sampled(double stop_length,
                                                 util::Rng& rng) {
+  if (config_.robust.enabled &&
+      (!std::isfinite(stop_length) || stop_length < 0.0)) {
+    observe_reading(stop_length);  // absorbed by the guard, no cost known
+    return 0.0;
+  }
+  robust::SensorReading clean;
+  clean.value = stop_length;
+  return process_stop_faulted(stop_length, clean, rng);
+}
+
+double AdaptiveController::process_stop_faulted(
+    double true_length, const robust::SensorReading& reading, util::Rng& rng) {
+  // The *reading* may be arbitrary garbage, but true_length comes from the
+  // harness, which knows the truth; garbage there is a harness bug, never a
+  // sensor fault, so it throws even in robust mode.
+  if (!std::isfinite(true_length) || true_length < 0.0)
+    throw std::invalid_argument(
+        "AdaptiveController: stop length must be finite and >= 0");
+
   const double x = policy_->sample_threshold(rng);
-  const double cost = std::isinf(x)
-                          ? stop_length
-                          : core::online_cost(x, stop_length,
-                                              config_.break_even);
+  double cost;
+  if (std::isinf(x)) {
+    cost = true_length;  // NEV: the engine never shuts off
+  } else {
+    // A delayed actuator keeps idling past the commanded threshold; the
+    // stop may end before the shut-off ever happens.
+    const double x_eff = x + reading.actuation_delay_s;
+    if (true_length < x_eff) {
+      cost = true_length;
+    } else {
+      cost = x_eff + reading.restart_attempts * config_.break_even;
+      account_engine_off(true_length - x_eff, reading.restart_attempts);
+    }
+  }
   totals_.online += cost;
-  totals_.offline += core::offline_cost(stop_length, config_.break_even);
+  totals_.offline += core::offline_cost(true_length, config_.break_even);
   ++totals_.num_stops;
-  observe(stop_length);
+
+  if (reading.dropped) {
+    if (config_.robust.enabled) {
+      estimator_.note_drop();
+      health_.record_observation(true);
+    }
+    ++stops_seen_;
+    refresh_policy();
+  } else {
+    observe_reading(reading.value);
+  }
   return cost;
 }
 
-void AdaptiveController::observe(double stop_length) {
-  estimator_.observe(stop_length);
-  ++stops_seen_;
-  if (stops_seen_ >= config_.warmup_stops) {
-    policy_ = std::make_shared<core::ProposedPolicy>(config_.break_even,
-                                                     estimator_.stats());
+void AdaptiveController::observe_reading(double reading) {
+  if (config_.robust.enabled) {
+    const robust::Verdict v = estimator_.observe(reading);
+    health_.record_observation(v != robust::Verdict::kAccept);
+  } else {
+    if (!std::isfinite(reading) || reading < 0.0)
+      throw std::invalid_argument(
+          "AdaptiveController: stop length must be finite and >= 0");
+    estimator_.observe(reading);
   }
+  ++stops_seen_;
+  refresh_policy();
+}
+
+void AdaptiveController::note_drive(double drive_s) {
+  if (!config_.battery) return;
+  if (!(drive_s >= 0.0) || !std::isfinite(drive_s))
+    throw std::invalid_argument(
+        "AdaptiveController: drive time must be finite and >= 0");
+  const double gained_wh = config_.battery->recharge_w * drive_s / 3600.0;
+  soc_ = std::min(1.0, soc_ + gained_wh / config_.battery->capacity_wh);
+  if (soc_low_ &&
+      soc_ >= config_.battery->min_soc + config_.robust.soc_resume_margin)
+    soc_low_ = false;
+  refresh_policy();
+}
+
+void AdaptiveController::account_engine_off(double off_s,
+                                            int restart_attempts) {
+  if (config_.robust.enabled) health_.record_restart(restart_attempts <= 1);
+  if (!config_.battery) return;
+  const double drained_wh =
+      config_.battery->accessory_draw_w * off_s / 3600.0 +
+      restart_attempts * config_.battery->restart_pulse_wh;
+  soc_ = std::max(0.0, soc_ - drained_wh / config_.battery->capacity_wh);
+  if (soc_ < config_.battery->min_soc) soc_low_ = true;
+}
+
+void AdaptiveController::refresh_policy() {
+  if (!config_.robust.enabled) {
+    // Original behaviour: N-Rand during warm-up, COA from then on.
+    if (stops_seen_ >= config_.warmup_stops && estimator_.ready()) {
+      policy_ = std::make_shared<core::ProposedPolicy>(config_.break_even,
+                                                       estimator_.stats());
+      mode_ = robust::ControllerMode::kProposed;
+    }
+    return;
+  }
+
+  robust::LadderInputs in;
+  in.health = health_.state();
+  in.actuator_suspect = health_.actuator_suspect();
+  in.soc_low = soc_low_;
+  in.warmed_up =
+      estimator_.ready() && estimator_.accepted() >= config_.warmup_stops;
+  robust::ControllerMode mode = robust::select_mode(in);
+
+  if (mode == robust::ControllerMode::kProposed) {
+    const auto stats = estimator_.stats();
+    auto proposed =
+        std::make_shared<core::ProposedPolicy>(config_.break_even, stats);
+    // Only trust the b-DET vertex when eq. (36) holds with a safety
+    // margin; near the boundary, estimation error flips the LP vertex and
+    // b-DET's guarantee evaporates. DET keeps 2-competitiveness per stop.
+    if (proposed->choice().strategy == core::Strategy::kBDet &&
+        !robust::trust_b_det(stats, config_.break_even,
+                             config_.robust.health.b_det_margin)) {
+      mode = robust::ControllerMode::kDet;
+    } else {
+      policy_ = std::move(proposed);
+    }
+  }
+  switch (mode) {
+    case robust::ControllerMode::kProposed:
+      break;  // set above
+    case robust::ControllerMode::kDet:
+      if (mode_ != mode) policy_ = core::make_det(config_.break_even);
+      break;
+    case robust::ControllerMode::kNRand:
+      if (mode_ != mode) policy_ = core::make_n_rand(config_.break_even);
+      break;
+    case robust::ControllerMode::kNev:
+      if (mode_ != mode) policy_ = core::make_nev(config_.break_even);
+      break;
+  }
+  mode_ = mode;
 }
 
 }  // namespace idlered::sim

@@ -6,13 +6,30 @@
 // used for stop i depends only on stops 1..i-1. During warm-up (too little
 // history) it falls back to N-Rand, whose e/(e-1) guarantee needs no
 // statistics. Optional exponential forgetting tracks drifting traffic.
+//
+// With Config::robust.enabled the controller additionally survives a
+// hostile deployment: every reading passes a robust::InputGuard before the
+// estimator, a robust::HealthMonitor smooths the anomaly and restart-
+// failure rates, and the acting policy walks the degraded-mode fallback
+// ladder COA -> DET -> N-Rand -> NEV (robust/fallback.h) as health, the
+// battery state of charge, or the starter degrade — with hysteresis, so
+// the mode never flaps. The b-DET vertex is only trusted when its
+// feasibility condition (eq. 36) holds with a safety margin. Corrupted
+// readings are absorbed (counted, never learned from, never turned into
+// NaN costs); without the robust path they throw as before.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 
 #include "core/estimator.h"
 #include "core/policy.h"
+#include "robust/fallback.h"
+#include "robust/fault_model.h"
+#include "robust/guarded_estimator.h"
+#include "robust/health_monitor.h"
+#include "sim/battery.h"
 #include "sim/evaluator.h"
 
 namespace idlered::sim {
@@ -23,20 +40,62 @@ class AdaptiveController {
     double break_even = 28.0;
     std::size_t warmup_stops = 10;  ///< use fallback until this many stops
     double decay_lambda = 1.0;      ///< 1 = full history, <1 = forgetting
+    robust::RobustConfig robust;    ///< guard + fallback ladder (off => legacy)
+    /// Battery whose SOC gates the ladder (robust mode, sampled/faulted
+    /// processing only — expected mode has no per-stop engine-off time).
+    std::optional<BatteryModel> battery;
   };
 
+  /// Validates the configuration; throws std::invalid_argument on
+  /// break_even <= 0, warmup_stops == 0 or decay_lambda outside (0, 1].
   explicit AdaptiveController(const Config& config);
 
   /// Process one stop in expected-cost mode: pay the current policy's
   /// expected cost, then fold the observed length into the estimator.
-  /// Returns the cost paid for this stop.
+  /// Returns the cost paid for this stop. Robust mode absorbs an invalid
+  /// stop_length (no cost charged, anomaly recorded, returns 0); legacy
+  /// mode throws std::invalid_argument without touching the totals.
   double process_stop_expected(double stop_length);
 
   /// Process one stop in sampled mode (draws a threshold).
   double process_stop_sampled(double stop_length, util::Rng& rng);
 
+  /// Process one stop through a faulted sensing/actuation path: the cost
+  /// is computed from `true_length` (with the reading's actuation delay
+  /// and repeated cranking applied), while the *estimator* only ever sees
+  /// `reading.value` — exactly the separation a real vehicle lives with.
+  /// Requires a finite true_length >= 0 (the harness knows the truth);
+  /// garbage there throws std::invalid_argument even in robust mode.
+  double process_stop_faulted(double true_length,
+                              const robust::SensorReading& reading,
+                              util::Rng& rng);
+
+  /// Feed one raw reading without charging any cost (telemetry-only path).
+  /// Robust mode guards it; legacy mode forwards to the strict estimator.
+  void observe_reading(double reading);
+
+  /// Battery recharge from `drive_s` seconds of driving (no-op without a
+  /// configured battery).
+  void note_drive(double drive_s);
+
   /// The policy that will act on the *next* stop.
   const core::Policy& current_policy() const { return *policy_; }
+
+  /// The fallback-ladder rung the controller currently stands on. Legacy
+  /// mode reports kNRand during warm-up and kProposed afterwards.
+  robust::ControllerMode mode() const { return mode_; }
+
+  /// Sensor health (kHealthy when the robust path is disabled).
+  robust::HealthState health() const { return health_.state(); }
+  const robust::HealthMonitor& health_monitor() const { return health_; }
+
+  /// Guard verdict counters (all-accepted when robust is disabled).
+  const robust::GuardCounts& guard_counts() const {
+    return estimator_.guard().counts();
+  }
+
+  /// Battery state of charge; 1.0 when no battery is configured.
+  double soc() const { return soc_; }
 
   /// Accumulated totals so far (online cost, offline cost, stop count).
   const CostTotals& totals() const { return totals_; }
@@ -45,13 +104,18 @@ class AdaptiveController {
   const Config& config() const { return config_; }
 
  private:
-  void observe(double stop_length);
+  void account_engine_off(double off_s, int restart_attempts);
+  void refresh_policy();
 
   Config config_;
-  core::DecayingStatsEstimator estimator_;
+  robust::GuardedEstimator estimator_;
+  robust::HealthMonitor health_;
   core::PolicyPtr policy_;  ///< current acting policy
+  robust::ControllerMode mode_ = robust::ControllerMode::kNRand;
   CostTotals totals_;
   std::size_t stops_seen_ = 0;
+  double soc_ = 1.0;
+  bool soc_low_ = false;  ///< latched until SOC recovers past the margin
 };
 
 }  // namespace idlered::sim

@@ -2,10 +2,25 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "core/costs.h"
 
 namespace idlered::sim {
+
+namespace {
+
+// Hostile-input gate: a NaN/Inf stop length would silently poison every
+// accumulated total downstream, so all evaluator entry points reject it
+// up front (negative lengths already throw inside core::offline_cost).
+void require_finite_stop(double y, const char* where) {
+  if (!std::isfinite(y))
+    throw std::invalid_argument(std::string(where) +
+                                ": stop length must be finite");
+}
+
+}  // namespace
 
 double CostTotals::cr() const {
   if (num_stops == 0) return 1.0;
@@ -20,6 +35,7 @@ CostTotals evaluate_expected(const core::Policy& policy,
   CostTotals totals;
   const double b = policy.break_even();
   for (double y : stops) {
+    require_finite_stop(y, "evaluate_expected");
     totals.online += policy.expected_cost(y);
     totals.offline += core::offline_cost(y, b);
     ++totals.num_stops;
@@ -33,6 +49,7 @@ CostTotals evaluate_sampled(const core::Policy& policy,
   CostTotals totals;
   const double b = policy.break_even();
   for (double y : stops) {
+    require_finite_stop(y, "evaluate_sampled");
     const double x = policy.sample_threshold(rng);
     totals.online += std::isinf(x) ? y : core::online_cost(x, y, b);
     totals.offline += core::offline_cost(y, b);
@@ -44,7 +61,10 @@ CostTotals evaluate_sampled(const core::Policy& policy,
 double offline_cost_total(const std::vector<double>& stops,
                           double break_even) {
   double total = 0.0;
-  for (double y : stops) total += core::offline_cost(y, break_even);
+  for (double y : stops) {
+    require_finite_stop(y, "offline_cost_total");
+    total += core::offline_cost(y, break_even);
+  }
   return total;
 }
 

@@ -1,0 +1,265 @@
+// Integration tests for the degraded-mode runtime: the fallback ladder as
+// driven by a live AdaptiveController, plus the Config validation added for
+// this harness (S2) and the warmup_stops == 0 regression (S6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dist/parametric.h"
+#include "robust/fault_model.h"
+#include "sim/controller.h"
+#include "util/random.h"
+
+namespace idlered {
+namespace {
+
+using robust::ControllerMode;
+using robust::HealthState;
+using sim::AdaptiveController;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+AdaptiveController::Config robust_config(std::size_t warmup = 20,
+                                         double lambda = 1.0) {
+  AdaptiveController::Config c;
+  c.break_even = 28.0;
+  c.warmup_stops = warmup;
+  c.decay_lambda = lambda;
+  c.robust.enabled = true;
+  return c;
+}
+
+robust::SensorReading nan_reading() {
+  robust::SensorReading r;
+  r.value = kNan;
+  r.fault = robust::FaultKind::kNanGlitch;
+  return r;
+}
+
+// --- S2 / S6: construction-time validation ---------------------------------
+
+TEST(ControllerConfigTest, RejectsZeroWarmupStops) {
+  // Regression (S6): warmup_stops == 0 used to let the controller consult
+  // StatsEstimator::stats() before any observation -> logic_error at the
+  // first stop. Now the configuration is rejected up front.
+  AdaptiveController::Config cfg;
+  cfg.warmup_stops = 0;
+  EXPECT_THROW(AdaptiveController{cfg}, std::invalid_argument);
+  cfg.robust.enabled = true;
+  EXPECT_THROW(AdaptiveController{cfg}, std::invalid_argument);
+}
+
+TEST(ControllerConfigTest, RejectsBadBreakEven) {
+  AdaptiveController::Config cfg;
+  for (double b : {0.0, -28.0, kNan}) {
+    cfg.break_even = b;
+    EXPECT_THROW(AdaptiveController{cfg}, std::invalid_argument) << b;
+  }
+}
+
+TEST(ControllerConfigTest, RejectsBadDecayLambda) {
+  AdaptiveController::Config cfg;
+  for (double lambda : {0.0, -0.5, 1.5, kNan}) {
+    cfg.decay_lambda = lambda;
+    EXPECT_THROW(AdaptiveController{cfg}, std::invalid_argument) << lambda;
+  }
+}
+
+TEST(ControllerConfigTest, RejectsBadRobustThresholds) {
+  auto cfg = robust_config();
+  cfg.robust.health.degraded_enter = 0.02;  // below degraded_exit
+  EXPECT_THROW(AdaptiveController{cfg}, std::invalid_argument);
+}
+
+TEST(ControllerConfigTest, RejectsBadBattery) {
+  auto cfg = robust_config();
+  cfg.battery = sim::BatteryModel{};
+  cfg.battery->min_soc = 1.5;
+  EXPECT_THROW(AdaptiveController{cfg}, std::invalid_argument);
+}
+
+// --- Ladder integration ----------------------------------------------------
+
+TEST(DegradedControllerTest, CleanStreamClimbsToProposed) {
+  AdaptiveController ctrl(robust_config(10));
+  util::Rng rng(21);
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kNRand);  // cold start
+  for (int i = 0; i < 50; ++i) ctrl.process_stop_expected(rng.exponential(20.0));
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kProposed);
+  EXPECT_EQ(ctrl.health(), HealthState::kHealthy);
+  EXPECT_EQ(ctrl.current_policy().name(), "COA");
+}
+
+TEST(DegradedControllerTest, GlitchFloodWalksDownTheLadder) {
+  AdaptiveController ctrl(robust_config(10));
+  util::Rng rng(22);
+  for (int i = 0; i < 50; ++i) ctrl.process_stop_expected(rng.exponential(20.0));
+  ASSERT_EQ(ctrl.mode(), ControllerMode::kProposed);
+
+  // Sensor starts spewing NaN. The controller must step COA -> DET
+  // (Degraded) -> N-Rand (Critical), never jumping straight to Critical.
+  bool saw_det = false;
+  for (int i = 0; i < 40 && ctrl.mode() != ControllerMode::kNRand; ++i) {
+    ctrl.process_stop_faulted(rng.exponential(20.0), nan_reading(), rng);
+    if (ctrl.mode() == ControllerMode::kDet) saw_det = true;
+  }
+  EXPECT_TRUE(saw_det);
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kNRand);
+  EXPECT_EQ(ctrl.health(), HealthState::kCritical);
+  EXPECT_TRUE(std::isfinite(ctrl.totals().cr()));
+}
+
+TEST(DegradedControllerTest, RecoversToProposedAfterSensorHeals) {
+  AdaptiveController ctrl(robust_config(10));
+  util::Rng rng(23);
+  for (int i = 0; i < 30; ++i) ctrl.process_stop_expected(rng.exponential(20.0));
+  for (int i = 0; i < 30; ++i)
+    ctrl.process_stop_faulted(rng.exponential(20.0), nan_reading(), rng);
+  ASSERT_EQ(ctrl.health(), HealthState::kCritical);
+  for (int i = 0; i < 300; ++i)
+    ctrl.process_stop_expected(rng.exponential(20.0));
+  EXPECT_EQ(ctrl.health(), HealthState::kHealthy);
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kProposed);
+}
+
+TEST(DegradedControllerTest, RepeatedRestartFailuresForceNev) {
+  // Stay in warm-up (N-Rand, thresholds <= B) so every 100 s stop shuts the
+  // engine off; each shut-off needs 3 cranks -> the actuator-suspect latch
+  // must trip and park the controller on NEV.
+  AdaptiveController ctrl(robust_config(100000));
+  util::Rng rng(24);
+  robust::SensorReading failing;
+  failing.restart_attempts = 3;
+  failing.fault = robust::FaultKind::kRestartFailure;
+  for (int i = 0; i < 30; ++i) {
+    failing.value = 100.0;
+    ctrl.process_stop_faulted(100.0, failing, rng);
+  }
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kNev);
+  EXPECT_TRUE(ctrl.health_monitor().actuator_suspect());
+  // NEV never restarts, so nothing clears the latch: sticky by design.
+  for (int i = 0; i < 50; ++i) ctrl.process_stop_sampled(100.0, rng);
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kNev);
+}
+
+TEST(DegradedControllerTest, LowSocForcesNevAndDrivingRecovers) {
+  auto cfg = robust_config(100000);  // stay on N-Rand rungs for determinism
+  sim::BatteryModel battery;
+  battery.capacity_wh = 10.0;
+  battery.accessory_draw_w = 720.0;
+  battery.recharge_w = 1200.0;
+  battery.restart_pulse_wh = 1.0;
+  battery.min_soc = 0.30;
+  battery.initial_soc = 0.50;
+  cfg.battery = battery;
+  AdaptiveController ctrl(cfg);
+  util::Rng rng(25);
+
+  // One long engine-off stop drains the tiny pack below the floor.
+  ctrl.process_stop_sampled(200.0, rng);
+  EXPECT_LT(ctrl.soc(), battery.min_soc);
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kNev);
+
+  // NEV keeps the engine on, so further stops cannot drain it deeper.
+  const double soc_floor = ctrl.soc();
+  ctrl.process_stop_sampled(200.0, rng);
+  EXPECT_DOUBLE_EQ(ctrl.soc(), soc_floor);
+
+  // Driving recharges past min_soc + resume margin -> leaves NEV.
+  ctrl.note_drive(3600.0);
+  EXPECT_GT(ctrl.soc(), battery.min_soc + cfg.robust.soc_resume_margin);
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kNRand);
+}
+
+TEST(DegradedControllerTest, SparseAnomaliesDoNotFlapTheMode) {
+  // 1-in-20 NaN glitches: the anomaly EWMA peaks ~0.078, inside the
+  // Healthy band (enter 0.10). The only mode change allowed is the single
+  // warm-up N-Rand -> COA climb.
+  AdaptiveController ctrl(robust_config(10));
+  util::Rng rng(26);
+  int transitions = 0;
+  ControllerMode last = ctrl.mode();
+  for (int i = 0; i < 3000; ++i) {
+    const double y = rng.exponential(20.0);
+    if (i % 20 == 19) {
+      ctrl.process_stop_faulted(y, nan_reading(), rng);
+    } else {
+      ctrl.process_stop_expected(y);
+    }
+    if (ctrl.mode() != last) {
+      ++transitions;
+      last = ctrl.mode();
+    }
+  }
+  EXPECT_EQ(ctrl.health(), HealthState::kHealthy);
+  EXPECT_EQ(ctrl.mode(), ControllerMode::kProposed);
+  EXPECT_LE(transitions, 1);
+}
+
+TEST(DegradedControllerTest, GuardedBoundedWhereUnguardedThrows) {
+  // The acceptance scenario in miniature: a 20% mixed fault stream. The
+  // guarded controller must finish with a finite, bounded CR; the legacy
+  // controller must die on the first non-finite reading.
+  dist::LogNormal law(2.2, 0.9);
+  util::Rng gen(27);
+  const auto stops = law.sample_many(gen, 4000);
+  robust::FaultInjector injector(robust::FaultProfile::scaled(0.2), 27);
+  const auto readings = injector.corrupt_stream(stops);
+
+  AdaptiveController guarded(robust_config(30, 0.995));
+  util::Rng rng_g(28);
+  for (std::size_t i = 0; i < stops.size(); ++i)
+    guarded.process_stop_faulted(stops[i], readings[i], rng_g);
+  EXPECT_TRUE(std::isfinite(guarded.totals().cr()));
+  EXPECT_LT(guarded.totals().cr(), 4.0);
+  EXPECT_EQ(guarded.totals().num_stops, stops.size());
+
+  AdaptiveController::Config legacy_cfg;
+  legacy_cfg.break_even = 28.0;
+  legacy_cfg.warmup_stops = 30;
+  AdaptiveController legacy(legacy_cfg);
+  util::Rng rng_l(28);
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 0; i < stops.size(); ++i)
+          legacy.process_stop_faulted(stops[i], readings[i], rng_l);
+      },
+      std::invalid_argument);
+}
+
+TEST(DegradedControllerTest, DroppedReadingsAreCountedNotLearned) {
+  AdaptiveController ctrl(robust_config(5));
+  util::Rng rng(29);
+  robust::SensorReading dropped;
+  dropped.dropped = true;
+  dropped.fault = robust::FaultKind::kDrop;
+  for (int i = 0; i < 10; ++i) ctrl.process_stop_faulted(15.0, dropped, rng);
+  EXPECT_EQ(ctrl.guard_counts().dropped, 10u);
+  EXPECT_EQ(ctrl.guard_counts().accepted, 0u);
+  EXPECT_EQ(ctrl.totals().num_stops, 10u);  // still priced on true length
+  EXPECT_NE(ctrl.mode(), ControllerMode::kProposed);  // nothing learned
+}
+
+TEST(DegradedControllerTest, LegacyModeMatchesOriginalControllerExactly) {
+  // robust.enabled = false must reproduce the seed behaviour bit-for-bit.
+  AdaptiveController::Config cfg;
+  cfg.break_even = 28.0;
+  cfg.warmup_stops = 10;
+  AdaptiveController legacy(cfg);
+  auto rcfg = robust_config(10);
+  rcfg.robust.guard.max_stop_s = std::numeric_limits<double>::infinity();
+  rcfg.robust.guard.stuck_run_limit = 0;
+  AdaptiveController guarded(rcfg);
+  util::Rng rng(30);
+  for (int i = 0; i < 500; ++i) {
+    const double y = rng.exponential(40.0);
+    EXPECT_DOUBLE_EQ(legacy.process_stop_expected(y),
+                     guarded.process_stop_expected(y));
+  }
+  EXPECT_DOUBLE_EQ(legacy.totals().cr(), guarded.totals().cr());
+}
+
+}  // namespace
+}  // namespace idlered

@@ -1,0 +1,86 @@
+#include "robust/fallback.h"
+
+#include <gtest/gtest.h>
+
+namespace idlered::robust {
+namespace {
+
+LadderInputs inputs(HealthState health, bool actuator = false,
+                    bool soc_low = false, bool warmed_up = true) {
+  LadderInputs in;
+  in.health = health;
+  in.actuator_suspect = actuator;
+  in.soc_low = soc_low;
+  in.warmed_up = warmed_up;
+  return in;
+}
+
+TEST(SelectModeTest, HealthyWarmedUpRunsProposed) {
+  EXPECT_EQ(select_mode(inputs(HealthState::kHealthy)),
+            ControllerMode::kProposed);
+}
+
+TEST(SelectModeTest, HealthyColdRunsNRandFallback) {
+  EXPECT_EQ(select_mode(inputs(HealthState::kHealthy, false, false, false)),
+            ControllerMode::kNRand);
+}
+
+TEST(SelectModeTest, DegradedDropsToDet) {
+  EXPECT_EQ(select_mode(inputs(HealthState::kDegraded)),
+            ControllerMode::kDet);
+}
+
+TEST(SelectModeTest, CriticalDropsToNRand) {
+  EXPECT_EQ(select_mode(inputs(HealthState::kCritical)),
+            ControllerMode::kNRand);
+}
+
+TEST(SelectModeTest, LowSocOverridesEverything) {
+  for (auto h : {HealthState::kHealthy, HealthState::kDegraded,
+                 HealthState::kCritical}) {
+    EXPECT_EQ(select_mode(inputs(h, false, /*soc_low=*/true)),
+              ControllerMode::kNev);
+  }
+}
+
+TEST(SelectModeTest, SuspectActuatorForcesNev) {
+  // A failing starter makes every rung that restarts the engine unsafe.
+  EXPECT_EQ(select_mode(inputs(HealthState::kHealthy, /*actuator=*/true)),
+            ControllerMode::kNev);
+  EXPECT_EQ(select_mode(inputs(HealthState::kCritical, /*actuator=*/true)),
+            ControllerMode::kNev);
+}
+
+TEST(SelectModeTest, LadderIsMonotoneInHealth) {
+  // Worse health never selects a rung ABOVE (closer to COA than) the one
+  // better health selects.
+  const auto rank = [](ControllerMode m) { return static_cast<int>(m); };
+  const int healthy = rank(select_mode(inputs(HealthState::kHealthy)));
+  const int degraded = rank(select_mode(inputs(HealthState::kDegraded)));
+  const int critical = rank(select_mode(inputs(HealthState::kCritical)));
+  EXPECT_LE(healthy, degraded);
+  EXPECT_LE(degraded, critical);
+}
+
+TEST(RobustConfigTest, ValidatePropagatesToSubConfigs) {
+  RobustConfig c;
+  c.validate();  // defaults are valid
+  c.soc_resume_margin = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = RobustConfig{};
+  c.guard.max_stop_s = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = RobustConfig{};
+  c.health.degraded_exit = 0.9;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ControllerModeTest, NamesMatchPolicyTable) {
+  EXPECT_EQ(to_string(ControllerMode::kProposed), "COA");
+  EXPECT_EQ(to_string(ControllerMode::kDet), "DET");
+  EXPECT_EQ(to_string(ControllerMode::kNRand), "N-Rand");
+  EXPECT_EQ(to_string(ControllerMode::kNev), "NEV");
+}
+
+}  // namespace
+}  // namespace idlered::robust

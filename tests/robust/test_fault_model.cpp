@@ -1,0 +1,170 @@
+#include "robust/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered::robust {
+namespace {
+
+std::vector<double> some_stops(std::size_t n, std::uint64_t seed = 7) {
+  dist::LogNormal law(2.0, 0.8);
+  util::Rng rng(seed);
+  return law.sample_many(rng, n);
+}
+
+bool readings_equal(const SensorReading& a, const SensorReading& b) {
+  const bool value_same =
+      a.value == b.value || (std::isnan(a.value) && std::isnan(b.value));
+  return value_same && a.dropped == b.dropped && a.fault == b.fault &&
+         a.actuation_delay_s == b.actuation_delay_s &&
+         a.restart_attempts == b.restart_attempts;
+}
+
+TEST(FaultProfileTest, ScaledMassMatchesRate) {
+  const auto p = FaultProfile::scaled(0.4);
+  p.validate();
+  const double mass = p.additive_noise_prob + p.multiplicative_noise_prob +
+                      p.quantization_prob + p.stuck_prob + p.drop_prob +
+                      p.nan_prob + p.negative_prob;
+  EXPECT_NEAR(mass, 0.4, 1e-12);
+}
+
+TEST(FaultProfileTest, ValidateRejectsBadRates) {
+  FaultProfile p;
+  p.nan_prob = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FaultProfile{};
+  p.nan_prob = 0.7;
+  p.drop_prob = 0.7;  // mass > 1
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FaultProfile{};
+  p.restart_failure_attempts = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  EXPECT_THROW(FaultProfile::scaled(1.5), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  // Acceptance: fault schedules are reproducible from a single seed.
+  const auto stops = some_stops(5000);
+  const auto p = FaultProfile::scaled(0.35);
+  FaultInjector a(p, 99), b(p, 99);
+  const auto sa = a.corrupt_stream(stops);
+  const auto sb = b.corrupt_stream(stops);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    ASSERT_TRUE(readings_equal(sa[i], sb[i])) << "at stop " << i;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k)
+    EXPECT_EQ(a.count(static_cast<FaultKind>(k)),
+              b.count(static_cast<FaultKind>(k)));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  const auto stops = some_stops(2000);
+  const auto p = FaultProfile::scaled(0.35);
+  FaultInjector a(p, 1), b(p, 2);
+  const auto sa = a.corrupt_stream(stops);
+  const auto sb = b.corrupt_stream(stops);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    if (!readings_equal(sa[i], sb[i])) ++differing;
+  EXPECT_GT(differing, 100u);
+}
+
+TEST(FaultInjectorTest, ZeroRateIsTransparent) {
+  const auto stops = some_stops(500);
+  FaultInjector inj(FaultProfile{}, 3);
+  for (double y : stops) {
+    const auto r = inj.corrupt(y);
+    EXPECT_EQ(r.fault, FaultKind::kNone);
+    EXPECT_FALSE(r.dropped);
+    EXPECT_DOUBLE_EQ(r.value, y);
+    EXPECT_DOUBLE_EQ(r.actuation_delay_s, 0.0);
+    EXPECT_EQ(r.restart_attempts, 1);
+  }
+  EXPECT_EQ(inj.faulted_stops(), 0u);
+}
+
+TEST(FaultInjectorTest, FaultRatesRoughlyMatchProfile) {
+  const auto stops = some_stops(20000);
+  const auto p = FaultProfile::scaled(0.5);
+  FaultInjector inj(p, 11);
+  inj.corrupt_stream(stops);
+  const double n = static_cast<double>(stops.size());
+  EXPECT_NEAR(inj.count(FaultKind::kNanGlitch) / n, p.nan_prob, 0.02);
+  EXPECT_NEAR(inj.count(FaultKind::kDrop) / n, p.drop_prob, 0.02);
+  EXPECT_NEAR(inj.count(FaultKind::kActuationDelay) / n,
+              p.actuation_delay_prob, 0.02);
+  EXPECT_NEAR(inj.count(FaultKind::kRestartFailure) / n,
+              p.restart_failure_prob, 0.02);
+}
+
+TEST(FaultInjectorTest, FaultShapesAreAsAdvertised) {
+  const auto stops = some_stops(20000);
+  auto p = FaultProfile::scaled(0.6);
+  p.quantization_step_s = 10.0;
+  FaultInjector inj(p, 13);
+  std::size_t checked = 0;
+  for (double y : stops) {
+    const auto r = inj.corrupt(y);
+    switch (r.fault) {
+      case FaultKind::kNanGlitch:
+        EXPECT_TRUE(std::isnan(r.value));
+        ++checked;
+        break;
+      case FaultKind::kNegativeGlitch:
+        EXPECT_LT(r.value, 0.0);
+        ++checked;
+        break;
+      case FaultKind::kQuantization:
+        EXPECT_NEAR(std::fmod(r.value, 10.0), 0.0, 1e-9);
+        ++checked;
+        break;
+      case FaultKind::kAdditiveNoise:
+      case FaultKind::kMultiplicativeNoise:
+        EXPECT_GE(r.value, 0.0);
+        EXPECT_TRUE(std::isfinite(r.value));
+        ++checked;
+        break;
+      case FaultKind::kDrop:
+        EXPECT_TRUE(r.dropped);
+        ++checked;
+        break;
+      default:
+        break;
+    }
+    if (r.restart_attempts > 1) {
+      EXPECT_EQ(r.restart_attempts, p.restart_failure_attempts);
+    }
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST(FaultInjectorTest, StuckSensorRepeatsHeldValue) {
+  FaultProfile p;
+  p.stuck_prob = 1.0;       // freeze immediately
+  p.stuck_release_prob = 0.0;  // and never release
+  FaultInjector inj(p, 17);
+  const auto first = inj.corrupt(12.0);
+  EXPECT_EQ(first.fault, FaultKind::kStuckAt);
+  for (double y : {1.0, 55.0, 7.0, 300.0}) {
+    const auto r = inj.corrupt(y);
+    EXPECT_EQ(r.fault, FaultKind::kStuckAt);
+    EXPECT_DOUBLE_EQ(r.value, 12.0);
+  }
+}
+
+TEST(FaultKindTest, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k)
+    names.push_back(to_string(static_cast<FaultKind>(k)));
+  for (std::size_t i = 0; i < names.size(); ++i)
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_NE(names[i], names[j]);
+}
+
+}  // namespace
+}  // namespace idlered::robust

@@ -1,0 +1,98 @@
+#include "robust/guarded_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered::robust {
+namespace {
+
+constexpr double kB = 28.0;
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(GuardedEstimatorTest, AbsorbsHostileValuesWithoutThrowing) {
+  GuardedEstimator e(kB, 1.0);
+  EXPECT_EQ(e.observe(kNan), Verdict::kRejectNonFinite);
+  EXPECT_EQ(e.observe(kInf), Verdict::kRejectNonFinite);
+  EXPECT_EQ(e.observe(-5.0), Verdict::kRejectNegative);
+  EXPECT_EQ(e.observe(1e8), Verdict::kRejectOutOfRange);
+  EXPECT_FALSE(e.ready());
+  EXPECT_EQ(e.accepted(), 0u);
+}
+
+TEST(GuardedEstimatorTest, StatsMatchCleanEstimatorOnAcceptedSubset) {
+  GuardedEstimator guarded(kB, 1.0);
+  core::StatsEstimator clean(kB);
+  dist::LogNormal law(2.5, 1.0);
+  util::Rng rng(41);
+  for (int i = 0; i < 2000; ++i) {
+    const double y = law.sample(rng);
+    clean.observe(y);
+    guarded.observe(y);
+    // Interleave garbage the guard must filter out.
+    if (i % 7 == 0) guarded.observe(kNan);
+    if (i % 11 == 0) guarded.observe(-y);
+  }
+  ASSERT_TRUE(guarded.ready());
+  EXPECT_NEAR(guarded.stats().mu_b_minus, clean.stats().mu_b_minus, 1e-9);
+  EXPECT_NEAR(guarded.stats().q_b_plus, clean.stats().q_b_plus, 1e-9);
+  EXPECT_EQ(guarded.accepted(), 2000u);
+}
+
+TEST(GuardedEstimatorTest, StatsOrFallsBackBeforeFirstAcceptance) {
+  GuardedEstimator e(kB, 0.9);
+  dist::ShortStopStats prior;
+  prior.mu_b_minus = 3.0;
+  prior.q_b_plus = 0.5;
+  const auto s = e.stats_or(prior);
+  EXPECT_DOUBLE_EQ(s.mu_b_minus, 3.0);
+  EXPECT_DOUBLE_EQ(s.q_b_plus, 0.5);
+  EXPECT_THROW(e.stats(), std::logic_error);  // strict accessor still strict
+
+  e.observe(10.0);
+  EXPECT_DOUBLE_EQ(e.stats_or(prior).mu_b_minus, 10.0);
+  EXPECT_DOUBLE_EQ(e.stats_or(prior).q_b_plus, 0.0);
+}
+
+TEST(GuardedEstimatorTest, AllRejectedStreamNeverThrows) {
+  GuardedEstimator e(kB, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    e.observe(kNan);
+    e.observe(-1.0);
+    e.note_drop();
+  }
+  EXPECT_FALSE(e.ready());
+  EXPECT_EQ(e.guard().counts().anomalies(), 300u);
+  EXPECT_DOUBLE_EQ(e.guard().anomaly_fraction(), 1.0);
+}
+
+TEST(GuardedEstimatorTest, EstimateStaysFeasibleAndFinite) {
+  GuardedEstimator e(kB, 0.95);
+  dist::Pareto law(5.0, 1.3);
+  util::Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    e.observe(law.sample(rng));
+    if (i % 3 == 0) e.observe(kNan);
+    const auto s = e.stats();
+    EXPECT_TRUE(std::isfinite(s.mu_b_minus));
+    EXPECT_TRUE(std::isfinite(s.q_b_plus));
+    EXPECT_TRUE(s.feasible(kB));
+  }
+}
+
+TEST(GuardedEstimatorTest, CustomGuardRangeApplies) {
+  GuardConfig cfg;
+  cfg.max_stop_s = 100.0;
+  GuardedEstimator e(kB, 1.0, cfg);
+  EXPECT_EQ(e.observe(99.0), Verdict::kAccept);
+  EXPECT_EQ(e.observe(101.0), Verdict::kRejectOutOfRange);
+  EXPECT_EQ(e.accepted(), 1u);
+}
+
+}  // namespace
+}  // namespace idlered::robust

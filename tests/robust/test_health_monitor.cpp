@@ -1,0 +1,139 @@
+#include "robust/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace idlered::robust {
+namespace {
+
+TEST(HealthConfigTest, ValidateRejectsInvertedBands) {
+  HealthConfig c;
+  c.degraded_exit = 0.2;  // above degraded_enter = 0.1
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = HealthConfig{};
+  c.critical_enter = 0.05;  // below degraded_enter
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = HealthConfig{};
+  c.ewma_alpha = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = HealthConfig{};
+  c.b_det_margin = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(HealthMonitorTest, StartsHealthy) {
+  HealthMonitor m;
+  EXPECT_EQ(m.state(), HealthState::kHealthy);
+  EXPECT_FALSE(m.actuator_suspect());
+  EXPECT_DOUBLE_EQ(m.anomaly_rate(), 0.0);
+}
+
+TEST(HealthMonitorTest, ConsecutiveAnomaliesEscalateThroughDegraded) {
+  HealthMonitor m;
+  bool saw_degraded = false;
+  for (int i = 0; i < 60 && m.state() != HealthState::kCritical; ++i) {
+    m.record_observation(true);
+    if (m.state() == HealthState::kDegraded) saw_degraded = true;
+  }
+  EXPECT_TRUE(saw_degraded);  // never jumps Healthy -> Critical directly
+  EXPECT_EQ(m.state(), HealthState::kCritical);
+}
+
+TEST(HealthMonitorTest, RecoversWithCleanStream) {
+  HealthMonitor m;
+  for (int i = 0; i < 60; ++i) m.record_observation(true);
+  ASSERT_EQ(m.state(), HealthState::kCritical);
+  for (int i = 0; i < 500; ++i) m.record_observation(false);
+  EXPECT_EQ(m.state(), HealthState::kHealthy);
+  EXPECT_LT(m.anomaly_rate(), 0.01);
+}
+
+TEST(HealthMonitorTest, HysteresisPreventsFlapping) {
+  // A steady anomaly rate strictly inside the hysteresis band (EWMA
+  // oscillation included) must never change the state, whichever side of
+  // the band the monitor entered from. A single-threshold monitor would
+  // flap on every band crossing.
+  HealthConfig cfg;
+  cfg.degraded_enter = 0.30;
+  cfg.degraded_exit = 0.05;
+  cfg.critical_enter = 0.60;
+  cfg.critical_exit = 0.40;
+  // Every 8th reading anomalous: steady EWMA range ~[0.10, 0.15].
+  HealthMonitor healthy_side(cfg);
+  for (int i = 0; i < 2000; ++i) healthy_side.record_observation(i % 8 == 0);
+  EXPECT_EQ(healthy_side.state(), HealthState::kHealthy);
+
+  HealthMonitor degraded_side(cfg);
+  for (int i = 0; i < 40; ++i) degraded_side.record_observation(true);
+  ASSERT_NE(degraded_side.state(), HealthState::kHealthy);
+  int transitions = 0;
+  HealthState last = degraded_side.state();
+  for (int i = 0; i < 2000; ++i) {
+    degraded_side.record_observation(i % 8 == 0);
+    if (degraded_side.state() != last) {
+      ++transitions;
+      last = degraded_side.state();
+    }
+  }
+  // At most the single Critical->Degraded settle; never a flap sequence.
+  EXPECT_LE(transitions, 1);
+  EXPECT_EQ(degraded_side.state(), HealthState::kDegraded);
+}
+
+TEST(HealthMonitorTest, ActuatorSuspectLatchesWithHysteresis) {
+  HealthMonitor m;
+  for (int i = 0; i < 40; ++i) m.record_restart(false);
+  EXPECT_TRUE(m.actuator_suspect());
+  // Still suspect while the rate sits between exit (0.1) and enter (0.3).
+  for (int i = 0; i < 10; ++i) m.record_restart(true);
+  EXPECT_TRUE(m.actuator_suspect());
+  for (int i = 0; i < 200; ++i) m.record_restart(true);
+  EXPECT_FALSE(m.actuator_suspect());
+}
+
+TEST(TrustBDetTest, AcceptsComfortablyFeasibleStats) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = 0.1 * 28.0;  // mu/B = 0.1
+  s.q_b_plus = 0.3;           // (1-q)^2/q = 1.63
+  EXPECT_TRUE(trust_b_det(s, 28.0, 0.9));
+}
+
+TEST(TrustBDetTest, RejectsNearTheFeasibilityBoundary) {
+  // mu/B just inside eq. (36): feasible for the raw check, but within the
+  // 10% safety band, so the guarded controller must not trust it.
+  dist::ShortStopStats s;
+  s.q_b_plus = 0.3;
+  const double boundary = (1.0 - s.q_b_plus) * (1.0 - s.q_b_plus) / s.q_b_plus;
+  s.mu_b_minus = 0.95 * boundary * 28.0;
+  EXPECT_FALSE(trust_b_det(s, 28.0, 0.9));
+}
+
+TEST(TrustBDetTest, RejectsDegenerateTails) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = 5.0;
+  s.q_b_plus = 0.0;
+  EXPECT_FALSE(trust_b_det(s, 28.0));
+  s.q_b_plus = 1.0;
+  s.mu_b_minus = 0.0;
+  EXPECT_FALSE(trust_b_det(s, 28.0));
+}
+
+TEST(TrustBDetTest, RejectsBStarOutsideInterval) {
+  // Feasibility margin holds but b* = sqrt(mu B / q) >= B: degenerates to
+  // DET, so the b-DET vertex must not be trusted.
+  dist::ShortStopStats s;
+  s.mu_b_minus = 8.7;
+  s.q_b_plus = 0.105;
+  EXPECT_GT(s.mu_b_minus * 28.0 / s.q_b_plus, 28.0 * 28.0);
+  EXPECT_FALSE(trust_b_det(s, 28.0, 1.0));
+}
+
+TEST(TrustBDetTest, InvalidMarginThrows) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = 2.0;
+  s.q_b_plus = 0.3;
+  EXPECT_THROW(trust_b_det(s, 28.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(trust_b_det(s, 28.0, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::robust

@@ -1,0 +1,147 @@
+// S3: hostile inputs (NaN, Inf, negatives) thrown at every public entry
+// point that prices or learns from stop lengths. Strict components must
+// reject with std::invalid_argument *without* corrupting their state; the
+// guarded paths must absorb. In no case may a NaN leak into a cost total.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/policies.h"
+#include "sim/controller.h"
+#include "sim/evaluator.h"
+#include "util/random.h"
+
+namespace idlered {
+namespace {
+
+constexpr double kB = 28.0;
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> hostile_values() { return {kNan, kInf, -kInf, -1.0, -0.5}; }
+
+TEST(HostileInputTest, StatsEstimatorRejectsAndKeepsState) {
+  core::StatsEstimator e(kB);
+  e.observe(10.0);
+  e.observe(40.0);
+  const auto before = e.stats();
+  for (double v : hostile_values()) {
+    EXPECT_THROW(e.observe(v), std::invalid_argument) << "value " << v;
+  }
+  EXPECT_EQ(e.count(), 2u);
+  EXPECT_DOUBLE_EQ(e.stats().mu_b_minus, before.mu_b_minus);
+  EXPECT_DOUBLE_EQ(e.stats().q_b_plus, before.q_b_plus);
+}
+
+TEST(HostileInputTest, DecayingEstimatorRejectsAndKeepsState) {
+  core::DecayingStatsEstimator e(kB, 0.95);
+  e.observe(5.0);
+  e.observe(60.0);
+  const auto before = e.stats();
+  for (double v : hostile_values()) {
+    EXPECT_THROW(e.observe(v), std::invalid_argument) << "value " << v;
+  }
+  // A rejected observation must not have applied the decay either.
+  EXPECT_DOUBLE_EQ(e.stats().mu_b_minus, before.mu_b_minus);
+  EXPECT_DOUBLE_EQ(e.stats().q_b_plus, before.q_b_plus);
+}
+
+TEST(HostileInputTest, EvaluatorExpectedRejectsNonFinite) {
+  const auto policy = core::make_det(kB);
+  for (double v : {kNan, kInf, -kInf}) {
+    EXPECT_THROW(sim::evaluate_expected(*policy, {10.0, v}),
+                 std::invalid_argument);
+  }
+}
+
+TEST(HostileInputTest, EvaluatorSampledRejectsNonFinite) {
+  const auto policy = core::make_n_rand(kB);
+  util::Rng rng(5);
+  for (double v : {kNan, kInf, -kInf}) {
+    EXPECT_THROW(sim::evaluate_sampled(*policy, {10.0, v}, rng),
+                 std::invalid_argument);
+  }
+}
+
+TEST(HostileInputTest, OfflineTotalRejectsNonFinite) {
+  for (double v : {kNan, kInf, -kInf}) {
+    EXPECT_THROW(sim::offline_cost_total({v}, kB), std::invalid_argument);
+  }
+}
+
+TEST(HostileInputTest, LegacyControllerThrowsWithTotalsUntouched) {
+  sim::AdaptiveController::Config cfg;
+  cfg.break_even = kB;
+  cfg.warmup_stops = 1;
+  sim::AdaptiveController ctrl(cfg);
+  ctrl.process_stop_expected(10.0);
+  const double online_before = ctrl.totals().online;
+  util::Rng rng(6);
+  for (double v : hostile_values()) {
+    EXPECT_THROW(ctrl.process_stop_expected(v), std::invalid_argument);
+    EXPECT_THROW(ctrl.process_stop_sampled(v, rng), std::invalid_argument);
+    EXPECT_THROW(ctrl.observe_reading(v), std::invalid_argument);
+  }
+  EXPECT_EQ(ctrl.totals().num_stops, 1u);
+  EXPECT_DOUBLE_EQ(ctrl.totals().online, online_before);
+}
+
+TEST(HostileInputTest, RobustControllerAbsorbsWithFiniteTotals) {
+  sim::AdaptiveController::Config cfg;
+  cfg.break_even = kB;
+  cfg.warmup_stops = 1;
+  cfg.robust.enabled = true;
+  sim::AdaptiveController ctrl(cfg);
+  ctrl.process_stop_expected(10.0);
+  for (double v : hostile_values()) {
+    EXPECT_NO_THROW(ctrl.process_stop_expected(v)) << "value " << v;
+  }
+  EXPECT_TRUE(std::isfinite(ctrl.totals().online));
+  EXPECT_TRUE(std::isfinite(ctrl.totals().offline));
+  EXPECT_TRUE(std::isfinite(ctrl.totals().cr()));
+  // Absorbed stops charge nothing and are not counted as priced stops.
+  EXPECT_EQ(ctrl.totals().num_stops, 1u);
+  EXPECT_EQ(ctrl.guard_counts().anomalies(), hostile_values().size());
+}
+
+TEST(HostileInputTest, FaultedPathRequiresFiniteTruth) {
+  // The harness owns true_length; garbage there is a harness bug, not a
+  // sensor fault, and must throw even in robust mode.
+  sim::AdaptiveController::Config cfg;
+  cfg.break_even = kB;
+  cfg.warmup_stops = 1;
+  cfg.robust.enabled = true;
+  sim::AdaptiveController ctrl(cfg);
+  util::Rng rng(7);
+  robust::SensorReading clean;
+  clean.value = 10.0;
+  for (double v : {kNan, kInf, -1.0}) {
+    EXPECT_THROW(ctrl.process_stop_faulted(v, clean, rng),
+                 std::invalid_argument);
+  }
+}
+
+TEST(HostileInputTest, NanNeverReachesCostsUnderSustainedGlitches) {
+  sim::AdaptiveController::Config cfg;
+  cfg.break_even = kB;
+  cfg.warmup_stops = 5;
+  cfg.robust.enabled = true;
+  sim::AdaptiveController ctrl(cfg);
+  util::Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const double y = rng.exponential(25.0);
+    robust::SensorReading reading;
+    reading.value = (i % 3 == 0) ? kNan : y;
+    if (i % 3 == 0) reading.fault = robust::FaultKind::kNanGlitch;
+    const double cost = ctrl.process_stop_faulted(y, reading, rng);
+    ASSERT_TRUE(std::isfinite(cost)) << "stop " << i;
+  }
+  EXPECT_TRUE(std::isfinite(ctrl.totals().cr()));
+  EXPECT_GT(ctrl.totals().online, 0.0);
+}
+
+}  // namespace
+}  // namespace idlered

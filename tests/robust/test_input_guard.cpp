@@ -1,0 +1,98 @@
+#include "robust/input_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace idlered::robust {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(GuardConfigTest, ValidateRejectsBadRanges) {
+  GuardConfig c;
+  c.min_stop_s = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = GuardConfig{};
+  c.max_stop_s = 0.0;
+  c.min_stop_s = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = GuardConfig{};
+  c.min_stop_s = kNan;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(InputGuardTest, ClassifiesHostileValues) {
+  InputGuard g;
+  EXPECT_EQ(g.check(10.0), Verdict::kAccept);
+  EXPECT_EQ(g.check(0.0), Verdict::kAccept);
+  EXPECT_EQ(g.check(kNan), Verdict::kRejectNonFinite);
+  EXPECT_EQ(g.check(kInf), Verdict::kRejectNonFinite);
+  EXPECT_EQ(g.check(-kInf), Verdict::kRejectNonFinite);
+  EXPECT_EQ(g.check(-3.0), Verdict::kRejectNegative);
+  EXPECT_EQ(g.check(5.0 * 3600.0), Verdict::kRejectOutOfRange);
+}
+
+TEST(InputGuardTest, CountsVerdicts) {
+  InputGuard g;
+  g.admit(5.0);
+  g.admit(kNan);
+  g.admit(-2.0);
+  g.admit(1e9);
+  g.admit(12.0);
+  g.note_drop();
+  const auto& c = g.counts();
+  EXPECT_EQ(c.accepted, 2u);
+  EXPECT_EQ(c.non_finite, 1u);
+  EXPECT_EQ(c.negative, 1u);
+  EXPECT_EQ(c.out_of_range, 1u);
+  EXPECT_EQ(c.dropped, 1u);
+  EXPECT_EQ(c.total(), 6u);
+  EXPECT_EQ(c.anomalies(), 4u);
+  EXPECT_NEAR(g.anomaly_fraction(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(InputGuardTest, EmptyAnomalyFractionIsZero) {
+  EXPECT_DOUBLE_EQ(InputGuard{}.anomaly_fraction(), 0.0);
+}
+
+TEST(InputGuardTest, FrozenSensorDetectedAfterRunLimit) {
+  GuardConfig cfg;
+  cfg.stuck_run_limit = 4;
+  InputGuard g(cfg);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(g.admit(9.5), Verdict::kAccept);
+  EXPECT_EQ(g.admit(9.5), Verdict::kRejectStuck);
+  EXPECT_EQ(g.admit(9.5), Verdict::kRejectStuck);
+  // A changed value unfreezes the tracker immediately.
+  EXPECT_EQ(g.admit(10.0), Verdict::kAccept);
+  EXPECT_EQ(g.admit(9.5), Verdict::kAccept);
+}
+
+TEST(InputGuardTest, StuckDetectionDisabledByZeroLimit) {
+  GuardConfig cfg;
+  cfg.stuck_run_limit = 0;
+  InputGuard g(cfg);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.admit(9.5), Verdict::kAccept);
+}
+
+TEST(InputGuardTest, StuckTrackerSeesRejectedValuesToo) {
+  // A sensor frozen on an out-of-range value is still frozen; the run
+  // length must keep growing through the rejections.
+  GuardConfig cfg;
+  cfg.stuck_run_limit = 3;
+  cfg.max_stop_s = 100.0;
+  InputGuard g(cfg);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(g.admit(500.0), Verdict::kRejectOutOfRange);
+  EXPECT_EQ(g.admit(500.0), Verdict::kRejectStuck);
+}
+
+TEST(InputGuardTest, VerdictNamesAreDistinct) {
+  EXPECT_NE(to_string(Verdict::kAccept), to_string(Verdict::kRejectStuck));
+  EXPECT_NE(to_string(Verdict::kRejectNonFinite),
+            to_string(Verdict::kRejectNegative));
+}
+
+}  // namespace
+}  // namespace idlered::robust

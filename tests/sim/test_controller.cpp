@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/policies.h"
 #include "core/proposed.h"
 #include "dist/parametric.h"
@@ -84,6 +86,33 @@ TEST(AdaptiveControllerTest, SampledModeAccumulates) {
   EXPECT_EQ(ctrl.totals().num_stops, 100u);
   EXPECT_GT(ctrl.totals().online, 0.0);
   EXPECT_GT(ctrl.totals().offline, 0.0);
+}
+
+TEST(AdaptiveControllerTest, ConstructorValidatesConfig) {
+  EXPECT_THROW(AdaptiveController(config(0.0)), std::invalid_argument);
+  EXPECT_THROW(AdaptiveController(config(-5.0)), std::invalid_argument);
+  EXPECT_THROW(AdaptiveController(config(28.0, 0)), std::invalid_argument);
+  EXPECT_THROW(AdaptiveController(config(28.0, 10, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptiveController(config(28.0, 10, 1.01)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(AdaptiveController(config(28.0, 1, 1.0)));
+}
+
+TEST(AdaptiveControllerTest, HostileStopLengthsThrowWithoutSideEffects) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  AdaptiveController ctrl(config(28.0, 2));
+  ctrl.process_stop_expected(10.0);
+  util::Rng rng(12);
+  for (double v : {kNan, kInf, -kInf, -1.0}) {
+    EXPECT_THROW(ctrl.process_stop_expected(v), std::invalid_argument);
+    EXPECT_THROW(ctrl.process_stop_sampled(v, rng), std::invalid_argument);
+  }
+  // Rejected stops neither charge cost nor advance the warm-up counter.
+  EXPECT_EQ(ctrl.totals().num_stops, 1u);
+  EXPECT_EQ(ctrl.stops_seen(), 1u);
+  EXPECT_EQ(ctrl.current_policy().name(), "N-Rand");
 }
 
 TEST(AdaptiveControllerTest, ForgettingAdaptsToRegimeShift) {
