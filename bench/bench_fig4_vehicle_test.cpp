@@ -3,6 +3,11 @@
 // strategies on the full 1182-vehicle cohort, for SSV (B = 28 s) and
 // conventional vehicles (B = 47 s).
 //
+// Both cohort runs are one engine plan: two sweep points (axis = B) over
+// the *same* fleet object, so the per-vehicle statistics caches (sorted
+// stops + prefix sums) are built once and serve both break-evens. Results
+// are archived to BENCH_fig4_vehicle_test.json.
+//
 // Paper reference values (real NREL data; ours is the synthetic fleet of
 // DESIGN.md, so compare shape, not digits):
 //   B = 28: proposed best in 1169/1182 vehicles; mean CR 1.11 / 1.32 / 1.10
@@ -10,8 +15,9 @@
 //   B = 47: proposed best in 977/1182 vehicles; mean CR 1.35 / 1.42 / 1.35.
 #include <cstdio>
 
+#include "common/bench_json.h"
 #include "costmodel/break_even.h"
-#include "sim/fleet_eval.h"
+#include "engine/eval_session.h"
 #include "traces/fleet_generator.h"
 #include "util/table.h"
 
@@ -26,13 +32,12 @@ struct PaperMeans {
   int best_count;
 };
 
-void run_cohort(const sim::Fleet& fleet, double break_even,
-                const char* vehicle_kind, const PaperMeans& paper) {
-  const auto specs = sim::standard_strategy_set();
-  const auto cmp = sim::compare_strategies(fleet, break_even, specs);
+void print_cohort(const engine::EvalReport::Point& point,
+                  const char* vehicle_kind, const PaperMeans& paper) {
+  const sim::FleetComparison& cmp = point.comparison;
 
   std::printf("%s", util::banner(std::string("Figure 4, ") + vehicle_kind +
-                                 " (B = " + util::fmt(break_even, 0) +
+                                 " (B = " + util::fmt(point.break_even, 0) +
                                  " s)").c_str());
 
   for (const char* area : {"California", "Chicago", "Atlanta"}) {
@@ -72,14 +77,28 @@ void run_cohort(const sim::Fleet& fleet, double break_even,
 int main() {
   using namespace idlered;
 
-  const auto fleet = traces::generate_study_fleet(20140601);
+  const auto fleet = std::make_shared<const sim::Fleet>(
+      traces::generate_study_fleet(20140601));
   std::printf("synthetic NREL-like cohort: %zu vehicles "
               "(217 California + 312 Chicago + 653 Atlanta), one week each\n\n",
-              fleet.size());
+              fleet->size());
 
-  run_cohort(fleet, costmodel::kPaperBreakEvenSsv, "stop-start vehicles",
-             PaperMeans{1.11, 1.32, 1.10, 1169});
-  run_cohort(fleet, costmodel::kPaperBreakEvenConventional,
-             "vehicles without SSS", PaperMeans{1.35, 1.42, 1.35, 977});
+  engine::EvalPlan plan;
+  plan.strategies = engine::standard_strategy_set();
+  for (double b : {costmodel::kPaperBreakEvenSsv,
+                   costmodel::kPaperBreakEvenConventional}) {
+    plan.points.push_back(engine::PlanPoint{b, b, fleet});
+  }
+  engine::EvalSession session(std::move(plan));
+  const auto report = session.run();
+
+  print_cohort(report.points[0], "stop-start vehicles",
+               PaperMeans{1.11, 1.32, 1.10, 1169});
+  print_cohort(report.points[1], "vehicles without SSS",
+               PaperMeans{1.35, 1.42, 1.35, 977});
+
+  std::printf("engine: %zu cells on %d threads in %.3f s\n", report.cells,
+              report.threads, report.wall_seconds);
+  bench::write_bench_report("fig4_vehicle_test", report);
   return 0;
 }

@@ -2,8 +2,17 @@
 // of the average stop length, for stop-start vehicles (B = 28 s). The
 // workload follows the paper's methodology: the Chicago-shaped stop-length
 // law rescaled to each target mean.
+//
+// Evaluation runs on the parallel engine. The bench also times the legacy
+// serial loop (sim::compare_strategies per point) and a 1-thread engine
+// run over the *same* fleets, verifies the parallel CRs are bit-identical
+// to the 1-thread engine run and consistent with the serial reference, and
+// writes BENCH_fig5_sweep_b28.json.
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 
+#include "common/bench_json.h"
 #include "common/sweep.h"
 #include "sim/fleet_eval.h"
 #include "util/table.h"
@@ -13,10 +22,61 @@ int main() {
 
   std::printf("%s", util::banner("Figure 5: worst-case CR vs average stop "
                                  "length (B = 28 s)").c_str());
-  const auto config = bench::default_sweep(28.0);
-  const auto points = bench::run_traffic_sweep(config);
-  std::vector<std::string> names;
-  for (const auto& s : sim::standard_strategy_set()) names.push_back(s.name);
-  bench::print_sweep(points, names, config.break_even);
-  return 0;
+  bench::SweepConfig config = bench::default_sweep(28.0);
+  const auto fleets = bench::build_sweep_fleets(config);
+
+  // Legacy serial reference: the pre-engine per-point loop.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<double>> serial_worst;
+  for (const auto& pf : fleets) {
+    const auto cmp = sim::compare_strategies(*pf.fleet, config.break_even,
+                                             sim::standard_strategy_set());
+    serial_worst.push_back(cmp.worst_cr());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double serial_s = std::chrono::duration<double>(t1 - t0).count();
+
+  // Engine, full width and 1 thread, over the same fleets.
+  engine::EvalSession wide(bench::make_sweep_plan(config, fleets));
+  const auto report = wide.run();
+  bench::SweepConfig one = config;
+  one.threads = 1;
+  engine::EvalSession narrow(bench::make_sweep_plan(one, fleets));
+  const auto report1 = narrow.run();
+
+  const auto points = bench::sweep_points_from_report(config, report);
+  bench::print_sweep(points, report.strategy_names, config.break_even);
+
+  // Cross-checks: engine@N vs engine@1 must agree to the last bit; the
+  // serial reference (trace-order statistics) to ~1 ulp.
+  bool bitwise = true;
+  double max_serial_gap = 0.0;
+  for (std::size_t p = 0; p < report.points.size(); ++p) {
+    const auto& vs = report.points[p].comparison.vehicles;
+    const auto& vs1 = report1.points[p].comparison.vehicles;
+    for (std::size_t v = 0; v < vs.size(); ++v)
+      for (std::size_t s = 0; s < vs[v].cr.size(); ++s)
+        if (vs[v].cr[s] != vs1[v].cr[s]) bitwise = false;
+    const auto worst = report.points[p].comparison.worst_cr();
+    for (std::size_t s = 0; s < worst.size(); ++s)
+      max_serial_gap = std::max(max_serial_gap,
+                                std::fabs(worst[s] - serial_worst[p][s]));
+  }
+  std::printf("\nengine threads=%d vs threads=1: %s\n", report.threads,
+              bitwise ? "bit-identical" : "MISMATCH");
+  std::printf("serial loop %.3f s  |  engine (%d threads) %.3f s  |  "
+              "speedup %.2fx  |  max |engine - serial| CR gap %.2e\n",
+              serial_s, report.threads, report.wall_seconds,
+              report.wall_seconds > 0.0 ? serial_s / report.wall_seconds
+                                        : 0.0,
+              max_serial_gap);
+
+  util::JsonValue extra = util::JsonValue::object();
+  extra.set("serial_wall_seconds", serial_s);
+  extra.set("speedup_vs_serial",
+            report.wall_seconds > 0.0 ? serial_s / report.wall_seconds : 0.0);
+  extra.set("bitwise_thread_invariant", bitwise);
+  extra.set("max_cr_gap_vs_serial", max_serial_gap);
+  bench::write_bench_report("fig5_sweep_b28", report, std::move(extra));
+  return bitwise ? 0 : 1;
 }

@@ -1,10 +1,12 @@
 // Reproduction of Figure 6: worst-case CR of every strategy as a function
 // of the average stop length, for conventional vehicles (B = 47 s). Same
-// methodology as Figure 5 with the larger break-even interval.
+// methodology as Figure 5 with the larger break-even interval; evaluation
+// runs on the parallel engine and the series is archived to
+// BENCH_fig6_sweep_b47.json.
 #include <cstdio>
 
+#include "common/bench_json.h"
 #include "common/sweep.h"
-#include "sim/fleet_eval.h"
 #include "util/table.h"
 
 int main() {
@@ -13,9 +15,9 @@ int main() {
   std::printf("%s", util::banner("Figure 6: worst-case CR vs average stop "
                                  "length (B = 47 s)").c_str());
   const auto config = bench::default_sweep(47.0);
-  const auto points = bench::run_traffic_sweep(config);
-  std::vector<std::string> names;
-  for (const auto& s : sim::standard_strategy_set()) names.push_back(s.name);
-  bench::print_sweep(points, names, config.break_even);
+  const auto run = bench::run_traffic_sweep(config);
+  bench::print_sweep(run.points, run.report.strategy_names,
+                     config.break_even);
+  bench::write_bench_report("fig6_sweep_b47", run.report);
   return 0;
 }

@@ -2,8 +2,17 @@
 // deviation, and P{X <= mu + 2 sigma} of stops/day over each area's
 // stops-per-day cohort, plus the mu + 2 sigma amortization bound the battery
 // wear model uses (~32.43 in the paper).
+//
+// The three area cohorts are sampled on the engine's thread pool (one task
+// per area, each with its own pre-forked RNG stream writing to its own
+// slot, so results are independent of scheduling). The table is archived
+// to BENCH_table1_stops_per_day.json.
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "common/bench_json.h"
+#include "engine/thread_pool.h"
 #include "stats/descriptive.h"
 #include "traces/fleet_generator.h"
 #include "util/random.h"
@@ -29,37 +38,77 @@ int main() {
       {"Chicago", 12.49, 9.97, 0.9534},
       {"California", 9.37, 7.68, 0.9553},
   };
+  constexpr std::size_t kAreas = sizeof paper / sizeof paper[0];
 
+  // Fork the per-area streams serially (same schedule as the pre-engine
+  // bench), then fan the sampling out.
+  struct AreaJob {
+    traces::AreaProfile profile;
+    util::Rng rng;
+    double mean = 0.0;
+    double std = 0.0;
+    double tail = 0.0;
+  };
   util::Rng rng(20140601);
-  double pooled_mu_plus_2sigma = 0.0;
-  double pooled_weight = 0.0;
+  std::vector<AreaJob> jobs;
   for (const auto& row : paper) {
-    // Find the matching profile.
     traces::AreaProfile profile;
     for (const auto& a : traces::all_areas()) {
       if (a.name == row.name) profile = a;
     }
-    util::Rng area_rng = rng.fork(std::hash<std::string>{}(profile.name));
+    jobs.push_back(AreaJob{
+        profile, rng.fork(std::hash<std::string>{}(profile.name))});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  engine::ThreadPool pool;
+  pool.parallel_for(kAreas, [&](std::size_t i) {
+    AreaJob& job = jobs[i];
     // One week of days per vehicle in the stops/day dataset.
     const int n_draws =
-        profile.num_vehicles_stops_dataset * profile.days_recorded;
-    const auto xs = traces::sample_stops_per_day(profile, n_draws, area_rng);
+        job.profile.num_vehicles_stops_dataset * job.profile.days_recorded;
+    const auto xs =
+        traces::sample_stops_per_day(job.profile, n_draws, job.rng);
+    job.mean = stats::mean(xs);
+    job.std = stats::stddev(xs);
+    job.tail = stats::fraction_at_most(xs, job.mean + 2.0 * job.std);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
 
-    const double mean = stats::mean(xs);
-    const double std = stats::stddev(xs);
-    const double tail = stats::fraction_at_most(xs, mean + 2.0 * std);
+  util::JsonValue areas_json = util::JsonValue::array();
+  double pooled_mu_plus_2sigma = 0.0;
+  double pooled_weight = 0.0;
+  for (std::size_t i = 0; i < kAreas; ++i) {
+    const PaperRow& row = paper[i];
+    const AreaJob& job = jobs[i];
     table.add_row({row.name,
-                   std::to_string(profile.num_vehicles_stops_dataset),
-                   util::fmt(row.mean, 2), util::fmt(mean, 2),
-                   util::fmt(row.std, 2), util::fmt(std, 2),
-                   util::fmt(row.tail, 4), util::fmt(tail, 4)});
+                   std::to_string(job.profile.num_vehicles_stops_dataset),
+                   util::fmt(row.mean, 2), util::fmt(job.mean, 2),
+                   util::fmt(row.std, 2), util::fmt(job.std, 2),
+                   util::fmt(row.tail, 4), util::fmt(job.tail, 4)});
     pooled_mu_plus_2sigma +=
-        (mean + 2.0 * std) * profile.num_vehicles_stops_dataset;
-    pooled_weight += profile.num_vehicles_stops_dataset;
+        (job.mean + 2.0 * job.std) * job.profile.num_vehicles_stops_dataset;
+    pooled_weight += job.profile.num_vehicles_stops_dataset;
+
+    util::JsonValue a = util::JsonValue::object();
+    a.set("area", row.name);
+    a.set("vehicles", job.profile.num_vehicles_stops_dataset);
+    a.set("mean", job.mean);
+    a.set("std", job.std);
+    a.set("tail_mu_plus_2sigma", job.tail);
+    areas_json.push_back(std::move(a));
   }
+  const double pooled = pooled_mu_plus_2sigma / pooled_weight;
   std::printf("%s\n", table.str().c_str());
   std::printf("fleet-weighted mu + 2 sigma = %.2f stops/day "
-              "(paper uses 32.43 for battery amortization)\n",
-              pooled_mu_plus_2sigma / pooled_weight);
+              "(paper uses 32.43 for battery amortization)\n", pooled);
+
+  util::JsonValue payload = util::JsonValue::object();
+  payload.set("bench", "table1_stops_per_day");
+  payload.set("threads", pool.thread_count());
+  payload.set("wall_seconds", std::chrono::duration<double>(t1 - t0).count());
+  payload.set("areas", std::move(areas_json));
+  payload.set("fleet_weighted_mu_plus_2sigma", pooled);
+  bench::write_bench_json("table1_stops_per_day", payload);
   return 0;
 }

@@ -1,0 +1,68 @@
+#include "common/bench_json.h"
+
+#include <cstdio>
+#include <exception>
+
+namespace idlered::bench {
+
+util::JsonValue report_to_json(const engine::EvalReport& report) {
+  using util::JsonValue;
+
+  JsonValue strategies = JsonValue::array();
+  for (const std::string& name : report.strategy_names)
+    strategies.push_back(name);
+
+  JsonValue points = JsonValue::array();
+  for (const auto& point : report.points) {
+    JsonValue p = JsonValue::object();
+    p.set("axis", point.axis);
+    p.set("break_even_s", point.break_even);
+    p.set("vehicles", point.comparison.vehicles.size());
+    const auto means = point.comparison.mean_cr();
+    const auto worsts = point.comparison.worst_cr();
+    JsonValue mean_cr = JsonValue::object();
+    JsonValue worst_cr = JsonValue::object();
+    for (std::size_t s = 0; s < report.strategy_names.size(); ++s) {
+      mean_cr.set(report.strategy_names[s], means[s]);
+      worst_cr.set(report.strategy_names[s], worsts[s]);
+    }
+    p.set("mean_cr", std::move(mean_cr));
+    p.set("worst_cr", std::move(worst_cr));
+    points.push_back(std::move(p));
+  }
+
+  JsonValue out = JsonValue::object();
+  out.set("mode", report.mode == engine::EvalMode::kExpected ? "expected"
+                                                             : "sampled");
+  out.set("threads", report.threads);
+  out.set("cells", report.cells);
+  out.set("wall_seconds", report.wall_seconds);
+  out.set("strategies", std::move(strategies));
+  out.set("points", std::move(points));
+  return out;
+}
+
+void write_bench_json(const std::string& name,
+                      const util::JsonValue& payload) {
+  const std::string path = "BENCH_" + name + ".json";
+  try {
+    payload.write_file(path);
+    std::printf("wrote %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: %s\n", e.what());
+  }
+}
+
+void write_bench_report(const std::string& name,
+                        const engine::EvalReport& report,
+                        util::JsonValue extra) {
+  util::JsonValue payload = report_to_json(report);
+  payload.set("bench", name);
+  // Splice the extra fields on top (extra wins on key collisions).
+  // JsonValue has no iteration API, so callers pass whole objects; merge by
+  // nesting instead.
+  payload.set("extra", std::move(extra));
+  write_bench_json(name, payload);
+}
+
+}  // namespace idlered::bench

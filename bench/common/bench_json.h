@@ -1,0 +1,27 @@
+// Machine-readable bench artifacts: every engine-backed bench writes a
+// BENCH_<name>.json next to its table output — wall time, thread count and
+// per-strategy CRs — seeding the perf trajectory across PRs.
+#pragma once
+
+#include <string>
+
+#include "engine/eval_session.h"
+#include "util/json.h"
+
+namespace idlered::bench {
+
+/// Serialize an EvalReport: run metadata, then one entry per sweep point
+/// with the axis value, break-even and per-strategy mean/worst CRs.
+util::JsonValue report_to_json(const engine::EvalReport& report);
+
+/// Write `payload` to BENCH_<name>.json in the working directory and print
+/// a one-line confirmation. I/O failures are reported to stderr but never
+/// kill a bench.
+void write_bench_json(const std::string& name, const util::JsonValue& payload);
+
+/// Convenience: report_to_json + extra top-level fields + write.
+void write_bench_report(const std::string& name,
+                        const engine::EvalReport& report,
+                        util::JsonValue extra = util::JsonValue::object());
+
+}  // namespace idlered::bench

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/proposed.h"
+#include "core/analytic.h"
 #include "dist/distribution.h"
-#include "sim/evaluator.h"
+#include "engine/strategy.h"
 #include "traces/fleet_generator.h"
 #include "util/math.h"
 #include "util/random.h"
@@ -22,27 +22,50 @@ SweepConfig default_sweep(double break_even) {
   return c;
 }
 
-std::vector<SweepPoint> run_traffic_sweep(const SweepConfig& config) {
+std::vector<PointFleet> build_sweep_fleets(const SweepConfig& config) {
   const auto profile = traces::chicago();
-  const auto specs = sim::standard_strategy_set();
   util::Rng rng(config.seed);
 
-  std::vector<SweepPoint> points;
-  points.reserve(config.mean_stops_s.size());
+  std::vector<PointFleet> fleets;
+  fleets.reserve(config.mean_stops_s.size());
   for (double mean_stop : config.mean_stops_s) {
+    // Same fork schedule as the pre-engine serial loop, so the generated
+    // workloads are bit-identical across the refactor.
     util::Rng point_rng = rng.fork(static_cast<std::uint64_t>(
         mean_stop * 1000.0));
-    const auto fleet = traces::generate_scaled_fleet(
-        profile, mean_stop, config.vehicles_per_point, point_rng);
-    const auto cmp =
-        sim::compare_strategies(fleet, config.break_even, specs);
+    auto fleet = std::make_shared<sim::Fleet>(traces::generate_scaled_fleet(
+        profile, mean_stop, config.vehicles_per_point, point_rng));
+    fleets.push_back(PointFleet{mean_stop, std::move(fleet)});
+  }
+  return fleets;
+}
 
+engine::EvalPlan make_sweep_plan(const SweepConfig& config,
+                                 const std::vector<PointFleet>& fleets) {
+  engine::EvalPlan plan;
+  plan.strategies = engine::standard_strategy_set();
+  plan.mode = engine::EvalMode::kExpected;
+  plan.threads = config.threads;
+  plan.points.reserve(fleets.size());
+  for (const PointFleet& pf : fleets) {
+    plan.points.push_back(
+        engine::PlanPoint{pf.mean_stop_s, config.break_even, pf.fleet});
+  }
+  return plan;
+}
+
+std::vector<SweepPoint> sweep_points_from_report(
+    const SweepConfig& config, const engine::EvalReport& report) {
+  const auto profile = traces::chicago();
+  std::vector<SweepPoint> points;
+  points.reserve(report.points.size());
+  for (const auto& rp : report.points) {
     SweepPoint p;
-    p.mean_stop_s = mean_stop;
-    p.worst_cr = cmp.worst_cr();
+    p.mean_stop_s = rp.axis;
+    p.worst_cr = rp.comparison.worst_cr();
 
     const auto law =
-        traces::scaled_stop_distribution(profile, mean_stop);
+        traces::scaled_stop_distribution(profile, p.mean_stop_s);
     const auto stats =
         dist::ShortStopStats::from_distribution(*law, config.break_even);
     p.coa_choice =
@@ -51,6 +74,14 @@ std::vector<SweepPoint> run_traffic_sweep(const SweepConfig& config) {
     points.push_back(std::move(p));
   }
   return points;
+}
+
+SweepRun run_traffic_sweep(const SweepConfig& config) {
+  const auto fleets = build_sweep_fleets(config);
+  engine::EvalSession session(make_sweep_plan(config, fleets));
+  SweepRun run{{}, session.run()};
+  run.points = sweep_points_from_report(config, run.report);
+  return run;
 }
 
 void print_sweep(const std::vector<SweepPoint>& points,

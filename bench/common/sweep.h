@@ -1,12 +1,19 @@
 // Shared machinery for the Figure 5/6 benchmarks: per-mean-stop-length
 // fleets, per-strategy worst-case (max-over-vehicles) CR, and the table
 // printer both figures share.
+//
+// Evaluation runs through the parallel engine (engine::EvalSession): one
+// plan point per mean-stop-length, the standard strategy lineup, expected
+// mode. Fleet *generation* stays serial and seeded exactly as before, so
+// the workloads are bit-identical to the pre-engine benchmarks.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "engine/eval_session.h"
 #include "sim/fleet_eval.h"
 #include "traces/area_profiles.h"
 
@@ -26,14 +33,41 @@ struct SweepConfig {
   int vehicles_per_point = 150;
   std::uint64_t seed = 20140601;  // DAC'14 conference date
   std::vector<double> mean_stops_s;  ///< sweep grid
+  int threads = 0;  ///< engine pool width; 0 = hardware concurrency
 };
 
 /// Default grid: mean stop lengths from well below to well above B.
 SweepConfig default_sweep(double break_even);
 
-/// Simulate a fleet per mean-stop-length point (Chicago-shaped law rescaled,
-/// the paper's Figures 5-6 methodology) and record worst-case CRs.
-std::vector<SweepPoint> run_traffic_sweep(const SweepConfig& config);
+/// One sweep point's workload: the Chicago-shaped law rescaled to a target
+/// mean (the paper's Figures 5-6 methodology).
+struct PointFleet {
+  double mean_stop_s = 0.0;
+  std::shared_ptr<const sim::Fleet> fleet;
+};
+
+/// Generate the per-point fleets. Deterministic in config.seed and
+/// independent of config.threads — shared by the engine path and the
+/// serial reference path.
+std::vector<PointFleet> build_sweep_fleets(const SweepConfig& config);
+
+/// Assemble the engine plan for the sweep (expected mode, standard
+/// strategy lineup, one plan point per fleet).
+engine::EvalPlan make_sweep_plan(const SweepConfig& config,
+                                 const std::vector<PointFleet>& fleets);
+
+/// Extract the figure's series from an engine report and annotate each
+/// point with COA's fleet-level strategy choice.
+std::vector<SweepPoint> sweep_points_from_report(
+    const SweepConfig& config, const engine::EvalReport& report);
+
+struct SweepRun {
+  std::vector<SweepPoint> points;
+  engine::EvalReport report;
+};
+
+/// Generate fleets and evaluate them on the engine — the whole sweep.
+SweepRun run_traffic_sweep(const SweepConfig& config);
 
 /// Render the sweep as the figure's series table and print headline
 /// observations (who wins where, crossover locations).

@@ -14,7 +14,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "sim/fleet_eval.h"
+#include "engine/eval_session.h"
 #include "sim/trace.h"
 #include "stats/descriptive.h"
 #include "traces/fleet_generator.h"
@@ -57,8 +57,10 @@ int main(int argc, char** argv) {
               "written to %s\n\n",
               fleet.size(), total_stops, csv_path.c_str());
 
-  const auto cmp = sim::compare_strategies(fleet, b,
-                                           sim::standard_strategy_set());
+  // Parallel engine evaluation; identical result shape to the old serial
+  // sim::compare_strategies call, deterministic regardless of thread count.
+  const auto cmp = engine::compare_strategies_parallel(
+      fleet, b, engine::standard_strategy_set());
   const auto means = cmp.mean_cr();
   const auto worsts = cmp.worst_cr();
   const auto best = cmp.best_counts(1e-9);

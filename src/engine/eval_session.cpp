@@ -1,0 +1,211 @@
+#include "engine/eval_session.h"
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/thread_pool.h"
+#include "engine/vehicle_cache.h"
+#include "util/random.h"
+
+namespace idlered::engine {
+
+EvalPlan EvalPlan::single(std::shared_ptr<const sim::Fleet> fleet,
+                          double break_even,
+                          std::vector<StrategyBuilderPtr> strategies) {
+  EvalPlan plan;
+  plan.points.push_back(PlanPoint{break_even, break_even, std::move(fleet)});
+  plan.strategies = std::move(strategies);
+  return plan;
+}
+
+std::uint64_t cell_seed(std::uint64_t base, std::size_t point,
+                        std::size_t vehicle, std::size_t strategy) {
+  // Counter-based derivation: three SplitMix64 finalizer rounds fold the
+  // cell coordinates into the plan seed. No sequential state — any thread
+  // can compute any cell's seed directly, which is what makes sampled-mode
+  // results independent of the schedule.
+  std::uint64_t h = util::mix64(base ^ 0x9E3779B97F4A7C15ull);
+  h = util::mix64(h ^ (static_cast<std::uint64_t>(point) * 0xA24BAED4963EE407ull));
+  h = util::mix64(h ^ (static_cast<std::uint64_t>(vehicle) * 0x9FB21C651E98DF25ull));
+  h = util::mix64(h ^ (static_cast<std::uint64_t>(strategy) * 0xD6E8FEB86659FD91ull));
+  return h;
+}
+
+namespace {
+
+// One unit of pool work: all strategies of one vehicle at one sweep point.
+// Grouping by vehicle lets every strategy share the same cache lookups.
+struct Cell {
+  std::size_t point;     // index into plan.points
+  std::size_t vehicle;   // index into the point's fleet (seed coordinate)
+  std::size_t slot;      // index into the report's vehicle array
+};
+
+}  // namespace
+
+struct EvalSession::Impl {
+  EvalPlan plan;
+  ThreadPool pool;
+  // Per-vehicle caches, one array per *unique* fleet so that sweep points
+  // sharing a fleet (e.g. a break-even sweep) share the cached statistics.
+  std::vector<std::unique_ptr<std::vector<std::unique_ptr<VehicleCache>>>>
+      cache_store;
+  std::vector<const std::vector<std::unique_ptr<VehicleCache>>*> point_caches;
+
+  Impl(EvalPlan p, int threads) : plan(std::move(p)), pool(threads) {}
+};
+
+namespace {
+
+void validate_plan(const EvalPlan& plan) {
+  if (plan.strategies.empty())
+    throw std::invalid_argument("EvalSession: no strategies given");
+  for (const StrategyBuilderPtr& s : plan.strategies) {
+    if (!s) throw std::invalid_argument("EvalSession: null strategy builder");
+  }
+  for (const PlanPoint& p : plan.points) {
+    if (!p.fleet) throw std::invalid_argument("EvalSession: null fleet");
+    if (!(p.break_even > 0.0) || !std::isfinite(p.break_even))
+      throw std::invalid_argument(
+          "EvalSession: break_even must be finite and > 0");
+  }
+}
+
+}  // namespace
+
+EvalSession::EvalSession(EvalPlan plan) {
+  validate_plan(plan);
+  const int threads = plan.threads;
+  impl_ = std::make_unique<Impl>(std::move(plan), threads);
+}
+
+int EvalSession::thread_count() const { return impl_->pool.thread_count(); }
+
+EvalSession::~EvalSession() = default;
+
+EvalReport EvalSession::run() {
+  const EvalPlan& plan = impl_->plan;
+
+  EvalReport report;
+  report.mode = plan.mode;
+  report.seed = plan.seed;
+  report.threads = impl_->pool.thread_count();
+  report.strategy_names.reserve(plan.strategies.size());
+  for (const auto& s : plan.strategies)
+    report.strategy_names.push_back(s->name());
+
+  // Lay out the report skeleton and the flat cell list. Slots are fixed
+  // before any evaluation starts, so workers write disjoint memory.
+  std::vector<Cell> cells;
+  report.points.reserve(plan.points.size());
+  for (std::size_t p = 0; p < plan.points.size(); ++p) {
+    const PlanPoint& pp = plan.points[p];
+    EvalReport::Point point;
+    point.axis = pp.axis;
+    point.break_even = pp.break_even;
+    point.comparison.strategy_names = report.strategy_names;
+    for (std::size_t v = 0; v < pp.fleet->size(); ++v) {
+      const sim::StopTrace& t = (*pp.fleet)[v];
+      if (t.stops.empty()) continue;  // legacy compare_strategies contract
+      cells.push_back(Cell{p, v, point.comparison.vehicles.size()});
+      sim::VehicleResult vr;
+      vr.vehicle_id = t.vehicle_id;
+      vr.area = t.area;
+      vr.cr.resize(plan.strategies.size(), 0.0);
+      point.comparison.vehicles.push_back(std::move(vr));
+    }
+    point.totals.resize(
+        point.comparison.vehicles.size(),
+        std::vector<sim::CostTotals>(plan.strategies.size()));
+    report.points.push_back(std::move(point));
+  }
+  report.cells = cells.size() * plan.strategies.size();
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Pass 1: per-vehicle statistics caches, built in parallel, shared by
+  // sweep points that reference the same fleet object.
+  std::map<const sim::Fleet*, std::size_t> cache_of;
+  impl_->cache_store.clear();
+  impl_->point_caches.clear();
+  for (const PlanPoint& pp : plan.points) {
+    const sim::Fleet* key = pp.fleet.get();
+    if (cache_of.find(key) == cache_of.end()) {
+      cache_of.emplace(key, impl_->cache_store.size());
+      auto arr = std::make_unique<std::vector<std::unique_ptr<VehicleCache>>>(
+          key->size());
+      impl_->cache_store.push_back(std::move(arr));
+    }
+  }
+  for (const PlanPoint& pp : plan.points)
+    impl_->point_caches.push_back(
+        impl_->cache_store[cache_of[pp.fleet.get()]].get());
+
+  {
+    // Flatten (unique fleet, vehicle) pairs for the parallel build.
+    struct BuildItem {
+      const sim::Fleet* fleet;
+      std::vector<std::unique_ptr<VehicleCache>>* out;
+      std::size_t vehicle;
+    };
+    std::vector<BuildItem> items;
+    for (const auto& [fleet, idx] : cache_of) {
+      for (std::size_t v = 0; v < fleet->size(); ++v)
+        items.push_back(BuildItem{fleet, impl_->cache_store[idx].get(), v});
+    }
+    impl_->pool.parallel_for(items.size(), [&](std::size_t i) {
+      const BuildItem& it = items[i];
+      (*it.out)[it.vehicle] =
+          std::make_unique<VehicleCache>((*it.fleet)[it.vehicle]);
+    });
+  }
+
+  // Pass 2: evaluate every cell. Each task owns disjoint report slots; in
+  // sampled mode each (point, vehicle, strategy) triple gets its own
+  // counter-derived RNG stream, so the schedule cannot leak into results.
+  impl_->pool.parallel_for(cells.size(), [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    const PlanPoint& pp = plan.points[cell.point];
+    const VehicleCache& cache =
+        *(*impl_->point_caches[cell.point])[cell.vehicle];
+    EvalReport::Point& out = report.points[cell.point];
+
+    for (std::size_t s = 0; s < plan.strategies.size(); ++s) {
+      const StrategyBuilder& builder = *plan.strategies[s];
+      const VehicleView view(cache, pp.break_even, builder.needs());
+      const core::PolicyPtr policy = builder.build(view);
+
+      sim::CostTotals totals;
+      if (plan.mode == EvalMode::kExpected) {
+        totals = sim::evaluate(*policy, cache.stops());
+      } else {
+        util::Rng rng(cell_seed(plan.seed, cell.point, cell.vehicle, s));
+        totals = sim::evaluate(*policy, cache.stops(),
+                               {EvalMode::kSampled, &rng});
+      }
+      out.totals[cell.slot][s] = totals;
+      out.comparison.vehicles[cell.slot].cr[s] = totals.cr();
+    }
+  });
+
+  const auto t1 = std::chrono::steady_clock::now();
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return report;
+}
+
+sim::FleetComparison compare_strategies_parallel(
+    const sim::Fleet& fleet, double break_even,
+    const std::vector<StrategyBuilderPtr>& strategies, int threads) {
+  // Non-owning alias: the caller's fleet outlives the session.
+  std::shared_ptr<const sim::Fleet> ref(std::shared_ptr<void>(), &fleet);
+  EvalPlan plan = EvalPlan::single(std::move(ref), break_even, strategies);
+  plan.threads = threads;
+  EvalSession session(std::move(plan));
+  EvalReport report = session.run();
+  return std::move(report.points.front().comparison);
+}
+
+}  // namespace idlered::engine

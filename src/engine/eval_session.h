@@ -1,0 +1,112 @@
+// The fleet-evaluation engine's single front door.
+//
+//   EvalPlan     what to evaluate: a sweep of (axis value, break-even,
+//                fleet) points x a lineup of StrategyBuilders, in expected
+//                or sampled mode.
+//   EvalSession  validates the plan, builds the per-vehicle statistics
+//                caches, and runs every (point, vehicle, strategy) cell on
+//                a work-stealing thread pool.
+//   EvalReport   the structured result: per-point FleetComparisons plus
+//                aggregates and run metadata (wall time, threads, cells).
+//
+// Determinism: reports are bit-identical regardless of thread count.
+//  * Expected mode is pure arithmetic on preallocated slots — no shared
+//    accumulation, no order dependence.
+//  * Sampled mode derives one RNG stream per (point, vehicle, strategy)
+//    cell from a counter-based seed (SplitMix64 over the cell coordinates
+//    mixed with the plan seed), so a cell draws the same thresholds no
+//    matter which thread runs it or when.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/strategy.h"
+#include "sim/evaluator.h"
+#include "sim/fleet_eval.h"
+#include "sim/trace.h"
+
+namespace idlered::engine {
+
+using sim::EvalMode;
+
+/// One sweep point: a fleet evaluated at one break-even interval. `axis` is
+/// the user-facing sweep coordinate (mean stop length for Figures 5/6, B
+/// for a break-even sweep, anything the caller likes); it is carried
+/// through to the report untouched.
+struct PlanPoint {
+  double axis = 0.0;
+  double break_even = 0.0;
+  std::shared_ptr<const sim::Fleet> fleet;
+};
+
+struct EvalPlan {
+  std::vector<PlanPoint> points;
+  std::vector<StrategyBuilderPtr> strategies;
+  EvalMode mode = EvalMode::kExpected;
+  std::uint64_t seed = 0;  ///< base seed for sampled mode
+  int threads = 0;         ///< 0 = hardware concurrency
+
+  /// Convenience: single point, expected mode — the Figure-4 shape.
+  static EvalPlan single(std::shared_ptr<const sim::Fleet> fleet,
+                         double break_even,
+                         std::vector<StrategyBuilderPtr> strategies);
+};
+
+/// The counter-based per-cell seed (exposed for tests).
+std::uint64_t cell_seed(std::uint64_t base, std::size_t point,
+                        std::size_t vehicle, std::size_t strategy);
+
+struct EvalReport {
+  struct Point {
+    double axis = 0.0;
+    double break_even = 0.0;
+    /// Per-vehicle CRs in strategy order; vehicles with no stops are
+    /// skipped, mirroring the legacy compare_strategies contract. Reuses
+    /// the legacy aggregate helpers (mean_cr / worst_cr / best_counts /
+    /// filter_area).
+    sim::FleetComparison comparison;
+    /// Per-vehicle, per-strategy cost totals (same vehicle order as
+    /// `comparison.vehicles`; totals[v][s]).
+    std::vector<std::vector<sim::CostTotals>> totals;
+  };
+
+  std::vector<std::string> strategy_names;
+  std::vector<Point> points;
+
+  EvalMode mode = EvalMode::kExpected;
+  std::uint64_t seed = 0;
+  int threads = 0;             ///< pool width the session actually used
+  std::size_t cells = 0;       ///< (point, vehicle, strategy) cells evaluated
+  double wall_seconds = 0.0;   ///< evaluation wall time (excludes plan setup)
+};
+
+class EvalSession {
+ public:
+  /// Validates the plan up front: at least one strategy, no null fleets or
+  /// builders, positive break-evens. Throws std::invalid_argument.
+  explicit EvalSession(EvalPlan plan);
+  ~EvalSession();
+
+  EvalSession(const EvalSession&) = delete;
+  EvalSession& operator=(const EvalSession&) = delete;
+
+  /// Evaluate the whole plan. Repeatable: every run() returns an identical
+  /// report (modulo wall_seconds).
+  EvalReport run();
+
+  int thread_count() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-call engine-backed replacement for sim::compare_strategies: expected
+/// mode, parallel, same result shape.
+sim::FleetComparison compare_strategies_parallel(
+    const sim::Fleet& fleet, double break_even,
+    const std::vector<StrategyBuilderPtr>& strategies, int threads = 0);
+
+}  // namespace idlered::engine

@@ -1,0 +1,144 @@
+#include "engine/strategy.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+
+namespace idlered::engine {
+
+std::string to_string(SideInfo s) {
+  switch (s) {
+    case SideInfo::kNone: return "none";
+    case SideInfo::kFirstMoment: return "first-moment";
+    case SideInfo::kShortStopStats: return "(mu_B-, q_B+)";
+    case SideInfo::kFullTrace: return "full-trace";
+  }
+  return "?";
+}
+
+VehicleView::VehicleView(const VehicleCache& cache, double break_even,
+                         SideInfo granted)
+    : cache_(&cache), break_even_(break_even), granted_(granted) {}
+
+void VehicleView::require(SideInfo needed, const char* what) const {
+  if (static_cast<int>(granted_) < static_cast<int>(needed)) {
+    throw std::logic_error(
+        std::string("VehicleView: strategy declared needs() = ") +
+        to_string(granted_) + " but read " + what +
+        " (requires " + to_string(needed) + ")");
+  }
+}
+
+double VehicleView::first_moment() const {
+  require(SideInfo::kFirstMoment, "first_moment()");
+  return cache_->first_moment();
+}
+
+dist::ShortStopStats VehicleView::short_stop_stats() const {
+  require(SideInfo::kShortStopStats, "short_stop_stats()");
+  return cache_->stats_for(break_even_);
+}
+
+std::span<const double> VehicleView::stops() const {
+  require(SideInfo::kFullTrace, "stops()");
+  return cache_->stops();
+}
+
+const sim::StopTrace& VehicleView::trace() const {
+  require(SideInfo::kFullTrace, "trace()");
+  return cache_->trace();
+}
+
+namespace {
+
+class LambdaStrategy final : public StrategyBuilder {
+ public:
+  LambdaStrategy(std::string name, SideInfo needs,
+                 std::function<core::PolicyPtr(const VehicleView&)> build)
+      : name_(std::move(name)), needs_(needs), build_(std::move(build)) {}
+
+  std::string name() const override { return name_; }
+  SideInfo needs() const override { return needs_; }
+  core::PolicyPtr build(const VehicleView& view) const override {
+    return build_(view);
+  }
+
+ private:
+  std::string name_;
+  SideInfo needs_;
+  std::function<core::PolicyPtr(const VehicleView&)> build_;
+};
+
+class LegacyStrategyAdaptor final : public StrategyBuilder {
+ public:
+  explicit LegacyStrategyAdaptor(sim::StrategySpec spec)
+      : spec_(std::move(spec)) {
+    if (!spec_.factory)
+      throw std::invalid_argument("wrap_legacy: spec has no factory");
+  }
+
+  std::string name() const override { return spec_.name; }
+  SideInfo needs() const override { return SideInfo::kFullTrace; }
+  core::PolicyPtr build(const VehicleView& view) const override {
+    return spec_.factory(view.trace(), view.break_even());
+  }
+
+ private:
+  sim::StrategySpec spec_;
+};
+
+}  // namespace
+
+StrategyBuilderPtr make_strategy(
+    std::string name, SideInfo needs,
+    std::function<core::PolicyPtr(const VehicleView&)> build) {
+  if (!build) throw std::invalid_argument("make_strategy: empty callable");
+  return std::make_shared<LambdaStrategy>(std::move(name), needs,
+                                          std::move(build));
+}
+
+std::vector<StrategyBuilderPtr> standard_strategy_set() {
+  std::vector<StrategyBuilderPtr> set;
+  set.push_back(make_strategy("TOI", SideInfo::kNone,
+                              [](const VehicleView& v) {
+                                return core::make_toi(v.break_even());
+                              }));
+  set.push_back(make_strategy("NEV", SideInfo::kNone,
+                              [](const VehicleView& v) {
+                                return core::make_nev(v.break_even());
+                              }));
+  set.push_back(make_strategy("DET", SideInfo::kNone,
+                              [](const VehicleView& v) {
+                                return core::make_det(v.break_even());
+                              }));
+  set.push_back(make_strategy("N-Rand", SideInfo::kNone,
+                              [](const VehicleView& v) {
+                                return core::make_n_rand(v.break_even());
+                              }));
+  set.push_back(make_strategy("MOM-Rand", SideInfo::kFirstMoment,
+                              [](const VehicleView& v) {
+                                return core::make_mom_rand(v.break_even(),
+                                                           v.first_moment());
+                              }));
+  set.push_back(make_strategy(
+      "COA", SideInfo::kShortStopStats, [](const VehicleView& v) {
+        return core::make_proposed(v.break_even(), v.short_stop_stats());
+      }));
+  return set;
+}
+
+StrategyBuilderPtr wrap_legacy(sim::StrategySpec spec) {
+  return std::make_shared<LegacyStrategyAdaptor>(std::move(spec));
+}
+
+std::vector<StrategyBuilderPtr> wrap_legacy(
+    const std::vector<sim::StrategySpec>& specs) {
+  std::vector<StrategyBuilderPtr> out;
+  out.reserve(specs.size());
+  for (const sim::StrategySpec& s : specs) out.push_back(wrap_legacy(s));
+  return out;
+}
+
+}  // namespace idlered::engine

@@ -1,0 +1,109 @@
+// StrategyBuilder: the engine-native replacement for the bare
+// std::function PolicyFactory of sim/fleet_eval.h.
+//
+// A builder carries a name plus a *declaration* of the side information it
+// is entitled to read when instantiating its policy for a vehicle:
+//
+//   kNone          TOI / NEV / DET / N-Rand — distribution-free
+//   kFirstMoment   MOM-Rand — the vehicle's mean stop length
+//   kShortStopStats COA — the (mu_B_minus, q_B_plus) pair at the session B
+//   kFullTrace     legacy factories wrapped by LegacyStrategyAdaptor, which
+//                  received the whole StopTrace and may read anything
+//
+// The declaration lets the engine (a) validate up front that it can supply
+// what every strategy needs, (b) compute and cache exactly that — a
+// strategy that declares kNone can never silently start depending on trace
+// statistics — and (c) keep the information asymmetry of the paper's
+// comparison honest: VehicleView throws if a builder reads beyond its
+// declaration.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "engine/vehicle_cache.h"
+#include "sim/fleet_eval.h"
+
+namespace idlered::engine {
+
+enum class SideInfo {
+  kNone = 0,
+  kFirstMoment = 1,
+  kShortStopStats = 2,
+  kFullTrace = 3,
+};
+
+std::string to_string(SideInfo s);
+
+/// What a builder sees of one vehicle: accessors are gated by the builder's
+/// declared SideInfo level (each level includes the previous ones).
+class VehicleView {
+ public:
+  VehicleView(const VehicleCache& cache, double break_even, SideInfo granted);
+
+  const std::string& vehicle_id() const { return cache_->vehicle_id(); }
+  double break_even() const { return break_even_; }
+
+  /// Requires kFirstMoment or higher.
+  double first_moment() const;
+
+  /// (mu_B_minus, q_B_plus) at break_even(). Requires kShortStopStats or
+  /// higher. Served from the per-vehicle cache.
+  dist::ShortStopStats short_stop_stats() const;
+
+  /// The raw stop lengths. Requires kFullTrace.
+  std::span<const double> stops() const;
+
+  /// The full trace object (legacy adaptor only). Requires kFullTrace.
+  const sim::StopTrace& trace() const;
+
+ private:
+  void require(SideInfo needed, const char* what) const;
+
+  const VehicleCache* cache_;
+  double break_even_;
+  SideInfo granted_;
+};
+
+class StrategyBuilder {
+ public:
+  virtual ~StrategyBuilder() = default;
+
+  /// Short identifier used in tables ("TOI", "COA", ...).
+  virtual std::string name() const = 0;
+
+  /// The side information this strategy is entitled to.
+  virtual SideInfo needs() const = 0;
+
+  /// Instantiate the policy for one vehicle. `view` is gated to needs().
+  virtual core::PolicyPtr build(const VehicleView& view) const = 0;
+};
+
+using StrategyBuilderPtr = std::shared_ptr<const StrategyBuilder>;
+
+/// Convenience: build a StrategyBuilder from a name, a declared level and a
+/// callable (const VehicleView&) -> PolicyPtr.
+StrategyBuilderPtr make_strategy(
+    std::string name, SideInfo needs,
+    std::function<core::PolicyPtr(const VehicleView&)> build);
+
+/// The paper's Figure-4 lineup as builders: TOI, NEV, DET, N-Rand (kNone),
+/// MOM-Rand (kFirstMoment), COA (kShortStopStats) — the engine-native
+/// migration of sim::standard_strategy_set(), same names, same order, same
+/// policies.
+std::vector<StrategyBuilderPtr> standard_strategy_set();
+
+/// Compatibility adaptor: wraps a legacy sim::StrategySpec (bare
+/// PolicyFactory over the whole StopTrace) as a builder with
+/// needs() == kFullTrace.
+StrategyBuilderPtr wrap_legacy(sim::StrategySpec spec);
+
+/// Wrap a whole legacy lineup.
+std::vector<StrategyBuilderPtr> wrap_legacy(
+    const std::vector<sim::StrategySpec>& specs);
+
+}  // namespace idlered::engine

@@ -1,0 +1,202 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace idlered::engine {
+
+namespace {
+
+// One worker's slice of the index range. The owner pops chunks from the
+// front, thieves pop half of the remainder from the back; both paths hold
+// the segment's mutex, so begin/end never cross.
+struct Segment {
+  std::mutex m;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t remaining() {
+    std::lock_guard<std::mutex> lock(m);
+    return end - begin;
+  }
+
+  /// Claim up to `chunk` indices from the front; returns [first, last).
+  bool pop_front(std::size_t chunk, std::size_t& first, std::size_t& last) {
+    std::lock_guard<std::mutex> lock(m);
+    if (begin >= end) return false;
+    first = begin;
+    last = std::min(end, begin + chunk);
+    begin = last;
+    return true;
+  }
+
+  /// Steal the back half of the remainder; returns [first, last).
+  bool steal_back(std::size_t& first, std::size_t& last) {
+    std::lock_guard<std::mutex> lock(m);
+    const std::size_t rem = end - begin;
+    if (rem == 0) return false;
+    const std::size_t take = (rem + 1) / 2;
+    first = end - take;
+    last = end;
+    end = first;
+    return true;
+  }
+};
+
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<Segment> segments;
+  std::size_t chunk = 1;
+  std::atomic<bool> abort{false};
+  std::atomic<int> workers_left{0};
+  std::exception_ptr error;  // guarded by error_m
+  std::mutex error_m;
+
+  explicit Job(std::size_t num_segments) : segments(num_segments) {}
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex m;
+  std::condition_variable cv_work;   // signals workers: job or shutdown
+  std::condition_variable cv_done;   // signals caller: job finished
+  Job* job = nullptr;                // guarded by m
+  std::uint64_t job_ticket = 0;      // bumped per job, guarded by m
+  bool shutdown = false;
+
+  void worker_loop(std::size_t my_index) {
+    std::uint64_t last_ticket = 0;
+    for (;;) {
+      Job* j = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv_work.wait(lock, [&] {
+          return shutdown || (job != nullptr && job_ticket != last_ticket);
+        });
+        if (shutdown) return;
+        j = job;
+        last_ticket = job_ticket;
+      }
+      run_job(*j, my_index);
+      {
+        std::lock_guard<std::mutex> lock(m);
+        if (j->workers_left.fetch_sub(1) == 1) cv_done.notify_all();
+      }
+    }
+  }
+
+  static void run_job(Job& j, std::size_t my_index) {
+    const std::size_t nseg = j.segments.size();
+    std::size_t first = 0, last = 0;
+    auto execute = [&](std::size_t lo, std::size_t hi) {
+      try {
+        for (std::size_t i = lo; i < hi && !j.abort.load(); ++i) (*j.fn)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(j.error_m);
+          if (!j.error) j.error = std::current_exception();
+        }
+        j.abort.store(true);
+      }
+    };
+
+    // Drain my own segment, then steal from the fattest victim until the
+    // whole range is dry.
+    while (!j.abort.load() &&
+           j.segments[my_index].pop_front(j.chunk, first, last)) {
+      execute(first, last);
+    }
+    for (;;) {
+      if (j.abort.load()) return;
+      std::size_t victim = nseg;
+      std::size_t best = 0;
+      for (std::size_t s = 0; s < nseg; ++s) {
+        const std::size_t rem = j.segments[s].remaining();
+        if (rem > best) {
+          best = rem;
+          victim = s;
+        }
+      }
+      if (victim == nseg) return;  // everything consumed
+      if (j.segments[victim].steal_back(first, last)) {
+        // Consume the stolen slice in chunks so it can be re-stolen.
+        std::size_t lo = first;
+        while (lo < last && !j.abort.load()) {
+          const std::size_t hi = std::min(last, lo + j.chunk);
+          execute(lo, hi);
+          lo = hi;
+        }
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 4 : static_cast<int>(hw);
+  }
+  threads_ = threads;
+  impl_->workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    impl_->workers.emplace_back(
+        [this, t] { impl_->worker_loop(static_cast<std::size_t>(t)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t chunk) {
+  if (n == 0) return;
+  const auto nthreads = static_cast<std::size_t>(threads_);
+  if (chunk == 0) {
+    chunk = std::max<std::size_t>(1, n / (nthreads * 8));
+  }
+
+  Job job(nthreads);
+  job.fn = &fn;
+  job.chunk = chunk;
+  // Contiguous even split; later segments absorb the remainder one by one.
+  const std::size_t base = n / nthreads;
+  const std::size_t extra = n % nthreads;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < nthreads; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    job.segments[s].begin = cursor;
+    job.segments[s].end = cursor + len;
+    cursor += len;
+  }
+  job.workers_left.store(static_cast<int>(nthreads));
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->job = &job;
+    ++impl_->job_ticket;
+  }
+  impl_->cv_work.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(impl_->m);
+    impl_->cv_done.wait(lock, [&] { return job.workers_left.load() == 0; });
+    impl_->job = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace idlered::engine

@@ -1,0 +1,53 @@
+// Work-stealing chunked thread pool — the execution substrate of the
+// fleet-evaluation engine.
+//
+// The only primitive the engine needs is a blocking parallel_for over a
+// dense index range. The range is pre-split into one contiguous segment per
+// worker; each worker consumes its own segment from the front in fixed-size
+// chunks and, when its segment runs dry, steals the back half of the
+// largest remaining segment. Chunked self-consumption keeps the common case
+// cheap (one lock acquisition per chunk on an uncontended mutex); stealing
+// bounds the tail latency when per-index costs are skewed (a handful of
+// vehicles with 10x the stops of the rest).
+//
+// Determinism contract: parallel_for guarantees fn(i) is invoked exactly
+// once for every i in [0, n), on some thread, in unspecified order. Callers
+// that need deterministic output (the whole engine) must write results to
+// disjoint, preallocated slots indexed by i and must not accumulate across
+// indices inside fn.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace idlered::engine {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Invoke fn(i) exactly once for every i in [0, n) and block until all
+  /// invocations return. The first exception thrown by fn (if any) is
+  /// rethrown on the calling thread after the range has been abandoned at
+  /// chunk granularity. With thread_count() == 1 the loop runs entirely on
+  /// the single worker (still off the calling thread), so a 1-thread pool
+  /// is the reference serial schedule.
+  /// `chunk` is the number of consecutive indices a worker claims at a
+  /// time; <= 0 selects a size that targets ~8 chunks per worker.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t chunk = 0);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int threads_;
+};
+
+}  // namespace idlered::engine

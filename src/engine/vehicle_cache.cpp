@@ -1,0 +1,50 @@
+#include "engine/vehicle_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace idlered::engine {
+
+VehicleCache::VehicleCache(const sim::StopTrace& trace) : trace_(&trace) {
+  sorted_stops_ = trace.stops;
+  std::sort(sorted_stops_.begin(), sorted_stops_.end());
+  prefix_sum_.resize(sorted_stops_.size() + 1);
+  prefix_sum_[0] = 0.0;
+  for (std::size_t i = 0; i < sorted_stops_.size(); ++i)
+    prefix_sum_[i + 1] = prefix_sum_[i] + sorted_stops_[i];
+  // Trace-order sum, matching StopTrace::mean_stop_length bit-for-bit.
+  if (!trace.stops.empty()) first_moment_ = trace.mean_stop_length();
+}
+
+dist::ShortStopStats VehicleCache::stats_for(double break_even) const {
+  if (sorted_stops_.empty())
+    throw std::invalid_argument("VehicleCache::stats_for: empty trace");
+  if (break_even <= 0.0)
+    throw std::invalid_argument(
+        "VehicleCache::stats_for: break_even must be > 0");
+  {
+    std::lock_guard<std::mutex> lock(memo_m_);
+    const auto it = memo_.find(break_even);
+    if (it != memo_.end()) return it->second;
+  }
+  // Stops < B occupy [0, idx) of the sorted order.
+  const auto idx = static_cast<std::size_t>(
+      std::lower_bound(sorted_stops_.begin(), sorted_stops_.end(),
+                       break_even) -
+      sorted_stops_.begin());
+  const auto n = static_cast<double>(sorted_stops_.size());
+  dist::ShortStopStats s;
+  s.mu_b_minus = prefix_sum_[idx] / n;
+  s.q_b_plus = static_cast<double>(sorted_stops_.size() - idx) / n;
+  std::lock_guard<std::mutex> lock(memo_m_);
+  memo_.emplace(break_even, s);
+  return s;
+}
+
+FleetCache::FleetCache(const sim::Fleet& fleet) {
+  vehicles_.reserve(fleet.size());
+  for (const sim::StopTrace& t : fleet)
+    vehicles_.push_back(std::make_unique<VehicleCache>(t));
+}
+
+}  // namespace idlered::engine

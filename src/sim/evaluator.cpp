@@ -12,8 +12,8 @@ namespace idlered::sim {
 namespace {
 
 // Hostile-input gate: a NaN/Inf stop length would silently poison every
-// accumulated total downstream, so all evaluator entry points reject it
-// up front (negative lengths already throw inside core::offline_cost).
+// accumulated total downstream, so the evaluator rejects it up front
+// (negative lengths already throw inside core::offline_cost).
 void require_finite_stop(double y, const char* where) {
   if (!std::isfinite(y))
     throw std::invalid_argument(std::string(where) +
@@ -30,32 +30,42 @@ double CostTotals::cr() const {
   return online / offline;
 }
 
-CostTotals evaluate_expected(const core::Policy& policy,
-                             const std::vector<double>& stops) {
+CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
+                    const EvalOptions& options) {
+  if (options.mode == EvalMode::kSampled && options.rng == nullptr)
+    throw std::invalid_argument("evaluate: sampled mode needs an rng");
+
   CostTotals totals;
   const double b = policy.break_even();
-  for (double y : stops) {
-    require_finite_stop(y, "evaluate_expected");
-    totals.online += policy.expected_cost(y);
-    totals.offline += core::offline_cost(y, b);
-    ++totals.num_stops;
+  if (options.mode == EvalMode::kExpected) {
+    for (double y : stops) {
+      require_finite_stop(y, "evaluate");
+      totals.online += policy.expected_cost(y);
+      totals.offline += core::offline_cost(y, b);
+      ++totals.num_stops;
+    }
+  } else {
+    util::Rng& rng = *options.rng;
+    for (double y : stops) {
+      require_finite_stop(y, "evaluate");
+      const double x = policy.sample_threshold(rng);
+      totals.online += std::isinf(x) ? y : core::online_cost(x, y, b);
+      totals.offline += core::offline_cost(y, b);
+      ++totals.num_stops;
+    }
   }
   return totals;
+}
+
+CostTotals evaluate_expected(const core::Policy& policy,
+                             const std::vector<double>& stops) {
+  return evaluate(policy, stops);
 }
 
 CostTotals evaluate_sampled(const core::Policy& policy,
                             const std::vector<double>& stops,
                             util::Rng& rng) {
-  CostTotals totals;
-  const double b = policy.break_even();
-  for (double y : stops) {
-    require_finite_stop(y, "evaluate_sampled");
-    const double x = policy.sample_threshold(rng);
-    totals.online += std::isinf(x) ? y : core::online_cost(x, y, b);
-    totals.offline += core::offline_cost(y, b);
-    ++totals.num_stops;
-  }
-  return totals;
+  return evaluate(policy, stops, {EvalMode::kSampled, &rng});
 }
 
 double offline_cost_total(const std::vector<double>& stops,

@@ -12,8 +12,14 @@
 //  * sampled  — one threshold is drawn per stop, simulating a deployed
 //    controller; by the law of large numbers this converges to expected
 //    mode (ablation A4 quantifies the gap).
+//
+// The single entry point is evaluate(policy, stops, EvalOptions); the
+// legacy evaluate_expected / evaluate_sampled / offline_cost_total trio is
+// kept as thin deprecated wrappers (see the deprecation notes below and in
+// README.md) so existing call sites keep compiling.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/policy.h"
@@ -27,18 +33,39 @@ struct CostTotals {
 
   /// Empirical competitive ratio; 1 when there were no stops (vacuous).
   double cr() const;
+
+  friend bool operator==(const CostTotals&, const CostTotals&) = default;
 };
 
-/// Accumulate exact expected costs over a stop sequence.
+enum class EvalMode {
+  kExpected,  ///< exact expected online cost per stop
+  kSampled,   ///< one threshold draw per stop (needs EvalOptions::rng)
+};
+
+struct EvalOptions {
+  EvalMode mode = EvalMode::kExpected;
+  /// RNG for sampled mode; not owned, must be non-null iff mode == kSampled
+  /// (evaluate throws otherwise). Ignored in expected mode.
+  util::Rng* rng = nullptr;
+};
+
+/// Accumulate online and offline costs of `policy` over a stop sequence.
+/// The one evaluator entry point: expected or sampled is an option, and the
+/// offline totals (the denominator of eq. 5) always ride along.
+CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
+                    const EvalOptions& options = {});
+
+/// Deprecated: use evaluate(policy, stops) — expected is the default mode.
 CostTotals evaluate_expected(const core::Policy& policy,
                              const std::vector<double>& stops);
 
-/// Accumulate sampled costs (one threshold draw per stop).
+/// Deprecated: use evaluate(policy, stops, {EvalMode::kSampled, &rng}).
 CostTotals evaluate_sampled(const core::Policy& policy,
                             const std::vector<double>& stops,
                             util::Rng& rng);
 
-/// Offline-only totals (the denominator of eq. 5) for a stop sequence.
+/// Deprecated: read `.offline` off any evaluate() result for the same
+/// stops and break-even instead of recomputing it separately.
 double offline_cost_total(const std::vector<double>& stops,
                           double break_even);
 

@@ -89,7 +89,7 @@ FleetComparison compare_strategies(const Fleet& fleet, double break_even,
     vr.cr.reserve(specs.size());
     for (const StrategySpec& spec : specs) {
       const core::PolicyPtr policy = spec.factory(trace, break_even);
-      vr.cr.push_back(evaluate_expected(*policy, trace.stops).cr());
+      vr.cr.push_back(evaluate(*policy, trace.stops).cr());
     }
     result.vehicles.push_back(std::move(vr));
   }

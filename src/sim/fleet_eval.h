@@ -20,6 +20,12 @@
 namespace idlered::sim {
 
 /// Builds a policy for one vehicle given its trace and the break-even B.
+///
+/// Deprecated: the bare std::function carries no declaration of what side
+/// information the strategy reads, so the engine cannot validate or cache
+/// for it. New code should implement engine::StrategyBuilder (or call
+/// engine::make_strategy); legacy specs keep working through
+/// engine::wrap_legacy.
 using PolicyFactory =
     std::function<core::PolicyPtr(const StopTrace&, double break_even)>;
 
@@ -30,6 +36,10 @@ struct StrategySpec {
 
 /// The paper's Figure-4 lineup: TOI, NEV, DET, N-Rand, MOM-Rand, COA
 /// (COA last, as "Proposed").
+///
+/// Deprecated: this lineup has migrated to engine::standard_strategy_set(),
+/// which returns StrategyBuilders with declared side-info needs; this
+/// legacy form remains for the serial reference path only.
 std::vector<StrategySpec> standard_strategy_set();
 
 struct VehicleResult {
@@ -60,6 +70,12 @@ struct FleetComparison {
 
 /// Evaluate every strategy on every vehicle (expected mode). Vehicles with
 /// no stops are skipped.
+///
+/// This is the *serial reference path*: single-threaded, trace-order
+/// arithmetic, kept as the ground truth the parallel engine is tested
+/// against. Anything performance-sensitive should go through
+/// engine::EvalSession (or engine::compare_strategies_parallel), which
+/// returns the same FleetComparison shape.
 FleetComparison compare_strategies(const Fleet& fleet, double break_even,
                                    const std::vector<StrategySpec>& specs);
 

@@ -1,0 +1,57 @@
+// Minimal JSON emitter for the machine-readable bench artifacts
+// (BENCH_<name>.json). Build values with JsonValue, render with dump().
+// Writer only — nothing in this repository parses JSON.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace idlered::util {
+
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}                // NOLINT
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}             // NOLINT
+  JsonValue(int i) : JsonValue(static_cast<double>(i)) {}            // NOLINT
+  JsonValue(std::size_t n) : JsonValue(static_cast<double>(n)) {}    // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}        // NOLINT
+  JsonValue(std::string s)                                           // NOLINT
+      : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  /// Array append; throws std::logic_error if this is not an array.
+  JsonValue& push_back(JsonValue v);
+
+  /// Object insert/overwrite; throws std::logic_error if not an object.
+  JsonValue& set(const std::string& key, JsonValue v);
+
+  /// Render. Numbers use shortest round-trip formatting; non-finite
+  /// doubles are emitted as null (JSON has no Inf/NaN).
+  std::string dump(int indent = 2) const;
+
+  /// dump() to a file; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  // Insertion-ordered object members.
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escape a string per RFC 8259 (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace idlered::util

@@ -1,0 +1,135 @@
+#include "engine/strategy.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "sim/evaluator.h"
+
+namespace idlered::engine {
+namespace {
+
+constexpr double kB = 28.0;
+
+sim::StopTrace sample_trace() {
+  return sim::StopTrace{"veh-1", "Chicago",
+                        {5.0, 8.0, 30.0, 100.0, 12.0, 45.0}};
+}
+
+TEST(StandardStrategySetTest, MatchesLegacyLineup) {
+  const auto builders = standard_strategy_set();
+  const auto legacy = sim::standard_strategy_set();
+  ASSERT_EQ(builders.size(), legacy.size());
+  for (std::size_t s = 0; s < builders.size(); ++s)
+    EXPECT_EQ(builders[s]->name(), legacy[s].name);
+}
+
+TEST(StandardStrategySetTest, DeclaredNeedsAreMinimal) {
+  const auto builders = standard_strategy_set();
+  EXPECT_EQ(builders[0]->needs(), SideInfo::kNone);            // TOI
+  EXPECT_EQ(builders[1]->needs(), SideInfo::kNone);            // NEV
+  EXPECT_EQ(builders[2]->needs(), SideInfo::kNone);            // DET
+  EXPECT_EQ(builders[3]->needs(), SideInfo::kNone);            // N-Rand
+  EXPECT_EQ(builders[4]->needs(), SideInfo::kFirstMoment);     // MOM-Rand
+  EXPECT_EQ(builders[5]->needs(), SideInfo::kShortStopStats);  // COA
+}
+
+TEST(StandardStrategySetTest, BuildersMatchLegacyPolicies) {
+  // Policies built through the view must price stops identically to the
+  // legacy factories (COA to ~1 ulp; see vehicle_cache.h on summation
+  // order).
+  const auto trace = sample_trace();
+  const VehicleCache cache(trace);
+  const auto builders = standard_strategy_set();
+  const auto legacy = sim::standard_strategy_set();
+  for (std::size_t s = 0; s < builders.size(); ++s) {
+    const VehicleView view(cache, kB, builders[s]->needs());
+    const auto mine = builders[s]->build(view);
+    const auto ref = legacy[s].factory(trace, kB);
+    const auto a = sim::evaluate(*mine, trace.stops);
+    const auto b = sim::evaluate(*ref, trace.stops);
+    EXPECT_DOUBLE_EQ(a.online, b.online) << builders[s]->name();
+    EXPECT_DOUBLE_EQ(a.offline, b.offline) << builders[s]->name();
+  }
+}
+
+TEST(VehicleViewTest, GatesAccessByDeclaredNeeds) {
+  const auto trace = sample_trace();
+  const VehicleCache cache(trace);
+
+  const VehicleView none(cache, kB, SideInfo::kNone);
+  EXPECT_EQ(none.break_even(), kB);
+  EXPECT_EQ(none.vehicle_id(), "veh-1");
+  EXPECT_THROW(none.first_moment(), std::logic_error);
+  EXPECT_THROW(none.short_stop_stats(), std::logic_error);
+  EXPECT_THROW(none.stops(), std::logic_error);
+  EXPECT_THROW(none.trace(), std::logic_error);
+
+  const VehicleView moment(cache, kB, SideInfo::kFirstMoment);
+  EXPECT_EQ(moment.first_moment(), trace.mean_stop_length());
+  EXPECT_THROW(moment.short_stop_stats(), std::logic_error);
+
+  const VehicleView stats(cache, kB, SideInfo::kShortStopStats);
+  EXPECT_NO_THROW(stats.short_stop_stats());
+  EXPECT_NO_THROW(stats.first_moment());  // levels are cumulative
+  EXPECT_THROW(stats.stops(), std::logic_error);
+
+  const VehicleView full(cache, kB, SideInfo::kFullTrace);
+  EXPECT_EQ(full.stops().size(), trace.stops.size());
+  EXPECT_EQ(&full.trace(), &trace);
+}
+
+TEST(MakeStrategyTest, RejectsEmptyCallable) {
+  EXPECT_THROW(make_strategy("x", SideInfo::kNone, nullptr),
+               std::invalid_argument);
+}
+
+TEST(MakeStrategyTest, OvereachingStrategyIsCaught) {
+  // A strategy that declares kNone but reads the first moment must throw
+  // when built — the information asymmetry of the comparison is enforced,
+  // not advisory.
+  const auto cheat =
+      make_strategy("cheater", SideInfo::kNone, [](const VehicleView& v) {
+        return core::make_mom_rand(v.break_even(), v.first_moment());
+      });
+  const auto trace = sample_trace();
+  const VehicleCache cache(trace);
+  const VehicleView view(cache, kB, cheat->needs());
+  EXPECT_THROW(cheat->build(view), std::logic_error);
+}
+
+TEST(WrapLegacyTest, AdaptorPreservesNameAndBehaviour) {
+  sim::StrategySpec spec{"DET", [](const sim::StopTrace&, double b) {
+                           return core::make_det(b);
+                         }};
+  const auto builder = wrap_legacy(spec);
+  EXPECT_EQ(builder->name(), "DET");
+  EXPECT_EQ(builder->needs(), SideInfo::kFullTrace);
+
+  const auto trace = sample_trace();
+  const VehicleCache cache(trace);
+  const VehicleView view(cache, kB, builder->needs());
+  const auto policy = builder->build(view);
+  const auto ref = core::make_det(kB);
+  const auto a = sim::evaluate(*policy, trace.stops);
+  const auto b = sim::evaluate(*ref, trace.stops);
+  EXPECT_DOUBLE_EQ(a.online, b.online);
+}
+
+TEST(WrapLegacyTest, NullFactoryThrows) {
+  EXPECT_THROW(wrap_legacy(sim::StrategySpec{"bad", nullptr}),
+               std::invalid_argument);
+}
+
+TEST(WrapLegacyTest, WrapsWholeLineup) {
+  const auto builders = wrap_legacy(sim::standard_strategy_set());
+  ASSERT_EQ(builders.size(), 6u);
+  EXPECT_EQ(builders.front()->name(), "TOI");
+  EXPECT_EQ(builders.back()->name(), "COA");
+  for (const auto& b : builders)
+    EXPECT_EQ(b->needs(), SideInfo::kFullTrace);
+}
+
+}  // namespace
+}  // namespace idlered::engine

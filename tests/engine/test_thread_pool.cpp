@@ -1,0 +1,88 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace idlered::engine {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCoversRange) {
+  ThreadPool pool(1);
+  constexpr std::size_t kN = 257;  // not a multiple of any chunk size
+  std::vector<int> hits(kN, 0);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kN));
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SkewedWorkGetsStolen) {
+  // One pathological index does ~1000x the work of the rest; the pool must
+  // still complete (stealing redistributes the tail) and cover everything.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1024;
+  std::vector<std::atomic<long>> out(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    long acc = 0;
+    const long reps = i == 0 ? 1000000 : 1000;
+    for (long r = 0; r < reps; ++r) acc += r % 7;
+    out[i].store(acc + 1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_GT(out[i].load(), 0) << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::size_t i) {
+                          if (i == 537) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, DefaultsToPositiveThreadCount) {
+  ThreadPool pool;
+  EXPECT_GT(pool.thread_count(), 0);
+}
+
+}  // namespace
+}  // namespace idlered::engine

@@ -1,0 +1,87 @@
+#include "engine/vehicle_cache.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace idlered::engine {
+namespace {
+
+sim::StopTrace random_trace(std::size_t n, std::uint64_t seed,
+                            std::string id = "veh") {
+  util::Rng rng(seed);
+  sim::StopTrace t{std::move(id), "Chicago", {}};
+  for (std::size_t i = 0; i < n; ++i)
+    t.stops.push_back(rng.exponential(30.0));
+  return t;
+}
+
+TEST(VehicleCacheTest, StatsMatchFromSampleAcrossBs) {
+  const auto trace = random_trace(500, 11);
+  const VehicleCache cache(trace);
+  for (double b : {1.0, 5.0, 28.0, 47.0, 200.0, 1e4}) {
+    const auto expected = dist::ShortStopStats::from_sample(trace.stops, b);
+    const auto got = cache.stats_for(b);
+    EXPECT_NEAR(got.mu_b_minus, expected.mu_b_minus,
+                1e-12 * (1.0 + expected.mu_b_minus))
+        << "B=" << b;
+    EXPECT_DOUBLE_EQ(got.q_b_plus, expected.q_b_plus) << "B=" << b;
+  }
+}
+
+TEST(VehicleCacheTest, TiesAtBCountAsLongStops) {
+  // from_sample counts y >= B as long; the sorted path must agree on ties.
+  const sim::StopTrace t{"veh", "A", {10.0, 28.0, 28.0, 30.0, 5.0}};
+  const VehicleCache cache(t);
+  const auto got = cache.stats_for(28.0);
+  const auto expected = dist::ShortStopStats::from_sample(t.stops, 28.0);
+  EXPECT_DOUBLE_EQ(got.q_b_plus, expected.q_b_plus);
+  EXPECT_DOUBLE_EQ(got.q_b_plus, 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(got.mu_b_minus, expected.mu_b_minus);
+}
+
+TEST(VehicleCacheTest, FirstMomentIsBitIdenticalToTraceMean) {
+  const auto trace = random_trace(333, 7);
+  const VehicleCache cache(trace);
+  EXPECT_EQ(cache.first_moment(), trace.mean_stop_length());
+}
+
+TEST(VehicleCacheTest, MemoizedStatsAreStable) {
+  const auto trace = random_trace(100, 3);
+  const VehicleCache cache(trace);
+  const auto first = cache.stats_for(28.0);
+  const auto second = cache.stats_for(28.0);
+  EXPECT_EQ(first.mu_b_minus, second.mu_b_minus);
+  EXPECT_EQ(first.q_b_plus, second.q_b_plus);
+}
+
+TEST(VehicleCacheTest, EmptyTraceThrowsOnStats) {
+  const sim::StopTrace t{"veh", "A", {}};
+  const VehicleCache cache(t);
+  EXPECT_THROW(cache.stats_for(28.0), std::invalid_argument);
+}
+
+TEST(VehicleCacheTest, NonPositiveBreakEvenThrows) {
+  const auto trace = random_trace(10, 1);
+  const VehicleCache cache(trace);
+  EXPECT_THROW(cache.stats_for(0.0), std::invalid_argument);
+  EXPECT_THROW(cache.stats_for(-5.0), std::invalid_argument);
+}
+
+TEST(FleetCacheTest, IndexAlignedWithFleet) {
+  sim::Fleet fleet{random_trace(10, 1, "a"), random_trace(20, 2, "b"),
+                   random_trace(0, 3, "c")};
+  const FleetCache cache(fleet);
+  ASSERT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.vehicle(0).vehicle_id(), "a");
+  EXPECT_EQ(cache.vehicle(1).vehicle_id(), "b");
+  EXPECT_EQ(cache.vehicle(1).num_stops(), 20u);
+  EXPECT_EQ(cache.vehicle(2).num_stops(), 0u);
+}
+
+}  // namespace
+}  // namespace idlered::engine

@@ -1,25 +1,33 @@
 #!/usr/bin/env bash
-# Full verification sweep: the tier-1 suite in a normal build, then the
-# whole suite plus the fault-injection bench under ASan/UBSan. Run from
-# anywhere; builds land in <repo>/build and <repo>/build-asan.
+# Full verification sweep: the tier-1 suite in a normal build, the whole
+# suite plus the fault-injection bench under ASan/UBSan, and the parallel
+# evaluation engine under ThreadSanitizer. Run from anywhere; builds land
+# in <repo>/build, <repo>/build-asan, and <repo>/build-tsan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/3 normal build + ctest =="
+echo "== 1/4 normal build + ctest =="
 cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== 2/3 sanitized build + ctest (ASan + UBSan) =="
+echo "== 2/4 sanitized build + ctest (ASan + UBSan) =="
 cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== 3/3 fault-injection bench under sanitizers =="
+echo "== 3/4 fault-injection bench under sanitizers =="
 "$repo/build-asan/bench/bench_robustness_faults" > /dev/null
 echo "bench_robustness_faults: clean under ASan/UBSan"
+
+echo "== 4/4 engine tests under ThreadSanitizer =="
+cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DENABLE_SANITIZERS=thread
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_engine
+"$repo/build-tsan/tests/test_engine"
+echo "test_engine: clean under TSan"
 
 echo "All checks passed."
