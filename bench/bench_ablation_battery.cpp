@@ -53,7 +53,7 @@ int main() {
   core::ProposedPolicy coa_policy(kB, stops);
   const auto coa = std::make_shared<core::ProposedPolicy>(coa_policy);
   const double unconstrained_cr =
-      sim::evaluate_expected(*coa, stops).cr();
+      sim::evaluate(*coa, stops).cr();
   std::printf("workload: one Chicago week, %zu stops | unconstrained COA "
               "CR = %.3f (picks %s)\n\n",
               stops.size(), unconstrained_cr,
@@ -93,7 +93,7 @@ int main() {
   util::Table t3({"capacity (Wh)", "TOI CR (constrained)",
                   "TOI CR (unconstrained)"});
   const auto toi = core::make_toi(kB);
-  const double toi_free = sim::evaluate_expected(*toi, stops).cr();
+  const double toi_free = sim::evaluate(*toi, stops).cr();
   for (double wh : {50.0, 100.0, 400.0}) {
     sim::BatteryModel b;
     b.capacity_wh = wh;

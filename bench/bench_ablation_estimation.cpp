@@ -40,7 +40,7 @@ int main() {
                   "test CR", "oracle-stats CR"});
   const auto oracle_stats = dist::ShortStopStats::from_sample(test, kB);
   core::ProposedPolicy oracle(kB, oracle_stats);
-  const double oracle_cr = sim::evaluate_expected(oracle, test).cr();
+  const double oracle_cr = sim::evaluate(oracle, test).cr();
 
   for (int k : {3, 5, 10, 20, 50, 100, 500, 2000, 20000}) {
     const std::vector<double> train(pool.begin(), pool.begin() + k);
@@ -49,7 +49,7 @@ int main() {
     t1.add_row({std::to_string(k), util::fmt(est.mu_b_minus / kB, 3),
                 util::fmt(est.q_b_plus, 3),
                 core::to_string(coa.choice().strategy),
-                util::fmt(sim::evaluate_expected(coa, test).cr(), 4),
+                util::fmt(sim::evaluate(coa, test).cr(), 4),
                 util::fmt(oracle_cr, 4)});
   }
   std::printf("%s\n", t1.str().c_str());
@@ -67,7 +67,7 @@ int main() {
                     kB * (1.0 - util::clamp(exact.q_b_plus * f, 0.0, 1.0)));
     noisy.q_b_plus = util::clamp(exact.q_b_plus * f, 0.0, 1.0);
     core::ProposedPolicy coa(kB, noisy);
-    const double cr = sim::evaluate_expected(coa, test).cr();
+    const double cr = sim::evaluate(coa, test).cr();
     t2.add_row({util::fmt(f, 2), core::to_string(coa.choice().strategy),
                 util::fmt(cr, 4), util::fmt(cr - exact_cr, 4)});
   }

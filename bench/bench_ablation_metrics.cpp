@@ -45,11 +45,11 @@ int main() {
   util::Table table({"strategy", "CR (ratio of E)", "CR' (E of ratios)"});
   for (const Row& r : rows) {
     table.add_row({r.name,
-                   util::fmt(sim::evaluate_expected(*r.policy, stops).cr(), 3),
+                   util::fmt(sim::evaluate(*r.policy, stops).cr(), 3),
                    util::fmt(analysis::expected_ratio_cr(*r.policy, stops),
                              3)});
   }
-  table.add_row({"COA", util::fmt(sim::evaluate_expected(coa, stops).cr(), 3),
+  table.add_row({"COA", util::fmt(sim::evaluate(coa, stops).cr(), 3),
                  util::fmt(analysis::expected_ratio_cr(coa, stops), 3)});
   std::printf("%s\n", table.str().c_str());
 

@@ -32,7 +32,7 @@ int main() {
     util::Rng trace_rng = rng.fork(static_cast<std::uint64_t>(n));
     const auto stops = law->sample_many(trace_rng, static_cast<std::size_t>(n));
     const double expected_cr =
-        sim::evaluate_expected(*policy, stops).cr();
+        sim::evaluate(*policy, stops).cr();
 
     double sum = 0.0;
     double sq = 0.0;
@@ -40,7 +40,9 @@ int main() {
       util::Rng eval_rng = rng.fork(1000u + static_cast<std::uint64_t>(r) +
                                     static_cast<std::uint64_t>(n) * 100u);
       const double cr =
-          sim::evaluate_sampled(*policy, stops, eval_rng).cr();
+          sim::evaluate(*policy, stops,
+                        {sim::EvalMode::kSampled, &eval_rng})
+              .cr();
       sum += cr;
       sq += cr * cr;
     }

@@ -33,7 +33,7 @@ constexpr double kB = 28.0;
 /// sampling of stop lengths themselves).
 double realized_cr(const core::Policy& policy,
                    const std::vector<double>& stops) {
-  return sim::evaluate_expected(policy, stops).cr();
+  return sim::evaluate(policy, stops).cr();
 }
 
 void run_case(const std::string& label, const dist::StopLengthDistribution& law,

@@ -117,10 +117,10 @@ int main() {
     const auto ext_choice = core::choose_strategy_extended(est, kB);
     core::ProposedPolicy classic_policy(kB, est);
     const double classic_cr =
-        sim::evaluate_expected(classic_policy, stops).cr();
+        sim::evaluate(classic_policy, stops).cr();
     double extended_cr = classic_cr;
     if (ext_choice.uses_c_rand) {
-      extended_cr = sim::evaluate_expected(
+      extended_cr = sim::evaluate(
                         *core::make_c_rand(kB, ext_choice.c), stops)
                         .cr();
     }

@@ -46,7 +46,7 @@ int main() {
     stops.insert(stops.end(), part.begin(), part.end());
   }
   const double b = 28.0;
-  const auto nev = sim::evaluate_expected(*core::make_nev(b), stops);
+  const auto nev = sim::evaluate(*core::make_nev(b), stops);
   core::ProposedPolicy coa(b, stops);
 
   costmodel::NationalFleetModel fleet;
@@ -64,14 +64,15 @@ int main() {
                  util::fmt(saved.fuel_gallons_per_year / 1e9, 2),
                  util::fmt(saved.usd_per_year / 1e9, 1)});
   };
-  const double offline_total = sim::offline_cost_total(stops, b);
+  // The offline denominator rides along every evaluate() result.
+  const double offline_total = nev.offline;
   add("offline clairvoyant",
       sim::CostTotals{offline_total, offline_total, stops.size()});
-  add("COA (proposed)", sim::evaluate_expected(coa, stops));
+  add("COA (proposed)", sim::evaluate(coa, stops));
   add("TOI (factory SSS)",
-      sim::evaluate_expected(*core::make_toi(b), stops));
-  add("DET (wait B)", sim::evaluate_expected(*core::make_det(b), stops));
-  add("N-Rand", sim::evaluate_expected(*core::make_n_rand(b), stops));
+      sim::evaluate(*core::make_toi(b), stops));
+  add("DET (wait B)", sim::evaluate(*core::make_det(b), stops));
+  add("N-Rand", sim::evaluate(*core::make_n_rand(b), stops));
   std::printf("%s\n", rec.str().c_str());
   std::printf("Reading: on signal-dominated traffic a stop-start system "
               "recovers the majority of the national idling bill, and COA "

@@ -59,9 +59,9 @@ void study(const char* label, const traffic::ArterialConfig& config,
   for (const auto& t : fleet) {
     if (t.stops.empty()) continue;
     nev_online +=
-        sim::evaluate_expected(*core::make_nev(break_even), t.stops).online;
+        sim::evaluate(*core::make_nev(break_even), t.stops).online;
     core::ProposedPolicy coa(break_even, t.stops);
-    coa_online += sim::evaluate_expected(coa, t.stops).online;
+    coa_online += sim::evaluate(coa, t.stops).online;
   }
   const auto saved = sim::to_real_cost(nev_online - coa_online, vehicle);
   std::printf("fleet-week saving of COA vs never-off: %.1f L fuel, $%.2f, "

@@ -66,9 +66,9 @@ int main(int argc, char** argv) {
   sim::AdaptiveController controller(cfg);
   for (double y : stops) controller.process_stop_expected(y);
 
-  const auto toi = sim::evaluate_expected(*core::make_toi(b), stops);
-  const auto nev = sim::evaluate_expected(*core::make_nev(b), stops);
-  const auto det = sim::evaluate_expected(*core::make_det(b), stops);
+  const auto toi = sim::evaluate(*core::make_toi(b), stops);
+  const auto nev = sim::evaluate(*core::make_nev(b), stops);
+  const auto det = sim::evaluate(*core::make_det(b), stops);
   const auto& adaptive = controller.totals();
 
   util::Table table({"controller", "online cost (idle-s)", "CR",

@@ -37,10 +37,10 @@ int main(int argc, char** argv) {
 
     const auto& stops = cycle.stop_lengths_s;
     core::ProposedPolicy coa(b, stops);
-    const auto coa_t = sim::evaluate_expected(coa, stops);
-    const auto nev_t = sim::evaluate_expected(*core::make_nev(b), stops);
-    const auto toi_t = sim::evaluate_expected(*core::make_toi(b), stops);
-    const auto det_t = sim::evaluate_expected(*core::make_det(b), stops);
+    const auto coa_t = sim::evaluate(coa, stops);
+    const auto nev_t = sim::evaluate(*core::make_nev(b), stops);
+    const auto toi_t = sim::evaluate(*core::make_toi(b), stops);
+    const auto det_t = sim::evaluate(*core::make_det(b), stops);
 
     util::Table table({"strategy", "CR", "cost/cycle (idle-s eq)",
                        "fuel/year (L)", "$/year", "CO2/year (kg)"});

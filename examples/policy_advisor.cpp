@@ -100,11 +100,11 @@ void advise(const History& history, double b, const char* kind) {
   std::printf("guarantee: expected cost within %.3fx of a clairvoyant "
               "driver, whatever traffic does.\n", choice.cr);
 
-  const double cr_coa = sim::evaluate_expected(coa, stops).cr();
+  const double cr_coa = sim::evaluate(coa, stops).cr();
   const double cr_nev =
-      sim::evaluate_expected(*core::make_nev(b), stops).cr();
+      sim::evaluate(*core::make_nev(b), stops).cr();
   const double cr_toi =
-      sim::evaluate_expected(*core::make_toi(b), stops).cr();
+      sim::evaluate(*core::make_toi(b), stops).cr();
   std::printf("on this history: COA CR %.3f vs never-off %.3f vs "
               "always-off %.3f\n\n", cr_coa, cr_nev, cr_toi);
 }

@@ -46,9 +46,9 @@ int main() {
        {core::make_toi(b), core::make_nev(b), core::make_det(b),
         core::make_n_rand(b)}) {
     std::printf("  %-8s CR = %.3f\n", policy->name().c_str(),
-                sim::evaluate_expected(*policy, history).cr());
+                sim::evaluate(*policy, history).cr());
   }
   std::printf("  %-8s CR = %.3f\n", "COA",
-              sim::evaluate_expected(coa, history).cr());
+              sim::evaluate(coa, history).cr());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/costs.h"
+#include "util/contracts.h"
 #include "util/math.h"
 
 namespace idlered::core {
@@ -15,9 +16,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 void require_feasible(const dist::ShortStopStats& s, double break_even) {
   require_valid_break_even(break_even);
-  if (!s.feasible(break_even))
-    throw std::invalid_argument(
-        "ShortStopStats infeasible: need 0 <= q <= 1 and mu <= B(1-q)");
+  IDLERED_EXPECTS(
+      s.feasible(break_even),
+      "ShortStopStats infeasible: need 0 <= q <= 1 and mu <= B(1-q)");
 }
 
 double offline(const dist::ShortStopStats& s, double break_even) {
@@ -68,17 +69,26 @@ bool b_det_feasible(const dist::ShortStopStats& s, double break_even) {
 double b_det_optimal_threshold(const dist::ShortStopStats& s,
                                double break_even) {
   require_feasible(s, break_even);
-  if (s.q_b_plus <= 0.0)
-    throw std::invalid_argument("b_det_optimal_threshold: q_B_plus must be > 0");
-  return std::sqrt(s.mu_b_minus * break_even / s.q_b_plus);
+  IDLERED_EXPECTS(s.q_b_plus > 0.0,
+                  "b_det_optimal_threshold: q_B_plus must be > 0");
+  const double b = std::sqrt(s.mu_b_minus * break_even / s.q_b_plus);
+  IDLERED_ENSURES(std::isfinite(b) && b >= 0.0,
+                  "b* = sqrt(mu B / q) must be finite and non-negative");
+  return b;
 }
 
 double worst_case_cost_b_det(const dist::ShortStopStats& s,
                              double break_even) {
+  // Eq. (36) gate precedes the b* computation: on an infeasible vertex the
+  // sqrt would still evaluate, but the eq. (35) cost below would understate
+  // the adversary's power. Returning +inf keeps the vertex out of the min.
   if (!b_det_feasible(s, break_even)) return kInf;
   const double root =
       std::sqrt(s.mu_b_minus) + std::sqrt(s.q_b_plus * break_even);
-  return root * root;  // eq. (35)
+  const double cost = root * root;  // eq. (35)
+  IDLERED_ENSURES(std::isfinite(cost) && cost >= 0.0,
+                  "b-DET worst-case cost must be finite and non-negative");
+  return cost;
 }
 
 double worst_case_cost_b_det_at(const dist::ShortStopStats& s,
@@ -122,6 +132,14 @@ StrategyChoice choose_strategy(const dist::ShortStopStats& s,
 
   const double off = offline(s, break_even);
   best.cr = off > 0.0 ? best.expected_cost / off : 1.0;
+  // Every vertex cost is a worst case over a class containing the offline
+  // optimum, so the selection can never beat offline (cr >= 1) nor go
+  // negative; a violation means a vertex formula regressed.
+  IDLERED_ENSURES(std::isfinite(best.expected_cost) &&
+                      best.expected_cost >= 0.0,
+                  "selected vertex cost must be finite and non-negative");
+  IDLERED_ENSURES(best.cr >= 1.0 - 1e-9,
+                  "worst-case CR below 1 contradicts eq. (13)");
   return best;
 }
 

@@ -20,7 +20,10 @@ double online_cost(double x, double y, double break_even) {
 double competitive_ratio(double x, double y, double break_even) {
   const double off = offline_cost(y, break_even);
   const double on = online_cost(x, y, break_even);
+  // lint: allow(float-compare): exact zero sentinel — offline cost is 0
+  // only for y == 0 exactly; a tolerance would misclassify short stops.
   if (off == 0.0) {
+    // lint: allow(float-compare): same exact-zero sentinel for the ratio
     return on == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
   }
   return on / off;

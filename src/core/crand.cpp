@@ -5,16 +5,26 @@
 #include <stdexcept>
 
 #include "core/costs.h"
+#include "util/contracts.h"
 #include "util/math.h"
 
 namespace idlered::core {
 
 CRandPolicy::CRandPolicy(double break_even, double c)
     : Policy(break_even), c_(c), kappa_(0.0) {
-  if (!(c > 0.0) || c > break_even)
-    throw std::invalid_argument("CRandPolicy: need 0 < c <= B");
+  IDLERED_EXPECTS(c > 0.0 && c <= break_even,
+                  "CRandPolicy: need 0 < c <= B");
   const double ec = std::exp(c / break_even);
   kappa_ = ec / (ec - 1.0);
+  // Normalization and support contract: the truncated density
+  // e^{x/B}/(B(e^{c/B}-1)) must integrate to 1 over [0, c] (cdf(c) = 1 in
+  // closed form) and its equalizer slope kappa = e^{c/B}/(e^{c/B}-1) must
+  // stay finite — for c/B -> 0 the denominator underflows first and would
+  // turn every expected cost into inf.
+  IDLERED_ENSURES(std::isfinite(kappa_) && kappa_ >= 1.0,
+                  "CRandPolicy: kappa = e^{c/B}/(e^{c/B}-1) degenerate");
+  IDLERED_ASSERT_INVARIANT(util::approx_equal(cdf(c_), 1.0, 1e-9, 1e-12),
+                           "CRandPolicy: pdf does not normalize over [0, c]");
 }
 
 double CRandPolicy::pdf(double x) const {
@@ -31,7 +41,7 @@ double CRandPolicy::cdf(double x) const {
 }
 
 double CRandPolicy::expected_cost(double y) const {
-  if (y < 0.0) throw std::invalid_argument("expected_cost: y must be >= 0");
+  IDLERED_EXPECTS(y >= 0.0, "expected_cost: y must be >= 0");
   // Equalizer over the truncated support: integrating eq. (19) with the
   // density e^{x/B}/(B(e^{c/B}-1)) on [0, c] gives kappa * y for y <= c
   // and the constant kappa * c for y >= c (all thresholds have fired).

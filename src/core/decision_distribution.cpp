@@ -6,6 +6,7 @@
 
 #include "core/costs.h"
 #include "core/policies.h"
+#include "util/contracts.h"
 #include "util/math.h"
 
 namespace idlered::core {
@@ -16,30 +17,33 @@ DecisionDistribution::DecisionDistribution(double break_even,
     : Policy(break_even),
       atoms_(std::move(atoms)),
       continuous_mass_(continuous_mass) {
-  if (continuous_mass_ < -1e-12)
-    throw std::invalid_argument(
-        "DecisionDistribution: continuous mass must be >= 0");
+  IDLERED_EXPECTS(continuous_mass_ >= -1e-12,
+                  "DecisionDistribution: continuous mass must be >= 0");
   continuous_mass_ = std::max(0.0, continuous_mass_);
   double total = continuous_mass_;
   for (const Atom& a : atoms_) {
-    if (a.mass < -1e-12)
-      throw std::invalid_argument("DecisionDistribution: negative atom mass");
-    if (a.threshold < 0.0 || a.threshold > break_even)
-      throw std::invalid_argument(
-          "DecisionDistribution: atoms must lie in [0, B] (Appendix A)");
+    IDLERED_EXPECTS(a.mass >= -1e-12,
+                    "DecisionDistribution: negative atom mass");
+    IDLERED_EXPECTS(a.threshold >= 0.0 && a.threshold <= break_even,
+                    "DecisionDistribution: atoms must lie in [0, B] "
+                    "(Appendix A)");
     total += a.mass;
   }
-  if (!util::approx_equal(total, 1.0, 1e-9, 1e-9))
-    throw std::invalid_argument(
-        "DecisionDistribution: masses must sum to 1");
+  IDLERED_EXPECTS(util::approx_equal(total, 1.0, 1e-9, 1e-9),
+                  "DecisionDistribution: masses must sum to 1");
   std::sort(atoms_.begin(), atoms_.end(),
             [](const Atom& a, const Atom& b) {
               return a.threshold < b.threshold;
             });
+  // Normalization contract over the whole mixed object P(x): atoms plus the
+  // N-Rand-shaped continuous part must place exactly unit mass on [0, B].
+  IDLERED_ASSERT_INVARIANT(
+      util::approx_equal(cdf(break_even), 1.0, 1e-9, 1e-9),
+      "DecisionDistribution: P(x) does not normalize over [0, B]");
 }
 
 double DecisionDistribution::expected_cost(double y) const {
-  if (y < 0.0) throw std::invalid_argument("expected_cost: y must be >= 0");
+  IDLERED_EXPECTS(y >= 0.0, "expected_cost: y must be >= 0");
   const double b = break_even();
   double cost = 0.0;
   for (const Atom& a : atoms_) {

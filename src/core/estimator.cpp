@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/costs.h"
+#include "util/contracts.h"
 
 namespace idlered::core {
 
@@ -29,6 +30,13 @@ dist::ShortStopStats StatsEstimator::stats() const {
   dist::ShortStopStats s;
   s.mu_b_minus = short_sum_ / static_cast<double>(n_);
   s.q_b_plus = static_cast<double>(long_count_) / static_cast<double>(n_);
+  // Boundary contract for everything downstream (choose_strategy, b-DET
+  // feasibility): an estimate outside these ranges would silently produce
+  // NaN thresholds via sqrt(mu B / q).
+  IDLERED_ENSURES(s.q_b_plus >= 0.0 && s.q_b_plus <= 1.0,
+                  "StatsEstimator: q_B_plus must lie in [0, 1]");
+  IDLERED_ENSURES(s.mu_b_minus >= 0.0 && s.mu_b_minus <= break_even_,
+                  "StatsEstimator: mu_B_minus must lie in [0, B]");
   return s;
 }
 
@@ -61,6 +69,10 @@ dist::ShortStopStats DecayingStatsEstimator::stats() const {
   dist::ShortStopStats s;
   s.mu_b_minus = short_sum_ / weight_;
   s.q_b_plus = long_weight_ / weight_;
+  IDLERED_ENSURES(s.q_b_plus >= 0.0 && s.q_b_plus <= 1.0,
+                  "DecayingStatsEstimator: q_B_plus must lie in [0, 1]");
+  IDLERED_ENSURES(s.mu_b_minus >= 0.0 && s.mu_b_minus <= break_even_,
+                  "DecayingStatsEstimator: mu_B_minus must lie in [0, B]");
   return s;
 }
 

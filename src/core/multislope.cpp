@@ -17,6 +17,7 @@ MultislopeInstance::MultislopeInstance(std::vector<SlopeState> states)
     : states_(std::move(states)) {
   if (states_.size() < 2)
     throw std::invalid_argument("MultislopeInstance: need >= 2 states");
+  // lint: allow(float-compare): state 0 must be exactly free by definition
   if (states_.front().switch_cost != 0.0)
     throw std::invalid_argument("MultislopeInstance: state 0 must be free");
   if (!(states_.front().rate > 0.0))
@@ -72,6 +73,7 @@ Schedule::Schedule(const MultislopeInstance& instance,
       name_(std::move(name)) {
   if (switch_times_.size() != instance.num_states())
     throw std::invalid_argument("Schedule: one switch time per state");
+  // lint: allow(float-compare): schedules start in state 0 at exactly t=0
   if (switch_times_.front() != 0.0)
     throw std::invalid_argument("Schedule: state 0 starts at time 0");
   for (std::size_t i = 1; i < switch_times_.size(); ++i) {
@@ -100,6 +102,7 @@ double Schedule::online_cost(double y) const {
 double Schedule::competitive_ratio(double y) const {
   const double off = instance_.offline_cost(y);
   const double on = online_cost(y);
+  // lint: allow(float-compare): exact zero sentinel, mirrors core/costs.cpp
   if (off == 0.0) return on == 0.0 ? 1.0 : kInf;
   return on / off;
 }
@@ -108,6 +111,8 @@ double Schedule::worst_case_cr() const {
   // Any state entered at time 0 with positive switch cost makes cr(0+)
   // infinite (TOI-like schedules).
   for (std::size_t i = 1; i < switch_times_.size(); ++i) {
+    // lint: allow(float-compare): entered-at-exactly-0 is the divergence
+    // condition; times epsilon-close to 0 give finite (if huge) CR.
     if (switch_times_[i] == 0.0 &&
         instance_.state(i).switch_cost > 0.0) {
       return kInf;
@@ -143,7 +148,9 @@ double Schedule::worst_case_cr() const {
   }
   const double r_mine = instance_.state(deepest).rate;
   const double r_best = instance_.state(instance_.num_states() - 1).rate;
-  if (r_mine > 0.0 && r_best == 0.0) return kInf;  // NEV-like divergence
+  // lint: allow(float-compare): rate exactly 0 (a true off state) is the
+  // NEV-like divergence condition; tiny positive rates stay finite.
+  if (r_mine > 0.0 && r_best == 0.0) return kInf;
   if (r_best > 0.0) sup = std::max(sup, r_mine / r_best);
   // Large-but-finite probes to cover slow approaches to the asymptote.
   const double far = 1e6 * (instance_.breakpoints().back() + 1.0);

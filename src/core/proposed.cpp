@@ -1,8 +1,10 @@
 #include "core/proposed.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "core/policies.h"
+#include "util/contracts.h"
 
 namespace idlered::core {
 
@@ -25,7 +27,19 @@ ProposedPolicy::ProposedPolicy(double break_even,
     : Policy(break_even),
       stats_(stats),
       choice_(choose_strategy(stats, break_even)),
-      delegate_(build_delegate(break_even, choice_)) {}
+      delegate_(build_delegate(break_even, choice_)) {
+  // The selection's guarantees must be usable numbers: a NaN CR here is
+  // exactly the "bad CR number three PRs later" failure mode the contract
+  // layer exists to catch at the boundary.
+  IDLERED_ENSURES(std::isfinite(choice_.expected_cost) &&
+                      choice_.expected_cost >= 0.0,
+                  "ProposedPolicy: selected vertex cost invalid");
+  IDLERED_ENSURES(std::isfinite(choice_.cr) && choice_.cr >= 1.0 - 1e-9,
+                  "ProposedPolicy: worst-case CR must be finite and >= 1");
+  IDLERED_ENSURES(choice_.strategy != Strategy::kBDet ||
+                      (choice_.b > 0.0 && choice_.b < break_even),
+                  "ProposedPolicy: b-DET selected with b* outside (0, B)");
+}
 
 ProposedPolicy::ProposedPolicy(double break_even,
                                const dist::StopLengthDistribution& q)

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "lp/simplex.h"
+#include "util/contracts.h"
 
 namespace idlered::core {
 
@@ -18,6 +19,19 @@ LpCoefficients lp_coefficients(const dist::ShortStopStats& stats,
   k.k_gamma = std::isinf(bdet)
                   ? std::numeric_limits<double>::infinity()
                   : bdet - k.constant;
+  // Vertex-cost contract, eq. (13)/(32): every vertex's absolute cost
+  // K_i + constant is a worst case over a class that contains the offline
+  // optimum, so it can never be negative. A negative absolute cost means a
+  // vertex formula (or the N-Rand baseline) regressed.
+  IDLERED_ENSURES(k.constant >= 0.0 && std::isfinite(k.constant),
+                  "lp_coefficients: N-Rand baseline cost must be finite "
+                  "and non-negative");
+  IDLERED_ENSURES(k.k_alpha + k.constant >= 0.0,
+                  "lp_coefficients: TOI vertex cost negative");
+  IDLERED_ENSURES(k.k_beta + k.constant >= 0.0,
+                  "lp_coefficients: DET vertex cost negative");
+  IDLERED_ENSURES(k.k_gamma + k.constant >= 0.0,
+                  "lp_coefficients: b-DET vertex cost negative");
   return k;
 }
 
@@ -45,6 +59,15 @@ LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
   out.beta = sol.x[1];
   out.gamma = sol.x[2];
   out.expected_cost = sol.objective_value + k.constant;
+  IDLERED_ENSURES(out.alpha >= -1e-9 && out.beta >= -1e-9 &&
+                      out.gamma >= -1e-9 &&
+                      out.alpha + out.beta + out.gamma <= 1.0 + 1e-9,
+                  "solve_constrained_lp: (alpha, beta, gamma) must be a "
+                  "sub-probability vector (eq. 33)");
+  IDLERED_ENSURES(std::isfinite(out.expected_cost) &&
+                      out.expected_cost >= 0.0,
+                  "solve_constrained_lp: optimal cost must be finite and "
+                  "non-negative (eq. 32)");
   if (gamma_usable && out.gamma > 0.5) {
     out.strategy = Strategy::kBDet;
     out.b = b_det_optimal_threshold(stats, break_even);

@@ -1,7 +1,9 @@
 #include "dist/distribution.h"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.h"
 #include "util/math.h"
 
 namespace idlered::dist {
@@ -50,23 +52,36 @@ double ShortStopStats::expected_offline_cost(double break_even) const {
 
 ShortStopStats ShortStopStats::from_distribution(
     const StopLengthDistribution& q, double break_even) {
-  if (break_even <= 0.0)
-    throw std::invalid_argument("ShortStopStats: break_even must be > 0");
+  IDLERED_EXPECTS(break_even > 0.0,
+                  "ShortStopStats: break_even must be > 0");
   ShortStopStats s;
   s.mu_b_minus = q.partial_expectation(break_even);
   s.q_b_plus = q.tail_probability(break_even);
+  // Boundary contract: any (mu, q) pair leaving this constructor feeds
+  // sqrt(mu B / q) and the eq. (36) feasibility test downstream, so a
+  // mis-normalized pdf or a broken quadrature must be caught here, not
+  // three calls later as a NaN strategy. The tolerance absorbs quadrature
+  // round-off on heavy-tailed families.
+  IDLERED_ENSURES(s.q_b_plus >= -1e-12 && s.q_b_plus <= 1.0 + 1e-12,
+                  "ShortStopStats: q_B_plus must lie in [0, 1] — pdf "
+                  "normalization or cdf is broken");
+  IDLERED_ENSURES(s.mu_b_minus >= -1e-12 &&
+                      s.mu_b_minus <= break_even * (1.0 + 1e-9),
+                  "ShortStopStats: mu_B_minus must lie in [0, B] — partial "
+                  "expectation exceeds the short-stop support");
   return s;
 }
 
 ShortStopStats ShortStopStats::from_sample(const std::vector<double>& sample,
                                            double break_even) {
-  if (sample.empty())
-    throw std::invalid_argument("ShortStopStats: empty sample");
-  if (break_even <= 0.0)
-    throw std::invalid_argument("ShortStopStats: break_even must be > 0");
+  IDLERED_EXPECTS(!sample.empty(), "ShortStopStats: empty sample");
+  IDLERED_EXPECTS(break_even > 0.0,
+                  "ShortStopStats: break_even must be > 0");
   double sum_short = 0.0;
   std::size_t num_long = 0;
   for (double y : sample) {
+    IDLERED_EXPECTS(std::isfinite(y) && y >= 0.0,
+                    "ShortStopStats: stop lengths must be finite and >= 0");
     if (y >= break_even) {
       ++num_long;
     } else {
@@ -77,6 +92,9 @@ ShortStopStats ShortStopStats::from_sample(const std::vector<double>& sample,
   const auto n = static_cast<double>(sample.size());
   s.mu_b_minus = sum_short / n;
   s.q_b_plus = static_cast<double>(num_long) / n;
+  IDLERED_ENSURES(s.feasible(break_even),
+                  "ShortStopStats: empirical (mu, q) must satisfy "
+                  "mu <= B(1-q) — accumulation overflowed or went negative");
   return s;
 }
 

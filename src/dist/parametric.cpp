@@ -169,6 +169,8 @@ std::string Pareto::name() const {
 
 double Pareto::partial_expectation(double b) const {
   if (b <= scale_) return 0.0;
+  // lint: allow(float-compare): alpha == 1 is an exact branch cut — the
+  // closed form below divides by (alpha - 1).
   if (shape_ == 1.0) return scale_ * std::log(b / scale_);
   // integral_{x_m}^b y pdf(y) dy
   //   = alpha/(alpha-1) * (x_m - x_m^alpha * b^{1-alpha})
@@ -196,6 +198,8 @@ Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
 
 double Weibull::pdf(double y) const {
   if (y < 0.0) return 0.0;
+  // lint: allow(float-compare): density at exactly y == 0 (and the k == 1
+  // exponential special case) are exact branch cuts of the Weibull pdf.
   if (y == 0.0) return shape_ >= 1.0 ? (shape_ == 1.0 ? 1.0 / scale_ : 0.0)
                                      : std::numeric_limits<double>::infinity();
   const double t = y / scale_;
@@ -283,8 +287,11 @@ Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
 
 double Gamma::pdf(double y) const {
   if (y < 0.0) return 0.0;
+  // lint: allow(float-compare): exact branch cuts of the Gamma density at
+  // the origin (y == 0) and the exponential special case (k == 1).
   if (y == 0.0) {
     if (shape_ > 1.0) return 0.0;
+    // lint: allow(float-compare): see branch-cut note above
     if (shape_ == 1.0) return 1.0 / scale_;
     return std::numeric_limits<double>::infinity();
   }

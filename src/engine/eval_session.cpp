@@ -1,6 +1,5 @@
 #include "engine/eval_session.h"
 
-#include <chrono>
 #include <cmath>
 #include <map>
 #include <stdexcept>
@@ -8,6 +7,8 @@
 
 #include "engine/thread_pool.h"
 #include "engine/vehicle_cache.h"
+#include "util/clock.h"
+#include "util/contracts.h"
 #include "util/random.h"
 
 namespace idlered::engine {
@@ -60,18 +61,22 @@ struct EvalSession::Impl {
 
 namespace {
 
+// EvalPlan shape contract: the engine's slot layout and counter-based seed
+// derivation both assume every point carries a live fleet and a usable
+// break-even; a malformed plan must be rejected before any slot is sized.
 void validate_plan(const EvalPlan& plan) {
-  if (plan.strategies.empty())
-    throw std::invalid_argument("EvalSession: no strategies given");
+  IDLERED_EXPECTS(!plan.strategies.empty(),
+                  "EvalSession: no strategies given");
   for (const StrategyBuilderPtr& s : plan.strategies) {
-    if (!s) throw std::invalid_argument("EvalSession: null strategy builder");
+    IDLERED_EXPECTS(s != nullptr, "EvalSession: null strategy builder");
   }
   for (const PlanPoint& p : plan.points) {
-    if (!p.fleet) throw std::invalid_argument("EvalSession: null fleet");
-    if (!(p.break_even > 0.0) || !std::isfinite(p.break_even))
-      throw std::invalid_argument(
-          "EvalSession: break_even must be finite and > 0");
+    IDLERED_EXPECTS(p.fleet != nullptr, "EvalSession: null fleet");
+    IDLERED_EXPECTS(p.break_even > 0.0 && std::isfinite(p.break_even),
+                    "EvalSession: break_even must be finite and > 0");
   }
+  IDLERED_EXPECTS(plan.threads >= 0,
+                  "EvalSession: threads must be >= 0 (0 = hardware)");
 }
 
 }  // namespace
@@ -124,7 +129,7 @@ EvalReport EvalSession::run() {
   }
   report.cells = cells.size() * plan.strategies.size();
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const double t0 = util::monotonic_seconds();
 
   // Pass 1: per-vehicle statistics caches, built in parallel, shared by
   // sweep points that reference the same fleet object.
@@ -191,8 +196,9 @@ EvalReport EvalSession::run() {
     }
   });
 
-  const auto t1 = std::chrono::steady_clock::now();
-  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  report.wall_seconds = util::monotonic_seconds() - t0;
+  IDLERED_ENSURES(report.points.size() == plan.points.size(),
+                  "EvalSession: report must carry one entry per plan point");
   return report;
 }
 

@@ -31,6 +31,8 @@ class Tableau {
     for (std::size_t r = 0; r < rows_; ++r) {
       if (r == pr) continue;
       const double factor = at(r, pc);
+      // lint: allow(float-compare): exact-zero skip is a pure optimization;
+      // eliminating with factor 0 is a no-op either way.
       if (factor == 0.0) continue;
       for (std::size_t c = 0; c < cols_; ++c) {
         at(r, c) -= factor * at(pr, c);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/costs.h"
+#include "util/contracts.h"
 
 namespace idlered::sim {
 
@@ -32,8 +33,9 @@ double CostTotals::cr() const {
 
 CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
                     const EvalOptions& options) {
-  if (options.mode == EvalMode::kSampled && options.rng == nullptr)
-    throw std::invalid_argument("evaluate: sampled mode needs an rng");
+  IDLERED_EXPECTS(options.mode != EvalMode::kSampled ||
+                      options.rng != nullptr,
+                  "evaluate: sampled mode needs an rng");
 
   CostTotals totals;
   const double b = policy.break_even();

@@ -1,0 +1,12 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace idlered::util {
+
+double monotonic_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+}  // namespace idlered::util

@@ -1,0 +1,18 @@
+// Wall-clock access, quarantined in util/.
+//
+// The engine's bit-identical-report guarantee depends on nothing in src/
+// reading ambient entropy or time except through util/ (the custom lint
+// rule `determinism` enforces this). Timing instrumentation is the one
+// legitimate consumer of a clock, so it gets a single audited entry point
+// here instead of ad-hoc std::chrono calls scattered through the tree.
+#pragma once
+
+namespace idlered::util {
+
+/// Seconds on a monotonic clock with an arbitrary epoch. Differences are
+/// meaningful (wall-time measurement); absolute values are not, so the
+/// result must never feed a seed, a file name, or any reported statistic
+/// other than elapsed time.
+double monotonic_seconds();
+
+}  // namespace idlered::util

@@ -1,0 +1,60 @@
+#include "util/contracts.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace idlered::util::contracts {
+
+namespace {
+
+std::atomic<Mode> g_mode{static_cast<Mode>(IDLERED_CONTRACT_MODE_DEFAULT)};
+
+std::string format_message(const char* kind, const char* condition,
+                           const char* file, int line,
+                           const std::string& message) {
+  std::string out = "contract violation [";
+  out += kind;
+  out += "] at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += message;
+  out += " (failed: ";
+  out += condition;
+  out += ')';
+  return out;
+}
+
+}  // namespace
+
+Mode mode() noexcept { return g_mode.load(std::memory_order_relaxed); }
+
+void set_mode(Mode m) noexcept {
+  g_mode.store(m, std::memory_order_relaxed);
+}
+
+ContractViolation::ContractViolation(const char* kind, const char* condition,
+                                     const char* file, int line,
+                                     const std::string& message)
+    : std::invalid_argument(
+          format_message(kind, condition, file, line, message)),
+      kind_(kind),
+      condition_(condition),
+      file_(file),
+      line_(line) {}
+
+void violate(const char* kind, const char* condition, const char* file,
+             int line, const std::string& message) {
+  if (mode() == Mode::kAbort) {
+    std::fputs(
+        format_message(kind, condition, file, line, message).c_str(),
+        stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+  }
+  throw ContractViolation(kind, condition, file, line, message);
+}
+
+}  // namespace idlered::util::contracts

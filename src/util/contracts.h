@@ -1,0 +1,116 @@
+// Checked math contracts for the numerical hot spots.
+//
+// The reproduction's correctness rests on analytic invariants — the b-DET
+// feasibility condition mu_B-/B < (1-q_B+)^2/q_B+ (eq. 36), pdf
+// normalization of the randomized decision distributions, LP vertex costs
+// matching eq. (13) — that used to live in scattered ad-hoc `throw`
+// statements or, worse, in nobody's code at all. This header centralizes
+// them behind three macros:
+//
+//   IDLERED_EXPECTS(cond, msg)           precondition at an API boundary
+//   IDLERED_ENSURES(cond, msg)           postcondition on a computed result
+//   IDLERED_ASSERT_INVARIANT(cond, msg)  internal consistency mid-computation
+//
+// Behavior on violation is configurable through the build option
+// IDLERED_CONTRACT_MODE (CMake cache variable, default `throw`):
+//
+//   throw  raise ContractViolation (derives from std::invalid_argument, so
+//          existing EXPECT_THROW(std::invalid_argument) call sites and
+//          catch blocks keep working);
+//   abort  print the violation to stderr and std::abort() — the mode for
+//          fuzzing and sanitizer runs where unwinding would hide the stack;
+//   off    compile the checks out entirely (release-critical inner loops).
+//
+// Unless compiled out, the mode can also be switched at runtime with
+// contracts::set_mode(); tests use this to cover all three behaviors in a
+// single binary. The condition expression is NOT evaluated when the runtime
+// mode is kOff, so conditions must be side-effect free.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+// Numeric mode encoding shared with CMake: off=0, throw=1, abort=2.
+#define IDLERED_CONTRACT_MODE_OFF 0
+#define IDLERED_CONTRACT_MODE_THROW 1
+#define IDLERED_CONTRACT_MODE_ABORT 2
+
+#ifndef IDLERED_CONTRACT_MODE_DEFAULT
+#define IDLERED_CONTRACT_MODE_DEFAULT IDLERED_CONTRACT_MODE_THROW
+#endif
+
+namespace idlered::util::contracts {
+
+enum class Mode {
+  kOff = IDLERED_CONTRACT_MODE_OFF,
+  kThrow = IDLERED_CONTRACT_MODE_THROW,
+  kAbort = IDLERED_CONTRACT_MODE_ABORT,
+};
+
+/// The active mode. Starts at the compile-time default.
+Mode mode() noexcept;
+
+/// Runtime override (mainly for tests covering all modes in one binary).
+void set_mode(Mode m) noexcept;
+
+/// RAII mode switch for test scopes.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m) : previous_(mode()) { set_mode(m); }
+  ~ScopedMode() { set_mode(previous_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode previous_;
+};
+
+/// Thrown in kThrow mode. Derives from std::invalid_argument so the
+/// pre-contract `throw std::invalid_argument` call sites it replaces stay
+/// compatible with existing handlers and tests.
+class ContractViolation : public std::invalid_argument {
+ public:
+  ContractViolation(const char* kind, const char* condition, const char* file,
+                    int line, const std::string& message);
+
+  const std::string& kind() const noexcept { return kind_; }
+  const std::string& condition() const noexcept { return condition_; }
+  const std::string& file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  std::string kind_;
+  std::string condition_;
+  std::string file_;
+  int line_;
+};
+
+/// Reacts to a failed check per the active mode: throws ContractViolation
+/// (kThrow) or prints and aborts (kAbort). Never called in kOff mode.
+[[noreturn]] void violate(const char* kind, const char* condition,
+                          const char* file, int line,
+                          const std::string& message);
+
+}  // namespace idlered::util::contracts
+
+#if IDLERED_CONTRACT_MODE_DEFAULT == IDLERED_CONTRACT_MODE_OFF
+// Compiled out: the condition is not evaluated and cannot be re-enabled at
+// runtime. `sizeof` keeps the expression syntactically checked so an `off`
+// build cannot silently rot a contract.
+#define IDLERED_CONTRACT_(kind, cond, msg) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#else
+#define IDLERED_CONTRACT_(kind, cond, msg)                                  \
+  do {                                                                      \
+    if (::idlered::util::contracts::mode() !=                               \
+            ::idlered::util::contracts::Mode::kOff &&                       \
+        !(cond))                                                            \
+      ::idlered::util::contracts::violate(kind, #cond, __FILE__, __LINE__,  \
+                                          msg);                             \
+  } while (false)
+#endif
+
+#define IDLERED_EXPECTS(cond, msg) IDLERED_CONTRACT_("precondition", cond, msg)
+#define IDLERED_ENSURES(cond, msg) IDLERED_CONTRACT_("postcondition", cond, msg)
+#define IDLERED_ASSERT_INVARIANT(cond, msg) \
+  IDLERED_CONTRACT_("invariant", cond, msg)

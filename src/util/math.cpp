@@ -86,13 +86,17 @@ double bisect(const std::function<double(double)>& f, double a, double b,
               double tol) {
   double fa = f(a);
   double fb = f(b);
+  // lint: allow(float-compare): an exact root at an endpoint short-circuits
+  // bisection; near-zeros are handled by the tolerance loop below.
   if (fa == 0.0) return a;
+  // lint: allow(float-compare): same exact-root short-circuit
   if (fb == 0.0) return b;
   if (fa * fb > 0.0)
     throw std::invalid_argument("bisect: f(a) and f(b) have the same sign");
   while (b - a > tol) {
     const double m = 0.5 * (a + b);
     const double fm = f(m);
+    // lint: allow(float-compare): exact-root short-circuit, as above
     if (fm == 0.0) return m;
     if (fa * fm < 0.0) {
       b = m;

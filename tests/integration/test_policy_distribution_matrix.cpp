@@ -118,7 +118,7 @@ class PolicyLawMatrix
 
 TEST_P(PolicyLawMatrix, OnlineNeverBeatsOffline) {
   // cost_online >= cost_offline pointwise, hence also in expectation.
-  const auto totals = sim::evaluate_expected(*policy_, stops_);
+  const auto totals = sim::evaluate(*policy_, stops_);
   EXPECT_GE(totals.online, totals.offline - 1e-9);
   EXPECT_GE(totals.cr(), 1.0 - 1e-12);
 }
@@ -141,8 +141,9 @@ TEST_P(PolicyLawMatrix, PerStopCostWithinHardEnvelope) {
 TEST_P(PolicyLawMatrix, SampledCostConsistentWithExpected) {
   // Monte-Carlo evaluation converges to expected-mode on a long trace.
   util::Rng rng(0xBEEF);
-  const auto sampled = sim::evaluate_sampled(*policy_, stops_, rng);
-  const auto expected = sim::evaluate_expected(*policy_, stops_);
+  const auto sampled =
+      sim::evaluate(*policy_, stops_, {sim::EvalMode::kSampled, &rng});
+  const auto expected = sim::evaluate(*policy_, stops_);
   // NEV/TOI/DET are deterministic: exact match. Randomized: 2% band.
   const double tol = policy_->deterministic() ? 1e-9 : 0.02 * expected.cr();
   EXPECT_NEAR(sampled.cr(), expected.cr(), tol)
@@ -169,7 +170,7 @@ TEST_P(PolicyLawMatrix, CoaSpecificGuarantee) {
   // COA's trace CR must respect both the e/(e-1) cap and its own printed
   // worst-case bound (its statistics come from this very trace).
   const auto& coa = dynamic_cast<const core::ProposedPolicy&>(*policy_);
-  const double cr = sim::evaluate_expected(coa, stops_).cr();
+  const double cr = sim::evaluate(coa, stops_).cr();
   EXPECT_LE(cr, util::kEOverEMinus1 + 1e-9);
   EXPECT_LE(cr, coa.worst_case_cr() + 1e-9);
 }

@@ -1,0 +1,15 @@
+// lint-fixture: path=bench/bench_example.cpp
+// The `deprecated-eval` rule: calls to the legacy evaluator wrappers are
+// findings anywhere outside src/sim/evaluator.{h,cpp}; the unified
+// evaluate() entry point and annotated legacy coverage are fine.
+// (Fixtures are linted, not compiled, so declarations are omitted — any
+// mention of the wrapper names followed by `(` counts as a call.)
+
+void example(const void* policy, const double* stops) {
+  idlered::sim::evaluate(policy, stops, {});
+  idlered::sim::evaluate_expected(policy, stops);         // LINT-BAD(deprecated-eval)
+  idlered::sim::evaluate_sampled(policy, stops, 7);       // LINT-BAD(deprecated-eval)
+  idlered::sim::offline_cost_total(stops, 28.0);          // LINT-BAD(deprecated-eval)
+  // lint: allow(deprecated-eval): wrapper regression coverage
+  idlered::sim::evaluate_expected(policy, stops);
+}

@@ -1,0 +1,21 @@
+// lint-fixture: path=src/sim/evaluator.cpp
+// The wrappers' own definitions must not trigger `deprecated-eval` —
+// src/sim/evaluator.{h,cpp} are the allowlisted home.
+// (Note for the float-compare scope: this pretends to be in src/, so exact
+// comparisons here would need annotations; it has none.)
+
+namespace idlered::sim {
+
+struct CostTotals { double online, offline; };
+
+CostTotals evaluate(const void* policy, const double* stops);
+
+CostTotals evaluate_expected(const void* policy, const double* stops) {
+  return evaluate(policy, stops);
+}
+
+double offline_cost_total(const double* stops, double b) {
+  return b + stops[0];
+}
+
+}  // namespace idlered::sim

@@ -1,0 +1,29 @@
+// lint-fixture: path=src/core/example.cpp
+// Bad examples for the `determinism` rule: ambient entropy/clock reads in
+// src/ outside util/. Each marked line must produce exactly one finding.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace idlered::core {
+
+unsigned bad_entropy() {
+  std::random_device rd;                                  // LINT-BAD(determinism)
+  return rd();
+}
+
+int bad_rand() {
+  return rand();                                          // LINT-BAD(determinism)
+}
+
+long bad_time() {
+  return time(nullptr);                                   // LINT-BAD(determinism)
+}
+
+double bad_clock() {
+  auto t = std::chrono::steady_clock::now();              // LINT-BAD(determinism)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,36 @@
+// lint-fixture: path=src/core/example_good.cpp
+// Good examples for the `determinism` rule: seeded streams and the audited
+// util/ clock entry point; names that merely contain "rand" or "time" must
+// not trip the word-boundary patterns. No line here may produce a finding.
+
+namespace idlered {
+namespace util {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed);
+  double uniform();
+};
+double monotonic_seconds();
+}  // namespace util
+
+namespace core {
+
+double good_seeded_draw() {
+  util::Rng rng(42);  // explicit seed: reproducible by construction
+  return rng.uniform();
+}
+
+double good_wall_time() { return util::monotonic_seconds(); }
+
+// Identifiers containing the forbidden substrings are fine.
+double make_n_rand(double b);
+double total_stop_time(double y);
+double n_rand_cost = make_n_rand(28.0);
+double runtime = total_stop_time(3.0);
+
+// Mentions inside comments and strings are stripped before matching:
+// std::random_device, time(nullptr), rand(), steady_clock::now().
+const char* kDoc = "never call rand() or time(0) in src/";
+
+}  // namespace core
+}  // namespace idlered

@@ -1,0 +1,13 @@
+// lint-fixture: path=src/util/clock_impl.cpp
+// src/util/ is the audited home for entropy and clock access, so the
+// `determinism` rule must NOT fire here even on direct ::now() calls.
+#include <chrono>
+
+namespace idlered::util {
+
+double monotonic_seconds_impl() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+}  // namespace idlered::util

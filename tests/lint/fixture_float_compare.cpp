@@ -1,0 +1,28 @@
+// lint-fixture: path=src/core/float_example.cpp
+// The `float-compare` rule: raw ==/!= against a floating-point literal in
+// src/ needs an approved-comparison annotation. Integer comparisons and
+// tolerance helpers are untouched.
+
+namespace idlered::util {
+bool approx_equal(double a, double b, double rtol, double atol);
+}
+
+namespace idlered::core {
+
+double example(double off, double on, int n, double shape) {
+  if (off == 0.0) return 1.0;                             // LINT-BAD(float-compare)
+  if (on != 1.0) return 0.0;                              // LINT-BAD(float-compare)
+  if (shape == 1e-3) return 2.0;                          // LINT-BAD(float-compare)
+  if (0.5 == off) return 3.0;                             // LINT-BAD(float-compare)
+
+  // lint: allow(float-compare): exact zero sentinel for this fixture
+  if (off == 0.0) return 4.0;
+
+  if (n == 0) return 5.0;        // integer compare: fine
+  if (n != 100) return 6.0;      // integer compare: fine
+  if (off <= 0.0) return 7.0;    // ordering with tolerance semantics: fine
+  if (util::approx_equal(on, 1.0, 1e-9, 1e-12)) return 8.0;
+  return on / off;
+}
+
+}  // namespace idlered::core

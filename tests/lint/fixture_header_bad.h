@@ -1,0 +1,11 @@
+// lint-fixture: path=src/core/bad_header.h -- missing guard anchors here: LINT-BAD(header-hygiene)
+// Header with no include guard and a top-level using-namespace: both are
+// `header-hygiene` findings (the missing-guard finding reports line 1).
+
+#include <vector>
+
+using namespace std;                                      // LINT-BAD(header-hygiene)
+
+namespace idlered::core {
+inline int bad_header_value() { return static_cast<int>(vector<int>{1}.size()); }
+}  // namespace idlered::core

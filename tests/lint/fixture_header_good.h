@@ -1,0 +1,18 @@
+// lint-fixture: path=src/core/good_header.h
+#pragma once
+
+// A hygienic header: pragma once, no using-namespace. Namespace *aliases*
+// and using-declarations inside a namespace block are allowed; only
+// `using namespace` is banned (it leaks into every includer).
+
+#include <vector>
+
+namespace idlered::core {
+
+namespace du = idlered::core;  // namespace alias: fine
+
+inline int good_header_value() {
+  return static_cast<int>(std::vector<int>{1}.size());
+}
+
+}  // namespace idlered::core

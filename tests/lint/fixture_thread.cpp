@@ -1,0 +1,32 @@
+// lint-fixture: path=src/sim/thread_example.cpp
+// The `thread-outside-engine` rule: raw thread/async construction outside
+// src/engine/ is a finding; engine pool usage is the sanctioned path.
+#include <thread>
+
+namespace idlered::engine {
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  void parallel_for(unsigned long n, void (*body)(unsigned long));
+};
+}  // namespace idlered::engine
+
+namespace idlered::sim {
+
+void bad_spawn() {
+  std::thread t([] {});                                   // LINT-BAD(thread-outside-engine)
+  t.join();
+  auto f = std::async([] { return 1; });                  // LINT-BAD(thread-outside-engine)
+  f.get();
+}
+
+void good_pool() {
+  engine::ThreadPool pool(4);
+  pool.parallel_for(16, nullptr);
+}
+
+// Member/identifier names mentioning thread are fine:
+int thread_count = 0;
+int hardware_threads() { return thread_count; }
+
+}  // namespace idlered::sim

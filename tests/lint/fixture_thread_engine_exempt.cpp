@@ -1,0 +1,13 @@
+// lint-fixture: path=src/engine/pool_impl.cpp
+// src/engine/ owns parallelism, so `thread-outside-engine` must NOT fire
+// here.
+#include <thread>
+#include <vector>
+
+namespace idlered::engine {
+
+void spawn_workers(int n, std::vector<std::thread>& out) {
+  for (int i = 0; i < n; ++i) out.emplace_back([] {});
+}
+
+}  // namespace idlered::engine

@@ -52,8 +52,8 @@ TEST(HostileInputTest, DecayingEstimatorRejectsAndKeepsState) {
 TEST(HostileInputTest, EvaluatorExpectedRejectsNonFinite) {
   const auto policy = core::make_det(kB);
   for (double v : {kNan, kInf, -kInf}) {
-    EXPECT_THROW(sim::evaluate_expected(*policy, {10.0, v}),
-                 std::invalid_argument);
+    const std::vector<double> stops{10.0, v};
+    EXPECT_THROW(sim::evaluate(*policy, stops), std::invalid_argument);
   }
 }
 
@@ -61,14 +61,20 @@ TEST(HostileInputTest, EvaluatorSampledRejectsNonFinite) {
   const auto policy = core::make_n_rand(kB);
   util::Rng rng(5);
   for (double v : {kNan, kInf, -kInf}) {
-    EXPECT_THROW(sim::evaluate_sampled(*policy, {10.0, v}, rng),
-                 std::invalid_argument);
+    const std::vector<double> stops{10.0, v};
+    EXPECT_THROW(
+        sim::evaluate(*policy, stops, {sim::EvalMode::kSampled, &rng}),
+        std::invalid_argument);
   }
 }
 
 TEST(HostileInputTest, OfflineTotalRejectsNonFinite) {
+  // The offline denominator is computed inside evaluate(); hostile stops
+  // must be rejected there before poisoning the accumulated totals.
+  const auto policy = core::make_det(kB);
   for (double v : {kNan, kInf, -kInf}) {
-    EXPECT_THROW(sim::offline_cost_total({v}, kB), std::invalid_argument);
+    const std::vector<double> stops{v};
+    EXPECT_THROW(sim::evaluate(*policy, stops), std::invalid_argument);
   }
 }
 

@@ -61,8 +61,8 @@ TEST(BatteryControllerTest, MidStopAbortWhenFloorHit) {
 }
 
 TEST(BatteryControllerTest, UnconstrainedMatchesPlainEvaluation) {
-  // A huge battery never interferes: costs equal evaluate_sampled with the
-  // same policy and RNG stream.
+  // A huge battery never interferes: costs equal sampled-mode evaluate()
+  // with the same policy and RNG stream.
   BatteryModel huge;
   huge.capacity_wh = 1e9;
   huge.min_soc = 0.0;
@@ -73,7 +73,7 @@ TEST(BatteryControllerTest, UnconstrainedMatchesPlainEvaluation) {
   util::Rng rng_a(5);
   for (double y : stops) ctl.process_stop(y, 60.0, rng_a);
   util::Rng rng_b(5);
-  const auto plain = evaluate_sampled(*policy, stops, rng_b);
+  const auto plain = evaluate(*policy, stops, {EvalMode::kSampled, &rng_b});
   EXPECT_NEAR(ctl.totals().online, plain.online, 1e-9);
   EXPECT_NEAR(ctl.totals().offline, plain.offline, 1e-9);
   EXPECT_EQ(ctl.forced_idle_stops(), 0u);

@@ -33,7 +33,7 @@ TEST(CostTotalsTest, ZeroOfflineWithPositiveOnlineIsInfinite) {
 
 TEST(EvaluateExpectedTest, DetOnKnownTrace) {
   const std::vector<double> stops{10.0, 30.0, 100.0};
-  const auto t = evaluate_expected(*core::make_det(kB), stops);
+  const auto t = evaluate(*core::make_det(kB), stops);
   // Online: 10 + 2B + 2B = 122; offline: 10 + B + B = 66.
   EXPECT_DOUBLE_EQ(t.online, 10.0 + 4.0 * kB);
   EXPECT_DOUBLE_EQ(t.offline, 10.0 + 2.0 * kB);
@@ -42,7 +42,7 @@ TEST(EvaluateExpectedTest, DetOnKnownTrace) {
 
 TEST(EvaluateExpectedTest, ToiOnKnownTrace) {
   const std::vector<double> stops{1.0, 2.0, 300.0};
-  const auto t = evaluate_expected(*core::make_toi(kB), stops);
+  const auto t = evaluate(*core::make_toi(kB), stops);
   EXPECT_DOUBLE_EQ(t.online, 3.0 * kB);
   EXPECT_DOUBLE_EQ(t.offline, 3.0 + kB);
 }
@@ -52,15 +52,16 @@ TEST(EvaluateExpectedTest, NRandCrIsExactlyTheBound) {
   util::Rng rng(3);
   std::vector<double> stops;
   for (int i = 0; i < 200; ++i) stops.push_back(rng.exponential(25.0));
-  const auto t = evaluate_expected(*core::make_n_rand(kB), stops);
+  const auto t = evaluate(*core::make_n_rand(kB), stops);
   EXPECT_NEAR(t.cr(), util::kEOverEMinus1, 1e-9);
 }
 
 TEST(EvaluateSampledTest, DeterministicPolicyMatchesExpected) {
   const std::vector<double> stops{5.0, 29.0, 60.0, 3.0};
   util::Rng rng(4);
-  const auto sampled = evaluate_sampled(*core::make_det(kB), stops, rng);
-  const auto expected = evaluate_expected(*core::make_det(kB), stops);
+  const auto sampled = evaluate(*core::make_det(kB), stops,
+                                {EvalMode::kSampled, &rng});
+  const auto expected = evaluate(*core::make_det(kB), stops);
   EXPECT_DOUBLE_EQ(sampled.online, expected.online);
   EXPECT_DOUBLE_EQ(sampled.offline, expected.offline);
 }
@@ -68,8 +69,16 @@ TEST(EvaluateSampledTest, DeterministicPolicyMatchesExpected) {
 TEST(EvaluateSampledTest, NevNeverPaysRestart) {
   const std::vector<double> stops{5.0, 500.0};
   util::Rng rng(5);
-  const auto t = evaluate_sampled(*core::make_nev(kB), stops, rng);
+  const auto t = evaluate(*core::make_nev(kB), stops,
+                          {EvalMode::kSampled, &rng});
   EXPECT_DOUBLE_EQ(t.online, 505.0);
+}
+
+TEST(EvaluateSampledTest, SampledModeWithoutRngThrows) {
+  const std::vector<double> stops{5.0};
+  EXPECT_THROW(
+      evaluate(*core::make_det(kB), stops, {EvalMode::kSampled, nullptr}),
+      std::invalid_argument);
 }
 
 TEST(EvaluateSampledTest, ConvergesToExpectedForRandomized) {
@@ -80,14 +89,41 @@ TEST(EvaluateSampledTest, ConvergesToExpectedForRandomized) {
   for (int i = 0; i < 30000; ++i) stops.push_back(trace_rng.exponential(30.0));
   const auto policy = core::make_n_rand(kB);
   util::Rng eval_rng(7);
-  const auto sampled = evaluate_sampled(*policy, stops, eval_rng);
-  const auto expected = evaluate_expected(*policy, stops);
+  const auto sampled = evaluate(*policy, stops,
+                                {EvalMode::kSampled, &eval_rng});
+  const auto expected = evaluate(*policy, stops);
   EXPECT_NEAR(sampled.cr(), expected.cr(), 0.02);
 }
 
-TEST(OfflineCostTotalTest, MatchesManualSum) {
-  EXPECT_DOUBLE_EQ(offline_cost_total({10.0, 30.0, 100.0}, kB),
-                   10.0 + kB + kB);
+// Regression coverage for the deprecated thin wrappers: they must remain
+// exact aliases of evaluate() until they are removed. This is the one test
+// file allowed to call them (the repo-wide `deprecated-eval` lint rule
+// blocks new callers everywhere else).
+
+TEST(DeprecatedWrappersTest, ExpectedWrapperAliasesEvaluate) {
+  const std::vector<double> stops{10.0, 30.0, 100.0};
+  const auto policy = core::make_det(kB);
+  // lint: allow(deprecated-eval): wrapper regression coverage
+  EXPECT_EQ(evaluate_expected(*policy, stops), evaluate(*policy, stops));
+}
+
+TEST(DeprecatedWrappersTest, SampledWrapperAliasesEvaluate) {
+  const std::vector<double> stops{5.0, 29.0, 60.0};
+  const auto policy = core::make_n_rand(kB);
+  util::Rng rng_a(11);
+  util::Rng rng_b(11);
+  // lint: allow(deprecated-eval): wrapper regression coverage
+  EXPECT_EQ(evaluate_sampled(*policy, stops, rng_a),
+            evaluate(*policy, stops, {EvalMode::kSampled, &rng_b}));
+}
+
+TEST(DeprecatedWrappersTest, OfflineTotalAliasesEvaluateOffline) {
+  const std::vector<double> stops{10.0, 30.0, 100.0};
+  // lint: allow(deprecated-eval): wrapper regression coverage
+  EXPECT_DOUBLE_EQ(offline_cost_total(stops, kB), 10.0 + kB + kB);
+  // lint: allow(deprecated-eval): wrapper regression coverage
+  EXPECT_DOUBLE_EQ(offline_cost_total(stops, kB),
+                   evaluate(*core::make_det(kB), stops).offline);
 }
 
 }  // namespace

@@ -65,8 +65,8 @@ TEST(EndToEndSavingsTest, CoaSavesFuelVsNevOnLongStops) {
   // A trace dominated by long stops: COA (TOI-like) vs NEV.
   std::vector<double> stops(50, 300.0);
   const auto b = costmodel::compute_break_even(fusion());
-  const auto coa = evaluate_expected(*core::make_toi(b.break_even_s), stops);
-  const auto nev = evaluate_expected(*core::make_nev(b.break_even_s), stops);
+  const auto coa = evaluate(*core::make_toi(b.break_even_s), stops);
+  const auto nev = evaluate(*core::make_nev(b.break_even_s), stops);
   const auto s = savings(coa, nev, fusion());
   // NEV burns 300 s per stop; TOI ~29 s equivalent: ~13500 s saved.
   EXPECT_GT(s.idle_second_equivalents, 10000.0);

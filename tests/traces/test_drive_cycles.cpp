@@ -64,9 +64,9 @@ TEST(DriveCycleTest, PoliciesOnCertificationCycles) {
   // should therefore be near-offline-optimal on UDDS/NEDC, while TOI
   // overpays heavily.
   for (const auto& cycle : {udds(), nedc()}) {
-    const auto det = sim::evaluate_expected(*core::make_det(28.0),
+    const auto det = sim::evaluate(*core::make_det(28.0),
                                             cycle.stop_lengths_s);
-    const auto toi = sim::evaluate_expected(*core::make_toi(28.0),
+    const auto toi = sim::evaluate(*core::make_toi(28.0),
                                             cycle.stop_lengths_s);
     EXPECT_LT(det.cr(), 1.1) << cycle.name;
     EXPECT_GT(toi.cr(), 1.5) << cycle.name;
@@ -80,11 +80,11 @@ TEST(DriveCycleTest, CoaAdaptsPerCycle) {
     for (double b : {28.0, 47.0}) {
       core::ProposedPolicy coa(b, cycle.stop_lengths_s);
       const double coa_cr =
-          sim::evaluate_expected(coa, cycle.stop_lengths_s).cr();
-      const double det_cr = sim::evaluate_expected(*core::make_det(b),
+          sim::evaluate(coa, cycle.stop_lengths_s).cr();
+      const double det_cr = sim::evaluate(*core::make_det(b),
                                                    cycle.stop_lengths_s)
                                 .cr();
-      const double toi_cr = sim::evaluate_expected(*core::make_toi(b),
+      const double toi_cr = sim::evaluate(*core::make_toi(b),
                                                    cycle.stop_lengths_s)
                                 .cr();
       EXPECT_LE(coa_cr, det_cr + 1e-9) << cycle.name << " B=" << b;

@@ -1,0 +1,250 @@
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/analytic.h"
+#include "core/crand.h"
+#include "core/estimator.h"
+#include "core/proposed.h"
+#include "core/solver_lp.h"
+#include "dist/distribution.h"
+#include "dist/parametric.h"
+#include "util/random.h"
+
+namespace idlered {
+namespace {
+
+namespace contracts = util::contracts;
+
+constexpr double kB = 28.0;
+
+dist::ShortStopStats make_stats(double mu, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu;
+  s.q_b_plus = q;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Macro behavior per mode.
+
+TEST(ContractModeTest, DefaultModeIsThrow) {
+  // tools/check.sh step 5 runs the suite with IDLERED_CONTRACT_MODE=throw
+  // (the CMake default); this test pins that assumption.
+  EXPECT_EQ(contracts::mode(), contracts::Mode::kThrow);
+}
+
+TEST(ContractModeTest, ThrowModeRaisesContractViolation) {
+  contracts::ScopedMode scope(contracts::Mode::kThrow);
+  bool reached_after = false;
+  EXPECT_THROW(
+      {
+        IDLERED_EXPECTS(1 + 1 == 3, "arithmetic is broken");
+        reached_after = true;
+      },
+      contracts::ContractViolation);
+  EXPECT_FALSE(reached_after);
+}
+
+TEST(ContractModeTest, ViolationIsCatchableAsInvalidArgument) {
+  // The contract layer replaced many `throw std::invalid_argument` sites;
+  // existing handlers must keep working.
+  contracts::ScopedMode scope(contracts::Mode::kThrow);
+  EXPECT_THROW(IDLERED_EXPECTS(false, "boundary violated"),
+               std::invalid_argument);
+  EXPECT_THROW(IDLERED_ENSURES(false, "result out of range"),
+               std::logic_error);
+}
+
+TEST(ContractModeTest, ViolationCarriesLocationAndKind) {
+  contracts::ScopedMode scope(contracts::Mode::kThrow);
+  try {
+    IDLERED_ASSERT_INVARIANT(false, "pdf does not normalize");
+    FAIL() << "contract did not fire";
+  } catch (const contracts::ContractViolation& e) {
+    EXPECT_EQ(e.kind(), "invariant");
+    EXPECT_EQ(e.condition(), "false");
+    EXPECT_NE(e.file().find("test_contracts.cpp"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pdf does not normalize"), std::string::npos);
+    EXPECT_NE(what.find("invariant"), std::string::npos);
+  }
+}
+
+TEST(ContractModeTest, PassingConditionIsSilentInEveryMode) {
+  for (auto m : {contracts::Mode::kThrow, contracts::Mode::kAbort,
+                 contracts::Mode::kOff}) {
+    contracts::ScopedMode scope(m);
+    EXPECT_NO_THROW(IDLERED_EXPECTS(2 > 1, "never fires"));
+    EXPECT_NO_THROW(IDLERED_ENSURES(true, "never fires"));
+    EXPECT_NO_THROW(IDLERED_ASSERT_INVARIANT(true, "never fires"));
+  }
+}
+
+TEST(ContractModeTest, OffModeSkipsCheckAndConditionEvaluation) {
+  contracts::ScopedMode scope(contracts::Mode::kOff);
+  int evaluations = 0;
+  auto failing_probe = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  EXPECT_NO_THROW(IDLERED_EXPECTS(failing_probe(), "disabled"));
+  // Off mode short-circuits before the condition: contracts must be free
+  // when disabled, so conditions are required to be side-effect free.
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractModeDeathTest, AbortModeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        contracts::set_mode(contracts::Mode::kAbort);
+        IDLERED_EXPECTS(false, "fatal boundary violation");
+      },
+      "contract violation.*fatal boundary violation");
+}
+
+TEST(ContractModeTest, ScopedModeRestores) {
+  const contracts::Mode before = contracts::mode();
+  {
+    contracts::ScopedMode scope(contracts::Mode::kOff);
+    EXPECT_EQ(contracts::mode(), contracts::Mode::kOff);
+  }
+  EXPECT_EQ(contracts::mode(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: infeasible b-DET inputs are rejected at the boundary instead
+// of producing NaN strategies (the "bad CR number three PRs later" bug).
+
+TEST(BdetFeasibilityContractTest, OutOfRangeQRejectedByProposed) {
+  for (double q : {-0.2, 1.5, std::nan("")}) {
+    const auto s = make_stats(5.0, q);
+    EXPECT_THROW(core::ProposedPolicy(kB, s), std::invalid_argument)
+        << "q_B_plus = " << q;
+  }
+}
+
+TEST(BdetFeasibilityContractTest, OutOfRangeMuRejectedByProposed) {
+  // mu > B(1-q) means the short-stop mass exceeds its support: no
+  // distribution exists with these statistics.
+  for (double mu : {-1.0, kB + 1.0, std::nan("")}) {
+    const auto s = make_stats(mu, 0.0);
+    EXPECT_THROW(core::ProposedPolicy(kB, s), std::invalid_argument)
+        << "mu_B_minus = " << mu;
+  }
+}
+
+TEST(BdetFeasibilityContractTest, ChoiceNeverCarriesNaN) {
+  // Sweep the feasible region, including the eq. (36) boundary where the
+  // b-DET vertex flips in and out: every selection must carry finite,
+  // non-negative guarantees and (when b-DET wins) an interior b*.
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    for (double frac = 0.05; frac < 1.0; frac += 0.05) {
+      const double mu = frac * kB * (1.0 - q);
+      const auto choice = core::choose_strategy(make_stats(mu, q), kB);
+      EXPECT_TRUE(std::isfinite(choice.expected_cost));
+      EXPECT_GE(choice.expected_cost, 0.0);
+      EXPECT_TRUE(std::isfinite(choice.cr));
+      EXPECT_GE(choice.cr, 1.0 - 1e-9);
+      if (choice.strategy == core::Strategy::kBDet) {
+        EXPECT_TRUE(std::isfinite(choice.b));
+        EXPECT_GT(choice.b, 0.0);
+        EXPECT_LT(choice.b, kB);
+      }
+    }
+  }
+}
+
+TEST(BdetFeasibilityContractTest, InfeasibleEq36NeverSelectsBdet) {
+  // mu/B >= (1-q)^2/q violates eq. (36): the b-DET vertex must report an
+  // infinite worst case and never win the selection.
+  const double q = 0.5;
+  const double mu = kB * (1.0 - q) * (1.0 - q) / q;  // boundary exactly
+  const auto s = make_stats(std::min(mu, kB * (1.0 - q)), q);
+  EXPECT_FALSE(core::b_det_feasible(s, kB));
+  EXPECT_TRUE(std::isinf(core::worst_case_cost_b_det(s, kB)));
+  const auto choice = core::choose_strategy(s, kB);
+  EXPECT_NE(choice.strategy, core::Strategy::kBDet);
+}
+
+TEST(EstimatorBoundaryContractTest, StatsAlwaysInRange) {
+  core::StatsEstimator est(kB);
+  util::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    est.observe(rng.exponential(20.0));
+    const auto s = est.stats();
+    EXPECT_GE(s.q_b_plus, 0.0);
+    EXPECT_LE(s.q_b_plus, 1.0);
+    EXPECT_GE(s.mu_b_minus, 0.0);
+    EXPECT_LE(s.mu_b_minus, kB);
+  }
+}
+
+TEST(ShortStopStatsContractTest, FromSampleRejectsHostileEntries) {
+  for (double v : {std::nan(""), -1.0,
+                   std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW(dist::ShortStopStats::from_sample({10.0, v}, kB),
+                 std::invalid_argument)
+        << "entry = " << v;
+  }
+}
+
+TEST(ShortStopStatsContractTest, FromDistributionStaysInRange) {
+  const dist::Exponential exp_law(20.0);
+  const auto s = dist::ShortStopStats::from_distribution(exp_law, kB);
+  EXPECT_GE(s.q_b_plus, 0.0);
+  EXPECT_LE(s.q_b_plus, 1.0);
+  EXPECT_GE(s.mu_b_minus, 0.0);
+  EXPECT_LE(s.mu_b_minus, kB);
+}
+
+// ---------------------------------------------------------------------------
+// LP vertex-cost contracts (eq. 32/33).
+
+TEST(LpContractTest, CoefficientsAbsoluteCostsNonNegative) {
+  const auto s = make_stats(5.0, 0.3);
+  const auto k = core::lp_coefficients(s, kB);
+  EXPECT_GE(k.constant, 0.0);
+  EXPECT_GE(k.k_alpha + k.constant, 0.0);
+  EXPECT_GE(k.k_beta + k.constant, 0.0);
+  EXPECT_GE(k.k_gamma + k.constant, 0.0);
+}
+
+TEST(LpContractTest, SolutionIsSubProbabilityVector) {
+  for (double q : {0.05, 0.3, 0.7}) {
+    const auto s = make_stats(0.2 * kB * (1.0 - q), q);
+    const auto sol = core::solve_constrained_lp(s, kB);
+    EXPECT_GE(sol.alpha, -1e-9);
+    EXPECT_GE(sol.beta, -1e-9);
+    EXPECT_GE(sol.gamma, -1e-9);
+    EXPECT_LE(sol.alpha + sol.beta + sol.gamma, 1.0 + 1e-9);
+    EXPECT_TRUE(std::isfinite(sol.expected_cost));
+    EXPECT_GE(sol.expected_cost, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// c-Rand pdf normalization contract.
+
+TEST(CRandContractTest, RejectsOutOfSupportTruncation) {
+  EXPECT_THROW(core::CRandPolicy(kB, 0.0), std::invalid_argument);
+  EXPECT_THROW(core::CRandPolicy(kB, -3.0), std::invalid_argument);
+  EXPECT_THROW(core::CRandPolicy(kB, kB + 1.0), std::invalid_argument);
+}
+
+TEST(CRandContractTest, NormalizedAcrossSupportSweep) {
+  for (double c : {0.5, 7.0, 14.0, kB}) {
+    const core::CRandPolicy p(kB, c);
+    EXPECT_NEAR(p.cdf(c), 1.0, 1e-12);
+    EXPECT_TRUE(std::isfinite(p.kappa()));
+    EXPECT_GE(p.kappa(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace idlered

@@ -1,33 +1,47 @@
 #!/usr/bin/env bash
 # Full verification sweep: the tier-1 suite in a normal build, the whole
-# suite plus the fault-injection bench under ASan/UBSan, and the parallel
-# evaluation engine under ThreadSanitizer. Run from anywhere; builds land
-# in <repo>/build, <repo>/build-asan, and <repo>/build-tsan.
+# suite plus the fault-injection bench under ASan/UBSan, the parallel
+# evaluation engine under ThreadSanitizer, and the static-analysis stack
+# (clang-tidy when available, the custom idlered_lint rules, and the math
+# contracts in throwing mode). Run from anywhere; builds land in
+# <repo>/build, <repo>/build-asan, and <repo>/build-tsan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/4 normal build + ctest =="
+echo "== 1/5 normal build + ctest =="
 cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== 2/4 sanitized build + ctest (ASan + UBSan) =="
+echo "== 2/5 sanitized build + ctest (ASan + UBSan) =="
 cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== 3/4 fault-injection bench under sanitizers =="
+echo "== 3/5 fault-injection bench under sanitizers =="
 "$repo/build-asan/bench/bench_robustness_faults" > /dev/null
 echo "bench_robustness_faults: clean under ASan/UBSan"
 
-echo "== 4/4 engine tests under ThreadSanitizer =="
+echo "== 4/5 engine tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=thread
 cmake --build "$repo/build-tsan" -j "$jobs" --target test_engine
 "$repo/build-tsan/tests/test_engine"
 echo "test_engine: clean under TSan"
+
+echo "== 5/5 static analysis: clang-tidy + idlered_lint + contracts =="
+# tidy.sh skips gracefully (exit 0 with a warning) when no clang-tidy
+# binary is installed; the custom linter and the contract-checked test run
+# always execute. Step 1 configures with the default
+# -DIDLERED_CONTRACT_MODE=throw, so re-running ctest here exercises every
+# IDLERED_EXPECTS/ENSURES/ASSERT_INVARIANT in throwing mode.
+"$repo/tools/tidy.sh" "$repo/build"
+python3 "$repo/tools/idlered_lint.py" --self-test
+python3 "$repo/tools/idlered_lint.py"
+ctest --test-dir "$repo/build" -R "ContractMode|Contract" --output-on-failure
+echo "static analysis: clean"
 
 echo "All checks passed."

@@ -94,9 +94,9 @@ int cmd_advise(const util::Args& args) {
   }
   std::printf(" | worst-case CR guarantee %.3f\n", coa.worst_case_cr());
   std::printf("on this history: CR %.3f (never-off %.3f, always-off %.3f)\n",
-              sim::evaluate_expected(coa, stops).cr(),
-              sim::evaluate_expected(*core::make_nev(b), stops).cr(),
-              sim::evaluate_expected(*core::make_toi(b), stops).cr());
+              sim::evaluate(coa, stops).cr(),
+              sim::evaluate(*core::make_nev(b), stops).cr(),
+              sim::evaluate(*core::make_toi(b), stops).cr());
   return 0;
 }
 
@@ -203,12 +203,12 @@ int cmd_cycles(const util::Args& args) {
         {cycle.name, util::fmt(100.0 * cycle.idle_fraction(), 1),
          std::to_string(cycle.num_stops()),
          core::to_string(coa.choice().strategy),
-         util::fmt(sim::evaluate_expected(coa, cycle.stop_lengths_s).cr(), 3),
-         util::fmt(sim::evaluate_expected(*core::make_toi(b),
+         util::fmt(sim::evaluate(coa, cycle.stop_lengths_s).cr(), 3),
+         util::fmt(sim::evaluate(*core::make_toi(b),
                                           cycle.stop_lengths_s).cr(), 3),
-         util::fmt(sim::evaluate_expected(*core::make_det(b),
+         util::fmt(sim::evaluate(*core::make_det(b),
                                           cycle.stop_lengths_s).cr(), 3),
-         util::fmt(sim::evaluate_expected(*core::make_nev(b),
+         util::fmt(sim::evaluate(*core::make_nev(b),
                                           cycle.stop_lengths_s).cr(), 3)});
   }
   std::printf("certification cycles at B = %.0f s:\n%s", b,

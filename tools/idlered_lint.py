@@ -1,0 +1,447 @@
+#!/usr/bin/env python3
+"""idlered_lint: repo-specific invariant linter.
+
+Encodes rules that generic static analyzers cannot know about this codebase
+(see DESIGN.md §8 for the full analysis stack):
+
+  determinism       No ambient entropy or wall-clock reads in src/ outside
+                    src/util/: std::random_device, time(), rand()/srand(),
+                    std::chrono::*::now(). The evaluation engine guarantees
+                    bit-identical reports for any thread count; one stray
+                    clock or entropy read breaks that silently. util/ holds
+                    the audited entry points (util::Rng, monotonic_seconds).
+
+  deprecated-eval   No calls to the deprecated evaluate_expected /
+                    evaluate_sampled / offline_cost_total wrappers outside
+                    their definitions (src/sim/evaluator.{h,cpp}). New code
+                    goes through sim::evaluate(policy, stops, EvalOptions).
+
+  float-compare     No raw == / != against a floating-point literal in src/
+                    without an approved-comparison annotation. Exact
+                    floating comparison is occasionally correct (sentinel
+                    zeros, exact branch cuts) but must be declared, not
+                    accidental: annotate with `lint: allow(float-compare):
+                    <reason>`.
+
+  thread-outside-engine
+                    No std::thread / std::jthread / std::async construction
+                    in src/ outside src/engine/. All parallelism flows
+                    through the engine's work-stealing pool so determinism
+                    and shutdown stay centralized.
+
+  header-hygiene    Every header under src/ starts with #pragma once (or a
+                    classic include guard) and contains no `using namespace`
+                    at any scope.
+
+Suppression: append `// lint: allow(<rule>): <reason>` on the offending
+line, or place it alone on the line directly above. The reason is
+mandatory — bare allows are themselves a finding.
+
+Usage:
+  tools/idlered_lint.py              lint the repository (src/, examples/,
+                                     bench/, tools/, tests/ as scoped above)
+  tools/idlered_lint.py --self-test  run against tests/lint/ fixtures
+  tools/idlered_lint.py FILE...      lint specific files (paths relative to
+                                     the repo root determine rule scope)
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+
+SCAN_DIRS = ("src", "examples", "bench", "tools", "tests")
+
+ALLOW_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)(:\s*\S.*)?")
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+|\d+\.\d*[eE][-+]?\d+)[fFlL]?"
+
+RULES = {}
+
+
+@dataclasses.dataclass
+class Finding:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """A parsed C++ file: raw lines, comment/string-stripped lines, and the
+    per-line set of `lint: allow(rule)` annotations (gathered from the raw
+    text before stripping, honoring same-line and previous-line placement).
+    """
+
+    path: str
+    raw_lines: list[str]
+    code_lines: list[str]
+    allows: list[dict[str, bool]]  # line index -> {rule: has_reason}
+
+    def allowed(self, idx: int, rule: str) -> bool:
+        return rule in self.allows[idx]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replace comment and string-literal contents with spaces, preserving
+    line structure so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated; keep line structure
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def parse_source(path: str, text: str) -> SourceFile:
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+    # Pad in case stripping dropped a trailing newline discrepancy.
+    while len(code_lines) < len(raw_lines):
+        code_lines.append("")
+
+    allows: list[dict[str, bool]] = [dict() for _ in raw_lines]
+    for idx, raw in enumerate(raw_lines):
+        for m in ALLOW_RE.finditer(raw):
+            rule, reason = m.group(1), m.group(2)
+            has_reason = bool(reason)
+            allows[idx][rule] = has_reason
+            # An allow in a comment-only line covers the next code line
+            # (skipping the rest of the comment block it sits in).
+            if raw.lstrip().startswith(("//", "*", "/*")):
+                j = idx + 1
+                while j < len(raw_lines) and not code_lines[j].strip():
+                    allows[j][rule] = has_reason
+                    j += 1
+                if j < len(raw_lines):
+                    allows[j][rule] = has_reason
+    return SourceFile(path, raw_lines, code_lines, allows)
+
+
+def rule(name):
+    def deco(fn):
+        RULES[name] = fn
+        return fn
+
+    return deco
+
+
+def in_dir(path: str, prefix: str) -> bool:
+    return path.startswith(prefix + "/")
+
+
+def scan_pattern(src: SourceFile, rule_name: str, pattern: re.Pattern,
+                 message: str) -> list[Finding]:
+    findings = []
+    for idx, line in enumerate(src.code_lines):
+        if pattern.search(line) and not src.allowed(idx, rule_name):
+            findings.append(Finding(src.path, idx + 1, rule_name, message))
+    return findings
+
+
+DETERMINISM_RE = re.compile(
+    r"std::random_device"
+    r"|\b(?:std::)?s?rand\s*\("
+    r"|\b(?:std::)?time\s*\("
+    r"|\bchrono\b[^;]*::now\s*\("
+    r"|\b(?:steady_clock|system_clock|high_resolution_clock)::now\s*\("
+)
+
+
+@rule("determinism")
+def rule_determinism(src: SourceFile) -> list[Finding]:
+    if not in_dir(src.path, "src") or in_dir(src.path, "src/util"):
+        return []
+    return scan_pattern(
+        src, "determinism", DETERMINISM_RE,
+        "ambient entropy/clock read in src/ outside util/ — the engine's "
+        "bit-identity guarantee forbids this; use util::Rng or "
+        "util::monotonic_seconds()")
+
+
+DEPRECATED_EVAL_RE = re.compile(
+    r"\b(?:evaluate_expected|evaluate_sampled|offline_cost_total)\s*\(")
+
+DEPRECATED_EVAL_HOME = {"src/sim/evaluator.h", "src/sim/evaluator.cpp"}
+
+
+@rule("deprecated-eval")
+def rule_deprecated_eval(src: SourceFile) -> list[Finding]:
+    if not any(in_dir(src.path, d) for d in SCAN_DIRS):
+        return []
+    if src.path in DEPRECATED_EVAL_HOME:
+        return []
+    return scan_pattern(
+        src, "deprecated-eval", DEPRECATED_EVAL_RE,
+        "call to deprecated evaluator wrapper — use "
+        "sim::evaluate(policy, stops, EvalOptions)")
+
+
+FLOAT_COMPARE_RE = re.compile(
+    rf"[=!]=\s*[-+]?{FLOAT_LITERAL}(?![\w.])"
+    rf"|(?<![\w.]){FLOAT_LITERAL}\s*[=!]=")
+
+
+@rule("float-compare")
+def rule_float_compare(src: SourceFile) -> list[Finding]:
+    if not in_dir(src.path, "src"):
+        return []
+    findings = []
+    for idx, line in enumerate(src.code_lines):
+        for m in FLOAT_COMPARE_RE.finditer(line):
+            # Skip ==/!= that are part of <=, >=, ===-like tokens (none in
+            # C++, but cheap to guard) and preprocessor comparisons.
+            start = m.start()
+            if start > 0 and line[start - 1] in "<>!=":
+                continue
+            if line.lstrip().startswith("#"):
+                continue
+            if not src.allowed(idx, "float-compare"):
+                findings.append(Finding(
+                    src.path, idx + 1, "float-compare",
+                    "raw ==/!= against a floating-point literal — use "
+                    "util::approx_equal, or annotate the exact comparison "
+                    "with `lint: allow(float-compare): <reason>`"))
+            break  # one finding per line is enough
+    return findings
+
+
+THREAD_RE = re.compile(r"\bstd::(?:jthread|thread|async)\b(?!\s*::)")
+
+
+@rule("thread-outside-engine")
+def rule_thread(src: SourceFile) -> list[Finding]:
+    if not in_dir(src.path, "src") or in_dir(src.path, "src/engine"):
+        return []
+    return scan_pattern(
+        src, "thread-outside-engine", THREAD_RE,
+        "thread construction outside src/engine/ — all parallelism goes "
+        "through engine::ThreadPool so determinism and shutdown stay "
+        "centralized")
+
+
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+
+
+@rule("header-hygiene")
+def rule_header_hygiene(src: SourceFile) -> list[Finding]:
+    if not in_dir(src.path, "src"):
+        return []
+    if not src.path.endswith((".h", ".hpp")):
+        return []
+    findings = []
+    text = "\n".join(src.code_lines)
+    if "#pragma once" not in text and not re.search(
+            r"#ifndef\s+\w+\s*\n\s*#define\s+\w+", text):
+        findings.append(Finding(
+            src.path, 1, "header-hygiene",
+            "header lacks `#pragma once` (or a classic include guard)"))
+    findings.extend(scan_pattern(
+        src, "header-hygiene", USING_NAMESPACE_RE,
+        "`using namespace` in a header leaks into every includer"))
+    return findings
+
+
+def lint_text(path: str, text: str) -> list[Finding]:
+    src = parse_source(path, text)
+    findings = []
+    for fn in RULES.values():
+        findings.extend(fn(src))
+    # A bare allow without a reason is itself a finding: suppressions must
+    # say why (CONTRIBUTING.md policy).
+    for idx, allows in enumerate(src.allows):
+        for rule_name, has_reason in allows.items():
+            if not has_reason and ALLOW_RE.search(src.raw_lines[idx]):
+                findings.append(Finding(
+                    path, idx + 1, "bare-allow",
+                    f"`lint: allow({rule_name})` needs a reason: "
+                    f"`lint: allow({rule_name}): <why>`"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def repo_files() -> list[pathlib.Path]:
+    files = []
+    for d in SCAN_DIRS:
+        base = REPO_ROOT / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in CXX_SUFFIXES and p.is_file():
+                rel = p.relative_to(REPO_ROOT).as_posix()
+                if rel.startswith("tests/lint/"):
+                    continue  # fixtures intentionally violate rules
+                files.append(p)
+    return files
+
+
+def lint_paths(paths: list[pathlib.Path]) -> list[Finding]:
+    findings = []
+    for p in paths:
+        rel = p.resolve().relative_to(REPO_ROOT).as_posix()
+        findings.extend(lint_text(rel, p.read_text(encoding="utf-8")))
+    return findings
+
+
+FIXTURE_HEADER_RE = re.compile(
+    r"lint-fixture:\s*path=(\S+)(?:\s+expect=([a-z-]+(?:,[a-z-]+)*))?")
+BAD_MARKER = "LINT-BAD"
+
+
+def self_test() -> int:
+    """Validate the linter against tests/lint/ fixtures.
+
+    Each fixture declares, in its first line, the repo path it pretends to
+    live at (rule scoping is path-based). Lines that must trigger a finding
+    carry a LINT-BAD marker comment naming the rule:
+        double x; if (x == 1.0) {}  // LINT-BAD(float-compare)
+    The self-test fails if any marked line produces no finding of that rule,
+    or any unmarked line produces one.
+    """
+    fixture_dir = REPO_ROOT / "tests" / "lint"
+    fixtures = sorted(fixture_dir.glob("*.cpp")) + \
+        sorted(fixture_dir.glob("*.h"))
+    if not fixtures:
+        print(f"idlered_lint --self-test: no fixtures in {fixture_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    checked = 0
+    for fixture in fixtures:
+        text = fixture.read_text(encoding="utf-8")
+        first_line = text.splitlines()[0] if text else ""
+        header = FIXTURE_HEADER_RE.search(first_line)
+        if not header:
+            failures.append(f"{fixture.name}: missing `lint-fixture: "
+                            f"path=...` header on line 1")
+            continue
+        pretend_path = header.group(1)
+
+        expected: dict[int, set[str]] = {}
+        for idx, line in enumerate(text.splitlines()):
+            for m in re.finditer(rf"{BAD_MARKER}\(([a-z-]+)\)", line):
+                expected.setdefault(idx + 1, set()).add(m.group(1))
+
+        # The marker comments themselves must not confuse the rules (they
+        # are stripped with all other comments before matching).
+        got: dict[int, set[str]] = {}
+        for f in lint_text(pretend_path, text):
+            got.setdefault(f.line, set()).add(f.rule)
+
+        for line_no, rules in sorted(expected.items()):
+            missing = rules - got.get(line_no, set())
+            for r in sorted(missing):
+                failures.append(f"{fixture.name}:{line_no}: expected a "
+                                f"[{r}] finding, got none")
+        for line_no, rules in sorted(got.items()):
+            spurious = rules - expected.get(line_no, set())
+            for r in sorted(spurious):
+                failures.append(f"{fixture.name}:{line_no}: unexpected "
+                                f"[{r}] finding")
+        checked += 1
+
+    if failures:
+        print(f"idlered_lint --self-test: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"idlered_lint --self-test: OK "
+          f"({checked} fixtures, {len(RULES)} rules)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="idlered_lint.py",
+                                     description=__doc__)
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="specific files to lint (default: whole repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the rules against tests/lint/ fixtures")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    try:
+        paths = args.files if args.files else repo_files()
+        findings = lint_paths(paths)
+    except (OSError, ValueError) as e:
+        print(f"idlered_lint: error: {e}", file=sys.stderr)
+        return 2
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"idlered_lint: {len(findings)} finding(s)")
+        return 1
+    print(f"idlered_lint: clean ({len(paths)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

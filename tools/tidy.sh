@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# clang-tidy driver: runs the checked-in .clang-tidy config over every src/
+# translation unit in compile_commands.json.
+#
+#   tools/tidy.sh [build-dir]     default build dir: <repo>/build
+#
+# Exit codes: 0 clean (or clang-tidy absent — prints a warning and skips so
+# container images without LLVM can still run tools/check.sh end to end),
+# 1 findings, 2 usage/setup error.
+set -uo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo/build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+tidy_bin=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" > /dev/null 2>&1; then
+    tidy_bin="$cand"
+    break
+  fi
+done
+
+if [[ -z "$tidy_bin" ]]; then
+  echo "tidy.sh: WARNING: no clang-tidy binary found on PATH; skipping" >&2
+  echo "tidy.sh: install clang-tidy (>= 14) to enable this gate" >&2
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "tidy.sh: $build_dir/compile_commands.json not found;" >&2
+  echo "tidy.sh: configure first: cmake -B $build_dir -S $repo" >&2
+  exit 2
+fi
+
+# Only first-party translation units; the config's HeaderFilterRegex keeps
+# header diagnostics scoped to src/ as well.
+mapfile -t sources < <(cd "$repo" && ls src/*/*.cpp)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "tidy.sh: no sources found under src/" >&2
+  exit 2
+fi
+
+echo "tidy.sh: $tidy_bin over ${#sources[@]} files ($jobs jobs)"
+status=0
+printf '%s\n' "${sources[@]}" \
+  | (cd "$repo" && xargs -P "$jobs" -n 4 \
+      "$tidy_bin" -p "$build_dir" --quiet) || status=1
+
+if [[ $status -eq 0 ]]; then
+  echo "tidy.sh: clean"
+else
+  echo "tidy.sh: findings above must be fixed or NOLINT'd with a" >&2
+  echo "tidy.sh: justification comment (see CONTRIBUTING.md)" >&2
+fi
+exit $status
