@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/bench_run.h"
 #include "analysis/adversary.h"
 #include "analysis/average_case.h"
 #include "core/policies.h"
@@ -57,7 +58,8 @@ void run_case(const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("ablation_average_case", argc, argv);
   std::printf("%s", util::banner("Ablation A6: full law vs two moments vs "
                                  "no information (B = 28 s)").c_str());
   util::Table table({"stop-length law", "oracle x*", "oracle CR",

@@ -5,6 +5,7 @@
 // and the realized CR inflation vs the unconstrained policy.
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "core/policies.h"
 #include "core/proposed.h"
 #include "sim/battery.h"
@@ -43,7 +44,8 @@ RunResult run(const core::PolicyPtr& policy, const sim::BatteryModel& battery,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("ablation_battery", argc, argv);
   std::printf("%s", util::banner("Ablation A8: battery-constrained "
                                  "stop-start control (B = 28 s)").c_str());
 

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "core/proposed.h"
 #include "dist/distribution.h"
 #include "sim/evaluator.h"
@@ -26,7 +27,8 @@ constexpr double kB = 28.0;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("ablation_estimation", argc, argv);
   std::printf("%s", util::banner("Ablation A2.1: training-history length "
                                  "(B = 28 s)").c_str());
 

@@ -4,6 +4,7 @@
 // the published MOM-Rand CR' bound.
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "analysis/metrics.h"
 #include "core/policies.h"
 #include "core/proposed.h"
@@ -13,7 +14,8 @@
 #include "util/random.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("ablation_metrics", argc, argv);
   using namespace idlered;
   constexpr double kB = 28.0;
 

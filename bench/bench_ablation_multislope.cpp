@@ -5,6 +5,7 @@
 // envelope follower and the randomized envelope strategy.
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "core/multislope.h"
 #include "traces/fleet_generator.h"
 #include "util/math.h"
@@ -40,7 +41,8 @@ double trace_offline(const core::MultislopeInstance& inst,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("ablation_multislope", argc, argv);
   std::printf("%s", util::banner("Ablation A5: multislope (multi-depth "
                                  "shutdown) controllers").c_str());
 

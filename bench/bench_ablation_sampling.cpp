@@ -8,13 +8,15 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "core/policies.h"
 #include "sim/evaluator.h"
 #include "traces/area_profiles.h"
 #include "util/random.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("ablation_sampling", argc, argv);
   using namespace idlered;
   constexpr double kB = 28.0;
   constexpr int kRepeats = 30;

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/bench_run.h"
 #include "core/policies.h"
 #include "core/proposed.h"
 #include "dist/adaptors.h"
@@ -59,7 +60,8 @@ void run_case(const std::string& label, const dist::StopLengthDistribution& law,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("ablation_statistics", argc, argv);
   std::printf("%s", util::banner("Ablation A1: value of side statistics "
                                  "(B = 28 s)").c_str());
   util::Table table({"stop-length law", "mu_B-/B", "q_B+", "N-Rand CR",

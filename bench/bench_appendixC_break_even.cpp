@@ -5,10 +5,12 @@
 // sweeps over fuel price and wear parameters.
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "costmodel/break_even.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("appendixC_break_even", argc, argv);
   using namespace idlered;
   using namespace idlered::costmodel;
 

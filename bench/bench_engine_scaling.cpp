@@ -19,10 +19,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 #include <thread>
 #include <vector>
 
-#include "common/bench_json.h"
+#include "common/bench_run.h"
 #include "engine/eval_session.h"
 #include "sim/fleet_eval.h"
 #include "traces/fleet_generator.h"
@@ -32,9 +33,17 @@
 
 int main(int argc, char** argv) {
   using namespace idlered;
+  bench::BenchRun run("engine_scaling", argc, argv);
 
-  const int vehicles = argc > 1 ? std::atoi(argv[1]) : 600;
-  const int sweep_points = argc > 2 ? std::atoi(argv[2]) : 12;
+  // Positional args (vehicles, sweep points) skip the envelope's --trace
+  // flags wherever they appear on the line.
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--trace", 0) == 0) continue;
+    pos.push_back(argv[i]);
+  }
+  const int vehicles = !pos.empty() ? std::atoi(pos[0]) : 600;
+  const int sweep_points = pos.size() > 1 ? std::atoi(pos[1]) : 12;
 
   std::printf("%s", util::banner("Engine scaling: parallel fleet evaluation "
                                  "vs the serial loop").c_str());
@@ -141,7 +150,6 @@ int main(int argc, char** argv) {
   }
 
   util::JsonValue payload = util::JsonValue::object();
-  payload.set("bench", "engine_scaling");
   payload.set("vehicles", fleet->size());
   payload.set("stops", total_stops);
   payload.set("sweep_points", sweep_points);
@@ -150,6 +158,6 @@ int main(int argc, char** argv) {
   payload.set("best_speedup_vs_serial", best_speedup);
   payload.set("bitwise_thread_invariant", all_bitwise);
   payload.set("runs", std::move(runs_json));
-  bench::write_bench_json("engine_scaling", payload);
+  run.stage("results", std::move(payload));
   return all_bitwise ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // quantifies the realized gain on trace workloads.
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "analysis/adversary.h"
 #include "analysis/minimax.h"
 #include "core/crand.h"
@@ -32,7 +33,8 @@ dist::ShortStopStats stats_at(double mu_frac, double q) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("extension_crand", argc, argv);
   std::printf("%s", util::banner("Extension X1: c-Rand vs the paper's "
                                  "four-vertex selector").c_str());
 

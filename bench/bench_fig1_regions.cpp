@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "core/region.h"
 #include "util/math.h"
 #include "util/table.h"
@@ -35,7 +36,8 @@ void print_cr_surface(double break_even) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("fig1_regions", argc, argv);
   const double b = 28.0;  // the region map is scale-free in mu/B and q
 
   std::printf("%s", util::banner("Figure 1(a): strategy selection regions "

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "core/region.h"
 #include "util/table.h"
 
@@ -53,7 +54,8 @@ void print_panel(const char* label, double mu_fraction, double break_even) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("fig2_projections", argc, argv);
   const double b = 28.0;  // projections are scale-free in mu/B and q
   print_panel("(a)", 0.30, b);
   print_panel("(b)", 0.60, b);

@@ -3,6 +3,7 @@
 // that the laws are *not* exponential (heavy tails).
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "sim/trace.h"
 #include "stats/descriptive.h"
 #include "stats/histogram.h"
@@ -11,7 +12,8 @@
 #include "util/random.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("fig3_distributions", argc, argv);
   using namespace idlered;
 
   util::Rng rng(20140601);

@@ -15,7 +15,7 @@
 //   B = 47: proposed best in 977/1182 vehicles; mean CR 1.35 / 1.42 / 1.35.
 #include <cstdio>
 
-#include "common/bench_json.h"
+#include "common/bench_run.h"
 #include "costmodel/break_even.h"
 #include "engine/eval_session.h"
 #include "traces/fleet_generator.h"
@@ -74,8 +74,9 @@ void print_cohort(const engine::EvalReport::Point& point,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace idlered;
+  bench::BenchRun run("fig4_vehicle_test", argc, argv);
 
   const auto fleet = std::make_shared<const sim::Fleet>(
       traces::generate_study_fleet(20140601));
@@ -99,6 +100,6 @@ int main() {
 
   std::printf("engine: %zu cells on %d threads in %.3f s\n", report.cells,
               report.threads, report.wall_seconds);
-  bench::write_bench_report("fig4_vehicle_test", report);
+  run.stage_report(report);
   return 0;
 }

@@ -12,13 +12,14 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/bench_json.h"
+#include "common/bench_run.h"
 #include "common/sweep.h"
 #include "sim/fleet_eval.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace idlered;
+  bench::BenchRun run("fig5_sweep_b28", argc, argv);
 
   std::printf("%s", util::banner("Figure 5: worst-case CR vs average stop "
                                  "length (B = 28 s)").c_str());
@@ -71,12 +72,13 @@ int main() {
                                         : 0.0,
               max_serial_gap);
 
+  run.stage_report(report);
   util::JsonValue extra = util::JsonValue::object();
   extra.set("serial_wall_seconds", serial_s);
   extra.set("speedup_vs_serial",
             report.wall_seconds > 0.0 ? serial_s / report.wall_seconds : 0.0);
   extra.set("bitwise_thread_invariant", bitwise);
   extra.set("max_cr_gap_vs_serial", max_serial_gap);
-  bench::write_bench_report("fig5_sweep_b28", report, std::move(extra));
+  run.stage("cross_checks", std::move(extra));
   return bitwise ? 0 : 1;
 }

@@ -5,12 +5,13 @@
 // BENCH_fig6_sweep_b47.json.
 #include <cstdio>
 
-#include "common/bench_json.h"
+#include "common/bench_run.h"
 #include "common/sweep.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace idlered;
+  bench::BenchRun bench_run("fig6_sweep_b47", argc, argv);
 
   std::printf("%s", util::banner("Figure 6: worst-case CR vs average stop "
                                  "length (B = 47 s)").c_str());
@@ -18,6 +19,6 @@ int main() {
   const auto run = bench::run_traffic_sweep(config);
   bench::print_sweep(run.points, run.report.strategy_names,
                      config.break_even);
-  bench::write_bench_report("fig6_sweep_b47", run.report);
+  bench_run.stage_report(run.report);
   return 0;
 }

@@ -4,6 +4,7 @@
 // online strategy would recover on the synthetic NREL-like traffic.
 #include <cstdio>
 
+#include "common/bench_run.h"
 #include "core/policies.h"
 #include "core/proposed.h"
 #include "costmodel/fleet_economics.h"
@@ -12,7 +13,8 @@
 #include "util/random.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("intro_claims", argc, argv);
   using namespace idlered;
 
   std::printf("%s", util::banner("Introduction claims: the US idling "

@@ -3,6 +3,10 @@
 // enumeration. A stop-start controller runs on embedded hardware, so the
 // per-stop decision path (statistics update + strategy selection +
 // threshold draw) must be cheap; these benches pin down its cost.
+//
+// Deliberate exception to the BenchRun envelope (common/bench_run.h):
+// google-benchmark owns main() here and emits its own JSON via
+// --benchmark_format=json, so this binary writes no BENCH_*.json.
 #include <benchmark/benchmark.h>
 
 #include "core/estimator.h"

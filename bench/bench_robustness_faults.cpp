@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bench_run.h"
 #include "dist/parametric.h"
 #include "robust/fault_model.h"
 #include "sim/controller.h"
@@ -108,7 +109,8 @@ std::vector<double> urban_stops() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("robustness_faults", argc, argv);
   std::printf("%s", util::banner("Robustness: fault-sweep of the adaptive "
                                  "stop-start controller (B = 28 s)")
                         .c_str());

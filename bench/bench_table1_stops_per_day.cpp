@@ -11,15 +11,16 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/bench_json.h"
+#include "common/bench_run.h"
 #include "engine/thread_pool.h"
 #include "stats/descriptive.h"
 #include "traces/fleet_generator.h"
 #include "util/random.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace idlered;
+  bench::BenchRun run("table1_stops_per_day", argc, argv);
 
   std::printf("%s", util::banner("Table 1: stops per day in 3 locations").c_str());
 
@@ -104,11 +105,10 @@ int main() {
               "(paper uses 32.43 for battery amortization)\n", pooled);
 
   util::JsonValue payload = util::JsonValue::object();
-  payload.set("bench", "table1_stops_per_day");
   payload.set("threads", pool.thread_count());
   payload.set("wall_seconds", std::chrono::duration<double>(t1 - t0).count());
   payload.set("areas", std::move(areas_json));
   payload.set("fleet_weighted_mu_plus_2sigma", pooled);
-  bench::write_bench_json("table1_stops_per_day", payload);
+  run.stage("results", std::move(payload));
   return 0;
 }

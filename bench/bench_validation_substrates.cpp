@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_run.h"
 #include "core/crand.h"
 #include "core/proposed.h"
 #include "sim/evaluator.h"
@@ -48,7 +49,8 @@ void report(const std::string& label, const std::vector<double>& stops,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  idlered::bench::BenchRun bench_run("validation_substrates", argc, argv);
   std::printf("%s", util::banner("Validation V1: stop-length substrates "
                                  "(B = 28 s)").c_str());
 

@@ -53,16 +53,4 @@ void write_bench_json(const std::string& name,
   }
 }
 
-void write_bench_report(const std::string& name,
-                        const engine::EvalReport& report,
-                        util::JsonValue extra) {
-  util::JsonValue payload = report_to_json(report);
-  payload.set("bench", name);
-  // Splice the extra fields on top (extra wins on key collisions).
-  // JsonValue has no iteration API, so callers pass whole objects; merge by
-  // nesting instead.
-  payload.set("extra", std::move(extra));
-  write_bench_json(name, payload);
-}
-
 }  // namespace idlered::bench

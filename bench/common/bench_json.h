@@ -16,12 +16,8 @@ util::JsonValue report_to_json(const engine::EvalReport& report);
 
 /// Write `payload` to BENCH_<name>.json in the working directory and print
 /// a one-line confirmation. I/O failures are reported to stderr but never
-/// kill a bench.
+/// kill a bench. Benches do not call this directly — the BenchRun envelope
+/// (common/bench_run.h) owns artifact emission so the schema stays uniform.
 void write_bench_json(const std::string& name, const util::JsonValue& payload);
-
-/// Convenience: report_to_json + extra top-level fields + write.
-void write_bench_report(const std::string& name,
-                        const engine::EvalReport& report,
-                        util::JsonValue extra = util::JsonValue::object());
 
 }  // namespace idlered::bench

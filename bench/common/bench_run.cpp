@@ -1,0 +1,105 @@
+#include "common/bench_run.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string_view>
+#include <utility>
+
+#include "common/bench_json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace idlered::bench {
+
+namespace {
+
+/// Resolve the trace request to a sink path; empty string means "off".
+std::string trace_request(const std::string& name, int argc, char** argv) {
+  bool on = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == nullptr) continue;
+    const std::string_view arg(argv[i]);
+    if (arg == "--trace") {
+      on = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      on = true;
+      path = std::string(arg.substr(8));
+    }
+  }
+  if (!on) {
+    const char* env = std::getenv("IDLERED_TRACE");
+    if (env != nullptr && *env != '\0') {
+      on = true;
+      const std::string_view v(env);
+      if (v != "1" && v != "on") path = std::string(v);
+    }
+  }
+  if (!on) return {};
+  return path.empty() ? "TRACE_" + name + ".jsonl" : path;
+}
+
+}  // namespace
+
+BenchRun::BenchRun(std::string name, int argc, char** argv)
+    : name_(std::move(name)), staged_(util::JsonValue::object()) {
+  // Envelope fields first: JsonValue objects are insertion-ordered, so
+  // seeding them here keeps them at the top of the artifact.
+  staged_.set("schema_version", kSchemaVersion);
+  staged_.set("bench", name_);
+
+  trace_path_ = trace_request(name_, argc, argv);
+  tracing_ = !trace_path_.empty();
+  if (tracing_) {
+    obs::recorder().start(trace_path_);
+    util::JsonValue meta = util::JsonValue::object();
+    meta.set("type", "meta");
+    meta.set("bench", name_);
+    meta.set("schema_version", kSchemaVersion);
+    obs::recorder().emit(std::move(meta));
+  }
+}
+
+void BenchRun::stage(const std::string& key, util::JsonValue value) {
+  staged_.set(key, std::move(value));
+}
+
+void BenchRun::stage_report(const engine::EvalReport& report) {
+  staged_.set("report", report_to_json(report));
+}
+
+BenchRun::~BenchRun() {
+  try {
+    util::JsonValue obs_block = util::JsonValue::object();
+    obs_block.set("traced", tracing_);
+    if (tracing_) {
+      obs_block.set("trace_path", trace_path_);
+      obs_block.set("events", obs::recorder().event_count());
+      util::JsonValue spans = util::JsonValue::object();
+      for (const auto& [span_name, stat] : obs::recorder().span_stats()) {
+        util::JsonValue s = util::JsonValue::object();
+        s.set("count", static_cast<std::size_t>(stat.count));
+        s.set("total_s", stat.total);
+        s.set("self_s", stat.self);
+        spans.set(span_name, std::move(s));
+      }
+      obs_block.set("spans", std::move(spans));
+    }
+    obs_block.set("metrics",
+                  obs::MetricsRegistry::global().snapshot().to_json());
+    staged_.set("obs", std::move(obs_block));
+    write_bench_json(name_, staged_);
+
+    if (tracing_) {
+      obs::recorder().stop();
+      const std::size_t n = obs::recorder().flush();
+      std::printf("wrote %s (%zu events)\n", trace_path_.c_str(), n);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: bench envelope for %s: %s\n",
+                 name_.c_str(), e.what());
+  }
+}
+
+}  // namespace idlered::bench

@@ -1,0 +1,68 @@
+// BenchRun — the one envelope every bench binary goes through.
+//
+// Construction parses the observability opt-ins (`--trace[=path]` on the
+// command line, or the IDLERED_TRACE environment variable) and, when
+// requested, starts the global obs recorder with a "meta" event naming the
+// bench. Destruction writes the schema-versioned BENCH_<name>.json —
+// run metadata, whatever payloads the bench staged, and the obs block
+// (metrics snapshot, span aggregates, trace stats) — then flushes the
+// JSON-lines trace file. Payload emission is centralized here so the
+// schema cannot drift bench-by-bench.
+//
+// Schema (version 2):
+//   {
+//     "schema_version": 2,
+//     "bench": "<name>",
+//     ...staged payloads ("report", bench-specific keys)...,
+//     "obs": {
+//       "traced": bool,
+//       "trace_path": "...", "events": N, "spans": {...},   (traced only)
+//       "metrics": { "<metric>": {...}, ... }
+//     }
+//   }
+//
+// tools/obs_report.py renders and validates both artifacts.
+#pragma once
+
+#include <string>
+
+#include "engine/eval_session.h"
+#include "util/json.h"
+
+namespace idlered::bench {
+
+class BenchRun {
+ public:
+  /// Bump when the BENCH_<name>.json layout changes shape.
+  static constexpr int kSchemaVersion = 2;
+
+  /// `name` is the artifact stem (BENCH_<name>.json / TRACE_<name>.jsonl).
+  /// argv is scanned for --trace / --trace=<path>; the IDLERED_TRACE
+  /// environment variable ("1"/"on" for the default path, anything else as
+  /// the path itself) is the no-flag fallback for wrapper scripts.
+  BenchRun(std::string name, int argc, char** argv);
+
+  /// Writes BENCH_<name>.json and flushes the trace. Never throws — bench
+  /// artifact I/O failures are reported to stderr, not turned into crashes.
+  ~BenchRun();
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  bool tracing() const { return tracing_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+  /// Attach a top-level payload under `key` (overwrites on re-stage).
+  void stage(const std::string& key, util::JsonValue value);
+
+  /// Convenience: serialize an engine report under the "report" key.
+  void stage_report(const engine::EvalReport& report);
+
+ private:
+  std::string name_;
+  bool tracing_ = false;
+  std::string trace_path_;
+  util::JsonValue staged_;
+};
+
+}  // namespace idlered::bench

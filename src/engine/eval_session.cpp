@@ -5,8 +5,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/proposed.h"
 #include "engine/thread_pool.h"
 #include "engine/vehicle_cache.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "util/contracts.h"
 #include "util/random.h"
@@ -44,6 +46,47 @@ struct Cell {
   std::size_t vehicle;   // index into the point's fleet (seed coordinate)
   std::size_t slot;      // index into the report's vehicle array
 };
+
+// Per-cell decision record: which LP vertex COA selected for this vehicle
+// at this sweep point (Section 4.4 selection), the worst-case guarantee it
+// bought, and the realized cost against the offline optimum. This is the
+// strategy-mix visibility the aggregate CR tables discard. Only COA-shaped
+// policies (core::ProposedPolicy) carry a StrategyChoice; other strategies
+// are fixed rules with nothing to decide.
+[[maybe_unused]] void trace_cell_decision(
+    [[maybe_unused]] const core::Policy& policy,
+    [[maybe_unused]] const std::string& strategy_name,
+    [[maybe_unused]] std::size_t point,
+    [[maybe_unused]] double axis,
+    [[maybe_unused]] double break_even,
+    [[maybe_unused]] const std::string& vehicle_id,
+    [[maybe_unused]] const sim::CostTotals& totals) {
+  IDLERED_OBS_ONLY({
+    const auto* coa = dynamic_cast<const core::ProposedPolicy*>(&policy);
+    if (coa == nullptr) return;
+    const core::StrategyChoice& choice = coa->choice();
+    const std::string vertex = core::to_string(choice.strategy);
+    // Dynamic metric name (one counter per vertex), so this bypasses the
+    // static-handle macro and registers through the registry directly.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.add(reg.counter("engine.decision." + vertex));
+    if (!obs::recorder().enabled()) return;
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "decision");
+    ev.set("point", point);
+    ev.set("axis", axis);
+    ev.set("b", break_even);
+    ev.set("vehicle", vehicle_id);
+    ev.set("strategy", strategy_name);
+    ev.set("vertex", vertex);
+    ev.set("vertex_b", choice.b);
+    ev.set("wc_cr", choice.cr);
+    ev.set("realized_cr", totals.cr());
+    ev.set("online", totals.online);
+    ev.set("offline", totals.offline);
+    obs::recorder().emit(std::move(ev));
+  })
+}
 
 }  // namespace
 
@@ -92,6 +135,7 @@ int EvalSession::thread_count() const { return impl_->pool.thread_count(); }
 EvalSession::~EvalSession() = default;
 
 EvalReport EvalSession::run() {
+  IDLERED_SPAN("session.run");
   const EvalPlan& plan = impl_->plan;
 
   EvalReport report;
@@ -150,6 +194,7 @@ EvalReport EvalSession::run() {
         impl_->cache_store[cache_of[pp.fleet.get()]].get());
 
   {
+    IDLERED_SPAN("session.cache_build");
     // Flatten (unique fleet, vehicle) pairs for the parallel build.
     struct BuildItem {
       const sim::Fleet* fleet;
@@ -172,6 +217,7 @@ EvalReport EvalSession::run() {
   // sampled mode each (point, vehicle, strategy) triple gets its own
   // counter-derived RNG stream, so the schedule cannot leak into results.
   impl_->pool.parallel_for(cells.size(), [&](std::size_t i) {
+    IDLERED_SPAN("eval_cell");
     const Cell& cell = cells[i];
     const PlanPoint& pp = plan.points[cell.point];
     const VehicleCache& cache =
@@ -193,6 +239,12 @@ EvalReport EvalSession::run() {
       }
       out.totals[cell.slot][s] = totals;
       out.comparison.vehicles[cell.slot].cr[s] = totals.cr();
+      IDLERED_OBS_ONLY(if (obs::enabled()) {
+        trace_cell_decision(*policy, report.strategy_names[s], cell.point,
+                            pp.axis, pp.break_even,
+                            out.comparison.vehicles[cell.slot].vehicle_id,
+                            totals);
+      })
     }
   });
 

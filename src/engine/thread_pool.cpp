@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace idlered::engine {
 
 namespace {
@@ -111,6 +113,7 @@ struct ThreadPool::Impl {
     // whole range is dry.
     while (!j.abort.load() &&
            j.segments[my_index].pop_front(j.chunk, first, last)) {
+      IDLERED_COUNT("engine.pool.chunks_owned");
       execute(first, last);
     }
     for (;;) {
@@ -126,6 +129,8 @@ struct ThreadPool::Impl {
       }
       if (victim == nseg) return;  // everything consumed
       if (j.segments[victim].steal_back(first, last)) {
+        IDLERED_COUNT("engine.pool.steals");
+        IDLERED_COUNT_ADD("engine.pool.indices_stolen", last - first);
         // Consume the stolen slice in chunks so it can be re-stolen.
         std::size_t lo = first;
         while (lo < last && !j.abort.load()) {
@@ -165,6 +170,8 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t chunk) {
   if (n == 0) return;
+  IDLERED_COUNT("engine.pool.jobs");
+  IDLERED_COUNT_ADD("engine.pool.indices", n);
   const auto nthreads = static_cast<std::size_t>(threads_);
   if (chunk == 0) {
     chunk = std::max<std::size_t>(1, n / (nthreads * 8));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace idlered::engine {
 
 VehicleCache::VehicleCache(const sim::StopTrace& trace) : trace_(&trace) {
@@ -25,8 +27,12 @@ dist::ShortStopStats VehicleCache::stats_for(double break_even) const {
   {
     std::lock_guard<std::mutex> lock(memo_m_);
     const auto it = memo_.find(break_even);
-    if (it != memo_.end()) return it->second;
+    if (it != memo_.end()) {
+      IDLERED_COUNT("engine.cache.stats_hit");
+      return it->second;
+    }
   }
+  IDLERED_COUNT("engine.cache.stats_miss");
   // Stops < B occupy [0, idx) of the sorted order.
   const auto idx = static_cast<std::size_t>(
       std::lower_bound(sorted_stops_.begin(), sorted_stops_.end(),

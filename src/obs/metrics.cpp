@@ -1,0 +1,310 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/contracts.h"
+
+namespace idlered::obs {
+
+namespace {
+
+// Fixed capacities: registration may happen concurrently with writes from
+// other threads (a pool worker's first pass through an instrumented site),
+// so neither the slot arrays nor the meta table may ever reallocate.
+// ~10 KiB of slots per thread and 256 metric definitions is far more than
+// the instrumentation uses; exceeding either throws at registration.
+constexpr std::size_t kIntSlots = 1024;
+constexpr std::size_t kDoubleSlots = 256;
+constexpr std::size_t kMaxMetrics = 256;
+
+// fetch_add for atomic<double> via CAS: libstdc++'s floating fetch_add is
+// uneven across the GCC versions we target, and this path is not hot.
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+struct Shard {
+  std::vector<std::atomic<std::uint64_t>> ints;
+  std::vector<std::atomic<double>> doubles;
+  Shard() : ints(kIntSlots), doubles(kDoubleSlots) {}
+};
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Meta {
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::size_t int_slot = 0;     ///< first integer slot (counter / buckets)
+  std::size_t double_slot = 0;  ///< gauge value or histogram sum
+  std::vector<double> edges;    ///< histogram only
+};
+
+// Registries are identified by a process-unique serial rather than their
+// address, so a thread-local cache entry for a destroyed registry can
+// never be mistaken for a new registry allocated at the same address.
+std::atomic<std::uint64_t> g_registry_serial{1};
+
+struct TlsEntry {
+  std::uint64_t serial = 0;
+  Shard* shard = nullptr;
+};
+
+thread_local std::vector<TlsEntry> t_shards;
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  const std::uint64_t serial = g_registry_serial.fetch_add(1);
+  mutable std::mutex m;  // guards registration, the shard list, snapshots
+
+  // Publication protocol for the lock-free read path: meta[i] is fully
+  // constructed under the mutex, then meta_count is released to i+1.
+  // Entries are immutable once published, so add()/observe() may read
+  // meta[id] for any id < meta_count.load(acquire) without the mutex.
+  std::unique_ptr<Meta[]> meta{new Meta[kMaxMetrics]};
+  std::atomic<std::size_t> meta_count{0};
+
+  std::map<std::string, Id> index;  // guarded by m
+  std::vector<std::unique_ptr<Shard>> shards;  // guarded by m
+  std::size_t next_int_slot = 0;
+  std::size_t next_double_slot = 0;
+
+  Shard& local_shard() {
+    for (const TlsEntry& e : t_shards)
+      if (e.serial == serial) return *e.shard;
+    std::lock_guard<std::mutex> lock(m);
+    shards.push_back(std::make_unique<Shard>());
+    Shard* s = shards.back().get();
+    t_shards.push_back(TlsEntry{serial, s});
+    return *s;
+  }
+
+  const Meta& published(Id id, Kind kind, const char* what) const {
+    IDLERED_EXPECTS(id < meta_count.load(std::memory_order_acquire),
+                    "MetricsRegistry: id was never registered here");
+    const Meta& mm = meta[id];
+    IDLERED_EXPECTS(mm.kind == kind, what);
+    return mm;
+  }
+
+  Id register_metric(Kind kind, const std::string& name,
+                     std::vector<double> edges) {
+    std::lock_guard<std::mutex> lock(m);
+    const auto it = index.find(name);
+    if (it != index.end()) {
+      const Meta& existing = meta[it->second];
+      if (existing.kind != kind)
+        throw std::invalid_argument(
+            "MetricsRegistry: '" + name + "' already registered as a "
+            "different metric kind");
+      if (kind == Kind::kHistogram && existing.edges != edges)
+        throw std::invalid_argument(
+            "MetricsRegistry: histogram '" + name +
+            "' re-registered with different bucket edges");
+      return it->second;
+    }
+    const std::size_t n = meta_count.load(std::memory_order_relaxed);
+    if (n >= kMaxMetrics)
+      throw std::length_error(
+          "MetricsRegistry: metric capacity exhausted (raise kMaxMetrics)");
+    Meta& mm = meta[n];
+    mm.kind = kind;
+    mm.name = name;
+    switch (kind) {
+      case Kind::kCounter:
+        mm.int_slot = take_int_slots(1);
+        break;
+      case Kind::kGauge:
+        mm.double_slot = take_double_slots(1);
+        break;
+      case Kind::kHistogram:
+        mm.int_slot = take_int_slots(edges.size() + 1);
+        mm.double_slot = take_double_slots(1);
+        mm.edges = std::move(edges);
+        break;
+    }
+    index.emplace(name, n);
+    meta_count.store(n + 1, std::memory_order_release);
+    return n;
+  }
+
+  std::size_t take_int_slots(std::size_t n) {
+    if (next_int_slot + n > kIntSlots)
+      throw std::length_error("MetricsRegistry: integer slot capacity "
+                              "exhausted (raise kIntSlots)");
+    const std::size_t at = next_int_slot;
+    next_int_slot += n;
+    return at;
+  }
+
+  std::size_t take_double_slots(std::size_t n) {
+    if (next_double_slot + n > kDoubleSlots)
+      throw std::length_error("MetricsRegistry: double slot capacity "
+                              "exhausted (raise kDoubleSlots)");
+    const std::size_t at = next_double_slot;
+    next_double_slot += n;
+    return at;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Id MetricsRegistry::counter(const std::string& name) {
+  return impl_->register_metric(Kind::kCounter, name, {});
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(const std::string& name) {
+  return impl_->register_metric(Kind::kGauge, name, {});
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(const std::string& name,
+                                               std::vector<double> edges) {
+  IDLERED_EXPECTS(!edges.empty(),
+                  "MetricsRegistry: histogram needs at least one edge");
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    IDLERED_EXPECTS(std::isfinite(edges[i]),
+                    "MetricsRegistry: histogram edges must be finite");
+    IDLERED_EXPECTS(i == 0 || edges[i - 1] < edges[i],
+                    "MetricsRegistry: histogram edges must be strictly "
+                    "increasing");
+  }
+  return impl_->register_metric(Kind::kHistogram, name, std::move(edges));
+}
+
+void MetricsRegistry::add(Id counter_id, std::uint64_t delta) {
+  const Meta& mm = impl_->published(
+      counter_id, Kind::kCounter,
+      "MetricsRegistry::add: id is not a registered counter");
+  impl_->local_shard().ints[mm.int_slot].fetch_add(delta,
+                                                   std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(Id gauge_id, double value) {
+  const Meta& mm = impl_->published(
+      gauge_id, Kind::kGauge,
+      "MetricsRegistry::set: id is not a registered gauge");
+  impl_->local_shard().doubles[mm.double_slot].store(
+      value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(Id histogram_id, double value) {
+  const Meta& mm = impl_->published(
+      histogram_id, Kind::kHistogram,
+      "MetricsRegistry::observe: id is not a registered histogram");
+  // upper_bound makes buckets half-open [edges[i-1], edges[i]) as
+  // documented; sub-range values fold into bucket 0.
+  const auto bucket = static_cast<std::size_t>(
+      std::upper_bound(mm.edges.begin(), mm.edges.end(), value) -
+      mm.edges.begin());
+  const std::size_t b =
+      value < mm.edges.front() ? 0 : std::min(bucket, mm.edges.size());
+  Shard& shard = impl_->local_shard();
+  shard.ints[mm.int_slot + b].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(shard.doubles[mm.double_slot], value);
+}
+
+std::uint64_t MetricsSnapshot::Histogram::total() const {
+  std::uint64_t t = 0;
+  for (std::uint64_t c : counts) t += c;
+  return t;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  MetricsSnapshot snap;
+  const std::size_t n = impl_->meta_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Meta& mm = impl_->meta[i];
+    switch (mm.kind) {
+      case Kind::kCounter: {
+        std::uint64_t v = 0;
+        for (const auto& s : impl_->shards)
+          v += s->ints[mm.int_slot].load(std::memory_order_relaxed);
+        snap.counters.push_back({mm.name, v});
+        break;
+      }
+      case Kind::kGauge: {
+        // A gauge is last-write-wins and expected to be set from one
+        // thread; shards cannot be summed, so report the last non-zero
+        // shard value.
+        double v = 0.0;
+        for (const auto& s : impl_->shards) {
+          const double sv =
+              s->doubles[mm.double_slot].load(std::memory_order_relaxed);
+          if (sv != 0.0) v = sv;  // lint: allow(float-compare): exact sentinel — an unset gauge slot is bit-zero
+        }
+        snap.gauges.push_back({mm.name, v});
+        break;
+      }
+      case Kind::kHistogram: {
+        MetricsSnapshot::Histogram h;
+        h.name = mm.name;
+        h.edges = mm.edges;
+        h.counts.assign(mm.edges.size() + 1, 0);
+        for (const auto& s : impl_->shards) {
+          for (std::size_t b = 0; b < h.counts.size(); ++b)
+            h.counts[b] +=
+                s->ints[mm.int_slot + b].load(std::memory_order_relaxed);
+          h.sum += s->doubles[mm.double_slot].load(std::memory_order_relaxed);
+        }
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  for (const auto& s : impl_->shards) {
+    for (auto& v : s->ints) v.store(0, std::memory_order_relaxed);
+    for (auto& v : s->doubles) v.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  return impl_->shards.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+util::JsonValue MetricsSnapshot::to_json() const {
+  using util::JsonValue;
+  JsonValue counters_json = JsonValue::object();
+  for (const Counter& c : counters) counters_json.set(c.name, c.value);
+  JsonValue gauges_json = JsonValue::object();
+  for (const Gauge& g : gauges) gauges_json.set(g.name, g.value);
+  JsonValue hists_json = JsonValue::object();
+  for (const Histogram& h : histograms) {
+    JsonValue hj = JsonValue::object();
+    JsonValue edges = JsonValue::array();
+    for (double e : h.edges) edges.push_back(e);
+    JsonValue counts = JsonValue::array();
+    for (std::uint64_t c : h.counts) counts.push_back(static_cast<double>(c));
+    hj.set("edges", std::move(edges));
+    hj.set("counts", std::move(counts));
+    hj.set("sum", h.sum);
+    hj.set("total", static_cast<double>(h.total()));
+    hists_json.set(h.name, std::move(hj));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters_json));
+  out.set("gauges", std::move(gauges_json));
+  out.set("histograms", std::move(hists_json));
+  return out;
+}
+
+}  // namespace idlered::obs

@@ -1,0 +1,105 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms with
+// per-thread shards merged on snapshot.
+//
+// Write path: every thread that touches a registry gets its own shard — a
+// fixed-capacity array of relaxed atomics — located through a thread-local
+// cache, so an increment is one pointer scan plus one uncontended
+// fetch_add. No locks are taken after the first touch, which is what lets
+// the work-stealing ThreadPool count chunks and steals without perturbing
+// the schedule it is measuring.
+//
+// Read path: snapshot() sums the shards under the registration mutex. A
+// snapshot taken while writers are running is per-slot consistent (each
+// slot is an atomic) but not cross-slot consistent — e.g. a histogram's
+// sum may briefly lag its counts. The intended use is quiescent points:
+// end of a bench, end of a session.
+//
+// Determinism contract: nothing here reads a clock, draws randomness, or
+// feeds back into evaluation. Observation must never change results — the
+// registry is write-only from the instrumented code's point of view.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace idlered::obs {
+
+/// Merged view of one registry, ready for reporting.
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::string name;
+    std::vector<double> edges;            ///< strictly increasing bucket edges
+    std::vector<std::uint64_t> counts;    ///< edges.size() + 1 buckets
+    double sum = 0.0;                     ///< sum of observed values
+    std::uint64_t total() const;          ///< sum of counts
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} for the
+  /// BENCH_<name>.json obs block.
+  util::JsonValue to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Stable identifier of a registered metric (index into the meta table).
+  using Id = std::size_t;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-register by name. Re-registering an existing name of the same
+  /// kind returns the original Id; a kind mismatch (or, for histograms,
+  /// different edges) throws std::invalid_argument. Thread-safe.
+  Id counter(const std::string& name);
+  Id gauge(const std::string& name);
+  /// `edges` must be non-empty, finite, strictly increasing. Bucket i
+  /// counts values in [edges[i-1], edges[i]); the last bucket is the
+  /// overflow [edges.back(), +inf). Values below edges[0] land in bucket 0.
+  Id histogram(const std::string& name, std::vector<double> edges);
+
+  /// Hot-path writes. Ids must come from the matching register call on
+  /// this registry (checked via IDLERED_EXPECTS).
+  void add(Id counter_id, std::uint64_t delta = 1);
+  void set(Id gauge_id, double value);
+  void observe(Id histogram_id, double value);
+
+  /// Merge all shards. See the header comment for consistency caveats.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every shard and gauge (metric registrations survive). Only safe
+  /// when no other thread is writing.
+  void reset();
+
+  /// Number of threads that have touched this registry so far.
+  std::size_t shard_count() const;
+
+  /// The process-wide registry the IDLERED_COUNT/IDLERED_HIST macros and
+  /// the bench obs block use.
+  static MetricsRegistry& global();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace idlered::obs

@@ -1,0 +1,81 @@
+// Instrumentation macros — the only obs surface the instrumented modules
+// (engine, sim, robust) are expected to touch.
+//
+// Compile gate: defining IDLERED_OBS_DISABLED (CMake: -DIDLERED_OBS=OFF)
+// expands every macro here to nothing, so instrumented hot paths carry
+// zero observability cost — no atomic load, no branch, no static handle.
+// With the gate open (the default), each site costs one relaxed atomic
+// load while the recorder is disabled; actual recording is opt-in per run
+// (bench --trace flag / IDLERED_TRACE env / Recorder::start in tests).
+//
+//   IDLERED_SPAN("name")            RAII scope timer (obs::Span)
+//   IDLERED_COUNT("name")           global-registry counter += 1
+//   IDLERED_COUNT_ADD("name", n)    global-registry counter += n
+//   IDLERED_HIST("name", {e...}, v) observe v in a fixed-bucket histogram
+//   IDLERED_OBS_ONLY(code)          arbitrary code compiled out with obs;
+//                                   sites still guard it with
+//                                   obs::enabled() for the runtime gate
+//
+// Metric names are registered lazily via a function-local static handle,
+// so the registry lookup happens once per site, not per call.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if !defined(IDLERED_OBS_DISABLED)
+#define IDLERED_OBS_ENABLED 1
+#else
+#define IDLERED_OBS_ENABLED 0
+#endif
+
+#define IDLERED_OBS_CAT2(a, b) a##b
+#define IDLERED_OBS_CAT(a, b) IDLERED_OBS_CAT2(a, b)
+
+#if IDLERED_OBS_ENABLED
+
+#define IDLERED_SPAN(name) \
+  ::idlered::obs::Span IDLERED_OBS_CAT(idlered_obs_span_, __LINE__)(name)
+
+#define IDLERED_COUNT_ADD(name, delta)                                     \
+  do {                                                                     \
+    if (::idlered::obs::enabled()) {                                       \
+      static const ::idlered::obs::MetricsRegistry::Id idlered_obs_id =    \
+          ::idlered::obs::MetricsRegistry::global().counter(name);         \
+      ::idlered::obs::MetricsRegistry::global().add(idlered_obs_id,        \
+                                                    (delta));              \
+    }                                                                      \
+  } while (0)
+
+#define IDLERED_COUNT(name) IDLERED_COUNT_ADD(name, 1)
+
+#define IDLERED_HIST(name, edges, value)                                   \
+  do {                                                                     \
+    if (::idlered::obs::enabled()) {                                       \
+      static const ::idlered::obs::MetricsRegistry::Id idlered_obs_id =    \
+          ::idlered::obs::MetricsRegistry::global().histogram(             \
+              name, std::vector<double> edges);                            \
+      ::idlered::obs::MetricsRegistry::global().observe(idlered_obs_id,    \
+                                                        (value));          \
+    }                                                                      \
+  } while (0)
+
+#define IDLERED_OBS_ONLY(...) __VA_ARGS__
+
+#else  // IDLERED_OBS_DISABLED
+
+#define IDLERED_SPAN(name) \
+  do {                     \
+  } while (0)
+#define IDLERED_COUNT_ADD(name, delta) \
+  do {                                 \
+  } while (0)
+#define IDLERED_COUNT(name) \
+  do {                      \
+  } while (0)
+#define IDLERED_HIST(name, edges, value) \
+  do {                                   \
+  } while (0)
+#define IDLERED_OBS_ONLY(...)
+
+#endif  // IDLERED_OBS_ENABLED

@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "util/clock.h"
+#include "util/contracts.h"
+
+namespace idlered::obs {
+
+namespace {
+
+std::atomic<int> g_next_thread_ordinal{0};
+
+thread_local int t_thread_ordinal = -1;
+thread_local Span* t_current_span = nullptr;
+
+}  // namespace
+
+int thread_ordinal() {
+  if (t_thread_ordinal < 0)
+    t_thread_ordinal = g_next_thread_ordinal.fetch_add(1);
+  return t_thread_ordinal;
+}
+
+struct Recorder::Impl {
+  std::atomic<bool> enabled{false};
+  std::atomic<ClockFn> clock{nullptr};  // nullptr = util::monotonic_seconds
+
+  mutable std::mutex m;  // guards everything below
+  std::string sink_path;
+  std::vector<std::string> lines;
+  std::map<std::string, SpanStat> span_stats;
+};
+
+Recorder::Recorder() : impl_(std::make_unique<Impl>()) {}
+Recorder::~Recorder() = default;
+
+void Recorder::start(std::string sink_path) {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->sink_path = std::move(sink_path);
+  impl_->lines.clear();
+  impl_->span_stats.clear();
+  impl_->enabled.store(true, std::memory_order_release);
+}
+
+void Recorder::stop() {
+  impl_->enabled.store(false, std::memory_order_release);
+}
+
+bool Recorder::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+double Recorder::now() const {
+  const ClockFn clock = impl_->clock.load(std::memory_order_relaxed);
+  return clock != nullptr ? clock() : util::monotonic_seconds();
+}
+
+void Recorder::set_clock(ClockFn clock) {
+  impl_->clock.store(clock, std::memory_order_relaxed);
+}
+
+void Recorder::emit(util::JsonValue fields) {
+  if (!enabled()) return;
+  fields.set("t", now());
+  std::string line = fields.dump(0);
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->lines.push_back(std::move(line));
+}
+
+std::size_t Recorder::flush() {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  if (impl_->sink_path.empty())
+    throw std::logic_error("Recorder::flush: no sink path was configured");
+  std::ofstream f(impl_->sink_path);
+  if (!f)
+    throw std::runtime_error("Recorder::flush: cannot open " +
+                             impl_->sink_path);
+  for (const std::string& line : impl_->lines) f << line << '\n';
+  if (!f)
+    throw std::runtime_error("Recorder::flush: write failed: " +
+                             impl_->sink_path);
+  return impl_->lines.size();
+}
+
+const std::string& Recorder::sink_path() const {
+  // The path is written once in start() before any reader cares; returning
+  // a reference keeps the accessor allocation-free.
+  return impl_->sink_path;
+}
+
+std::vector<std::string> Recorder::lines() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  return impl_->lines;
+}
+
+std::size_t Recorder::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  return impl_->lines.size();
+}
+
+std::map<std::string, Recorder::SpanStat> Recorder::span_stats() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  return impl_->span_stats;
+}
+
+void Recorder::close_span(const char* name, double t0, double dur,
+                          double self) {
+  util::JsonValue ev = util::JsonValue::object();
+  ev.set("type", "span");
+  ev.set("name", name);
+  ev.set("thread", thread_ordinal());
+  ev.set("t0", t0);
+  ev.set("dur", dur);
+  ev.set("self", self);
+  ev.set("t", now());
+  std::string line = ev.dump(0);
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->lines.push_back(std::move(line));
+  SpanStat& stat = impl_->span_stats[name];
+  ++stat.count;
+  stat.total += dur;
+  stat.self += self;
+}
+
+Recorder& Recorder::global() {
+  static Recorder instance;
+  return instance;
+}
+
+bool enabled() { return Recorder::global().enabled(); }
+
+Recorder& recorder() { return Recorder::global(); }
+
+Span::Span(const char* name) : name_(name) {
+  IDLERED_EXPECTS(name != nullptr, "Span: name must be non-null");
+  Recorder& rec = Recorder::global();
+  if (!rec.enabled()) return;
+  active_ = true;
+  parent_ = t_current_span;
+  t_current_span = this;
+  t0_ = rec.now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Recorder& rec = Recorder::global();
+  const double dur = rec.now() - t0_;
+  const double self = dur - child_total_;
+  t_current_span = parent_;
+  if (parent_ != nullptr) parent_->child_total_ += dur;
+  rec.close_span(name_, t0_, dur, self);
+}
+
+}  // namespace idlered::obs

@@ -1,0 +1,132 @@
+// Structured event/trace layer: a process-wide Recorder that buffers
+// JSON-lines events, plus RAII Spans that time scopes on the injectable
+// clock and aggregate per-name self-time.
+//
+// Event model: every event is one JSON object per line with at least
+// {"type": ..., "t": <seconds>}. The instrumented sites emit typed events
+// ("span", "decision", "rung", "health_transition", "fault", "stop_eval");
+// tools/obs_report.py knows how to validate and render them.
+//
+// Determinism contract: the recorder is strictly write-only from the
+// instrumented code's point of view — it never draws randomness, and the
+// clock it reads (util::monotonic_seconds by default) feeds only the trace
+// file, never a result. With the recorder disabled (the default) every
+// entry point is one relaxed atomic load; with IDLERED_OBS=off at compile
+// time the instrumentation macros in obs/obs.h vanish entirely.
+//
+// The clock is injectable (set_clock) so span timing is exactly testable:
+// tests install a fake that advances a fixed step per call and assert the
+// resulting durations bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace idlered::obs {
+
+/// Replaceable time source. Must be callable from any thread; nullptr
+/// restores the default (util::monotonic_seconds).
+using ClockFn = double (*)();
+
+class Recorder {
+ public:
+  /// Per-span-name aggregate maintained as spans close.
+  struct SpanStat {
+    std::uint64_t count = 0;
+    double total = 0.0;  ///< inclusive wall time
+    double self = 0.0;   ///< total minus time spent in child spans
+  };
+
+  Recorder();
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Enable recording. `sink_path` is where flush() will write the
+  /// JSON-lines file; empty keeps the buffer memory-only (tests). Clears
+  /// any previously buffered events and span aggregates.
+  void start(std::string sink_path);
+
+  /// Disable recording (buffered events are kept for flush()/lines()).
+  void stop();
+
+  bool enabled() const;
+
+  /// Append one event. The "t" timestamp is stamped here from the clock;
+  /// `fields` must be an object carrying at least "type". No-op while
+  /// disabled.
+  void emit(util::JsonValue fields);
+
+  /// Write all buffered events to the sink path given at start() and
+  /// return how many were written. Throws std::runtime_error on I/O
+  /// failure, std::logic_error if start() gave no path.
+  std::size_t flush();
+
+  const std::string& sink_path() const;
+
+  /// Copy of the buffered event lines (tests and exporters).
+  std::vector<std::string> lines() const;
+  std::size_t event_count() const;
+
+  /// Per-name span aggregates since start().
+  std::map<std::string, SpanStat> span_stats() const;
+
+  /// Current time on the recorder's clock.
+  double now() const;
+
+  /// Inject a clock (nullptr restores util::monotonic_seconds). Takes
+  /// effect immediately; intended for single-threaded test setup.
+  void set_clock(ClockFn clock);
+
+  /// The process-wide recorder all instrumentation macros target.
+  static Recorder& global();
+
+ private:
+  friend class Span;
+  void close_span(const char* name, double t0, double dur, double self);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience accessors for the global recorder (what the macros expand
+/// to). enabled() is the one-load fast path every instrumented site pays
+/// when observability is compiled in but not recording.
+bool enabled();
+Recorder& recorder();
+
+/// Small ordinal identifying the calling thread in trace events (assigned
+/// on first use, stable for the thread's lifetime). Not the OS thread id:
+/// deterministic numbering keeps traces diffable run-to-run when the
+/// thread creation order is stable.
+int thread_ordinal();
+
+/// RAII scope timer. Opens on the recorder's clock at construction; at
+/// destruction emits a "span" event, folds itself into the per-name
+/// aggregates, and credits its inclusive time to the enclosing span's
+/// child total (per-thread span stack), so self-time is well defined.
+/// Inactive (and free of clock reads) when the recorder is disabled at
+/// construction. `name` must outlive the span — pass a string literal.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  double t0_ = 0.0;
+  double child_total_ = 0.0;
+  Span* parent_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace idlered::obs

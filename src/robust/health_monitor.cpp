@@ -4,8 +4,35 @@
 #include <stdexcept>
 
 #include "core/analytic.h"
+#include "obs/obs.h"
 
 namespace idlered::robust {
+
+namespace {
+
+// Trace every state-machine edge at its source, so the event stream stays
+// complete no matter which controller (or test harness) drives the
+// monitor. The transition history itself is a plain feature and is kept
+// even when obs is compiled out.
+void trace_transition([[maybe_unused]] const char* kind,
+                      [[maybe_unused]] std::uint64_t at,
+                      [[maybe_unused]] const std::string& from,
+                      [[maybe_unused]] const std::string& to,
+                      [[maybe_unused]] double rate) {
+  IDLERED_COUNT("robust.health.transitions");
+  IDLERED_OBS_ONLY(if (obs::enabled()) {
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "health_transition");
+    ev.set("kind", kind);
+    ev.set("at", static_cast<double>(at));
+    ev.set("from", from);
+    ev.set("to", to);
+    ev.set("rate", rate);
+    obs::recorder().emit(std::move(ev));
+  })
+}
+
+}  // namespace
 
 std::string to_string(HealthState state) {
   switch (state) {
@@ -40,10 +67,12 @@ HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {
 }
 
 void HealthMonitor::record_observation(bool anomalous) {
+  ++observations_;
   anomaly_rate_ = (1.0 - config_.ewma_alpha) * anomaly_rate_ +
                   config_.ewma_alpha * (anomalous ? 1.0 : 0.0);
   // Two-threshold state machine; one level of movement per observation so a
   // single outlier never jumps Healthy -> Critical.
+  const HealthState before = state_;
   switch (state_) {
     case HealthState::kHealthy:
       if (anomaly_rate_ > config_.degraded_enter)
@@ -60,16 +89,31 @@ void HealthMonitor::record_observation(bool anomalous) {
         state_ = HealthState::kDegraded;
       break;
   }
+  if (state_ != before) {
+    transitions_.push_back(
+        Transition{observations_, before, state_, anomaly_rate_});
+    trace_transition("state", observations_, to_string(before),
+                     to_string(state_), anomaly_rate_);
+  }
 }
 
 void HealthMonitor::record_restart(bool clean) {
+  ++restarts_;
   restart_failure_rate_ = (1.0 - config_.ewma_alpha) * restart_failure_rate_ +
                           config_.ewma_alpha * (clean ? 0.0 : 1.0);
+  const bool before = actuator_suspect_;
   if (actuator_suspect_) {
     if (restart_failure_rate_ < config_.actuator_exit)
       actuator_suspect_ = false;
   } else if (restart_failure_rate_ > config_.actuator_enter) {
     actuator_suspect_ = true;
+  }
+  if (actuator_suspect_ != before) {
+    actuator_transitions_.push_back(ActuatorTransition{
+        restarts_, actuator_suspect_, restart_failure_rate_});
+    trace_transition("actuator", restarts_, before ? "suspect" : "ok",
+                     actuator_suspect_ ? "suspect" : "ok",
+                     restart_failure_rate_);
   }
 }
 

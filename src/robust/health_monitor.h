@@ -20,7 +20,9 @@
 // with a safety margin before the controller may act on that vertex.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dist/distribution.h"
 
@@ -53,6 +55,25 @@ struct HealthConfig {
 
 class HealthMonitor {
  public:
+  /// One recorded state-machine edge. `at` is the deterministic logical
+  /// timestamp: the 1-based count of record_observation calls (state
+  /// transitions) or record_restart calls (actuator transitions) at the
+  /// moment the edge fired — wall-clock-free, so tests can assert exact
+  /// transition points and the obs event layer can replay the history.
+  struct Transition {
+    std::uint64_t at = 0;
+    HealthState from = HealthState::kHealthy;
+    HealthState to = HealthState::kHealthy;
+    double anomaly_rate = 0.0;  ///< smoothed rate when the edge fired
+  };
+
+  /// One actuator-suspect latch flip, timestamped by restart count.
+  struct ActuatorTransition {
+    std::uint64_t at = 0;
+    bool suspect = false;
+    double restart_failure_rate = 0.0;
+  };
+
   explicit HealthMonitor(const HealthConfig& config = {});
 
   /// Fold one guard verdict (or a dropped reading) into the anomaly rate
@@ -69,6 +90,15 @@ class HealthMonitor {
   double anomaly_rate() const { return anomaly_rate_; }
   double restart_failure_rate() const { return restart_failure_rate_; }
 
+  /// Every state-machine edge so far, in firing order.
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  const std::vector<ActuatorTransition>& actuator_transitions() const {
+    return actuator_transitions_;
+  }
+
+  std::uint64_t observations() const { return observations_; }
+  std::uint64_t restarts() const { return restarts_; }
+
   const HealthConfig& config() const { return config_; }
 
  private:
@@ -77,6 +107,10 @@ class HealthMonitor {
   bool actuator_suspect_ = false;
   double anomaly_rate_ = 0.0;
   double restart_failure_rate_ = 0.0;
+  std::uint64_t observations_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::vector<Transition> transitions_;
+  std::vector<ActuatorTransition> actuator_transitions_;
 };
 
 /// True when the b-DET feasibility condition (eq. 36) holds with the given

@@ -8,10 +8,75 @@
 #include "core/costs.h"
 #include "core/policies.h"
 #include "core/proposed.h"
+#include "obs/obs.h"
 
 namespace idlered::sim {
 
 namespace {
+
+// Fault events record what the degraded sensing/actuation path actually
+// saw — kind, drop, cranking retries, delay — keyed by the stop ordinal so
+// a timeline can line them up with rung transitions.
+[[maybe_unused]] void trace_fault(
+    [[maybe_unused]] std::size_t stop,
+    [[maybe_unused]] const robust::SensorReading& reading) {
+  IDLERED_OBS_ONLY({
+    if (!obs::recorder().enabled()) return;
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "fault");
+    ev.set("stop", stop);
+    ev.set("kind", robust::to_string(reading.fault));
+    ev.set("dropped", reading.dropped);
+    ev.set("restart_attempts", reading.restart_attempts);
+    ev.set("delay_s", reading.actuation_delay_s);
+    obs::recorder().emit(std::move(ev));
+  })
+}
+
+// Per-stop controller decision: which rung/policy priced this stop, the
+// threshold it drew, and the realized cost against the offline optimum.
+[[maybe_unused]] void trace_stop_decision(
+    [[maybe_unused]] std::size_t stop,
+    [[maybe_unused]] robust::ControllerMode mode,
+    [[maybe_unused]] const core::Policy& policy,
+    [[maybe_unused]] double threshold,
+    [[maybe_unused]] double cost,
+    [[maybe_unused]] double offline,
+    [[maybe_unused]] double soc) {
+  IDLERED_OBS_ONLY({
+    if (!obs::recorder().enabled()) return;
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "decision");
+    ev.set("stop", stop);
+    ev.set("mode", robust::to_string(mode));
+    ev.set("policy", policy.name());
+    ev.set("threshold", threshold);
+    ev.set("cost", cost);
+    ev.set("offline", offline);
+    ev.set("soc", soc);
+    obs::recorder().emit(std::move(ev));
+  })
+}
+
+// Rung transitions are the fallback ladder in action; the event carries
+// the health/SOC context that drove the move.
+[[maybe_unused]] void trace_rung([[maybe_unused]] std::size_t stop,
+                                 [[maybe_unused]] robust::ControllerMode from,
+                                 [[maybe_unused]] robust::ControllerMode to,
+                                 [[maybe_unused]] robust::HealthState health,
+                                 [[maybe_unused]] double soc) {
+  IDLERED_OBS_ONLY({
+    if (!obs::recorder().enabled()) return;
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "rung");
+    ev.set("stop", stop);
+    ev.set("from", robust::to_string(from));
+    ev.set("to", robust::to_string(to));
+    ev.set("health", robust::to_string(health));
+    ev.set("soc", soc);
+    obs::recorder().emit(std::move(ev));
+  })
+}
 
 // Legacy mode keeps the original contract: every finite nonnegative stop
 // length is learned from, however implausible. The guard then only exists
@@ -62,6 +127,7 @@ double AdaptiveController::process_stop_expected(double stop_length) {
   totals_.online += cost;
   totals_.offline += core::offline_cost(stop_length, config_.break_even);
   ++totals_.num_stops;
+  IDLERED_COUNT("sim.controller.stops");
   observe_reading(stop_length);
   return cost;
 }
@@ -102,9 +168,20 @@ double AdaptiveController::process_stop_faulted(
       account_engine_off(true_length - x_eff, reading.restart_attempts);
     }
   }
+  const double offline = core::offline_cost(true_length, config_.break_even);
   totals_.online += cost;
-  totals_.offline += core::offline_cost(true_length, config_.break_even);
+  totals_.offline += offline;
   ++totals_.num_stops;
+  IDLERED_COUNT("sim.controller.stops");
+
+  if (reading.dropped || reading.fault != robust::FaultKind::kNone) {
+    IDLERED_COUNT("sim.controller.faults");
+    trace_fault(totals_.num_stops, reading);
+  }
+  // mode_/policy_ are still the pair that priced this stop: the estimator
+  // refresh only happens below, after the reading is folded in.
+  trace_stop_decision(totals_.num_stops, mode_, *policy_, x, cost, offline,
+                      soc_);
 
   if (reading.dropped) {
     if (config_.robust.enabled) {
@@ -158,6 +235,7 @@ void AdaptiveController::account_engine_off(double off_s,
 }
 
 void AdaptiveController::refresh_policy() {
+  const robust::ControllerMode before = mode_;
   if (!config_.robust.enabled) {
     // Original behaviour: N-Rand during warm-up, COA from then on.
     if (stops_seen_ >= config_.warmup_stops && estimator_.ready()) {
@@ -165,46 +243,49 @@ void AdaptiveController::refresh_policy() {
                                                        estimator_.stats());
       mode_ = robust::ControllerMode::kProposed;
     }
-    return;
-  }
+  } else {
+    robust::LadderInputs in;
+    in.health = health_.state();
+    in.actuator_suspect = health_.actuator_suspect();
+    in.soc_low = soc_low_;
+    in.warmed_up =
+        estimator_.ready() && estimator_.accepted() >= config_.warmup_stops;
+    robust::ControllerMode mode = robust::select_mode(in);
 
-  robust::LadderInputs in;
-  in.health = health_.state();
-  in.actuator_suspect = health_.actuator_suspect();
-  in.soc_low = soc_low_;
-  in.warmed_up =
-      estimator_.ready() && estimator_.accepted() >= config_.warmup_stops;
-  robust::ControllerMode mode = robust::select_mode(in);
-
-  if (mode == robust::ControllerMode::kProposed) {
-    const auto stats = estimator_.stats();
-    auto proposed =
-        std::make_shared<core::ProposedPolicy>(config_.break_even, stats);
-    // Only trust the b-DET vertex when eq. (36) holds with a safety
-    // margin; near the boundary, estimation error flips the LP vertex and
-    // b-DET's guarantee evaporates. DET keeps 2-competitiveness per stop.
-    if (proposed->choice().strategy == core::Strategy::kBDet &&
-        !robust::trust_b_det(stats, config_.break_even,
-                             config_.robust.health.b_det_margin)) {
-      mode = robust::ControllerMode::kDet;
-    } else {
-      policy_ = std::move(proposed);
+    if (mode == robust::ControllerMode::kProposed) {
+      const auto stats = estimator_.stats();
+      auto proposed =
+          std::make_shared<core::ProposedPolicy>(config_.break_even, stats);
+      // Only trust the b-DET vertex when eq. (36) holds with a safety
+      // margin; near the boundary, estimation error flips the LP vertex and
+      // b-DET's guarantee evaporates. DET keeps 2-competitiveness per stop.
+      if (proposed->choice().strategy == core::Strategy::kBDet &&
+          !robust::trust_b_det(stats, config_.break_even,
+                               config_.robust.health.b_det_margin)) {
+        mode = robust::ControllerMode::kDet;
+      } else {
+        policy_ = std::move(proposed);
+      }
     }
+    switch (mode) {
+      case robust::ControllerMode::kProposed:
+        break;  // set above
+      case robust::ControllerMode::kDet:
+        if (mode_ != mode) policy_ = core::make_det(config_.break_even);
+        break;
+      case robust::ControllerMode::kNRand:
+        if (mode_ != mode) policy_ = core::make_n_rand(config_.break_even);
+        break;
+      case robust::ControllerMode::kNev:
+        if (mode_ != mode) policy_ = core::make_nev(config_.break_even);
+        break;
+    }
+    mode_ = mode;
   }
-  switch (mode) {
-    case robust::ControllerMode::kProposed:
-      break;  // set above
-    case robust::ControllerMode::kDet:
-      if (mode_ != mode) policy_ = core::make_det(config_.break_even);
-      break;
-    case robust::ControllerMode::kNRand:
-      if (mode_ != mode) policy_ = core::make_n_rand(config_.break_even);
-      break;
-    case robust::ControllerMode::kNev:
-      if (mode_ != mode) policy_ = core::make_nev(config_.break_even);
-      break;
+  if (mode_ != before) {
+    IDLERED_COUNT("sim.controller.rung_transitions");
+    trace_rung(stops_seen_, before, mode_, health_.state(), soc_);
   }
-  mode_ = mode;
 }
 
 }  // namespace idlered::sim

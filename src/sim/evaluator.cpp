@@ -6,11 +6,34 @@
 #include <string>
 
 #include "core/costs.h"
+#include "obs/obs.h"
 #include "util/contracts.h"
 
 namespace idlered::sim {
 
 namespace {
+
+// Per-stop trace record for EvalOptions::trace_stops. `threshold` is the
+// drawn threshold in sampled mode; NaN (emitted as null) in expected mode,
+// where no draw happens.
+void trace_stop_eval([[maybe_unused]] const core::Policy& policy,
+                     [[maybe_unused]] std::size_t index,
+                     [[maybe_unused]] double y,
+                     [[maybe_unused]] double threshold,
+                     [[maybe_unused]] double online,
+                     [[maybe_unused]] double offline) {
+  IDLERED_OBS_ONLY({
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "stop_eval");
+    ev.set("policy", policy.name());
+    ev.set("index", index);
+    ev.set("y", y);
+    ev.set("threshold", threshold);
+    ev.set("online", online);
+    ev.set("offline", offline);
+    obs::recorder().emit(std::move(ev));
+  })
+}
 
 // Hostile-input gate: a NaN/Inf stop length would silently poison every
 // accumulated total downstream, so the evaluator rejects it up front
@@ -37,13 +60,32 @@ CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
                       options.rng != nullptr,
                   "evaluate: sampled mode needs an rng");
 
+  // Two separate macro sites: the static handle inside IDLERED_COUNT binds
+  // to one name forever, so a ternary name would mis-count.
+  if (options.mode == EvalMode::kExpected) {
+    IDLERED_COUNT("sim.evaluate.expected_calls");
+  } else {
+    IDLERED_COUNT("sim.evaluate.sampled_calls");
+  }
+  IDLERED_COUNT_ADD("sim.evaluate.stops", stops.size());
+  IDLERED_HIST("sim.evaluate.stops_per_call",
+               ({1.0, 10.0, 100.0, 1000.0, 10000.0}),
+               static_cast<double>(stops.size()));
+  const bool trace_stops = options.trace_stops && obs::enabled();
+
   CostTotals totals;
   const double b = policy.break_even();
   if (options.mode == EvalMode::kExpected) {
     for (double y : stops) {
       require_finite_stop(y, "evaluate");
-      totals.online += policy.expected_cost(y);
-      totals.offline += core::offline_cost(y, b);
+      const double online = policy.expected_cost(y);
+      const double offline = core::offline_cost(y, b);
+      totals.online += online;
+      totals.offline += offline;
+      if (trace_stops)
+        trace_stop_eval(policy, totals.num_stops, y,
+                        std::numeric_limits<double>::quiet_NaN(), online,
+                        offline);
       ++totals.num_stops;
     }
   } else {
@@ -51,8 +93,12 @@ CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
     for (double y : stops) {
       require_finite_stop(y, "evaluate");
       const double x = policy.sample_threshold(rng);
-      totals.online += std::isinf(x) ? y : core::online_cost(x, y, b);
-      totals.offline += core::offline_cost(y, b);
+      const double online = std::isinf(x) ? y : core::online_cost(x, y, b);
+      const double offline = core::offline_cost(y, b);
+      totals.online += online;
+      totals.offline += offline;
+      if (trace_stops)
+        trace_stop_eval(policy, totals.num_stops, y, x, online, offline);
       ++totals.num_stops;
     }
   }

@@ -47,6 +47,12 @@ struct EvalOptions {
   /// RNG for sampled mode; not owned, must be non-null iff mode == kSampled
   /// (evaluate throws otherwise). Ignored in expected mode.
   util::Rng* rng = nullptr;
+  /// Emit one obs "stop_eval" trace event per stop (policy name, stop
+  /// length, drawn threshold, online/offline cost). Only takes effect while
+  /// the obs recorder is enabled — and even then it is opt-in per call
+  /// because a fleet sweep evaluates millions of stops. Never perturbs the
+  /// RNG stream or the returned totals.
+  bool trace_stops = false;
 };
 
 /// Accumulate online and offline costs of `policy` over a stop sequence.

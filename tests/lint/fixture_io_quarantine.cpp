@@ -1,0 +1,30 @@
+// lint-fixture: path=src/core/example.cpp
+// The `io-quarantine` rule: raw stdio/iostream writes are findings in src/
+// outside src/obs/ and src/util/ — library code reports through the obs
+// layer or returns values. snprintf (buffer formatting, no I/O) and
+// lookalike identifiers must not trigger; annotated exceptions pass.
+
+#include <cstdio>
+#include <iostream>
+
+namespace idlered::core {
+
+int collect_outputs(char* buf, double v) {
+  // Formatting into a caller's buffer is not I/O.
+  return std::snprintf(buf, 32, "%f", v);
+}
+
+void report(double v) {
+  std::printf("v = %f\n", v);                     // LINT-BAD(io-quarantine)
+  printf("v = %f\n", v);                          // LINT-BAD(io-quarantine)
+  std::fprintf(stderr, "v = %f\n", v);            // LINT-BAD(io-quarantine)
+  std::puts("done");                              // LINT-BAD(io-quarantine)
+  fputs("done\n", stderr);                        // LINT-BAD(io-quarantine)
+  std::cout << "v = " << v << "\n";               // LINT-BAD(io-quarantine)
+  std::cerr << "warning\n";                       // LINT-BAD(io-quarantine)
+  std::clog << "note\n";                          // LINT-BAD(io-quarantine)
+  // lint: allow(io-quarantine): contract-violation abort path, pre-obs
+  std::fprintf(stderr, "fatal: %f\n", v);
+}
+
+}  // namespace idlered::core

@@ -1,0 +1,16 @@
+// lint-fixture: path=src/obs/example.cpp
+// src/obs/ (and src/util/) are the audited I/O homes: the exporters must
+// write files and print confirmations, so `io-quarantine` does not apply.
+
+#include <cstdio>
+#include <iostream>
+
+namespace idlered::obs {
+
+void announce(const char* path, int events) {
+  std::printf("wrote %s (%d events)\n", path, events);
+  std::fprintf(stderr, "warning: short write on %s\n", path);
+  std::cerr << "flush failed\n";
+}
+
+}  // namespace idlered::obs

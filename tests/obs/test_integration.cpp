@@ -1,0 +1,132 @@
+// The observability determinism contract, end to end: enabling the
+// recorder (spans, decision events, metrics) must not change a single bit
+// of the EvalReport at any thread count, in either eval mode. The obs
+// layer is write-only — it reads the clock, never the RNG streams.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/eval_session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "traces/area_profiles.h"
+#include "traces/fleet_generator.h"
+#include "util/random.h"
+
+namespace idlered::engine {
+namespace {
+
+constexpr double kB = 28.0;
+
+std::shared_ptr<const sim::Fleet> small_fleet(int vehicles = 10,
+                                              std::uint64_t seed = 77) {
+  traces::AreaProfile profile = traces::chicago();
+  profile.num_vehicles_driving = vehicles;
+  util::Rng rng(seed);
+  return std::make_shared<const sim::Fleet>(
+      traces::generate_area_fleet(profile, rng));
+}
+
+EvalPlan base_plan(std::shared_ptr<const sim::Fleet> fleet, EvalMode mode,
+                   int threads) {
+  EvalPlan plan;
+  plan.points.push_back(PlanPoint{kB, kB, std::move(fleet)});
+  plan.points.push_back(PlanPoint{47.0, 47.0, plan.points.front().fleet});
+  plan.strategies = standard_strategy_set();
+  plan.mode = mode;
+  plan.seed = 20140601;
+  plan.threads = threads;
+  return plan;
+}
+
+void expect_reports_bit_identical(const EvalReport& a, const EvalReport& b) {
+  ASSERT_EQ(a.strategy_names, b.strategy_names);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.cells, b.cells);
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const auto& pa = a.points[p];
+    const auto& pb = b.points[p];
+    ASSERT_EQ(pa.comparison.vehicles.size(), pb.comparison.vehicles.size());
+    for (std::size_t v = 0; v < pa.comparison.vehicles.size(); ++v) {
+      const auto& va = pa.comparison.vehicles[v];
+      const auto& vb = pb.comparison.vehicles[v];
+      EXPECT_EQ(va.vehicle_id, vb.vehicle_id);
+      ASSERT_EQ(va.cr.size(), vb.cr.size());
+      for (std::size_t s = 0; s < va.cr.size(); ++s) {
+        // EXPECT_EQ on doubles: exact bitwise agreement, no tolerance.
+        EXPECT_EQ(va.cr[s], vb.cr[s])
+            << "point " << p << " vehicle " << va.vehicle_id << " strategy "
+            << a.strategy_names[s];
+        EXPECT_EQ(pa.totals[v][s], pb.totals[v][s]);
+      }
+    }
+  }
+}
+
+class TracedEvalTest : public ::testing::TestWithParam<EvalMode> {
+ protected:
+  void TearDown() override { obs::recorder().stop(); }
+};
+
+TEST_P(TracedEvalTest, ReportBitIdenticalWithTracingOnVsOff) {
+  const EvalMode mode = GetParam();
+  const auto fleet = small_fleet();
+
+  ASSERT_FALSE(obs::enabled());
+  EvalSession untraced(base_plan(fleet, mode, 1));
+  const auto baseline = untraced.run();
+
+  for (int threads : {1, 2, 8}) {
+    obs::recorder().start("");  // memory-only: full instrumentation active
+    EvalSession traced(base_plan(fleet, mode, threads));
+    const auto report = traced.run();
+    obs::recorder().stop();
+    expect_reports_bit_identical(baseline, report);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TracedEvalTest,
+                         ::testing::Values(EvalMode::kExpected,
+                                           EvalMode::kSampled));
+
+std::uint64_t decision_counter_total() {
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  std::uint64_t total = 0;
+  for (const auto& c : snap.counters)
+    if (c.name.rfind("engine.decision.", 0) == 0) total += c.value;
+  return total;
+}
+
+TEST(TracedEvalEventsTest, SessionEmitsSpansAndDecisionEvents) {
+  const auto fleet = small_fleet();
+  // The global registry persists across tests in this binary, so count
+  // decision increments as a delta around this run.
+  const std::uint64_t counts_before = decision_counter_total();
+  obs::recorder().start("");
+  EvalSession session(base_plan(fleet, EvalMode::kExpected, 2));
+  session.run();
+  obs::recorder().stop();
+
+  // The standard strategy set includes COA, so per-cell decision events
+  // must appear alongside the session/cell spans.
+  std::size_t decisions = 0;
+  std::size_t spans = 0;
+  for (const auto& line : obs::recorder().lines()) {
+    if (line.find("\"type\": \"decision\"") != std::string::npos) ++decisions;
+    if (line.find("\"type\": \"span\"") != std::string::npos) ++spans;
+  }
+  EXPECT_GE(decisions, 1u);
+  EXPECT_GE(spans, 1u);
+
+  const auto stats = obs::recorder().span_stats();
+  EXPECT_EQ(stats.count("session.run"), 1u);
+  EXPECT_GE(stats.count("eval_cell"), 1u);
+
+  // And the per-vertex decision counters accrued in the global registry,
+  // one increment per emitted decision event.
+  EXPECT_EQ(decision_counter_total() - counts_before, decisions);
+}
+
+}  // namespace
+}  // namespace idlered::engine

@@ -1,0 +1,169 @@
+// Metrics registry: find-or-register semantics, histogram bucket edges,
+// and — the property the whole sharded design exists for — exact merge
+// of per-thread shards written concurrently from the work-stealing pool.
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/thread_pool.h"
+
+namespace idlered::obs {
+namespace {
+
+const MetricsSnapshot::Counter* find_counter(const MetricsSnapshot& snap,
+                                             const std::string& name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const MetricsSnapshot::Histogram* find_histogram(const MetricsSnapshot& snap,
+                                                 const std::string& name) {
+  for (const auto& h : snap.histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+TEST(MetricsRegistryTest, FindOrRegisterReturnsStableIds) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("calls");
+  const auto b = reg.counter("calls");
+  EXPECT_EQ(a, b);
+  const auto g = reg.gauge("level");
+  EXPECT_NE(g, a);
+  const auto h = reg.histogram("sizes", {1.0, 2.0});
+  EXPECT_EQ(h, reg.histogram("sizes", {1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("calls");
+  EXPECT_THROW(reg.gauge("calls"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("calls", {1.0}), std::invalid_argument);
+  reg.histogram("sizes", {1.0, 2.0});
+  // Same name, different edges: a silent second histogram would split the
+  // counts, so it must be rejected loudly.
+  EXPECT_THROW(reg.histogram("sizes", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, HistogramEdgeValidation) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("empty", {}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("unsorted", {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("dup", {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(
+      reg.histogram("inf",
+                    {1.0, std::numeric_limits<double>::infinity()}),
+      std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketSemantics) {
+  // Bucket 0 holds everything below edges[0]; bucket i is
+  // [edges[i-1], edges[i]); the last bucket is the overflow
+  // [edges.back(), +inf).
+  MetricsRegistry reg;
+  const auto h = reg.histogram("sizes", {1.0, 2.0, 4.0});
+  reg.observe(h, 0.5);   // below range -> bucket 0
+  reg.observe(h, 1.0);   // left-closed  -> bucket 1
+  reg.observe(h, 1.99);  // right-open   -> bucket 1
+  reg.observe(h, 2.0);   // -> bucket 2
+  reg.observe(h, 4.0);   // edge of overflow -> bucket 3
+  reg.observe(h, 100.0);  // overflow -> bucket 3
+  const auto snap = reg.snapshot();
+  const auto* hist = find_histogram(snap, "sizes");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->counts.size(), 4u);
+  EXPECT_EQ(hist->counts[0], 1u);
+  EXPECT_EQ(hist->counts[1], 2u);
+  EXPECT_EQ(hist->counts[2], 1u);
+  EXPECT_EQ(hist->counts[3], 2u);
+  EXPECT_EQ(hist->total(), 6u);
+  EXPECT_DOUBLE_EQ(hist->sum, 0.5 + 1.0 + 1.99 + 2.0 + 4.0 + 100.0);
+}
+
+TEST(MetricsRegistryTest, CountersAndGaugesSnapshot) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("calls");
+  reg.add(c);
+  reg.add(c, 41);
+  const auto g = reg.gauge("level");
+  reg.set(g, 2.5);
+  reg.set(g, 7.25);  // last write wins
+  const auto snap = reg.snapshot();
+  const auto* counter = find_counter(snap, "calls");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 42u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "level");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.25);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("calls");
+  const auto h = reg.histogram("sizes", {1.0});
+  reg.add(c, 10);
+  reg.observe(h, 5.0);
+  reg.reset();
+  auto snap = reg.snapshot();
+  EXPECT_EQ(find_counter(snap, "calls")->value, 0u);
+  EXPECT_EQ(find_histogram(snap, "sizes")->total(), 0u);
+  // Old ids stay valid after reset.
+  reg.add(c, 3);
+  snap = reg.snapshot();
+  EXPECT_EQ(find_counter(snap, "calls")->value, 3u);
+}
+
+// The load-bearing property: concurrent writers from the work-stealing
+// pool, merged exactly. Any lost update or double count shows up as an
+// exact-total mismatch.
+class MetricsMergeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsMergeTest, ExactTotalsUnderConcurrentWriters) {
+  const int threads = GetParam();
+  MetricsRegistry reg;
+  const auto c = reg.counter("iterations");
+  const auto h = reg.histogram("values", {10.0, 20.0, 30.0, 40.0});
+  constexpr std::size_t kN = 20000;
+
+  engine::ThreadPool pool(threads);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    reg.add(c);
+    reg.add(c, 2);
+    reg.observe(h, static_cast<double>(i % 50));
+  });
+
+  std::uint64_t expected_sum = 0;
+  std::vector<std::uint64_t> expected_buckets(5, 0);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto v = i % 50;
+    expected_sum += v;
+    expected_buckets[v < 10 ? 0 : v < 20 ? 1 : v < 30 ? 2 : v < 40 ? 3 : 4]++;
+  }
+
+  const auto snap = reg.snapshot();
+  const auto* counter = find_counter(snap, "iterations");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 3 * kN);
+  const auto* hist = find_histogram(snap, "values");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->total(), kN);
+  for (std::size_t b = 0; b < expected_buckets.size(); ++b)
+    EXPECT_EQ(hist->counts[b], expected_buckets[b]) << "bucket " << b;
+  EXPECT_DOUBLE_EQ(hist->sum, static_cast<double>(expected_sum));
+  EXPECT_GE(reg.shard_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MetricsMergeTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace idlered::obs

@@ -1,0 +1,180 @@
+// Recorder/Span behavior: exact span timing on an injected clock, runtime
+// gating, buffer lifecycle, and the JSON-lines flush path.
+#include "obs/trace.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace idlered::obs {
+namespace {
+
+// Non-advancing settable clock: tests move time explicitly between span
+// open/close, so durations are exact doubles, not "roughly zero".
+double g_fake_time = 0.0;
+double fake_clock() { return g_fake_time; }
+
+// Spans bind to Recorder::global(), so these tests drive the global
+// instance and must leave it stopped with the real clock restored.
+class GlobalRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fake_time = 0.0;
+    recorder().set_clock(&fake_clock);
+  }
+  void TearDown() override {
+    recorder().stop();
+    recorder().set_clock(nullptr);
+  }
+};
+
+TEST_F(GlobalRecorderTest, NestedSpanTimingIsExact) {
+  recorder().start("");  // memory-only sink
+
+  g_fake_time = 10.0;
+  {
+    Span outer("outer");
+    g_fake_time = 13.0;
+    {
+      Span inner("inner");
+      g_fake_time = 15.0;
+    }  // inner: dur = 2, no children -> self = 2
+    g_fake_time = 20.0;
+  }  // outer: dur = 10, child total = 2 -> self = 8
+
+  const auto stats = recorder().span_stats();
+  ASSERT_EQ(stats.count("outer"), 1u);
+  ASSERT_EQ(stats.count("inner"), 1u);
+  EXPECT_EQ(stats.at("outer").count, 1u);
+  EXPECT_EQ(stats.at("outer").total, 10.0);
+  EXPECT_EQ(stats.at("outer").self, 8.0);
+  EXPECT_EQ(stats.at("inner").count, 1u);
+  EXPECT_EQ(stats.at("inner").total, 2.0);
+  EXPECT_EQ(stats.at("inner").self, 2.0);
+
+  // One "span" event per close, inner first.
+  const auto lines = recorder().lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\": \"span\""), std::string::npos);
+}
+
+TEST_F(GlobalRecorderTest, SiblingSpansAccumulateAggregates) {
+  recorder().start("");
+  for (int i = 0; i < 3; ++i) {
+    g_fake_time = 100.0 * i;
+    Span s("work");
+    g_fake_time = 100.0 * i + 4.0;
+  }
+  const auto stats = recorder().span_stats();
+  EXPECT_EQ(stats.at("work").count, 3u);
+  EXPECT_EQ(stats.at("work").total, 12.0);
+  EXPECT_EQ(stats.at("work").self, 12.0);
+}
+
+TEST_F(GlobalRecorderTest, DisabledRecorderIgnoresSpansAndEvents) {
+  // The buffer survives stop() by design, so clear any leftovers from
+  // earlier tests in this binary before asserting nothing accrues.
+  recorder().start("");
+  recorder().stop();
+  ASSERT_FALSE(enabled());
+  {
+    Span s("ghost");
+    g_fake_time = 99.0;
+  }
+  util::JsonValue ev = util::JsonValue::object();
+  ev.set("type", "decision");
+  recorder().emit(std::move(ev));
+  EXPECT_EQ(recorder().event_count(), 0u);
+  EXPECT_TRUE(recorder().span_stats().empty());
+}
+
+TEST_F(GlobalRecorderTest, SpanInactiveIfRecorderDisabledAtConstruction) {
+  // The enabled check happens at construction: a span opened before
+  // start() must stay inert even if recording begins mid-scope.
+  Span s("early");
+  recorder().start("");
+  g_fake_time = 50.0;
+  {
+    // Destroy `s` semantics can't be forced here, so instead assert a
+    // span opened while enabled still records correctly alongside it.
+    Span live("live");
+    g_fake_time = 51.0;
+  }
+  const auto stats = recorder().span_stats();
+  EXPECT_EQ(stats.count("early"), 0u);
+  EXPECT_EQ(stats.at("live").total, 1.0);
+}
+
+TEST_F(GlobalRecorderTest, StartClearsPreviousBufferAndStats) {
+  recorder().start("");
+  g_fake_time = 1.0;
+  { Span s("first"); g_fake_time = 2.0; }
+  ASSERT_EQ(recorder().event_count(), 1u);
+  recorder().stop();
+  // Buffer survives stop() so exporters can flush after the run...
+  EXPECT_EQ(recorder().event_count(), 1u);
+  // ...but a new start() begins from a clean slate.
+  recorder().start("");
+  EXPECT_EQ(recorder().event_count(), 0u);
+  EXPECT_TRUE(recorder().span_stats().empty());
+}
+
+TEST_F(GlobalRecorderTest, EmitStampsTimestampFromInjectedClock) {
+  recorder().start("");
+  g_fake_time = 42.5;
+  util::JsonValue ev = util::JsonValue::object();
+  ev.set("type", "fault");
+  recorder().emit(std::move(ev));
+  const auto lines = recorder().lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\": \"fault\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"t\": 42.5"), std::string::npos);
+}
+
+TEST(RecorderTest, FlushWritesJsonLinesFile) {
+  Recorder rec;
+  const std::string path = ::testing::TempDir() + "idlered_trace_test.jsonl";
+  rec.start(path);
+  EXPECT_EQ(rec.sink_path(), path);
+  for (int i = 0; i < 2; ++i) {
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "rung");
+    ev.set("stop", i);
+    rec.emit(std::move(ev));
+  }
+  rec.stop();
+  EXPECT_EQ(rec.flush(), 2u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> file_lines;
+  for (std::string line; std::getline(in, line);) file_lines.push_back(line);
+  ASSERT_EQ(file_lines.size(), 2u);
+  EXPECT_NE(file_lines[0].find("\"type\": \"rung\""), std::string::npos);
+  EXPECT_NE(file_lines[1].find("\"stop\": 1"), std::string::npos);
+}
+
+TEST(RecorderTest, FlushWithoutSinkPathThrows) {
+  Recorder rec;
+  rec.start("");
+  util::JsonValue ev = util::JsonValue::object();
+  ev.set("type", "fault");
+  rec.emit(std::move(ev));
+  EXPECT_THROW(rec.flush(), std::logic_error);
+}
+
+TEST(ThreadOrdinalTest, StableForCallingThread) {
+  const int first = thread_ordinal();
+  EXPECT_GE(first, 0);
+  EXPECT_EQ(thread_ordinal(), first);
+}
+
+}  // namespace
+}  // namespace idlered::obs

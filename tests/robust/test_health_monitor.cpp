@@ -127,6 +127,110 @@ TEST(TrustBDetTest, RejectsBStarOutsideInterval) {
   EXPECT_FALSE(trust_b_det(s, 28.0, 1.0));
 }
 
+TEST(HealthMonitorHistoryTest, StartsEmpty) {
+  HealthMonitor m;
+  EXPECT_TRUE(m.transitions().empty());
+  EXPECT_TRUE(m.actuator_transitions().empty());
+  EXPECT_EQ(m.observations(), 0u);
+  EXPECT_EQ(m.restarts(), 0u);
+}
+
+TEST(HealthMonitorHistoryTest, RecordsExactTransitionTimestamps) {
+  // All-anomalous stream, default config (alpha 0.05): the EWMA is
+  // rate_n = 1 - 0.95^n, so degraded_enter (0.10) is first exceeded at
+  // observation 3 (0.1426) and critical_enter (0.30) at observation 7
+  // (0.3017). The logical `at` timestamps are the 1-based observation
+  // counts at those edges — exactly reproducible, no wall clock involved.
+  HealthMonitor m;
+  for (int i = 0; i < 7; ++i) m.record_observation(true);
+  EXPECT_EQ(m.observations(), 7u);
+
+  const auto& hist = m.transitions();
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].at, 3u);
+  EXPECT_EQ(hist[0].from, HealthState::kHealthy);
+  EXPECT_EQ(hist[0].to, HealthState::kDegraded);
+  EXPECT_EQ(hist[1].at, 7u);
+  EXPECT_EQ(hist[1].from, HealthState::kDegraded);
+  EXPECT_EQ(hist[1].to, HealthState::kCritical);
+
+  // The recorded rates are the smoothed values at the moment each edge
+  // fired — same iterative arithmetic, so bit-identical.
+  double rate = 0.0;
+  for (int i = 0; i < 3; ++i) rate = 0.95 * rate + 0.05;
+  EXPECT_EQ(hist[0].anomaly_rate, rate);
+  for (int i = 3; i < 7; ++i) rate = 0.95 * rate + 0.05;
+  EXPECT_EQ(hist[1].anomaly_rate, rate);
+}
+
+TEST(HealthMonitorHistoryTest, RecoveryAppendsDescendingEdges) {
+  HealthMonitor m;
+  for (int i = 0; i < 7; ++i) m.record_observation(true);
+  ASSERT_EQ(m.state(), HealthState::kCritical);
+  for (int i = 0; i < 500 && m.state() != HealthState::kHealthy; ++i)
+    m.record_observation(false);
+  ASSERT_EQ(m.state(), HealthState::kHealthy);
+
+  const auto& hist = m.transitions();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[2].from, HealthState::kCritical);
+  EXPECT_EQ(hist[2].to, HealthState::kDegraded);
+  EXPECT_LT(hist[2].anomaly_rate, m.config().critical_exit);
+  EXPECT_EQ(hist[3].from, HealthState::kDegraded);
+  EXPECT_EQ(hist[3].to, HealthState::kHealthy);
+  EXPECT_LT(hist[3].anomaly_rate, m.config().degraded_exit);
+  for (std::size_t i = 1; i < hist.size(); ++i)
+    EXPECT_LT(hist[i - 1].at, hist[i].at);
+  EXPECT_EQ(hist.back().at, m.observations());
+}
+
+TEST(HealthMonitorHistoryTest, ActuatorLatchHistoryIsTimestamped) {
+  // Same EWMA, same 0.30 enter threshold as the anomaly path: an
+  // all-failure restart stream latches suspect at restart 7.
+  HealthMonitor m;
+  for (int i = 0; i < 7; ++i) m.record_restart(false);
+  ASSERT_TRUE(m.actuator_suspect());
+  ASSERT_EQ(m.actuator_transitions().size(), 1u);
+  EXPECT_EQ(m.actuator_transitions()[0].at, 7u);
+  EXPECT_TRUE(m.actuator_transitions()[0].suspect);
+  EXPECT_GT(m.actuator_transitions()[0].restart_failure_rate,
+            m.config().actuator_enter);
+
+  for (int i = 0; i < 200 && m.actuator_suspect(); ++i) m.record_restart(true);
+  ASSERT_FALSE(m.actuator_suspect());
+  ASSERT_EQ(m.actuator_transitions().size(), 2u);
+  const auto& release = m.actuator_transitions()[1];
+  EXPECT_FALSE(release.suspect);
+  EXPECT_GT(release.at, 7u);
+  EXPECT_EQ(release.at, m.restarts());
+  EXPECT_LT(release.restart_failure_rate, m.config().actuator_exit);
+  // The anomaly state machine is untouched by restart traffic.
+  EXPECT_TRUE(m.transitions().empty());
+}
+
+TEST(TrustBDetTest, MarginBoundaryRegression) {
+  // Regression for the eq. (36) guard band. With q = 0.6 the b* < B
+  // condition is slack (mu < qB), so the margin check is the binding one:
+  // trust flips exactly at mu/B = margin * (1-q)^2 / q. Stats landing
+  // between the margined and the raw boundary are precisely the
+  // estimation-noise band the guard exists to reject.
+  const double b = 28.0;
+  dist::ShortStopStats s;
+  s.q_b_plus = 0.6;
+  const double raw = (1.0 - s.q_b_plus) * (1.0 - s.q_b_plus) / s.q_b_plus;
+
+  s.mu_b_minus = 0.99 * 0.9 * raw * b;  // inside the margined region
+  EXPECT_TRUE(trust_b_det(s, b, 0.9));
+
+  s.mu_b_minus = 1.01 * 0.9 * raw * b;  // raw-feasible, margin-rejected
+  EXPECT_FALSE(trust_b_det(s, b, 0.9));
+  EXPECT_TRUE(trust_b_det(s, b, 1.0));
+
+  s.mu_b_minus = 1.01 * raw * b;  // outside eq. (36) entirely
+  EXPECT_FALSE(trust_b_det(s, b, 0.9));
+  EXPECT_FALSE(trust_b_det(s, b, 1.0));
+}
+
 TEST(TrustBDetTest, InvalidMarginThrows) {
   dist::ShortStopStats s;
   s.mu_b_minus = 2.0;

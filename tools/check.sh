@@ -25,12 +25,13 @@ echo "== 3/5 fault-injection bench under sanitizers =="
 "$repo/build-asan/bench/bench_robustness_faults" > /dev/null
 echo "bench_robustness_faults: clean under ASan/UBSan"
 
-echo "== 4/5 engine tests under ThreadSanitizer =="
+echo "== 4/5 engine + obs tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=thread
-cmake --build "$repo/build-tsan" -j "$jobs" --target test_engine
+cmake --build "$repo/build-tsan" -j "$jobs" --target test_engine --target test_obs
 "$repo/build-tsan/tests/test_engine"
-echo "test_engine: clean under TSan"
+"$repo/build-tsan/tests/test_obs"
+echo "test_engine + test_obs: clean under TSan"
 
 echo "== 5/5 static analysis: clang-tidy + idlered_lint + contracts =="
 # tidy.sh skips gracefully (exit 0 with a warning) when no clang-tidy

@@ -33,6 +33,14 @@ Encodes rules that generic static analyzers cannot know about this codebase
                     classic include guard) and contains no `using namespace`
                     at any scope.
 
+  io-quarantine     No raw stdio/iostream writes (printf/fprintf/puts/fputs,
+                    std::cout/cerr/clog) in src/ outside src/obs/ and
+                    src/util/. Library code reports through the obs layer
+                    (metrics + structured events) or returns values; ad-hoc
+                    prints bypass both and end up interleaved across the
+                    thread pool. Benches, examples, tools and tests print
+                    freely.
+
 Suppression: append `// lint: allow(<rule>): <reason>` on the offending
 line, or place it alone on the line directly above. The reason is
 mandatory — bare allows are themselves a finding.
@@ -304,6 +312,26 @@ def rule_header_hygiene(src: SourceFile) -> list[Finding]:
         src, "header-hygiene", USING_NAMESPACE_RE,
         "`using namespace` in a header leaks into every includer"))
     return findings
+
+
+IO_QUARANTINE_RE = re.compile(
+    r"\b(?:std::)?(?:f?printf|puts|fputs)\s*\("
+    r"|\bstd::(?:cout|cerr|clog)\b")
+
+IO_QUARANTINE_EXEMPT = ("src/obs", "src/util")
+
+
+@rule("io-quarantine")
+def rule_io_quarantine(src: SourceFile) -> list[Finding]:
+    if not in_dir(src.path, "src"):
+        return []
+    if any(in_dir(src.path, d) for d in IO_QUARANTINE_EXEMPT):
+        return []
+    return scan_pattern(
+        src, "io-quarantine", IO_QUARANTINE_RE,
+        "raw stdio/iostream write in src/ — library code reports through "
+        "the obs layer (src/obs/) or returns values; annotate a deliberate "
+        "exception with `lint: allow(io-quarantine): <reason>`")
 
 
 def lint_text(path: str, text: str) -> list[Finding]:

@@ -1,0 +1,348 @@
+#!/usr/bin/env python3
+"""obs_report: render and validate idlered observability artifacts.
+
+Consumes the two artifacts the obs layer produces:
+
+  TRACE_<name>.jsonl    JSON-lines event trace (obs::Recorder) — one object
+                        per line, each carrying "type" and a clock stamp "t"
+  BENCH_<name>.json     schema-versioned bench envelope (bench::BenchRun)
+                        whose "obs" block holds the metrics snapshot and
+                        span aggregates
+
+and renders a text summary: top spans by self-time, the engine decision mix
+(which LP vertex COA picked, worst-case vs realized CR), the controller's
+fallback-ladder timeline, fault and health-transition summaries, and the
+metrics snapshot.
+
+Usage:
+  tools/obs_report.py TRACE_fig5_sweep_b28.jsonl
+  tools/obs_report.py TRACE.jsonl --metrics BENCH_fig5_sweep_b28.json
+  tools/obs_report.py --validate TRACE.jsonl [--metrics BENCH.json]
+
+--validate checks structure instead of rendering: every line must parse as
+a JSON object with a known "type", the required fields per type, and a
+numeric timestamp; the metrics file must carry schema_version 2 and an
+"obs" block. Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+
+SCHEMA_VERSION = 2
+
+# Required fields per event type (value = type or tuple of accepted types).
+# None in a tuple admits JSON null (e.g. the threshold of a policy that
+# never shuts the engine off, serialized from +inf/NaN).
+NUMERIC = (int, float)
+EVENT_FIELDS = {
+    "meta": {"bench": str, "schema_version": int},
+    "span": {"name": str, "thread": NUMERIC, "t0": NUMERIC, "dur": NUMERIC,
+             "self": NUMERIC},
+    "stop_eval": {"policy": str, "index": NUMERIC, "y": NUMERIC,
+                  "threshold": NUMERIC + (type(None),),
+                  "online": NUMERIC, "offline": NUMERIC},
+    # "decision" has two shapes: the engine's per-cell COA vertex selection
+    # (keyed by "vertex") and the controller's per-stop record (keyed by
+    # "mode"); shared requirement is just the type tag and timestamp.
+    "decision": {},
+    "rung": {"stop": NUMERIC, "from": str, "to": str, "health": str,
+             "soc": NUMERIC},
+    "health_transition": {"kind": str, "at": NUMERIC, "from": str,
+                          "to": str, "rate": NUMERIC},
+    "fault": {"stop": NUMERIC, "kind": str, "dropped": bool,
+              "restart_attempts": NUMERIC, "delay_s": NUMERIC},
+}
+
+ENGINE_DECISION_FIELDS = {"vertex": str, "strategy": str, "vehicle": str,
+                          "wc_cr": NUMERIC, "realized_cr": NUMERIC}
+CONTROLLER_DECISION_FIELDS = {"mode": str, "policy": str,
+                              "threshold": NUMERIC + (type(None),),
+                              "cost": NUMERIC, "offline": NUMERIC,
+                              "soc": NUMERIC}
+
+
+def check_fields(ev: dict, fields: dict, where: str) -> list[str]:
+    errors = []
+    for key, typ in fields.items():
+        if key not in ev:
+            errors.append(f"{where}: missing field {key!r}")
+        elif not isinstance(ev[key], typ):
+            errors.append(f"{where}: field {key!r} has type "
+                          f"{type(ev[key]).__name__}")
+    return errors
+
+
+def load_trace(path: str) -> tuple[list[dict], list[str]]:
+    """Parse a JSONL trace; returns (events, errors)."""
+    events, errors = [], []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: not valid JSON ({e.msg})")
+                continue
+            if not isinstance(ev, dict):
+                errors.append(f"{where}: event is not a JSON object")
+                continue
+            etype = ev.get("type")
+            if not isinstance(etype, str):
+                errors.append(f"{where}: missing/invalid \"type\"")
+                continue
+            if etype not in EVENT_FIELDS:
+                errors.append(f"{where}: unknown event type {etype!r}")
+                continue
+            if not isinstance(ev.get("t"), NUMERIC):
+                errors.append(f"{where}: missing/invalid timestamp \"t\"")
+            errors.extend(check_fields(ev, EVENT_FIELDS[etype], where))
+            if etype == "decision":
+                if "vertex" in ev:
+                    errors.extend(check_fields(
+                        ev, ENGINE_DECISION_FIELDS, where))
+                elif "mode" in ev:
+                    errors.extend(check_fields(
+                        ev, CONTROLLER_DECISION_FIELDS, where))
+                else:
+                    errors.append(f"{where}: decision event has neither "
+                                  f"\"vertex\" (engine) nor \"mode\" "
+                                  f"(controller)")
+            events.append(ev)
+    return events, errors
+
+
+def load_metrics(path: str) -> tuple[dict, list[str]]:
+    """Parse a BENCH_<name>.json envelope; returns (payload, errors)."""
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as e:
+            return {}, [f"{path}: not valid JSON ({e.msg})"]
+    if not isinstance(payload, dict):
+        return {}, [f"{path}: envelope is not a JSON object"]
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"{path}: schema_version "
+                      f"{payload.get('schema_version')!r} != "
+                      f"{SCHEMA_VERSION}")
+    if not isinstance(payload.get("bench"), str):
+        errors.append(f"{path}: missing/invalid \"bench\"")
+    obs = payload.get("obs")
+    if not isinstance(obs, dict):
+        errors.append(f"{path}: missing \"obs\" block")
+    elif not isinstance(obs.get("metrics"), dict):
+        errors.append(f"{path}: obs block lacks a \"metrics\" snapshot")
+    return payload, errors
+
+
+def fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.3f} ms"
+    return f"{s * 1e6:.1f} us"
+
+
+def render_table(rows: list[list[str]], indent: str = "  ") -> str:
+    if not rows:
+        return ""
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    lines = []
+    for r in rows:
+        cells = [r[c].ljust(widths[c]) if c == 0 else r[c].rjust(widths[c])
+                 for c in range(len(r))]
+        lines.append(indent + "  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def render_spans(events: list[dict], limit: int = 12) -> str:
+    agg: dict[str, list[float]] = collections.defaultdict(
+        lambda: [0, 0.0, 0.0])  # count, total, self
+    for ev in events:
+        if ev["type"] != "span":
+            continue
+        a = agg[ev["name"]]
+        a[0] += 1
+        a[1] += ev["dur"]
+        a[2] += ev["self"]
+    if not agg:
+        return "spans: none recorded\n"
+    rows = [["span", "count", "total", "self", "avg self"]]
+    ranked = sorted(agg.items(), key=lambda kv: kv[1][2], reverse=True)
+    for name, (count, total, self_t) in ranked[:limit]:
+        rows.append([name, str(count), fmt_seconds(total),
+                     fmt_seconds(self_t), fmt_seconds(self_t / count)])
+    out = f"top spans by self time ({len(agg)} distinct):\n"
+    out += render_table(rows) + "\n"
+    if len(ranked) > limit:
+        out += f"  ... {len(ranked) - limit} more span name(s) elided\n"
+    return out
+
+
+def render_decision_mix(events: list[dict]) -> str:
+    engine = [e for e in events if e["type"] == "decision" and "vertex" in e]
+    ctrl = [e for e in events if e["type"] == "decision" and "mode" in e]
+    out = ""
+    if engine:
+        mix: dict[str, list[float]] = collections.defaultdict(
+            lambda: [0, 0.0, 0.0])  # count, sum wc_cr, sum realized
+        for e in engine:
+            m = mix[e["vertex"]]
+            m[0] += 1
+            m[1] += e["wc_cr"]
+            m[2] += e["realized_cr"]
+        rows = [["vertex", "cells", "share", "mean wc CR",
+                 "mean realized CR"]]
+        for vertex, (n, wc, real) in sorted(mix.items(),
+                                            key=lambda kv: -kv[1][0]):
+            rows.append([vertex, str(n), f"{n / len(engine):.1%}",
+                         f"{wc / n:.4f}", f"{real / n:.4f}"])
+        out += (f"engine decision mix ({len(engine)} COA cells):\n"
+                + render_table(rows) + "\n")
+    if ctrl:
+        mix2: dict[str, int] = collections.Counter(
+            e["mode"] for e in ctrl)
+        rows = [["mode", "stops", "share"]]
+        for mode, n in mix2.most_common():
+            rows.append([mode, str(n), f"{n / len(ctrl):.1%}"])
+        out += (f"controller decision mix ({len(ctrl)} stops):\n"
+                + render_table(rows) + "\n")
+    if not out:
+        return "decisions: none recorded\n"
+    return out
+
+
+def render_fallback_timeline(events: list[dict], limit: int = 40) -> str:
+    rungs = [e for e in events if e["type"] == "rung"]
+    faults = [e for e in events if e["type"] == "fault"]
+    health = [e for e in events if e["type"] == "health_transition"]
+    out = ""
+    if rungs:
+        out += f"fallback timeline ({len(rungs)} rung transitions):\n"
+        for e in rungs[:limit]:
+            out += (f"  stop {int(e['stop'])}: {e['from']} -> {e['to']}"
+                    f"  (health={e['health']}, soc={e['soc']:.2f})\n")
+        if len(rungs) > limit:
+            out += f"  ... {len(rungs) - limit} more transition(s) elided\n"
+    if health:
+        kinds = collections.Counter(
+            (e["kind"], e["from"], e["to"]) for e in health)
+        out += f"health transitions ({len(health)}):\n"
+        for (kind, frm, to), n in kinds.most_common():
+            out += f"  {kind}: {frm} -> {to}  x{n}\n"
+    if faults:
+        kinds = collections.Counter(e["kind"] for e in faults)
+        dropped = sum(1 for e in faults if e["dropped"])
+        out += (f"faults ({len(faults)} events, {dropped} dropped "
+                f"readings):\n")
+        for kind, n in kinds.most_common():
+            out += f"  {kind}: {n}\n"
+    if not out:
+        return "fallback/faults: no events recorded\n"
+    return out
+
+
+def render_metrics(payload: dict) -> str:
+    obs = payload.get("obs", {})
+    metrics = obs.get("metrics", {})
+    out = f"metrics snapshot (bench {payload.get('bench', '?')!r}):\n"
+    counters = metrics.get("counters", {})
+    if counters:
+        rows = [["counter", "value"]]
+        for name in sorted(counters):
+            rows.append([name, str(counters[name])])
+        out += render_table(rows) + "\n"
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        rows = [["gauge", "value"]]
+        for name in sorted(gauges):
+            rows.append([name, str(gauges[name])])
+        out += render_table(rows) + "\n"
+    for name, h in sorted(metrics.get("histograms", {}).items()):
+        out += (f"  histogram {name}: total={h.get('total')} "
+                f"sum={h.get('sum')}\n")
+        edges = h.get("edges", [])
+        counts = h.get("counts", [])
+        labels = []
+        for i, count in enumerate(counts):
+            if i == 0:
+                labels.append(f"<{edges[0]}" if edges else "all")
+            elif i < len(edges):
+                labels.append(f"[{edges[i - 1]}, {edges[i]})")
+            else:
+                labels.append(f">={edges[-1]}")
+            out += f"    {labels[-1]}: {count}\n"
+    if not counters and not gauges and not metrics.get("histograms"):
+        out += "  (empty — run with --trace to enable collection)\n"
+    return out
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="obs_report.py",
+                                     description=__doc__)
+    parser.add_argument("trace", nargs="?",
+                        help="TRACE_<name>.jsonl event trace")
+    parser.add_argument("--metrics", metavar="BENCH_JSON",
+                        help="BENCH_<name>.json envelope to summarize")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate structure instead of rendering")
+    args = parser.parse_args(argv)
+
+    if not args.trace and not args.metrics:
+        parser.error("nothing to do: give a trace file and/or --metrics")
+
+    events: list[dict] = []
+    payload: dict = {}
+    errors: list[str] = []
+    try:
+        if args.trace:
+            events, errs = load_trace(args.trace)
+            errors.extend(errs)
+        if args.metrics:
+            payload, errs = load_metrics(args.metrics)
+            errors.extend(errs)
+    except OSError as e:
+        print(f"obs_report: error: {e}", file=sys.stderr)
+        return 2
+
+    if args.validate:
+        for err in errors:
+            print(err)
+        if errors:
+            print(f"obs_report: {len(errors)} validation error(s)")
+            return 1
+        parts = []
+        if args.trace:
+            parts.append(f"{len(events)} events in {args.trace}")
+        if args.metrics:
+            parts.append(f"envelope {args.metrics}")
+        print(f"obs_report: valid ({', '.join(parts)})")
+        return 0
+
+    if errors:
+        for err in errors:
+            print(f"warning: {err}", file=sys.stderr)
+
+    if events:
+        meta = next((e for e in events if e["type"] == "meta"), {})
+        counts = collections.Counter(e["type"] for e in events)
+        breakdown = ", ".join(f"{k}={n}" for k, n in counts.most_common())
+        print(f"=== obs report: {meta.get('bench', args.trace)} ===")
+        print(f"events: {len(events)} ({breakdown})\n")
+        print(render_spans(events))
+        print(render_decision_mix(events))
+        print(render_fallback_timeline(events))
+    if payload:
+        print(render_metrics(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
