@@ -1,148 +1,203 @@
-// Engine scaling study: the fleet-evaluation engine against the legacy
-// serial loop on a large workload, across thread counts.
+// Engine scaling study on the Figure-5 sweep workload: the scalar and
+// batch evaluation kernels against the legacy serial loop, across thread
+// counts.
 //
-// Workload: a Chicago-shaped fleet evaluated at a grid of break-even
-// values (the Figure 5/6 + Appendix C shape fleets hit at scale). All
-// sweep points share one fleet object, so the per-vehicle statistics
-// caches (sorted stops + prefix sums) are built once and serve every B —
-// the engine's algorithmic edge over the legacy loop even at 1 thread.
+// Workload: the Figure 5 reproduction shape — Chicago-law fleets rescaled
+// to a grid of mean stop lengths, evaluated at B = 28 s with the standard
+// six-strategy lineup (bench/common/sweep.h). This is the workload the
+// batch kernel exists for, so its speedup here seeds the repo's perf
+// trajectory (BENCH_engine_scaling.json, schema v2).
 //
-// Prints wall times, speedups and a bitwise thread-invariance check;
-// archives everything to BENCH_engine_scaling.json. Thread counts beyond
-// the machine's cores are still run (the determinism contract must hold
-// under oversubscription) but their speedups are reported against the
-// hardware limit.
+// Reported per (kernel, threads) configuration: wall time split into the
+// cache/prewarm pass and the evaluation pass, speedup vs the legacy serial
+// loop, and a bitwise thread-invariance check per kernel. The headline
+// number is the single-thread eval-pass speedup of the batch kernel over
+// the scalar kernel (the cache pass is identical work under either), plus
+// the batch-vs-scalar CR agreement (summation-order rounding only; see
+// sim/batch_kernels.h for the documented bound).
 //
-// Usage: bench_engine_scaling [vehicles] [sweep_points]
-//   vehicles      fleet size                  (default 600)
-//   sweep_points  break-even grid size        (default 12)
+// Thread counts beyond the machine's cores are still run (the determinism
+// contract must hold under oversubscription).
+//
+// Usage: bench_engine_scaling [vehicles_per_point] [sweep_points]
+//   vehicles_per_point  fleet size per sweep mean   (default 150)
+//   sweep_points        mean-stop-length grid size  (default 17)
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/bench_run.h"
-#include "engine/eval_session.h"
+#include "common/sweep.h"
 #include "sim/fleet_eval.h"
-#include "traces/fleet_generator.h"
 #include "util/math.h"
-#include "util/random.h"
 #include "util/table.h"
 
+namespace {
+
+using namespace idlered;
+
+bool bitwise_equal(const engine::EvalReport& a, const engine::EvalReport& b) {
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const auto& va = a.points[p].comparison.vehicles;
+    const auto& vb = b.points[p].comparison.vehicles;
+    for (std::size_t v = 0; v < va.size(); ++v)
+      for (std::size_t s = 0; s < va[v].cr.size(); ++s)
+        if (va[v].cr[s] != vb[v].cr[s]) return false;
+  }
+  return true;
+}
+
+double max_relative_cr_gap(const engine::EvalReport& a,
+                           const engine::EvalReport& b) {
+  double gap = 0.0;
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const auto& va = a.points[p].comparison.vehicles;
+    const auto& vb = b.points[p].comparison.vehicles;
+    for (std::size_t v = 0; v < va.size(); ++v)
+      for (std::size_t s = 0; s < va[v].cr.size(); ++s) {
+        const double denom = std::fabs(vb[v].cr[s]);
+        if (denom > 0.0)
+          gap = std::max(gap, std::fabs(va[v].cr[s] - vb[v].cr[s]) / denom);
+      }
+  }
+  return gap;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace idlered;
   bench::BenchRun run("engine_scaling", argc, argv);
 
-  // Positional args (vehicles, sweep points) skip the envelope's --trace
-  // flags wherever they appear on the line.
+  // Positional args (vehicles per point, sweep points) skip the envelope's
+  // --trace flags wherever they appear on the line.
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]).rfind("--trace", 0) == 0) continue;
     pos.push_back(argv[i]);
   }
-  const int vehicles = !pos.empty() ? std::atoi(pos[0]) : 600;
-  const int sweep_points = pos.size() > 1 ? std::atoi(pos[1]) : 12;
 
-  std::printf("%s", util::banner("Engine scaling: parallel fleet evaluation "
-                                 "vs the serial loop").c_str());
+  std::printf("%s", util::banner("Engine scaling: scalar vs batch kernels "
+                                 "on the Figure-5 sweep").c_str());
 
-  traces::AreaProfile profile = traces::chicago();
-  profile.num_vehicles_driving = vehicles;
-  util::Rng rng(20140601);
-  const auto fleet = std::make_shared<const sim::Fleet>(
-      traces::generate_area_fleet(profile, rng));
+  bench::SweepConfig config = bench::default_sweep(28.0);
+  if (!pos.empty()) config.vehicles_per_point = std::atoi(pos[0]);
+  if (pos.size() > 1) {
+    const int n = std::atoi(pos[1]);
+    config.mean_stops_s = util::logspace(config.break_even / 6.0,
+                                         config.break_even * 6.0, n);
+  }
+  const auto fleets = bench::build_sweep_fleets(config);
   std::size_t total_stops = 0;
-  for (const auto& t : *fleet) total_stops += t.num_stops();
+  for (const auto& pf : fleets)
+    for (const auto& t : *pf.fleet) total_stops += t.num_stops();
 
-  const std::vector<double> b_grid = util::logspace(10.0, 90.0, sweep_points);
-  std::printf("workload: %zu vehicles, %zu stops, %d break-even points, "
-              "%zu strategies\n\n",
-              fleet->size(), total_stops, sweep_points,
-              engine::standard_strategy_set().size());
+  std::printf("workload: fig5 sweep, %zu points x %d vehicles, %zu stops, "
+              "%zu strategies, B = %.0f s\n\n",
+              fleets.size(), config.vehicles_per_point, total_stops,
+              engine::standard_strategy_set().size(), config.break_even);
 
-  // Legacy serial reference: one compare_strategies pass per B.
+  // Legacy serial reference: one compare_strategies pass per point.
   const auto specs = sim::standard_strategy_set();
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<sim::FleetComparison> serial;
-  serial.reserve(b_grid.size());
-  for (double b : b_grid)
-    serial.push_back(sim::compare_strategies(*fleet, b, specs));
+  for (const auto& pf : fleets)
+    sim::compare_strategies(*pf.fleet, config.break_even, specs);
   const auto t1 = std::chrono::steady_clock::now();
   const double serial_s = std::chrono::duration<double>(t1 - t0).count();
 
-  auto make_plan = [&](int threads) {
-    engine::EvalPlan plan;
-    plan.strategies = engine::standard_strategy_set();
-    plan.threads = threads;
-    for (double b : b_grid)
-      plan.points.push_back(engine::PlanPoint{b, b, fleet});
+  auto make_plan = [&](sim::EvalKernel kernel, int threads) {
+    bench::SweepConfig c = config;
+    c.threads = threads;
+    engine::EvalPlan plan = bench::make_sweep_plan(c, fleets);
+    plan.kernel = kernel;
     return plan;
   };
 
   const unsigned hw = std::thread::hardware_concurrency();
-  util::Table table({"configuration", "wall s", "speedup vs serial",
-                     "bit-identical"});
-  table.add_row({"legacy serial loop", util::fmt(serial_s, 3), "1.00",
-                 "(reference)"});
+  util::Table table({"configuration", "wall s", "cache s", "eval s",
+                     "speedup vs serial", "bit-identical"});
+  table.add_row({"legacy serial loop", util::fmt(serial_s, 3), "-", "-",
+                 "1.00", "(reference)"});
+
+  struct KernelRow {
+    sim::EvalKernel kernel;
+    const char* name;
+  };
+  const KernelRow kernels[] = {{sim::EvalKernel::kScalar, "scalar"},
+                               {sim::EvalKernel::kBatch, "batch"}};
 
   util::JsonValue runs_json = util::JsonValue::array();
-  engine::EvalReport baseline;  // threads = 1
   bool all_bitwise = true;
-  double best_speedup = 0.0;
-  engine::EvalReport best_report;
-  for (int threads : {1, 2, 4, 8}) {
-    engine::EvalSession session(make_plan(threads));
-    engine::EvalReport report = session.run();
+  double scalar_eval_1t = 0.0;
+  double batch_eval_1t = 0.0;
+  engine::EvalReport scalar_baseline;  // threads = 1, per-kernel reference
+  engine::EvalReport batch_baseline;
+  for (const KernelRow& k : kernels) {
+    for (int threads : {1, 2, 4, 8}) {
+      engine::EvalSession session(make_plan(k.kernel, threads));
+      engine::EvalReport report = session.run();
 
-    bool bitwise = true;
-    if (threads == 1) {
-      // The 1-thread engine run is the bitwise reference; it must also
-      // match the legacy loop's CRs (trace-order vs sorted-order statistics
-      // agree to the last bit on the dominant strategies, ~1 ulp on COA —
-      // compare with a tolerance here, exact equality across threads below).
-      baseline = report;
-    } else {
-      for (std::size_t p = 0; p < report.points.size() && bitwise; ++p) {
-        const auto& a = report.points[p].comparison.vehicles;
-        const auto& b = baseline.points[p].comparison.vehicles;
-        for (std::size_t v = 0; v < a.size() && bitwise; ++v)
-          for (std::size_t s = 0; s < a[v].cr.size(); ++s)
-            if (a[v].cr[s] != b[v].cr[s]) {
-              bitwise = false;
-              break;
-            }
+      bool bitwise = true;
+      engine::EvalReport& baseline =
+          k.kernel == sim::EvalKernel::kScalar ? scalar_baseline
+                                               : batch_baseline;
+      if (threads == 1) {
+        baseline = report;
+        if (k.kernel == sim::EvalKernel::kScalar)
+          scalar_eval_1t = report.eval_seconds;
+        else
+          batch_eval_1t = report.eval_seconds;
+      } else {
+        bitwise = bitwise_equal(report, baseline);
+        all_bitwise = all_bitwise && bitwise;
       }
-      all_bitwise = all_bitwise && bitwise;
-    }
-    const double speedup =
-        report.wall_seconds > 0.0 ? serial_s / report.wall_seconds : 0.0;
-    if (speedup > best_speedup) {
-      best_speedup = speedup;
-      best_report = report;
-    }
-    char label[64];
-    std::snprintf(label, sizeof label, "engine, %d thread%s%s", threads,
-                  threads == 1 ? "" : "s",
-                  hw != 0 && threads > static_cast<int>(hw)
-                      ? " (oversubscribed)" : "");
-    table.add_row({label, util::fmt(report.wall_seconds, 3),
-                   util::fmt(speedup, 2),
-                   threads == 1 ? "(reference)" : (bitwise ? "yes" : "NO")});
+      const double speedup =
+          report.wall_seconds > 0.0 ? serial_s / report.wall_seconds : 0.0;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s kernel, %d thread%s%s", k.name,
+                    threads, threads == 1 ? "" : "s",
+                    hw != 0 && threads > static_cast<int>(hw)
+                        ? " (oversubscribed)" : "");
+      table.add_row({label, util::fmt(report.wall_seconds, 3),
+                     util::fmt(report.cache_build_seconds, 3),
+                     util::fmt(report.eval_seconds, 3),
+                     util::fmt(speedup, 2),
+                     threads == 1 ? "(reference)" : (bitwise ? "yes" : "NO")});
 
-    util::JsonValue r = util::JsonValue::object();
-    r.set("threads", threads);
-    r.set("wall_seconds", report.wall_seconds);
-    r.set("speedup_vs_serial", speedup);
-    r.set("cells", report.cells);
-    runs_json.push_back(std::move(r));
+      util::JsonValue r = util::JsonValue::object();
+      r.set("kernel", k.name);
+      r.set("threads", threads);
+      r.set("wall_seconds", report.wall_seconds);
+      r.set("cache_build_seconds", report.cache_build_seconds);
+      r.set("eval_seconds", report.eval_seconds);
+      r.set("speedup_vs_serial", speedup);
+      r.set("cells", report.cells);
+      runs_json.push_back(std::move(r));
+    }
   }
+
+  // Kernel agreement: batch CRs differ from scalar CRs by summation-order
+  // rounding only.
+  const double kernel_gap =
+      max_relative_cr_gap(batch_baseline, scalar_baseline);
+  const double kernel_speedup_1t =
+      batch_eval_1t > 0.0 ? scalar_eval_1t / batch_eval_1t : 0.0;
+  const bool kernels_agree = kernel_gap < 1e-9;
 
   std::printf("%s\n", table.str().c_str());
   std::printf("hardware threads: %u  |  thread-count invariance: %s\n", hw,
-              all_bitwise ? "bit-identical across 1/2/4/8 threads"
+              all_bitwise ? "bit-identical across 1/2/4/8 threads (both "
+                            "kernels)"
                           : "MISMATCH — determinism bug");
+  std::printf("batch kernel speedup over scalar (1 thread, eval pass): "
+              "%.2fx  |  max relative CR gap %.2e (%s)\n",
+              kernel_speedup_1t, kernel_gap,
+              kernels_agree ? "summation-order rounding"
+                            : "TOO LARGE — kernel bug");
   if (hw < 8) {
     std::printf("note: this machine exposes %u core%s; multi-thread "
                 "speedups are bounded by the hardware, not the engine.\n",
@@ -150,14 +205,17 @@ int main(int argc, char** argv) {
   }
 
   util::JsonValue payload = util::JsonValue::object();
-  payload.set("vehicles", fleet->size());
+  payload.set("workload", "fig5_sweep");
+  payload.set("break_even", config.break_even);
+  payload.set("sweep_points", fleets.size());
+  payload.set("vehicles_per_point", config.vehicles_per_point);
   payload.set("stops", total_stops);
-  payload.set("sweep_points", sweep_points);
   payload.set("hardware_threads", static_cast<double>(hw));
   payload.set("serial_wall_seconds", serial_s);
-  payload.set("best_speedup_vs_serial", best_speedup);
+  payload.set("batch_kernel_speedup_1t", kernel_speedup_1t);
+  payload.set("max_kernel_cr_gap", kernel_gap);
   payload.set("bitwise_thread_invariant", all_bitwise);
   payload.set("runs", std::move(runs_json));
   run.stage("results", std::move(payload));
-  return all_bitwise ? 0 : 1;
+  return all_bitwise && kernels_agree ? 0 : 1;
 }

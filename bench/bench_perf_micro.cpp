@@ -1,28 +1,85 @@
-// Performance microbenchmarks (google-benchmark), including ablation A3:
-// the LP-backed constrained-ski-rental solver vs the closed-form vertex
-// enumeration. A stop-start controller runs on embedded hardware, so the
-// per-stop decision path (statistics update + strategy selection +
-// threshold draw) must be cheap; these benches pin down its cost.
+// Performance microbenchmarks, including ablation A3: the LP-backed
+// constrained-ski-rental solver vs the closed-form vertex enumeration. A
+// stop-start controller runs on embedded hardware, so the per-stop decision
+// path (statistics update + strategy selection + threshold draw) must be
+// cheap; these benches pin down its cost.
 //
-// Deliberate exception to the BenchRun envelope (common/bench_run.h):
-// google-benchmark owns main() here and emits its own JSON via
-// --benchmark_format=json, so this binary writes no BENCH_*.json.
-#include <benchmark/benchmark.h>
+// Also the micro-scale view of the evaluator kernels: per-stop cost of the
+// scalar loop vs the SIMD batch kernels (sim/batch_kernels.h) in expected
+// and sampled mode, on a single large synthetic trace. The fleet-scale view
+// lives in bench_engine_scaling.
+//
+// Self-timed harness on the BenchRun envelope (schema-v2
+// BENCH_perf_micro.json): each micro is calibrated to run for at least
+// kMinSeconds of wall time, then reported as ns/op. This replaced the old
+// google-benchmark binary — the last bench outside the envelope — so every
+// bench artifact now validates under tools/obs_report.py.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/bench_run.h"
 #include "core/estimator.h"
 #include "core/policies.h"
 #include "core/proposed.h"
 #include "core/solver_lp.h"
+#include "sim/evaluator.h"
 #include "sim/fleet_eval.h"
+#include "sim/stop_batch.h"
+#include "traces/area_profiles.h"
 #include "traces/fleet_generator.h"
 #include "traffic/intersection.h"
 #include "util/random.h"
+#include "util/table.h"
 
 namespace {
 
 using namespace idlered;
 
 constexpr double kB = 28.0;
+constexpr double kMinSeconds = 0.1;  // per-micro measured wall time floor
+
+// Keep the compiler from eliding a benchmarked computation (the classic
+// empty-asm sink, same trick google-benchmark's DoNotOptimize uses).
+template <typename T>
+inline void keep(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+struct Micro {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::uint64_t iterations = 0;
+  double items_per_op = 1.0;  ///< for throughput rows (stops, vehicles, ...)
+};
+
+/// Run `body` in growing batches until one timed batch spans kMinSeconds,
+/// then report that batch. Deterministic workloads only — the calibration
+/// loop replays `body`, so bodies must not accumulate visible state across
+/// iterations (each owns its own RNG / estimator reset or tolerates replay).
+template <typename F>
+Micro time_micro(std::string name, F&& body, double items_per_op = 1.0) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) body();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= kMinSeconds || iters >= (1ull << 30))
+      return {std::move(name), s * 1e9 / static_cast<double>(iters), iters,
+              items_per_op};
+    const double grow =
+        s > 0.0 ? (kMinSeconds * 1.4 / s) : 100.0;
+    iters = std::max<std::uint64_t>(
+        iters + 1,
+        static_cast<std::uint64_t>(
+            static_cast<double>(iters) * std::min(grow, 100.0)));
+  }
+}
 
 dist::ShortStopStats stats_point(double mu_frac, double q) {
   dist::ShortStopStats s;
@@ -31,111 +88,178 @@ dist::ShortStopStats stats_point(double mu_frac, double q) {
   return s;
 }
 
-// --------------------------- A3: closed-form vertex enumeration vs LP solver
-
-void BM_ChooseStrategyClosedForm(benchmark::State& state) {
-  const auto s = stats_point(0.2, 0.3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::choose_strategy(s, kB));
-  }
+/// Synthetic single-vehicle trace for the kernel micros: stop lengths
+/// straddling B so every policy branch is exercised.
+std::vector<double> synthetic_stops(std::size_t n) {
+  util::Rng rng(7);
+  std::vector<double> stops(n);
+  for (double& y : stops) y = rng.uniform(0.0, 4.0 * kB);
+  return stops;
 }
-BENCHMARK(BM_ChooseStrategyClosedForm);
-
-void BM_ChooseStrategyViaLp(benchmark::State& state) {
-  const auto s = stats_point(0.2, 0.3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::solve_constrained_lp(s, kB));
-  }
-}
-BENCHMARK(BM_ChooseStrategyViaLp);
-
-// ----------------------------------------------------- per-stop decision path
-
-void BM_EstimatorObserve(benchmark::State& state) {
-  core::DecayingStatsEstimator est(kB, 0.99);
-  util::Rng rng(1);
-  double y = 10.0;
-  for (auto _ : state) {
-    est.observe(y);
-    y = y < 100.0 ? y + 0.37 : 1.0;
-    benchmark::DoNotOptimize(est);
-  }
-}
-BENCHMARK(BM_EstimatorObserve);
-
-void BM_ProposedPolicyConstruction(benchmark::State& state) {
-  const auto s = stats_point(0.15, 0.35);
-  for (auto _ : state) {
-    core::ProposedPolicy p(kB, s);
-    benchmark::DoNotOptimize(p);
-  }
-}
-BENCHMARK(BM_ProposedPolicyConstruction);
-
-void BM_NRandSampleThreshold(benchmark::State& state) {
-  core::NRandPolicy p(kB);
-  util::Rng rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(p.sample_threshold(rng));
-  }
-}
-BENCHMARK(BM_NRandSampleThreshold);
-
-void BM_MomRandSampleThreshold(benchmark::State& state) {
-  // Bisection-based inverse CDF: the expensive sampling path.
-  core::MomRandPolicy p(kB, 0.3 * kB);
-  util::Rng rng(3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(p.sample_threshold(rng));
-  }
-}
-BENCHMARK(BM_MomRandSampleThreshold);
-
-void BM_NRandExpectedCost(benchmark::State& state) {
-  core::NRandPolicy p(kB);
-  double y = 0.5;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(p.expected_cost(y));
-    y = y < 60.0 ? y + 0.1 : 0.5;
-  }
-}
-BENCHMARK(BM_NRandExpectedCost);
-
-// ----------------------------------------------------------- bulk throughput
-
-void BM_FleetComparison(benchmark::State& state) {
-  auto profile = traces::california();
-  profile.num_vehicles_driving = static_cast<int>(state.range(0));
-  util::Rng rng(4);
-  const auto fleet = traces::generate_area_fleet(profile, rng);
-  const auto specs = sim::standard_strategy_set();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::compare_strategies(fleet, kB, specs));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_FleetComparison)->Arg(8)->Arg(32)->Arg(128);
-
-void BM_VehicleGeneration(benchmark::State& state) {
-  const auto profile = traces::chicago();
-  util::Rng rng(5);
-  int i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(traces::generate_vehicle(profile, ++i, rng));
-  }
-}
-BENCHMARK(BM_VehicleGeneration);
-
-void BM_IntersectionSimulation(benchmark::State& state) {
-  traffic::IntersectionConfig cfg;
-  cfg.arrival_rate_per_s = 0.15;
-  traffic::IntersectionSimulator sim(cfg);
-  util::Rng rng(6);
-  const double horizon = static_cast<double>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.simulate(horizon, rng));
-  }
-}
-BENCHMARK(BM_IntersectionSimulation)->Arg(3600)->Arg(86400);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun run("perf_micro", argc, argv);
+  std::printf("%s", util::banner("Performance microbenchmarks").c_str());
+
+  std::vector<Micro> micros;
+
+  // ------------------------- A3: closed-form vertex enumeration vs LP solver
+  {
+    const auto s = stats_point(0.2, 0.3);
+    micros.push_back(time_micro("choose_strategy/closed_form", [&] {
+      keep(core::choose_strategy(s, kB));
+    }));
+    micros.push_back(time_micro("choose_strategy/lp", [&] {
+      keep(core::solve_constrained_lp(s, kB));
+    }));
+  }
+
+  // --------------------------------------------------- per-stop decision path
+  {
+    core::DecayingStatsEstimator est(kB, 0.99);
+    double y = 10.0;
+    micros.push_back(time_micro("estimator/observe", [&] {
+      est.observe(y);
+      y = y < 100.0 ? y + 0.37 : 1.0;
+      keep(est);
+    }));
+  }
+  {
+    const auto s = stats_point(0.15, 0.35);
+    micros.push_back(time_micro("policy/proposed_construction", [&] {
+      core::ProposedPolicy p(kB, s);
+      keep(p);
+    }));
+  }
+  {
+    core::NRandPolicy p(kB);
+    util::Rng rng(2);
+    micros.push_back(time_micro("policy/nrand_sample_threshold", [&] {
+      keep(p.sample_threshold(rng));
+    }));
+  }
+  {
+    // Bisection-based inverse CDF: the expensive sampling path.
+    core::MomRandPolicy p(kB, 0.3 * kB);
+    util::Rng rng(3);
+    micros.push_back(time_micro("policy/momrand_sample_threshold", [&] {
+      keep(p.sample_threshold(rng));
+    }));
+  }
+  {
+    core::NRandPolicy p(kB);
+    double y = 0.5;
+    micros.push_back(time_micro("policy/nrand_expected_cost", [&] {
+      keep(p.expected_cost(y));
+      y = y < 60.0 ? y + 0.1 : 0.5;
+    }));
+  }
+
+  // ------------------------------------------- evaluator kernels, per stop
+  // One large trace, COA policy (the vertex-dispatch worst case for the
+  // batch path) and N-Rand (the pure closed-form case).
+  const std::vector<double> stops = synthetic_stops(1 << 16);
+  const sim::StopBatch batch(stops);
+  const double n_stops = static_cast<double>(stops.size());
+  const core::ProposedPolicy coa(kB, stats_point(0.2, 0.3));
+  const core::NRandPolicy nrand(kB);
+  double expected_scalar_ns = 0.0, expected_batch_ns = 0.0;
+  double sampled_scalar_ns = 0.0, sampled_batch_ns = 0.0;
+  {
+    sim::EvalOptions scalar;
+    micros.push_back(time_micro("evaluate/expected_scalar_coa", [&] {
+      keep(sim::evaluate(coa, stops, scalar));
+    }, n_stops));
+    expected_scalar_ns = micros.back().ns_per_op;
+    micros.push_back(time_micro("evaluate/expected_batch_coa", [&] {
+      keep(sim::evaluate(coa, batch, scalar));
+    }, n_stops));
+    expected_batch_ns = micros.back().ns_per_op;
+    micros.push_back(time_micro("evaluate/expected_scalar_nrand", [&] {
+      keep(sim::evaluate(nrand, stops, scalar));
+    }, n_stops));
+    micros.push_back(time_micro("evaluate/expected_batch_nrand", [&] {
+      keep(sim::evaluate(nrand, batch, scalar));
+    }, n_stops));
+  }
+  {
+    util::Rng rng(11);
+    sim::EvalOptions sampled;
+    sampled.mode = sim::EvalMode::kSampled;
+    sampled.rng = &rng;
+    micros.push_back(time_micro("evaluate/sampled_scalar_nrand", [&] {
+      keep(sim::evaluate(nrand, stops, sampled));
+    }, n_stops));
+    sampled_scalar_ns = micros.back().ns_per_op;
+    micros.push_back(time_micro("evaluate/sampled_batch_nrand", [&] {
+      keep(sim::evaluate(nrand, batch, sampled));
+    }, n_stops));
+    sampled_batch_ns = micros.back().ns_per_op;
+  }
+
+  // --------------------------------------------------------- bulk throughput
+  for (int vehicles : {8, 32, 128}) {
+    auto profile = traces::california();
+    profile.num_vehicles_driving = vehicles;
+    util::Rng rng(4);
+    const auto fleet = traces::generate_area_fleet(profile, rng);
+    const auto specs = sim::standard_strategy_set();
+    micros.push_back(time_micro(
+        "fleet/compare_strategies/" + std::to_string(vehicles), [&] {
+          keep(sim::compare_strategies(fleet, kB, specs));
+        }, static_cast<double>(vehicles)));
+  }
+  {
+    const auto profile = traces::chicago();
+    util::Rng rng(5);
+    int i = 0;
+    micros.push_back(time_micro("fleet/generate_vehicle", [&] {
+      keep(traces::generate_vehicle(profile, ++i, rng));
+    }));
+  }
+  for (int horizon : {3600, 86400}) {
+    traffic::IntersectionConfig cfg;
+    cfg.arrival_rate_per_s = 0.15;
+    traffic::IntersectionSimulator sim(cfg);
+    util::Rng rng(6);
+    micros.push_back(time_micro(
+        "traffic/intersection/" + std::to_string(horizon), [&] {
+          keep(sim.simulate(static_cast<double>(horizon), rng));
+        }, static_cast<double>(horizon)));
+  }
+
+  util::Table table({"micro", "ns/op", "iterations", "ns/item"});
+  util::JsonValue micros_json = util::JsonValue::array();
+  for (const Micro& m : micros) {
+    table.add_row({m.name, util::fmt(m.ns_per_op, 1),
+                   std::to_string(m.iterations),
+                   m.items_per_op > 1.0
+                       ? util::fmt(m.ns_per_op / m.items_per_op, 2) : "-"});
+    util::JsonValue j = util::JsonValue::object();
+    j.set("name", m.name);
+    j.set("ns_per_op", m.ns_per_op);
+    j.set("iterations", static_cast<double>(m.iterations));
+    j.set("items_per_op", m.items_per_op);
+    micros_json.push_back(std::move(j));
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const double expected_speedup =
+      expected_batch_ns > 0.0 ? expected_scalar_ns / expected_batch_ns : 0.0;
+  const double sampled_speedup =
+      sampled_batch_ns > 0.0 ? sampled_scalar_ns / sampled_batch_ns : 0.0;
+  std::printf("batch kernel speedup over scalar (COA expected): %.2fx  |  "
+              "sampled (N-Rand, draws stay serial): %.2fx\n",
+              expected_speedup, sampled_speedup);
+
+  util::JsonValue payload = util::JsonValue::object();
+  payload.set("min_seconds_per_micro", kMinSeconds);
+  payload.set("kernel_stops", n_stops);
+  payload.set("batch_speedup_expected_coa", expected_speedup);
+  payload.set("batch_speedup_sampled_nrand", sampled_speedup);
+  payload.set("micros", std::move(micros_json));
+  run.stage("results", std::move(payload));
+  return 0;
+}

@@ -9,7 +9,7 @@
 
 namespace idlered::core {
 
-StatsEstimator::StatsEstimator(double break_even) : break_even_(break_even) {
+StatsEstimator::StatsEstimator(double break_even) : acc_(break_even) {
   require_valid_break_even(break_even);
 }
 
@@ -17,27 +17,14 @@ void StatsEstimator::observe(double stop_length) {
   if (!std::isfinite(stop_length) || stop_length < 0.0)
     throw std::invalid_argument(
         "StatsEstimator: stop length must be finite and >= 0");
-  ++n_;
-  if (stop_length >= break_even_) {
-    ++long_count_;
-  } else {
-    short_sum_ += stop_length;
-  }
+  acc_.insert(stop_length);
 }
 
 dist::ShortStopStats StatsEstimator::stats() const {
-  if (n_ == 0) throw std::logic_error("StatsEstimator: no observations");
-  dist::ShortStopStats s;
-  s.mu_b_minus = short_sum_ / static_cast<double>(n_);
-  s.q_b_plus = static_cast<double>(long_count_) / static_cast<double>(n_);
-  // Boundary contract for everything downstream (choose_strategy, b-DET
-  // feasibility): an estimate outside these ranges would silently produce
-  // NaN thresholds via sqrt(mu B / q).
-  IDLERED_ENSURES(s.q_b_plus >= 0.0 && s.q_b_plus <= 1.0,
-                  "StatsEstimator: q_B_plus must lie in [0, 1]");
-  IDLERED_ENSURES(s.mu_b_minus >= 0.0 && s.mu_b_minus <= break_even_,
-                  "StatsEstimator: mu_B_minus must lie in [0, B]");
-  return s;
+  if (acc_.empty()) throw std::logic_error("StatsEstimator: no observations");
+  // The accumulator enforces the boundary contracts (q in [0, 1], mu in
+  // [0, B]) that choose_strategy and b-DET feasibility rely on downstream.
+  return acc_.stats();
 }
 
 DecayingStatsEstimator::DecayingStatsEstimator(double break_even,

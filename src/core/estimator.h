@@ -15,11 +15,14 @@
 #include <cstddef>
 
 #include "dist/distribution.h"
+#include "stats/rolling.h"
 
 namespace idlered::core {
 
 /// Full-history estimator:
 ///   mu_B_minus ~= (1/n) sum y_i 1{y_i < B},  q_B_plus ~= #{y_i >= B} / n.
+/// A thin facade over stats::ShortStopAccumulator (the O(1) incremental
+/// sufficient-statistics core shared with the sliding-window estimator).
 class StatsEstimator {
  public:
   explicit StatsEstimator(double break_even);
@@ -29,19 +32,16 @@ class StatsEstimator {
   /// never-throwing front end).
   void observe(double stop_length);
 
-  std::size_t count() const { return n_; }
-  bool has_observations() const { return n_ > 0; }
+  std::size_t count() const { return acc_.count(); }
+  bool has_observations() const { return !acc_.empty(); }
 
   /// Current estimate; throws std::logic_error before any observation.
   dist::ShortStopStats stats() const;
 
-  double break_even() const { return break_even_; }
+  double break_even() const { return acc_.break_even(); }
 
  private:
-  double break_even_;
-  std::size_t n_ = 0;
-  double short_sum_ = 0.0;
-  std::size_t long_count_ = 0;
+  stats::ShortStopAccumulator acc_;
 };
 
 /// Exponentially weighted estimator with per-observation decay factor

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -140,6 +141,7 @@ EvalReport EvalSession::run() {
 
   EvalReport report;
   report.mode = plan.mode;
+  report.kernel = plan.kernel;
   report.seed = plan.seed;
   report.threads = impl_->pool.thread_count();
   report.strategy_names.reserve(plan.strategies.size());
@@ -195,23 +197,36 @@ EvalReport EvalSession::run() {
 
   {
     IDLERED_SPAN("session.cache_build");
+    // Every break-even the plan evaluates a fleet at, so the statistics
+    // (and, in batch mode, the offline totals) are warmed here in one
+    // incremental ascending sweep per vehicle instead of recomputed on
+    // first touch inside the evaluation cells.
+    std::map<const sim::Fleet*, std::vector<double>> fleet_bs;
+    for (const PlanPoint& pp : plan.points)
+      fleet_bs[pp.fleet.get()].push_back(pp.break_even);
+
     // Flatten (unique fleet, vehicle) pairs for the parallel build.
     struct BuildItem {
       const sim::Fleet* fleet;
       std::vector<std::unique_ptr<VehicleCache>>* out;
+      const std::vector<double>* break_evens;
       std::size_t vehicle;
     };
     std::vector<BuildItem> items;
     for (const auto& [fleet, idx] : cache_of) {
       for (std::size_t v = 0; v < fleet->size(); ++v)
-        items.push_back(BuildItem{fleet, impl_->cache_store[idx].get(), v});
+        items.push_back(BuildItem{fleet, impl_->cache_store[idx].get(),
+                                  &fleet_bs[fleet], v});
     }
+    const bool batch_kernel = plan.kernel == EvalKernel::kBatch;
     impl_->pool.parallel_for(items.size(), [&](std::size_t i) {
       const BuildItem& it = items[i];
-      (*it.out)[it.vehicle] =
-          std::make_unique<VehicleCache>((*it.fleet)[it.vehicle]);
+      auto cache = std::make_unique<VehicleCache>((*it.fleet)[it.vehicle]);
+      if (cache->num_stops() > 0) cache->prewarm(*it.break_evens, batch_kernel);
+      (*it.out)[it.vehicle] = std::move(cache);
     });
   }
+  report.cache_build_seconds = util::monotonic_seconds() - t0;
 
   // Pass 2: evaluate every cell. Each task owns disjoint report slots; in
   // sampled mode each (point, vehicle, strategy) triple gets its own
@@ -229,14 +244,21 @@ EvalReport EvalSession::run() {
       const VehicleView view(cache, pp.break_even, builder.needs());
       const core::PolicyPtr policy = builder.build(view);
 
-      sim::CostTotals totals;
-      if (plan.mode == EvalMode::kExpected) {
-        totals = sim::evaluate(*policy, cache.stops());
-      } else {
-        util::Rng rng(cell_seed(plan.seed, cell.point, cell.vehicle, s));
-        totals = sim::evaluate(*policy, cache.stops(),
-                               {EvalMode::kSampled, &rng});
+      sim::EvalOptions opts;
+      opts.mode = plan.mode;
+      opts.kernel = plan.kernel;
+      std::optional<util::Rng> rng;  // seeded only when a draw happens
+      if (plan.mode == EvalMode::kSampled) {
+        rng.emplace(cell_seed(plan.seed, cell.point, cell.vehicle, s));
+        opts.rng = &*rng;
       }
+
+      // The batch overload runs over the cache's prevalidated StopBatch so
+      // the per-B offline total is shared across the strategy lineup.
+      const sim::CostTotals totals =
+          plan.kernel == EvalKernel::kBatch
+              ? sim::evaluate(*policy, cache.batch(), opts)
+              : sim::evaluate(*policy, cache.stops(), opts);
       out.totals[cell.slot][s] = totals;
       out.comparison.vehicles[cell.slot].cr[s] = totals.cr();
       IDLERED_OBS_ONLY(if (obs::enabled()) {
@@ -249,6 +271,7 @@ EvalReport EvalSession::run() {
   });
 
   report.wall_seconds = util::monotonic_seconds() - t0;
+  report.eval_seconds = report.wall_seconds - report.cache_build_seconds;
   IDLERED_ENSURES(report.points.size() == plan.points.size(),
                   "EvalSession: report must carry one entry per plan point");
   return report;

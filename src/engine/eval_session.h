@@ -29,6 +29,7 @@
 
 namespace idlered::engine {
 
+using sim::EvalKernel;
 using sim::EvalMode;
 
 /// One sweep point: a fleet evaluated at one break-even interval. `axis` is
@@ -45,6 +46,14 @@ struct EvalPlan {
   std::vector<PlanPoint> points;
   std::vector<StrategyBuilderPtr> strategies;
   EvalMode mode = EvalMode::kExpected;
+  /// Which evaluation kernel runs each cell's stop loop. kScalar is the
+  /// historical per-stop path; kBatch runs the SIMD kernels over the
+  /// vehicle cache's prevalidated StopBatch, with per-B offline totals
+  /// shared across the strategy lineup. Both kernels keep the engine's
+  /// determinism contract (reports bit-identical across thread counts);
+  /// batch totals differ from scalar totals only by summation-order
+  /// rounding (sim/batch_kernels.h documents the bound).
+  sim::EvalKernel kernel = sim::EvalKernel::kScalar;
   std::uint64_t seed = 0;  ///< base seed for sampled mode
   int threads = 0;         ///< 0 = hardware concurrency
 
@@ -76,10 +85,16 @@ struct EvalReport {
   std::vector<Point> points;
 
   EvalMode mode = EvalMode::kExpected;
+  sim::EvalKernel kernel = sim::EvalKernel::kScalar;
   std::uint64_t seed = 0;
   int threads = 0;             ///< pool width the session actually used
   std::size_t cells = 0;       ///< (point, vehicle, strategy) cells evaluated
   double wall_seconds = 0.0;   ///< evaluation wall time (excludes plan setup)
+  /// Breakdown of wall_seconds: the per-vehicle cache/prewarm pass vs the
+  /// cell-evaluation pass — the denominator of any kernel speedup claim,
+  /// since the cache pass is identical work under either kernel.
+  double cache_build_seconds = 0.0;
+  double eval_seconds = 0.0;
 };
 
 class EvalSession {

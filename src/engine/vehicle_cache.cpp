@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/obs.h"
 
 namespace idlered::engine {
 
-VehicleCache::VehicleCache(const sim::StopTrace& trace) : trace_(&trace) {
+VehicleCache::VehicleCache(const sim::StopTrace& trace)
+    : trace_(&trace), batch_(trace.stops) {
   sorted_stops_ = trace.stops;
   std::sort(sorted_stops_.begin(), sorted_stops_.end());
   prefix_sum_.resize(sorted_stops_.size() + 1);
@@ -16,6 +18,24 @@ VehicleCache::VehicleCache(const sim::StopTrace& trace) : trace_(&trace) {
     prefix_sum_[i + 1] = prefix_sum_[i] + sorted_stops_[i];
   // Trace-order sum, matching StopTrace::mean_stop_length bit-for-bit.
   if (!trace.stops.empty()) first_moment_ = trace.mean_stop_length();
+}
+
+dist::ShortStopStats VehicleCache::stats_at(double break_even,
+                                            std::size_t* hint) const {
+  // Stops < B occupy [0, idx) of the sorted order. `hint` carries the
+  // boundary of the previous (smaller) break-even during a prewarm sweep,
+  // so the search only scans forward from there.
+  const auto begin = sorted_stops_.begin() +
+                     static_cast<std::ptrdiff_t>(hint != nullptr ? *hint : 0);
+  const auto idx = static_cast<std::size_t>(
+      std::lower_bound(begin, sorted_stops_.end(), break_even) -
+      sorted_stops_.begin());
+  if (hint != nullptr) *hint = idx;
+  const auto n = static_cast<double>(sorted_stops_.size());
+  dist::ShortStopStats s;
+  s.mu_b_minus = prefix_sum_[idx] / n;
+  s.q_b_plus = static_cast<double>(sorted_stops_.size() - idx) / n;
+  return s;
 }
 
 dist::ShortStopStats VehicleCache::stats_for(double break_even) const {
@@ -33,18 +53,30 @@ dist::ShortStopStats VehicleCache::stats_for(double break_even) const {
     }
   }
   IDLERED_COUNT("engine.cache.stats_miss");
-  // Stops < B occupy [0, idx) of the sorted order.
-  const auto idx = static_cast<std::size_t>(
-      std::lower_bound(sorted_stops_.begin(), sorted_stops_.end(),
-                       break_even) -
-      sorted_stops_.begin());
-  const auto n = static_cast<double>(sorted_stops_.size());
-  dist::ShortStopStats s;
-  s.mu_b_minus = prefix_sum_[idx] / n;
-  s.q_b_plus = static_cast<double>(sorted_stops_.size() - idx) / n;
+  const dist::ShortStopStats s = stats_at(break_even, nullptr);
   std::lock_guard<std::mutex> lock(memo_m_);
   memo_.emplace(break_even, s);
   return s;
+}
+
+void VehicleCache::prewarm(std::vector<double> break_evens,
+                           bool offline_totals) {
+  if (sorted_stops_.empty()) return;  // nothing to warm; stats_for throws
+  std::sort(break_evens.begin(), break_evens.end());
+  break_evens.erase(std::unique(break_evens.begin(), break_evens.end()),
+                    break_evens.end());
+  std::size_t hint = 0;
+  std::vector<std::pair<double, dist::ShortStopStats>> computed;
+  computed.reserve(break_evens.size());
+  for (double b : break_evens) {
+    if (b <= 0.0)
+      throw std::invalid_argument(
+          "VehicleCache::prewarm: break_even must be > 0");
+    computed.emplace_back(b, stats_at(b, &hint));
+    if (offline_totals) batch_.offline_total(b);
+  }
+  std::lock_guard<std::mutex> lock(memo_m_);
+  for (auto& [b, s] : computed) memo_.emplace(b, s);
 }
 
 FleetCache::FleetCache(const sim::Fleet& fleet) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "dist/distribution.h"
+#include "sim/stop_batch.h"
 #include "sim/trace.h"
 
 namespace idlered::engine {
@@ -43,15 +44,30 @@ class VehicleCache {
   /// same summation order, so bit-identical to the legacy path).
   double first_moment() const { return first_moment_; }
 
+  /// The vehicle's stops as a prevalidated batch (trace order), for the
+  /// batch evaluation kernel. Built once at cache construction.
+  const sim::StopBatch& batch() const { return batch_; }
+
   /// (mu_B_minus, q_B_plus) at the given break-even. O(log n) on first
   /// request per B, O(log #distinct B) memoized afterwards. Thread-safe.
   dist::ShortStopStats stats_for(double break_even) const;
 
+  /// Prewarm the statistics memo for a whole sweep of break-even values in
+  /// one incremental pass: break-evens are processed in ascending order so
+  /// the short-stop boundary index only ever advances — O(n + k log n)
+  /// total instead of k independent lookups racing on the memo lock from
+  /// inside evaluation cells. Also prewarms the batch offline totals when
+  /// `offline_totals` is set. Thread-safe, idempotent.
+  void prewarm(std::vector<double> break_evens, bool offline_totals);
+
  private:
+  dist::ShortStopStats stats_at(double break_even, std::size_t* hint) const;
+
   const sim::StopTrace* trace_;        // not owned; outlives the cache
   std::vector<double> sorted_stops_;
   std::vector<double> prefix_sum_;     // prefix_sum_[i] = sum of first i
   double first_moment_ = 0.0;
+  sim::StopBatch batch_;
 
   mutable std::mutex memo_m_;
   mutable std::map<double, dist::ShortStopStats> memo_;

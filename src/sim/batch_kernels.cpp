@@ -1,0 +1,166 @@
+#include "sim/batch_kernels.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "util/math.h"
+
+// Vectorization hint for the lane loops: the bodies are dependence-free by
+// construction (kLanes independent accumulator chains), so the compiler
+// may use whatever vector width it has without reassociating any sum.
+#if defined(__clang__)
+#define IDLERED_SIMD_LOOP \
+  _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define IDLERED_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define IDLERED_SIMD_LOOP
+#endif
+
+namespace idlered::sim::batch {
+
+namespace {
+
+// The one reduction-order implementation every kernel shares: lane l of
+// the accumulator array carries the elements with index ≡ l (mod kLanes);
+// the pairwise combine at the end is the documented fixed order. `f` must
+// be a pure per-element cost function.
+template <typename F>
+double lane_reduce(std::span<const double> y, F f) {
+  double acc[kLanes] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const std::size_t n = y.size();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    IDLERED_SIMD_LOOP
+    for (std::size_t l = 0; l < kLanes; ++l) acc[l] += f(y[i + l]);
+  }
+  for (; i < n; ++i) acc[i % kLanes] += f(y[i]);
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+}  // namespace
+
+void validate_stops(std::span<const double> y, const char* where) {
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (!std::isfinite(y[i]) || y[i] < 0.0)
+      throw std::invalid_argument(
+          std::string(where) + ": stop length at index " + std::to_string(i) +
+          " must be finite and >= 0");
+  }
+}
+
+double offline_sum(std::span<const double> y, double break_even) {
+  const double b = break_even;
+  return lane_reduce(y, [b](double v) { return v < b ? v : b; });
+}
+
+double threshold_online_sum(std::span<const double> y, double threshold,
+                            double break_even) {
+  const double x = threshold;
+  const double restart = x + break_even;  // +inf for NEV: never selected
+  return lane_reduce(y, [x, restart](double v) { return v < x ? v : restart; });
+}
+
+double nrand_online_sum(std::span<const double> y, double break_even) {
+  // Equalizer: per-element cost is exactly e/(e-1) * offline_cost(y, B),
+  // the same expression NRandPolicy::expected_cost evaluates.
+  const double b = break_even;
+  return lane_reduce(y, [b](double v) {
+    return util::kEOverEMinus1 * (v < b ? v : b);
+  });
+}
+
+double momrand_online_sum(std::span<const double> y, double break_even) {
+  // Mirrors MomRandPolicy::expected_cost term-for-term so each element is
+  // bit-identical to the scalar path; only the reduction order differs.
+  const double b = break_even;
+  const double tail = b * (util::kE - 1.5) / (util::kE - 2.0);
+  const double denom = b * (util::kE - 2.0);
+  return lane_reduce(y, [b, tail, denom](double v) {
+    return v <= b ? v * (0.5 * v - 2.0 * b + b * util::kE) / denom : tail;
+  });
+}
+
+double generic_online_sum(const core::Policy& policy,
+                          std::span<const double> y) {
+  return lane_reduce(y, [&policy](double v) { return policy.expected_cost(v); });
+}
+
+bool expected_online_sum(const core::Policy& policy,
+                         std::span<const double> y, double* online) {
+  const double b = policy.break_even();
+  if (const auto* t = dynamic_cast<const core::ThresholdPolicy*>(&policy)) {
+    *online = threshold_online_sum(y, t->threshold(), b);
+    return true;
+  }
+  if (dynamic_cast<const core::NRandPolicy*>(&policy) != nullptr) {
+    *online = nrand_online_sum(y, b);
+    return true;
+  }
+  if (const auto* m = dynamic_cast<const core::MomRandPolicy*>(&policy)) {
+    *online = m->revised() ? momrand_online_sum(y, b) : nrand_online_sum(y, b);
+    return true;
+  }
+  if (const auto* p = dynamic_cast<const core::ProposedPolicy*>(&policy)) {
+    // COA behaves as its selected vertex; route to that vertex's kernel
+    // (the delegate policy's expected_cost is what the scalar path calls).
+    switch (p->choice().strategy) {
+      case core::Strategy::kToi:
+        *online = threshold_online_sum(y, 0.0, b);
+        return true;
+      case core::Strategy::kDet:
+        *online = threshold_online_sum(y, b, b);
+        return true;
+      case core::Strategy::kBDet:
+        *online = threshold_online_sum(y, p->choice().b, b);
+        return true;
+      case core::Strategy::kNRand:
+        *online = nrand_online_sum(y, b);
+        return true;
+    }
+  }
+  return false;
+}
+
+double sampled_online_sum(const core::Policy& policy,
+                          std::span<const double> y, double break_even,
+                          util::Rng& rng) {
+  // Threshold draws are inherently sequential (one RNG stream), so the
+  // kernel runs in blocks: fill a threshold buffer serially — the exact
+  // draw order of the scalar evaluator — then accumulate the costs in a
+  // vector loop. kBlock is a multiple of kLanes so the lane assignment
+  // i mod kLanes survives the blocking.
+  constexpr std::size_t kBlock = 1024;
+  static_assert(kBlock % kLanes == 0);
+  double xs[kBlock];
+  double acc[kLanes] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const double b = break_even;
+  const std::size_t n = y.size();
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t m = n - base < kBlock ? n - base : kBlock;
+    for (std::size_t j = 0; j < m; ++j)
+      xs[j] = policy.sample_threshold(rng);
+    std::size_t j = 0;
+    for (; j + kLanes <= m; j += kLanes) {
+      IDLERED_SIMD_LOOP
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const double v = y[base + j + l];
+        const double x = xs[j + l];
+        acc[l] += v < x ? v : x + b;
+      }
+    }
+    for (; j < m; ++j) {
+      const double v = y[base + j];
+      const double x = xs[j];
+      acc[j % kLanes] += v < x ? v : x + b;
+    }
+  }
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+}  // namespace idlered::sim::batch

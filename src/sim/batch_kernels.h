@@ -1,0 +1,84 @@
+// Batched, SIMD-friendly evaluation kernels for the paper's strategy
+// lineup: expected-cost and sampled-cost accumulation over a whole stop
+// array per call, replacing the scalar evaluator's one-virtual-call-per-
+// stop hot loop. Every closed-form policy of the reproduction — the
+// threshold family (TOI / DET / b-DET / NEV), N-Rand, revised MOM-Rand,
+// and COA (which delegates to one of those vertices) — has a dedicated
+// kernel whose per-element arithmetic is bit-identical to the policy's
+// expected_cost; policies outside the closed-form set fall back to a
+// batched loop over Policy::expected_cost that still uses the batch
+// reduction order.
+//
+// Reduction order (the batch determinism contract, DESIGN.md §10):
+// element i accumulates into lane (i mod kLanes); after the sweep the
+// kLanes partial sums combine pairwise in fixed order
+//     ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+// This order is a pure function of the element index, so batch totals are
+// bit-identical regardless of vector width, thread count, or schedule —
+// and differ from the scalar evaluator's sequential sum only by summation-
+// order rounding. The documented cross-kernel tolerance is
+//     |batch - scalar| <= 8 * n * eps * scalar      (eps = DBL_EPSILON),
+// pinned by tests/property/test_batch_vs_scalar.cpp; in practice the gap
+// is a few ulps.
+//
+// The lane loops are written as kLanes independent accumulation chains so
+// the compiler can map them onto one vector register at -O3 without any
+// reduction-reassociation license (no -ffast-math anywhere in this repo).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/policy.h"
+
+namespace idlered::sim::batch {
+
+/// Lane count of the documented reduction order. 8 doubles = one AVX-512
+/// register or two AVX2 registers; the order is fixed regardless of what
+/// the hardware actually vectorizes.
+inline constexpr std::size_t kLanes = 8;
+
+/// Throws std::invalid_argument on any stop that is not finite and >= 0.
+/// StopBatch construction runs this once; raw-span entry points run it per
+/// call (still one predictable pass, not interleaved with the kernels).
+void validate_stops(std::span<const double> y, const char* where);
+
+/// sum_i min(y_i, B): the offline total (eq. 5 denominator).
+double offline_sum(std::span<const double> y, double break_even);
+
+/// Threshold-policy online total: sum_i (y_i < x ? y_i : x + B).
+/// x = 0 is TOI, x = B is DET, x in (0,B) is b-DET; x = +inf (NEV) needs
+/// no special case — y_i < inf selects y_i in every lane.
+double threshold_online_sum(std::span<const double> y, double threshold,
+                            double break_even);
+
+/// N-Rand online total: e/(e-1) * sum_i min(y_i, B) (equalizer property).
+double nrand_online_sum(std::span<const double> y, double break_even);
+
+/// Revised MOM-Rand online total (density (e^{x/B}-1)/(B(e-2))):
+/// sum_i [ y <= B : y(y/2 - 2B + Be)/(B(e-2)) ; y > B : B(e-3/2)/(e-2) ].
+/// Callers must check MomRandPolicy::revised() and use nrand_online_sum
+/// for the fallback regime.
+double momrand_online_sum(std::span<const double> y, double break_even);
+
+/// Batched fallback for policies without a closed-form kernel: one virtual
+/// expected_cost call per stop, accumulated in the batch reduction order.
+double generic_online_sum(const core::Policy& policy,
+                          std::span<const double> y);
+
+/// Closed-form dispatch: recognizes ThresholdPolicy, NRandPolicy,
+/// MomRandPolicy and ProposedPolicy (via its selected vertex) and runs the
+/// matching kernel. Returns false — leaving *online untouched — for
+/// anything else; the caller then uses generic_online_sum.
+bool expected_online_sum(const core::Policy& policy,
+                         std::span<const double> y, double* online);
+
+/// Sampled-mode online total: draws one threshold per stop from `rng` in
+/// stop order (the same draw sequence as the scalar evaluator, so a given
+/// seed produces identical thresholds under either kernel), then
+/// accumulates cost_online(x_i, y_i) in the batch reduction order.
+double sampled_online_sum(const core::Policy& policy,
+                          std::span<const double> y, double break_even,
+                          util::Rng& rng);
+
+}  // namespace idlered::sim::batch

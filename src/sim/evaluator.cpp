@@ -7,6 +7,7 @@
 
 #include "core/costs.h"
 #include "obs/obs.h"
+#include "sim/batch_kernels.h"
 #include "util/contracts.h"
 
 namespace idlered::sim {
@@ -46,6 +47,43 @@ void require_finite_stop(double y, const char* where) {
 
 }  // namespace
 
+namespace {
+
+// Shared batch-kernel body: the span overload hands in a freshly computed
+// offline total, the StopBatch overload a memoized one. Stops are already
+// validated on both routes.
+CostTotals evaluate_batch(const core::Policy& policy,
+                          std::span<const double> y, double offline,
+                          const EvalOptions& options) {
+  IDLERED_SPAN("sim.evaluate.batch");
+  CostTotals totals;
+  totals.num_stops = y.size();
+  totals.offline = offline;
+  if (options.mode == EvalMode::kExpected) {
+    if (!batch::expected_online_sum(policy, y, &totals.online)) {
+      IDLERED_COUNT("sim.evaluate.batch_generic_fallback");
+      totals.online = batch::generic_online_sum(policy, y);
+    }
+  } else {
+    totals.online = batch::sampled_online_sum(policy, y,
+                                              policy.break_even(),
+                                              *options.rng);
+  }
+  return totals;
+}
+
+// Shared option contracts of every evaluate() overload.
+void require_valid_options(const EvalOptions& options) {
+  IDLERED_EXPECTS(options.mode != EvalMode::kSampled ||
+                      options.rng != nullptr,
+                  "evaluate: sampled mode needs an rng");
+  IDLERED_EXPECTS(options.kernel != EvalKernel::kBatch ||
+                      !options.trace_stops,
+                  "evaluate: per-stop tracing requires the scalar kernel");
+}
+
+}  // namespace
+
 double CostTotals::cr() const {
   if (num_stops == 0) return 1.0;
   if (offline <= 0.0) {
@@ -56,9 +94,7 @@ double CostTotals::cr() const {
 
 CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
                     const EvalOptions& options) {
-  IDLERED_EXPECTS(options.mode != EvalMode::kSampled ||
-                      options.rng != nullptr,
-                  "evaluate: sampled mode needs an rng");
+  require_valid_options(options);
 
   // Two separate macro sites: the static handle inside IDLERED_COUNT binds
   // to one name forever, so a ternary name would mis-count.
@@ -71,6 +107,15 @@ CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
   IDLERED_HIST("sim.evaluate.stops_per_call",
                ({1.0, 10.0, 100.0, 1000.0, 10000.0}),
                static_cast<double>(stops.size()));
+
+  if (options.kernel == EvalKernel::kBatch) {
+    IDLERED_COUNT("sim.evaluate.batch_calls");
+    batch::validate_stops(stops, "evaluate");
+    return evaluate_batch(policy, stops,
+                          batch::offline_sum(stops, policy.break_even()),
+                          options);
+  }
+
   const bool trace_stops = options.trace_stops && obs::enabled();
 
   CostTotals totals;
@@ -103,6 +148,19 @@ CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
     }
   }
   return totals;
+}
+
+CostTotals evaluate(const core::Policy& policy, const StopBatch& stops,
+                    const EvalOptions& options) {
+  IDLERED_EXPECTS(options.mode != EvalMode::kSampled ||
+                      options.rng != nullptr,
+                  "evaluate: sampled mode needs an rng");
+  IDLERED_EXPECTS(!options.trace_stops,
+                  "evaluate: per-stop tracing requires the scalar kernel");
+  IDLERED_COUNT("sim.evaluate.batch_calls");
+  IDLERED_COUNT_ADD("sim.evaluate.stops", stops.size());
+  return evaluate_batch(policy, stops.lengths(),
+                        stops.offline_total(policy.break_even()), options);
 }
 
 CostTotals evaluate_expected(const core::Policy& policy,

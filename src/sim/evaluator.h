@@ -17,12 +17,25 @@
 // legacy evaluate_expected / evaluate_sampled / offline_cost_total trio is
 // kept as thin deprecated wrappers (see the deprecation notes below and in
 // README.md) so existing call sites keep compiling.
+//
+// Kernels (EvalOptions::kernel):
+//  * scalar — the historical per-stop loop: one virtual expected_cost (or
+//    threshold draw) per stop, sequential left-to-right accumulation. The
+//    reference semantics every other path is tested against.
+//  * batch  — the SIMD kernels of sim/batch_kernels.h: per-element costs
+//    bit-identical to scalar, accumulated in the documented lane reduction
+//    order. Totals differ from scalar only by summation-order rounding
+//    (tested ULP bound, see batch_kernels.h); batch totals themselves are
+//    bit-stable across runs, thread counts and vector widths. Per-stop
+//    tracing (trace_stops) is a scalar-kernel feature; requesting it with
+//    the batch kernel is a contract violation.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "core/policy.h"
+#include "sim/stop_batch.h"
 
 namespace idlered::sim {
 
@@ -42,6 +55,11 @@ enum class EvalMode {
   kSampled,   ///< one threshold draw per stop (needs EvalOptions::rng)
 };
 
+enum class EvalKernel {
+  kScalar,  ///< per-stop loop, sequential accumulation (reference)
+  kBatch,   ///< SIMD lane kernels, documented bit-stable reduction order
+};
+
 struct EvalOptions {
   EvalMode mode = EvalMode::kExpected;
   /// RNG for sampled mode; not owned, must be non-null iff mode == kSampled
@@ -51,14 +69,25 @@ struct EvalOptions {
   /// length, drawn threshold, online/offline cost). Only takes effect while
   /// the obs recorder is enabled — and even then it is opt-in per call
   /// because a fleet sweep evaluates millions of stops. Never perturbs the
-  /// RNG stream or the returned totals.
+  /// RNG stream or the returned totals. Scalar kernel only: combining it
+  /// with kernel == kBatch is a contract violation (IDLERED_EXPECTS).
   bool trace_stops = false;
+  /// Which accumulation kernel runs the stop loop (see the header comment).
+  EvalKernel kernel = EvalKernel::kScalar;
 };
 
 /// Accumulate online and offline costs of `policy` over a stop sequence.
 /// The one evaluator entry point: expected or sampled is an option, and the
 /// offline totals (the denominator of eq. 5) always ride along.
 CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
+                    const EvalOptions& options = {});
+
+/// Batch-kernel evaluation over a prevalidated StopBatch: skips per-call
+/// stop validation and reuses the batch's memoized per-B offline totals —
+/// the fast path for a strategy lineup sharing one (vehicle, B) cell.
+/// Always runs the batch kernels; options.kernel is ignored, the other
+/// options (mode / rng / trace_stops contract) behave as above.
+CostTotals evaluate(const core::Policy& policy, const StopBatch& stops,
                     const EvalOptions& options = {});
 
 /// Deprecated: use evaluate(policy, stops) — expected is the default mode.

@@ -1,0 +1,30 @@
+#include "sim/stop_batch.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/batch_kernels.h"
+
+namespace idlered::sim {
+
+StopBatch::StopBatch(std::span<const double> stops)
+    : y_(stops.begin(), stops.end()) {
+  batch::validate_stops(y_, "StopBatch");
+}
+
+double StopBatch::offline_total(double break_even) const {
+  if (!(break_even > 0.0) || !std::isfinite(break_even))
+    throw std::invalid_argument(
+        "StopBatch::offline_total: break_even must be finite and > 0");
+  {
+    std::lock_guard<std::mutex> lock(memo_m_);
+    const auto it = memo_.find(break_even);
+    if (it != memo_.end()) return it->second;
+  }
+  const double total = batch::offline_sum(y_, break_even);
+  std::lock_guard<std::mutex> lock(memo_m_);
+  memo_.emplace(break_even, total);
+  return total;
+}
+
+}  // namespace idlered::sim

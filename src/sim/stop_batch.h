@@ -1,0 +1,49 @@
+// Structure-of-arrays batch of stop lengths — the input format of the
+// batched evaluation kernels (sim/batch_kernels.h).
+//
+// A StopBatch is a validated, contiguous copy of a vehicle's stop lengths:
+// construction rejects NaN/Inf/negative values once, so the kernels can run
+// branch-light vector loops with no per-element hostile-input checks (the
+// scalar evaluator re-validates every stop on every call). On top of the
+// lengths it memoizes the per-break-even *offline* cost total — the
+// denominator of eq. 5, shared by every strategy evaluated on the same
+// (vehicle, B) cell — in the batch reduction order, so a six-strategy
+// lineup pays for it once instead of six times.
+//
+// Thread-safety: the memo is mutex-guarded like engine::VehicleCache's
+// statistics memo; a StopBatch is immutable after construction and safe to
+// share across evaluation threads.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace idlered::sim {
+
+class StopBatch {
+ public:
+  StopBatch() = default;
+
+  /// Copies and validates: throws std::invalid_argument on any stop length
+  /// that is not finite and >= 0.
+  explicit StopBatch(std::span<const double> stops);
+
+  std::span<const double> lengths() const { return y_; }
+  std::size_t size() const { return y_.size(); }
+  bool empty() const { return y_.empty(); }
+
+  /// sum_i offline_cost(y_i, B) = sum_i min(y_i, B) in the batch reduction
+  /// order (batch_kernels.h documents it). Memoized per distinct B;
+  /// thread-safe. Throws std::invalid_argument unless break_even is finite
+  /// and > 0.
+  double offline_total(double break_even) const;
+
+ private:
+  std::vector<double> y_;
+  mutable std::mutex memo_m_;
+  mutable std::map<double, double> memo_;
+};
+
+}  // namespace idlered::sim

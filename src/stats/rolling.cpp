@@ -1,0 +1,88 @@
+#include "stats/rolling.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/contracts.h"
+
+namespace idlered::stats {
+
+namespace {
+
+void require_valid_stop(double stop_length, const char* who) {
+  if (!std::isfinite(stop_length) || stop_length < 0.0)
+    throw std::invalid_argument(std::string(who) +
+                                ": stop length must be finite and >= 0");
+}
+
+}  // namespace
+
+ShortStopAccumulator::ShortStopAccumulator(double break_even)
+    : break_even_(break_even) {
+  if (!(break_even > 0.0) || !std::isfinite(break_even))
+    throw std::invalid_argument(
+        "ShortStopAccumulator: break-even must be finite and > 0");
+}
+
+void ShortStopAccumulator::insert(double stop_length) {
+  require_valid_stop(stop_length, "ShortStopAccumulator::insert");
+  ++n_;
+  if (stop_length >= break_even_) {
+    ++long_count_;
+  } else {
+    short_sum_ += stop_length;
+  }
+}
+
+void ShortStopAccumulator::evict(double stop_length) {
+  require_valid_stop(stop_length, "ShortStopAccumulator::evict");
+  IDLERED_EXPECTS(n_ > 0, "ShortStopAccumulator::evict: empty accumulator");
+  if (stop_length >= break_even_) {
+    IDLERED_EXPECTS(long_count_ > 0,
+                    "ShortStopAccumulator::evict: no long stop to evict");
+    --long_count_;
+  } else {
+    short_sum_ -= stop_length;
+    // Exact cancellation of the inserted values keeps the sum >= 0 up to
+    // rounding; a large negative residual means the caller evicted a value
+    // it never inserted.
+    IDLERED_ASSERT_INVARIANT(
+        short_sum_ >= -1e-9 * break_even_ * static_cast<double>(n_),
+        "ShortStopAccumulator::evict: short-stop sum went negative");
+    if (short_sum_ < 0.0) short_sum_ = 0.0;  // scrub rounding residue
+  }
+  --n_;
+  if (n_ == 0) short_sum_ = 0.0;  // exact reset at the empty state
+}
+
+dist::ShortStopStats ShortStopAccumulator::stats() const {
+  IDLERED_EXPECTS(n_ > 0, "ShortStopAccumulator::stats: no observations");
+  dist::ShortStopStats s;
+  s.mu_b_minus = short_sum_ / static_cast<double>(n_);
+  s.q_b_plus = static_cast<double>(long_count_) / static_cast<double>(n_);
+  IDLERED_ENSURES(s.q_b_plus >= 0.0 && s.q_b_plus <= 1.0,
+                  "ShortStopAccumulator: q_B_plus must lie in [0, 1]");
+  IDLERED_ENSURES(s.mu_b_minus >= 0.0 && s.mu_b_minus <= break_even_,
+                  "ShortStopAccumulator: mu_B_minus must lie in [0, B]");
+  return s;
+}
+
+SlidingShortStopWindow::SlidingShortStopWindow(double break_even,
+                                               std::size_t capacity)
+    : acc_(break_even) {
+  if (capacity == 0)
+    throw std::invalid_argument(
+        "SlidingShortStopWindow: capacity must be >= 1");
+  ring_.resize(capacity);
+}
+
+void SlidingShortStopWindow::push(double stop_length) {
+  require_valid_stop(stop_length, "SlidingShortStopWindow::push");
+  if (full()) acc_.evict(ring_[head_]);
+  acc_.insert(stop_length);
+  ring_[head_] = stop_length;
+  head_ = (head_ + 1) % ring_.size();
+}
+
+}  // namespace idlered::stats

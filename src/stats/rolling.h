@@ -1,0 +1,89 @@
+// Incremental and sliding-window accumulators for the constrained
+// ski-rental side statistics (mu_B_minus, q_B_plus).
+//
+// dist::ShortStopStats::from_sample recomputes the pair from scratch in
+// O(n); a controller that re-estimates after every stop, or a fleet sweep
+// that maintains per-vehicle statistics across cells, pays that n again and
+// again. The accumulators here maintain the three sufficient statistics
+// (count, sum of short-stop lengths, long-stop count) under O(1) insert and
+// evict, so any window discipline — full history, fixed-size sliding
+// window, or arbitrary insert/evict sequences — stays O(1) per stop.
+//
+// Numerics: the long-stop count and total count are integers, hence exact.
+// The short-stop sum is a running double; an evict subtracts the exact
+// value that was inserted, so the sum matches a from-scratch recomputation
+// up to summation-order rounding (a few ulps per operation; the property
+// suite tests/property/test_incremental_stats.cpp pins the tolerance).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+// Included for the dist::ShortStopStats aggregate only (header-level use;
+// the stats library does not link against idlered_dist).
+#include "dist/distribution.h"
+
+namespace idlered::stats {
+
+/// O(1) insert/evict accumulator of (mu_B_minus, q_B_plus) at a fixed
+/// break-even. The caller owns the multiset discipline: evict(y) must only
+/// be called with a value previously inserted and not yet evicted.
+class ShortStopAccumulator {
+ public:
+  /// Throws std::invalid_argument unless break_even is finite and > 0.
+  explicit ShortStopAccumulator(double break_even);
+
+  /// Folds one stop in; throws std::invalid_argument unless stop_length is
+  /// finite and >= 0.
+  void insert(double stop_length);
+
+  /// Removes one previously inserted stop. Contract (IDLERED_EXPECTS):
+  /// the accumulator must be non-empty, and when the evicted value is a
+  /// long stop the long-stop count must be non-zero — evicting a value
+  /// that was never inserted corrupts the statistics silently otherwise.
+  void evict(double stop_length);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double break_even() const { return break_even_; }
+
+  /// Current (mu_B_minus, q_B_plus); contract-checked non-empty, and the
+  /// result is clamped-checked into the feasible ranges q in [0, 1],
+  /// mu in [0, B] like the estimators in core/.
+  dist::ShortStopStats stats() const;
+
+ private:
+  double break_even_;
+  std::size_t n_ = 0;
+  double short_sum_ = 0.0;
+  std::size_t long_count_ = 0;
+};
+
+/// Fixed-capacity sliding window over the most recent stops: push(y)
+/// inserts y and, once the window is full, evicts the oldest stop — the
+/// windowed analogue of core::DecayingStatsEstimator with a hard cutoff
+/// instead of exponential forgetting. O(1) per push via a ring buffer.
+class SlidingShortStopWindow {
+ public:
+  /// Throws std::invalid_argument unless capacity >= 1 and break_even is
+  /// finite and > 0.
+  SlidingShortStopWindow(double break_even, std::size_t capacity);
+
+  /// Insert one stop, evicting the oldest if the window is at capacity.
+  void push(double stop_length);
+
+  std::size_t size() const { return acc_.count(); }
+  std::size_t capacity() const { return ring_.size(); }
+  bool full() const { return acc_.count() == ring_.size(); }
+  double break_even() const { return acc_.break_even(); }
+
+  /// Statistics over the current window contents (contract: non-empty).
+  dist::ShortStopStats stats() const { return acc_.stats(); }
+
+ private:
+  ShortStopAccumulator acc_;
+  std::vector<double> ring_;
+  std::size_t head_ = 0;  ///< next write position
+};
+
+}  // namespace idlered::stats

@@ -1,0 +1,255 @@
+// Property suite: the batch kernels agree with the scalar evaluator within
+// the documented summation-order bound, on every policy of the lineup and
+// across awkward sizes (empty, sub-lane, lane-straddling, block-straddling).
+//
+// The bound under test is the one sim/batch_kernels.h documents:
+//     |batch - scalar| <= 8 * n * eps * |scalar|     (eps = DBL_EPSILON)
+// Per-element costs are bit-identical between the kernels; only the
+// accumulation order differs, so the gap is pure reassociation rounding.
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "sim/batch_kernels.h"
+#include "sim/evaluator.h"
+#include "sim/stop_batch.h"
+#include "util/random.h"
+
+namespace idlered::sim {
+namespace {
+
+constexpr double kB = 28.0;
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+/// The documented cross-kernel tolerance for an n-element total.
+double ulp_bound(std::size_t n, double reference) {
+  return 8.0 * static_cast<double>(n) * kEps * std::fabs(reference);
+}
+
+std::vector<double> random_stops(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> stops(n);
+  for (double& y : stops) y = rng.uniform(0.0, 4.0 * kB);
+  return stops;
+}
+
+dist::ShortStopStats stats_point(double mu, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu;
+  s.q_b_plus = q;
+  return s;
+}
+
+/// The full policy lineup the kernels claim to cover, plus the generic
+/// fallback path (a policy with no closed-form kernel).
+std::vector<core::PolicyPtr> policy_lineup() {
+  std::vector<core::PolicyPtr> ps;
+  ps.push_back(core::make_toi(kB));
+  ps.push_back(core::make_det(kB));
+  ps.push_back(core::make_nev(kB));
+  ps.push_back(core::make_b_det(kB, 0.4 * kB));
+  ps.push_back(core::make_n_rand(kB));
+  ps.push_back(core::make_mom_rand(kB, 0.3 * kB));  // revised density
+  ps.push_back(core::make_mom_rand(kB, 0.9 * kB));  // N-Rand fallback regime
+  ps.push_back(std::make_unique<core::ProposedPolicy>(
+      kB, stats_point(0.2 * kB, 0.3)));
+  return ps;
+}
+
+void expect_within_ulp_bound(const CostTotals& scalar,
+                             const CostTotals& batch, std::size_t n,
+                             const std::string& label) {
+  EXPECT_EQ(scalar.num_stops, batch.num_stops) << label;
+  EXPECT_NEAR(batch.online, scalar.online, ulp_bound(n, scalar.online))
+      << label;
+  EXPECT_NEAR(batch.offline, scalar.offline, ulp_bound(n, scalar.offline))
+      << label;
+}
+
+TEST(BatchVsScalarProperty, ExpectedModeAgreesAcrossSizesAndPolicies) {
+  const auto lineup = policy_lineup();
+  // Sizes chosen to straddle the lane width (8) and catch tail handling.
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                        std::size_t{8}, std::size_t{9}, std::size_t{63},
+                        std::size_t{64}, std::size_t{65}, std::size_t{1000},
+                        std::size_t{4097}}) {
+    const auto stops = random_stops(n, 100 + n);
+    for (const auto& p : lineup) {
+      EvalOptions scalar_opts;
+      EvalOptions batch_opts;
+      batch_opts.kernel = EvalKernel::kBatch;
+      const auto s = evaluate(*p, stops, scalar_opts);
+      const auto b = evaluate(*p, stops, batch_opts);
+      expect_within_ulp_bound(s, b, n,
+                              p->name() + " n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST(BatchVsScalarProperty, SampledModeAgreesWithSameSeed) {
+  const auto lineup = policy_lineup();
+  for (std::size_t n : {std::size_t{9}, std::size_t{256}, std::size_t{1023},
+                        std::size_t{1024}, std::size_t{1025},
+                        std::size_t{2065}}) {
+    const auto stops = random_stops(n, 200 + n);
+    for (const auto& p : lineup) {
+      util::Rng rng_scalar(42);
+      util::Rng rng_batch(42);
+      EvalOptions so{EvalMode::kSampled, &rng_scalar};
+      EvalOptions bo{EvalMode::kSampled, &rng_batch};
+      bo.kernel = EvalKernel::kBatch;
+      const auto s = evaluate(*p, stops, so);
+      const auto b = evaluate(*p, stops, bo);
+      expect_within_ulp_bound(s, b, n,
+                              p->name() + " sampled n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST(BatchVsScalarProperty, SampledModeConsumesIdenticalDrawSequence) {
+  // The batch kernel draws thresholds serially in stop order — the exact
+  // sequence the scalar loop draws — so after evaluation both RNGs must sit
+  // at the same stream position.
+  const auto stops = random_stops(777, 7);
+  const auto p = core::make_n_rand(kB);
+  util::Rng rng_scalar(9001);
+  util::Rng rng_batch(9001);
+  EvalOptions so{EvalMode::kSampled, &rng_scalar};
+  EvalOptions bo{EvalMode::kSampled, &rng_batch};
+  bo.kernel = EvalKernel::kBatch;
+  evaluate(*p, stops, so);
+  evaluate(*p, stops, bo);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(rng_scalar.uniform(), rng_batch.uniform()) << "draw " << i;
+}
+
+TEST(BatchVsScalarProperty, BatchTotalsAreBitStableAcrossRepeats) {
+  const auto stops = random_stops(4097, 3);
+  for (const auto& p : policy_lineup()) {
+    EvalOptions opts;
+    opts.kernel = EvalKernel::kBatch;
+    const auto a = evaluate(*p, stops, opts);
+    const auto b = evaluate(*p, stops, opts);
+    EXPECT_EQ(a, b) << p->name();  // bitwise: CostTotals operator==
+  }
+}
+
+TEST(BatchVsScalarProperty, StopBatchOverloadIsBitIdenticalToSpanBatch) {
+  const auto stops = random_stops(513, 11);
+  const StopBatch batch(stops);
+  for (const auto& p : policy_lineup()) {
+    EvalOptions opts;
+    opts.kernel = EvalKernel::kBatch;
+    const auto via_span = evaluate(*p, stops, opts);
+    const auto via_batch = evaluate(*p, batch, opts);
+    EXPECT_EQ(via_span, via_batch) << p->name();
+  }
+}
+
+TEST(BatchVsScalarProperty, OfflineSumMatchesScalarWithinBound) {
+  for (std::size_t n :
+       {std::size_t{1}, std::size_t{17}, std::size_t{4096}}) {
+    const auto stops = random_stops(n, 31 + n);
+    double scalar = 0.0;
+    for (double y : stops) scalar += std::min(y, kB);
+    const double batch = batch::offline_sum(stops, kB);
+    EXPECT_NEAR(batch, scalar, ulp_bound(n, scalar)) << "n=" << n;
+  }
+}
+
+TEST(BatchVsScalarProperty, GenericFallbackCoversNonClosedFormPolicies) {
+  // GenericRandomizedPolicy has no closed-form kernel: the batch path must
+  // fall back to generic_online_sum and still agree with scalar.
+  const core::NRandPolicy reference(kB);
+  core::GenericRandomizedPolicy p(
+      kB, [&](double x) { return reference.pdf(x); }, "generic-nrand");
+  const auto stops = random_stops(300, 13);
+  EvalOptions opts;
+  opts.kernel = EvalKernel::kBatch;
+  const auto s = evaluate(p, stops);
+  const auto b = evaluate(p, stops, opts);
+  // Quadrature costs are identical per element; only summation differs —
+  // but quadrature noise dwarfs ulp, so allow a proportionally loose bound.
+  EXPECT_NEAR(b.online, s.online, 1e-9 * s.online);
+}
+
+TEST(BatchVsScalarProperty, CoaDispatchCoversEveryVertex) {
+  // Sweep (mu, q) until COA has selected each of the four vertices at
+  // least once, checking batch-vs-scalar agreement at every point. This
+  // pins the ProposedPolicy vertex dispatch inside the batch kernel.
+  const auto stops = random_stops(512, 17);
+  bool seen[4] = {false, false, false, false};
+  for (double mu_frac : {0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    for (double q : {0.01, 0.05, 0.1, 0.3, 0.6, 0.9}) {
+      const auto s = stats_point(mu_frac * kB, q);
+      if (!s.feasible(kB)) continue;
+      const core::ProposedPolicy p(kB, s);
+      seen[static_cast<int>(p.choice().strategy)] = true;
+      EvalOptions opts;
+      opts.kernel = EvalKernel::kBatch;
+      const auto sc = evaluate(p, stops);
+      const auto ba = evaluate(p, stops, opts);
+      expect_within_ulp_bound(sc, ba, stops.size(),
+                              "COA(" + core::to_string(p.choice().strategy) +
+                                  ") mu=" + std::to_string(mu_frac) +
+                                  " q=" + std::to_string(q));
+    }
+  }
+  EXPECT_TRUE(seen[static_cast<int>(core::Strategy::kToi)]);
+  EXPECT_TRUE(seen[static_cast<int>(core::Strategy::kDet)]);
+  EXPECT_TRUE(seen[static_cast<int>(core::Strategy::kBDet)]);
+  EXPECT_TRUE(seen[static_cast<int>(core::Strategy::kNRand)]);
+}
+
+TEST(BatchVsScalarProperty, NevThresholdNeedsNoSpecialLane) {
+  // NEV is threshold = +inf: every lane select picks y. The batch total
+  // must equal the plain sum of stop lengths within the bound.
+  const auto stops = random_stops(1000, 23);
+  double plain = 0.0;
+  for (double y : stops) plain += y;
+  const double batch = batch::threshold_online_sum(
+      stops, std::numeric_limits<double>::infinity(), kB);
+  EXPECT_NEAR(batch, plain, ulp_bound(stops.size(), plain));
+}
+
+TEST(BatchVsScalarProperty, MomRandKernelRespectsFallbackRegime) {
+  // Above the activation threshold MOM-Rand *is* N-Rand; the dispatcher
+  // must route to the N-Rand kernel, not the revised-density kernel.
+  const core::MomRandPolicy p(kB,
+                              core::MomRandPolicy::mu_threshold(kB) + 1.0);
+  ASSERT_FALSE(p.revised());
+  const auto stops = random_stops(333, 29);
+  EvalOptions opts;
+  opts.kernel = EvalKernel::kBatch;
+  const auto s = evaluate(p, stops);
+  const auto b = evaluate(p, stops, opts);
+  expect_within_ulp_bound(s, b, stops.size(), "MOM-Rand fallback");
+}
+
+TEST(BatchVsScalarProperty, PerElementCostsAreBitIdenticalToPolicies) {
+  // Stronger than the total bound: a single-element batch has only one
+  // summand, so batch == scalar *bitwise* — the kernels mirror each
+  // policy's expected_cost arithmetic exactly.
+  util::Rng rng(37);
+  for (const auto& p : policy_lineup()) {
+    for (int i = 0; i < 50; ++i) {
+      const std::vector<double> one{rng.uniform(0.0, 4.0 * kB)};
+      EvalOptions opts;
+      opts.kernel = EvalKernel::kBatch;
+      const auto s = evaluate(*p, one);
+      const auto b = evaluate(*p, one, opts);
+      EXPECT_EQ(s.online, b.online) << p->name() << " y=" << one[0];
+      EXPECT_EQ(s.offline, b.offline) << p->name() << " y=" << one[0];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idlered::sim

@@ -1,0 +1,220 @@
+// Property suite: the O(1) incremental accumulators of stats/rolling.h
+// agree with a from-scratch recomputation (dist::ShortStopStats::from_sample)
+// after arbitrary insert/evict sequences — the correctness contract that
+// lets the engine maintain per-vehicle statistics incrementally instead of
+// re-scanning the trace.
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "dist/distribution.h"
+#include "stats/rolling.h"
+#include "util/random.h"
+
+namespace idlered::stats {
+namespace {
+
+constexpr double kB = 28.0;
+
+// The accumulator's documented numeric drift: the short-stop sum is a
+// running double, so it can differ from a fresh left-to-right sum by a few
+// ulps per operation. 1e-9 absolute on mu (values of order B) is orders of
+// magnitude above any observed drift while still catching logic errors.
+constexpr double kDriftTol = 1e-9;
+
+void expect_stats_match(const ShortStopAccumulator& acc,
+                        const std::vector<double>& live, int step) {
+  const auto incremental = acc.stats();
+  const auto scratch = dist::ShortStopStats::from_sample(live, kB);
+  EXPECT_NEAR(incremental.mu_b_minus, scratch.mu_b_minus, kDriftTol)
+      << "step " << step;
+  // q is a ratio of exact integer counts: no drift allowed at all.
+  EXPECT_EQ(incremental.q_b_plus, scratch.q_b_plus) << "step " << step;
+}
+
+TEST(IncrementalStatsProperty, RandomInsertEvictMatchesFromScratch) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    util::Rng rng(seed);
+    ShortStopAccumulator acc(kB);
+    std::vector<double> live;
+    for (int step = 0; step < 3000; ++step) {
+      const bool evict = !live.empty() && rng.uniform() < 0.4;
+      if (evict) {
+        const auto idx =
+            static_cast<std::size_t>(rng.uniform(0.0, 1.0) * live.size());
+        const auto it = live.begin() + std::min(idx, live.size() - 1);
+        acc.evict(*it);
+        live.erase(it);
+      } else {
+        const double y = rng.uniform(0.0, 3.0 * kB);
+        acc.insert(y);
+        live.push_back(y);
+      }
+      EXPECT_EQ(acc.count(), live.size());
+      if (!live.empty() && step % 10 == 0) expect_stats_match(acc, live, step);
+    }
+  }
+}
+
+TEST(IncrementalStatsProperty, DrainToEmptyAndRefill) {
+  util::Rng rng(9);
+  ShortStopAccumulator acc(kB);
+  std::vector<double> live;
+  for (int i = 0; i < 200; ++i) {
+    const double y = rng.uniform(0.0, 2.0 * kB);
+    acc.insert(y);
+    live.push_back(y);
+  }
+  // Evict everything in a scrambled order.
+  while (!live.empty()) {
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform(0.0, 1.0) * live.size());
+    const auto it = live.begin() + std::min(idx, live.size() - 1);
+    acc.evict(*it);
+    live.erase(it);
+  }
+  EXPECT_TRUE(acc.empty());
+  // A drained accumulator must behave like a fresh one.
+  for (int i = 0; i < 50; ++i) {
+    const double y = rng.uniform(0.0, 2.0 * kB);
+    acc.insert(y);
+    live.push_back(y);
+  }
+  expect_stats_match(acc, live, -1);
+}
+
+TEST(IncrementalStatsProperty, IntegerStopLengthsAreExact) {
+  // Integer-valued stops sum exactly in doubles (far below 2^53), so the
+  // incremental mu must equal the from-scratch mu bit-for-bit, whatever
+  // the insert/evict order.
+  util::Rng rng(17);
+  ShortStopAccumulator acc(kB);
+  std::vector<double> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (!live.empty() && rng.uniform() < 0.45) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform(0.0, 1.0) * live.size());
+      const auto it = live.begin() + std::min(idx, live.size() - 1);
+      acc.evict(*it);
+      live.erase(it);
+    } else {
+      const double y = std::floor(rng.uniform(0.0, 80.0));
+      acc.insert(y);
+      live.push_back(y);
+    }
+    if (!live.empty()) {
+      const auto scratch = dist::ShortStopStats::from_sample(live, kB);
+      EXPECT_EQ(acc.stats().mu_b_minus, scratch.mu_b_minus);
+      EXPECT_EQ(acc.stats().q_b_plus, scratch.q_b_plus);
+    }
+  }
+}
+
+TEST(IncrementalStatsProperty, BoundaryStopAtBreakEvenCountsAsLong) {
+  // from_sample counts y >= B as long; the accumulator must use the same
+  // closed boundary or the two drift apart by whole stops.
+  ShortStopAccumulator acc(kB);
+  acc.insert(kB);
+  EXPECT_EQ(acc.stats().q_b_plus, 1.0);
+  EXPECT_EQ(acc.stats().mu_b_minus, 0.0);
+  const auto scratch = dist::ShortStopStats::from_sample({kB}, kB);
+  EXPECT_EQ(acc.stats().q_b_plus, scratch.q_b_plus);
+  acc.evict(kB);  // must be accepted as a long-stop evict
+  EXPECT_TRUE(acc.empty());
+}
+
+TEST(IncrementalStatsProperty, SlidingWindowMatchesNaiveRecompute) {
+  for (std::size_t capacity : {std::size_t{1}, std::size_t{7},
+                               std::size_t{64}, std::size_t{500}}) {
+    util::Rng rng(100 + capacity);
+    SlidingShortStopWindow window(kB, capacity);
+    std::deque<double> naive;
+    for (int step = 0; step < 1500; ++step) {
+      const double y = rng.uniform(0.0, 3.0 * kB);
+      window.push(y);
+      naive.push_back(y);
+      if (naive.size() > capacity) naive.pop_front();
+      ASSERT_EQ(window.size(), naive.size());
+      EXPECT_EQ(window.full(), naive.size() == capacity);
+      const std::vector<double> live(naive.begin(), naive.end());
+      const auto scratch = dist::ShortStopStats::from_sample(live, kB);
+      EXPECT_NEAR(window.stats().mu_b_minus, scratch.mu_b_minus, kDriftTol)
+          << "capacity " << capacity << " step " << step;
+      EXPECT_EQ(window.stats().q_b_plus, scratch.q_b_plus)
+          << "capacity " << capacity << " step " << step;
+    }
+  }
+}
+
+TEST(IncrementalStatsProperty, WindowOfCapacityOneTracksLastStop) {
+  SlidingShortStopWindow window(kB, 1);
+  for (double y : {3.0, 50.0, 0.0, kB, 12.5}) {
+    window.push(y);
+    EXPECT_EQ(window.size(), 1u);
+    const auto s = window.stats();
+    if (y >= kB) {
+      EXPECT_EQ(s.q_b_plus, 1.0);
+      EXPECT_EQ(s.mu_b_minus, 0.0);
+    } else {
+      EXPECT_EQ(s.q_b_plus, 0.0);
+      EXPECT_EQ(s.mu_b_minus, y);
+    }
+  }
+}
+
+TEST(IncrementalStatsProperty, StatsEstimatorFacadeMatchesAccumulator) {
+  // core::StatsEstimator is now a facade over ShortStopAccumulator; the
+  // two must stay in lockstep on identical observation streams.
+  util::Rng rng(23);
+  core::StatsEstimator est(kB);
+  ShortStopAccumulator acc(kB);
+  for (int i = 0; i < 1000; ++i) {
+    const double y = rng.uniform(0.0, 4.0 * kB);
+    est.observe(y);
+    acc.insert(y);
+    EXPECT_EQ(est.stats().mu_b_minus, acc.stats().mu_b_minus);
+    EXPECT_EQ(est.stats().q_b_plus, acc.stats().q_b_plus);
+  }
+}
+
+TEST(IncrementalStatsProperty, StatsAlwaysFeasibleUnderChurn) {
+  // Whatever the churn, the reported pair must stay inside the feasible
+  // region (q in [0, 1], mu in [0, B(1 - q)]) that choose_strategy
+  // requires.
+  util::Rng rng(29);
+  ShortStopAccumulator acc(kB);
+  std::vector<double> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (!live.empty() && rng.uniform() < 0.48) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform(0.0, 1.0) * live.size());
+      const auto it = live.begin() + std::min(idx, live.size() - 1);
+      acc.evict(*it);
+      live.erase(it);
+    } else {
+      // Adversarial mix: values at 0, just below/at B, and huge.
+      const double pick = rng.uniform();
+      const double y = pick < 0.25   ? 0.0
+                       : pick < 0.5  ? kB - 1e-12
+                       : pick < 0.75 ? kB
+                                     : rng.uniform(kB, 50.0 * kB);
+      acc.insert(y);
+      live.push_back(y);
+    }
+    if (!live.empty()) {
+      const auto s = acc.stats();
+      EXPECT_GE(s.q_b_plus, 0.0);
+      EXPECT_LE(s.q_b_plus, 1.0);
+      EXPECT_GE(s.mu_b_minus, 0.0);
+      EXPECT_TRUE(s.feasible(kB)) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idlered::stats

@@ -1,0 +1,230 @@
+// Edge-case and contract tests for the batch evaluation layer: degenerate
+// batches (empty / single / all-short / all-long / q = 0), the documented
+// contract violations (sampled without an RNG, per-stop tracing on the
+// batch kernel, invalid stop values, accumulator misuse), and the b-DET
+// infeasibility boundary. Contract checks run under contracts::ScopedMode
+// so the suite exercises the throw path deterministically.
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "sim/batch_kernels.h"
+#include "sim/evaluator.h"
+#include "sim/stop_batch.h"
+#include "stats/rolling.h"
+#include "util/contracts.h"
+#include "util/random.h"
+
+namespace idlered::sim {
+namespace {
+
+namespace contracts = util::contracts;
+
+constexpr double kB = 28.0;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------------- degenerate batches
+
+TEST(KernelEdgeCase, EmptyStopsAreVacuous) {
+  const std::vector<double> none;
+  for (EvalKernel kernel : {EvalKernel::kScalar, EvalKernel::kBatch}) {
+    EvalOptions opts;
+    opts.kernel = kernel;
+    const auto t = evaluate(*core::make_det(kB), none, opts);
+    EXPECT_EQ(t.online, 0.0);
+    EXPECT_EQ(t.offline, 0.0);
+    EXPECT_EQ(t.num_stops, 0u);
+    EXPECT_EQ(t.cr(), 1.0);
+  }
+  const StopBatch batch(none);
+  EXPECT_TRUE(batch.empty());
+  const auto t = evaluate(*core::make_det(kB), batch);
+  EXPECT_EQ(t.num_stops, 0u);
+  EXPECT_EQ(t.cr(), 1.0);
+}
+
+TEST(KernelEdgeCase, SingleStopMatchesClosedForm) {
+  struct Case {
+    double y;
+    double online;   // DET: y if y < B else 2B
+    double offline;  // min(y, B)
+  };
+  for (const Case& c : {Case{10.0, 10.0, 10.0}, Case{kB, 2.0 * kB, kB},
+                        Case{100.0, 2.0 * kB, kB}}) {
+    EvalOptions opts;
+    opts.kernel = EvalKernel::kBatch;
+    const auto t = evaluate(*core::make_det(kB), {&c.y, 1}, opts);
+    EXPECT_EQ(t.online, c.online) << "y=" << c.y;
+    EXPECT_EQ(t.offline, c.offline) << "y=" << c.y;
+  }
+}
+
+TEST(KernelEdgeCase, ZeroLengthStopsAreFreeForWaiters) {
+  // y = 0: a waiter (threshold > 0) pays nothing, TOI (threshold 0) pays
+  // the full restart B on every stop — the classic TOI pathology.
+  const std::vector<double> zeros(100, 0.0);
+  EvalOptions opts;
+  opts.kernel = EvalKernel::kBatch;
+  EXPECT_EQ(evaluate(*core::make_det(kB), zeros, opts).online, 0.0);
+  EXPECT_EQ(evaluate(*core::make_nev(kB), zeros, opts).online, 0.0);
+  EXPECT_EQ(evaluate(*core::make_toi(kB), zeros, opts).online, 100.0 * kB);
+  EXPECT_EQ(evaluate(*core::make_toi(kB), zeros, opts).offline, 0.0);
+}
+
+TEST(KernelEdgeCase, AllShortTraceHasNoLongCostTerms) {
+  util::Rng rng(5);
+  std::vector<double> stops(400);
+  double sum = 0.0;
+  for (double& y : stops) {
+    y = rng.uniform(0.0, 0.9 * kB);
+    sum += y;
+  }
+  EvalOptions opts;
+  opts.kernel = EvalKernel::kBatch;
+  // DET never restarts on an all-short trace: online == offline == sum(y).
+  const auto det = evaluate(*core::make_det(kB), stops, opts);
+  EXPECT_NEAR(det.online, sum, 1e-9);
+  EXPECT_NEAR(det.offline, sum, 1e-9);
+  EXPECT_NEAR(det.cr(), 1.0, 1e-12);
+}
+
+TEST(KernelEdgeCase, AllLongTraceCostsAreExactMultiples) {
+  const std::vector<double> stops(321, 5.0 * kB);
+  EvalOptions opts;
+  opts.kernel = EvalKernel::kBatch;
+  const auto det = evaluate(*core::make_det(kB), stops, opts);
+  EXPECT_NEAR(det.online, 321.0 * 2.0 * kB, 1e-9);
+  const auto toi = evaluate(*core::make_toi(kB), stops, opts);
+  EXPECT_NEAR(toi.online, 321.0 * kB, 1e-9);
+  EXPECT_NEAR(toi.cr(), 1.0, 1e-12);  // TOI is offline-optimal here
+}
+
+TEST(KernelEdgeCase, QZeroStatsMakeBDetInfeasibleButCoaStillEvaluates) {
+  // q = 0 sends b* = sqrt(mu B / q) to infinity: the b-DET vertex is
+  // infeasible and must never be chosen, but COA itself stays well-defined
+  // and its batch evaluation matches scalar.
+  const dist::ShortStopStats s{0.3 * kB, 0.0};
+  EXPECT_FALSE(core::b_det_feasible(s, kB));
+  EXPECT_EQ(core::worst_case_cost_b_det(s, kB), kInf);
+  const core::ProposedPolicy coa(kB, s);
+  EXPECT_NE(coa.choice().strategy, core::Strategy::kBDet);
+
+  util::Rng rng(3);
+  std::vector<double> stops(200);
+  for (double& y : stops) y = rng.uniform(0.0, 0.9 * kB);
+  EvalOptions opts;
+  opts.kernel = EvalKernel::kBatch;
+  const auto scalar = evaluate(coa, stops);
+  const auto batch = evaluate(coa, stops, opts);
+  EXPECT_NEAR(batch.online, scalar.online, 1e-9);
+}
+
+// ------------------------------------------------------ contract violations
+
+TEST(KernelContract, SampledModeWithoutRngThrowsOnBothKernels) {
+  const std::vector<double> stops{1.0, 2.0};
+  for (EvalKernel kernel : {EvalKernel::kScalar, EvalKernel::kBatch}) {
+    EvalOptions opts;
+    opts.mode = EvalMode::kSampled;
+    opts.kernel = kernel;
+    EXPECT_THROW(evaluate(*core::make_det(kB), stops, opts),
+                 std::invalid_argument);
+  }
+}
+
+TEST(KernelContract, TraceStopsOnBatchKernelIsAContractViolation) {
+  contracts::ScopedMode guard(contracts::Mode::kThrow);
+  const std::vector<double> stops{1.0, 2.0};
+  EvalOptions opts;
+  opts.kernel = EvalKernel::kBatch;
+  opts.trace_stops = true;
+  EXPECT_THROW(evaluate(*core::make_det(kB), stops, opts),
+               std::invalid_argument);
+  const StopBatch batch(stops);
+  EXPECT_THROW(evaluate(*core::make_det(kB), batch, opts),
+               std::invalid_argument);
+  // The scalar kernel accepts the same options.
+  opts.kernel = EvalKernel::kScalar;
+  EXPECT_NO_THROW(evaluate(*core::make_det(kB), stops, opts));
+}
+
+TEST(KernelContract, InvalidStopValuesAreRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const std::vector<double>& bad :
+       {std::vector<double>{1.0, -2.0}, std::vector<double>{nan},
+        std::vector<double>{3.0, kInf}}) {
+    EXPECT_THROW(StopBatch{bad}, std::invalid_argument);
+    EvalOptions opts;
+    opts.kernel = EvalKernel::kBatch;
+    EXPECT_THROW(evaluate(*core::make_det(kB), bad, opts),
+                 std::invalid_argument);
+  }
+}
+
+TEST(KernelContract, StopBatchRejectsInvalidBreakEven) {
+  const StopBatch batch(std::vector<double>{1.0, 2.0});
+  EXPECT_THROW(batch.offline_total(0.0), std::invalid_argument);
+  EXPECT_THROW(batch.offline_total(-1.0), std::invalid_argument);
+  EXPECT_THROW(batch.offline_total(std::nan("")), std::invalid_argument);
+}
+
+TEST(KernelContract, OfflineTotalMemoizationIsBitStable) {
+  util::Rng rng(8);
+  std::vector<double> stops(1000);
+  for (double& y : stops) y = rng.uniform(0.0, 3.0 * kB);
+  const StopBatch batch(stops);
+  const double first = batch.offline_total(kB);
+  EXPECT_EQ(first, batch.offline_total(kB));  // memo hit, same bits
+  EXPECT_EQ(first, batch::offline_sum(stops, kB));
+}
+
+TEST(KernelContract, AccumulatorEvictContractsFire) {
+  contracts::ScopedMode guard(contracts::Mode::kThrow);
+  stats::ShortStopAccumulator acc(kB);
+  // Evicting from an empty accumulator is a contract violation.
+  EXPECT_THROW(acc.evict(1.0), contracts::ContractViolation);
+  // Evicting a long stop when none was inserted corrupts q silently —
+  // also a contract violation.
+  acc.insert(1.0);
+  EXPECT_THROW(acc.evict(2.0 * kB), contracts::ContractViolation);
+  // Legitimate evict still works.
+  EXPECT_NO_THROW(acc.evict(1.0));
+}
+
+TEST(KernelContract, AccumulatorStatsOnEmptyIsAContractViolation) {
+  contracts::ScopedMode guard(contracts::Mode::kThrow);
+  stats::ShortStopAccumulator acc(kB);
+  EXPECT_THROW(acc.stats(), std::invalid_argument);
+  acc.insert(3.0);
+  acc.evict(3.0);
+  EXPECT_THROW(acc.stats(), std::invalid_argument);
+}
+
+TEST(KernelContract, AccumulatorConstructionValidates) {
+  EXPECT_THROW(stats::ShortStopAccumulator{0.0}, std::invalid_argument);
+  EXPECT_THROW(stats::ShortStopAccumulator{-kB}, std::invalid_argument);
+  EXPECT_THROW(stats::ShortStopAccumulator{kInf}, std::invalid_argument);
+  EXPECT_THROW(stats::ShortStopAccumulator(kB).insert(-1.0),
+               std::invalid_argument);
+  EXPECT_THROW(stats::ShortStopAccumulator(kB).insert(kInf),
+               std::invalid_argument);
+  EXPECT_THROW(stats::SlidingShortStopWindow(kB, 0), std::invalid_argument);
+  EXPECT_THROW(stats::SlidingShortStopWindow(0.0, 4), std::invalid_argument);
+}
+
+TEST(KernelContract, BDetInfeasibleStatsThrowInAnalyticLayer) {
+  // Statistics outside the feasible region (mu > B(1 - q)) are rejected by
+  // the analytic layer the kernels sit on — the batch path never sees them.
+  const dist::ShortStopStats infeasible{0.9 * kB, 0.5};
+  EXPECT_FALSE(infeasible.feasible(kB));
+  EXPECT_THROW(core::choose_strategy(infeasible, kB), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::sim

@@ -1,0 +1,248 @@
+// Property suite: the evaluator's totals line up with the paper's
+// worst-case analysis (Sections 3-4).
+//
+// Three layers of properties:
+//  1. Exact identities — for TOI, DET and N-Rand the per-stop expected cost
+//     is a linear functional of the *sample's own* statistics, so for any
+//     stop sample the evaluator's expected-mode total equals n times the
+//     worst-case formula evaluated at the sample's (mu_hat, q_hat).
+//  2. Worst-case dominance — for b-DET the formula (b + B)(mu/b + q) is an
+//     upper bound on the sample mean cost, achieved by the adversarial
+//     sample that piles all short mass at exactly y = b.
+//  3. Monte-Carlo convergence — sampled mode converges to expected mode by
+//     the law of large numbers, on both kernels, with deterministic seeds.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "dist/distribution.h"
+#include "sim/evaluator.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::sim {
+namespace {
+
+constexpr double kB = 28.0;
+
+std::vector<double> random_stops(std::size_t n, std::uint64_t seed,
+                                 double scale) {
+  util::Rng rng(seed);
+  std::vector<double> stops(n);
+  for (double& y : stops) y = rng.exponential(scale);
+  return stops;
+}
+
+double mean_online(const core::Policy& p, const std::vector<double>& stops) {
+  return evaluate(p, stops).online / static_cast<double>(stops.size());
+}
+
+// ---------------------------------------------------------- exact identities
+
+TEST(AnalyticIdentityProperty, ToiMeanCostIsExactlyB) {
+  // TOI turns off immediately: every stop costs B, so the sample mean cost
+  // is worst_case_cost_toi = B identically.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto stops = random_stops(400, seed, 20.0);
+    const auto s = dist::ShortStopStats::from_sample(stops, kB);
+    EXPECT_NEAR(mean_online(*core::make_toi(kB), stops),
+                core::worst_case_cost_toi(s, kB), 1e-9 * kB);
+  }
+}
+
+TEST(AnalyticIdentityProperty, DetMeanCostEqualsMuPlus2qB) {
+  // DET's cost is y for short stops and 2B for long ones, so the sample
+  // mean is mu_hat + 2 q_hat B — the worst-case formula is tight on every
+  // sample, not just the adversarial one.
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    for (double scale : {8.0, 28.0, 90.0}) {
+      const auto stops = random_stops(500, seed, scale);
+      const auto s = dist::ShortStopStats::from_sample(stops, kB);
+      EXPECT_NEAR(mean_online(*core::make_det(kB), stops),
+                  core::worst_case_cost_det(s, kB),
+                  1e-9 * core::worst_case_cost_det(s, kB))
+          << "scale=" << scale;
+    }
+  }
+}
+
+TEST(AnalyticIdentityProperty, NRandMeanCostEqualsEqualizerFormula) {
+  // N-Rand equalizes: E[cost | y] = e/(e-1) min(y, B), so the sample mean
+  // is e/(e-1)(mu_hat + q_hat B) exactly.
+  for (std::uint64_t seed : {11u, 12u}) {
+    for (double scale : {10.0, 40.0}) {
+      const auto stops = random_stops(600, seed, scale);
+      const auto s = dist::ShortStopStats::from_sample(stops, kB);
+      EXPECT_NEAR(mean_online(*core::make_n_rand(kB), stops),
+                  core::worst_case_cost_nrand(s, kB),
+                  1e-9 * core::worst_case_cost_nrand(s, kB));
+    }
+  }
+}
+
+TEST(AnalyticIdentityProperty, NRandTraceCrIsTheKarlinBound) {
+  // The equalizer property in CR form: online/offline = e/(e-1) on any
+  // trace whatsoever.
+  const auto stops = random_stops(1000, 13, 33.0);
+  const auto t = evaluate(*core::make_n_rand(kB), stops);
+  EXPECT_NEAR(t.cr(), util::kEOverEMinus1, 1e-12);
+}
+
+// ------------------------------------------------------ worst-case dominance
+
+TEST(WorstCaseBoundProperty, BDetAdversarialSampleAchievesTheBound) {
+  // The adversary's extremal distribution against a wait-until-b strategy:
+  // all short mass at exactly y = b (pays b + B, contributes b to mu) and
+  // long mass at 2B (pays b + B, offline B). The sample version achieves
+  // the worst-case formula (b + B)(mu/b + q) exactly.
+  const dist::ShortStopStats target{0.2 * kB, 0.25};
+  ASSERT_TRUE(core::b_det_feasible(target, kB));
+  const double b = core::b_det_optimal_threshold(target, kB);
+  ASSERT_GT(b, 0.0);
+  ASSERT_LT(b, kB);
+
+  const std::size_t n = 2000;
+  const auto n_long = static_cast<std::size_t>(target.q_b_plus * n);
+  const auto n_at_b =
+      static_cast<std::size_t>(target.mu_b_minus * n / b);
+  ASSERT_GE(n, n_long + n_at_b);
+  std::vector<double> stops;
+  stops.insert(stops.end(), n_at_b, b);
+  stops.insert(stops.end(), n_long, 2.0 * kB);
+  stops.insert(stops.end(), n - n_at_b - n_long, 0.0);
+
+  // Rounding n * mu / b to an integer shifts the sample stats slightly;
+  // evaluate the formula at the sample's own statistics.
+  const auto s_hat = dist::ShortStopStats::from_sample(stops, kB);
+  const double bound = core::worst_case_cost_b_det_at(s_hat, kB, b);
+  EXPECT_NEAR(mean_online(*core::make_b_det(kB, b), stops), bound,
+              1e-9 * bound);
+}
+
+TEST(WorstCaseBoundProperty, BDetRandomSamplesNeverExceedTheBound) {
+  // Any sample consistent with (mu_hat, q_hat) costs at most the
+  // worst-case formula: short stops below b pay y < b + B, short stops in
+  // [b, B) pay b + B but contribute >= b to mu.
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    const auto stops = random_stops(800, seed, 25.0);
+    const auto s_hat = dist::ShortStopStats::from_sample(stops, kB);
+    for (double b : {0.25 * kB, 0.5 * kB, 0.75 * kB, kB}) {
+      const double bound = core::worst_case_cost_b_det_at(s_hat, kB, b);
+      EXPECT_LE(mean_online(*core::make_b_det(kB, b), stops),
+                bound * (1.0 + 1e-12))
+          << "b=" << b << " seed=" << seed;
+    }
+  }
+}
+
+TEST(WorstCaseBoundProperty, EveryVertexRespectsItsWorstCaseFormula) {
+  // The umbrella property behind COA: on any sample, each vertex's mean
+  // cost is bounded by its worst-case formula at the sample statistics.
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    for (double scale : {9.0, 28.0, 70.0}) {
+      const auto stops = random_stops(600, seed, scale);
+      const auto s = dist::ShortStopStats::from_sample(stops, kB);
+      const double slack = 1.0 + 1e-12;
+      EXPECT_LE(mean_online(*core::make_toi(kB), stops),
+                core::worst_case_cost_toi(s, kB) * slack);
+      EXPECT_LE(mean_online(*core::make_det(kB), stops),
+                core::worst_case_cost_det(s, kB) * slack);
+      EXPECT_LE(mean_online(*core::make_n_rand(kB), stops),
+                core::worst_case_cost_nrand(s, kB) * slack);
+      if (core::b_det_feasible(s, kB)) {
+        const double b = core::b_det_optimal_threshold(s, kB);
+        EXPECT_LE(mean_online(*core::make_b_det(kB, b), stops),
+                  core::worst_case_cost_b_det(s, kB) * slack);
+      }
+    }
+  }
+}
+
+TEST(WorstCaseBoundProperty, CoaNeverBeatenByItsOwnVertices) {
+  // COA picks the vertex minimizing the worst-case cost, so its worst-case
+  // guarantee is the minimum of the four formulas.
+  for (double mu_frac : {0.1, 0.3, 0.6}) {
+    for (double q : {0.05, 0.2, 0.5}) {
+      dist::ShortStopStats s;
+      s.mu_b_minus = mu_frac * kB;
+      s.q_b_plus = q;
+      if (!s.feasible(kB)) continue;
+      const auto choice = core::choose_strategy(s, kB);
+      EXPECT_LE(choice.expected_cost,
+                core::worst_case_cost_toi(s, kB) + 1e-12);
+      EXPECT_LE(choice.expected_cost,
+                core::worst_case_cost_det(s, kB) + 1e-12);
+      EXPECT_LE(choice.expected_cost,
+                core::worst_case_cost_nrand(s, kB) + 1e-12);
+      EXPECT_LE(choice.expected_cost,
+                core::worst_case_cost_b_det(s, kB) + 1e-12);
+    }
+  }
+}
+
+// ------------------------------------------------- Monte-Carlo convergence
+
+void expect_sampled_converges(const core::Policy& p, EvalKernel kernel,
+                              double rel_tol) {
+  // One draw per stop over a long trace; the sample mean of the online
+  // total concentrates around the expected-mode total (LLN). Deterministic
+  // seed, so this is a regression test, not a flaky statistical one.
+  const auto stops = random_stops(200000, 97, 24.0);
+  EvalOptions expected_opts;
+  expected_opts.kernel = kernel;
+  const auto expected = evaluate(p, stops, expected_opts);
+  util::Rng rng(4242);
+  EvalOptions sampled_opts{EvalMode::kSampled, &rng};
+  sampled_opts.kernel = kernel;
+  const auto sampled = evaluate(p, stops, sampled_opts);
+  EXPECT_NEAR(sampled.online, expected.online, rel_tol * expected.online)
+      << p.name();
+  EXPECT_EQ(sampled.offline, expected.offline) << p.name();
+}
+
+TEST(SampledConvergenceProperty, NRandConvergesOnBothKernels) {
+  expect_sampled_converges(*core::make_n_rand(kB), EvalKernel::kScalar, 0.01);
+  expect_sampled_converges(*core::make_n_rand(kB), EvalKernel::kBatch, 0.01);
+}
+
+TEST(SampledConvergenceProperty, MomRandConvergesOnBothKernels) {
+  const core::MomRandPolicy p(kB, 0.3 * kB);
+  ASSERT_TRUE(p.revised());
+  expect_sampled_converges(p, EvalKernel::kScalar, 0.01);
+  expect_sampled_converges(p, EvalKernel::kBatch, 0.01);
+}
+
+TEST(SampledConvergenceProperty, CoaConvergesOnBothKernels) {
+  const core::ProposedPolicy p(kB, dist::ShortStopStats{0.2 * kB, 0.3});
+  expect_sampled_converges(p, EvalKernel::kScalar, 0.01);
+  expect_sampled_converges(p, EvalKernel::kBatch, 0.01);
+}
+
+TEST(SampledConvergenceProperty, DeterministicPoliciesSampleExactly) {
+  // Deterministic policies have a degenerate threshold distribution, so
+  // sampled mode equals expected mode bit-for-bit, per stop, on both
+  // kernels.
+  const auto stops = random_stops(3000, 55, 30.0);
+  for (const auto& p : {core::make_toi(kB), core::make_det(kB),
+                        core::make_nev(kB), core::make_b_det(kB, 0.5 * kB)}) {
+    for (EvalKernel kernel : {EvalKernel::kScalar, EvalKernel::kBatch}) {
+      util::Rng rng(777);
+      EvalOptions expected_opts;
+      expected_opts.kernel = kernel;
+      EvalOptions sampled_opts{EvalMode::kSampled, &rng};
+      sampled_opts.kernel = kernel;
+      const auto e = evaluate(*p, stops, expected_opts);
+      const auto s = evaluate(*p, stops, sampled_opts);
+      EXPECT_EQ(e, s) << p->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idlered::sim
