@@ -1,0 +1,494 @@
+// Streaming decision-service throughput under a fault sweep.
+//
+// Four phases against src/serve/ (BENCH_serve_throughput.json, schema v2):
+//
+//   1. nominal        — a paced fleet stream the service keeps up with:
+//      sustained decisions/sec and p99 submit->decision latency.
+//   2. burst overload — producers suddenly run ~10x faster than the pump.
+//      The invariants under test: queues stay bounded (backpressure
+//      refuses, nothing grows), the shedder walks the fallback ladder
+//      down instead of stalling, and once the burst passes the ceiling
+//      re-promotes to COA through the jittered backoff — never snapping.
+//   3. shard stall    — one shard pinned at capacity despite draining
+//      (tiny drain batch). The NEV tripwire must fire, decisions become
+//      O(1) "keep idling", and the shard must recover once traffic calms.
+//   4. kill + recover — a durable service is destroyed mid-stream with no
+//      shutdown (the WAL-flush-before-emit barrier makes this equivalent
+//      to a crash at a batch boundary), then recovered: the replayed +
+//      resumed decision stream must be bit-identical to an uninterrupted
+//      run, and the recovery wall time is reported.
+//
+// Exit status is non-zero if any invariant fails — CI treats this bench
+// as a soak test, not just a stopwatch.
+//
+// Usage: bench_serve_throughput [events] [vehicles]
+//   events    nominal-phase event count      (default 60000)
+//   vehicles  fleet size across all phases   (default 64)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/bench_run.h"
+#include "robust/fallback.h"
+#include "serve/service.h"
+#include "util/json.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace idlered;
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 20140601;  // DAC'14 conference date
+constexpr double kBreakEven = 60.0;
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    ++failures;
+    std::printf("INVARIANT FAILED: %s\n", what);
+  }
+}
+
+double seconds_since(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+/// Deterministic stop stream: lognormal-ish body via the repo Rng, strictly
+/// increasing per-vehicle timestamps.
+struct FleetSource {
+  explicit FleetSource(std::size_t vehicles, std::uint64_t seed)
+      : rng(seed), next_seq(vehicles, 0), next_ts(vehicles, 0.0) {}
+
+  serve::StopEvent next(std::size_t i) {
+    const std::uint64_t v = 1000 + i;
+    serve::StopEvent e;
+    e.vehicle = v;
+    e.seq = ++next_seq[i];
+    next_ts[i] += 1.0 + rng.uniform() * 30.0;
+    e.timestamp_s = next_ts[i];
+    e.stop_length_s = rng.lognormal(2.2, 0.9);
+    return e;
+  }
+
+  util::Rng rng;
+  std::vector<std::uint64_t> next_seq;
+  std::vector<double> next_ts;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  return v[static_cast<std::size_t>(std::llround(idx))];
+}
+
+bool all_shards_at(const serve::DecisionService& svc,
+                   robust::ControllerMode mode) {
+  for (std::size_t i = 0; i < svc.num_shards(); ++i)
+    if (svc.shard(i).shedder().ceiling() != mode) return false;
+  return true;
+}
+
+robust::ControllerMode worst_ceiling(const serve::DecisionService& svc) {
+  auto worst = robust::ControllerMode::kProposed;
+  for (std::size_t i = 0; i < svc.num_shards(); ++i) {
+    const auto c = svc.shard(i).shedder().ceiling();
+    if (static_cast<int>(c) > static_cast<int>(worst)) worst = c;
+  }
+  return worst;
+}
+
+// ---- phase 1: nominal throughput ------------------------------------------
+
+util::JsonValue phase_nominal(std::size_t events, std::size_t vehicles,
+                              util::Table& table) {
+  serve::ServeConfig cfg;
+  cfg.num_shards = 4;
+  cfg.threads = 2;
+  cfg.break_even = kBreakEven;
+  cfg.warmup_stops = 8;
+  cfg.queue_capacity = 512;
+  cfg.drain_batch = 128;
+  cfg.seed = kSeed;
+  serve::DecisionService svc(cfg);
+  FleetSource source(vehicles, kSeed + 1);
+
+  // Pace: submit one pump's worth of events, then pump. Latency is the
+  // submit->decision sojourn, keyed on (vehicle, seq).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, clock_type::time_point>
+      submitted_at;
+  std::vector<double> latencies;
+  latencies.reserve(events);
+  std::vector<serve::Decision> out;
+  out.reserve(events + 64);
+
+  const std::size_t per_pump = cfg.num_shards * cfg.drain_batch / 2;
+  const auto t0 = clock_type::now();
+  std::size_t submitted = 0, prev_emitted = 0;
+  while (submitted < events) {
+    const std::size_t n = std::min(per_pump, events - submitted);
+    for (std::size_t i = 0; i < n; ++i) {
+      const serve::StopEvent e = source.next(submitted % vehicles);
+      const auto verdict = svc.submit(e);
+      check(verdict == serve::Admit::kAccepted,
+            "nominal: paced stream must never hit backpressure");
+      submitted_at[{e.vehicle, e.seq}] = clock_type::now();
+      ++submitted;
+    }
+    svc.pump(out);
+    const auto now = clock_type::now();
+    for (std::size_t i = prev_emitted; i < out.size(); ++i) {
+      const auto it = submitted_at.find({out[i].vehicle, out[i].seq});
+      if (it != submitted_at.end()) {
+        latencies.push_back(
+            std::chrono::duration<double>(now - it->second).count());
+        submitted_at.erase(it);
+      }
+    }
+    prev_emitted = out.size();
+  }
+  svc.drain_all(out);
+  const double wall = seconds_since(t0);
+
+  check(out.size() == events, "nominal: every event must yield a decision");
+  check(all_shards_at(svc, robust::ControllerMode::kProposed),
+        "nominal: paced load must not shed");
+  std::size_t decided = 0;
+  for (const auto& d : out)
+    if (d.outcome == serve::Outcome::kDecided) ++decided;
+  check(decided == events, "nominal: clean stream must decide every event");
+
+  const double per_sec = static_cast<double>(out.size()) / wall;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  table.add_row({"nominal", util::fmt(wall, 3),
+                 util::fmt(per_sec, 0), util::fmt(p50 * 1e6, 1),
+                 util::fmt(p99 * 1e6, 1), "COA"});
+
+  util::JsonValue j = util::JsonValue::object();
+  j.set("events", events);
+  j.set("wall_seconds", wall);
+  j.set("decisions_per_sec", per_sec);
+  j.set("latency_p50_us", p50 * 1e6);
+  j.set("latency_p99_us", p99 * 1e6);
+  return j;
+}
+
+// ---- phase 2: 10x burst overload ------------------------------------------
+
+util::JsonValue phase_burst(std::size_t vehicles, util::Table& table) {
+  serve::ServeConfig cfg;
+  cfg.num_shards = 4;
+  cfg.threads = 2;
+  cfg.break_even = kBreakEven;
+  cfg.warmup_stops = 8;
+  cfg.queue_capacity = 128;
+  cfg.drain_batch = 16;
+  cfg.seed = kSeed;
+  cfg.shed.stall_pumps = 6;
+  serve::DecisionService svc(cfg);
+  FleetSource source(vehicles, kSeed + 2);
+
+  std::vector<serve::Decision> out;
+
+  // Warm the accumulators so the fleet is genuinely on the COA rung when
+  // the burst hits.
+  for (int round = 0; round < 16; ++round) {
+    for (std::size_t i = 0; i < vehicles; ++i)
+      (void)svc.submit(source.next(i));
+    svc.pump(out);
+  }
+  svc.drain_all(out);
+  check(all_shards_at(svc, robust::ControllerMode::kProposed),
+        "burst: warm-up must end on the COA rung");
+  out.clear();
+
+  // Burst: ~10x the drain rate. Producers keep submitting through
+  // refusals (a real ingestor would retry; here refusal count is the
+  // backpressure signal under test).
+  const std::size_t bound = cfg.num_shards * cfg.queue_capacity;
+  const std::size_t burst_per_pump = 10 * cfg.num_shards * cfg.drain_batch;
+  auto worst = robust::ControllerMode::kProposed;
+  std::size_t max_queued = 0;
+  const auto t0 = clock_type::now();
+  for (int round = 0; round < 60; ++round) {
+    for (std::size_t i = 0; i < burst_per_pump; ++i)
+      (void)svc.submit(source.next(i % vehicles));
+    max_queued = std::max(max_queued, svc.queued());
+    svc.pump(out);
+    const auto c = worst_ceiling(svc);
+    if (static_cast<int>(c) > static_cast<int>(worst)) worst = c;
+  }
+  const double burst_wall = seconds_since(t0);
+  const std::size_t burst_decisions = out.size();
+
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 0; i < svc.num_shards(); ++i)
+    rejected += svc.shard(i).queue().rejected();
+  check(rejected > 0, "burst: overload must surface as refusals");
+  check(max_queued <= bound, "burst: queues must stay bounded");
+  check(static_cast<int>(worst) >=
+            static_cast<int>(robust::ControllerMode::kDet),
+        "burst: sustained overload must walk down the ladder");
+
+  // Calm: pump with no new traffic until the ceilings re-promote to COA
+  // through the jittered backoff (bounded wait, hence the pump cap).
+  int recovery_pumps = 0;
+  while (!all_shards_at(svc, robust::ControllerMode::kProposed) &&
+         recovery_pumps < 5000) {
+    svc.pump(out);
+    ++recovery_pumps;
+  }
+  check(all_shards_at(svc, robust::ControllerMode::kProposed),
+        "burst: shards must re-promote to COA after the burst");
+  std::uint64_t deferred = 0;
+  for (std::size_t i = 0; i < svc.num_shards(); ++i)
+    deferred += svc.shard(i).shedder().deferred_promotions();
+  check(deferred > 0, "burst: re-promotion must wait out the backoff");
+
+  table.add_row({"burst 10x", util::fmt(burst_wall, 3),
+                 util::fmt(static_cast<double>(burst_decisions) / burst_wall,
+                           0),
+                 "-", "-", robust::to_string(worst)});
+
+  util::JsonValue j = util::JsonValue::object();
+  j.set("burst_decisions", burst_decisions);
+  j.set("burst_wall_seconds", burst_wall);
+  j.set("rejected_submits", static_cast<double>(rejected));
+  j.set("max_queued", max_queued);
+  j.set("queue_bound", bound);
+  j.set("worst_ceiling", robust::to_string(worst));
+  j.set("recovery_pumps", recovery_pumps);
+  j.set("deferred_promotions", static_cast<double>(deferred));
+  return j;
+}
+
+// ---- phase 3: shard stall -------------------------------------------------
+
+util::JsonValue phase_stall(util::Table& table) {
+  serve::ServeConfig cfg;
+  cfg.num_shards = 1;
+  cfg.threads = 1;
+  cfg.break_even = kBreakEven;
+  cfg.warmup_stops = 4;
+  cfg.queue_capacity = 64;
+  cfg.drain_batch = 4;  // drains cannot keep up: the stall tripwire's case
+  cfg.seed = kSeed;
+  cfg.shed.stall_pumps = 4;
+  serve::DecisionService svc(cfg);
+  FleetSource source(8, kSeed + 3);
+
+  std::vector<serve::Decision> out;
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t i = 0; i < 8; ++i) (void)svc.submit(source.next(i));
+    svc.pump(out);
+  }
+  svc.drain_all(out);
+  out.clear();
+
+  // Pin the queue: refill to capacity before every pump.
+  bool saw_stall = false;
+  const auto t0 = clock_type::now();
+  for (int round = 0; round < 40; ++round) {
+    while (svc.submit(source.next(static_cast<std::size_t>(round) % 8)) ==
+           serve::Admit::kAccepted) {
+    }
+    svc.pump(out);
+    saw_stall = saw_stall || svc.shard(0).shedder().stalled();
+  }
+  const double stall_wall = seconds_since(t0);
+  check(saw_stall, "stall: a pinned queue must trip the NEV tripwire");
+  check(svc.queued() <= cfg.queue_capacity,
+        "stall: the pinned queue must stay bounded");
+
+  // While stalled the decisions are the O(1) NEV rung.
+  std::size_t nev = 0;
+  for (const auto& d : out)
+    if (d.outcome == serve::Outcome::kDecided &&
+        d.rung == robust::ControllerMode::kNev)
+      ++nev;
+  check(nev > 0, "stall: stalled decisions must ride the NEV rung");
+  for (const auto& d : out)
+    if (d.rung == robust::ControllerMode::kNev &&
+        d.outcome == serve::Outcome::kDecided)
+      check(std::isinf(d.threshold),
+            "stall: NEV thresholds must be +inf (never shut off)");
+
+  // Calm traffic: the shard must leave NEV and climb back.
+  int recovery_pumps = 0;
+  while (svc.shard(0).shedder().ceiling() !=
+             robust::ControllerMode::kProposed &&
+         recovery_pumps < 5000) {
+    svc.pump(out);
+    ++recovery_pumps;
+  }
+  check(!svc.shard(0).shedder().stalled(),
+        "stall: calm traffic must clear the stall");
+  check(svc.shard(0).shedder().ceiling() ==
+            robust::ControllerMode::kProposed,
+        "stall: the shard must re-promote to COA after the stall");
+
+  table.add_row({"shard stall", util::fmt(stall_wall, 3), "-", "-", "-",
+                 "NEV"});
+
+  util::JsonValue j = util::JsonValue::object();
+  j.set("tripped_nev", saw_stall);
+  j.set("nev_decisions", nev);
+  j.set("recovery_pumps", recovery_pumps);
+  return j;
+}
+
+// ---- phase 4: kill + recover ----------------------------------------------
+
+util::JsonValue phase_kill_recover(std::size_t vehicles, util::Table& table) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("idlered_bench_serve_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  serve::ServeConfig cfg;
+  cfg.num_shards = 3;
+  cfg.threads = 2;
+  cfg.break_even = kBreakEven;
+  cfg.warmup_stops = 4;
+  cfg.queue_capacity = 512;
+  cfg.drain_batch = 64;
+  cfg.seed = kSeed;
+  cfg.durable_dir = dir.string();
+  cfg.snapshot_every = 32;
+
+  const std::size_t total_events = 4000;
+  const std::size_t kill_at = 1700;
+
+  // Reference: the same stream through an uninterrupted in-memory service.
+  std::vector<serve::Decision> reference;
+  {
+    serve::ServeConfig ref = cfg;
+    ref.durable_dir.clear();
+    ref.snapshot_every = 0;
+    serve::DecisionService svc(ref);
+    FleetSource source(vehicles, kSeed + 4);
+    for (std::size_t i = 0; i < total_events; ++i) {
+      (void)svc.submit(source.next(i % vehicles));
+      if (i % 64 == 63) svc.pump(reference);
+    }
+    svc.drain_all(reference);
+  }
+
+  // Crashed run: destroy the service mid-stream with no shutdown. The WAL
+  // is flushed before decisions are emitted, so this is exactly a crash at
+  // a batch boundary.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, serve::Decision> merged;
+  auto merge = [&merged](const std::vector<serve::Decision>& ds) {
+    for (const auto& d : ds) merged[{d.vehicle, d.seq}] = d;
+  };
+  {
+    serve::DecisionService svc(cfg);
+    FleetSource source(vehicles, kSeed + 4);
+    std::vector<serve::Decision> pre;
+    for (std::size_t i = 0; i < kill_at; ++i) {
+      (void)svc.submit(source.next(i % vehicles));
+      if (i % 64 == 63) svc.pump(pre);
+    }
+    merge(pre);
+    // svc destroyed here: crash.
+  }
+
+  const auto t0 = clock_type::now();
+  auto recovered = serve::DecisionService::recover(cfg);
+  const double recover_wall = seconds_since(t0);
+  merge(recovered.replayed);
+
+  // Resume: replay the same deterministic source, skipping everything the
+  // recovered service already applied (the crash-resume handshake).
+  std::vector<serve::Decision> post;
+  {
+    FleetSource source(vehicles, kSeed + 4);
+    for (std::size_t i = 0; i < total_events; ++i) {
+      const serve::StopEvent e = source.next(i % vehicles);
+      if (e.seq <= recovered.service->last_applied_seq(e.vehicle)) continue;
+      (void)recovered.service->submit(e);
+      if (i % 64 == 63) recovered.service->pump(post);
+    }
+    recovered.service->drain_all(post);
+  }
+  merge(post);
+
+  check(merged.size() == reference.size(),
+        "recover: the union stream must cover every event exactly once");
+  bool identical = merged.size() == reference.size();
+  for (const auto& d : reference) {
+    const auto it = merged.find({d.vehicle, d.seq});
+    if (it == merged.end() || !serve::bit_identical(it->second, d)) {
+      identical = false;
+      break;
+    }
+  }
+  check(identical,
+        "recover: replayed + resumed decisions must be bit-identical to an "
+        "uninterrupted run");
+
+  table.add_row({"kill+recover", util::fmt(recover_wall, 3), "-", "-", "-",
+                 identical ? "bit-identical" : "MISMATCH"});
+  fs::remove_all(dir);
+
+  util::JsonValue j = util::JsonValue::object();
+  j.set("events_before_kill", kill_at);
+  j.set("events_total", total_events);
+  j.set("replayed_decisions", recovered.replayed.size());
+  j.set("recover_wall_seconds", recover_wall);
+  j.set("bit_identical", identical);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun run("serve_throughput", argc, argv);
+
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--trace", 0) == 0) continue;
+    pos.push_back(argv[i]);
+  }
+  std::size_t events = 60000;
+  std::size_t vehicles = 64;
+  if (!pos.empty()) events = static_cast<std::size_t>(std::atoll(pos[0]));
+  if (pos.size() > 1)
+    vehicles = static_cast<std::size_t>(std::atoll(pos[1]));
+
+  std::printf("%s", util::banner("Streaming decision service: throughput "
+                                 "and fault sweep")
+                        .c_str());
+
+  util::Table table({"phase", "wall s", "decisions/s", "p50 us", "p99 us",
+                     "worst rung"});
+  util::JsonValue payload = util::JsonValue::object();
+  payload.set("events", events);
+  payload.set("vehicles", vehicles);
+  payload.set("nominal", phase_nominal(events, vehicles, table));
+  payload.set("burst", phase_burst(vehicles, table));
+  payload.set("stall", phase_stall(table));
+  payload.set("kill_recover", phase_kill_recover(vehicles, table));
+  payload.set("invariant_failures", failures);
+  run.stage("results", std::move(payload));
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("invariant failures: %d\n", failures);
+  return failures == 0 ? 0 : 1;
+}

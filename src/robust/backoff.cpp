@@ -1,0 +1,49 @@
+#include "robust/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace idlered::robust {
+
+void ExponentialBackoff::Config::validate() const {
+  if (!(base > 0.0) || !std::isfinite(base))
+    throw std::invalid_argument(
+        "ExponentialBackoff: base must be finite and > 0");
+  if (!(multiplier >= 1.0) || !std::isfinite(multiplier))
+    throw std::invalid_argument(
+        "ExponentialBackoff: multiplier must be finite and >= 1");
+  if (!(max >= base) || !std::isfinite(max))
+    throw std::invalid_argument(
+        "ExponentialBackoff: max must be finite and >= base");
+  if (!(jitter >= 0.0) || jitter >= 1.0)
+    throw std::invalid_argument(
+        "ExponentialBackoff: jitter must lie in [0, 1)");
+}
+
+ExponentialBackoff::ExponentialBackoff(const Config& config,
+                                       std::uint64_t seed)
+    : config_(config), rng_(util::mix64(seed)) {
+  config_.validate();
+}
+
+double ExponentialBackoff::peek() const {
+  // pow overflows gracefully to +inf for absurd failure counts; the min
+  // clamps it back into the configured envelope either way.
+  const double raw =
+      config_.base *
+      std::pow(config_.multiplier, static_cast<double>(failures_));
+  return std::min(raw, config_.max);
+}
+
+double ExponentialBackoff::next() {
+  const double delay = peek();
+  ++failures_;
+  if (config_.jitter == 0.0) return delay;  // lint: allow(float-compare): exact sentinel for "jitter disabled"
+  // Scale into [1 - jitter, 1]: spread without exceeding the envelope, and
+  // never below (1 - jitter) * base so a retry always waits something.
+  const double scale = 1.0 - config_.jitter * rng_.uniform();
+  return delay * scale;
+}
+
+}  // namespace idlered::robust

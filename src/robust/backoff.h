@@ -1,0 +1,70 @@
+// Jittered exponential backoff, deterministic per seed.
+//
+// Two consumers in the streaming service share this policy:
+//
+//   * fallback re-promotion — a shard that stepped down the degraded-mode
+//     ladder (robust/fallback.h) under overload must not climb back to COA
+//     in lockstep with every other shard: synchronized re-promotion turns
+//     one burst into a periodic thundering herd. Each shard seeds its own
+//     backoff, so recovery waits decorrelate while staying reproducible.
+//
+//   * ingestion retry — a source whose submit was refused by a full queue
+//     retries after an escalating, jittered delay instead of hammering the
+//     admission path at line rate.
+//
+// Units are the caller's (pump ticks for the shedder, seconds for a
+// wall-clock source); the policy only produces numbers. Determinism: all
+// jitter comes from a util::Rng owned by the instance, so a (config, seed)
+// pair reproduces the exact delay sequence — the property the crash-replay
+// and no-lockstep tests pin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace idlered::robust {
+
+class ExponentialBackoff {
+ public:
+  struct Config {
+    double base = 1.0;        ///< delay of the first failure
+    double multiplier = 2.0;  ///< growth per consecutive failure
+    double max = 64.0;        ///< un-jittered delay ceiling
+    /// Jitter fraction in [0, 1): each delay is scaled by a uniform draw
+    /// from [1 - jitter, 1], so jitter spreads retries without ever
+    /// exceeding the deterministic envelope.
+    double jitter = 0.5;
+
+    /// Throws std::invalid_argument on non-positive base/multiplier/max,
+    /// max < base, or jitter outside [0, 1).
+    void validate() const;
+  };
+
+  ExponentialBackoff(const Config& config, std::uint64_t seed);
+
+  /// Delay to wait before the next attempt, then escalate. The k-th call
+  /// since the last reset() draws from
+  ///   min(base * multiplier^k, max) * U[1 - jitter, 1].
+  double next();
+
+  /// Current un-jittered delay (what next() would scale), without
+  /// escalating.
+  double peek() const;
+
+  /// Number of next() calls since construction or the last reset().
+  std::size_t failures() const { return failures_; }
+
+  /// Back to the base delay after sustained success.
+  void reset() { failures_ = 0; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace idlered::robust

@@ -32,6 +32,18 @@ void trace_transition([[maybe_unused]] const char* kind,
   })
 }
 
+// Bounded-history push: drop the oldest entry once the log is at the cap.
+// Hysteresis makes transitions rare, so the O(cap) shift per overflowing
+// push is noise; what matters for an always-on service is that the vector
+// never grows past the cap.
+template <typename T>
+void push_bounded(std::vector<T>& log, T entry, std::size_t cap) {
+  if (cap > 0 && log.size() >= cap)
+    log.erase(log.begin(), log.begin() + static_cast<std::ptrdiff_t>(
+                                             log.size() - cap + 1));
+  log.push_back(std::move(entry));
+}
+
 }  // namespace
 
 std::string to_string(HealthState state) {
@@ -90,8 +102,10 @@ void HealthMonitor::record_observation(bool anomalous) {
       break;
   }
   if (state_ != before) {
-    transitions_.push_back(
-        Transition{observations_, before, state_, anomaly_rate_});
+    ++total_transitions_;
+    push_bounded(transitions_,
+                 Transition{observations_, before, state_, anomaly_rate_},
+                 config_.max_history);
     trace_transition("state", observations_, to_string(before),
                      to_string(state_), anomaly_rate_);
   }
@@ -109,8 +123,11 @@ void HealthMonitor::record_restart(bool clean) {
     actuator_suspect_ = true;
   }
   if (actuator_suspect_ != before) {
-    actuator_transitions_.push_back(ActuatorTransition{
-        restarts_, actuator_suspect_, restart_failure_rate_});
+    ++total_actuator_transitions_;
+    push_bounded(actuator_transitions_,
+                 ActuatorTransition{restarts_, actuator_suspect_,
+                                    restart_failure_rate_},
+                 config_.max_history);
     trace_transition("actuator", restarts_, before ? "suspect" : "ok",
                      actuator_suspect_ ? "suspect" : "ok",
                      restart_failure_rate_);

@@ -49,6 +49,12 @@ struct HealthConfig {
   /// b-DET trust margin in (0, 1]: require mu/B < margin * (1-q)^2 / q.
   double b_det_margin = 0.9;
 
+  /// Most recent transition-history entries kept per kind (state machine
+  /// and actuator latch each). An always-on service feeds a monitor
+  /// indefinitely; unbounded history would be a slow leak. 0 = unlimited
+  /// (offline analysis of a finite run).
+  std::size_t max_history = 1024;
+
   /// Throws std::invalid_argument on inverted bands or rates outside [0,1].
   void validate() const;
 };
@@ -90,10 +96,17 @@ class HealthMonitor {
   double anomaly_rate() const { return anomaly_rate_; }
   double restart_failure_rate() const { return restart_failure_rate_; }
 
-  /// Every state-machine edge so far, in firing order.
+  /// Recorded state-machine edges in firing order. With the default
+  /// bounded config only the most recent max_history edges are retained
+  /// (the obs event stream keeps the full history at the trace sink);
+  /// total_transitions() still counts every edge ever fired.
   const std::vector<Transition>& transitions() const { return transitions_; }
   const std::vector<ActuatorTransition>& actuator_transitions() const {
     return actuator_transitions_;
+  }
+  std::uint64_t total_transitions() const { return total_transitions_; }
+  std::uint64_t total_actuator_transitions() const {
+    return total_actuator_transitions_;
   }
 
   std::uint64_t observations() const { return observations_; }
@@ -109,6 +122,8 @@ class HealthMonitor {
   double restart_failure_rate_ = 0.0;
   std::uint64_t observations_ = 0;
   std::uint64_t restarts_ = 0;
+  std::uint64_t total_transitions_ = 0;
+  std::uint64_t total_actuator_transitions_ = 0;
   std::vector<Transition> transitions_;
   std::vector<ActuatorTransition> actuator_transitions_;
 };

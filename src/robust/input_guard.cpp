@@ -19,6 +19,7 @@ std::string to_string(Verdict verdict) {
     case Verdict::kRejectNegative: return "reject-negative";
     case Verdict::kRejectOutOfRange: return "reject-out-of-range";
     case Verdict::kRejectStuck: return "reject-stuck";
+    case Verdict::kRejectOutOfOrder: return "reject-out-of-order";
   }
   return "unknown";
 }
@@ -40,14 +41,23 @@ Verdict InputGuard::check(double reading) const {
   return Verdict::kAccept;
 }
 
-Verdict InputGuard::admit(double reading) {
-  const Verdict v = check(reading);
+Verdict InputGuard::check(double reading, double timestamp) const {
+  const Verdict value_verdict = check(reading);
+  if (value_verdict != Verdict::kAccept) return value_verdict;
+  if (!std::isfinite(timestamp)) return Verdict::kRejectOutOfOrder;
+  if (has_timestamp_ && timestamp <= last_timestamp_)
+    return Verdict::kRejectOutOfOrder;
+  return Verdict::kAccept;
+}
+
+void InputGuard::record(Verdict v, double reading) {
   switch (v) {
     case Verdict::kAccept: ++counts_.accepted; break;
     case Verdict::kRejectNonFinite: ++counts_.non_finite; break;
     case Verdict::kRejectNegative: ++counts_.negative; break;
     case Verdict::kRejectOutOfRange: ++counts_.out_of_range; break;
     case Verdict::kRejectStuck: ++counts_.stuck; break;
+    case Verdict::kRejectOutOfOrder: ++counts_.out_of_order; break;
   }
   // The frozen-sensor tracker sees every finite reading, rejected or not:
   // a sensor stuck on an out-of-range value is still stuck.
@@ -61,7 +71,40 @@ Verdict InputGuard::admit(double reading) {
   } else {
     run_length_ = 0;
   }
+}
+
+Verdict InputGuard::admit(double reading) {
+  const Verdict v = check(reading);
+  record(v, reading);
   return v;
+}
+
+Verdict InputGuard::admit(double reading, double timestamp) {
+  const Verdict v = check(reading, timestamp);
+  record(v, reading);
+  if (v == Verdict::kAccept) {
+    last_timestamp_ = timestamp;
+    has_timestamp_ = true;
+  }
+  return v;
+}
+
+InputGuard::State InputGuard::state() const {
+  State s;
+  s.counts = counts_;
+  s.last_value = last_value_;
+  s.run_length = run_length_;
+  s.last_timestamp = last_timestamp_;
+  s.has_timestamp = has_timestamp_;
+  return s;
+}
+
+void InputGuard::restore(const State& state) {
+  counts_ = state.counts;
+  last_value_ = state.last_value;
+  run_length_ = state.run_length;
+  last_timestamp_ = state.last_timestamp;
+  has_timestamp_ = state.has_timestamp;
 }
 
 void InputGuard::note_drop() { ++counts_.dropped; }

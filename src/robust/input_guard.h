@@ -37,6 +37,7 @@ enum class Verdict {
   kRejectNegative,
   kRejectOutOfRange,
   kRejectStuck,
+  kRejectOutOfOrder,  ///< timestamp not after the last accepted event
 };
 
 std::string to_string(Verdict verdict);
@@ -47,23 +48,48 @@ struct GuardCounts {
   std::size_t negative = 0;
   std::size_t out_of_range = 0;
   std::size_t stuck = 0;
+  std::size_t out_of_order = 0;
   std::size_t dropped = 0;  ///< readings that never arrived
 
   std::size_t total() const {
-    return accepted + non_finite + negative + out_of_range + stuck + dropped;
+    return accepted + non_finite + negative + out_of_range + stuck +
+           out_of_order + dropped;
   }
   std::size_t anomalies() const { return total() - accepted; }
 };
 
 class InputGuard {
  public:
+  /// Full mutable state, exposed so the streaming service can snapshot a
+  /// per-vehicle guard and restore it bit-exactly on crash recovery (the
+  /// stuck-run tracker and timestamp watermark both influence later
+  /// verdicts, so replay determinism needs them round-tripped).
+  struct State {
+    GuardCounts counts;
+    double last_value = 0.0;
+    std::size_t run_length = 0;
+    double last_timestamp = 0.0;
+    bool has_timestamp = false;
+  };
+
   explicit InputGuard(const GuardConfig& config = {});
 
   /// Classify without recording (pure).
   Verdict check(double reading) const;
 
+  /// Timestamped classification for the streaming path: the value checks
+  /// of check(reading) plus event-time monotonicity — a reading whose
+  /// timestamp is non-finite or not strictly after the last *accepted*
+  /// event is rejected as out-of-order. (The batch path's stop traces are
+  /// positionally ordered, so only streamed events carry timestamps.)
+  Verdict check(double reading, double timestamp) const;
+
   /// Classify, record the verdict and update the frozen-sensor tracker.
   Verdict admit(double reading);
+
+  /// Timestamped admit: records the verdict, updates the frozen-sensor
+  /// tracker, and advances the timestamp watermark on acceptance.
+  Verdict admit(double reading, double timestamp);
 
   /// Record a reading that never arrived (counted as an anomaly).
   void note_drop();
@@ -71,14 +97,27 @@ class InputGuard {
   const GuardCounts& counts() const { return counts_; }
   const GuardConfig& config() const { return config_; }
 
+  /// Timestamp of the last accepted event; meaningless before the first
+  /// timestamped acceptance (check has_timestamp()).
+  double last_timestamp() const { return last_timestamp_; }
+  bool has_timestamp() const { return has_timestamp_; }
+
   /// Fraction of all seen readings that were anomalous; 0 before any.
   double anomaly_fraction() const;
 
+  /// Snapshot/restore of the mutable state (configuration excluded).
+  State state() const;
+  void restore(const State& state);
+
  private:
+  void record(Verdict verdict, double reading);
+
   GuardConfig config_;
   GuardCounts counts_;
   double last_value_ = 0.0;
   std::size_t run_length_ = 0;  ///< consecutive repeats of last_value_
+  double last_timestamp_ = 0.0;
+  bool has_timestamp_ = false;
 };
 
 }  // namespace idlered::robust

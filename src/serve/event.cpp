@@ -1,0 +1,34 @@
+#include "serve/event.h"
+
+#include <bit>
+
+namespace idlered::serve {
+
+std::string to_string(Admit admit) {
+  switch (admit) {
+    case Admit::kAccepted: return "accepted";
+    case Admit::kRejectedQueueFull: return "rejected-queue-full";
+    case Admit::kRejectedShutdown: return "rejected-shutdown";
+  }
+  return "unknown";
+}
+
+std::string to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kDecided: return "decided";
+    case Outcome::kRejectedInvalid: return "rejected-invalid";
+    case Outcome::kRejectedOutOfOrder: return "rejected-out-of-order";
+    case Outcome::kRejectedStale: return "rejected-stale";
+    case Outcome::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+bool bit_identical(const Decision& a, const Decision& b) {
+  return a.vehicle == b.vehicle && a.seq == b.seq && a.outcome == b.outcome &&
+         a.rung == b.rung &&
+         std::bit_cast<std::uint64_t>(a.threshold) ==
+             std::bit_cast<std::uint64_t>(b.threshold);
+}
+
+}  // namespace idlered::serve

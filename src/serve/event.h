@@ -1,0 +1,67 @@
+// Wire types of the streaming decision service.
+//
+// A StopEvent is one completed vehicle stop reported by a telemetry
+// source; the Decision answering it is the idle-wait threshold the vehicle
+// should apply from now on (the online ski-rental answer to "idle or shut
+// off?"), priced by the fallback-ladder rung that was in force when the
+// event was processed. Everything here is plain data: the service's
+// determinism and crash-replay guarantees are stated over these structs,
+// so they carry no behaviour and no hidden state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "robust/fallback.h"
+
+namespace idlered::serve {
+
+/// One per-vehicle stop observation entering the service.
+struct StopEvent {
+  std::uint64_t vehicle = 0;  ///< fleet-wide vehicle identifier
+  /// Source-assigned, strictly increasing per vehicle. The service
+  /// deduplicates on it (at-least-once delivery becomes exactly-once
+  /// processing) and exposes the last applied value for crash-resume.
+  std::uint64_t seq = 0;
+  double timestamp_s = 0.0;    ///< event time at the source
+  double stop_length_s = 0.0;  ///< observed stop duration
+};
+
+/// Admission verdict returned to the producer at submit time.
+enum class Admit {
+  kAccepted = 0,       ///< queued for the owning shard
+  kRejectedQueueFull,  ///< backpressure: retry after a backoff delay
+  kRejectedShutdown,   ///< service is draining for shutdown
+};
+
+std::string to_string(Admit admit);
+
+/// What processing an event produced.
+enum class Outcome {
+  kDecided = 0,        ///< a threshold was issued
+  kRejectedInvalid,    ///< InputGuard rejected the stop value
+  kRejectedOutOfOrder, ///< event time not after the last accepted one
+  kRejectedStale,      ///< seq <= last applied seq (duplicate delivery)
+  kQuarantined,        ///< vehicle is in the poison quarantine
+};
+
+std::string to_string(Outcome outcome);
+
+/// One decision record. For kDecided, `threshold` is the idle-wait in
+/// seconds (+inf means never shut off — the NEV rung); for every other
+/// outcome it is quiet NaN. Two decision streams are compared bit-for-bit
+/// on (vehicle, seq, outcome, rung, threshold-bits) by the recovery tests.
+struct Decision {
+  std::uint64_t vehicle = 0;
+  std::uint64_t seq = 0;
+  Outcome outcome = Outcome::kDecided;
+  robust::ControllerMode rung = robust::ControllerMode::kNRand;
+  double threshold = 0.0;
+};
+
+/// Bitwise equality over the fields the determinism contract covers
+/// (threshold compared on its bit pattern so NaN payloads and signed
+/// zeros count).
+bool bit_identical(const Decision& a, const Decision& b);
+
+}  // namespace idlered::serve

@@ -1,0 +1,51 @@
+#include "serve/ingest.h"
+
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace idlered::serve {
+
+IngestConfig::IngestConfig() {
+  // First retry after 1 tick, doubling to a 32-tick cap; half-range
+  // jitter so sources retrying into the same burst spread out.
+  backoff.base = 1.0;
+  backoff.multiplier = 2.0;
+  backoff.max = 32.0;
+  backoff.jitter = 0.5;
+}
+
+void IngestConfig::validate() const {
+  if (max_attempts == 0)
+    throw std::invalid_argument("IngestConfig: max_attempts must be >= 1");
+  backoff.validate();
+}
+
+Ingestor::Ingestor(DecisionService& service, const IngestConfig& config,
+                   std::uint64_t seed)
+    : service_(service), config_(config), backoff_(config.backoff, seed) {
+  config_.validate();
+}
+
+Admit Ingestor::feed(const StopEvent& event,
+                     const std::function<void(double)>& on_wait) {
+  Admit admit = Admit::kRejectedQueueFull;
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    admit = service_.submit(event);
+    if (admit == Admit::kAccepted) {
+      ++delivered_;
+      backoff_.reset();
+      return admit;
+    }
+    if (admit == Admit::kRejectedShutdown) return admit;  // no point retrying
+    ++retries_;
+    IDLERED_COUNT("serve.ingest.retries");
+    if (attempt + 1 < config_.max_attempts && on_wait)
+      on_wait(backoff_.next());
+  }
+  ++lost_;
+  IDLERED_COUNT("serve.ingest.lost");
+  return admit;
+}
+
+}  // namespace idlered::serve

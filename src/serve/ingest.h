@@ -1,0 +1,68 @@
+// Producer-side ingestion hardening: retry-with-backoff on backpressure.
+//
+// submit() refusing an event is the service working as designed — the
+// bounded queue is the backpressure primitive — but a telemetry source
+// that simply drops on refusal turns transient overload into data loss.
+// The Ingestor wraps submit with a bounded retry loop driven by the same
+// jittered exponential backoff the shards use for re-promotion: delays
+// grow per consecutive refusal (so a saturated shard is not hammered),
+// jitter de-synchronizes competing sources, and the counter resets on the
+// first acceptance.
+//
+// Time is abstract: backoff delays are expressed in "wait ticks" handed
+// to the caller's on_wait callback, which decides what a tick means —
+// the bench sleeps, tests pump the service, a real deployment would
+// sleep on its telemetry clock. That keeps the retry policy itself
+// deterministic and clock-free (the determinism lint applies to src/
+// serve/ like everywhere else).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "robust/backoff.h"
+#include "serve/event.h"
+#include "serve/service.h"
+
+namespace idlered::serve {
+
+struct IngestConfig {
+  /// Attempts per event before it is counted lost (>= 1). The final
+  /// refusal is returned to the caller.
+  std::size_t max_attempts = 8;
+  /// Backoff across consecutive refusals, in wait ticks.
+  robust::ExponentialBackoff::Config backoff;
+
+  IngestConfig();
+
+  /// Throws std::invalid_argument on max_attempts == 0 or a bad backoff.
+  void validate() const;
+};
+
+class Ingestor {
+ public:
+  /// `seed` drives the backoff jitter (give each source its own).
+  Ingestor(DecisionService& service, const IngestConfig& config,
+           std::uint64_t seed);
+
+  /// Submit with retry. Between attempts, on_wait(ticks) runs with the
+  /// backoff delay — the caller must let the service make progress there
+  /// (pump it, or sleep while a pump thread runs) or the retries are
+  /// busy-waiting. Returns the first acceptance or the last refusal.
+  Admit feed(const StopEvent& event,
+             const std::function<void(double)>& on_wait);
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t lost() const { return lost_; }  ///< attempts exhausted
+
+ private:
+  DecisionService& service_;
+  IngestConfig config_;
+  robust::ExponentialBackoff backoff_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace idlered::serve

@@ -1,0 +1,55 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace idlered::serve {
+
+BoundedEventQueue::BoundedEventQueue(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("BoundedEventQueue: capacity must be >= 1");
+  ring_.resize(capacity);
+}
+
+bool BoundedEventQueue::try_push(const StopEvent& event) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (count_ == capacity_) {
+    ++rejected_;
+    return false;
+  }
+  ring_[(head_ + count_) % capacity_] = event;
+  ++count_;
+  high_water_ = std::max(high_water_, count_);
+  return true;
+}
+
+std::size_t BoundedEventQueue::pop_up_to(std::size_t max,
+                                         std::vector<StopEvent>& out) {
+  std::lock_guard<std::mutex> lock(m_);
+  const std::size_t n = std::min(max, count_);
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+  }
+  count_ -= n;
+  return n;
+}
+
+std::size_t BoundedEventQueue::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return count_;
+}
+
+std::size_t BoundedEventQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return high_water_;
+}
+
+std::uint64_t BoundedEventQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return rejected_;
+}
+
+}  // namespace idlered::serve

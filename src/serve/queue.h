@@ -1,0 +1,57 @@
+// Bounded multi-producer event queue feeding one shard.
+//
+// Producers are telemetry sources submitting from arbitrary threads; the
+// single consumer is the shard's drain pass on the engine thread pool. A
+// mutex-guarded ring keeps the implementation obviously correct under
+// TSan; the critical sections are a few dozen instructions, and the
+// consumer amortizes its lock by popping whole drain batches.
+//
+// Boundedness is the backpressure primitive: try_push refuses instead of
+// growing, so overload surfaces at the producer (where a retry/backoff
+// policy can act) rather than as unbounded memory inside the service. The
+// high-water mark and refusal count are the raw signals the load shedder
+// and the obs gauges consume.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/event.h"
+
+namespace idlered::serve {
+
+class BoundedEventQueue {
+ public:
+  /// Throws std::invalid_argument unless capacity >= 1.
+  explicit BoundedEventQueue(std::size_t capacity);
+
+  /// Enqueue unless full. Thread-safe (any producer).
+  bool try_push(const StopEvent& event);
+
+  /// Pop up to `max` events in FIFO order, appending to `out`; returns how
+  /// many were popped. Thread-safe, but the service guarantees one
+  /// consumer per queue (the owning shard's drain pass).
+  std::size_t pop_up_to(std::size_t max, std::vector<StopEvent>& out);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Deepest the queue has ever been (diagnostics; monotone).
+  std::size_t high_water() const;
+
+  /// try_push refusals so far.
+  std::uint64_t rejected() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::vector<StopEvent> ring_;
+  std::size_t head_ = 0;  ///< next pop position
+  std::size_t count_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace idlered::serve

@@ -1,0 +1,174 @@
+#include "serve/service.h"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "serve/snapshot.h"
+#include "util/random.h"
+
+namespace idlered::serve {
+
+namespace {
+
+ShardParams shard_params(const ServeConfig& config, std::size_t index) {
+  ShardParams p;
+  p.index = index;
+  p.break_even = config.break_even;
+  p.warmup_stops = config.warmup_stops;
+  p.queue_capacity = config.queue_capacity;
+  p.drain_batch = config.drain_batch;
+  p.poison_strikes = config.poison_strikes;
+  p.b_det_margin = config.b_det_margin;
+  p.guard = config.guard;
+  p.shed = config.shed;
+  p.seed = config.seed;
+  p.snapshot_every = config.snapshot_every;
+  return p;
+}
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  if (num_shards == 0)
+    throw std::invalid_argument("ServeConfig: num_shards must be >= 1");
+  shard_params(*this, 0).validate();
+}
+
+DecisionService::DecisionService(const ServeConfig& config)
+    : DecisionService(config, /*fresh=*/true) {}
+
+DecisionService::DecisionService(const ServeConfig& config, bool fresh)
+    : config_(config), pool_(config.threads) {
+  config_.validate();
+  shards_.reserve(config_.num_shards);
+  slots_.resize(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>(shard_params(config_, i)));
+  if (durable()) {
+    if (fresh) {
+      ServeMeta meta;
+      meta.num_shards = config_.num_shards;
+      meta.break_even = config_.break_even;
+      meta.seed = config_.seed;
+      meta.warmup_stops = config_.warmup_stops;
+      write_meta(config_.durable_dir, meta);
+    }
+    for (auto& shard : shards_)
+      shard->attach_durable(config_.durable_dir, fresh);
+  }
+}
+
+DecisionService::Recovered DecisionService::recover(const ServeConfig& config) {
+  if (config.durable_dir.empty())
+    throw std::invalid_argument(
+        "DecisionService::recover: config.durable_dir is empty");
+  const auto meta = read_meta(config.durable_dir);
+  if (!meta)
+    throw std::runtime_error("DecisionService::recover: no meta file in " +
+                             config.durable_dir);
+  // Identity check is bitwise on break_even: replaying under a nearby but
+  // different break-even would silently produce different decisions.
+  if (meta->num_shards != config.num_shards ||
+      std::bit_cast<std::uint64_t>(meta->break_even) !=
+          std::bit_cast<std::uint64_t>(config.break_even) ||
+      meta->seed != config.seed ||
+      meta->warmup_stops != config.warmup_stops) {
+    std::ostringstream os;
+    os << "DecisionService::recover: meta mismatch in " << config.durable_dir
+       << " (stored shards=" << meta->num_shards << " seed=" << meta->seed
+       << " warmup=" << meta->warmup_stops << ")";
+    throw std::runtime_error(os.str());
+  }
+
+  Recovered result;
+  result.service.reset(new DecisionService(config, /*fresh=*/false));
+  for (auto& shard : result.service->shards_) {
+    std::vector<Decision> replayed = shard->recover();
+    result.replayed.insert(result.replayed.end(), replayed.begin(),
+                           replayed.end());
+  }
+  // Compact: fold the replayed WAL tails into fresh snapshots so a second
+  // crash right after recovery replays nothing twice.
+  result.service->checkpoint();
+  IDLERED_COUNT("serve.recoveries");
+  return result;
+}
+
+DecisionService::~DecisionService() = default;
+
+std::size_t DecisionService::shard_of(std::uint64_t vehicle) const {
+  // mix64 first: vehicle ids are often sequential, and `id % shards`
+  // would then alias whole depots onto one shard.
+  return static_cast<std::size_t>(util::mix64(vehicle) % shards_.size());
+}
+
+Admit DecisionService::submit(const StopEvent& event) {
+  if (!accepting_.load(std::memory_order_acquire))
+    return Admit::kRejectedShutdown;
+  return shards_[shard_of(event.vehicle)]->submit(event);
+}
+
+std::size_t DecisionService::pump(std::vector<Decision>& out) {
+  IDLERED_SPAN("serve.pump");
+  // One task per shard, chunk = 1: shard drains are coarse and skewed, so
+  // work stealing balances them. Slots are disjoint per shard — the
+  // pool's determinism contract — and concatenated in shard order below.
+  pool_.parallel_for(
+      shards_.size(),
+      [this](std::size_t i) {
+        slots_[i].clear();
+        shards_[i]->drain(slots_[i]);
+      },
+      /*chunk=*/1);
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (const Decision& d : slots_[i]) {
+      applied += d.outcome != Outcome::kRejectedStale ? 1 : 0;
+      out.push_back(d);
+    }
+    slots_[i].clear();
+  }
+  return applied;
+}
+
+std::size_t DecisionService::drain_all(std::vector<Decision>& out) {
+  std::size_t applied = 0;
+  for (;;) {
+    const std::size_t before = out.size();
+    applied += pump(out);
+    if (out.size() == before && queued() == 0) break;
+  }
+  return applied;
+}
+
+void DecisionService::checkpoint() {
+  if (!durable()) return;
+  pool_.parallel_for(
+      shards_.size(), [this](std::size_t i) { shards_[i]->checkpoint(); },
+      /*chunk=*/1);
+}
+
+std::vector<Decision> DecisionService::shutdown() {
+  accepting_.store(false, std::memory_order_release);
+  std::vector<Decision> out;
+  drain_all(out);
+  if (!checkpointed_on_shutdown_) {
+    checkpoint();
+    checkpointed_on_shutdown_ = true;
+  }
+  return out;
+}
+
+std::uint64_t DecisionService::last_applied_seq(std::uint64_t vehicle) const {
+  return shards_[shard_of(vehicle)]->last_applied_seq(vehicle);
+}
+
+std::size_t DecisionService::queued() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue().size();
+  return total;
+}
+
+}  // namespace idlered::serve

@@ -1,0 +1,130 @@
+// The streaming fleet decision service.
+//
+// Producers submit per-vehicle StopEvents from any thread; submit() hashes
+// the vehicle id onto one of `num_shards` shards (mix64, so adversarial id
+// patterns still spread) and enqueues on that shard's bounded queue — or
+// refuses, which is the backpressure signal the ingest layer retries on.
+// pump() runs one drain pass over every shard on the engine's work-stealing
+// thread pool and returns the batch of decisions.
+//
+// Determinism: each pump writes per-shard decision slots (disjoint,
+// preallocated — the pool's contract) and concatenates them in shard
+// order, so a pump's output is independent of thread count and scheduling.
+// Per-vehicle decision order is the vehicle's seq order regardless of
+// interleaving, because vehicles are pinned to shards and shards drain
+// FIFO.
+//
+// Durability: constructed with a non-empty `durable_dir`, the service
+// writes a meta file naming its identity (shard count, break-even bits,
+// seed, warm-up), and each shard maintains snapshot + WAL as described in
+// snapshot.h. `DecisionService::recover(config)` rebuilds a crashed
+// service from that directory: meta is validated against the config, every
+// shard restores its snapshot and re-applies its WAL tail — re-deriving
+// bit-identical decisions for events that were durable but whose decisions
+// may not have reached anyone — and a fresh checkpoint compacts the logs.
+// Producers then resume from last_applied_seq(vehicle) + 1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "serve/event.h"
+#include "serve/shard.h"
+
+namespace idlered::serve {
+
+struct ServeConfig {
+  std::size_t num_shards = 4;
+  int threads = 1;  ///< engine pool size; <= 0 = hardware concurrency
+  double break_even = 60.0;
+  std::size_t warmup_stops = 8;
+  std::size_t queue_capacity = 256;  ///< per shard
+  std::size_t drain_batch = 64;      ///< per shard per pump
+  std::size_t poison_strikes = 4;    ///< 0 disables quarantine
+  double b_det_margin = 0.9;
+  robust::GuardConfig guard;
+  ShedConfig shed;
+  std::uint64_t seed = 1;
+  /// Durable storage directory; empty = in-memory service (no snapshots,
+  /// no WAL, no recovery).
+  std::string durable_dir;
+  /// Per-shard auto-checkpoint period in applied events (durable only;
+  /// 0 = checkpoint only on explicit checkpoint() calls).
+  std::size_t snapshot_every = 0;
+
+  /// Throws std::invalid_argument on zero shards or invalid per-shard
+  /// parameters.
+  void validate() const;
+};
+
+class DecisionService {
+ public:
+  /// Fresh service. With a durable_dir this truncates any prior WALs and
+  /// writes a new meta file — use recover() to resume instead.
+  explicit DecisionService(const ServeConfig& config);
+
+  /// Rebuild from `config.durable_dir` after a crash. Validates the meta
+  /// file against `config` (shard count, break-even bits, seed, warm-up
+  /// must match — replaying under a different identity would produce
+  /// different decisions and corrupt the stream silently). Returns the
+  /// service plus the decisions re-derived from the WAL tails.
+  struct Recovered {
+    std::unique_ptr<DecisionService> service;
+    std::vector<Decision> replayed;
+  };
+  static Recovered recover(const ServeConfig& config);
+
+  ~DecisionService();
+
+  DecisionService(const DecisionService&) = delete;
+  DecisionService& operator=(const DecisionService&) = delete;
+
+  /// Route one event to its shard. Thread-safe; returns the admission
+  /// verdict (kRejectedQueueFull is the retry-after-backoff signal).
+  Admit submit(const StopEvent& event);
+
+  /// Drain every shard once on the thread pool and append this pump's
+  /// decisions to `out` (deterministic order: shard 0's batch, then shard
+  /// 1's, ...). Returns how many events were applied. Not thread-safe
+  /// with itself, checkpoint(), or shutdown().
+  std::size_t pump(std::vector<Decision>& out);
+
+  /// Pump until every queue is empty and a final pump applies nothing.
+  std::size_t drain_all(std::vector<Decision>& out);
+
+  /// Snapshot every shard and truncate the WALs (durable services).
+  void checkpoint();
+
+  /// Stop admitting (submit returns kRejectedShutdown), drain what is
+  /// queued, and checkpoint. Idempotent.
+  std::vector<Decision> shutdown();
+
+  /// Crash-resume handshake: highest seq processed for the vehicle
+  /// (0 = never seen). Quiesced callers only (no concurrent pump).
+  std::uint64_t last_applied_seq(std::uint64_t vehicle) const;
+
+  std::size_t shard_of(std::uint64_t vehicle) const;
+  const Shard& shard(std::size_t index) const { return *shards_[index]; }
+  std::size_t num_shards() const { return shards_.size(); }
+  const ServeConfig& config() const { return config_; }
+  bool durable() const { return !config_.durable_dir.empty(); }
+
+  /// Sum of queue depths right now (diagnostics; racy under load).
+  std::size_t queued() const;
+
+ private:
+  DecisionService(const ServeConfig& config, bool fresh);
+
+  ServeConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<Decision>> slots_;  ///< per-shard pump output
+  engine::ThreadPool pool_;
+  std::atomic<bool> accepting_{true};
+  bool checkpointed_on_shutdown_ = false;
+};
+
+}  // namespace idlered::serve

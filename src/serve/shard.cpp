@@ -1,0 +1,320 @@
+#include "serve/shard.h"
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/analytic.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "robust/health_monitor.h"
+#include "util/contracts.h"
+#include "util/random.h"
+
+namespace idlered::serve {
+
+namespace {
+
+int severity(robust::ControllerMode mode) { return static_cast<int>(mode); }
+
+double quiet_nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
+// Throwaway per-decision stream: a pure function of (service seed,
+// vehicle, seq), so the same event draws the same threshold on replay, on
+// any thread, in any batch.
+std::uint64_t decision_seed(std::uint64_t seed, const StopEvent& event) {
+  return util::mix64(util::mix64(seed ^ event.vehicle) ^ event.seq);
+}
+
+// One drain-batch summary for the obs timeline; lines up with the shed
+// transitions and the queue-depth gauge.
+void trace_drain([[maybe_unused]] std::size_t shard,
+                 [[maybe_unused]] std::uint64_t pump,
+                 [[maybe_unused]] std::size_t depth,
+                 [[maybe_unused]] std::size_t popped,
+                 [[maybe_unused]] robust::ControllerMode ceiling) {
+  IDLERED_OBS_ONLY(if (obs::enabled()) {
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "serve_drain");
+    ev.set("shard", static_cast<double>(shard));
+    ev.set("pump", static_cast<double>(pump));
+    ev.set("depth", depth);
+    ev.set("popped", popped);
+    ev.set("ceiling", robust::to_string(ceiling));
+    obs::recorder().emit(std::move(ev));
+  })
+}
+
+}  // namespace
+
+void ShardParams::validate() const {
+  if (!(break_even > 0.0) || !std::isfinite(break_even))
+    throw std::invalid_argument("ShardParams: break_even must be finite > 0");
+  if (queue_capacity == 0)
+    throw std::invalid_argument("ShardParams: queue_capacity must be >= 1");
+  if (drain_batch == 0)
+    throw std::invalid_argument("ShardParams: drain_batch must be >= 1");
+  if (warmup_stops == 0)
+    throw std::invalid_argument("ShardParams: warmup_stops must be >= 1");
+  if (!(b_det_margin > 0.0) || b_det_margin > 1.0)
+    throw std::invalid_argument("ShardParams: b_det_margin must be in (0, 1]");
+  guard.validate();
+  shed.validate();
+}
+
+Shard::Shard(const ShardParams& params)
+    : params_(params),
+      queue_(params.queue_capacity),
+      shedder_(params.shed,
+               util::mix64(params.seed ^ (params.index + 0x5e17ULL))) {
+  params_.validate();
+}
+
+void Shard::attach_durable(const std::string& dir, bool fresh) {
+  std::filesystem::create_directories(dir);
+  dir_ = dir;
+  wal_.open(dir, params_.index, fresh);
+}
+
+Admit Shard::submit(const StopEvent& event) {
+  if (queue_.try_push(event)) return Admit::kAccepted;
+  IDLERED_COUNT("serve.submit.rejected");
+  return Admit::kRejectedQueueFull;
+}
+
+std::size_t Shard::drain(std::vector<Decision>& out) {
+  const std::size_t depth = queue_.size();
+  const robust::ControllerMode ceiling =
+      shedder_.observe(depth, queue_.capacity());
+  IDLERED_OBS_ONLY({
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    if (!gauge_registered_) {
+      gauge_id_ =
+          reg.gauge("serve.queue_depth." + std::to_string(params_.index));
+      gauge_registered_ = true;
+    }
+    reg.set(gauge_id_, static_cast<double>(depth));
+  })
+
+  batch_.clear();
+  queue_.pop_up_to(params_.drain_batch, batch_);
+  if (batch_.empty()) return 0;
+  trace_drain(params_.index, shedder_.pumps(), depth, batch_.size(), ceiling);
+
+  // Durability barrier: every event that will mutate state goes to the
+  // WAL — flushed — *before* any of the batch's decisions are emitted, so
+  // a crash can lose only decisions nobody has seen yet. Staleness is the
+  // one thing predicted here instead of discovered in apply_event; the
+  // prediction tracks in-batch seq advances so it matches apply order
+  // exactly.
+  if (durable()) {
+    std::map<std::uint64_t, std::uint64_t> pending;
+    std::uint64_t index = apply_index_;
+    for (const StopEvent& ev : batch_) {
+      std::uint64_t last = 0;
+      if (const auto p = pending.find(ev.vehicle); p != pending.end()) {
+        last = p->second;
+      } else if (const auto s = states_.find(ev.vehicle);
+                 s != states_.end()) {
+        last = s->second.last_seq;
+      }
+      if (ev.seq == 0 || ev.seq <= last) continue;  // stale: pure no-op
+      pending[ev.vehicle] = ev.seq;
+      wal_.append(WalRecord{++index, ev, ceiling});
+    }
+    wal_.flush();
+  }
+
+  std::size_t applied = 0;
+  for (const StopEvent& ev : batch_) {
+    const std::uint64_t before = apply_index_;
+    out.push_back(apply_event(ev, ceiling));
+    applied += static_cast<std::size_t>(apply_index_ - before);
+  }
+
+  if (durable() && params_.snapshot_every > 0 &&
+      applied_since_checkpoint_ >= params_.snapshot_every)
+    checkpoint();
+  return applied;
+}
+
+VehicleState& Shard::vehicle(std::uint64_t id) {
+  const auto it = states_.find(id);
+  if (it != states_.end()) return it->second;
+  return states_
+      .emplace(id, VehicleState(params_.break_even, params_.guard))
+      .first->second;
+}
+
+Decision Shard::apply_event(const StopEvent& event,
+                            robust::ControllerMode ceiling) {
+  Decision d;
+  d.vehicle = event.vehicle;
+  d.seq = event.seq;
+  d.rung = ceiling;
+  d.threshold = quiet_nan();
+
+  // Stale check without creating state: a duplicate for an unseen vehicle
+  // must stay a pure no-op or replayed shards would track different
+  // vehicle sets than the original.
+  const auto it = states_.find(event.vehicle);
+  const std::uint64_t last = it == states_.end() ? 0 : it->second.last_seq;
+  if (event.seq == 0 || event.seq <= last) {
+    d.outcome = Outcome::kRejectedStale;
+    IDLERED_COUNT("serve.events.stale");
+    return d;
+  }
+
+  VehicleState& state = it != states_.end() ? it->second : vehicle(event.vehicle);
+  state.last_seq = event.seq;
+  ++apply_index_;
+  ++applied_since_checkpoint_;
+
+  if (state.quarantined) {
+    d.outcome = Outcome::kQuarantined;
+    IDLERED_COUNT("serve.events.quarantined");
+    return d;
+  }
+
+  const robust::Verdict verdict =
+      state.guard.admit(event.stop_length_s, event.timestamp_s);
+  if (verdict != robust::Verdict::kAccept) {
+    d.outcome = verdict == robust::Verdict::kRejectOutOfOrder
+                    ? Outcome::kRejectedOutOfOrder
+                    : Outcome::kRejectedInvalid;
+    IDLERED_COUNT("serve.events.rejected");
+    ++state.strikes;
+    if (params_.poison_strikes > 0 &&
+        state.strikes >= params_.poison_strikes) {
+      state.quarantined = true;
+      IDLERED_COUNT("serve.quarantines");
+    }
+    return d;
+  }
+
+  state.strikes = 0;
+  state.acc.insert(event.stop_length_s);
+  d.outcome = Outcome::kDecided;
+  robust::ControllerMode rung = ceiling;
+  d.threshold = decide_threshold(event, state, rung);
+  d.rung = rung;
+  IDLERED_COUNT("serve.decisions");
+  return d;
+}
+
+double Shard::decide_threshold(const StopEvent& event, VehicleState& state,
+                               robust::ControllerMode& rung) const {
+  // The effective rung is the worse of the shed ceiling and the vehicle's
+  // own warm-up rung: a cold vehicle gets the distribution-free N-Rand
+  // guarantee even when the shard itself is healthy.
+  const bool warmed = state.acc.count() >= params_.warmup_stops;
+  if (!warmed && severity(robust::ControllerMode::kNRand) > severity(rung))
+    rung = robust::ControllerMode::kNRand;
+
+  if (rung == robust::ControllerMode::kProposed) {
+    const dist::ShortStopStats stats = state.acc.stats();
+    const core::ProposedPolicy proposed(params_.break_even, stats);
+    if (proposed.choice().strategy == core::Strategy::kBDet &&
+        !robust::trust_b_det(stats, params_.break_even,
+                             params_.b_det_margin)) {
+      // Estimation error near the eq. 36 boundary flips the LP vertex;
+      // DET keeps 2-competitiveness on this stop regardless.
+      rung = robust::ControllerMode::kDet;
+    } else {
+      util::Rng rng(decision_seed(params_.seed, event));
+      return proposed.sample_threshold(rng);
+    }
+  }
+  switch (rung) {
+    case robust::ControllerMode::kProposed:
+      break;  // unreachable: handled above
+    case robust::ControllerMode::kDet:
+      return params_.break_even;
+    case robust::ControllerMode::kNRand: {
+      const core::NRandPolicy n_rand(params_.break_even);
+      util::Rng rng(decision_seed(params_.seed, event));
+      return n_rand.sample_threshold(rng);
+    }
+    case robust::ControllerMode::kNev:
+      return std::numeric_limits<double>::infinity();
+  }
+  return params_.break_even;
+}
+
+void Shard::checkpoint() {
+  if (!durable()) return;
+  IDLERED_SPAN("serve.checkpoint");
+  ShardSnap snap;
+  snap.cursor = apply_index_;
+  snap.vehicles.reserve(states_.size());
+  for (const auto& [id, state] : states_) {
+    VehicleSnap v;
+    v.vehicle = id;
+    v.last_seq = state.last_seq;
+    v.count = state.acc.count();
+    v.long_count = state.acc.long_count();
+    v.short_sum = state.acc.short_sum();
+    v.guard = state.guard.state();
+    v.strikes = state.strikes;
+    v.quarantined = state.quarantined;
+    snap.vehicles.push_back(v);
+  }
+  write_shard_snapshot(dir_, params_.index, snap);
+  wal_.reset();
+  applied_since_checkpoint_ = 0;
+  IDLERED_COUNT("serve.checkpoints");
+}
+
+std::vector<Decision> Shard::recover() {
+  if (!durable())
+    throw std::logic_error("Shard::recover: no durable storage attached");
+  IDLERED_SPAN("serve.recover");
+  states_.clear();
+  apply_index_ = 0;
+  applied_since_checkpoint_ = 0;
+
+  if (const auto snap = read_shard_snapshot(dir_, params_.index)) {
+    apply_index_ = snap->cursor;
+    for (const VehicleSnap& v : snap->vehicles) {
+      VehicleState state(params_.break_even, params_.guard);
+      state.acc = stats::ShortStopAccumulator::restore(
+          params_.break_even, static_cast<std::size_t>(v.count), v.short_sum,
+          static_cast<std::size_t>(v.long_count));
+      state.guard.restore(v.guard);
+      state.last_seq = v.last_seq;
+      state.strikes = v.strikes;
+      state.quarantined = v.quarantined;
+      states_.emplace(v.vehicle, std::move(state));
+    }
+  }
+
+  std::vector<Decision> replayed;
+  for (const WalRecord& rec : read_wal(dir_, params_.index)) {
+    if (rec.index <= apply_index_) continue;  // already in the snapshot
+    replayed.push_back(apply_event(rec.event, rec.ceiling));
+    // Every WAL record past the cursor must advance the apply index by
+    // exactly one; a mismatch means the log and snapshot disagree.
+    IDLERED_ENSURES(apply_index_ == rec.index,
+                    "WAL replay index out of step with snapshot cursor");
+  }
+  IDLERED_COUNT_ADD("serve.replayed", replayed.size());
+  return replayed;
+}
+
+std::uint64_t Shard::last_applied_seq(std::uint64_t vehicle_id) const {
+  const auto it = states_.find(vehicle_id);
+  return it == states_.end() ? 0 : it->second.last_seq;
+}
+
+std::uint64_t Shard::quarantined_vehicles() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, state] : states_)
+    if (state.quarantined) ++n;
+  return n;
+}
+
+}  // namespace idlered::serve

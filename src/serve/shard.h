@@ -1,0 +1,146 @@
+// One shard of the streaming decision service: a bounded ingress queue, a
+// load shedder, per-vehicle state, and (optionally) a durable snapshot +
+// replay log.
+//
+// Threading contract: submit() is the only method safe to call from
+// producer threads — it touches nothing but the queue's mutex-guarded
+// ring. Everything else (drain, checkpoint, recover, the accessors over
+// vehicle state) belongs to the single pump pass; the service runs pumps
+// on the engine thread pool with one task per shard, so shard internals
+// never need their own locks.
+//
+// Decision core, per event, in apply order:
+//   1. dedupe on per-vehicle seq (stale events are pure no-ops);
+//   2. quarantine check (a vehicle past `poison_strikes` consecutive
+//      invalid events is fenced off — one poisoned source cannot keep
+//      burning validation work);
+//   3. InputGuard validation (value + event-time monotonicity);
+//   4. accepted stops fold into the O(1) ShortStopAccumulator, and the
+//      answer is priced at the *effective rung*: the worse of the shed
+//      ceiling recorded for the batch and the vehicle's own warm-up rung,
+//      with the COA -> DET trust demotion (eq. 36) applied on top.
+//
+// Determinism: thresholds that need randomness (N-Rand, COA's N-Rand
+// vertex) draw from a throwaway Rng seeded by mix64 over (service seed,
+// vehicle, seq) — never from a long-lived stream — so a decision depends
+// only on durable data plus the WAL-recorded ceiling, never on thread
+// interleaving or replay position. That is the whole crash-recovery
+// story: recover() restores the snapshot, re-applies WAL records beyond
+// the snapshot cursor, and necessarily re-derives bit-identical decisions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "robust/fallback.h"
+#include "robust/input_guard.h"
+#include "serve/event.h"
+#include "serve/queue.h"
+#include "serve/shedder.h"
+#include "serve/snapshot.h"
+#include "stats/rolling.h"
+
+namespace idlered::serve {
+
+struct ShardParams {
+  std::size_t index = 0;  ///< shard ordinal (names the durable files)
+  double break_even = 60.0;
+  /// Accepted stops a vehicle needs before COA is offered; below it the
+  /// vehicle is priced at N-Rand (distribution-free guarantee).
+  std::size_t warmup_stops = 8;
+  std::size_t queue_capacity = 256;
+  std::size_t drain_batch = 64;
+  /// Consecutive invalid events that quarantine a vehicle; 0 disables.
+  std::size_t poison_strikes = 4;
+  /// COA's b-DET vertex is only trusted when eq. 36 holds with this
+  /// margin; otherwise the decision demotes to DET (2-competitive).
+  double b_det_margin = 0.9;
+  robust::GuardConfig guard;
+  ShedConfig shed;
+  std::uint64_t seed = 1;
+  /// Auto-checkpoint after this many applied events (durable shards only;
+  /// 0 = checkpoint only when the service asks).
+  std::size_t snapshot_every = 0;
+
+  /// Throws std::invalid_argument on non-positive break_even, zero
+  /// capacities, a margin outside (0, 1], or invalid sub-configs.
+  void validate() const;
+};
+
+/// Mutable per-vehicle state; exactly what VehicleSnap persists.
+struct VehicleState {
+  stats::ShortStopAccumulator acc;
+  robust::InputGuard guard;
+  std::uint64_t last_seq = 0;  ///< highest processed seq (0 = none)
+  std::uint64_t strikes = 0;   ///< consecutive invalid events
+  bool quarantined = false;
+
+  VehicleState(double break_even, const robust::GuardConfig& guard_config)
+      : acc(break_even), guard(guard_config) {}
+};
+
+class Shard {
+ public:
+  explicit Shard(const ShardParams& params);
+
+  /// Attach durable storage under `dir`. fresh=true truncates any
+  /// existing WAL (new service); fresh=false appends (post-recovery).
+  void attach_durable(const std::string& dir, bool fresh);
+  bool durable() const { return !dir_.empty(); }
+
+  /// Producer side; thread-safe. Refuses (kRejectedQueueFull) when the
+  /// bounded queue is at capacity — backpressure, not buffering.
+  Admit submit(const StopEvent& event);
+
+  /// One pump pass: sample depth into the shedder, pop a drain batch,
+  /// make the batch durable (WAL append + flush), then apply it,
+  /// appending decisions to `out`. Returns how many events were applied.
+  /// Pump-thread only.
+  std::size_t drain(std::vector<Decision>& out);
+
+  /// Write a snapshot (tmp + rename) and truncate the WAL. Pump-thread
+  /// only; no-op for non-durable shards.
+  void checkpoint();
+
+  /// Load the snapshot (if any) and re-apply WAL records past its cursor.
+  /// Returns the decisions the replay re-derived — bit-identical to what
+  /// the pre-crash shard emitted for those events. Call once, before the
+  /// first drain, with durable storage attached.
+  std::vector<Decision> recover();
+
+  /// Highest processed seq for a vehicle (0 = never seen). The crash-
+  /// resume handshake: producers restart from last_applied_seq + 1.
+  std::uint64_t last_applied_seq(std::uint64_t vehicle) const;
+
+  const BoundedEventQueue& queue() const { return queue_; }
+  const LoadShedder& shedder() const { return shedder_; }
+  const ShardParams& params() const { return params_; }
+  std::uint64_t applied() const { return apply_index_; }
+  std::size_t vehicles_tracked() const { return states_.size(); }
+  std::uint64_t quarantined_vehicles() const;
+
+ private:
+  VehicleState& vehicle(std::uint64_t id);
+  Decision apply_event(const StopEvent& event, robust::ControllerMode ceiling);
+  double decide_threshold(const StopEvent& event, VehicleState& state,
+                          robust::ControllerMode& rung) const;
+
+  ShardParams params_;
+  BoundedEventQueue queue_;
+  LoadShedder shedder_;
+  /// Ordered map: snapshot files list vehicles in a deterministic order,
+  /// so identical state produces byte-identical snapshots.
+  std::map<std::uint64_t, VehicleState> states_;
+  std::uint64_t apply_index_ = 0;  ///< WAL index of the last applied event
+  std::uint64_t applied_since_checkpoint_ = 0;
+  std::string dir_;
+  WalWriter wal_;
+  std::vector<StopEvent> batch_;  ///< drain scratch, reused across pumps
+  /// Lazily registered per-shard queue-depth gauge (obs builds only).
+  std::size_t gauge_id_ = 0;
+  bool gauge_registered_ = false;
+};
+
+}  // namespace idlered::serve

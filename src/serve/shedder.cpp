@@ -1,0 +1,150 @@
+#include "serve/shedder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace idlered::serve {
+
+namespace {
+
+// Shed transitions are the backpressure ladder in action; the event
+// carries the depth that drove the move so a timeline lines up with the
+// queue-depth gauges.
+void trace_shed([[maybe_unused]] std::uint64_t pump,
+                [[maybe_unused]] robust::ControllerMode from,
+                [[maybe_unused]] robust::ControllerMode to,
+                [[maybe_unused]] std::size_t depth) {
+  IDLERED_COUNT("serve.shed.transitions");
+  IDLERED_OBS_ONLY(if (obs::enabled()) {
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("type", "shed");
+    ev.set("pump", static_cast<double>(pump));
+    ev.set("from", robust::to_string(from));
+    ev.set("to", robust::to_string(to));
+    ev.set("depth", depth);
+    obs::recorder().emit(std::move(ev));
+  })
+}
+
+robust::ControllerMode mode_for(robust::HealthState state) {
+  switch (state) {
+    case robust::HealthState::kHealthy: return robust::ControllerMode::kProposed;
+    case robust::HealthState::kDegraded: return robust::ControllerMode::kDet;
+    case robust::HealthState::kCritical: return robust::ControllerMode::kNRand;
+  }
+  return robust::ControllerMode::kNRand;
+}
+
+}  // namespace
+
+ShedConfig::ShedConfig() {
+  // Queue pressure moves orders of magnitude faster than sensor
+  // corruption, so the smoothing is quicker and the bands are wider than
+  // the HealthConfig sensor defaults. The bands are over the EWMA'd
+  // fraction of pumps that saw depth above the watermark.
+  health.ewma_alpha = 0.2;
+  health.degraded_enter = 0.50;
+  health.degraded_exit = 0.20;
+  health.critical_enter = 0.80;
+  health.critical_exit = 0.40;
+  // Re-promotion: first step after ~4 pumps, doubling per renewed
+  // pressure episode, capped at 64, half-range jitter for de-sync.
+  promote_backoff.base = 4.0;
+  promote_backoff.multiplier = 2.0;
+  promote_backoff.max = 64.0;
+  promote_backoff.jitter = 0.5;
+}
+
+void ShedConfig::validate() const {
+  if (!(watermark > 0.0) || watermark > 1.0)
+    throw std::invalid_argument("ShedConfig: watermark must be in (0, 1]");
+  if (!(stall_enter > 0.0) || stall_enter > 1.0)
+    throw std::invalid_argument("ShedConfig: stall_enter must be in (0, 1]");
+  if (!(stall_exit > 0.0) || stall_exit >= stall_enter)
+    throw std::invalid_argument(
+        "ShedConfig: stall_exit must be in (0, stall_enter)");
+  if (stall_pumps == 0)
+    throw std::invalid_argument("ShedConfig: stall_pumps must be >= 1");
+  health.validate();
+  promote_backoff.validate();
+}
+
+LoadShedder::LoadShedder(const ShedConfig& config, std::uint64_t seed)
+    : config_(config),
+      monitor_(config.health),
+      backoff_(config.promote_backoff, seed) {
+  config_.validate();
+}
+
+robust::ControllerMode LoadShedder::observe(std::size_t depth,
+                                            std::size_t capacity) {
+  ++pumps_;
+  const double cap = static_cast<double>(capacity);
+  const bool pressured = static_cast<double>(depth) >= config_.watermark * cap;
+  monitor_.record_observation(pressured);
+
+  // Stall tripwire: pinned at/near capacity for stall_pumps consecutive
+  // pumps despite the drain — no statistical rung can keep up.
+  if (static_cast<double>(depth) >= config_.stall_enter * cap) {
+    ++stall_run_;
+  } else {
+    stall_run_ = 0;
+  }
+  if (!stalled_ && stall_run_ >= config_.stall_pumps) {
+    stalled_ = true;
+    IDLERED_COUNT("serve.shed.stalls");
+  }
+  if (stalled_ && static_cast<double>(depth) <= config_.stall_exit * cap) {
+    stalled_ = false;
+    stall_run_ = 0;
+  }
+
+  const robust::ControllerMode target =
+      stalled_ ? robust::ControllerMode::kNev : mode_for(monitor_.state());
+
+  const robust::ControllerMode before = ceiling_;
+  if (severity(target) > severity(ceiling_)) {
+    // Demotion applies immediately: shedding late defeats the purpose.
+    ceiling_ = target;
+    promote_wait_ = 0;
+    calm_run_ = 0;
+  } else if (severity(target) < severity(ceiling_)) {
+    // Promotion is deferred through the jittered backoff, one rung at a
+    // time, so recovering shards de-synchronize and a flappy shard waits
+    // longer on each episode.
+    if (promote_wait_ == 0)
+      promote_wait_ = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(backoff_.next())));
+    --promote_wait_;
+    ++deferred_;
+    if (promote_wait_ == 0)
+      ceiling_ = static_cast<robust::ControllerMode>(severity(ceiling_) - 1);
+  } else {
+    promote_wait_ = 0;
+    // Sustained calm at full quality earns the backoff a reset, so the
+    // *next* burst starts from the base delay again.
+    if (ceiling_ == robust::ControllerMode::kProposed && !pressured) {
+      if (++calm_run_ >= 4 * static_cast<std::uint64_t>(config_.stall_pumps))
+        backoff_.reset();
+    } else {
+      calm_run_ = 0;
+    }
+  }
+
+  if (ceiling_ != before) {
+    const std::size_t cap_hist = config_.health.max_history;
+    if (cap_hist > 0 && transitions_.size() >= cap_hist)
+      transitions_.erase(transitions_.begin(),
+                         transitions_.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 transitions_.size() - cap_hist + 1));
+    transitions_.push_back(Transition{pumps_, before, ceiling_, depth});
+    trace_shed(pumps_, before, ceiling_, depth);
+  }
+  return ceiling_;
+}
+
+}  // namespace idlered::serve

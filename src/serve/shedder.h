@@ -1,0 +1,116 @@
+// Per-shard load shedding: queue pressure walks the fallback ladder.
+//
+// The shard's decision quality degrades gracefully instead of its queue
+// growing without bound: as depth rises past the watermark, the shedder
+// lowers a *ceiling* on the fallback ladder (robust/fallback.h) that every
+// decision in the shard is clamped to —
+//
+//   Healthy   -> COA     full per-vehicle statistics + LP vertex choice
+//   Degraded  -> DET     closed-form wait-B, no statistics consulted
+//   Critical  -> N-Rand  closed-form randomized draw, cheapest guarantee
+//   Stalled   -> NEV     drop-to-default: never-shut-off, near-zero cost
+//
+// Each cheaper rung keeps a provable competitive guarantee, so shedding
+// trades CR optimality for throughput, never correctness.
+//
+// Flap control reuses the robust machinery verbatim: a HealthMonitor
+// smooths the "depth over watermark" indicator into a two-band hysteresis
+// state (the same EWMA + enter/exit bands that keep a glitchy sensor from
+// flapping the controller), and *re-promotion* — stepping the ceiling back
+// toward COA after the burst — additionally waits out a jittered
+// exponential backoff, one rung at a time. The jitter is seeded per shard,
+// so a fleet of shards recovering from the same burst de-synchronizes
+// instead of re-entering COA in lockstep and immediately re-overloading
+// (the thundering-herd failure).
+//
+// Stall detection is the NEV tripwire: a queue pinned at/near capacity for
+// `stall_pumps` consecutive pumps despite draining means the shard cannot
+// keep up at any statistical rung; the ceiling drops to NEV (decisions
+// become O(1) "keep idling") until depth falls under stall_exit.
+//
+// Determinism: observe() is called once per pump with the sampled depth;
+// every output is a pure function of the observation sequence and the
+// seed. No clocks, no ambient entropy — crash replay and the thread-count
+// invariance tests depend on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "robust/backoff.h"
+#include "robust/fallback.h"
+#include "robust/health_monitor.h"
+
+namespace idlered::serve {
+
+struct ShedConfig {
+  /// Depth fraction of capacity above which a pump observation counts as
+  /// "pressured" for the health EWMA.
+  double watermark = 0.5;
+  /// Hysteresis machinery for the pressure rate. The defaults differ from
+  /// the sensor-health defaults: queue pressure moves faster than sensor
+  /// corruption, so the EWMA is quicker and the bands wider.
+  robust::HealthConfig health;
+  /// Re-promotion backoff (in pump ticks), jittered per shard.
+  robust::ExponentialBackoff::Config promote_backoff;
+  /// Consecutive pumps at/above stall_enter * capacity that trip the NEV
+  /// ceiling.
+  std::size_t stall_pumps = 8;
+  double stall_enter = 0.95;
+  double stall_exit = 0.25;  ///< leave NEV once depth falls under this
+
+  ShedConfig();
+
+  /// Throws std::invalid_argument on fractions outside (0, 1],
+  /// stall_exit >= stall_enter, stall_pumps == 0, or invalid sub-configs.
+  void validate() const;
+};
+
+class LoadShedder {
+ public:
+  /// One ceiling change, timestamped by pump ordinal (1-based).
+  struct Transition {
+    std::uint64_t pump = 0;
+    robust::ControllerMode from = robust::ControllerMode::kProposed;
+    robust::ControllerMode to = robust::ControllerMode::kProposed;
+    std::size_t depth = 0;
+  };
+
+  LoadShedder(const ShedConfig& config, std::uint64_t seed);
+
+  /// Fold one pump's queue depth in and return the ceiling now in force.
+  robust::ControllerMode observe(std::size_t depth, std::size_t capacity);
+
+  robust::ControllerMode ceiling() const { return ceiling_; }
+  bool stalled() const { return stalled_; }
+  std::uint64_t pumps() const { return pumps_; }
+
+  /// Ceiling changes so far (bounded by health.max_history like the
+  /// monitor's own log). deferred_promotions counts pump ticks spent
+  /// waiting out the re-promotion backoff.
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  std::uint64_t deferred_promotions() const { return deferred_; }
+
+  const ShedConfig& config() const { return config_; }
+
+ private:
+  /// Severity order of the ladder (kProposed least severe).
+  static int severity(robust::ControllerMode mode) {
+    return static_cast<int>(mode);
+  }
+
+  ShedConfig config_;
+  robust::HealthMonitor monitor_;
+  robust::ExponentialBackoff backoff_;
+  robust::ControllerMode ceiling_ = robust::ControllerMode::kProposed;
+  bool stalled_ = false;
+  std::size_t stall_run_ = 0;    ///< consecutive pumps above stall_enter
+  std::uint64_t promote_wait_ = 0;  ///< pumps left before the next step up
+  std::uint64_t calm_run_ = 0;   ///< pumps at target ceiling (backoff reset)
+  std::uint64_t pumps_ = 0;
+  std::uint64_t deferred_ = 0;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace idlered::serve

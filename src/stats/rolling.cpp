@@ -56,6 +56,23 @@ void ShortStopAccumulator::evict(double stop_length) {
   if (n_ == 0) short_sum_ = 0.0;  // exact reset at the empty state
 }
 
+ShortStopAccumulator ShortStopAccumulator::restore(double break_even,
+                                                   std::size_t count,
+                                                   double short_sum,
+                                                   std::size_t long_count) {
+  ShortStopAccumulator acc(break_even);
+  if (long_count > count)
+    throw std::invalid_argument(
+        "ShortStopAccumulator::restore: long_count exceeds count");
+  if (!std::isfinite(short_sum) || short_sum < 0.0)
+    throw std::invalid_argument(
+        "ShortStopAccumulator::restore: short_sum must be finite and >= 0");
+  acc.n_ = count;
+  acc.short_sum_ = short_sum;
+  acc.long_count_ = long_count;
+  return acc;
+}
+
 dist::ShortStopStats ShortStopAccumulator::stats() const {
   IDLERED_EXPECTS(n_ > 0, "ShortStopAccumulator::stats: no observations");
   dist::ShortStopStats s;

@@ -47,6 +47,20 @@ class ShortStopAccumulator {
   bool empty() const { return n_ == 0; }
   double break_even() const { return break_even_; }
 
+  /// Sufficient statistics, exposed for exact persistence: together with
+  /// count() they are the accumulator's entire mutable state, so a
+  /// snapshot that stores them bit-for-bit (the serve layer encodes the
+  /// sum's raw bit pattern) restores identical future behaviour.
+  double short_sum() const { return short_sum_; }
+  std::size_t long_count() const { return long_count_; }
+
+  /// Rebuild an accumulator from previously captured sufficient
+  /// statistics. Throws std::invalid_argument on an invalid break-even or
+  /// inconsistent state (long_count > count, non-finite/negative sum).
+  static ShortStopAccumulator restore(double break_even, std::size_t count,
+                                      double short_sum,
+                                      std::size_t long_count);
+
   /// Current (mu_B_minus, q_B_plus); contract-checked non-empty, and the
   /// result is clamped-checked into the feasible ranges q in [0, 1],
   /// mu in [0, B] like the estimators in core/.

@@ -1,0 +1,14 @@
+// lint-fixture: path=src/serve/feeder_impl.cpp
+// src/serve/ is the streaming decision service: its producer-side entry
+// points are inherently multi-threaded, so `thread-outside-engine` must
+// NOT fire here (the pump itself still runs on the engine pool).
+#include <thread>
+#include <vector>
+
+namespace idlered::serve {
+
+void spawn_sources(int n, std::vector<std::thread>& out) {
+  for (int i = 0; i < n; ++i) out.emplace_back([] {});
+}
+
+}  // namespace idlered::serve

@@ -1,0 +1,103 @@
+#include "robust/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace idlered::robust {
+namespace {
+
+ExponentialBackoff::Config no_jitter() {
+  ExponentialBackoff::Config c;
+  c.base = 1.0;
+  c.multiplier = 2.0;
+  c.max = 16.0;
+  c.jitter = 0.0;
+  return c;
+}
+
+TEST(BackoffConfigTest, ValidateRejectsBadKnobs) {
+  ExponentialBackoff::Config c = no_jitter();
+  c.base = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = no_jitter();
+  c.multiplier = 0.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = no_jitter();
+  c.max = 0.5;  // below base
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = no_jitter();
+  c.jitter = 1.0;  // must be < 1 so delays never collapse to zero
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = no_jitter();
+  c.jitter = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(BackoffTest, DoublesUpToCapWithoutJitter) {
+  ExponentialBackoff b(no_jitter(), 1);
+  EXPECT_DOUBLE_EQ(b.next(), 1.0);
+  EXPECT_DOUBLE_EQ(b.next(), 2.0);
+  EXPECT_DOUBLE_EQ(b.next(), 4.0);
+  EXPECT_DOUBLE_EQ(b.next(), 8.0);
+  EXPECT_DOUBLE_EQ(b.next(), 16.0);
+  EXPECT_DOUBLE_EQ(b.next(), 16.0);  // capped
+  EXPECT_EQ(b.failures(), 6u);
+}
+
+TEST(BackoffTest, ResetReturnsToBase) {
+  ExponentialBackoff b(no_jitter(), 1);
+  b.next();
+  b.next();
+  b.reset();
+  EXPECT_EQ(b.failures(), 0u);
+  EXPECT_DOUBLE_EQ(b.next(), 1.0);
+}
+
+TEST(BackoffTest, PeekDoesNotEscalate) {
+  ExponentialBackoff b(no_jitter(), 1);
+  EXPECT_DOUBLE_EQ(b.peek(), 1.0);
+  EXPECT_DOUBLE_EQ(b.peek(), 1.0);
+  b.next();
+  EXPECT_DOUBLE_EQ(b.peek(), 2.0);
+}
+
+TEST(BackoffTest, JitterStaysInsideTheContractedRange) {
+  ExponentialBackoff::Config c = no_jitter();
+  c.jitter = 0.5;
+  ExponentialBackoff b(c, 42);
+  // Delay k must land in [(1 - jitter) * d_k, d_k] for d_k the unjittered
+  // schedule. This is the thundering-herd contract: jitter only ever
+  // *shortens* a delay, never extends it past the deterministic envelope.
+  double expected = 1.0;
+  for (int i = 0; i < 12; ++i) {
+    const double d = b.next();
+    EXPECT_GE(d, 0.5 * expected - 1e-12);
+    EXPECT_LE(d, expected + 1e-12);
+    expected = std::min(expected * 2.0, 16.0);
+  }
+}
+
+TEST(BackoffTest, SeedsDecorrelateStreams) {
+  ExponentialBackoff::Config c = no_jitter();
+  c.jitter = 0.5;
+  ExponentialBackoff a(c, 1);
+  ExponentialBackoff b(c, 2);
+  // Same schedule, different seeds: at least one of the first draws must
+  // differ, otherwise everyone re-promotes in lockstep.
+  bool differs = false;
+  for (int i = 0; i < 8; ++i)
+    if (a.next() != b.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(BackoffTest, SameSeedIsDeterministic) {
+  ExponentialBackoff::Config c = no_jitter();
+  c.jitter = 0.5;
+  ExponentialBackoff a(c, 7);
+  ExponentialBackoff b(c, 7);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace idlered::robust

@@ -239,5 +239,50 @@ TEST(TrustBDetTest, InvalidMarginThrows) {
   EXPECT_THROW(trust_b_det(s, 28.0, 1.1), std::invalid_argument);
 }
 
+
+TEST(HealthMonitorTest, TransitionHistoryIsBounded) {
+  HealthConfig cfg;
+  cfg.max_history = 4;
+  HealthMonitor m(cfg);
+  // Drive the monitor through many state flips: long anomaly bursts
+  // alternating with long clean stretches.
+  for (int cycle = 0; cycle < 32; ++cycle) {
+    for (int i = 0; i < 64; ++i) m.record_observation(true);
+    for (int i = 0; i < 256; ++i) m.record_observation(false);
+  }
+  EXPECT_LE(m.transitions().size(), 4u);
+  // The totals keep counting even though the log is truncated.
+  EXPECT_GT(m.total_transitions(), 4u);
+  EXPECT_GE(m.total_transitions(), 2u * 32u - 1u);
+  // The retained entries are the most recent ones (monotone timestamps).
+  const auto& log = m.transitions();
+  for (std::size_t i = 1; i < log.size(); ++i)
+    EXPECT_LT(log[i - 1].at, log[i].at);
+}
+
+TEST(HealthMonitorTest, ZeroMaxHistoryKeepsEverything) {
+  HealthConfig cfg;
+  cfg.max_history = 0;  // unlimited
+  HealthMonitor m(cfg);
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (int i = 0; i < 64; ++i) m.record_observation(true);
+    for (int i = 0; i < 256; ++i) m.record_observation(false);
+  }
+  EXPECT_EQ(m.transitions().size(), m.total_transitions());
+}
+
+TEST(HealthMonitorTest, ActuatorHistoryIsBoundedToo) {
+  HealthConfig cfg;
+  cfg.max_history = 2;
+  HealthMonitor m(cfg);
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    for (int i = 0; i < 64; ++i) m.record_restart(false);
+    for (int i = 0; i < 256; ++i) m.record_restart(true);
+  }
+  EXPECT_LE(m.actuator_transitions().size(), 2u);
+  EXPECT_GT(m.total_actuator_transitions(),
+            m.actuator_transitions().size());
+}
+
 }  // namespace
 }  // namespace idlered::robust

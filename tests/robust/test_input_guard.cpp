@@ -94,5 +94,76 @@ TEST(InputGuardTest, VerdictNamesAreDistinct) {
             to_string(Verdict::kRejectNegative));
 }
 
+// ---- streaming (timestamped) path -----------------------------------------
+
+TEST(InputGuardStreamingTest, RejectsHostileValuesWithTimestamps) {
+  InputGuard g;
+  // Regression for the streaming path: NaN / negative / Inf stop durations
+  // must be rejected regardless of a perfectly fine timestamp.
+  EXPECT_EQ(g.admit(kNan, 1.0), Verdict::kRejectNonFinite);
+  EXPECT_EQ(g.admit(kInf, 2.0), Verdict::kRejectNonFinite);
+  EXPECT_EQ(g.admit(-5.0, 3.0), Verdict::kRejectNegative);
+  EXPECT_EQ(g.counts().accepted, 0u);
+  EXPECT_EQ(g.counts().anomalies(), 3u);
+  // None of those advanced the timestamp watermark.
+  EXPECT_FALSE(g.has_timestamp());
+}
+
+TEST(InputGuardStreamingTest, RejectsOutOfOrderTimestamps) {
+  InputGuard g;
+  EXPECT_EQ(g.admit(10.0, 100.0), Verdict::kAccept);
+  EXPECT_EQ(g.last_timestamp(), 100.0);
+  // Strictly-after is required: equal and earlier both reject.
+  EXPECT_EQ(g.admit(10.0, 100.0), Verdict::kRejectOutOfOrder);
+  EXPECT_EQ(g.admit(10.0, 99.0), Verdict::kRejectOutOfOrder);
+  // A non-finite timestamp is out-of-order by definition.
+  EXPECT_EQ(g.admit(10.0, kNan), Verdict::kRejectOutOfOrder);
+  EXPECT_EQ(g.counts().out_of_order, 3u);
+  // The watermark did not move, so progress is still possible.
+  EXPECT_EQ(g.admit(10.0, 101.0), Verdict::kAccept);
+  EXPECT_EQ(g.counts().accepted, 2u);
+  EXPECT_EQ(g.counts().total(), 5u);
+}
+
+TEST(InputGuardStreamingTest, ValueVerdictWinsOverTimestamp) {
+  InputGuard g;
+  ASSERT_EQ(g.admit(10.0, 10.0), Verdict::kAccept);
+  // Both the value and the timestamp are bad: the value verdict is
+  // reported (it is what the anomaly counters key on).
+  EXPECT_EQ(g.admit(kNan, 5.0), Verdict::kRejectNonFinite);
+  EXPECT_EQ(g.counts().non_finite, 1u);
+  EXPECT_EQ(g.counts().out_of_order, 0u);
+}
+
+TEST(InputGuardStreamingTest, CheckIsPureAdmitRecords) {
+  InputGuard g;
+  ASSERT_EQ(g.admit(10.0, 10.0), Verdict::kAccept);
+  EXPECT_EQ(g.check(11.0, 9.0), Verdict::kRejectOutOfOrder);
+  EXPECT_EQ(g.counts().total(), 1u);  // check() recorded nothing
+}
+
+TEST(InputGuardStreamingTest, StateRoundTripRestoresAllTrackers) {
+  GuardConfig cfg;
+  cfg.stuck_run_limit = 3;
+  InputGuard g(cfg);
+  ASSERT_EQ(g.admit(42.0, 1.0), Verdict::kAccept);
+  ASSERT_EQ(g.admit(42.0, 2.0), Verdict::kAccept);
+  ASSERT_EQ(g.admit(kNan, 3.0), Verdict::kRejectNonFinite);
+
+  const InputGuard::State saved = g.state();
+  InputGuard fresh(cfg);
+  fresh.restore(saved);
+
+  // Both guards must now agree on every future verdict: the stuck-run
+  // tracker (one more 42.0 trips the limit) and the timestamp watermark
+  // both carried over.
+  EXPECT_EQ(fresh.admit(42.0, 4.0), g.admit(42.0, 4.0));
+  EXPECT_EQ(fresh.counts().stuck, g.counts().stuck);
+  EXPECT_EQ(fresh.admit(7.0, 1.5), Verdict::kRejectOutOfOrder);
+  EXPECT_EQ(g.admit(7.0, 1.5), Verdict::kRejectOutOfOrder);
+  EXPECT_EQ(fresh.counts().total(), g.counts().total());
+  EXPECT_EQ(fresh.last_timestamp(), g.last_timestamp());
+}
+
 }  // namespace
 }  // namespace idlered::robust

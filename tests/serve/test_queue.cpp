@@ -1,0 +1,91 @@
+#include "serve/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace idlered::serve {
+namespace {
+
+StopEvent ev(std::uint64_t seq) {
+  StopEvent e;
+  e.vehicle = 1;
+  e.seq = seq;
+  e.timestamp_s = static_cast<double>(seq);
+  e.stop_length_s = 10.0;
+  return e;
+}
+
+TEST(BoundedEventQueueTest, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedEventQueue(0), std::invalid_argument);
+}
+
+TEST(BoundedEventQueueTest, FifoOrderAcrossWrap) {
+  BoundedEventQueue q(4);
+  std::vector<StopEvent> out;
+  // Fill, half-drain, refill: exercises the ring wrap.
+  for (std::uint64_t s = 1; s <= 4; ++s) ASSERT_TRUE(q.try_push(ev(s)));
+  ASSERT_EQ(q.pop_up_to(2, out), 2u);
+  for (std::uint64_t s = 5; s <= 6; ++s) ASSERT_TRUE(q.try_push(ev(s)));
+  ASSERT_EQ(q.pop_up_to(10, out), 4u);
+  ASSERT_EQ(out.size(), 6u);
+  for (std::uint64_t s = 1; s <= 6; ++s) EXPECT_EQ(out[s - 1].seq, s);
+}
+
+TEST(BoundedEventQueueTest, RefusesWhenFullAndCounts) {
+  BoundedEventQueue q(2);
+  EXPECT_TRUE(q.try_push(ev(1)));
+  EXPECT_TRUE(q.try_push(ev(2)));
+  EXPECT_FALSE(q.try_push(ev(3)));
+  EXPECT_FALSE(q.try_push(ev(4)));
+  EXPECT_EQ(q.rejected(), 2u);
+  EXPECT_EQ(q.size(), 2u);
+  // Refusal does not corrupt the ring: contents are still 1, 2.
+  std::vector<StopEvent> out;
+  q.pop_up_to(10, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[1].seq, 2u);
+}
+
+TEST(BoundedEventQueueTest, HighWaterIsMonotone) {
+  BoundedEventQueue q(8);
+  std::vector<StopEvent> out;
+  for (std::uint64_t s = 1; s <= 5; ++s) q.try_push(ev(s));
+  EXPECT_EQ(q.high_water(), 5u);
+  q.pop_up_to(10, out);
+  EXPECT_EQ(q.high_water(), 5u);  // draining does not lower it
+  q.try_push(ev(6));
+  EXPECT_EQ(q.high_water(), 5u);
+}
+
+TEST(BoundedEventQueueTest, ConcurrentProducersLoseNothingUnderCapacity) {
+  BoundedEventQueue q(1024);
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t s = 1; s <= kPerProducer; ++s) {
+        StopEvent e = ev(s);
+        e.vehicle = static_cast<std::uint64_t>(p) + 1;
+        ASSERT_TRUE(q.try_push(e));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.size(), kProducers * kPerProducer);
+  // Per-producer FIFO survives interleaving.
+  std::vector<StopEvent> out;
+  q.pop_up_to(q.size(), out);
+  std::vector<std::uint64_t> last(kProducers + 1, 0);
+  for (const StopEvent& e : out) {
+    EXPECT_EQ(e.seq, last[e.vehicle] + 1);
+    last[e.vehicle] = e.seq;
+  }
+}
+
+}  // namespace
+}  // namespace idlered::serve

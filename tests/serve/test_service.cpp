@@ -1,0 +1,307 @@
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "serve/ingest.h"
+
+namespace idlered::serve {
+namespace {
+
+using robust::ControllerMode;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+ServeConfig base_config() {
+  ServeConfig c;
+  c.num_shards = 2;
+  c.threads = 1;
+  c.break_even = 60.0;
+  c.warmup_stops = 4;
+  c.queue_capacity = 64;
+  c.drain_batch = 32;
+  c.seed = 7;
+  return c;
+}
+
+// Valid, varied stop lengths (variation keeps the frozen-sensor tracker
+// quiet); timestamp = seq keeps event time strictly increasing.
+StopEvent make_event(std::uint64_t vehicle, std::uint64_t seq,
+                     double length = -1.0) {
+  StopEvent e;
+  e.vehicle = vehicle;
+  e.seq = seq;
+  e.timestamp_s = static_cast<double>(seq);
+  e.stop_length_s =
+      length >= 0.0 || std::isnan(length)
+          ? length
+          : 20.0 + static_cast<double>((seq * 13 + vehicle * 7) % 90);
+  return e;
+}
+
+TEST(ServeConfigTest, ValidateRejectsBadShape) {
+  ServeConfig c = base_config();
+  c.num_shards = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = base_config();
+  c.break_even = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = base_config();
+  c.queue_capacity = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(DecisionServiceTest, WarmupRungThenProposed) {
+  ServeConfig cfg = base_config();
+  DecisionService svc(cfg);
+  std::vector<Decision> out;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    ASSERT_EQ(svc.submit(make_event(1, s)), Admit::kAccepted);
+    svc.pump(out);
+  }
+  ASSERT_EQ(out.size(), 10u);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const Decision& d = out[s];
+    EXPECT_EQ(d.vehicle, 1u);
+    EXPECT_EQ(d.seq, s + 1);
+    EXPECT_EQ(d.outcome, Outcome::kDecided);
+    EXPECT_TRUE(std::isfinite(d.threshold));
+    EXPECT_GE(d.threshold, 0.0);
+    if (s + 1 < cfg.warmup_stops) {
+      // Cold vehicle: distribution-free N-Rand, threshold inside [0, B].
+      EXPECT_EQ(d.rung, ControllerMode::kNRand);
+      EXPECT_LE(d.threshold, cfg.break_even);
+    } else {
+      // Warmed up, shard healthy: COA (or its DET trust demotion).
+      EXPECT_TRUE(d.rung == ControllerMode::kProposed ||
+                  d.rung == ControllerMode::kDet)
+          << to_string(d.rung);
+    }
+  }
+}
+
+TEST(DecisionServiceTest, DuplicateDeliveryBecomesExactlyOnceProcessing) {
+  DecisionService svc(base_config());
+  std::vector<Decision> out;
+  for (std::uint64_t s = 1; s <= 3; ++s) svc.submit(make_event(1, s));
+  svc.drain_all(out);
+  ASSERT_EQ(out.size(), 3u);
+  const std::size_t count_after_first = out.size();
+
+  // Redeliver seq 2 (at-least-once delivery) plus the reserved seq 0.
+  svc.submit(make_event(1, 2));
+  svc.submit(make_event(1, 0));
+  svc.drain_all(out);
+  ASSERT_EQ(out.size(), count_after_first + 2);
+  EXPECT_EQ(out[3].outcome, Outcome::kRejectedStale);
+  EXPECT_EQ(out[4].outcome, Outcome::kRejectedStale);
+  EXPECT_TRUE(std::isnan(out[3].threshold));
+  EXPECT_EQ(svc.last_applied_seq(1), 3u);
+}
+
+TEST(DecisionServiceTest, OutOfOrderTimestampsAreRejected) {
+  DecisionService svc(base_config());
+  std::vector<Decision> out;
+  svc.submit(make_event(1, 1));  // ts = 1
+  StopEvent backwards = make_event(1, 2);
+  backwards.timestamp_s = 0.5;  // earlier than the accepted ts
+  svc.submit(backwards);
+  svc.submit(make_event(1, 3));  // ts = 3: fine again
+  svc.drain_all(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].outcome, Outcome::kDecided);
+  EXPECT_EQ(out[1].outcome, Outcome::kRejectedOutOfOrder);
+  EXPECT_EQ(out[2].outcome, Outcome::kDecided);
+  // The rejected event still advanced the dedupe cursor.
+  EXPECT_EQ(svc.last_applied_seq(1), 3u);
+}
+
+TEST(DecisionServiceTest, PoisonSourceIsQuarantined) {
+  ServeConfig cfg = base_config();
+  cfg.poison_strikes = 3;
+  DecisionService svc(cfg);
+  std::vector<Decision> out;
+  for (std::uint64_t s = 1; s <= 3; ++s)
+    svc.submit(make_event(1, s, kNan));  // poison
+  svc.submit(make_event(1, 4));  // valid, but the vehicle is now fenced
+  svc.submit(make_event(2, 1));  // other vehicles are unaffected
+  svc.drain_all(out);
+  ASSERT_EQ(out.size(), 5u);
+  std::map<std::uint64_t, std::vector<Decision>> by_vehicle;
+  for (const Decision& d : out) by_vehicle[d.vehicle].push_back(d);
+  ASSERT_EQ(by_vehicle[1].size(), 4u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(by_vehicle[1][i].outcome, Outcome::kRejectedInvalid);
+  EXPECT_EQ(by_vehicle[1][3].outcome, Outcome::kQuarantined);
+  EXPECT_EQ(by_vehicle[2][0].outcome, Outcome::kDecided);
+  const std::size_t shard = svc.shard_of(1);
+  EXPECT_EQ(svc.shard(shard).quarantined_vehicles(), 1u);
+}
+
+TEST(DecisionServiceTest, BackpressureRefusesInsteadOfGrowing) {
+  ServeConfig cfg = base_config();
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 4;
+  DecisionService svc(cfg);
+  for (std::uint64_t s = 1; s <= 4; ++s)
+    EXPECT_EQ(svc.submit(make_event(1, s)), Admit::kAccepted);
+  EXPECT_EQ(svc.submit(make_event(1, 5)), Admit::kRejectedQueueFull);
+  EXPECT_EQ(svc.queued(), 4u);
+  // A pump frees space and admission resumes.
+  std::vector<Decision> out;
+  svc.pump(out);
+  EXPECT_EQ(svc.submit(make_event(1, 5)), Admit::kAccepted);
+}
+
+TEST(DecisionServiceTest, IngestorRetriesThroughBackpressure) {
+  ServeConfig cfg = base_config();
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 2;
+  cfg.drain_batch = 2;
+  DecisionService svc(cfg);
+  IngestConfig icfg;
+  icfg.max_attempts = 4;
+  Ingestor ingest(svc, icfg, 3);
+  std::vector<Decision> out;
+  // The on_wait hook pumps, so every retry finds space: nothing is lost
+  // even though the queue only holds 2 events.
+  for (std::uint64_t s = 1; s <= 20; ++s) {
+    const Admit a =
+        ingest.feed(make_event(1, s), [&](double) { svc.pump(out); });
+    EXPECT_EQ(a, Admit::kAccepted);
+  }
+  svc.drain_all(out);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_EQ(ingest.delivered(), 20u);
+  EXPECT_EQ(ingest.lost(), 0u);
+  EXPECT_GT(ingest.retries(), 0u);
+}
+
+TEST(DecisionServiceTest, ShutdownDrainsAndRefusesNewWork) {
+  DecisionService svc(base_config());
+  for (std::uint64_t s = 1; s <= 5; ++s) svc.submit(make_event(1, s));
+  const std::vector<Decision> tail = svc.shutdown();
+  EXPECT_EQ(tail.size(), 5u);
+  EXPECT_EQ(svc.submit(make_event(1, 6)), Admit::kRejectedShutdown);
+}
+
+TEST(DecisionServiceTest, PerVehicleOrderSurvivesInterleaving) {
+  ServeConfig cfg = base_config();
+  cfg.num_shards = 4;
+  DecisionService svc(cfg);
+  std::vector<Decision> out;
+  for (std::uint64_t s = 1; s <= 30; ++s) {
+    for (std::uint64_t v = 1; v <= 9; ++v) svc.submit(make_event(v, s));
+    if (s % 3 == 0) svc.pump(out);
+  }
+  svc.drain_all(out);
+  ASSERT_EQ(out.size(), 30u * 9u);
+  std::map<std::uint64_t, std::uint64_t> last_seq;
+  for (const Decision& d : out) {
+    EXPECT_GT(d.seq, last_seq[d.vehicle]) << "vehicle " << d.vehicle;
+    last_seq[d.vehicle] = d.seq;
+  }
+}
+
+// The decision stream is a pure function of the submission schedule — the
+// thread count executing the pumps must be invisible, bit for bit.
+TEST(DecisionServiceTest, DecisionStreamIsThreadCountInvariant) {
+  std::vector<std::vector<Decision>> streams;
+  for (const int threads : {1, 2, 8}) {
+    ServeConfig cfg = base_config();
+    cfg.num_shards = 4;
+    cfg.threads = threads;
+    DecisionService svc(cfg);
+    std::vector<Decision> out;
+    for (std::uint64_t s = 1; s <= 40; ++s) {
+      for (std::uint64_t v = 1; v <= 16; ++v) {
+        StopEvent e = make_event(v, s);
+        if ((s + v) % 11 == 0) e.stop_length_s = kNan;  // sprinkle poison
+        svc.submit(e);
+      }
+      svc.pump(out);
+    }
+    svc.drain_all(out);
+    streams.push_back(std::move(out));
+  }
+  ASSERT_EQ(streams[0].size(), streams[1].size());
+  ASSERT_EQ(streams[0].size(), streams[2].size());
+  for (std::size_t i = 0; i < streams[0].size(); ++i) {
+    EXPECT_TRUE(bit_identical(streams[0][i], streams[1][i])) << "index " << i;
+    EXPECT_TRUE(bit_identical(streams[0][i], streams[2][i])) << "index " << i;
+  }
+}
+
+// Acceptance scenario: a 10x overload burst must shed down the ladder
+// (bounded queue, cheaper rungs) and afterwards re-promote to COA
+// gradually — with hysteresis and backoff, not a snap-back.
+TEST(DecisionServiceTest, OverloadShedsThenRecoversWithHysteresis) {
+  ServeConfig cfg = base_config();
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 50;
+  cfg.drain_batch = 4;
+  cfg.shed.stall_pumps = 4;
+  DecisionService svc(cfg);
+  std::vector<Decision> out;
+
+  // Warm the vehicle up under light load first.
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    svc.submit(make_event(1, s));
+    svc.pump(out);
+  }
+  ASSERT_EQ(svc.shard(0).shedder().ceiling(), ControllerMode::kProposed);
+
+  // Burst: offer ~10x the drain rate. Admission refusals are expected —
+  // that is the backpressure contract — and the queue must never exceed
+  // its bound.
+  std::uint64_t seq = 8;
+  bool saw_nev = false;
+  for (int round = 0; round < 60; ++round) {
+    for (int k = 0; k < 40; ++k) svc.submit(make_event(1, ++seq));
+    svc.pump(out);
+    ASSERT_LE(svc.queued(), cfg.queue_capacity);
+    saw_nev = saw_nev || svc.shard(0).shedder().ceiling() == ControllerMode::kNev;
+  }
+  EXPECT_TRUE(saw_nev) << "sustained 10x overload should reach the NEV rung";
+  EXPECT_GT(svc.shard(0).queue().rejected(), 0u);
+
+  // Some decisions in the burst must carry the shed rungs, including
+  // NEV's +inf "keep idling".
+  bool saw_inf_threshold = false;
+  for (const Decision& d : out)
+    if (d.outcome == Outcome::kDecided && d.rung == ControllerMode::kNev) {
+      EXPECT_TRUE(std::isinf(d.threshold));
+      saw_inf_threshold = true;
+    }
+  EXPECT_TRUE(saw_inf_threshold);
+
+  // Calm: pump with no new load. Recovery must be stepwise (every
+  // transition one rung) and deferred (backoff ticks burned waiting).
+  const std::size_t transitions_before =
+      svc.shard(0).shedder().transitions().size();
+  int pumps_to_recover = -1;
+  for (int i = 0; i < 4000; ++i) {
+    svc.pump(out);
+    if (svc.shard(0).shedder().ceiling() == ControllerMode::kProposed) {
+      pumps_to_recover = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(pumps_to_recover, 0) << "never re-promoted to COA";
+  EXPECT_GT(pumps_to_recover, 3) << "re-promotion must not be instant";
+  EXPECT_GT(svc.shard(0).shedder().deferred_promotions(), 0u);
+  const auto& transitions = svc.shard(0).shedder().transitions();
+  for (std::size_t i = transitions_before; i < transitions.size(); ++i) {
+    const int jump = std::abs(static_cast<int>(transitions[i].to) -
+                              static_cast<int>(transitions[i].from));
+    EXPECT_EQ(jump, 1) << "ladder moves one rung at a time";
+  }
+}
+
+}  // namespace
+}  // namespace idlered::serve

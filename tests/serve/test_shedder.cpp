@@ -1,0 +1,156 @@
+#include "serve/shedder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace idlered::serve {
+namespace {
+
+using robust::ControllerMode;
+
+constexpr std::size_t kCap = 100;
+
+ShedConfig fast_config() {
+  ShedConfig c;
+  // Small stall window so tests stay short; everything else default.
+  c.stall_pumps = 4;
+  return c;
+}
+
+// Feed `n` pumps at a fixed depth and return the final ceiling.
+ControllerMode run_depth(LoadShedder& s, std::size_t depth, int n) {
+  ControllerMode mode = s.ceiling();
+  for (int i = 0; i < n; ++i) mode = s.observe(depth, kCap);
+  return mode;
+}
+
+TEST(ShedConfigTest, ValidateRejectsBadKnobs) {
+  ShedConfig c;
+  c.watermark = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ShedConfig{};
+  c.stall_exit = c.stall_enter;  // must be strictly below
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = ShedConfig{};
+  c.stall_pumps = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(LoadShedderTest, StaysAtProposedWhenIdle) {
+  LoadShedder s(fast_config(), 1);
+  EXPECT_EQ(run_depth(s, 0, 200), ControllerMode::kProposed);
+  EXPECT_TRUE(s.transitions().empty());
+  EXPECT_FALSE(s.stalled());
+}
+
+TEST(LoadShedderTest, SustainedPressureStepsDownTheLadder) {
+  LoadShedder s(fast_config(), 1);
+  // Depth well over the watermark but under the stall band: the health
+  // EWMA must escalate Healthy -> Degraded (DET) -> Critical (N-Rand).
+  const ControllerMode mode = run_depth(s, 90, 200);
+  EXPECT_EQ(mode, ControllerMode::kNRand);
+  EXPECT_FALSE(s.stalled());
+  ASSERT_GE(s.transitions().size(), 2u);
+  // Demotions are single rungs, immediately applied.
+  EXPECT_EQ(s.transitions()[0].from, ControllerMode::kProposed);
+  EXPECT_EQ(s.transitions()[0].to, ControllerMode::kDet);
+  EXPECT_EQ(s.transitions()[1].from, ControllerMode::kDet);
+  EXPECT_EQ(s.transitions()[1].to, ControllerMode::kNRand);
+}
+
+TEST(LoadShedderTest, PinnedQueueTripsTheStallCeiling) {
+  LoadShedder s(fast_config(), 1);
+  run_depth(s, kCap, 32);
+  EXPECT_TRUE(s.stalled());
+  EXPECT_EQ(s.ceiling(), ControllerMode::kNev);
+  // Stall clears only when depth falls under stall_exit, and the ceiling
+  // then re-promotes gradually rather than snapping back.
+  run_depth(s, 30, 4);  // above stall_exit (25): still stalled
+  EXPECT_TRUE(s.stalled());
+  s.observe(10, kCap);
+  EXPECT_FALSE(s.stalled());
+}
+
+TEST(LoadShedderTest, RecoveryIsDeferredAndStepwise) {
+  LoadShedder s(fast_config(), 1);
+  run_depth(s, 90, 200);
+  ASSERT_EQ(s.ceiling(), ControllerMode::kNRand);
+
+  // Calm traffic: the shedder must wait out the backoff before each
+  // single-rung promotion — never jump straight back to COA.
+  int promotions_seen = 0;
+  ControllerMode prev = s.ceiling();
+  for (int i = 0; i < 2000 && s.ceiling() != ControllerMode::kProposed; ++i) {
+    const ControllerMode now = s.observe(0, kCap);
+    if (now != prev) {
+      ++promotions_seen;
+      EXPECT_EQ(static_cast<int>(now), static_cast<int>(prev) - 1)
+          << "promotion must move exactly one rung";
+      prev = now;
+    }
+  }
+  EXPECT_EQ(s.ceiling(), ControllerMode::kProposed);
+  EXPECT_EQ(promotions_seen, 2);
+  EXPECT_GT(s.deferred_promotions(), 0u);
+}
+
+TEST(LoadShedderTest, HysteresisDoesNotFlapOnBorderlineDepth) {
+  LoadShedder s(fast_config(), 1);
+  // Alternate just under / just over the watermark. The EWMA'd pressure
+  // rate hovers near 0.5 — inside the hysteresis dead band — so the
+  // ceiling may demote, but it must not oscillate per-pump.
+  for (int i = 0; i < 400; ++i) s.observe(i % 2 == 0 ? 45 : 55, kCap);
+  EXPECT_LE(s.transitions().size(), 3u);
+}
+
+TEST(LoadShedderTest, TransitionLogIsBounded) {
+  ShedConfig c = fast_config();
+  c.health.max_history = 3;
+  LoadShedder s(c, 1);
+  // Repeated burst/calm cycles generate many transitions.
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    run_depth(s, 90, 120);
+    run_depth(s, 0, 400);
+  }
+  EXPECT_LE(s.transitions().size(), 3u);
+}
+
+TEST(LoadShedderTest, SeedsDesynchronizeRecovery) {
+  // A fleet of shards shedding identically must not all re-promote on the
+  // identical pump ticks — that is the thundering herd the jitter exists
+  // to break. The backoff tick grid is coarse, so any two seeds may
+  // collide; across a handful of seeds the recovery timelines must
+  // nevertheless spread out.
+  std::set<std::vector<int>> timelines;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    ShedConfig c = fast_config();
+    LoadShedder s(c, seed);
+    run_depth(s, 90, 200);
+    std::vector<int> promotion_ticks;
+    for (int i = 0; i < 2000 && s.ceiling() != ControllerMode::kProposed;
+         ++i) {
+      const ControllerMode before = s.ceiling();
+      if (s.observe(0, kCap) != before) promotion_ticks.push_back(i);
+    }
+    ASSERT_EQ(s.ceiling(), ControllerMode::kProposed);
+    timelines.insert(promotion_ticks);
+  }
+  EXPECT_GT(timelines.size(), 1u)
+      << "all seeds re-promoted on identical pump ticks";
+}
+
+TEST(LoadShedderTest, SameSeedIsDeterministic) {
+  LoadShedder a(fast_config(), 9);
+  LoadShedder b(fast_config(), 9);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t depth = static_cast<std::size_t>((i * 37) % 101);
+    EXPECT_EQ(a.observe(depth, kCap), b.observe(depth, kCap));
+  }
+  EXPECT_EQ(a.transitions().size(), b.transitions().size());
+}
+
+}  // namespace
+}  // namespace idlered::serve

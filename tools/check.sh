@@ -25,19 +25,22 @@ echo "== 3/5 fault-injection bench under sanitizers =="
 "$repo/build-asan/bench/bench_robustness_faults" > /dev/null
 echo "bench_robustness_faults: clean under ASan/UBSan"
 
-echo "== 4/5 engine + obs + batch-kernel tests under ThreadSanitizer =="
+echo "== 4/5 engine + obs + serve + batch-kernel tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=thread
 cmake --build "$repo/build-tsan" -j "$jobs" \
       --target test_engine --target test_obs --target test_property \
-      --target bench_engine_scaling
+      --target test_serve --target bench_engine_scaling
 "$repo/build-tsan/tests/test_engine"
 "$repo/build-tsan/tests/test_obs"
 "$repo/build-tsan/tests/test_property"
+# The streaming service: producer threads against the bounded MPSC queues
+# and the pooled pump path (thread-count invariance, crash recovery).
+"$repo/build-tsan/tests/test_serve"
 # A small batch-kernel fleet run: exercises the StopBatch offline-total
 # memo and the prewarm pass under real engine concurrency.
 "$repo/build-tsan/bench/bench_engine_scaling" 20 5 > /dev/null
-echo "test_engine + test_obs + test_property + batch engine run: clean under TSan"
+echo "test_engine + test_obs + test_property + test_serve + batch engine run: clean under TSan"
 
 echo "== 5/5 static analysis: clang-tidy + idlered_lint + contracts =="
 # tidy.sh skips gracefully (exit 0 with a warning) when no clang-tidy

@@ -283,13 +283,19 @@ THREAD_RE = re.compile(r"\bstd::(?:jthread|thread|async)\b(?!\s*::)")
 
 @rule("thread-outside-engine")
 def rule_thread(src: SourceFile) -> list[Finding]:
-    if not in_dir(src.path, "src") or in_dir(src.path, "src/engine"):
+    # src/engine/ owns the pool; src/serve/ is the streaming service whose
+    # producer-side entry points are called from arbitrary threads, so it
+    # may stand up threads of its own (its pump still runs on the engine
+    # pool — the exemption is for ingestion plumbing, not for bypassing
+    # parallel_for).
+    if not in_dir(src.path, "src") or in_dir(src.path, "src/engine") \
+            or in_dir(src.path, "src/serve"):
         return []
     return scan_pattern(
         src, "thread-outside-engine", THREAD_RE,
-        "thread construction outside src/engine/ — all parallelism goes "
-        "through engine::ThreadPool so determinism and shutdown stay "
-        "centralized")
+        "thread construction outside src/engine/ or src/serve/ — all "
+        "parallelism goes through engine::ThreadPool so determinism and "
+        "shutdown stay centralized")
 
 
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")

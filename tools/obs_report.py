@@ -55,6 +55,12 @@ EVENT_FIELDS = {
                           "to": str, "rate": NUMERIC},
     "fault": {"stop": NUMERIC, "kind": str, "dropped": bool,
               "restart_attempts": NUMERIC, "delay_s": NUMERIC},
+    # Streaming service (src/serve/): one "shed" per load-shedder ceiling
+    # change, one "serve_drain" per shard pump (sampled depth, events
+    # popped, and the fallback-ladder ceiling in force).
+    "shed": {"pump": NUMERIC, "from": str, "to": str, "depth": NUMERIC},
+    "serve_drain": {"shard": NUMERIC, "pump": NUMERIC, "depth": NUMERIC,
+                    "popped": NUMERIC, "ceiling": str},
 }
 
 ENGINE_DECISION_FIELDS = {"vertex": str, "strategy": str, "vehicle": str,
