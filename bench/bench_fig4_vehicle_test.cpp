@@ -16,9 +16,12 @@
 #include <cstdio>
 
 #include "common/bench_run.h"
+#include "common/sweep.h"
+#include "core/analytic.h"
 #include "costmodel/break_even.h"
 #include "engine/eval_session.h"
 #include "traces/fleet_generator.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace {
@@ -101,5 +104,38 @@ int main(int argc, char** argv) {
   std::printf("engine: %zu cells on %d threads in %.3f s\n", report.cells,
               report.threads, report.wall_seconds);
   run.stage_report(report);
+
+  // Batched COA pass: re-derive every vehicle's strategy selection through
+  // the arena LP (one solve_constrained_lp_batch call per cohort) and
+  // cross-check against the closed-form choose_strategy(). Mismatches are
+  // reported, not gated — the LP and the closed form agree exactly except
+  // on measure-zero coefficient ties.
+  lp::WorkspacePool pool(2, 3);
+  util::JsonValue batch_payload = util::JsonValue::object();
+  for (double b : {costmodel::kPaperBreakEvenSsv,
+                   costmodel::kPaperBreakEvenConventional}) {
+    const bench::CoaBatchSummary batch = bench::coa_lp_batch(*fleet, b, pool);
+    std::printf("batched COA LP (B=%.0f): %zu solves in %.4f s "
+                "(%.0f solves/sec), %zu closed-form mismatches "
+                "[TOI=%zu DET=%zu b-DET=%zu N-Rand=%zu]\n",
+                b, batch.solves, batch.seconds, batch.solves_per_sec(),
+                batch.mismatches, batch.strategy_counts[0],
+                batch.strategy_counts[1], batch.strategy_counts[2],
+                batch.strategy_counts[3]);
+
+    util::JsonValue point = util::JsonValue::object();
+    point.set("break_even", b);
+    point.set("solves", static_cast<double>(batch.solves));
+    point.set("seconds", batch.seconds);
+    point.set("solves_per_sec", batch.solves_per_sec());
+    point.set("closed_form_mismatches",
+              static_cast<double>(batch.mismatches));
+    for (std::size_t s = 0; s < 4; ++s) {
+      point.set("picks_" + core::to_string(static_cast<core::Strategy>(s)),
+                static_cast<double>(batch.strategy_counts[s]));
+    }
+    batch_payload.set("B" + util::fmt(b, 0), std::move(point));
+  }
+  run.stage("coa_lp_batch", std::move(batch_payload));
   return 0;
 }

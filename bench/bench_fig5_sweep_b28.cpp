@@ -80,5 +80,36 @@ int main(int argc, char** argv) {
   extra.set("bitwise_thread_invariant", bitwise);
   extra.set("max_cr_gap_vs_serial", max_serial_gap);
   run.stage("cross_checks", std::move(extra));
+
+  // Batched COA pass over every sweep fleet through one arena pool slot:
+  // each point's per-vehicle vertex LPs in one solve_constrained_lp_batch
+  // call, cross-checked against the closed form. Reported, not gated (the
+  // figure's exit code stays the thread-invariance check above).
+  lp::WorkspacePool pool(2, 3);
+  std::size_t batch_solves = 0;
+  std::size_t batch_mismatches = 0;
+  double batch_seconds = 0.0;
+  for (const auto& pf : fleets) {
+    const bench::CoaBatchSummary batch =
+        bench::coa_lp_batch(*pf.fleet, config.break_even, pool);
+    batch_solves += batch.solves;
+    batch_mismatches += batch.mismatches;
+    batch_seconds += batch.seconds;
+  }
+  const double batch_rate = batch_seconds > 0.0
+                                ? static_cast<double>(batch_solves) /
+                                      batch_seconds
+                                : 0.0;
+  std::printf("batched COA LP: %zu solves across %zu points in %.4f s "
+              "(%.0f solves/sec), %zu closed-form mismatches\n",
+              batch_solves, fleets.size(), batch_seconds, batch_rate,
+              batch_mismatches);
+  util::JsonValue batch_payload = util::JsonValue::object();
+  batch_payload.set("solves", static_cast<double>(batch_solves));
+  batch_payload.set("seconds", batch_seconds);
+  batch_payload.set("solves_per_sec", batch_rate);
+  batch_payload.set("closed_form_mismatches",
+                    static_cast<double>(batch_mismatches));
+  run.stage("coa_lp_batch", std::move(batch_payload));
   return bitwise ? 0 : 1;
 }

@@ -1,0 +1,280 @@
+// Arena LP micro-bench: solves/sec and heap-allocation counts for the
+// three COA solve paths — the legacy value-type wrapper, the reused
+// workspace, and the batched entry point — over a sweep of (mu, q) vertex
+// problems (one per (vehicle, B) cell in a fleet sweep).
+//
+// This bench is invariant-gated, not just informative (CI runs it in the
+// perf-smoke job): it exits nonzero unless
+//   1. the workspace and batched paths perform ZERO heap allocations per
+//      solve after warm-up (counted by the instrumented global allocator
+//      below), and
+//   2. the batched path sustains >= 2x the legacy scalar throughput.
+// Results are emitted on the schema-v2 envelope as BENCH_lp_arena.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bench_run.h"
+#include "core/solver_lp.h"
+#include "lp/arena.h"
+#include "lp/simplex.h"
+#include "util/json.h"
+#include "util/random.h"
+#include "util/table.h"
+
+// ---------------------------------------------------------------------------
+// Instrumented counting allocator: every operator-new in the process bumps
+// the counter, so "zero allocations in the solve loop" is measured, not
+// assumed. Counting is atomic-relaxed — the bench is single-threaded; the
+// atomic just keeps the override well-defined if a library thread appears.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+// GCC's -Wmismatched-new-delete pairs inlined std::allocator news with
+// these deletes without seeing that the replaced operator new above is
+// malloc-backed; the pairing is correct, so silence the false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+using namespace idlered;
+
+constexpr double kB = 28.0;
+constexpr double kMinSeconds = 0.1;
+
+template <typename T>
+inline void keep(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+struct Timed {
+  double seconds = 0.0;
+  std::uint64_t iterations = 0;
+  std::uint64_t allocations = 0;
+
+  double per_sec(double items_per_iter) const {
+    return seconds > 0.0
+               ? static_cast<double>(iterations) * items_per_iter / seconds
+               : 0.0;
+  }
+};
+
+/// Calibrated timing loop that also meters the allocator: grow the batch
+/// until one timed batch spans kMinSeconds, then report that batch's wall
+/// time and allocation count.
+template <typename F>
+Timed time_and_count(F&& body) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t iters = 1;
+  for (;;) {
+    const std::uint64_t alloc0 =
+        g_allocations.load(std::memory_order_relaxed);
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) body();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    const std::uint64_t allocs =
+        g_allocations.load(std::memory_order_relaxed) - alloc0;
+    if (s >= kMinSeconds || iters >= (1ull << 30)) return {s, iters, allocs};
+    const double grow = s > 0.0 ? (kMinSeconds * 1.4 / s) : 100.0;
+    iters = std::max<std::uint64_t>(
+        iters + 1, static_cast<std::uint64_t>(static_cast<double>(iters) *
+                                              std::min(grow, 100.0)));
+  }
+}
+
+/// COA sweep workload: one (mu, q) cell per vehicle, spanning every vertex
+/// region of Figure 1a so the LP pivot mix is realistic.
+std::vector<dist::ShortStopStats> sweep_stats(std::size_t cells) {
+  util::Rng rng(42);
+  std::vector<dist::ShortStopStats> stats(cells);
+  for (auto& s : stats) {
+    s.q_b_plus = rng.uniform(0.0, 0.95);
+    s.mu_b_minus = rng.uniform(0.01, 0.99) * kB * (1.0 - s.q_b_plus);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun run("lp_arena", argc, argv);
+  std::printf("%s",
+              util::banner("Arena LP solver: solves/sec + allocations")
+                  .c_str());
+
+  constexpr std::size_t kCells = 512;
+  const std::vector<dist::ShortStopStats> stats = sweep_stats(kCells);
+  const double cells = static_cast<double>(kCells);
+
+  // Warm-up: touch every path once so lazy one-time setup (workspace
+  // buffers, libc internals) is excluded from the gated counts.
+  lp::Workspace workspace(2, 3);
+  lp::WorkspacePool pool(2, 3);
+  std::vector<core::LpStrategySolution> batch_out(kCells);
+  keep(core::solve_constrained_lp(stats[0], kB));
+  keep(core::solve_constrained_lp(stats[0], kB, workspace));
+  keep(core::solve_constrained_lp_batch(stats, kB, pool, batch_out));
+
+  // Legacy value-type path: a fresh one-shot workspace per solve.
+  const Timed legacy = time_and_count([&] {
+    for (const auto& s : stats) keep(core::solve_constrained_lp(s, kB));
+  });
+  // Workspace path: one arena reused across the whole sweep.
+  const Timed arena = time_and_count([&] {
+    for (const auto& s : stats)
+      keep(core::solve_constrained_lp(s, kB, workspace));
+  });
+  // Batched path: the whole sweep through one pool slot.
+  const Timed batched = time_and_count([&] {
+    keep(core::solve_constrained_lp_batch(stats, kB, pool, batch_out));
+  });
+
+  // The LP-level comparison the speedup gate runs on: the same 512 vertex
+  // problems solved (a) the way every pre-arena call site did — build a
+  // value-type lp::Problem and hand it to the one-shot wrapper, per cell —
+  // and (b) through lp::solve_batch over prestaged flat views, with the
+  // per-sweep objective refresh included in the timed loop. The COA-level
+  // rows above carry the closed-form coefficient math in both paths, so
+  // they bound what fleet sweeps see end-to-end; this pair isolates what
+  // the arena redesign actually changed.
+  std::vector<core::LpCoefficients> ks(kCells);
+  for (std::size_t i = 0; i < kCells; ++i)
+    ks[i] = core::lp_coefficients(stats[i], kB);
+  std::vector<double> objectives(kCells * 3);
+  std::vector<double> coeffs{1.0, 1.0, 1.0};
+  std::vector<lp::Sense> senses{lp::Sense::kLessEqual};
+  std::vector<double> rhs{1.0};
+  std::vector<lp::ProblemView> views(kCells);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    views[i] = lp::ProblemView{
+        std::span<const double>(objectives.data() + i * 3, 3), coeffs, senses,
+        rhs, false, {}, {}};
+  }
+  const auto refresh_objectives = [&] {
+    for (std::size_t i = 0; i < kCells; ++i) {
+      objectives[i * 3 + 0] = ks[i].k_alpha;
+      objectives[i * 3 + 1] = ks[i].k_beta;
+      objectives[i * 3 + 2] =
+          std::isfinite(ks[i].k_gamma) ? ks[i].k_gamma : 0.0;
+    }
+  };
+  refresh_objectives();
+  std::vector<lp::BatchResult> results(kCells);
+  keep(lp::solve_batch(pool, views, results));  // warm-up
+
+  const Timed scalar_vertex = time_and_count([&] {
+    for (std::size_t i = 0; i < kCells; ++i) {
+      lp::Problem problem;
+      problem.objective = {objectives[i * 3 + 0], objectives[i * 3 + 1],
+                           objectives[i * 3 + 2]};
+      problem.add_constraint({1.0, 1.0, 1.0}, lp::Sense::kLessEqual, 1.0);
+      keep(lp::solve(problem));
+    }
+  });
+  const Timed batched_vertex = time_and_count([&] {
+    refresh_objectives();
+    keep(lp::solve_batch(pool, views, results));
+  });
+
+  const double legacy_rate = legacy.per_sec(cells);
+  const double arena_rate = arena.per_sec(cells);
+  const double batched_rate = batched.per_sec(cells);
+  const double scalar_vertex_rate = scalar_vertex.per_sec(cells);
+  const double batched_vertex_rate = batched_vertex.per_sec(cells);
+  const double batch_speedup = scalar_vertex_rate > 0.0
+                                   ? batched_vertex_rate / scalar_vertex_rate
+                                   : 0.0;
+  const auto allocs_per_solve = [&](const Timed& t) {
+    return static_cast<double>(t.allocations) /
+           (static_cast<double>(t.iterations) * cells);
+  };
+
+  util::Table table(
+      {"path", "solves/sec", "allocs/solve", "batch iterations"});
+  table.add_row({"coa legacy value-type", util::fmt(legacy_rate, 0),
+                 util::fmt(allocs_per_solve(legacy), 2),
+                 std::to_string(legacy.iterations)});
+  table.add_row({"coa workspace scalar", util::fmt(arena_rate, 0),
+                 util::fmt(allocs_per_solve(arena), 2),
+                 std::to_string(arena.iterations)});
+  table.add_row({"coa workspace batched", util::fmt(batched_rate, 0),
+                 util::fmt(allocs_per_solve(batched), 2),
+                 std::to_string(batched.iterations)});
+  table.add_row({"lp scalar value-type", util::fmt(scalar_vertex_rate, 0),
+                 util::fmt(allocs_per_solve(scalar_vertex), 2),
+                 std::to_string(scalar_vertex.iterations)});
+  table.add_row({"lp solve_batch", util::fmt(batched_vertex_rate, 0),
+                 util::fmt(allocs_per_solve(batched_vertex), 2),
+                 std::to_string(batched_vertex.iterations)});
+  std::printf("%s\n", table.str().c_str());
+  std::printf("solve_batch vs scalar value-type: %.2fx\n", batch_speedup);
+
+  // Invariant gates (the reason CI runs this bench).
+  const bool zero_alloc = arena.allocations == 0 &&
+                          batched.allocations == 0 &&
+                          batched_vertex.allocations == 0;
+  const bool speedup_ok = batch_speedup >= 2.0;
+  if (!zero_alloc) {
+    std::printf("GATE FAILED: allocations in the arena solve loop "
+                "(workspace=%llu batched=%llu vertex_batch=%llu)\n",
+                static_cast<unsigned long long>(arena.allocations),
+                static_cast<unsigned long long>(batched.allocations),
+                static_cast<unsigned long long>(batched_vertex.allocations));
+  }
+  if (!speedup_ok) {
+    std::printf("GATE FAILED: batched path only %.2fx the scalar "
+                "value-type path (need >= 2x)\n", batch_speedup);
+  }
+
+  util::JsonValue payload = util::JsonValue::object();
+  payload.set("cells", cells);
+  payload.set("min_seconds_per_path", kMinSeconds);
+  payload.set("coa_legacy_solves_per_sec", legacy_rate);
+  payload.set("coa_workspace_solves_per_sec", arena_rate);
+  payload.set("coa_batched_solves_per_sec", batched_rate);
+  payload.set("lp_scalar_solves_per_sec", scalar_vertex_rate);
+  payload.set("lp_batch_solves_per_sec", batched_vertex_rate);
+  payload.set("legacy_allocs_per_solve", allocs_per_solve(legacy));
+  payload.set("workspace_alloc_count", static_cast<double>(arena.allocations));
+  payload.set("batched_alloc_count",
+              static_cast<double>(batched.allocations));
+  payload.set("lp_batch_alloc_count",
+              static_cast<double>(batched_vertex.allocations));
+  payload.set("batch_speedup_vs_scalar", batch_speedup);
+  payload.set("gate_zero_alloc", zero_alloc);
+  payload.set("gate_batch_speedup", speedup_ok);
+  run.stage("results", std::move(payload));
+
+  return zero_alloc && speedup_ok ? 0 : 1;
+}

@@ -1,11 +1,14 @@
 #include "common/sweep.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "core/analytic.h"
+#include "core/solver_lp.h"
 #include "dist/distribution.h"
 #include "engine/strategy.h"
+#include "engine/vehicle_cache.h"
 #include "traces/fleet_generator.h"
 #include "util/math.h"
 #include "util/random.h"
@@ -146,6 +149,36 @@ void print_sweep(const std::vector<SweepPoint>& points,
   std::printf("Paper shape: DET good for short stops, TOI good for long"
               " stops, COA (B=%.0f) robust everywhere.\n",
               break_even);
+}
+
+CoaBatchSummary coa_lp_batch(const sim::Fleet& fleet, double break_even,
+                             lp::WorkspacePool& pool) {
+  const engine::FleetCache cache(fleet);
+
+  CoaBatchSummary summary;
+  summary.solves = cache.size();
+
+  std::vector<dist::ShortStopStats> stats;
+  stats.reserve(cache.size());
+  std::vector<core::LpStrategySolution> out(cache.size());
+
+  // Time what the batched path replaces end-to-end: the per-vehicle stats
+  // lookups plus the vertex LPs. The cache build (sort + prefix sums) is
+  // shared with the evaluation engine, so it stays outside the clock.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < cache.size(); ++i)
+    stats.push_back(cache.vehicle(i).stats_for(break_even));
+  core::solve_constrained_lp_batch(stats, break_even, pool, out);
+  summary.seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    summary.strategy_counts[static_cast<std::size_t>(out[i].strategy)]++;
+    const core::Strategy closed_form =
+        core::choose_strategy(stats[i], break_even).strategy;
+    if (out[i].strategy != closed_form) summary.mismatches++;
+  }
+  return summary;
 }
 
 }  // namespace idlered::bench

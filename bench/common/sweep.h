@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/eval_session.h"
+#include "lp/arena.h"
 #include "sim/fleet_eval.h"
 #include "traces/area_profiles.h"
 
@@ -74,5 +75,23 @@ SweepRun run_traffic_sweep(const SweepConfig& config);
 void print_sweep(const std::vector<SweepPoint>& points,
                  const std::vector<std::string>& strategy_names,
                  double break_even);
+
+/// One batched COA LP pass over a fleet: per-vehicle (mu, q) statistics
+/// out of the engine cache, one eq. (32)-(33) vertex LP per vehicle via
+/// `core::solve_constrained_lp_batch` (zero per-solve heap traffic), each
+/// selection cross-checked against the closed-form `choose_strategy()`.
+struct CoaBatchSummary {
+  std::size_t solves = 0;
+  double seconds = 0.0;          ///< batch wall time (stats + LP solves)
+  std::size_t mismatches = 0;    ///< LP vertex != closed-form choice
+  std::size_t strategy_counts[4] = {0, 0, 0, 0};  ///< per core::Strategy
+
+  double solves_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(solves) / seconds : 0.0;
+  }
+};
+
+CoaBatchSummary coa_lp_batch(const sim::Fleet& fleet, double break_even,
+                             lp::WorkspacePool& pool);
 
 }  // namespace idlered::bench

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "lp/simplex.h"
+#include "lp/arena.h"
 
 namespace idlered::analysis {
 
@@ -36,27 +36,32 @@ AdversaryResult worst_case_adversary(const core::Policy& policy,
     grid.push_back(b * (1.0 + (options.long_horizon - 1.0) * frac));
   }
 
-  // LP: maximize sum_i cost_i q_i subject to the moment constraints.
-  lp::Problem problem;
-  problem.maximize = true;
-  problem.objective.reserve(grid.size());
-  for (double y : grid) problem.objective.push_back(policy.expected_cost(y));
+  // LP: maximize sum_i cost_i q_i subject to the moment constraints. Staged
+  // in a per-call workspace (cold path; the workspace API keeps the solve
+  // itself allocation-free and on the same kernel as every other caller).
+  const std::size_t num_points = grid.size();
+  lp::Workspace workspace(3, num_points);
+  lp::ProblemStage stage = workspace.stage(3, num_points, /*maximize=*/true);
+  for (std::size_t i = 0; i < num_points; ++i)
+    stage.objective[i] = policy.expected_cost(grid[i]);
 
-  std::vector<double> mu_row(grid.size(), 0.0);
-  std::vector<double> q_row(grid.size(), 0.0);
-  std::vector<double> one_row(grid.size(), 1.0);
-  for (std::size_t i = 0; i < grid.size(); ++i) {
+  // Row 0: short-stop mean; row 1: long-stop mass; row 2: normalization.
+  for (std::size_t i = 0; i < num_points; ++i) {
     if (i < num_short) {
-      mu_row[i] = grid[i];
+      stage.coeffs[i] = grid[i];
     } else {
-      q_row[i] = 1.0;
+      stage.coeffs[num_points + i] = 1.0;
     }
+    stage.coeffs[2 * num_points + i] = 1.0;
   }
-  problem.add_constraint(mu_row, lp::Sense::kEqual, stats.mu_b_minus);
-  problem.add_constraint(q_row, lp::Sense::kEqual, stats.q_b_plus);
-  problem.add_constraint(one_row, lp::Sense::kEqual, 1.0);
+  stage.senses[0] = lp::Sense::kEqual;
+  stage.senses[1] = lp::Sense::kEqual;
+  stage.senses[2] = lp::Sense::kEqual;
+  stage.rhs[0] = stats.mu_b_minus;
+  stage.rhs[1] = stats.q_b_plus;
+  stage.rhs[2] = 1.0;
 
-  const lp::Solution sol = lp::solve(problem);
+  const lp::SolutionView sol = lp::solve(workspace, stage.view());
   if (!sol.optimal())
     throw std::runtime_error("worst_case_adversary: LP " +
                              lp::to_string(sol.status));
@@ -68,7 +73,7 @@ AdversaryResult worst_case_adversary(const core::Policy& policy,
   result.lambda_norm = sol.duals[2];
   const double offline = stats.expected_offline_cost(b);
   result.cr = offline > 0.0 ? sol.objective_value / offline : 1.0;
-  for (std::size_t i = 0; i < grid.size(); ++i) {
+  for (std::size_t i = 0; i < num_points; ++i) {
     if (sol.x[i] > 1e-9) {
       result.atoms.push_back({grid[i], sol.x[i]});
     }

@@ -8,7 +8,7 @@
 #include "core/analytic.h"
 #include "core/costs.h"
 #include "core/decision_distribution.h"
-#include "lp/simplex.h"
+#include "lp/arena.h"
 #include "util/math.h"
 
 namespace idlered::analysis {
@@ -75,33 +75,41 @@ MinimaxResult solve_minimax(const dist::ShortStopStats& stats,
   std::vector<double> masses(n, 1.0 / static_cast<double>(n));
   double designer_value = 0.0;
 
+  // One workspace reused across iterations: the pool grows by one
+  // distribution per iteration, so the capacity is max_iterations pool rows
+  // plus the seed and the normalization row.
+  lp::Workspace workspace(
+      static_cast<std::size_t>(std::max(0, options.max_iterations)) + 2,
+      n + 1);
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
     // Designer LP: variables P_1..P_n, t; minimize t subject to
     //   sum_i E_{q_hat}[cost(x_i, y)] P_i - t <= 0 for each pooled q_hat,
     //   sum_i P_i = 1.
-    lp::Problem designer;
-    designer.objective.assign(n + 1, 0.0);
-    designer.objective[n] = 1.0;
-    for (const auto& q_hat : pool) {
-      std::vector<double> row(n + 1, 0.0);
+    const std::size_t rows = pool.size() + 1;
+    lp::ProblemStage stage = workspace.stage(rows, n + 1);
+    stage.objective[n] = 1.0;
+    for (std::size_t r = 0; r < pool.size(); ++r) {
+      double* row = stage.coeffs.data() + r * (n + 1);
       for (std::size_t i = 0; i < n; ++i) {
         double coeff = 0.0;
-        for (const auto& atom : q_hat) {
+        for (const auto& atom : pool[r]) {
           coeff += atom.probability *
                    core::online_cost(grid[i], atom.stop_length, break_even);
         }
         row[i] = coeff;
       }
       row[n] = -1.0;
-      designer.add_constraint(row, lp::Sense::kLessEqual, 0.0);
+      stage.rhs[r] = 0.0;
     }
-    std::vector<double> ones(n + 1, 1.0);
-    ones[n] = 0.0;
-    designer.add_constraint(ones, lp::Sense::kEqual, 1.0);
+    double* ones = stage.coeffs.data() + pool.size() * (n + 1);
+    for (std::size_t i = 0; i < n; ++i) ones[i] = 1.0;
+    stage.senses[pool.size()] = lp::Sense::kEqual;
+    stage.rhs[pool.size()] = 1.0;
 
-    const lp::Solution sol = lp::solve(designer);
+    const lp::SolutionView sol = lp::solve(workspace, stage.view());
     if (!sol.optimal())
       throw std::runtime_error("solve_minimax: designer LP " +
                                lp::to_string(sol.status));

@@ -37,19 +37,34 @@ LpCoefficients lp_coefficients(const dist::ShortStopStats& stats,
 
 LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
                                         double break_even) {
+  // One-shot workspace sized for the vertex LP: <= 2 constraints, 3 vars.
+  lp::Workspace workspace(2, 3);
+  return solve_constrained_lp(stats, break_even, workspace);
+}
+
+LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
+                                        double break_even,
+                                        lp::Workspace& workspace) {
   const LpCoefficients k = lp_coefficients(stats, break_even);
   const bool gamma_usable = std::isfinite(k.k_gamma);
 
-  lp::Problem problem;
-  problem.objective = {k.k_alpha, k.k_beta,
-                       gamma_usable ? k.k_gamma : 0.0};
-  problem.add_constraint({1.0, 1.0, 1.0}, lp::Sense::kLessEqual, 1.0);
+  // Stage eq. (32)-(33) in place: minimize K'x over a + b + g <= 1 plus,
+  // when eq. (36) fails, a row excluding the b-DET atom entirely.
+  const std::size_t m = gamma_usable ? 1 : 2;
+  lp::ProblemStage stage = workspace.stage(m, 3);
+  stage.objective[0] = k.k_alpha;
+  stage.objective[1] = k.k_beta;
+  stage.objective[2] = gamma_usable ? k.k_gamma : 0.0;
+  stage.coeffs[0] = 1.0;
+  stage.coeffs[1] = 1.0;
+  stage.coeffs[2] = 1.0;
+  stage.rhs[0] = 1.0;
   if (!gamma_usable) {
-    // Exclude the b-DET atom entirely when eq. (36) fails.
-    problem.add_constraint({0.0, 0.0, 1.0}, lp::Sense::kLessEqual, 0.0);
+    stage.coeffs[3 + 2] = 1.0;  // row 1: {0, 0, 1} <= 0
+    stage.rhs[1] = 0.0;
   }
 
-  const lp::Solution sol = lp::solve(problem);
+  const lp::SolutionView sol = lp::solve(workspace, stage.view());
   if (!sol.optimal())
     throw std::runtime_error("solve_constrained_lp: LP not optimal: " +
                              lp::to_string(sol.status));
@@ -79,6 +94,20 @@ LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
     out.strategy = Strategy::kNRand;
   }
   return out;
+}
+
+std::size_t solve_constrained_lp_batch(
+    std::span<const dist::ShortStopStats> stats, double break_even,
+    lp::WorkspacePool& pool, std::span<LpStrategySolution> out,
+    std::size_t slot) {
+  IDLERED_EXPECTS(out.size() == stats.size(),
+                  "solve_constrained_lp_batch: one output slot per stats "
+                  "entry required");
+  lp::Workspace& workspace = pool.at(slot);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    out[i] = solve_constrained_lp(stats[i], break_even, workspace);
+  }
+  return stats.size();
 }
 
 }  // namespace idlered::core

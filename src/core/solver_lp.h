@@ -14,8 +14,12 @@
 // path agrees exactly with the closed-form choose_strategy().
 #pragma once
 
+#include <cstddef>
+#include <span>
+
 #include "core/analytic.h"
 #include "dist/distribution.h"
+#include "lp/arena.h"
 
 namespace idlered::core {
 
@@ -29,9 +33,29 @@ struct LpStrategySolution {
 };
 
 /// Solve eq. (32)-(33) with the dense simplex. Throws if the statistics are
-/// infeasible for the break-even interval.
+/// infeasible for the break-even interval. Builds a one-shot workspace per
+/// call; hot paths should use the workspace overload below.
 LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
                                         double break_even);
+
+/// Workspace overload: solves the same vertex LP through a caller-owned
+/// `lp::Workspace` (capacity at least 2 constraints x 3 vars) with zero
+/// heap allocations, bit-for-bit identical to the one-shot overload. This
+/// is the entry point for `engine::VehicleCache` and the serve shards,
+/// which re-solve on every stats update.
+LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
+                                        double break_even,
+                                        lp::Workspace& workspace);
+
+/// Batched COA solves: one eq. (32)-(33) LP per stats entry (e.g. one per
+/// (vehicle, B) cell) through a single workspace slot, zero per-solve heap
+/// traffic. `out` must have one slot per stats entry. Concurrent callers
+/// partition `stats` and pass distinct `slot` values into the pool.
+/// Returns the number of problems solved.
+std::size_t solve_constrained_lp_batch(
+    std::span<const dist::ShortStopStats> stats, double break_even,
+    lp::WorkspacePool& pool, std::span<LpStrategySolution> out,
+    std::size_t slot = 0);
 
 /// The K coefficients of eq. (32), exposed for tests/ablations. K_gamma is
 /// +infinity when the b-DET vertex is infeasible (eq. 36 violated).

@@ -59,6 +59,12 @@ dist::ShortStopStats VehicleCache::stats_for(double break_even) const {
   return s;
 }
 
+core::LpStrategySolution VehicleCache::lp_solution(
+    double break_even, lp::Workspace& workspace) const {
+  return core::solve_constrained_lp(stats_for(break_even), break_even,
+                                    workspace);
+}
+
 void VehicleCache::prewarm(std::vector<double> break_evens,
                            bool offline_totals) {
   if (sorted_stops_.empty()) return;  // nothing to warm; stats_for throws

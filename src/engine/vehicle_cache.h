@@ -23,7 +23,9 @@
 #include <span>
 #include <vector>
 
+#include "core/solver_lp.h"
 #include "dist/distribution.h"
+#include "lp/arena.h"
 #include "sim/stop_batch.h"
 #include "sim/trace.h"
 
@@ -51,6 +53,15 @@ class VehicleCache {
   /// (mu_B_minus, q_B_plus) at the given break-even. O(log n) on first
   /// request per B, O(log #distinct B) memoized afterwards. Thread-safe.
   dist::ShortStopStats stats_for(double break_even) const;
+
+  /// COA vertex-LP solution (eq. 32-33) at the given break-even, solved
+  /// through the caller-owned arena workspace — zero heap allocations past
+  /// the memoized stats lookup, bit-for-bit identical to the one-shot
+  /// `core::solve_constrained_lp`. Sweeps hold one workspace (or one
+  /// `lp::WorkspacePool` slot per worker) and call this per (vehicle, B)
+  /// cell. Thread-safe as long as each thread owns its workspace.
+  core::LpStrategySolution lp_solution(double break_even,
+                                       lp::Workspace& workspace) const;
 
   /// Prewarm the statistics memo for a whole sweep of break-even values in
   /// one incremental pass: break-evens are processed in ascending order so

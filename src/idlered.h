@@ -29,6 +29,7 @@
 #include "dist/empirical.h"            // IWYU pragma: export
 #include "dist/mixture.h"              // IWYU pragma: export
 #include "dist/parametric.h"           // IWYU pragma: export
+#include "lp/arena.h"                  // IWYU pragma: export
 #include "lp/simplex.h"                // IWYU pragma: export
 #include "robust/fallback.h"           // IWYU pragma: export
 #include "robust/fault_model.h"        // IWYU pragma: export

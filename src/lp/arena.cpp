@@ -1,0 +1,377 @@
+#include "lp/arena.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace idlered::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Standard-form bookkeeping over an unmanaged tableau. Identical in
+// structure to the pre-arena solver; the only change is that rows live in
+// caller-owned strided storage instead of a per-solve std::vector.
+struct StandardForm {
+  TableauView t;
+  std::size_t num_structural = 0;
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  std::size_t rhs_col = 0;
+  std::size_t obj_row = 0;
+};
+
+// Runs the simplex method on the tableau's objective row. Pricing uses
+// Dantzig's rule (most negative reduced cost) for speed, switching to
+// Bland's rule after a pivot budget to guarantee termination on degenerate
+// problems. Returns false if the problem is unbounded in the current phase.
+bool run_simplex(StandardForm& sf, std::size_t usable_cols) {
+  TableauView& t = sf.t;
+  const std::size_t* basis = t.basis();
+  const std::size_t obj = sf.obj_row;
+  // Generous anti-cycling budget: cycling in practice needs far fewer
+  // pivots than this before Bland takes over and finishes finitely.
+  const std::size_t bland_after = 50 * (t.rows() + t.cols());
+  std::size_t pivots = 0;
+  for (;;) {
+    std::size_t pivot_col = usable_cols;
+    if (pivots < bland_after) {
+      // Dantzig: most negative reduced cost.
+      double best = -kEps;
+      for (std::size_t c = 0; c < usable_cols; ++c) {
+        if (t.at(obj, c) < best) {
+          best = t.at(obj, c);
+          pivot_col = c;
+        }
+      }
+    } else {
+      // Bland: lowest-index negative column (no cycling).
+      for (std::size_t c = 0; c < usable_cols; ++c) {
+        if (t.at(obj, c) < -kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+    }
+    if (pivot_col == usable_cols) return true;  // optimal
+    ++pivots;
+
+    // Ratio test; ties broken by lowest basis index (Bland).
+    std::size_t pivot_row = t.rows();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < obj; ++r) {
+      const double a = t.at(r, pivot_col);
+      if (a > kEps) {
+        const double ratio = t.at(r, sf.rhs_col) / a;
+        if (ratio < best_ratio - kEps ||
+            (std::abs(ratio - best_ratio) <= kEps && pivot_row < t.rows() &&
+             basis[r] < basis[pivot_row])) {
+          best_ratio = ratio;
+          pivot_row = r;
+        }
+      }
+    }
+    if (pivot_row == t.rows()) return false;  // unbounded
+
+    t.pivot(pivot_row, pivot_col);
+    t.basis()[pivot_row] = pivot_col;
+  }
+}
+
+}  // namespace
+
+void TableauView::clear() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = data_ + r * stride_;
+    std::fill(row, row + cols_, 0.0);
+  }
+}
+
+void TableauView::pivot(std::size_t pr, std::size_t pc) {
+  const double pivot_value = at(pr, pc);
+  for (std::size_t c = 0; c < cols_; ++c) at(pr, c) /= pivot_value;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r == pr) continue;
+    const double factor = at(r, pc);
+    // lint: allow(float-compare): exact-zero skip is a pure optimization;
+    // eliminating with factor 0 is a no-op either way.
+    if (factor == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      at(r, c) -= factor * at(pr, c);
+    }
+  }
+}
+
+Solution SolutionView::materialize() const {
+  Solution out;
+  out.status = status;
+  out.objective_value = objective_value;
+  out.x.assign(x.begin(), x.end());
+  out.duals.assign(duals.begin(), duals.end());
+  return out;
+}
+
+Workspace::Workspace(std::size_t max_constraints, std::size_t max_vars)
+    : max_m_(max_constraints),
+      max_n_(max_vars),
+      col_cap_(max_vars + 2 * max_constraints + 1) {
+  const std::size_t tableau = (max_m_ + 1) * col_cap_;
+  row_sign_off_ = tableau;
+  x_off_ = row_sign_off_ + max_m_;
+  duals_off_ = x_off_ + max_n_;
+  stage_obj_off_ = duals_off_ + max_m_;
+  stage_coeffs_off_ = stage_obj_off_ + max_n_;
+  stage_rhs_off_ = stage_coeffs_off_ + max_m_ * max_n_;
+  doubles_.assign(stage_rhs_off_ + max_m_, 0.0);
+  indices_.assign(2 * max_m_, 0);  // [basis | marker columns]
+  senses_.assign(max_m_, Sense::kLessEqual);
+}
+
+TableauView Workspace::tableau(std::size_t rows, std::size_t cols) {
+  IDLERED_EXPECTS(rows <= max_m_ + 1 && cols <= col_cap_,
+                  "Workspace::tableau: shape exceeds the workspace capacity");
+  return TableauView(doubles_.data(), indices_.data(), rows, cols, col_cap_);
+}
+
+ProblemStage Workspace::stage(std::size_t m, std::size_t n, bool maximize) {
+  IDLERED_EXPECTS(m <= max_m_ && n <= max_n_,
+                  "Workspace::stage: problem shape exceeds the workspace "
+                  "capacity it was constructed with");
+  ProblemStage st;
+  st.objective = std::span<double>(doubles_.data() + stage_obj_off_, n);
+  st.coeffs = std::span<double>(doubles_.data() + stage_coeffs_off_, m * n);
+  st.senses = std::span<Sense>(senses_.data(), m);
+  st.rhs = std::span<double>(doubles_.data() + stage_rhs_off_, m);
+  st.maximize = maximize;
+  // Staging is reused across solves: hand the builder a zeroed problem so
+  // sparse call sites only write their nonzeros.
+  std::fill(st.objective.begin(), st.objective.end(), 0.0);
+  std::fill(st.coeffs.begin(), st.coeffs.end(), 0.0);
+  std::fill(st.senses.begin(), st.senses.end(), Sense::kLessEqual);
+  std::fill(st.rhs.begin(), st.rhs.end(), 0.0);
+  return st;
+}
+
+SolutionView Workspace::solution() const {
+  SolutionView view;
+  view.status = status_;
+  view.objective_value = objective_value_;
+  if (status_ == Status::kOptimal) {
+    view.x = std::span<const double>(doubles_.data() + x_off_, last_n_);
+    view.duals = std::span<const double>(doubles_.data() + duals_off_, last_m_);
+  }
+  return view;
+}
+
+SolutionView solve(Workspace& ws, const ProblemView& problem) {
+  const std::size_t n = problem.num_vars();
+  const std::size_t m = problem.num_constraints();
+  IDLERED_EXPECTS(m <= ws.max_m_ && n <= ws.max_n_,
+                  "lp::solve: problem shape exceeds the workspace capacity");
+  IDLERED_EXPECTS(problem.coeffs.size() == m * n,
+                  "lp::solve: constraint matrix must be m x n row-major "
+                  "(width must match the objective size)");
+  IDLERED_EXPECTS(problem.senses.size() == m,
+                  "lp::solve: one sense per constraint required");
+  IDLERED_EXPECTS(problem.x_out.empty() || problem.x_out.size() == n,
+                  "lp::solve: x_out must be empty or size num_vars");
+  IDLERED_EXPECTS(problem.duals_out.empty() || problem.duals_out.size() == m,
+                  "lp::solve: duals_out must be empty or size num_constraints");
+
+  // Count slack/surplus and artificial columns.
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    // Normalize to nonnegative RHS first; flipping may change the sense.
+    Sense sense = problem.senses[r];
+    if (problem.rhs[r] < 0.0) {
+      if (sense == Sense::kLessEqual) sense = Sense::kGreaterEqual;
+      else if (sense == Sense::kGreaterEqual) sense = Sense::kLessEqual;
+    }
+    if (sense != Sense::kEqual) ++num_slack;
+    if (sense != Sense::kLessEqual) ++num_artificial;
+  }
+
+  StandardForm sf;
+  sf.num_structural = n;
+  sf.num_slack = num_slack;
+  sf.num_artificial = num_artificial;
+  sf.rhs_col = n + num_slack + num_artificial;
+  sf.obj_row = m;
+  sf.t = ws.tableau(m + 1, sf.rhs_col + 1);
+  TableauView& t = sf.t;
+  t.clear();
+  std::size_t* basis = t.basis();
+  std::fill(basis, basis + m, std::size_t{0});
+
+  // Per-constraint bookkeeping for dual recovery: a "marker" column whose
+  // original tableau column is +e_r with zero cost (the slack for <=, the
+  // artificial for >= and =), and the sign flip applied to the row.
+  std::size_t* marker_col = ws.indices_.data() + ws.max_m_;
+  double* row_sign = ws.doubles_.data() + ws.row_sign_off_;
+
+  std::size_t slack_cursor = n;
+  std::size_t art_cursor = n + num_slack;
+  for (std::size_t r = 0; r < m; ++r) {
+    double rhs = problem.rhs[r];
+    double sign = 1.0;
+    Sense sense = problem.senses[r];
+    if (rhs < 0.0) {
+      sign = -1.0;
+      rhs = -rhs;
+      if (sense == Sense::kLessEqual) sense = Sense::kGreaterEqual;
+      else if (sense == Sense::kGreaterEqual) sense = Sense::kLessEqual;
+    }
+    row_sign[r] = sign;
+    const double* coeffs = problem.coeffs.data() + r * n;
+    for (std::size_t j = 0; j < n; ++j) t.at(r, j) = sign * coeffs[j];
+    t.at(r, sf.rhs_col) = rhs;
+
+    if (sense == Sense::kLessEqual) {
+      t.at(r, slack_cursor) = 1.0;
+      marker_col[r] = slack_cursor;
+      basis[r] = slack_cursor++;
+    } else if (sense == Sense::kGreaterEqual) {
+      t.at(r, slack_cursor) = -1.0;  // surplus
+      ++slack_cursor;
+      t.at(r, art_cursor) = 1.0;
+      marker_col[r] = art_cursor;
+      basis[r] = art_cursor++;
+    } else {  // equality
+      t.at(r, art_cursor) = 1.0;
+      marker_col[r] = art_cursor;
+      basis[r] = art_cursor++;
+    }
+  }
+
+  ws.last_m_ = m;
+  ws.last_n_ = n;
+  ws.objective_value_ = 0.0;
+
+  // Phase 1: minimize the sum of artificial variables.
+  if (num_artificial > 0) {
+    for (std::size_t c = n + num_slack; c < sf.rhs_col; ++c)
+      t.at(sf.obj_row, c) = 1.0;
+    // Make the objective row consistent with the basis (artificials basic).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= n + num_slack) {
+        for (std::size_t c = 0; c <= sf.rhs_col; ++c)
+          t.at(sf.obj_row, c) -= t.at(r, c);
+      }
+    }
+    if (!run_simplex(sf, sf.rhs_col)) {
+      ws.status_ = Status::kUnbounded;  // cannot happen in phase 1
+      return ws.solution();
+    }
+    const double phase1 = -t.at(sf.obj_row, sf.rhs_col);
+    if (std::abs(phase1) > 1e-7) {
+      ws.status_ = Status::kInfeasible;
+      return ws.solution();
+    }
+    // Drive any artificial variables out of the basis (degenerate rows).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= n + num_slack) {
+        std::size_t replacement = sf.rhs_col;
+        for (std::size_t c = 0; c < n + num_slack; ++c) {
+          if (std::abs(t.at(r, c)) > kEps) {
+            replacement = c;
+            break;
+          }
+        }
+        if (replacement != sf.rhs_col) {
+          t.pivot(r, replacement);
+          basis[r] = replacement;
+        }
+        // If no replacement exists the row is all-zero (redundant); the
+        // artificial stays basic at value zero, which is harmless.
+      }
+    }
+  }
+
+  // Phase 2: restore the real objective (in minimization sense).
+  for (std::size_t c = 0; c <= sf.rhs_col; ++c) t.at(sf.obj_row, c) = 0.0;
+  const double obj_sign = problem.maximize ? -1.0 : 1.0;
+  for (std::size_t j = 0; j < n; ++j)
+    t.at(sf.obj_row, j) = obj_sign * problem.objective[j];
+  // Forbid artificial columns from re-entering.
+  for (std::size_t c = n + num_slack; c < sf.rhs_col; ++c)
+    t.at(sf.obj_row, c) = 0.0;
+  // Re-express the objective row in terms of the current basis.
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t b = basis[r];
+    const double coeff = t.at(sf.obj_row, b);
+    if (std::abs(coeff) > 0.0) {
+      for (std::size_t c = 0; c <= sf.rhs_col; ++c)
+        t.at(sf.obj_row, c) -= coeff * t.at(r, c);
+    }
+  }
+
+  // Phase 2 may only pivot on structural + slack columns.
+  if (!run_simplex(sf, n + num_slack)) {
+    ws.status_ = Status::kUnbounded;
+    return ws.solution();
+  }
+
+  ws.status_ = Status::kOptimal;
+  double* x = ws.doubles_.data() + ws.x_off_;
+  std::fill(x, x + n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) x[basis[r]] = t.at(r, sf.rhs_col);
+  }
+  double value = 0.0;
+  for (std::size_t j = 0; j < n; ++j) value += problem.objective[j] * x[j];
+  ws.objective_value_ = value;
+
+  // Dual recovery: each marker column started as +e_r with zero cost, so
+  // its reduced cost at the optimum is -y_r (internal minimization sense).
+  // Undo the row sign flip and the maximization negation to express the
+  // shadow price in the user's own sense, d(objective)/d(rhs_r).
+  double* duals = ws.doubles_.data() + ws.duals_off_;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double y_internal = -t.at(sf.obj_row, marker_col[r]);
+    duals[r] = row_sign[r] * y_internal * obj_sign;
+  }
+
+  if (!problem.x_out.empty())
+    std::copy(x, x + n, problem.x_out.data());
+  if (!problem.duals_out.empty())
+    std::copy(duals, duals + m, problem.duals_out.data());
+  return ws.solution();
+}
+
+WorkspacePool::WorkspacePool(std::size_t max_constraints, std::size_t max_vars,
+                             std::size_t workspaces)
+    : max_m_(max_constraints), max_n_(max_vars) {
+  IDLERED_EXPECTS(workspaces >= 1,
+                  "WorkspacePool: at least one workspace required");
+  pool_.reserve(workspaces);
+  for (std::size_t i = 0; i < workspaces; ++i)
+    pool_.emplace_back(max_constraints, max_vars);
+}
+
+Workspace& WorkspacePool::at(std::size_t slot) {
+  IDLERED_EXPECTS(slot < pool_.size(),
+                  "WorkspacePool::at: slot index out of range");
+  return pool_[slot];
+}
+
+std::size_t solve_batch(WorkspacePool& pool,
+                        std::span<const ProblemView> problems,
+                        std::span<BatchResult> results, std::size_t slot) {
+  IDLERED_EXPECTS(results.size() == problems.size(),
+                  "lp::solve_batch: one result slot per problem required");
+  Workspace& ws = pool.at(slot);
+  std::size_t optimal = 0;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const SolutionView sol = solve(ws, problems[i]);
+    results[i].status = sol.status;
+    results[i].objective_value = sol.objective_value;
+    if (sol.optimal()) ++optimal;
+  }
+  return optimal;
+}
+
+}  // namespace idlered::lp

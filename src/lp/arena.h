@@ -1,0 +1,245 @@
+// Arena-backed, zero-allocation LP solving (the workspace API).
+//
+// The value-type API of lp/simplex.h (`Problem` + `solve`) allocates a
+// fresh tableau, basis, and solution vectors on every call. That is fine
+// for the cold analysis paths, but the COA strategy re-solves the eq.
+// (32)-(33) vertex LP once per (vehicle, B) cell — and, in the streaming
+// service, once per accepted stop event — so at fleet scale the solver is
+// a hot path that must never touch the heap.
+//
+// Following the unmanaged/managed tableau idiom (caller-owned flat
+// storage, a capacity/dims split so one buffer serves many problem
+// shapes, and a managed wrapper demotable to the unmanaged view):
+//
+//   TableauView   unmanaged: raw pointer + dims + column stride + basis
+//                 pointer. The whole pivot loop runs on this type and
+//                 performs zero allocations.
+//   Workspace     managed: owns ONE flat buffer sized by
+//                 (max_constraints, max_vars), reusable across solves,
+//                 demotable to a TableauView of any smaller shape. Also
+//                 carries a staging area for building a problem in place
+//                 and the solution storage a SolutionView points into.
+//   ProblemView   unmanaged problem statement: spans over caller-owned
+//                 flat storage (row-major constraint matrix), plus
+//                 optional output spans filled by the batched path.
+//   SolutionView  caller-owned result view over workspace storage, with
+//                 an explicit materialize() to the legacy value type.
+//   WorkspacePool indexed workspaces for batched / multi-threaded solves.
+//
+// Determinism: the solve kernel is the SAME code for the legacy value
+// API, the workspace API, and solve_batch — identical Dantzig-then-Bland
+// pivoting, identical arithmetic order — so all three paths produce
+// bit-for-bit identical primals, duals, statuses, and objective values.
+// Tests assert this exhaustively (tests/lp/test_arena.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace idlered::lp {
+
+/// A problem stated over caller-owned flat storage:
+///     minimize    c' x      (maximize when `maximize`)
+///     subject to  A_i x  {<=, =, >=}  b_i,    x >= 0
+/// `coeffs` is the m x n constraint matrix in row-major order. The
+/// optional output spans, when non-empty, receive the primal (size n)
+/// and the duals (size m) from solve_batch, so a batch of solutions
+/// survives workspace reuse without any per-solve allocation.
+struct ProblemView {
+  std::span<const double> objective;    ///< c, size n
+  std::span<const double> coeffs;       ///< A, row-major, size m * n
+  std::span<const Sense> senses;        ///< size m
+  std::span<const double> rhs;          ///< b, size m
+  bool maximize = false;
+
+  std::span<double> x_out;      ///< optional primal out (size n)
+  std::span<double> duals_out;  ///< optional duals out (size m)
+
+  std::size_t num_vars() const { return objective.size(); }
+  std::size_t num_constraints() const { return rhs.size(); }
+};
+
+/// Unmanaged dense tableau: a raw pointer with a dims/stride split plus
+/// the basis bookkeeping. Rows: one per constraint and the objective row
+/// last. Columns: structural, slack/surplus, artificial, RHS; `stride`
+/// (the column capacity of the underlying buffer) may exceed `cols`, so
+/// one flat buffer serves every problem shape up to capacity. All methods
+/// are allocation-free.
+class TableauView {
+ public:
+  TableauView() = default;
+  TableauView(double* data, std::size_t* basis, std::size_t rows,
+              std::size_t cols, std::size_t stride)
+      : data_(data), basis_(basis), rows_(rows), cols_(cols),
+        stride_(stride) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * stride_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * stride_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Basic variable per constraint row (size rows() - 1, caller-owned).
+  std::size_t* basis() { return basis_; }
+  const std::size_t* basis() const { return basis_; }
+
+  /// Zero the logical region (every row, columns [0, cols)). Reused
+  /// buffers carry the previous solve's values; the build step requires
+  /// a cleared tableau exactly like a freshly allocated one.
+  void clear();
+
+  /// Gauss-Jordan pivot on (pr, pc): normalize the pivot row, eliminate
+  /// the pivot column from every other row. Allocation-free.
+  void pivot(std::size_t pr, std::size_t pc);
+
+ private:
+  double* data_ = nullptr;
+  std::size_t* basis_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Mutable staging spans over a workspace's problem area, for building a
+/// ProblemView in place when the caller has no flat storage of its own
+/// (the compatibility wrapper, the COA vertex LP). The spans alias the
+/// workspace; a subsequent stage() call on the same workspace reuses them.
+struct ProblemStage {
+  std::span<double> objective;  ///< size n
+  std::span<double> coeffs;     ///< size m * n, row-major
+  std::span<Sense> senses;      ///< size m
+  std::span<double> rhs;        ///< size m
+  bool maximize = false;
+
+  ProblemView view() const {
+    return ProblemView{objective, coeffs, senses, rhs, maximize, {}, {}};
+  }
+};
+
+/// Read-only result view over workspace storage. Valid until the owning
+/// workspace's next solve (or destruction); callers that need the values
+/// to outlive the workspace call materialize().
+struct SolutionView {
+  Status status = Status::kInfeasible;
+  double objective_value = 0.0;
+  std::span<const double> x;      ///< primal (valid when optimal)
+  std::span<const double> duals;  ///< shadow price per constraint
+
+  bool optimal() const { return status == Status::kOptimal; }
+
+  /// Explicit copy-out to the legacy value type (tests, tools, cold
+  /// paths). The only allocating operation in this header.
+  Solution materialize() const;
+};
+
+/// Managed arena: owns one flat buffer sized by (max_constraints,
+/// max_vars) and is reusable across solves. After construction, solving
+/// any problem with m <= max_constraints and n <= max_vars performs zero
+/// heap allocations — the bench gates on that (bench_lp_arena).
+///
+/// Capacity math: a constraint contributes at most one slack/surplus and
+/// one artificial column, so the tableau needs max_vars + 2*max_constraints
+/// + 1 (RHS) columns and max_constraints + 1 (objective) rows.
+class Workspace {
+ public:
+  Workspace(std::size_t max_constraints, std::size_t max_vars);
+
+  std::size_t max_constraints() const { return max_m_; }
+  std::size_t max_vars() const { return max_n_; }
+
+  /// Column capacity of the flat tableau buffer (the TableauView stride).
+  std::size_t col_capacity() const { return col_cap_; }
+
+  /// Demote to an unmanaged tableau of the given logical shape. Throws
+  /// (contract) when the shape exceeds capacity.
+  TableauView tableau(std::size_t rows, std::size_t cols);
+
+  /// Staging spans for an m x n problem built in place (zeroed coeffs).
+  /// Throws (contract) when (m, n) exceeds capacity.
+  ProblemStage stage(std::size_t m, std::size_t n, bool maximize = false);
+
+  /// Result view of the most recent solve on this workspace.
+  SolutionView solution() const;
+
+ private:
+  friend SolutionView solve(Workspace& workspace, const ProblemView& problem);
+
+  std::size_t max_m_ = 0;
+  std::size_t max_n_ = 0;
+  std::size_t col_cap_ = 0;
+
+  // One flat double buffer: [tableau | row_sign | x | duals | staged
+  // objective | staged coeffs | staged rhs]; one flat index buffer:
+  // [basis | marker columns]. Offsets are fixed at construction.
+  std::vector<double> doubles_;
+  std::vector<std::size_t> indices_;
+  std::vector<Sense> senses_;
+
+  std::size_t row_sign_off_ = 0;
+  std::size_t x_off_ = 0;
+  std::size_t duals_off_ = 0;
+  std::size_t stage_obj_off_ = 0;
+  std::size_t stage_coeffs_off_ = 0;
+  std::size_t stage_rhs_off_ = 0;
+
+  // Shape and status of the last solve (what solution() reports).
+  Status status_ = Status::kInfeasible;
+  double objective_value_ = 0.0;
+  std::size_t last_m_ = 0;
+  std::size_t last_n_ = 0;
+};
+
+/// Solve `problem` in `workspace` with the dense two-phase simplex
+/// (Dantzig pricing with a Bland anti-cycling fallback — the same kernel,
+/// bit-for-bit, as the legacy lp::solve). Zero heap allocations. The
+/// returned view points into the workspace; it is invalidated by the next
+/// solve on the same workspace. Contract violations (shape exceeding
+/// capacity, mismatched span sizes) throw.
+SolutionView solve(Workspace& workspace, const ProblemView& problem);
+
+/// A set of independently usable workspaces for batched and concurrent
+/// solving. Slots are plain indices: concurrent callers (e.g. engine
+/// ThreadPool workers sweeping disjoint problem ranges) each use their
+/// own slot, which keeps the pool lock-free and the results deterministic.
+class WorkspacePool {
+ public:
+  WorkspacePool(std::size_t max_constraints, std::size_t max_vars,
+                std::size_t workspaces = 1);
+
+  std::size_t size() const { return pool_.size(); }
+  std::size_t max_constraints() const { return max_m_; }
+  std::size_t max_vars() const { return max_n_; }
+
+  Workspace& at(std::size_t slot);
+
+ private:
+  std::size_t max_m_;
+  std::size_t max_n_;
+  std::vector<Workspace> pool_;
+};
+
+/// Status + objective of one batched solve; primals/duals land in the
+/// ProblemView's output spans (when provided).
+struct BatchResult {
+  Status status = Status::kInfeasible;
+  double objective_value = 0.0;
+
+  bool optimal() const { return status == Status::kOptimal; }
+};
+
+/// Solve a batch of problems through one workspace slot, writing one
+/// BatchResult per problem (and each problem's primal/duals into its
+/// output spans). Zero per-solve heap traffic; results are identical to N
+/// scalar solve() calls. Concurrent callers partition `problems` and pass
+/// distinct `slot` values. Returns the number of optimal solves.
+std::size_t solve_batch(WorkspacePool& pool,
+                        std::span<const ProblemView> problems,
+                        std::span<BatchResult> results, std::size_t slot = 0);
+
+}  // namespace idlered::lp

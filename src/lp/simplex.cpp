@@ -1,118 +1,12 @@
 #include "lp/simplex.h"
 
-#include <cmath>
-#include <limits>
+#include <algorithm>
 #include <stdexcept>
 
+#include "lp/arena.h"
+#include "util/contracts.h"
+
 namespace idlered::lp {
-
-namespace {
-
-constexpr double kEps = 1e-9;
-
-// Dense simplex tableau. Rows: one per constraint plus the objective row.
-// Columns: structural vars, slack/surplus vars, artificial vars, RHS.
-class Tableau {
- public:
-  Tableau(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
-
-  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  double at(std::size_t r, std::size_t c) const {
-    return data_[r * cols_ + c];
-  }
-
-  std::size_t rows() const { return rows_; }
-  std::size_t cols() const { return cols_; }
-
-  void pivot(std::size_t pr, std::size_t pc) {
-    const double pivot_value = at(pr, pc);
-    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) /= pivot_value;
-    for (std::size_t r = 0; r < rows_; ++r) {
-      if (r == pr) continue;
-      const double factor = at(r, pc);
-      // lint: allow(float-compare): exact-zero skip is a pure optimization;
-      // eliminating with factor 0 is a no-op either way.
-      if (factor == 0.0) continue;
-      for (std::size_t c = 0; c < cols_; ++c) {
-        at(r, c) -= factor * at(pr, c);
-      }
-    }
-  }
-
- private:
-  std::size_t rows_;
-  std::size_t cols_;
-  std::vector<double> data_;
-};
-
-struct StandardForm {
-  Tableau tableau;
-  std::vector<std::size_t> basis;    // basic variable per constraint row
-  std::size_t num_structural = 0;
-  std::size_t num_slack = 0;
-  std::size_t num_artificial = 0;
-  std::size_t rhs_col = 0;
-  std::size_t obj_row = 0;
-};
-
-// Runs the simplex method on the tableau's objective row. Pricing uses
-// Dantzig's rule (most negative reduced cost) for speed, switching to
-// Bland's rule after a pivot budget to guarantee termination on degenerate
-// problems. Returns false if the problem is unbounded in the current phase.
-bool run_simplex(StandardForm& sf, std::size_t usable_cols) {
-  Tableau& t = sf.tableau;
-  const std::size_t obj = sf.obj_row;
-  // Generous anti-cycling budget: cycling in practice needs far fewer
-  // pivots than this before Bland takes over and finishes finitely.
-  const std::size_t bland_after = 50 * (t.rows() + t.cols());
-  std::size_t pivots = 0;
-  for (;;) {
-    std::size_t pivot_col = usable_cols;
-    if (pivots < bland_after) {
-      // Dantzig: most negative reduced cost.
-      double best = -kEps;
-      for (std::size_t c = 0; c < usable_cols; ++c) {
-        if (t.at(obj, c) < best) {
-          best = t.at(obj, c);
-          pivot_col = c;
-        }
-      }
-    } else {
-      // Bland: lowest-index negative column (no cycling).
-      for (std::size_t c = 0; c < usable_cols; ++c) {
-        if (t.at(obj, c) < -kEps) {
-          pivot_col = c;
-          break;
-        }
-      }
-    }
-    if (pivot_col == usable_cols) return true;  // optimal
-    ++pivots;
-
-    // Ratio test; ties broken by lowest basis index (Bland).
-    std::size_t pivot_row = t.rows();
-    double best_ratio = std::numeric_limits<double>::infinity();
-    for (std::size_t r = 0; r < obj; ++r) {
-      const double a = t.at(r, pivot_col);
-      if (a > kEps) {
-        const double ratio = t.at(r, sf.rhs_col) / a;
-        if (ratio < best_ratio - kEps ||
-            (std::abs(ratio - best_ratio) <= kEps && pivot_row < t.rows() &&
-             sf.basis[r] < sf.basis[pivot_row])) {
-          best_ratio = ratio;
-          pivot_row = r;
-        }
-      }
-    }
-    if (pivot_row == t.rows()) return false;  // unbounded
-
-    t.pivot(pivot_row, pivot_col);
-    sf.basis[pivot_row] = pivot_col;
-  }
-}
-
-}  // namespace
 
 void Problem::add_constraint(std::vector<double> coeffs, Sense sense,
                              double rhs) {
@@ -124,162 +18,28 @@ void Problem::add_constraint(std::vector<double> coeffs, Sense sense,
 Solution solve(const Problem& problem) {
   const std::size_t n = problem.num_vars();
   const std::size_t m = problem.constraints.size();
+  // add_constraint validates widths, but `constraints` is a plain public
+  // vector that callers can hand-assemble; re-validate here so a mismatched
+  // row is a contract violation instead of out-of-bounds tableau reads.
   for (const Constraint& c : problem.constraints) {
-    if (c.coeffs.size() != n)
-      throw std::invalid_argument("Constraint width must match objective");
+    IDLERED_EXPECTS(c.coeffs.size() == n,
+                    "lp::solve: constraint width must match objective size");
   }
 
-  // Count slack/surplus and artificial columns.
-  std::size_t num_slack = 0;
-  std::size_t num_artificial = 0;
-  for (const Constraint& c : problem.constraints) {
-    // Normalize to nonnegative RHS first; flipping may change the sense.
-    Sense sense = c.sense;
-    if (c.rhs < 0.0) {
-      if (sense == Sense::kLessEqual) sense = Sense::kGreaterEqual;
-      else if (sense == Sense::kGreaterEqual) sense = Sense::kLessEqual;
-    }
-    if (sense != Sense::kEqual) ++num_slack;
-    if (sense != Sense::kLessEqual) ++num_artificial;
-  }
-
-  StandardForm sf{
-      Tableau(m + 1, n + num_slack + num_artificial + 1),
-      std::vector<std::size_t>(m, 0),
-      n,
-      num_slack,
-      num_artificial,
-      n + num_slack + num_artificial,  // rhs_col
-      m,                               // obj_row
-  };
-  Tableau& t = sf.tableau;
-
-  // Per-constraint bookkeeping for dual recovery: a "marker" column whose
-  // original tableau column is +e_r with zero cost (the slack for <=, the
-  // artificial for >= and =), and the sign flip applied to the row.
-  std::vector<std::size_t> marker_col(m, 0);
-  std::vector<double> row_sign(m, 1.0);
-
-  std::size_t slack_cursor = n;
-  std::size_t art_cursor = n + num_slack;
+  // One-shot workspace: the arena kernel is the single solve path, so the
+  // legacy API stays bit-for-bit identical to the workspace API by
+  // construction. Hot paths should hold a Workspace instead (lp/arena.h).
+  Workspace ws(m, n);
+  ProblemStage st = ws.stage(m, n, problem.maximize);
+  std::copy(problem.objective.begin(), problem.objective.end(),
+            st.objective.begin());
   for (std::size_t r = 0; r < m; ++r) {
     const Constraint& c = problem.constraints[r];
-    double rhs = c.rhs;
-    double sign = 1.0;
-    Sense sense = c.sense;
-    if (rhs < 0.0) {
-      sign = -1.0;
-      rhs = -rhs;
-      if (sense == Sense::kLessEqual) sense = Sense::kGreaterEqual;
-      else if (sense == Sense::kGreaterEqual) sense = Sense::kLessEqual;
-    }
-    row_sign[r] = sign;
-    for (std::size_t j = 0; j < n; ++j) t.at(r, j) = sign * c.coeffs[j];
-    t.at(r, sf.rhs_col) = rhs;
-
-    if (sense == Sense::kLessEqual) {
-      t.at(r, slack_cursor) = 1.0;
-      marker_col[r] = slack_cursor;
-      sf.basis[r] = slack_cursor++;
-    } else if (sense == Sense::kGreaterEqual) {
-      t.at(r, slack_cursor) = -1.0;  // surplus
-      ++slack_cursor;
-      t.at(r, art_cursor) = 1.0;
-      marker_col[r] = art_cursor;
-      sf.basis[r] = art_cursor++;
-    } else {  // equality
-      t.at(r, art_cursor) = 1.0;
-      marker_col[r] = art_cursor;
-      sf.basis[r] = art_cursor++;
-    }
+    std::copy(c.coeffs.begin(), c.coeffs.end(), st.coeffs.begin() + r * n);
+    st.senses[r] = c.sense;
+    st.rhs[r] = c.rhs;
   }
-
-  Solution solution;
-
-  // Phase 1: minimize the sum of artificial variables.
-  if (num_artificial > 0) {
-    for (std::size_t c = n + num_slack; c < sf.rhs_col; ++c)
-      t.at(sf.obj_row, c) = 1.0;
-    // Make the objective row consistent with the basis (artificials basic).
-    for (std::size_t r = 0; r < m; ++r) {
-      if (sf.basis[r] >= n + num_slack) {
-        for (std::size_t c = 0; c <= sf.rhs_col; ++c)
-          t.at(sf.obj_row, c) -= t.at(r, c);
-      }
-    }
-    if (!run_simplex(sf, sf.rhs_col)) {
-      solution.status = Status::kUnbounded;  // cannot happen in phase 1
-      return solution;
-    }
-    const double phase1 = -t.at(sf.obj_row, sf.rhs_col);
-    if (std::abs(phase1) > 1e-7) {
-      solution.status = Status::kInfeasible;
-      return solution;
-    }
-    // Drive any artificial variables out of the basis (degenerate rows).
-    for (std::size_t r = 0; r < m; ++r) {
-      if (sf.basis[r] >= n + num_slack) {
-        std::size_t replacement = sf.rhs_col;
-        for (std::size_t c = 0; c < n + num_slack; ++c) {
-          if (std::abs(t.at(r, c)) > kEps) {
-            replacement = c;
-            break;
-          }
-        }
-        if (replacement != sf.rhs_col) {
-          t.pivot(r, replacement);
-          sf.basis[r] = replacement;
-        }
-        // If no replacement exists the row is all-zero (redundant); the
-        // artificial stays basic at value zero, which is harmless.
-      }
-    }
-  }
-
-  // Phase 2: restore the real objective (in minimization sense).
-  for (std::size_t c = 0; c <= sf.rhs_col; ++c) t.at(sf.obj_row, c) = 0.0;
-  const double obj_sign = problem.maximize ? -1.0 : 1.0;
-  for (std::size_t j = 0; j < n; ++j)
-    t.at(sf.obj_row, j) = obj_sign * problem.objective[j];
-  // Forbid artificial columns from re-entering.
-  for (std::size_t c = n + num_slack; c < sf.rhs_col; ++c)
-    t.at(sf.obj_row, c) = 0.0;
-  // Re-express the objective row in terms of the current basis.
-  for (std::size_t r = 0; r < m; ++r) {
-    const std::size_t b = sf.basis[r];
-    const double coeff = t.at(sf.obj_row, b);
-    if (std::abs(coeff) > 0.0) {
-      for (std::size_t c = 0; c <= sf.rhs_col; ++c)
-        t.at(sf.obj_row, c) -= coeff * t.at(r, c);
-    }
-  }
-
-  // Phase 2 may only pivot on structural + slack columns.
-  if (!run_simplex(sf, n + num_slack)) {
-    solution.status = Status::kUnbounded;
-    return solution;
-  }
-
-  solution.status = Status::kOptimal;
-  solution.x.assign(n, 0.0);
-  for (std::size_t r = 0; r < m; ++r) {
-    if (sf.basis[r] < n) solution.x[sf.basis[r]] = t.at(r, sf.rhs_col);
-  }
-  double value = 0.0;
-  for (std::size_t j = 0; j < n; ++j)
-    value += problem.objective[j] * solution.x[j];
-  solution.objective_value = value;
-
-  // Dual recovery: each marker column started as +e_r with zero cost, so
-  // its reduced cost at the optimum is -y_r (internal minimization sense).
-  // Undo the row sign flip and the maximization negation to express the
-  // shadow price in the user's own sense, d(objective)/d(rhs_r).
-  solution.duals.assign(m, 0.0);
-  for (std::size_t r = 0; r < m; ++r) {
-    const double y_internal = -t.at(sf.obj_row, marker_col[r]);
-    solution.duals[r] = row_sign[r] * y_internal * obj_sign;
-  }
-  return solution;
+  return solve(ws, st.view()).materialize();
 }
 
 std::string to_string(Status status) {

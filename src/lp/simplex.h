@@ -13,6 +13,16 @@
 //                 x >= 0
 // which is exactly the form the paper's LP takes. Maximization is available
 // through `Problem::maximize`.
+//
+// DEPRECATED (value-type path): `Problem` + `solve(const Problem&)` allocate
+// a vector per constraint and a one-shot workspace per call. The pair
+// survives only as a compatibility wrapper over the arena kernel in
+// lp/arena.h — results are bit-for-bit identical by construction — and is
+// acceptable in cold analysis/tooling code and tests. Hot paths (anything
+// under src/core, src/engine, src/serve, src/sim) must use the workspace
+// API (`lp::Workspace` + `lp::solve(Workspace&, const ProblemView&)` or
+// `lp::solve_batch`); the `deprecated-lp` lint rule enforces this with an
+// explicit exception list (tools/idlered_lint.py).
 #pragma once
 
 #include <cstddef>
@@ -55,8 +65,15 @@ struct Solution {
   bool optimal() const { return status == Status::kOptimal; }
 };
 
-/// Solve with a dense two-phase simplex (Bland's rule; no cycling).
-/// Suitable for the small instances that arise here (tens of variables).
+/// Solve with a dense two-phase simplex (Dantzig pricing, Bland anti-cycling
+/// fallback). Suitable for the small instances that arise here (tens of
+/// variables).
+///
+/// Deprecated for hot paths: this is a compatibility wrapper that builds a
+/// one-shot `lp::Workspace` and materializes the solution — one heap
+/// round-trip per call. Use the allocation-free workspace API in lp/arena.h
+/// anywhere solve throughput matters (enforced by the `deprecated-lp` lint
+/// rule outside the exception list).
 Solution solve(const Problem& problem);
 
 /// Human-readable status name (for logs and test diagnostics).

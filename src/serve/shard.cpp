@@ -8,7 +8,7 @@
 
 #include "core/analytic.h"
 #include "core/policies.h"
-#include "core/proposed.h"
+#include "core/solver_lp.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "robust/health_monitor.h"
@@ -207,7 +207,7 @@ Decision Shard::apply_event(const StopEvent& event,
 }
 
 double Shard::decide_threshold(const StopEvent& event, VehicleState& state,
-                               robust::ControllerMode& rung) const {
+                               robust::ControllerMode& rung) {
   // The effective rung is the worse of the shed ceiling and the vehicle's
   // own warm-up rung: a cold vehicle gets the distribution-free N-Rand
   // guarantee even when the shard itself is healthy.
@@ -216,17 +216,33 @@ double Shard::decide_threshold(const StopEvent& event, VehicleState& state,
     rung = robust::ControllerMode::kNRand;
 
   if (rung == robust::ControllerMode::kProposed) {
+    // COA re-solve on the arena workspace: the eq. (32)-(33) vertex LP runs
+    // allocation-free in lp_ws_, and its selection agrees with the
+    // closed-form choose_strategy() (cross-checked in tests), so the
+    // decision stream is unchanged from the ProposedPolicy-based path.
     const dist::ShortStopStats stats = state.acc.stats();
-    const core::ProposedPolicy proposed(params_.break_even, stats);
-    if (proposed.choice().strategy == core::Strategy::kBDet &&
+    const core::LpStrategySolution sol =
+        core::solve_constrained_lp(stats, params_.break_even, lp_ws_);
+    if (sol.strategy == core::Strategy::kBDet &&
         !robust::trust_b_det(stats, params_.break_even,
                              params_.b_det_margin)) {
       // Estimation error near the eq. 36 boundary flips the LP vertex;
       // DET keeps 2-competitiveness on this stop regardless.
       rung = robust::ControllerMode::kDet;
     } else {
-      util::Rng rng(decision_seed(params_.seed, event));
-      return proposed.sample_threshold(rng);
+      switch (sol.strategy) {
+        case core::Strategy::kToi:
+          return 0.0;
+        case core::Strategy::kDet:
+          return params_.break_even;
+        case core::Strategy::kBDet:
+          return sol.b;
+        case core::Strategy::kNRand: {
+          const core::NRandPolicy n_rand(params_.break_even);
+          util::Rng rng(decision_seed(params_.seed, event));
+          return n_rand.sample_threshold(rng);
+        }
+      }
     }
   }
   switch (rung) {

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/arena.h"
 #include "robust/fallback.h"
 #include "robust/input_guard.h"
 #include "serve/event.h"
@@ -125,7 +126,7 @@ class Shard {
   VehicleState& vehicle(std::uint64_t id);
   Decision apply_event(const StopEvent& event, robust::ControllerMode ceiling);
   double decide_threshold(const StopEvent& event, VehicleState& state,
-                          robust::ControllerMode& rung) const;
+                          robust::ControllerMode& rung);
 
   ShardParams params_;
   BoundedEventQueue queue_;
@@ -138,6 +139,10 @@ class Shard {
   std::string dir_;
   WalWriter wal_;
   std::vector<StopEvent> batch_;  ///< drain scratch, reused across pumps
+  /// Arena for the COA vertex LP (eq. 32-33: <= 2 constraints, 3 vars),
+  /// reused across every decision this shard prices — the re-solve loop
+  /// never touches the heap. Pump-thread only, like all decision state.
+  lp::Workspace lp_ws_{2, 3};
   /// Lazily registered per-shard queue-depth gauge (obs builds only).
   std::size_t gauge_id_ = 0;
   bool gauge_registered_ = false;

@@ -1,0 +1,15 @@
+// lint-fixture: path=src/core/solver_example.cpp
+// The `deprecated-lp` rule: the value-type lp::Problem path is a finding
+// anywhere in src/ outside its home (src/lp/simplex.{h,cpp}); the arena
+// workspace API is the supported path. (Fixtures are linted, not compiled.)
+
+void example(idlered::lp::Workspace& ws) {
+  idlered::lp::Problem problem;                       // LINT-BAD(deprecated-lp)
+  auto stage = ws.stage(2, 3);
+  const auto view = stage.view();
+  const auto sol = idlered::lp::solve(ws, view);
+  (void)sol;
+  // lint: allow(deprecated-lp): differential cross-check of the wrapper
+  idlered::lp::Problem legacy;
+  (void)legacy;
+}

@@ -1,0 +1,12 @@
+// lint-fixture: path=src/lp/simplex.cpp
+// Home-file exemption for `deprecated-lp`: the compatibility wrapper's own
+// definition uses the value type freely — that is where it lives.
+
+namespace idlered::lp {
+
+Solution solve(const Problem& problem) {
+  lp::Problem copy = problem;  // no finding: home file
+  return {};
+}
+
+}  // namespace idlered::lp

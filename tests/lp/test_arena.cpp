@@ -1,0 +1,429 @@
+// Tests for the arena-backed LP workspace API (lp/arena.h).
+//
+// The load-bearing property is determinism under reuse: a long-lived
+// Workspace (and solve_batch over a WorkspacePool) must produce results
+// bit-for-bit identical to the legacy value-type path, which builds a
+// fresh one-shot workspace per call — any stale state leaking between
+// solves shows up as an exact-equality failure here.
+#include "lp/arena.h"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/solver_lp.h"
+#include "engine/thread_pool.h"
+#include "lp/simplex.h"
+#include "util/random.h"
+
+namespace idlered::lp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random instance generation (feasible, infeasible, and unbounded mix).
+
+struct FlatProblem {
+  std::vector<double> objective;
+  std::vector<double> coeffs;  // row-major m x n
+  std::vector<Sense> senses;
+  std::vector<double> rhs;
+  bool maximize = false;
+
+  ProblemView view() const {
+    return ProblemView{objective, coeffs, senses, rhs, maximize, {}, {}};
+  }
+
+  Problem value_type() const {
+    Problem p;
+    p.objective = objective;
+    p.maximize = maximize;
+    const std::size_t n = objective.size();
+    for (std::size_t r = 0; r < rhs.size(); ++r) {
+      p.add_constraint(
+          std::vector<double>(coeffs.begin() + static_cast<long>(r * n),
+                              coeffs.begin() + static_cast<long>((r + 1) * n)),
+          senses[r], rhs[r]);
+    }
+    return p;
+  }
+};
+
+// Draws a random LP whose population spans all three outcomes: mostly
+// bounded-feasible, with deliberate infeasible (contradictory bounds) and
+// unbounded (maximize with an unconstrained improving ray) instances.
+FlatProblem random_problem(util::Rng& rng) {
+  const auto n = static_cast<std::size_t>(rng.uniform(1.0, 5.999));
+  const auto m = static_cast<std::size_t>(rng.uniform(1.0, 6.999));
+  FlatProblem p;
+  p.maximize = rng.uniform() < 0.5;
+  p.objective.resize(n);
+  for (double& c : p.objective) c = rng.uniform(-5.0, 5.0);
+  p.coeffs.assign(m * n, 0.0);
+  p.senses.resize(m);
+  p.rhs.resize(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j)
+      p.coeffs[r * n + j] = rng.uniform(-3.0, 3.0);
+    const double pick = rng.uniform();
+    p.senses[r] = pick < 0.5   ? Sense::kLessEqual
+                  : pick < 0.8 ? Sense::kGreaterEqual
+                               : Sense::kEqual;
+    p.rhs[r] = rng.uniform(-4.0, 8.0);
+  }
+  const double shape = rng.uniform();
+  if (shape < 0.15) {
+    // Contradictory box on x_0: x_0 <= 1 and x_0 >= 2 (infeasible).
+    for (std::size_t j = 0; j < n; ++j) {
+      p.coeffs[0 * n + j] = j == 0 ? 1.0 : 0.0;
+      if (m > 1) p.coeffs[1 * n + j] = j == 0 ? 1.0 : 0.0;
+    }
+    p.senses[0] = Sense::kLessEqual;
+    p.rhs[0] = 1.0;
+    if (m > 1) {
+      p.senses[1] = Sense::kGreaterEqual;
+      p.rhs[1] = 2.0;
+    }
+  } else if (shape < 0.3) {
+    // Unbounded shape: maximize a positive objective subject only to >=
+    // floors, so every improving ray is feasible.
+    p.maximize = true;
+    for (std::size_t j = 0; j < n; ++j)
+      p.objective[j] = rng.uniform(0.5, 3.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      p.senses[r] = Sense::kGreaterEqual;
+      p.rhs[r] = rng.uniform(0.0, 2.0);
+      for (std::size_t j = 0; j < n; ++j)
+        p.coeffs[r * n + j] = rng.uniform(0.0, 2.0);
+    }
+  }
+  return p;
+}
+
+// Exact (bit-for-bit) agreement between a legacy Solution and a view.
+void expect_identical(const Solution& legacy, const SolutionView& arena) {
+  ASSERT_EQ(legacy.status, arena.status);
+  EXPECT_EQ(legacy.objective_value, arena.objective_value);
+  ASSERT_EQ(legacy.x.size(), arena.x.size());
+  for (std::size_t i = 0; i < legacy.x.size(); ++i)
+    EXPECT_EQ(legacy.x[i], arena.x[i]) << "x[" << i << "]";
+  ASSERT_EQ(legacy.duals.size(), arena.duals.size());
+  for (std::size_t i = 0; i < legacy.duals.size(); ++i)
+    EXPECT_EQ(legacy.duals[i], arena.duals[i]) << "duals[" << i << "]";
+}
+
+// ---------------------------------------------------------------------------
+// TableauView mechanics.
+
+TEST(TableauViewTest, StridedAccessKeepsRowsApart) {
+  std::vector<double> buf(3 * 7, -1.0);
+  std::vector<std::size_t> basis(2, 0);
+  TableauView t(buf.data(), basis.data(), 3, 4, 7);
+  t.clear();
+  // Only the logical 3x4 region is cleared; the stride padding is untouched.
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(t.at(r, c), 0.0);
+    for (std::size_t c = 4; c < 7; ++c) EXPECT_EQ(buf[r * 7 + c], -1.0);
+  }
+  t.at(1, 2) = 5.0;
+  EXPECT_EQ(buf[1 * 7 + 2], 5.0);
+}
+
+TEST(TableauViewTest, PivotNormalizesAndEliminates) {
+  std::vector<double> buf(2 * 8, 0.0);
+  std::vector<std::size_t> basis(1, 0);
+  TableauView t(buf.data(), basis.data(), 2, 3, 8);
+  // Row 0: 2x + 4y = 6;  row 1: x + y = 2. Pivot on (0, 0).
+  t.at(0, 0) = 2.0; t.at(0, 1) = 4.0; t.at(0, 2) = 6.0;
+  t.at(1, 0) = 1.0; t.at(1, 1) = 1.0; t.at(1, 2) = 2.0;
+  t.pivot(0, 0);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 2), -1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace basics and contracts.
+
+TEST(WorkspaceTest, CapacityMath) {
+  Workspace ws(4, 3);
+  EXPECT_EQ(ws.max_constraints(), 4u);
+  EXPECT_EQ(ws.max_vars(), 3u);
+  // n + 2m + 1: each constraint adds at most one slack and one artificial.
+  EXPECT_EQ(ws.col_capacity(), 3u + 2u * 4u + 1u);
+}
+
+TEST(WorkspaceTest, ShapeContractsThrow) {
+  Workspace ws(2, 3);
+  EXPECT_THROW(ws.stage(3, 3), std::invalid_argument);
+  EXPECT_THROW(ws.stage(2, 4), std::invalid_argument);
+  EXPECT_THROW(ws.tableau(4, 2), std::invalid_argument);
+  EXPECT_THROW(ws.tableau(2, ws.col_capacity() + 1), std::invalid_argument);
+  EXPECT_NO_THROW(ws.stage(2, 3));
+}
+
+TEST(WorkspaceTest, MismatchedSpanWidthsThrow) {
+  Workspace ws(2, 3);
+  const std::vector<double> objective{1.0, 1.0, 1.0};
+  const std::vector<double> coeffs{1.0, 1.0, 1.0, 1.0, 1.0};  // 5 != 2 * 3
+  const std::vector<Sense> senses{Sense::kLessEqual, Sense::kLessEqual};
+  const std::vector<double> rhs{1.0, 1.0};
+  const ProblemView bad{objective, coeffs, senses, rhs, false, {}, {}};
+  EXPECT_THROW(solve(ws, bad), std::invalid_argument);
+}
+
+// Regression for the hand-assembled `constraints` vector: add_constraint
+// validates widths, but nothing used to stop a caller from pushing a
+// mismatched row directly and crashing the solver on out-of-bounds reads.
+TEST(WorkspaceTest, HandAssembledMismatchedWidthThrows) {
+  Problem p;
+  p.objective = {1.0, 2.0};
+  p.constraints.push_back(
+      Constraint{{1.0, 2.0, 3.0}, Sense::kLessEqual, 4.0});  // width 3 != 2
+  EXPECT_THROW(lp::solve(p), std::invalid_argument);
+}
+
+TEST(WorkspaceTest, SolutionViewMaterializeCopiesEverything) {
+  Workspace ws(2, 2);
+  ProblemStage stage = ws.stage(1, 2, /*maximize=*/true);
+  stage.objective[0] = 3.0;
+  stage.objective[1] = 2.0;
+  stage.coeffs[0] = 1.0;
+  stage.coeffs[1] = 1.0;
+  stage.rhs[0] = 4.0;
+  const SolutionView view = solve(ws, stage.view());
+  ASSERT_TRUE(view.optimal());
+  const Solution copy = view.materialize();
+  EXPECT_EQ(copy.status, view.status);
+  EXPECT_EQ(copy.objective_value, view.objective_value);
+  ASSERT_EQ(copy.x.size(), 2u);
+  EXPECT_EQ(copy.x[0], view.x[0]);
+  EXPECT_EQ(copy.x[1], view.x[1]);
+  ASSERT_EQ(copy.duals.size(), 1u);
+  EXPECT_EQ(copy.duals[0], view.duals[0]);
+}
+
+TEST(WorkspaceTest, SmallSolveAfterLargeSolveIsClean) {
+  // A big messy solve followed by a tiny one: stale tableau/basis state
+  // from the large problem must not leak into the small one.
+  Workspace ws(6, 6);
+  util::Rng rng(2024);
+  for (int i = 0; i < 50; ++i) {
+    const FlatProblem big = random_problem(rng);
+    ws.stage(big.rhs.size(), big.objective.size());
+    (void)solve(ws, big.view());
+
+    Problem tiny;
+    tiny.objective = {3.0, 2.0};
+    tiny.maximize = true;
+    tiny.add_constraint({1.0, 1.0}, Sense::kLessEqual, 4.0);
+    tiny.add_constraint({1.0, 3.0}, Sense::kLessEqual, 6.0);
+    const Solution fresh = lp::solve(tiny);
+
+    const FlatProblem flat_tiny{
+        tiny.objective,
+        {1.0, 1.0, 1.0, 3.0},
+        {Sense::kLessEqual, Sense::kLessEqual},
+        {4.0, 6.0},
+        true};
+    expect_identical(fresh, solve(ws, flat_tiny.view()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: bit-for-bit equality across all three solve paths.
+
+TEST(ArenaPropertyTest, ReusedWorkspaceMatchesLegacyBitForBit) {
+  util::Rng rng(7);
+  Workspace reused(8, 8);
+  int optimal = 0, infeasible = 0, unbounded = 0;
+  for (int i = 0; i < 500; ++i) {
+    const FlatProblem p = random_problem(rng);
+    const Solution legacy = lp::solve(p.value_type());
+    const SolutionView arena = solve(reused, p.view());
+    expect_identical(legacy, arena);
+    switch (legacy.status) {
+      case Status::kOptimal: ++optimal; break;
+      case Status::kInfeasible: ++infeasible; break;
+      case Status::kUnbounded: ++unbounded; break;
+    }
+  }
+  // The generator must actually exercise all three outcomes.
+  EXPECT_GT(optimal, 50);
+  EXPECT_GT(infeasible, 20);
+  EXPECT_GT(unbounded, 20);
+}
+
+TEST(ArenaPropertyTest, SolveBatchEqualsScalarSolves) {
+  util::Rng rng(99);
+  constexpr std::size_t kBatch = 64;
+  std::vector<FlatProblem> problems;
+  problems.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i)
+    problems.push_back(random_problem(rng));
+
+  // Output storage so the batch's primals/duals survive workspace reuse.
+  std::vector<std::vector<double>> x_out(kBatch), duals_out(kBatch);
+  std::vector<ProblemView> views;
+  views.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    x_out[i].assign(problems[i].objective.size(), 0.0);
+    duals_out[i].assign(problems[i].rhs.size(), 0.0);
+    ProblemView v = problems[i].view();
+    v.x_out = x_out[i];
+    v.duals_out = duals_out[i];
+    views.push_back(v);
+  }
+
+  WorkspacePool pool(8, 8);
+  std::vector<BatchResult> results(kBatch);
+  const std::size_t n_optimal = solve_batch(pool, views, results);
+
+  std::size_t expected_optimal = 0;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const Solution scalar = lp::solve(problems[i].value_type());
+    ASSERT_EQ(scalar.status, results[i].status) << "problem " << i;
+    EXPECT_EQ(scalar.objective_value, results[i].objective_value);
+    if (scalar.optimal()) {
+      ++expected_optimal;
+      for (std::size_t j = 0; j < scalar.x.size(); ++j)
+        EXPECT_EQ(scalar.x[j], x_out[i][j]);
+      for (std::size_t j = 0; j < scalar.duals.size(); ++j)
+        EXPECT_EQ(scalar.duals[j], duals_out[i][j]);
+    }
+  }
+  EXPECT_EQ(n_optimal, expected_optimal);
+}
+
+TEST(ArenaPropertyTest, BatchResultCountMismatchThrows) {
+  WorkspacePool pool(2, 2);
+  const std::vector<double> objective{1.0};
+  const std::vector<double> coeffs{1.0};
+  const std::vector<Sense> senses{Sense::kLessEqual};
+  const std::vector<double> rhs{1.0};
+  const ProblemView v{objective, coeffs, senses, rhs, false, {}, {}};
+  std::vector<ProblemView> problems{v, v};
+  std::vector<BatchResult> too_few(1);
+  EXPECT_THROW(solve_batch(pool, problems, too_few), std::invalid_argument);
+  EXPECT_THROW(pool.at(1), std::invalid_argument);
+}
+
+// Threaded determinism: partition a problem list into chunks, one pool
+// slot per chunk, and check the merged results never depend on the thread
+// count. (The LP layer itself spawns no threads; concurrency is the
+// caller's, via the engine pool.)
+TEST(ArenaPropertyTest, ThreadedPartitionsMatchSerialReference) {
+  util::Rng rng(1234);
+  constexpr std::size_t kProblems = 64;
+  std::vector<FlatProblem> problems;
+  problems.reserve(kProblems);
+  for (std::size_t i = 0; i < kProblems; ++i)
+    problems.push_back(random_problem(rng));
+
+  std::vector<Solution> reference;
+  reference.reserve(kProblems);
+  for (const FlatProblem& p : problems)
+    reference.push_back(lp::solve(p.value_type()));
+
+  for (const int threads : {1, 2, 8}) {
+    constexpr std::size_t kChunks = 8;
+    constexpr std::size_t kPerChunk = kProblems / kChunks;
+    WorkspacePool pool(8, 8, kChunks);
+    std::vector<BatchResult> results(kProblems);
+    std::vector<std::vector<double>> x_out(kProblems);
+    std::vector<std::vector<double>> duals_out(kProblems);
+    std::vector<ProblemView> views(kProblems);
+    for (std::size_t i = 0; i < kProblems; ++i) {
+      x_out[i].assign(problems[i].objective.size(), 0.0);
+      duals_out[i].assign(problems[i].rhs.size(), 0.0);
+      views[i] = problems[i].view();
+      views[i].x_out = x_out[i];
+      views[i].duals_out = duals_out[i];
+    }
+
+    engine::ThreadPool tp(threads);
+    tp.parallel_for(kChunks, [&](std::size_t chunk) {
+      const std::span<ProblemView> span(views.data() + chunk * kPerChunk,
+                                        kPerChunk);
+      const std::span<BatchResult> out(results.data() + chunk * kPerChunk,
+                                       kPerChunk);
+      solve_batch(pool, span, out, chunk);
+    });
+
+    for (std::size_t i = 0; i < kProblems; ++i) {
+      ASSERT_EQ(reference[i].status, results[i].status)
+          << "threads=" << threads << " problem " << i;
+      EXPECT_EQ(reference[i].objective_value, results[i].objective_value);
+      if (reference[i].optimal()) {
+        for (std::size_t j = 0; j < reference[i].x.size(); ++j)
+          EXPECT_EQ(reference[i].x[j], x_out[i][j]);
+        for (std::size_t j = 0; j < reference[i].duals.size(); ++j)
+          EXPECT_EQ(reference[i].duals[j], duals_out[i][j]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// COA integration: the workspace overload and the batched COA helper.
+
+TEST(CoaWorkspaceTest, WorkspaceOverloadMatchesOneShot) {
+  constexpr double kB = 28.0;
+  Workspace ws(2, 3);
+  for (double mu_frac : {0.05, 0.2, 0.4, 0.6, 0.8}) {
+    for (double q : {0.0, 0.05, 0.2, 0.5, 0.9}) {
+      dist::ShortStopStats stats;
+      stats.q_b_plus = q;
+      stats.mu_b_minus = mu_frac * kB * (1.0 - q);
+      const core::LpStrategySolution one_shot =
+          core::solve_constrained_lp(stats, kB);
+      const core::LpStrategySolution reused =
+          core::solve_constrained_lp(stats, kB, ws);
+      EXPECT_EQ(one_shot.alpha, reused.alpha);
+      EXPECT_EQ(one_shot.beta, reused.beta);
+      EXPECT_EQ(one_shot.gamma, reused.gamma);
+      EXPECT_EQ(one_shot.expected_cost, reused.expected_cost);
+      EXPECT_EQ(one_shot.strategy, reused.strategy);
+      EXPECT_EQ(one_shot.b, reused.b);
+    }
+  }
+}
+
+TEST(CoaWorkspaceTest, BatchHelperMatchesScalarLoop) {
+  constexpr double kB = 28.0;
+  std::vector<dist::ShortStopStats> stats;
+  util::Rng rng(5150);
+  for (int i = 0; i < 40; ++i) {
+    dist::ShortStopStats s;
+    s.q_b_plus = rng.uniform(0.0, 0.95);
+    s.mu_b_minus = rng.uniform(0.01, 0.99) * kB * (1.0 - s.q_b_plus);
+    stats.push_back(s);
+  }
+  lp::WorkspacePool pool(2, 3);
+  std::vector<core::LpStrategySolution> batched(stats.size());
+  const std::size_t solved =
+      core::solve_constrained_lp_batch(stats, kB, pool, batched);
+  EXPECT_EQ(solved, stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const core::LpStrategySolution scalar =
+        core::solve_constrained_lp(stats[i], kB);
+    EXPECT_EQ(scalar.alpha, batched[i].alpha);
+    EXPECT_EQ(scalar.beta, batched[i].beta);
+    EXPECT_EQ(scalar.gamma, batched[i].gamma);
+    EXPECT_EQ(scalar.expected_cost, batched[i].expected_cost);
+    EXPECT_EQ(scalar.strategy, batched[i].strategy);
+    EXPECT_EQ(scalar.b, batched[i].b);
+  }
+  std::vector<core::LpStrategySolution> short_out(stats.size() - 1);
+  EXPECT_THROW(
+      core::solve_constrained_lp_batch(stats, kB, pool, short_out),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::lp

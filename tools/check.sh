@@ -25,22 +25,25 @@ echo "== 3/5 fault-injection bench under sanitizers =="
 "$repo/build-asan/bench/bench_robustness_faults" > /dev/null
 echo "bench_robustness_faults: clean under ASan/UBSan"
 
-echo "== 4/5 engine + obs + serve + batch-kernel tests under ThreadSanitizer =="
+echo "== 4/5 engine + obs + serve + batch-kernel + arena tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=thread
 cmake --build "$repo/build-tsan" -j "$jobs" \
       --target test_engine --target test_obs --target test_property \
-      --target test_serve --target bench_engine_scaling
+      --target test_serve --target test_lp_arena --target bench_engine_scaling
 "$repo/build-tsan/tests/test_engine"
 "$repo/build-tsan/tests/test_obs"
 "$repo/build-tsan/tests/test_property"
 # The streaming service: producer threads against the bounded MPSC queues
 # and the pooled pump path (thread-count invariance, crash recovery).
 "$repo/build-tsan/tests/test_serve"
+# The arena LP suite: includes the WorkspacePool partition test that runs
+# concurrent solve_batch calls on distinct pool slots at 1/2/8 threads.
+"$repo/build-tsan/tests/test_lp_arena"
 # A small batch-kernel fleet run: exercises the StopBatch offline-total
 # memo and the prewarm pass under real engine concurrency.
 "$repo/build-tsan/bench/bench_engine_scaling" 20 5 > /dev/null
-echo "test_engine + test_obs + test_property + test_serve + batch engine run: clean under TSan"
+echo "test_engine + test_obs + test_property + test_serve + test_lp_arena + batch engine run: clean under TSan"
 
 echo "== 5/5 static analysis: clang-tidy + idlered_lint + contracts =="
 # tidy.sh skips gracefully (exit 0 with a warning) when no clang-tidy

@@ -16,6 +16,16 @@ Encodes rules that generic static analyzers cannot know about this codebase
                     their definitions (src/sim/evaluator.{h,cpp}). New code
                     goes through sim::evaluate(policy, stops, EvalOptions).
 
+  deprecated-lp     No `lp::Problem` (the heap-per-solve value-type LP path)
+                    in src/ outside its home (src/lp/simplex.{h,cpp}, where
+                    the compatibility wrapper lives). Library code solves
+                    through the arena workspace API of src/lp/arena.h
+                    (lp::Workspace + lp::solve(Workspace&, ProblemView) or
+                    lp::solve_batch), which is allocation-free and
+                    bit-identical. Tests/benches/tools/examples may use the
+                    value type freely — differential coverage of the two
+                    paths depends on it.
+
   float-compare     No raw == / != against a floating-point literal in src/
                     without an approved-comparison annotation. Exact
                     floating comparison is occasionally correct (sentinel
@@ -247,6 +257,26 @@ def rule_deprecated_eval(src: SourceFile) -> list[Finding]:
         src, "deprecated-eval", DEPRECATED_EVAL_RE,
         "call to deprecated evaluator wrapper — use "
         "sim::evaluate(policy, stops, EvalOptions)")
+
+
+DEPRECATED_LP_RE = re.compile(r"\blp::Problem\b")
+
+# Exception list for the value-type LP path: the compatibility wrapper's
+# own definition. Everything else in src/ uses lp/arena.h.
+DEPRECATED_LP_HOME = {"src/lp/simplex.h", "src/lp/simplex.cpp"}
+
+
+@rule("deprecated-lp")
+def rule_deprecated_lp(src: SourceFile) -> list[Finding]:
+    if not in_dir(src.path, "src"):
+        return []
+    if src.path in DEPRECATED_LP_HOME:
+        return []
+    return scan_pattern(
+        src, "deprecated-lp", DEPRECATED_LP_RE,
+        "value-type lp::Problem in src/ — the legacy path allocates per "
+        "solve; use lp::Workspace + lp::solve(workspace, ProblemView) or "
+        "lp::solve_batch (src/lp/arena.h)")
 
 
 FLOAT_COMPARE_RE = re.compile(
