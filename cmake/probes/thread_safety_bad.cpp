@@ -1,0 +1,25 @@
+// Negative probe for ENABLE_THREAD_SAFETY_ANALYSIS: touches a guarded
+// member without holding its mutex. It must FAIL to compile under
+// -Werror=thread-safety; if it compiles, the analysis is silently inert
+// (wrong compiler, attribute not supported) and configuration aborts
+// rather than green-lighting an unanalyzed build.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Deliberate bug: no LockGuard around the guarded write.
+  int bump_unlocked() { return ++value_; }
+
+ private:
+  idlered::util::Mutex m_;
+  int value_ IDLERED_GUARDED_BY(m_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.bump_unlocked();
+}

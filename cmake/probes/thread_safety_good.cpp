@@ -1,0 +1,31 @@
+// Positive probe for ENABLE_THREAD_SAFETY_ANALYSIS: a correctly annotated
+// counter that must COMPILE under -Werror=thread-safety. If it does not,
+// the toolchain's capability analysis is broken and configuration aborts.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() IDLERED_EXCLUDES(m_) {
+    idlered::util::LockGuard lock(m_);
+    ++value_;
+  }
+
+  int get() IDLERED_EXCLUDES(m_) {
+    idlered::util::LockGuard lock(m_);
+    return value_;
+  }
+
+ private:
+  idlered::util::Mutex m_;
+  int value_ IDLERED_GUARDED_BY(m_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.get() == 1 ? 0 : 1;
+}

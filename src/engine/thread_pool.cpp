@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/thread_annotations.h"
 
 namespace idlered::engine {
 
@@ -18,18 +17,19 @@ namespace {
 // front, thieves pop half of the remainder from the back; both paths hold
 // the segment's mutex, so begin/end never cross.
 struct Segment {
-  std::mutex m;
-  std::size_t begin = 0;
-  std::size_t end = 0;
+  util::Mutex m;
+  std::size_t begin IDLERED_GUARDED_BY(m) = 0;
+  std::size_t end IDLERED_GUARDED_BY(m) = 0;
 
-  std::size_t remaining() {
-    std::lock_guard<std::mutex> lock(m);
+  std::size_t remaining() IDLERED_EXCLUDES(m) {
+    util::LockGuard lock(m);
     return end - begin;
   }
 
   /// Claim up to `chunk` indices from the front; returns [first, last).
-  bool pop_front(std::size_t chunk, std::size_t& first, std::size_t& last) {
-    std::lock_guard<std::mutex> lock(m);
+  bool pop_front(std::size_t chunk, std::size_t& first, std::size_t& last)
+      IDLERED_EXCLUDES(m) {
+    util::LockGuard lock(m);
     if (begin >= end) return false;
     first = begin;
     last = std::min(end, begin + chunk);
@@ -38,8 +38,8 @@ struct Segment {
   }
 
   /// Steal the back half of the remainder; returns [first, last).
-  bool steal_back(std::size_t& first, std::size_t& last) {
-    std::lock_guard<std::mutex> lock(m);
+  bool steal_back(std::size_t& first, std::size_t& last) IDLERED_EXCLUDES(m) {
+    util::LockGuard lock(m);
     const std::size_t rem = end - begin;
     if (rem == 0) return false;
     const std::size_t take = (rem + 1) / 2;
@@ -56,39 +56,56 @@ struct Job {
   std::size_t chunk = 1;
   std::atomic<bool> abort{false};
   std::atomic<int> workers_left{0};
-  std::exception_ptr error;  // guarded by error_m
-  std::mutex error_m;
+  util::Mutex error_m;
+  std::exception_ptr error IDLERED_GUARDED_BY(error_m);
 
   explicit Job(std::size_t num_segments) : segments(num_segments) {}
+
+  void record_error(std::exception_ptr e) IDLERED_EXCLUDES(error_m) {
+    {
+      util::LockGuard lock(error_m);
+      if (!error) error = std::move(e);
+    }
+    abort.store(true);
+  }
+
+  /// Caller-side: safe once workers_left has reached 0 (all workers done
+  /// publishing), which parallel_for waits for before calling this.
+  std::exception_ptr take_error() IDLERED_EXCLUDES(error_m) {
+    util::LockGuard lock(error_m);
+    return error;
+  }
 };
 
 }  // namespace
 
 struct ThreadPool::Impl {
   std::vector<std::thread> workers;
-  std::mutex m;
-  std::condition_variable cv_work;   // signals workers: job or shutdown
-  std::condition_variable cv_done;   // signals caller: job finished
-  Job* job = nullptr;                // guarded by m
-  std::uint64_t job_ticket = 0;      // bumped per job, guarded by m
-  bool shutdown = false;
+  util::Mutex m;
+  util::CondVar cv_work;  // signals workers: job or shutdown
+  util::CondVar cv_done;  // signals caller: job finished
+  Job* job IDLERED_GUARDED_BY(m) = nullptr;
+  std::uint64_t job_ticket IDLERED_GUARDED_BY(m) = 0;  // bumped per job
+  bool shutdown IDLERED_GUARDED_BY(m) = false;
 
-  void worker_loop(std::size_t my_index) {
+  void worker_loop(std::size_t my_index) IDLERED_EXCLUDES(m) {
     std::uint64_t last_ticket = 0;
     for (;;) {
       Job* j = nullptr;
       {
-        std::unique_lock<std::mutex> lock(m);
-        cv_work.wait(lock, [&] {
-          return shutdown || (job != nullptr && job_ticket != last_ticket);
-        });
+        util::LockGuard lock(m);
+        // Inline predicate loop: a wait-with-lambda would move these
+        // guarded reads into an unannotated closure (see
+        // util/thread_annotations.h on CondVar).
+        while (!shutdown && !(job != nullptr && job_ticket != last_ticket))
+          cv_work.wait(m);
         if (shutdown) return;
         j = job;
         last_ticket = job_ticket;
       }
       run_job(*j, my_index);
       {
-        std::lock_guard<std::mutex> lock(m);
+        util::LockGuard lock(m);
         if (j->workers_left.fetch_sub(1) == 1) cv_done.notify_all();
       }
     }
@@ -101,11 +118,7 @@ struct ThreadPool::Impl {
       try {
         for (std::size_t i = lo; i < hi && !j.abort.load(); ++i) (*j.fn)(i);
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(j.error_m);
-          if (!j.error) j.error = std::current_exception();
-        }
-        j.abort.store(true);
+        j.record_error(std::current_exception());
       }
     };
 
@@ -158,7 +171,7 @@ ThreadPool::ThreadPool(int threads) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->m);
+    util::LockGuard lock(impl_->m);
     impl_->shutdown = true;
   }
   impl_->cv_work.notify_all();
@@ -181,11 +194,14 @@ void ThreadPool::parallel_for(std::size_t n,
   job.fn = &fn;
   job.chunk = chunk;
   // Contiguous even split; later segments absorb the remainder one by one.
+  // The job is not yet visible to any worker, so its segments can be
+  // initialized without their locks.
   const std::size_t base = n / nthreads;
   const std::size_t extra = n % nthreads;
   std::size_t cursor = 0;
   for (std::size_t s = 0; s < nthreads; ++s) {
     const std::size_t len = base + (s < extra ? 1 : 0);
+    util::LockGuard lock(job.segments[s].m);
     job.segments[s].begin = cursor;
     job.segments[s].end = cursor + len;
     cursor += len;
@@ -193,17 +209,17 @@ void ThreadPool::parallel_for(std::size_t n,
   job.workers_left.store(static_cast<int>(nthreads));
 
   {
-    std::lock_guard<std::mutex> lock(impl_->m);
+    util::LockGuard lock(impl_->m);
     impl_->job = &job;
     ++impl_->job_ticket;
   }
   impl_->cv_work.notify_all();
   {
-    std::unique_lock<std::mutex> lock(impl_->m);
-    impl_->cv_done.wait(lock, [&] { return job.workers_left.load() == 0; });
+    util::LockGuard lock(impl_->m);
+    while (job.workers_left.load() != 0) impl_->cv_done.wait(impl_->m);
     impl_->job = nullptr;
   }
-  if (job.error) std::rethrow_exception(job.error);
+  if (std::exception_ptr e = job.take_error()) std::rethrow_exception(e);
 }
 
 }  // namespace idlered::engine

@@ -45,7 +45,7 @@ dist::ShortStopStats VehicleCache::stats_for(double break_even) const {
     throw std::invalid_argument(
         "VehicleCache::stats_for: break_even must be > 0");
   {
-    std::lock_guard<std::mutex> lock(memo_m_);
+    util::LockGuard lock(memo_m_);
     const auto it = memo_.find(break_even);
     if (it != memo_.end()) {
       IDLERED_COUNT("engine.cache.stats_hit");
@@ -54,7 +54,7 @@ dist::ShortStopStats VehicleCache::stats_for(double break_even) const {
   }
   IDLERED_COUNT("engine.cache.stats_miss");
   const dist::ShortStopStats s = stats_at(break_even, nullptr);
-  std::lock_guard<std::mutex> lock(memo_m_);
+  util::LockGuard lock(memo_m_);
   memo_.emplace(break_even, s);
   return s;
 }
@@ -81,7 +81,7 @@ void VehicleCache::prewarm(std::vector<double> break_evens,
     computed.emplace_back(b, stats_at(b, &hint));
     if (offline_totals) batch_.offline_total(b);
   }
-  std::lock_guard<std::mutex> lock(memo_m_);
+  util::LockGuard lock(memo_m_);
   for (auto& [b, s] : computed) memo_.emplace(b, s);
 }
 

@@ -19,7 +19,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -28,6 +27,7 @@
 #include "lp/arena.h"
 #include "sim/stop_batch.h"
 #include "sim/trace.h"
+#include "util/thread_annotations.h"
 
 namespace idlered::engine {
 
@@ -52,7 +52,8 @@ class VehicleCache {
 
   /// (mu_B_minus, q_B_plus) at the given break-even. O(log n) on first
   /// request per B, O(log #distinct B) memoized afterwards. Thread-safe.
-  dist::ShortStopStats stats_for(double break_even) const;
+  dist::ShortStopStats stats_for(double break_even) const
+      IDLERED_EXCLUDES(memo_m_);
 
   /// COA vertex-LP solution (eq. 32-33) at the given break-even, solved
   /// through the caller-owned arena workspace — zero heap allocations past
@@ -69,7 +70,8 @@ class VehicleCache {
   /// total instead of k independent lookups racing on the memo lock from
   /// inside evaluation cells. Also prewarms the batch offline totals when
   /// `offline_totals` is set. Thread-safe, idempotent.
-  void prewarm(std::vector<double> break_evens, bool offline_totals);
+  void prewarm(std::vector<double> break_evens, bool offline_totals)
+      IDLERED_EXCLUDES(memo_m_);
 
  private:
   dist::ShortStopStats stats_at(double break_even, std::size_t* hint) const;
@@ -80,8 +82,8 @@ class VehicleCache {
   double first_moment_ = 0.0;
   sim::StopBatch batch_;
 
-  mutable std::mutex memo_m_;
-  mutable std::map<double, dist::ShortStopStats> memo_;
+  mutable util::Mutex memo_m_;
+  mutable std::map<double, dist::ShortStopStats> memo_ IDLERED_GUARDED_BY(memo_m_);
 };
 
 /// One cache per vehicle of the fleet, index-aligned with the fleet.

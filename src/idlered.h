@@ -54,8 +54,10 @@
 #include "traffic/arterial.h"          // IWYU pragma: export
 #include "traffic/intersection.h"      // IWYU pragma: export
 #include "traffic/microsim.h"          // IWYU pragma: export
+#include "util/bits.h"                 // IWYU pragma: export
 #include "util/cli.h"                  // IWYU pragma: export
 #include "util/csv.h"                  // IWYU pragma: export
 #include "util/math.h"                 // IWYU pragma: export
 #include "util/random.h"               // IWYU pragma: export
 #include "util/table.h"                // IWYU pragma: export
+#include "util/thread_annotations.h"   // IWYU pragma: export

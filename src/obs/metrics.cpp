@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "util/contracts.h"
+#include "util/thread_annotations.h"
 
 namespace idlered::obs {
 
@@ -62,7 +62,7 @@ thread_local std::vector<TlsEntry> t_shards;
 
 struct MetricsRegistry::Impl {
   const std::uint64_t serial = g_registry_serial.fetch_add(1);
-  mutable std::mutex m;  // guards registration, the shard list, snapshots
+  mutable util::Mutex m;  // guards registration, the shard list, snapshots
 
   // Publication protocol for the lock-free read path: meta[i] is fully
   // constructed under the mutex, then meta_count is released to i+1.
@@ -71,15 +71,15 @@ struct MetricsRegistry::Impl {
   std::unique_ptr<Meta[]> meta{new Meta[kMaxMetrics]};
   std::atomic<std::size_t> meta_count{0};
 
-  std::map<std::string, Id> index;  // guarded by m
-  std::vector<std::unique_ptr<Shard>> shards;  // guarded by m
-  std::size_t next_int_slot = 0;
-  std::size_t next_double_slot = 0;
+  std::map<std::string, Id> index IDLERED_GUARDED_BY(m);
+  std::vector<std::unique_ptr<Shard>> shards IDLERED_GUARDED_BY(m);
+  std::size_t next_int_slot IDLERED_GUARDED_BY(m) = 0;
+  std::size_t next_double_slot IDLERED_GUARDED_BY(m) = 0;
 
-  Shard& local_shard() {
+  Shard& local_shard() IDLERED_EXCLUDES(m) {
     for (const TlsEntry& e : t_shards)
       if (e.serial == serial) return *e.shard;
-    std::lock_guard<std::mutex> lock(m);
+    util::LockGuard lock(m);
     shards.push_back(std::make_unique<Shard>());
     Shard* s = shards.back().get();
     t_shards.push_back(TlsEntry{serial, s});
@@ -95,8 +95,8 @@ struct MetricsRegistry::Impl {
   }
 
   Id register_metric(Kind kind, const std::string& name,
-                     std::vector<double> edges) {
-    std::lock_guard<std::mutex> lock(m);
+                     std::vector<double> edges) IDLERED_EXCLUDES(m) {
+    util::LockGuard lock(m);
     const auto it = index.find(name);
     if (it != index.end()) {
       const Meta& existing = meta[it->second];
@@ -135,7 +135,7 @@ struct MetricsRegistry::Impl {
     return n;
   }
 
-  std::size_t take_int_slots(std::size_t n) {
+  std::size_t take_int_slots(std::size_t n) IDLERED_REQUIRES(m) {
     if (next_int_slot + n > kIntSlots)
       throw std::length_error("MetricsRegistry: integer slot capacity "
                               "exhausted (raise kIntSlots)");
@@ -144,7 +144,7 @@ struct MetricsRegistry::Impl {
     return at;
   }
 
-  std::size_t take_double_slots(std::size_t n) {
+  std::size_t take_double_slots(std::size_t n) IDLERED_REQUIRES(m) {
     if (next_double_slot + n > kDoubleSlots)
       throw std::length_error("MetricsRegistry: double slot capacity "
                               "exhausted (raise kDoubleSlots)");
@@ -218,7 +218,7 @@ std::uint64_t MetricsSnapshot::Histogram::total() const {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   MetricsSnapshot snap;
   const std::size_t n = impl_->meta_count.load(std::memory_order_acquire);
   for (std::size_t i = 0; i < n; ++i) {
@@ -264,7 +264,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   for (const auto& s : impl_->shards) {
     for (auto& v : s->ints) v.store(0, std::memory_order_relaxed);
     for (auto& v : s->doubles) v.store(0.0, std::memory_order_relaxed);
@@ -272,7 +272,7 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::shard_count() const {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   return impl_->shards.size();
 }
 

@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <fstream>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "util/clock.h"
 #include "util/contracts.h"
+#include "util/thread_annotations.h"
 
 namespace idlered::obs {
 
@@ -30,17 +30,17 @@ struct Recorder::Impl {
   std::atomic<bool> enabled{false};
   std::atomic<ClockFn> clock{nullptr};  // nullptr = util::monotonic_seconds
 
-  mutable std::mutex m;  // guards everything below
-  std::string sink_path;
-  std::vector<std::string> lines;
-  std::map<std::string, SpanStat> span_stats;
+  mutable util::Mutex m;  // guards everything below
+  std::string sink_path IDLERED_GUARDED_BY(m);
+  std::vector<std::string> lines IDLERED_GUARDED_BY(m);
+  std::map<std::string, SpanStat> span_stats IDLERED_GUARDED_BY(m);
 };
 
 Recorder::Recorder() : impl_(std::make_unique<Impl>()) {}
 Recorder::~Recorder() = default;
 
 void Recorder::start(std::string sink_path) {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   impl_->sink_path = std::move(sink_path);
   impl_->lines.clear();
   impl_->span_stats.clear();
@@ -68,12 +68,12 @@ void Recorder::emit(util::JsonValue fields) {
   if (!enabled()) return;
   fields.set("t", now());
   std::string line = fields.dump(0);
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   impl_->lines.push_back(std::move(line));
 }
 
 std::size_t Recorder::flush() {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   if (impl_->sink_path.empty())
     throw std::logic_error("Recorder::flush: no sink path was configured");
   std::ofstream f(impl_->sink_path);
@@ -87,24 +87,26 @@ std::size_t Recorder::flush() {
   return impl_->lines.size();
 }
 
-const std::string& Recorder::sink_path() const {
+const std::string& Recorder::sink_path() const
+    IDLERED_NO_THREAD_SAFETY_ANALYSIS {
   // The path is written once in start() before any reader cares; returning
-  // a reference keeps the accessor allocation-free.
+  // a reference keeps the accessor allocation-free, at the price of an
+  // analysis opt-out for this deliberate unguarded read.
   return impl_->sink_path;
 }
 
 std::vector<std::string> Recorder::lines() const {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   return impl_->lines;
 }
 
 std::size_t Recorder::event_count() const {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   return impl_->lines.size();
 }
 
 std::map<std::string, Recorder::SpanStat> Recorder::span_stats() const {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   return impl_->span_stats;
 }
 
@@ -119,7 +121,7 @@ void Recorder::close_span(const char* name, double t0, double dur,
   ev.set("self", self);
   ev.set("t", now());
   std::string line = ev.dump(0);
-  std::lock_guard<std::mutex> lock(impl_->m);
+  util::LockGuard lock(impl_->m);
   impl_->lines.push_back(std::move(line));
   SpanStat& stat = impl_->span_stats[name];
   ++stat.count;

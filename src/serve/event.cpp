@@ -1,6 +1,6 @@
 #include "serve/event.h"
 
-#include <bit>
+#include "util/bits.h"
 
 namespace idlered::serve {
 
@@ -27,8 +27,8 @@ std::string to_string(Outcome outcome) {
 bool bit_identical(const Decision& a, const Decision& b) {
   return a.vehicle == b.vehicle && a.seq == b.seq && a.outcome == b.outcome &&
          a.rung == b.rung &&
-         std::bit_cast<std::uint64_t>(a.threshold) ==
-             std::bit_cast<std::uint64_t>(b.threshold);
+         util::bit_cast<std::uint64_t>(a.threshold) ==
+             util::bit_cast<std::uint64_t>(b.threshold);
 }
 
 }  // namespace idlered::serve

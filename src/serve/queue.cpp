@@ -13,7 +13,7 @@ BoundedEventQueue::BoundedEventQueue(std::size_t capacity)
 }
 
 bool BoundedEventQueue::try_push(const StopEvent& event) {
-  std::lock_guard<std::mutex> lock(m_);
+  util::LockGuard lock(m_);
   if (count_ == capacity_) {
     ++rejected_;
     return false;
@@ -26,7 +26,7 @@ bool BoundedEventQueue::try_push(const StopEvent& event) {
 
 std::size_t BoundedEventQueue::pop_up_to(std::size_t max,
                                          std::vector<StopEvent>& out) {
-  std::lock_guard<std::mutex> lock(m_);
+  util::LockGuard lock(m_);
   const std::size_t n = std::min(max, count_);
   out.reserve(out.size() + n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -38,17 +38,17 @@ std::size_t BoundedEventQueue::pop_up_to(std::size_t max,
 }
 
 std::size_t BoundedEventQueue::size() const {
-  std::lock_guard<std::mutex> lock(m_);
+  util::LockGuard lock(m_);
   return count_;
 }
 
 std::size_t BoundedEventQueue::high_water() const {
-  std::lock_guard<std::mutex> lock(m_);
+  util::LockGuard lock(m_);
   return high_water_;
 }
 
 std::uint64_t BoundedEventQueue::rejected() const {
-  std::lock_guard<std::mutex> lock(m_);
+  util::LockGuard lock(m_);
   return rejected_;
 }
 

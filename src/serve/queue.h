@@ -15,10 +15,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "serve/event.h"
+#include "util/thread_annotations.h"
 
 namespace idlered::serve {
 
@@ -28,30 +28,31 @@ class BoundedEventQueue {
   explicit BoundedEventQueue(std::size_t capacity);
 
   /// Enqueue unless full. Thread-safe (any producer).
-  bool try_push(const StopEvent& event);
+  bool try_push(const StopEvent& event) IDLERED_EXCLUDES(m_);
 
   /// Pop up to `max` events in FIFO order, appending to `out`; returns how
   /// many were popped. Thread-safe, but the service guarantees one
   /// consumer per queue (the owning shard's drain pass).
-  std::size_t pop_up_to(std::size_t max, std::vector<StopEvent>& out);
+  std::size_t pop_up_to(std::size_t max, std::vector<StopEvent>& out)
+      IDLERED_EXCLUDES(m_);
 
-  std::size_t size() const;
+  std::size_t size() const IDLERED_EXCLUDES(m_);
   std::size_t capacity() const { return capacity_; }
 
   /// Deepest the queue has ever been (diagnostics; monotone).
-  std::size_t high_water() const;
+  std::size_t high_water() const IDLERED_EXCLUDES(m_);
 
   /// try_push refusals so far.
-  std::uint64_t rejected() const;
+  std::uint64_t rejected() const IDLERED_EXCLUDES(m_);
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex m_;
-  std::vector<StopEvent> ring_;
-  std::size_t head_ = 0;  ///< next pop position
-  std::size_t count_ = 0;
-  std::size_t high_water_ = 0;
-  std::uint64_t rejected_ = 0;
+  mutable util::Mutex m_;
+  std::vector<StopEvent> ring_ IDLERED_GUARDED_BY(m_);
+  std::size_t head_ IDLERED_GUARDED_BY(m_) = 0;  ///< next pop position
+  std::size_t count_ IDLERED_GUARDED_BY(m_) = 0;
+  std::size_t high_water_ IDLERED_GUARDED_BY(m_) = 0;
+  std::uint64_t rejected_ IDLERED_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace idlered::serve

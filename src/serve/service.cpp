@@ -1,12 +1,13 @@
 #include "serve/service.h"
 
-#include <bit>
 #include <sstream>
 #include <stdexcept>
 
 #include "obs/obs.h"
 #include "serve/snapshot.h"
+#include "util/bits.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace idlered::serve {
 
@@ -55,8 +56,11 @@ DecisionService::DecisionService(const ServeConfig& config, bool fresh)
       meta.warmup_stops = config_.warmup_stops;
       write_meta(config_.durable_dir, meta);
     }
-    for (auto& shard : shards_)
+    for (auto& shard : shards_) {
+      // Construction is single-threaded; no pump exists yet.
+      util::ScopedAssumeRole role(shard->pump_role());
       shard->attach_durable(config_.durable_dir, fresh);
+    }
   }
 }
 
@@ -71,8 +75,8 @@ DecisionService::Recovered DecisionService::recover(const ServeConfig& config) {
   // Identity check is bitwise on break_even: replaying under a nearby but
   // different break-even would silently produce different decisions.
   if (meta->num_shards != config.num_shards ||
-      std::bit_cast<std::uint64_t>(meta->break_even) !=
-          std::bit_cast<std::uint64_t>(config.break_even) ||
+      util::bit_cast<std::uint64_t>(meta->break_even) !=
+          util::bit_cast<std::uint64_t>(config.break_even) ||
       meta->seed != config.seed ||
       meta->warmup_stops != config.warmup_stops) {
     std::ostringstream os;
@@ -85,6 +89,8 @@ DecisionService::Recovered DecisionService::recover(const ServeConfig& config) {
   Recovered result;
   result.service.reset(new DecisionService(config, /*fresh=*/false));
   for (auto& shard : result.service->shards_) {
+    // Recovery runs before any pump; this thread is the sole toucher.
+    util::ScopedAssumeRole role(shard->pump_role());
     std::vector<Decision> replayed = shard->recover();
     result.replayed.insert(result.replayed.end(), replayed.begin(),
                            replayed.end());
@@ -118,6 +124,9 @@ std::size_t DecisionService::pump(std::vector<Decision>& out) {
   pool_.parallel_for(
       shards_.size(),
       [this](std::size_t i) {
+        // The pool runs exactly one task per shard per pump, so this task
+        // is the shard's pump thread for the duration of the drain.
+        util::ScopedAssumeRole role(shards_[i]->pump_role());
         slots_[i].clear();
         shards_[i]->drain(slots_[i]);
       },
@@ -146,7 +155,12 @@ std::size_t DecisionService::drain_all(std::vector<Decision>& out) {
 void DecisionService::checkpoint() {
   if (!durable()) return;
   pool_.parallel_for(
-      shards_.size(), [this](std::size_t i) { shards_[i]->checkpoint(); },
+      shards_.size(),
+      [this](std::size_t i) {
+        // One task per shard; checkpoint() is never concurrent with pump().
+        util::ScopedAssumeRole role(shards_[i]->pump_role());
+        shards_[i]->checkpoint();
+      },
       /*chunk=*/1);
 }
 
@@ -162,7 +176,11 @@ std::vector<Decision> DecisionService::shutdown() {
 }
 
 std::uint64_t DecisionService::last_applied_seq(std::uint64_t vehicle) const {
-  return shards_[shard_of(vehicle)]->last_applied_seq(vehicle);
+  const Shard& s = *shards_[shard_of(vehicle)];
+  // Documented contract: quiesced callers only, so the caller's thread
+  // holds the pump role by exclusion.
+  util::ScopedAssumeRole role(s.pump_role());
+  return s.last_applied_seq(vehicle);
 }
 
 std::size_t DecisionService::queued() const {

@@ -7,7 +7,9 @@
 // ring. Everything else (drain, checkpoint, recover, the accessors over
 // vehicle state) belongs to the single pump pass; the service runs pumps
 // on the engine thread pool with one task per shard, so shard internals
-// never need their own locks.
+// never need their own locks. The contract is compiler-checked on clang:
+// pump-side methods require the shard's `pump_role()` capability, which
+// callers claim with a util::ScopedAssumeRole — see DESIGN.md §13.
 //
 // Decision core, per event, in apply order:
 //   1. dedupe on per-vehicle seq (stale events are pure no-ops);
@@ -42,6 +44,7 @@
 #include "serve/shedder.h"
 #include "serve/snapshot.h"
 #include "stats/rolling.h"
+#include "util/thread_annotations.h"
 
 namespace idlered::serve {
 
@@ -88,8 +91,9 @@ class Shard {
 
   /// Attach durable storage under `dir`. fresh=true truncates any
   /// existing WAL (new service); fresh=false appends (post-recovery).
-  void attach_durable(const std::string& dir, bool fresh);
-  bool durable() const { return !dir_.empty(); }
+  void attach_durable(const std::string& dir, bool fresh)
+      IDLERED_REQUIRES(pump_role_);
+  bool durable() const IDLERED_REQUIRES(pump_role_) { return !dir_.empty(); }
 
   /// Producer side; thread-safe. Refuses (kRejectedQueueFull) when the
   /// bounded queue is at capacity — backpressure, not buffering.
@@ -99,53 +103,71 @@ class Shard {
   /// make the batch durable (WAL append + flush), then apply it,
   /// appending decisions to `out`. Returns how many events were applied.
   /// Pump-thread only.
-  std::size_t drain(std::vector<Decision>& out);
+  std::size_t drain(std::vector<Decision>& out) IDLERED_REQUIRES(pump_role_);
 
   /// Write a snapshot (tmp + rename) and truncate the WAL. Pump-thread
   /// only; no-op for non-durable shards.
-  void checkpoint();
+  void checkpoint() IDLERED_REQUIRES(pump_role_);
 
   /// Load the snapshot (if any) and re-apply WAL records past its cursor.
   /// Returns the decisions the replay re-derived — bit-identical to what
   /// the pre-crash shard emitted for those events. Call once, before the
   /// first drain, with durable storage attached.
-  std::vector<Decision> recover();
+  std::vector<Decision> recover() IDLERED_REQUIRES(pump_role_);
 
   /// Highest processed seq for a vehicle (0 = never seen). The crash-
   /// resume handshake: producers restart from last_applied_seq + 1.
-  std::uint64_t last_applied_seq(std::uint64_t vehicle) const;
+  std::uint64_t last_applied_seq(std::uint64_t vehicle) const
+      IDLERED_REQUIRES(pump_role_);
 
   const BoundedEventQueue& queue() const { return queue_; }
   const LoadShedder& shedder() const { return shedder_; }
   const ShardParams& params() const { return params_; }
-  std::uint64_t applied() const { return apply_index_; }
-  std::size_t vehicles_tracked() const { return states_.size(); }
-  std::uint64_t quarantined_vehicles() const;
+  std::uint64_t applied() const IDLERED_REQUIRES(pump_role_) {
+    return apply_index_;
+  }
+  std::size_t vehicles_tracked() const IDLERED_REQUIRES(pump_role_) {
+    return states_.size();
+  }
+  std::uint64_t quarantined_vehicles() const IDLERED_REQUIRES(pump_role_);
+
+  /// The single-pump-thread capability. A caller that has established it is
+  /// on the (sole) pump thread of this shard; claim it with
+  /// util::ScopedAssumeRole before calling the pump-side methods.
+  util::ThreadRole& pump_role() const IDLERED_RETURN_CAPABILITY(pump_role_) {
+    return pump_role_;
+  }
 
  private:
-  VehicleState& vehicle(std::uint64_t id);
-  Decision apply_event(const StopEvent& event, robust::ControllerMode ceiling);
+  VehicleState& vehicle(std::uint64_t id) IDLERED_REQUIRES(pump_role_);
+  Decision apply_event(const StopEvent& event, robust::ControllerMode ceiling)
+      IDLERED_REQUIRES(pump_role_);
   double decide_threshold(const StopEvent& event, VehicleState& state,
-                          robust::ControllerMode& rung);
+                          robust::ControllerMode& rung)
+      IDLERED_REQUIRES(pump_role_);
 
   ShardParams params_;
   BoundedEventQueue queue_;
   LoadShedder shedder_;
   /// Ordered map: snapshot files list vehicles in a deterministic order,
   /// so identical state produces byte-identical snapshots.
-  std::map<std::uint64_t, VehicleState> states_;
-  std::uint64_t apply_index_ = 0;  ///< WAL index of the last applied event
-  std::uint64_t applied_since_checkpoint_ = 0;
-  std::string dir_;
-  WalWriter wal_;
-  std::vector<StopEvent> batch_;  ///< drain scratch, reused across pumps
+  std::map<std::uint64_t, VehicleState> states_ IDLERED_GUARDED_BY(pump_role_);
+  /// WAL index of the last applied event.
+  std::uint64_t apply_index_ IDLERED_GUARDED_BY(pump_role_) = 0;
+  std::uint64_t applied_since_checkpoint_ IDLERED_GUARDED_BY(pump_role_) = 0;
+  std::string dir_ IDLERED_GUARDED_BY(pump_role_);
+  WalWriter wal_ IDLERED_GUARDED_BY(pump_role_);
+  /// Drain scratch, reused across pumps.
+  std::vector<StopEvent> batch_ IDLERED_GUARDED_BY(pump_role_);
   /// Arena for the COA vertex LP (eq. 32-33: <= 2 constraints, 3 vars),
   /// reused across every decision this shard prices — the re-solve loop
   /// never touches the heap. Pump-thread only, like all decision state.
-  lp::Workspace lp_ws_{2, 3};
+  lp::Workspace lp_ws_ IDLERED_GUARDED_BY(pump_role_){2, 3};
   /// Lazily registered per-shard queue-depth gauge (obs builds only).
-  std::size_t gauge_id_ = 0;
-  bool gauge_registered_ = false;
+  std::size_t gauge_id_ IDLERED_GUARDED_BY(pump_role_) = 0;
+  bool gauge_registered_ IDLERED_GUARDED_BY(pump_role_) = false;
+  /// Zero-state capability object naming the pump-thread contract.
+  mutable util::ThreadRole pump_role_;
 };
 
 }  // namespace idlered::serve

@@ -1,7 +1,6 @@
 #include "serve/snapshot.h"
 
-#include <bit>
-#include <cstdio>
+#include "util/bits.h"
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -23,39 +22,11 @@ std::string shard_file(const std::string& dir, std::size_t shard,
   return os.str();
 }
 
-// FNV-1a over the record text; catches torn tails and bit rot in the WAL.
-std::uint64_t fnv1a(std::string_view text) {
-  std::uint64_t h = 14695981039346656037ULL;
-  for (const char c : text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::string hex64(std::uint64_t bits) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(bits));
-  return std::string(buf);
-}
-
-bool parse_hex64(const std::string& text, std::uint64_t& out) {
-  if (text.empty() || text.size() > 16) return false;
-  std::uint64_t v = 0;
-  for (const char c : text) {
-    int digit;
-    if (c >= '0' && c <= '9')
-      digit = c - '0';
-    else if (c >= 'a' && c <= 'f')
-      digit = c - 'a' + 10;
-    else
-      return false;
-    v = (v << 4) | static_cast<std::uint64_t>(digit);
-  }
-  out = v;
-  return true;
-}
+// Checksums and hex codecs come from util/bits.h — the audited,
+// UBSan-clean home for every bit-level conversion in the tree.
+using util::fnv1a64;
+using util::parse_hex64;
+using util::to_hex64;
 
 // Replace the target atomically: write everything to a sibling temp file,
 // flush, then rename over the destination. A kill mid-write leaves the old
@@ -93,14 +64,14 @@ std::string wal_path(const std::string& dir, std::size_t shard) {
 }
 
 std::string encode_bits(double value) {
-  return hex64(std::bit_cast<std::uint64_t>(value));
+  return util::encode_double_bits(value);
 }
 
 double decode_bits(const std::string& hex) {
   std::uint64_t bits = 0;
   if (hex.size() != 16 || !parse_hex64(hex, bits))
     throw std::runtime_error("serve: bad double bit pattern '" + hex + "'");
-  return std::bit_cast<double>(bits);
+  return util::bit_cast<double>(bits);
 }
 
 void write_meta(const std::string& dir, const ServeMeta& meta) {
@@ -108,7 +79,7 @@ void write_meta(const std::string& dir, const ServeMeta& meta) {
   os << kMetaMagic << '\n'
      << "shards " << meta.num_shards << '\n'
      << "break_even " << encode_bits(meta.break_even) << '\n'
-     << "seed " << hex64(meta.seed) << '\n'
+     << "seed " << to_hex64(meta.seed) << '\n'
      << "warmup " << meta.warmup_stops << '\n'
      << "end\n";
   write_atomically(meta_path(dir), os.str());
@@ -157,7 +128,7 @@ void write_shard_snapshot(const std::string& dir, std::size_t shard,
      << "vehicles " << snap.vehicles.size() << '\n';
   for (const VehicleSnap& v : snap.vehicles) {
     const robust::GuardCounts& c = v.guard.counts;
-    os << "v " << hex64(v.vehicle) << ' ' << v.last_seq << ' ' << v.count
+    os << "v " << to_hex64(v.vehicle) << ' ' << v.last_seq << ' ' << v.count
        << ' ' << v.long_count << ' ' << encode_bits(v.short_sum) << ' '
        << v.strikes << ' ' << (v.quarantined ? 1 : 0) << " g " << c.accepted
        << ' ' << c.non_finite << ' ' << c.negative << ' ' << c.out_of_range
@@ -241,14 +212,14 @@ void WalWriter::open(const std::string& dir, std::size_t shard,
 
 void WalWriter::append(const WalRecord& record) {
   std::ostringstream os;
-  os << "e " << record.index << ' ' << hex64(record.event.vehicle) << ' '
+  os << "e " << record.index << ' ' << to_hex64(record.event.vehicle) << ' '
      << record.event.seq << ' ' << encode_bits(record.event.timestamp_s)
      << ' ' << encode_bits(record.event.stop_length_s) << ' '
      << static_cast<int>(record.ceiling);
   const std::string body = os.str();
   buffer_ += body;
   buffer_ += ' ';
-  buffer_ += hex64(fnv1a(body));
+  buffer_ += to_hex64(fnv1a64(body));
   buffer_ += '\n';
   ++appended_;
 }
@@ -283,7 +254,7 @@ std::vector<WalRecord> read_wal(const std::string& dir, std::size_t shard) {
     const std::string body = line.substr(0, split);
     std::uint64_t stored = 0;
     if (!parse_hex64(line.substr(split + 1), stored) ||
-        stored != fnv1a(body))
+        stored != fnv1a64(body))
       break;
 
     std::istringstream fields(body);

@@ -17,12 +17,12 @@ double StopBatch::offline_total(double break_even) const {
     throw std::invalid_argument(
         "StopBatch::offline_total: break_even must be finite and > 0");
   {
-    std::lock_guard<std::mutex> lock(memo_m_);
+    util::LockGuard lock(memo_m_);
     const auto it = memo_.find(break_even);
     if (it != memo_.end()) return it->second;
   }
   const double total = batch::offline_sum(y_, break_even);
-  std::lock_guard<std::mutex> lock(memo_m_);
+  util::LockGuard lock(memo_m_);
   memo_.emplace(break_even, total);
   return total;
 }

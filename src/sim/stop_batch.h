@@ -16,9 +16,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace idlered::sim {
 
@@ -38,12 +39,12 @@ class StopBatch {
   /// order (batch_kernels.h documents it). Memoized per distinct B;
   /// thread-safe. Throws std::invalid_argument unless break_even is finite
   /// and > 0.
-  double offline_total(double break_even) const;
+  double offline_total(double break_even) const IDLERED_EXCLUDES(memo_m_);
 
  private:
   std::vector<double> y_;
-  mutable std::mutex memo_m_;
-  mutable std::map<double, double> memo_;
+  mutable util::Mutex memo_m_;
+  mutable std::map<double, double> memo_ IDLERED_GUARDED_BY(memo_m_);
 };
 
 }  // namespace idlered::sim

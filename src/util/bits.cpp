@@ -1,0 +1,46 @@
+#include "util/bits.h"
+
+#include <stdexcept>
+
+namespace idlered::util {
+
+std::string to_hex64(std::uint64_t bits) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[bits & 0xfU];
+    bits >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex64(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      digit = c - 'a' + 10;
+    else
+      return false;
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  out = v;
+  return true;
+}
+
+std::string encode_double_bits(double value) {
+  return to_hex64(bit_cast<std::uint64_t>(value));
+}
+
+double decode_double_bits(std::string_view hex) {
+  std::uint64_t bits = 0;
+  if (hex.size() != 16 || !parse_hex64(hex, bits))
+    throw std::runtime_error("util: bad double bit pattern '" +
+                             std::string(hex) + "'");
+  return bit_cast<double>(bits);
+}
+
+}  // namespace idlered::util

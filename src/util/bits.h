@@ -1,0 +1,96 @@
+// Audited bit-level helpers: the only place in the tree where object
+// representations are reinterpreted.
+//
+// Everything here is UBSan-clean by construction — util::bit_cast is
+// std::bit_cast behind static_asserts that spell out the contract, and the
+// little-endian load/store helpers move bytes with arithmetic, never by
+// aliasing, so they are endian-explicit and alignment-agnostic on every
+// platform. The `raw-union-cast` lint rule bans reinterpret_cast / memcpy
+// type punning in src/ outside src/util/, pointing offenders here.
+//
+// The serve durability layer is the main client: WAL records and
+// snapshots store every double as the hex of its IEEE-754 bit pattern
+// (bit-identical replay forbids a decimal round-trip) and guard each
+// record with an FNV-1a checksum; to_hex64/parse_hex64/fnv1a64 are those
+// codecs, shared so the writer and the torn-tail reader cannot drift.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace idlered::util {
+
+/// Reinterpret the object representation of `from` as a `To`. The audited
+/// replacement for reinterpret_cast / union / memcpy punning: well-defined
+/// for trivially copyable types of equal size, and constexpr.
+template <class To, class From>
+constexpr To bit_cast(const From& from) noexcept {
+  static_assert(sizeof(To) == sizeof(From),
+                "util::bit_cast: source and destination sizes must match");
+  static_assert(std::is_trivially_copyable_v<From>,
+                "util::bit_cast: source must be trivially copyable");
+  static_assert(std::is_trivially_copyable_v<To>,
+                "util::bit_cast: destination must be trivially copyable");
+  return std::bit_cast<To>(from);
+}
+
+/// Store `value` little-endian into p[0..7]. Byte-arithmetic, so the
+/// on-disk/wire layout is the same on any host endianness and `p` needs
+/// no alignment.
+constexpr void store_le64(unsigned char* p, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i)
+    p[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xffU);
+}
+
+/// Read a little-endian uint64 from p[0..7].
+constexpr std::uint64_t load_le64(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+constexpr void store_le32(unsigned char* p, std::uint32_t value) noexcept {
+  for (int i = 0; i < 4; ++i)
+    p[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xffU);
+}
+
+constexpr std::uint32_t load_le32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// FNV-1a over a byte string. The WAL's per-record checksum: cheap, has no
+/// setup state, and a torn tail (truncated record after SIGKILL) fails it
+/// with overwhelming probability.
+constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// 16 lowercase hex chars, fixed width — the durable text encoding of a
+/// uint64 (and, through bit_cast, of a double's IEEE bit pattern).
+std::string to_hex64(std::uint64_t bits);
+
+/// Strict inverse of to_hex64 for parsing untrusted durable data: accepts
+/// 1..16 lowercase hex chars, rejects everything else (uppercase,
+/// prefixes, signs, empty). Returns false without touching `out` on
+/// malformed input.
+bool parse_hex64(std::string_view text, std::uint64_t& out);
+
+/// Exact double <-> text round-trip via the IEEE-754 bit pattern. The
+/// decode throws std::runtime_error unless given exactly 16 valid hex
+/// chars (torn or corrupt durable data must fail loudly, not quietly
+/// decode to a different stop length).
+std::string encode_double_bits(double value);
+double decode_double_bits(std::string_view hex);
+
+}  // namespace idlered::util

@@ -1,0 +1,182 @@
+// Clang thread-safety annotations + the annotated locking vocabulary of
+// this codebase.
+//
+// The repo's concurrency (MPSC rings, sharded WAL checkpoints, lock-free
+// metric shards, the work-stealing pool) was previously guarded only by
+// TSan at runtime. These macros move the locking contracts into the type
+// system: under Clang with -Wthread-safety (the ENABLE_THREAD_SAFETY_ANALYSIS
+// CMake option promotes it to -Werror=thread-safety), a read of a
+// IDLERED_GUARDED_BY member without its mutex, a missing IDLERED_REQUIRES
+// capability, or an unbalanced acquire/release is a compile error. Under
+// GCC (which has no capability analysis) every macro expands to nothing
+// and `util::Mutex` is a zero-cost inline wrapper over std::mutex, so the
+// annotated code is bit-identical to the raw-std::mutex code it replaced.
+//
+// Vocabulary:
+//   util::Mutex       annotated std::mutex. The `unannotated-mutex` lint
+//                     rule requires every mutex member in src/ to use it
+//                     (or carry an explicit allow).
+//   util::LockGuard   annotated RAII scope lock (std::lock_guard shape).
+//   util::CondVar     condition variable waiting on a util::Mutex. wait()
+//                     deliberately has NO predicate overload: a predicate
+//                     lambda is a separate function to the analysis and
+//                     reads of guarded state inside it would need their
+//                     own annotations — write the while loop inline in
+//                     the annotated function instead.
+//   util::ThreadRole  a capability with no runtime state, for contracts
+//                     of the form "these members belong to the single
+//                     pump thread" where a real lock would be overhead
+//                     with no correctness value (the Clang docs call this
+//                     the role pattern). Claim it with ScopedAssumeRole;
+//                     the claim is a static assertion, not a lock.
+//
+// Conventions (DESIGN.md §13): declare the mutex before the members it
+// guards, annotate every guarded member, and annotate internal helpers
+// called under the lock with IDLERED_REQUIRES rather than re-locking.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define IDLERED_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef IDLERED_THREAD_ANNOTATION
+#define IDLERED_THREAD_ANNOTATION(x)  // no capability analysis: expand away
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define IDLERED_CAPABILITY(x) IDLERED_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define IDLERED_SCOPED_CAPABILITY IDLERED_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be accessed while holding the given capability.
+#define IDLERED_GUARDED_BY(x) IDLERED_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee may only be accessed while holding the given capability.
+#define IDLERED_PT_GUARDED_BY(x) IDLERED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define IDLERED_ACQUIRE(...) \
+  IDLERED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define IDLERED_RELEASE(...) \
+  IDLERED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define IDLERED_TRY_ACQUIRE(result, ...) \
+  IDLERED_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call.
+#define IDLERED_REQUIRES(...) \
+  IDLERED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// calling with it held would deadlock a non-recursive mutex).
+#define IDLERED_EXCLUDES(...) IDLERED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define IDLERED_RETURN_CAPABILITY(x) IDLERED_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Every use needs a
+/// comment explaining the out-of-band safety argument.
+#define IDLERED_NO_THREAD_SAFETY_ANALYSIS \
+  IDLERED_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace idlered::util {
+
+class CondVar;
+
+/// std::mutex with capability annotations. Same size, same codegen; the
+/// analysis-visible lock()/unlock() are what let IDLERED_GUARDED_BY
+/// members be compiler-checked.
+class IDLERED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IDLERED_ACQUIRE() { m_.lock(); }
+  void unlock() IDLERED_RELEASE() { m_.unlock(); }
+  bool try_lock() IDLERED_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII scope lock over util::Mutex (std::lock_guard shape: held for the
+/// full scope, no early unlock).
+class IDLERED_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) IDLERED_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() IDLERED_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable over util::Mutex. The caller holds `m` (via
+/// LockGuard) across wait(); internally the wait adopts the native mutex
+/// for the sleep and releases ownership back before returning, so the
+/// guard's invariant — locked for its whole scope — is preserved and the
+/// analysis sees an uninterrupted hold.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `m`, sleep until notified, and reacquire `m`.
+  /// Spurious wakeups happen; callers loop on their predicate inline.
+  void wait(Mutex& m) IDLERED_REQUIRES(m) {
+    std::unique_lock<std::mutex> relock(m.m_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();  // ownership returns to the caller's guard
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A capability with no runtime state: a statically-checked claim that the
+/// current thread is playing a named role (e.g. "the shard's single pump
+/// thread"). Members annotated IDLERED_GUARDED_BY(role_) and methods
+/// annotated IDLERED_REQUIRES(role_) are then compiler-checked to be
+/// reached only through a ScopedAssumeRole claim — which is exactly the
+/// documentation-only threading contract serve::Shard used to rely on,
+/// but enforced.
+class IDLERED_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+/// Scoped claim of a ThreadRole. Purely static — constructing one compiles
+/// to nothing — so claiming a role you do not actually hold is a lie the
+/// compiler cannot catch; the claim marks the audited entry points (the
+/// service's pump/recover/checkpoint paths) where single-threadedness is
+/// guaranteed by construction.
+class IDLERED_SCOPED_CAPABILITY ScopedAssumeRole {
+ public:
+  explicit ScopedAssumeRole(ThreadRole& role) IDLERED_ACQUIRE(role) {
+    static_cast<void>(role);
+  }
+  ~ScopedAssumeRole() IDLERED_RELEASE() {}
+
+  ScopedAssumeRole(const ScopedAssumeRole&) = delete;
+  ScopedAssumeRole& operator=(const ScopedAssumeRole&) = delete;
+};
+
+}  // namespace idlered::util

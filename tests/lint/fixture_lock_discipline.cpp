@@ -1,0 +1,76 @@
+// lint-fixture: path=src/serve/pump.cpp
+// Bad examples for the `lock-discipline` rule: blocking/IO calls while a
+// util::LockGuard is held on the hot path (src/serve, src/engine,
+// src/sim). The two-phase functions at the bottom — stage outside the
+// lock, swap under it — must stay clean, as must the CondVar wait (that
+// is what the lock is for) and the allow-suppressed sleep.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "util/thread_annotations.h"
+
+namespace idlered::serve {
+
+class Pump {
+ public:
+  void bad_sleep_under_lock() {
+    util::LockGuard lock(m_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // LINT-BAD(lock-discipline)
+  }
+
+  void bad_file_io_under_lock() {
+    util::LockGuard lock(m_);
+    std::FILE* f = std::fopen("wal.log", "ab");           // LINT-BAD(lock-discipline)
+    std::fwrite(&staged_, sizeof staged_, 1, f);          // LINT-BAD(lock-discipline)
+    std::fclose(f);                                       // LINT-BAD(lock-discipline)
+  }
+
+  void bad_stream_under_lock() {
+    util::LockGuard lock(m_);
+    std::ofstream out("snapshot.tmp");                    // LINT-BAD(lock-discipline)
+    out << staged_;
+  }
+
+  void bad_join_under_lock() {
+    util::LockGuard lock(m_);
+    worker_.join();                                       // LINT-BAD(lock-discipline)
+  }
+
+  void bad_nested_guard() {
+    util::LockGuard outer(m_);
+    util::LockGuard inner(other_m_);                      // LINT-BAD(lock-discipline)
+  }
+
+  void good_wait_under_lock() {
+    util::LockGuard lock(m_);
+    while (staged_ == 0) cv_.wait(m_);
+  }
+
+  void good_two_phase_io() {
+    int staged;
+    {
+      util::LockGuard lock(m_);
+      staged = staged_;
+    }
+    std::FILE* f = std::fopen("wal.log", "ab");
+    std::fwrite(&staged, sizeof staged, 1, f);
+    std::fclose(f);
+  }
+
+  void good_allowed_sleep() {
+    util::LockGuard lock(m_);
+    // lint: allow(lock-discipline): startup-only backoff, never on the pump path
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  util::Mutex m_;
+  util::Mutex other_m_;
+  util::CondVar cv_;
+  int staged_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace idlered::serve

@@ -1,0 +1,25 @@
+// lint-fixture: path=src/serve/codec.cpp
+// Bad examples for the `raw-union-cast` rule: reinterpret_cast, memcpy
+// punning, and raw std::bit_cast in src/ outside src/util/. The audited
+// util::bit_cast helper is the sanctioned spelling and must stay clean.
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "util/bits.h"
+
+namespace idlered::serve {
+
+std::uint64_t checksum_input(double d) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&d);  // LINT-BAD(raw-union-cast)
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);                    // LINT-BAD(raw-union-cast)
+  auto raw = std::bit_cast<std::uint64_t>(d);             // LINT-BAD(raw-union-cast)
+  return bits ^ raw ^ bytes[0];
+}
+
+std::uint64_t checksum_input_audited(double d) {
+  return util::bit_cast<std::uint64_t>(d);
+}
+
+}  // namespace idlered::serve

@@ -1,0 +1,17 @@
+// lint-fixture: path=src/util/bits_extra.cpp
+// src/util/ is where the audited punning helpers live, so the
+// `raw-union-cast` rule must NOT fire here. No findings expected.
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace idlered::util {
+
+std::uint64_t helper_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&d);
+  return bits ^ std::bit_cast<std::uint64_t>(d) ^ bytes[0];
+}
+
+}  // namespace idlered::util

@@ -1,0 +1,43 @@
+// lint-fixture: path=src/core/doc_strings.cpp
+// Regression fixture for comment/string stripping false positives. None
+// of these lines may produce a finding:
+//   - banned tokens inside ordinary string literals,
+//   - C++14 digit separators (1'000'000): the apostrophe must not open a
+//     char-literal state, and an apostrophe in a trailing comment after
+//     one must not leak the comment tail into the code channel,
+//   - raw strings, including embedded double quotes.
+#include <cstdint>
+
+namespace idlered::core {
+
+// A banned token inside a doc string: strings are stripped before rules.
+const char* kDoc =
+    "call std::chrono::steady_clock::now() only via util::monotonic_seconds";
+
+// Historical false positive: `1'000` opened a char literal, the `'` in
+// "don't" closed it, and `t call time() here` became code.
+int separator_then_comment() {
+  int n = 1'000;  // don't call time() here
+  return n;
+}
+
+std::uint64_t digit_separators() {
+  std::uint64_t big = 1'000'000;
+  std::uint64_t hexed = 0x1234'5678'9abc'def0;
+  return big + hexed;
+}
+
+// Raw string with an embedded quote: the naive stripper ended the string
+// at the inner `"`, turning `time(nullptr)` into code.
+const char* kRaw = R"x(say "time(nullptr)" or "rand()" out loud)x";
+
+// Delimited raw string spanning lines, full of banned tokens.
+const char* kRawDelimited = R"doc(
+  std::random_device entropy;
+  auto t = std::chrono::steady_clock::now();
+  srand(42);
+)doc";
+
+int after_raw_strings() { return 7; }  // still linted normally
+
+}  // namespace idlered::core

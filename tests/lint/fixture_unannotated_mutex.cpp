@@ -1,0 +1,35 @@
+// lint-fixture: path=src/core/session_state.h
+// Bad examples for the `unannotated-mutex` rule: raw std::mutex /
+// std::condition_variable declarations in src/ outside the annotated
+// wrapper's home. Each marked line must produce exactly one finding;
+// the util::Mutex member and the allow-suppressed member must not.
+#pragma once  // the fixture pretends to be a header; keep header-hygiene quiet
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace idlered::core {
+
+class SessionState {
+ public:
+  void touch() {
+    std::mutex local_m;                                   // LINT-BAD(unannotated-mutex)
+    local_m.lock();
+    local_m.unlock();
+  }
+
+ private:
+  std::mutex m_;                                          // LINT-BAD(unannotated-mutex)
+  std::condition_variable cv_;                            // LINT-BAD(unannotated-mutex)
+  std::shared_mutex snapshot_m_;                          // LINT-BAD(unannotated-mutex)
+
+  util::Mutex annotated_m_;
+  util::CondVar annotated_cv_;
+  // lint: allow(unannotated-mutex): handed to a C callback API that needs the native type
+  std::mutex legacy_handle_m_;
+};
+
+}  // namespace idlered::core

@@ -1,0 +1,18 @@
+// lint-fixture: path=src/util/thread_annotations.h
+// The annotated wrapper's own definition is the one exempt home for raw
+// std::mutex / std::condition_variable: util::Mutex and util::CondVar
+// wrap them here. No findings expected.
+#pragma once  // the fixture pretends to be a header; keep header-hygiene quiet
+
+#include <condition_variable>
+#include <mutex>
+
+namespace idlered::util {
+
+class WrapperUnderTest {
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+}  // namespace idlered::util

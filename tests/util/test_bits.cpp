@@ -1,0 +1,130 @@
+// util/bits.h: the audited type-punning and durable-encoding helpers.
+// These back the serve WAL/snapshot bit-identity contract, so the tests
+// pin exact byte layouts, not just round-trips.
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace idlered {
+namespace {
+
+TEST(BitCast, RoundTripsDoubleThroughUint64) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.5,
+                           60.0,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  for (const double v : values) {
+    const auto bits = util::bit_cast<std::uint64_t>(v);
+    EXPECT_EQ(util::bit_cast<std::uint64_t>(util::bit_cast<double>(bits)),
+              bits);
+  }
+}
+
+TEST(BitCast, DistinguishesSignedZeroAndNanPayloads) {
+  EXPECT_NE(util::bit_cast<std::uint64_t>(0.0),
+            util::bit_cast<std::uint64_t>(-0.0));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto bits = util::bit_cast<std::uint64_t>(nan);
+  EXPECT_TRUE(std::isnan(util::bit_cast<double>(bits)));
+  EXPECT_EQ(util::bit_cast<std::uint64_t>(util::bit_cast<double>(bits)), bits);
+}
+
+TEST(LittleEndian, StoreLe64WritesExactByteOrder) {
+  unsigned char buf[8] = {};
+  util::store_le64(buf, 0x0123456789abcdefULL);
+  const unsigned char want[8] = {0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23,
+                                 0x01};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf[i], want[i]) << "byte " << i;
+  EXPECT_EQ(util::load_le64(buf), 0x0123456789abcdefULL);
+}
+
+TEST(LittleEndian, StoreLe32WritesExactByteOrder) {
+  unsigned char buf[4] = {};
+  util::store_le32(buf, 0xdeadbeefU);
+  EXPECT_EQ(buf[0], 0xef);
+  EXPECT_EQ(buf[1], 0xbe);
+  EXPECT_EQ(buf[2], 0xad);
+  EXPECT_EQ(buf[3], 0xde);
+  EXPECT_EQ(util::load_le32(buf), 0xdeadbeefU);
+}
+
+TEST(LittleEndian, RoundTripIsIdentityOnEdgeValues) {
+  unsigned char buf[8] = {};
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, ~std::uint64_t{0},
+        std::uint64_t{1} << 63}) {
+    util::store_le64(buf, v);
+    EXPECT_EQ(util::load_le64(buf), v);
+  }
+}
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // Offset basis and the standard published FNV-1a test vectors.
+  EXPECT_EQ(util::fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(util::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(util::fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, TornTailChangesChecksum) {
+  const std::string record = "e 7 000000000000002a 3 ...";
+  EXPECT_NE(util::fnv1a64(record),
+            util::fnv1a64(record.substr(0, record.size() - 1)));
+}
+
+TEST(Hex64, FixedWidthLowercase) {
+  EXPECT_EQ(util::to_hex64(0), "0000000000000000");
+  EXPECT_EQ(util::to_hex64(0x2aULL), "000000000000002a");
+  EXPECT_EQ(util::to_hex64(~std::uint64_t{0}), "ffffffffffffffff");
+}
+
+TEST(Hex64, ParseAcceptsExactlyWhatToHexEmits) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(util::parse_hex64("000000000000002a", v));
+  EXPECT_EQ(v, 0x2aULL);
+  EXPECT_TRUE(util::parse_hex64("f", v));
+  EXPECT_EQ(v, 0xfULL);
+}
+
+TEST(Hex64, ParseRejectsMalformedInput) {
+  std::uint64_t v = 0x1234;
+  EXPECT_FALSE(util::parse_hex64("", v));
+  EXPECT_FALSE(util::parse_hex64("0000000000000000ff", v));  // 18 chars
+  EXPECT_FALSE(util::parse_hex64("00000000000000ZZ", v));
+  EXPECT_FALSE(util::parse_hex64("0xff", v));
+  EXPECT_FALSE(util::parse_hex64("ABCD", v));  // uppercase is rejected
+  EXPECT_FALSE(util::parse_hex64("-1", v));
+  EXPECT_EQ(v, 0x1234ULL) << "failed parse must not touch out";
+}
+
+TEST(DoubleBits, ExactRoundTripIncludingNonFinite) {
+  const double values[] = {0.0, -0.0, 60.0, 1.0 / 3.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  for (const double v : values) {
+    const std::string hex = util::encode_double_bits(v);
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(util::bit_cast<std::uint64_t>(util::decode_double_bits(hex)),
+              util::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(DoubleBits, DecodeThrowsOnWrongWidthOrGarbage) {
+  EXPECT_THROW(util::decode_double_bits(""), std::runtime_error);
+  EXPECT_THROW(util::decode_double_bits("2a"), std::runtime_error);
+  EXPECT_THROW(util::decode_double_bits("zzzzzzzzzzzzzzzz"),
+               std::runtime_error);
+  EXPECT_THROW(util::decode_double_bits("00000000000000000"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace idlered

@@ -1,31 +1,33 @@
 #!/usr/bin/env bash
 # Full verification sweep: the tier-1 suite in a normal build, the whole
 # suite plus the fault-injection bench under ASan/UBSan, the parallel
-# evaluation engine under ThreadSanitizer, and the static-analysis stack
+# evaluation engine under ThreadSanitizer, the replay-critical suites under
+# standalone UBSan with every check fatal, and the static-analysis stack
 # (clang-tidy when available, the custom idlered_lint rules, and the math
 # contracts in throwing mode). Run from anywhere; builds land in
-# <repo>/build, <repo>/build-asan, and <repo>/build-tsan.
+# <repo>/build, <repo>/build-asan, <repo>/build-tsan, and
+# <repo>/build-ubsan.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== 1/5 normal build + ctest =="
+echo "== 1/6 normal build + ctest =="
 cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
-echo "== 2/5 sanitized build + ctest (ASan + UBSan) =="
+echo "== 2/6 sanitized build + ctest (ASan + UBSan) =="
 cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=ON
 cmake --build "$repo/build-asan" -j "$jobs"
 ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 
-echo "== 3/5 fault-injection bench under sanitizers =="
+echo "== 3/6 fault-injection bench under sanitizers =="
 "$repo/build-asan/bench/bench_robustness_faults" > /dev/null
 echo "bench_robustness_faults: clean under ASan/UBSan"
 
-echo "== 4/5 engine + obs + serve + batch-kernel + arena tests under ThreadSanitizer =="
+echo "== 4/6 engine + obs + serve + batch-kernel + arena tests under ThreadSanitizer =="
 cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=thread
 cmake --build "$repo/build-tsan" -j "$jobs" \
@@ -45,7 +47,28 @@ cmake --build "$repo/build-tsan" -j "$jobs" \
 "$repo/build-tsan/bench/bench_engine_scaling" 20 5 > /dev/null
 echo "test_engine + test_obs + test_property + test_serve + test_lp_arena + batch engine run: clean under TSan"
 
-echo "== 5/5 static analysis: clang-tidy + idlered_lint + contracts =="
+echo "== 5/6 replay-critical suites under standalone UBSan (every check fatal) =="
+# Unlike step 2 (UBSan piggybacked on ASan, recoverable), this build makes
+# every UBSan check fatal via -fno-sanitize-recover=all: one misaligned
+# load, UB-tainted cast, or signed overflow anywhere in the WAL/FNV replay
+# or LP arena path aborts the run. The suites chosen are the ones whose
+# correctness the bit-identical replay guarantee leans on: the serve
+# kill/recover sweep, the LP arena workspace tests, and the batch-kernel
+# property harness.
+cmake -B "$repo/build-ubsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DENABLE_SANITIZERS=undefined
+cmake --build "$repo/build-ubsan" -j "$jobs" \
+      --target test_serve --target test_lp_arena --target test_property \
+      --target test_util
+"$repo/build-ubsan/tests/test_serve"
+"$repo/build-ubsan/tests/test_lp_arena"
+"$repo/build-ubsan/tests/test_property"
+# test_util holds the util::bits suite: the endian-explicit load/store and
+# bit_cast helpers the WAL checksum path now runs on.
+"$repo/build-ubsan/tests/test_util"
+echo "test_serve + test_lp_arena + test_property + test_util: clean under fatal UBSan"
+
+echo "== 6/6 static analysis: clang-tidy + idlered_lint + contracts =="
 # tidy.sh skips gracefully (exit 0 with a warning) when no clang-tidy
 # binary is installed; the custom linter and the contract-checked test run
 # always execute. Step 1 configures with the default

@@ -51,9 +51,40 @@ Encodes rules that generic static analyzers cannot know about this codebase
                     thread pool. Benches, examples, tools and tests print
                     freely.
 
+  unannotated-mutex Every std::mutex / std::condition_variable member or
+                    local in src/ must use the annotated wrappers
+                    (util::Mutex / util::CondVar, src/util/
+                    thread_annotations.h) so Clang -Wthread-safety can see
+                    it, or carry `lint: allow(unannotated-mutex): <reason>`.
+                    The wrapper header itself is the one exempt home.
+
+  raw-union-cast    No reinterpret_cast, memcpy-based type punning, or raw
+                    std::bit_cast in src/ outside src/util/. Bit-level
+                    reads/writes go through the audited, endian-explicit
+                    helpers in src/util/bits.h (util::bit_cast,
+                    util::load_le64/store_le64, ...) so the WAL/FNV replay
+                    path stays UBSan-clean by construction.
+
+  lock-discipline   No blocking or IO calls while holding a util::LockGuard
+                    in the hot-path modules (src/serve/, src/engine/,
+                    src/sim/): sleep_for/sleep_until, fopen/fread/fwrite/
+                    fclose/fflush/fprintf, fstream construction, .join(),
+                    system(), or a nested util::LockGuard. Stage the work,
+                    then lock for the pointer/flag swap.
+
 Suppression: append `// lint: allow(<rule>): <reason>` on the offending
 line, or place it alone on the line directly above. The reason is
 mandatory — bare allows are themselves a finding.
+
+Backends: every rule has a regex implementation over comment/string-stripped
+source. The three concurrency rules (unannotated-mutex, raw-union-cast,
+lock-discipline) additionally have an AST implementation on libclang
+(clang.cindex), which understands types and scopes instead of tokens.
+`--backend auto` (default) uses the AST where the bindings are importable
+and falls back to regex otherwise, so minimal runners stay green;
+`--backend ast` hard-fails when libclang is missing (CI uses this);
+`--backend regex` forces the fallback. Fixtures are validated against
+every active backend — the two implementations must agree line-for-line.
 
 Usage:
   tools/idlered_lint.py              lint the repository (src/, examples/,
@@ -61,6 +92,7 @@ Usage:
   tools/idlered_lint.py --self-test  run against tests/lint/ fixtures
   tools/idlered_lint.py FILE...      lint specific files (paths relative to
                                      the repo root determine rule scope)
+  tools/idlered_lint.py --backend {auto,regex,ast}   select match backend
 
 Exit codes: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -113,9 +145,23 @@ class SourceFile:
         return rule in self.allows[idx]
 
 
+RAW_STRING_PREFIX_RE = re.compile(r"(?:u8|[uUL])?R")
+
+
 def strip_comments_and_strings(text: str) -> str:
     """Replace comment and string-literal contents with spaces, preserving
-    line structure so findings keep their line numbers."""
+    line structure so findings keep their line numbers.
+
+    Lexing corners that used to produce false positives (and have
+    regression fixtures in tests/lint/):
+      - digit separators: in `1'000'000` the apostrophes are part of the
+        pp-number, not char-literal quotes. Numbers are consumed as one
+        token so a following comment/string is stripped correctly (the
+        historical failure: `int n = 1'000;  // don't call time()` leaked
+        `t call time() here` into the code channel).
+      - raw strings: `R"(std::random_device)"` is blanked to its closing
+        `)delim"`, not parsed as a regular string ending at the first `"`.
+    """
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line_comment | block_comment | string | char
@@ -133,7 +179,45 @@ def strip_comments_and_strings(text: str) -> str:
                 out.append("  ")
                 i += 2
                 continue
+            prev = text[i - 1] if i > 0 else ""
+            if (c.isdigit() or (c == "." and nxt.isdigit())) and \
+                    not (prev.isalnum() or prev == "_"):
+                # pp-number: consume digits, exponents, and digit
+                # separators in one go so `'` never opens a char literal.
+                j = i + 1
+                while j < n:
+                    ch = text[j]
+                    if ch.isalnum() or ch in "._":
+                        j += 1
+                    elif ch == "'" and j + 1 < n and (
+                            text[j + 1].isalnum() or text[j + 1] == "_"):
+                        j += 1
+                    elif ch in "+-" and text[j - 1] in "eEpP":
+                        j += 1
+                    else:
+                        break
+                out.append(text[i:j])
+                i = j
+                continue
             if c == '"':
+                # Raw string? Look back at the token directly before the
+                # quote for an R / u8R / uR / UR / LR prefix.
+                k = i - 1
+                while k >= 0 and (text[k].isalnum() or text[k] == "_"):
+                    k -= 1
+                prefix = text[k + 1:i]
+                if RAW_STRING_PREFIX_RE.fullmatch(prefix):
+                    paren = text.find("(", i + 1)
+                    delim = text[i + 1:paren] if paren != -1 else None
+                    if delim is not None and len(delim) <= 16 and \
+                            not any(ch in delim for ch in " ()\\\t\n"):
+                        close = text.find(")" + delim + '"', paren + 1)
+                        end = n if close == -1 else close + len(delim) + 2
+                        out.append('"')
+                        for ch in text[i + 1:end]:
+                            out.append("\n" if ch == "\n" else " ")
+                        i = end
+                        continue
                 state = "string"
                 out.append('"')
                 i += 1
@@ -370,11 +454,313 @@ def rule_io_quarantine(src: SourceFile) -> list[Finding]:
         "exception with `lint: allow(io-quarantine): <reason>`")
 
 
-def lint_text(path: str, text: str) -> list[Finding]:
+UNANNOTATED_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|\bstd::condition_variable(?:_any)?\b")
+
+# The annotated wrapper's own definition is the one place raw primitives
+# may appear: util::Mutex/util::CondVar wrap them there.
+UNANNOTATED_MUTEX_HOME = {"src/util/thread_annotations.h"}
+
+UNANNOTATED_MUTEX_MSG = (
+    "raw std::mutex / std::condition_variable in src/ — use util::Mutex / "
+    "util::CondVar (src/util/thread_annotations.h) so Clang "
+    "-Wthread-safety can check the locking contract, or annotate with "
+    "`lint: allow(unannotated-mutex): <reason>`")
+
+
+@rule("unannotated-mutex")
+def rule_unannotated_mutex(src: SourceFile) -> list[Finding]:
+    if not in_dir(src.path, "src") or src.path in UNANNOTATED_MUTEX_HOME:
+        return []
+    return scan_pattern(src, "unannotated-mutex", UNANNOTATED_MUTEX_RE,
+                        UNANNOTATED_MUTEX_MSG)
+
+
+RAW_UNION_CAST_RE = re.compile(
+    r"\breinterpret_cast\b"
+    r"|\b(?:std::)?memcpy\s*\("
+    r"|\bstd::bit_cast\b")
+
+RAW_UNION_CAST_MSG = (
+    "reinterpret_cast / memcpy punning / raw std::bit_cast in src/ outside "
+    "src/util/ — bit-level access goes through the audited helpers in "
+    "src/util/bits.h (util::bit_cast, util::load_le64/store_le64, ...)")
+
+
+@rule("raw-union-cast")
+def rule_raw_union_cast(src: SourceFile) -> list[Finding]:
+    if not in_dir(src.path, "src") or in_dir(src.path, "src/util"):
+        return []
+    return scan_pattern(src, "raw-union-cast", RAW_UNION_CAST_RE,
+                        RAW_UNION_CAST_MSG)
+
+
+# Hot-path modules where a held lock stalls the pump or the eval workers.
+# src/obs/ is deliberately out of scope: Recorder::flush writes its JSONL
+# sink under its own lock by design (cold path, documented).
+LOCK_DISCIPLINE_DIRS = ("src/serve", "src/engine", "src/sim")
+
+LOCK_GUARD_DECL_RE = re.compile(r"\butil::LockGuard\s+\w+\s*[({]")
+
+LOCK_DISCIPLINE_DENY_RE = re.compile(
+    r"\bsleep_(?:for|until)\s*\("
+    r"|\bf(?:open|close|read|write|flush|printf)\s*\("
+    r"|\bstd::(?:basic_)?[io]?fstream\b"
+    r"|\.\s*join\s*\("
+    r"|\bsystem\s*\(")
+
+LOCK_DISCIPLINE_MSG = (
+    "blocking/IO call while holding a util::LockGuard on the hot path — "
+    "stage the work outside the critical section and lock only for the "
+    "pointer/flag swap")
+
+LOCK_DISCIPLINE_NESTED_MSG = (
+    "nested util::LockGuard while another guard is held — the hot-path "
+    "discipline is one lock at a time (lock-ordering deadlocks are "
+    "impossible by construction); restructure as two-phase locking")
+
+
+@rule("lock-discipline")
+def rule_lock_discipline(src: SourceFile) -> list[Finding]:
+    if not any(in_dir(src.path, d) for d in LOCK_DISCIPLINE_DIRS):
+        return []
+    findings = []
+    depth = 0
+    guard_depths: list[int] = []  # brace depth at each live guard's decl
+    for idx, line in enumerate(src.code_lines):
+        decl = LOCK_GUARD_DECL_RE.search(line)
+        deny = LOCK_DISCIPLINE_DENY_RE.search(line)
+        held_at = lambda col: bool(guard_depths) or (  # noqa: E731
+            decl is not None and decl.start() < col)
+        if deny and held_at(deny.start()) and \
+                not src.allowed(idx, "lock-discipline"):
+            findings.append(Finding(src.path, idx + 1, "lock-discipline",
+                                    LOCK_DISCIPLINE_MSG))
+        if decl and guard_depths and not src.allowed(idx, "lock-discipline"):
+            findings.append(Finding(src.path, idx + 1, "lock-discipline",
+                                    LOCK_DISCIPLINE_NESTED_MSG))
+        # Track scopes char-by-char: a guard declared at depth d is pushed
+        # at its declaration position and dies when depth drops below d,
+        # so one-line `{ guard; }` scopes close on the same line.
+        for pos, ch in enumerate(line):
+            if decl is not None and pos == decl.start():
+                guard_depths.append(depth)
+                decl = None
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while guard_depths and depth < guard_depths[-1]:
+                    guard_depths.pop()
+        if decl is not None:
+            guard_depths.append(depth)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# AST backend (libclang / clang.cindex)
+#
+# The three concurrency rules re-implemented on real types and scopes: a
+# std::mutex hidden behind an alias, a reinterpret_cast produced by a macro,
+# or a blocking call three lines into a guard's scope are all invisible (or
+# fragile) to token matching. The regex implementations above remain the
+# fallback so minimal runners without the libclang python bindings keep
+# linting; fixtures are validated against both so the implementations
+# cannot drift apart.
+
+# Rules with an AST implementation; when the AST backend is active it
+# replaces the regex implementation of exactly these.
+AST_RULES = {"unannotated-mutex", "raw-union-cast", "lock-discipline"}
+
+
+class AstBackend:
+    """libclang-based matcher for the concurrency rules."""
+
+    PARSE_ARGS = ["-x", "c++", "-std=c++20", f"-I{REPO_ROOT / 'src'}"]
+
+    # Callee names whose qualified form is banned outside src/util/.
+    RAW_CAST_CALLEES = {"memcpy", "std::memcpy", "std::bit_cast"}
+
+    # Unqualified callee names that block or do IO while a lock is held.
+    DENY_CALLEES = {"sleep_for", "sleep_until", "fopen", "fclose", "fread",
+                    "fwrite", "fflush", "fprintf", "join", "system"}
+
+    FSTREAM_TYPE_RE = re.compile(r"\bstd::(?:basic_)?[io]?fstream\b")
+
+    def __init__(self, cindex, index):
+        self._cindex = cindex
+        self._index = index
+
+    @classmethod
+    def load(cls) -> tuple["AstBackend | None", str | None]:
+        """Try to stand up libclang; (backend, None) or (None, reason)."""
+        try:
+            from clang import cindex  # noqa: PLC0415 (optional dependency)
+        except ImportError as e:
+            return None, f"python clang bindings unavailable ({e})"
+        try:
+            index = cindex.Index.create()
+        except Exception as first_error:  # library not found / mismatch
+            # Debian/Ubuntu install versioned libraries the bindings do
+            # not always find on their own; probe the usual spots.
+            import glob as _glob
+            candidates = sorted(
+                _glob.glob("/usr/lib/llvm-*/lib/libclang*.so*")
+                + _glob.glob("/usr/lib/x86_64-linux-gnu/libclang-*.so*"),
+                reverse=True)
+            index = None
+            for lib in candidates:
+                try:
+                    cindex.Config.loaded = False
+                    cindex.Config.set_library_file(lib)
+                    index = cindex.Index.create()
+                    break
+                except Exception:
+                    continue
+            if index is None:
+                return None, f"libclang failed to load ({first_error})"
+        return cls(cindex, index), None
+
+    def lint(self, src: SourceFile, text: str) -> list[Finding]:
+        if not in_dir(src.path, "src"):
+            return []
+        tu = self._index.parse(src.path, args=self.PARSE_ARGS,
+                               unsaved_files=[(src.path, text)])
+        findings = []
+        findings.extend(self._unannotated_mutex(src, tu))
+        findings.extend(self._raw_union_cast(src, tu))
+        findings.extend(self._lock_discipline(src, tu))
+        return findings
+
+    # -- shared cursor helpers ------------------------------------------
+
+    def _cursors(self, tu, path: str):
+        for c in tu.cursor.walk_preorder():
+            loc = c.location
+            if loc.file is not None and loc.file.name == path:
+                yield c
+
+    def _type_spellings(self, cursor) -> set[str]:
+        t = cursor.type
+        return {t.spelling, t.get_canonical().spelling}
+
+    def _qualified_callee(self, call) -> str:
+        """Fully qualified name of a CALL_EXPR's callee (e.g.
+        `idlered::util::bit_cast`), or its bare spelling if unresolved."""
+        ck = self._cindex.CursorKind
+        ref = call.referenced
+        if ref is None:
+            return call.spelling or ""
+        parts = []
+        c = ref
+        while c is not None and c.kind != ck.TRANSLATION_UNIT:
+            if c.spelling:
+                parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _emit(self, src: SourceFile, line: int, rule_name: str,
+              message: str, out: list[Finding]) -> None:
+        if 1 <= line <= len(src.allows) and src.allowed(line - 1, rule_name):
+            return
+        out.append(Finding(src.path, line, rule_name, message))
+
+    # -- rules ----------------------------------------------------------
+
+    def _unannotated_mutex(self, src: SourceFile, tu) -> list[Finding]:
+        if src.path in UNANNOTATED_MUTEX_HOME:
+            return []
+        ck = self._cindex.CursorKind
+        out: list[Finding] = []
+        for c in self._cursors(tu, src.path):
+            if c.kind not in (ck.FIELD_DECL, ck.VAR_DECL):
+                continue
+            if any(UNANNOTATED_MUTEX_RE.search(s)
+                   for s in self._type_spellings(c)):
+                self._emit(src, c.location.line, "unannotated-mutex",
+                           UNANNOTATED_MUTEX_MSG, out)
+        return out
+
+    def _raw_union_cast(self, src: SourceFile, tu) -> list[Finding]:
+        if in_dir(src.path, "src/util"):
+            return []
+        ck = self._cindex.CursorKind
+        out: list[Finding] = []
+        seen: set[int] = set()
+        for c in self._cursors(tu, src.path):
+            hit = False
+            if c.kind == ck.CXX_REINTERPRET_CAST_EXPR:
+                hit = True
+            elif c.kind == ck.CALL_EXPR:
+                hit = self._qualified_callee(c) in self.RAW_CAST_CALLEES
+            if hit and c.location.line not in seen:
+                seen.add(c.location.line)
+                self._emit(src, c.location.line, "raw-union-cast",
+                           RAW_UNION_CAST_MSG, out)
+        return out
+
+    def _lock_discipline(self, src: SourceFile, tu) -> list[Finding]:
+        if not any(in_dir(src.path, d) for d in LOCK_DISCIPLINE_DIRS):
+            return []
+        ck = self._cindex.CursorKind
+        # (decl_offset, scope_end_offset, line) per util::LockGuard local.
+        guards: list[tuple[int, int, int]] = []
+        # (offset, line, message) per blocking/IO event.
+        events: list[tuple[int, int, str]] = []
+
+        def visit(cursor, scope_end: int) -> None:
+            for ch in cursor.get_children():
+                child_scope_end = scope_end
+                if ch.kind == ck.COMPOUND_STMT and ch.extent.end.offset:
+                    child_scope_end = ch.extent.end.offset
+                loc = ch.location
+                if loc.file is not None and loc.file.name == src.path:
+                    if ch.kind == ck.VAR_DECL:
+                        spellings = self._type_spellings(ch)
+                        if any("LockGuard" in s for s in spellings):
+                            guards.append((ch.extent.start.offset,
+                                           child_scope_end, loc.line))
+                        elif any(self.FSTREAM_TYPE_RE.search(s)
+                                 for s in spellings):
+                            events.append((ch.extent.start.offset, loc.line,
+                                           LOCK_DISCIPLINE_MSG))
+                    elif ch.kind == ck.CALL_EXPR and \
+                            ch.spelling in self.DENY_CALLEES:
+                        events.append((ch.extent.start.offset, loc.line,
+                                       LOCK_DISCIPLINE_MSG))
+                visit(ch, child_scope_end)
+
+        visit(tu.cursor, 0)
+
+        out: list[Finding] = []
+        emitted: set[int] = set()
+        for off, line, message in events:
+            if line not in emitted and any(
+                    g_off < off <= g_end for g_off, g_end, _ in guards):
+                emitted.add(line)
+                self._emit(src, line, "lock-discipline", message, out)
+        for g_off, g_end, g_line in guards:
+            nested = any(o_off < g_off <= o_end
+                         for o_off, o_end, _ in guards
+                         if (o_off, o_end) != (g_off, g_end))
+            if nested and g_line not in emitted:
+                emitted.add(g_line)
+                self._emit(src, g_line, "lock-discipline",
+                           LOCK_DISCIPLINE_NESTED_MSG, out)
+        return out
+
+
+def lint_text(path: str, text: str,
+              ast_backend: "AstBackend | None" = None) -> list[Finding]:
     src = parse_source(path, text)
     findings = []
-    for fn in RULES.values():
+    for name, fn in RULES.items():
+        if ast_backend is not None and name in AST_RULES:
+            continue
         findings.extend(fn(src))
+    if ast_backend is not None:
+        findings.extend(ast_backend.lint(src, text))
     # A bare allow without a reason is itself a finding: suppressions must
     # say why (CONTRIBUTING.md policy).
     for idx, allows in enumerate(src.allows):
@@ -403,12 +789,29 @@ def repo_files() -> list[pathlib.Path]:
     return files
 
 
-def lint_paths(paths: list[pathlib.Path]) -> list[Finding]:
+def lint_paths(paths: list[pathlib.Path],
+               ast_backend: "AstBackend | None" = None) -> list[Finding]:
     findings = []
     for p in paths:
         rel = p.resolve().relative_to(REPO_ROOT).as_posix()
-        findings.extend(lint_text(rel, p.read_text(encoding="utf-8")))
+        findings.extend(lint_text(rel, p.read_text(encoding="utf-8"),
+                                  ast_backend))
     return findings
+
+
+def resolve_backend(choice: str) -> tuple["AstBackend | None", str]:
+    """Map a --backend choice to (backend-or-None, description). Exits via
+    SystemExit(2) when `ast` is requested but unavailable."""
+    if choice == "regex":
+        return None, "regex"
+    backend, reason = AstBackend.load()
+    if backend is not None:
+        return backend, "ast (libclang)"
+    if choice == "ast":
+        print(f"idlered_lint: error: --backend ast requested but {reason}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return None, f"regex ({reason})"
 
 
 FIXTURE_HEADER_RE = re.compile(
@@ -416,7 +819,7 @@ FIXTURE_HEADER_RE = re.compile(
 BAD_MARKER = "LINT-BAD"
 
 
-def self_test() -> int:
+def self_test(backend_choice: str = "auto") -> int:
     """Validate the linter against tests/lint/ fixtures.
 
     Each fixture declares, in its first line, the repo path it pretends to
@@ -425,6 +828,11 @@ def self_test() -> int:
         double x; if (x == 1.0) {}  // LINT-BAD(float-compare)
     The self-test fails if any marked line produces no finding of that rule,
     or any unmarked line produces one.
+
+    Every fixture is checked under the regex backend, and — when libclang
+    is importable (or --backend ast forces it) — again under the AST
+    backend. The marker set is the contract both implementations must
+    satisfy line-for-line, which is what keeps them from drifting apart.
     """
     fixture_dir = REPO_ROOT / "tests" / "lint"
     fixtures = sorted(fixture_dir.glob("*.cpp")) + \
@@ -433,6 +841,17 @@ def self_test() -> int:
         print(f"idlered_lint --self-test: no fixtures in {fixture_dir}",
               file=sys.stderr)
         return 2
+
+    backends: list[tuple[str, "AstBackend | None"]] = []
+    if backend_choice != "ast":
+        backends.append(("regex", None))
+    if backend_choice != "regex":
+        ast_backend, label = resolve_backend(backend_choice)
+        if ast_backend is not None:
+            backends.append(("ast", ast_backend))
+        elif backend_choice == "auto":
+            print(f"idlered_lint --self-test: note: {label}; "
+                  f"AST backend not exercised")
 
     failures = []
     checked = 0
@@ -453,20 +872,22 @@ def self_test() -> int:
 
         # The marker comments themselves must not confuse the rules (they
         # are stripped with all other comments before matching).
-        got: dict[int, set[str]] = {}
-        for f in lint_text(pretend_path, text):
-            got.setdefault(f.line, set()).add(f.rule)
+        for backend_name, backend in backends:
+            got: dict[int, set[str]] = {}
+            for f in lint_text(pretend_path, text, backend):
+                got.setdefault(f.line, set()).add(f.rule)
 
-        for line_no, rules in sorted(expected.items()):
-            missing = rules - got.get(line_no, set())
-            for r in sorted(missing):
-                failures.append(f"{fixture.name}:{line_no}: expected a "
-                                f"[{r}] finding, got none")
-        for line_no, rules in sorted(got.items()):
-            spurious = rules - expected.get(line_no, set())
-            for r in sorted(spurious):
-                failures.append(f"{fixture.name}:{line_no}: unexpected "
-                                f"[{r}] finding")
+            for line_no, rules in sorted(expected.items()):
+                missing = rules - got.get(line_no, set())
+                for r in sorted(missing):
+                    failures.append(f"{fixture.name}:{line_no}: expected a "
+                                    f"[{r}] finding, got none "
+                                    f"[{backend_name} backend]")
+            for line_no, rules in sorted(got.items()):
+                spurious = rules - expected.get(line_no, set())
+                for r in sorted(spurious):
+                    failures.append(f"{fixture.name}:{line_no}: unexpected "
+                                    f"[{r}] finding [{backend_name} backend]")
         checked += 1
 
     if failures:
@@ -475,7 +896,8 @@ def self_test() -> int:
             print(f"  {f}")
         return 1
     print(f"idlered_lint --self-test: OK "
-          f"({checked} fixtures, {len(RULES)} rules)")
+          f"({checked} fixtures, {len(RULES)} rules, "
+          f"backends: {', '.join(name for name, _ in backends)})")
     return 0
 
 
@@ -486,14 +908,21 @@ def main(argv: list[str]) -> int:
                         help="specific files to lint (default: whole repo)")
     parser.add_argument("--self-test", action="store_true",
                         help="validate the rules against tests/lint/ fixtures")
+    parser.add_argument("--backend", choices=("auto", "regex", "ast"),
+                        default="auto",
+                        help="matcher for the concurrency rules: libclang "
+                             "AST when available (auto), forced (ast), or "
+                             "token matching only (regex)")
     args = parser.parse_args(argv)
 
-    if args.self_test:
-        return self_test()
-
     try:
+        if args.self_test:
+            return self_test(args.backend)
+        ast_backend, backend_label = resolve_backend(args.backend)
         paths = args.files if args.files else repo_files()
-        findings = lint_paths(paths)
+        findings = lint_paths(paths, ast_backend)
+    except SystemExit as e:
+        return int(e.code or 0)
     except (OSError, ValueError) as e:
         print(f"idlered_lint: error: {e}", file=sys.stderr)
         return 2
@@ -503,7 +932,8 @@ def main(argv: list[str]) -> int:
     if findings:
         print(f"idlered_lint: {len(findings)} finding(s)")
         return 1
-    print(f"idlered_lint: clean ({len(paths)} files)")
+    print(f"idlered_lint: clean ({len(paths)} files, "
+          f"backend: {backend_label})")
     return 0
 
 
