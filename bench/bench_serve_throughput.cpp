@@ -39,8 +39,10 @@
 #include <unistd.h>
 
 #include "common/bench_run.h"
+#include "obs/log_histogram.h"
 #include "robust/fallback.h"
 #include "serve/service.h"
+#include "util/clock.h"
 #include "util/json.h"
 #include "util/random.h"
 #include "util/table.h"
@@ -114,7 +116,7 @@ robust::ControllerMode worst_ceiling(const serve::DecisionService& svc) {
 // ---- phase 1: nominal throughput ------------------------------------------
 
 util::JsonValue phase_nominal(std::size_t events, std::size_t vehicles,
-                              util::Table& table) {
+                              util::Table& table, obs::Exporter* exporter) {
   serve::ServeConfig cfg;
   cfg.num_shards = 4;
   cfg.threads = 2;
@@ -132,6 +134,9 @@ util::JsonValue phase_nominal(std::size_t events, std::size_t vehicles,
       submitted_at;
   std::vector<double> latencies;
   latencies.reserve(events);
+  // The same latency stream through the log-bucketed estimator, so the
+  // quantile error bound is checked against the exact offline sort below.
+  obs::LogHistogram latency_hist;
   std::vector<serve::Decision> out;
   out.reserve(events + 64);
 
@@ -153,12 +158,15 @@ util::JsonValue phase_nominal(std::size_t events, std::size_t vehicles,
     for (std::size_t i = prev_emitted; i < out.size(); ++i) {
       const auto it = submitted_at.find({out[i].vehicle, out[i].seq});
       if (it != submitted_at.end()) {
-        latencies.push_back(
-            std::chrono::duration<double>(now - it->second).count());
+        const double lat =
+            std::chrono::duration<double>(now - it->second).count();
+        latencies.push_back(lat);
+        latency_hist.observe(lat);
         submitted_at.erase(it);
       }
     }
     prev_emitted = out.size();
+    if (exporter != nullptr) exporter->tick(util::monotonic_seconds());
   }
   svc.drain_all(out);
   const double wall = seconds_since(t0);
@@ -174,6 +182,19 @@ util::JsonValue phase_nominal(std::size_t events, std::size_t vehicles,
   const double per_sec = static_cast<double>(out.size()) / wall;
   const double p50 = percentile(latencies, 0.50);
   const double p99 = percentile(latencies, 0.99);
+
+  // The LogHistogram acceptance bound: the estimator's p99 must agree
+  // with the exact offline sort within the documented relative error
+  // (both use the rank convention round(p * (n - 1))).
+  const obs::LogHistogramSnapshot lat_snap = latency_hist.snapshot();
+  const double est_p99 = lat_snap.quantile(0.99);
+  const double bound = lat_snap.config.rel_error;
+  check(lat_snap.count == latencies.size(),
+        "nominal: the estimator must see every measured latency");
+  check(p99 > 0.0 && std::abs(est_p99 - p99) <= bound * p99,
+        "nominal: estimated p99 must sit within the documented relative "
+        "error of the exact sort");
+
   table.add_row({"nominal", util::fmt(wall, 3),
                  util::fmt(per_sec, 0), util::fmt(p50 * 1e6, 1),
                  util::fmt(p99 * 1e6, 1), "COA"});
@@ -184,6 +205,9 @@ util::JsonValue phase_nominal(std::size_t events, std::size_t vehicles,
   j.set("decisions_per_sec", per_sec);
   j.set("latency_p50_us", p50 * 1e6);
   j.set("latency_p99_us", p99 * 1e6);
+  j.set("latency_p99_est_us", est_p99 * 1e6);
+  j.set("latency_rel_error_bound", bound);
+  j.set("latency_quantiles", lat_snap.to_json());
   return j;
 }
 
@@ -463,7 +487,9 @@ int main(int argc, char** argv) {
 
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).rfind("--trace", 0) == 0) continue;
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--trace", 0) == 0 || arg.rfind("--export", 0) == 0)
+      continue;
     pos.push_back(argv[i]);
   }
   std::size_t events = 60000;
@@ -481,7 +507,8 @@ int main(int argc, char** argv) {
   util::JsonValue payload = util::JsonValue::object();
   payload.set("events", events);
   payload.set("vehicles", vehicles);
-  payload.set("nominal", phase_nominal(events, vehicles, table));
+  payload.set("nominal",
+              phase_nominal(events, vehicles, table, run.exporter()));
   payload.set("burst", phase_burst(vehicles, table));
   payload.set("stall", phase_stall(table));
   payload.set("kill_recover", phase_kill_recover(vehicles, table));

@@ -40,6 +40,32 @@ std::string trace_request(const std::string& name, int argc, char** argv) {
   return path.empty() ? "TRACE_" + name + ".jsonl" : path;
 }
 
+/// Resolve the export request to a file stem; empty string means "off".
+std::string export_request(const std::string& name, int argc, char** argv) {
+  bool on = false;
+  std::string stem;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == nullptr) continue;
+    const std::string_view arg(argv[i]);
+    if (arg == "--export") {
+      on = true;
+    } else if (arg.rfind("--export=", 0) == 0) {
+      on = true;
+      stem = std::string(arg.substr(9));
+    }
+  }
+  if (!on) {
+    const char* env = std::getenv("IDLERED_EXPORT");
+    if (env != nullptr && *env != '\0') {
+      on = true;
+      const std::string_view v(env);
+      if (v != "1" && v != "on") stem = std::string(v);
+    }
+  }
+  if (!on) return {};
+  return stem.empty() ? "METRICS_" + name : stem;
+}
+
 }  // namespace
 
 BenchRun::BenchRun(std::string name, int argc, char** argv)
@@ -48,6 +74,15 @@ BenchRun::BenchRun(std::string name, int argc, char** argv)
   // seeding them here keeps them at the top of the artifact.
   staged_.set("schema_version", kSchemaVersion);
   staged_.set("bench", name_);
+
+  if (const std::string stem = export_request(name_, argc, argv);
+      !stem.empty()) {
+    obs::ExporterConfig config;
+    config.prometheus_path = stem + ".prom";
+    config.json_path = stem + ".json";
+    exporter_ = std::make_unique<obs::Exporter>(
+        obs::MetricsRegistry::global(), std::move(config));
+  }
 
   trace_path_ = trace_request(name_, argc, argv);
   tracing_ = !trace_path_.empty();
@@ -95,6 +130,14 @@ BenchRun::~BenchRun() {
       obs::recorder().stop();
       const std::size_t n = obs::recorder().flush();
       std::printf("wrote %s (%zu events)\n", trace_path_.c_str(), n);
+    }
+    if (exporter_) {
+      exporter_->flush();
+      std::printf("wrote %s and %s (%zu export rounds)\n",
+                  exporter_->config().prometheus_path.c_str(),
+                  exporter_->config().json_path.c_str(),
+                  exporter_->writes());
+      exporter_.reset();
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "warning: bench envelope for %s: %s\n",

@@ -24,9 +24,11 @@
 // tools/obs_report.py renders and validates both artifacts.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "engine/eval_session.h"
+#include "obs/export.h"
 #include "util/json.h"
 
 namespace idlered::bench {
@@ -40,6 +42,10 @@ class BenchRun {
   /// argv is scanned for --trace / --trace=<path>; the IDLERED_TRACE
   /// environment variable ("1"/"on" for the default path, anything else as
   /// the path itself) is the no-flag fallback for wrapper scripts.
+  /// --export / --export=<stem> (env IDLERED_EXPORT) additionally stands
+  /// up an obs::Exporter writing METRICS_<name>.prom / METRICS_<name>.json
+  /// (or <stem>.prom / <stem>.json): flush-on-shutdown always, plus
+  /// whatever periodic tick()s the bench drives through exporter().
   BenchRun(std::string name, int argc, char** argv);
 
   /// Writes BENCH_<name>.json and flushes the trace. Never throws — bench
@@ -52,6 +58,11 @@ class BenchRun {
   bool tracing() const { return tracing_; }
   const std::string& trace_path() const { return trace_path_; }
 
+  /// The periodic exporter, or nullptr when --export was not requested.
+  /// Long-running benches call exporter()->tick(util::monotonic_seconds())
+  /// from their pacing loop for live METRICS_* files.
+  obs::Exporter* exporter() { return exporter_.get(); }
+
   /// Attach a top-level payload under `key` (overwrites on re-stage).
   void stage(const std::string& key, util::JsonValue value);
 
@@ -63,6 +74,7 @@ class BenchRun {
   bool tracing_ = false;
   std::string trace_path_;
   util::JsonValue staged_;
+  std::unique_ptr<obs::Exporter> exporter_;
 };
 
 }  // namespace idlered::bench

@@ -233,6 +233,7 @@ EvalReport EvalSession::run() {
   // counter-derived RNG stream, so the schedule cannot leak into results.
   impl_->pool.parallel_for(cells.size(), [&](std::size_t i) {
     IDLERED_SPAN("eval_cell");
+    IDLERED_LOG_TIMER("engine.eval_cell.seconds");
     const Cell& cell = cells[i];
     const PlanPoint& pp = plan.points[cell.point];
     const VehicleCache& cache =

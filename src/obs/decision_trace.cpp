@@ -1,0 +1,36 @@
+#include "obs/decision_trace.h"
+
+#include "obs/trace.h"
+#include "util/random.h"
+
+namespace idlered::obs {
+
+std::uint64_t decision_trace_id(std::uint64_t seed, std::uint64_t vehicle,
+                                std::uint64_t seq) {
+  return util::mix64(util::mix64(seed ^ vehicle) ^ seq);
+}
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[trace_id & 0xF];
+    trace_id >>= 4;
+  }
+  return s;
+}
+
+util::JsonValue make_dspan(std::uint64_t trace_id, const char* stage,
+                           const char* parent, double t0, double dur) {
+  util::JsonValue ev = util::JsonValue::object();
+  ev.set("type", "dspan");
+  ev.set("trace", trace_id_hex(trace_id));
+  ev.set("stage", stage);
+  if (parent != nullptr) ev.set("parent", parent);
+  ev.set("thread", thread_ordinal());
+  ev.set("t0", t0);
+  ev.set("dur", dur);
+  return ev;
+}
+
+}  // namespace idlered::obs

@@ -1,0 +1,53 @@
+// Per-decision causal tracing ("dspan" events).
+//
+// A decision's trace identity is not carried on the wire: StopEvent and
+// Decision are frozen formats, and the id is a pure function of
+// (service seed, vehicle, seq) — the same mix64 composition the serve
+// shard uses as its per-decision RNG seed. Every pipeline stage computes
+// the id locally from data it already has, so tracing changes no
+// serialized byte and the Decision stream stays bit-identical traced vs
+// untraced.
+//
+// Event model: one "dspan" JSON line per pipeline hop,
+//
+//   {"type":"dspan","trace":"<16 hex digits>","stage":"ingest",
+//    "parent":"<upstream stage>",          // absent on the root stage
+//    "thread":N,"t0":...,"dur":...,"t":...,
+//    ...stage-specific fields (shard, vehicle, seq, rung, outcome,
+//    replay, durable)}
+//
+// The serve pipeline emits stages ingest -> [wal] -> solve -> decision
+// (wal only on durable shards; solve only for events that reach the
+// pricing core). tools/obs_report.py groups dspans by the trace id and
+// reconstructs the per-decision timeline (--trace-tree) or checks chain
+// completeness over a whole run (--chains).
+//
+// The id is serialized as a 16-digit hex string, not a JSON number:
+// 64-bit ids do not survive the double round-trip most JSON parsers
+// apply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+
+namespace idlered::obs {
+
+/// Trace id of one decision: mix64(mix64(seed ^ vehicle) ^ seq). This is
+/// deliberately the serve shard's decision_seed so a trace id can be
+/// cross-referenced against the RNG stream that priced the decision.
+std::uint64_t decision_trace_id(std::uint64_t seed, std::uint64_t vehicle,
+                                std::uint64_t seq);
+
+/// Lower-case, zero-padded 16-digit hex rendering of a trace id.
+std::string trace_id_hex(std::uint64_t trace_id);
+
+/// Build a "dspan" event skeleton (type/trace/stage/parent/thread/t0/dur).
+/// `parent` nullptr marks the root stage and omits the field. The caller
+/// adds stage-specific fields and hands the event to recorder().emit(),
+/// which stamps "t".
+util::JsonValue make_dspan(std::uint64_t trace_id, const char* stage,
+                           const char* parent, double t0, double dur);
+
+}  // namespace idlered::obs

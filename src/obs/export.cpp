@@ -1,0 +1,156 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace idlered::obs {
+
+namespace {
+
+// Shortest-round-trip double rendering, matching the JSON emitter's
+// behaviour closely enough for scrape values (Prometheus parses floats).
+std::string render_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void write_atomically(const std::string& path, const std::string& content) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("Exporter: cannot open " + tmp);
+    out << content;
+    out.flush();
+    if (!out) throw std::runtime_error("Exporter: write failed on " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("Exporter: rename " + tmp + " -> " + path +
+                             " failed: " + ec.message());
+}
+
+void append_quantile(std::string& out, const std::string& name,
+                     const char* q, double value) {
+  out += name;
+  out += "{quantile=\"";
+  out += q;
+  out += "\"} ";
+  out += render_number(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  // A leading digit is not a valid Prometheus name start.
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricsSnapshot::Counter& c : snapshot.counters) {
+    const std::string n = prometheus_name(c.name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + ' ' + render_number(static_cast<double>(c.value)) + '\n';
+  }
+  for (const MetricsSnapshot::Gauge& g : snapshot.gauges) {
+    const std::string n = prometheus_name(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + ' ' + render_number(g.value) + '\n';
+  }
+  for (const MetricsSnapshot::Histogram& h : snapshot.histograms) {
+    const std::string n = prometheus_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      cum += h.counts[i];
+      out += n + "_bucket{le=\"" + render_number(h.edges[i]) + "\"} " +
+             render_number(static_cast<double>(cum)) + '\n';
+    }
+    out += n + "_bucket{le=\"+Inf\"} " +
+           render_number(static_cast<double>(h.total())) + '\n';
+    out += n + "_sum " + render_number(h.sum) + '\n';
+    out += n + "_count " + render_number(static_cast<double>(h.total())) +
+           '\n';
+  }
+  for (const MetricsSnapshot::LogHist& lh : snapshot.log_histograms) {
+    const std::string n = prometheus_name(lh.name);
+    out += "# TYPE " + n + " summary\n";
+    append_quantile(out, n, "0.5", lh.hist.quantile(0.50));
+    append_quantile(out, n, "0.9", lh.hist.quantile(0.90));
+    append_quantile(out, n, "0.99", lh.hist.quantile(0.99));
+    append_quantile(out, n, "0.999", lh.hist.quantile(0.999));
+    out += n + "_sum " + render_number(lh.hist.sum) + '\n';
+    out += n + "_count " +
+           render_number(static_cast<double>(lh.hist.count)) + '\n';
+  }
+  return out;
+}
+
+void ExporterConfig::validate() const {
+  if (!std::isfinite(period_s) || !(period_s > 0.0))
+    throw std::invalid_argument(
+        "ExporterConfig: period_s must be finite and > 0");
+  if (prometheus_path.empty() && json_path.empty())
+    throw std::invalid_argument(
+        "ExporterConfig: at least one output path is required");
+}
+
+Exporter::Exporter(MetricsRegistry& registry, ExporterConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  config_.validate();
+}
+
+Exporter::~Exporter() {
+  try {
+    flush();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Best-effort shutdown flush; a throwing destructor would turn an
+    // export I/O failure into std::terminate.
+  }
+}
+
+bool Exporter::tick(double now_s) {
+  if (wrote_once_ && now_s - last_write_s_ < config_.period_s) return false;
+  last_write_s_ = now_s;
+  wrote_once_ = true;
+  write_files();
+  return true;
+}
+
+void Exporter::flush() { write_files(); }
+
+void Exporter::write_files() {
+  const MetricsSnapshot snap = registry_.snapshot();
+  ++writes_;
+  if (!config_.prometheus_path.empty())
+    write_atomically(config_.prometheus_path, to_prometheus_text(snap));
+  if (!config_.json_path.empty()) {
+    util::JsonValue doc = util::JsonValue::object();
+    doc.set("schema", "idlered-metrics-v1");
+    doc.set("t", last_write_s_);
+    doc.set("writes", writes_);
+    doc.set("metrics", snap.to_json());
+    write_atomically(config_.json_path, doc.dump(2) + "\n");
+  }
+}
+
+}  // namespace idlered::obs

@@ -1,0 +1,80 @@
+// Periodic metrics export: MetricsRegistry snapshots rendered to
+// Prometheus text exposition format and/or a JSON document, written
+// atomically (tmp + rename) so a scraper or tools/obs_top.py never reads
+// a torn file.
+//
+// No clock lives here: the caller passes the current time into tick(), so
+// the export cadence is exactly testable and the obs determinism contract
+// (no ambient time outside util/) holds by construction. A bench passes
+// util::monotonic_seconds(); tests pass a counter.
+//
+// Formats:
+//   Prometheus text — counters as `counter`, gauges as `gauge`,
+//     fixed-bucket histograms as `histogram` (cumulative le-buckets,
+//     _sum, _count), log-histograms as `summary` (quantile labels 0.5 /
+//     0.9 / 0.99 / 0.999, _sum, _count). Metric names are sanitized to
+//     [a-zA-Z0-9_:] with '.' -> '_'.
+//   JSON — {"schema":"idlered-metrics-v1","t":...,"writes":N,
+//     "metrics":<MetricsSnapshot::to_json()>}.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace idlered::obs {
+
+struct ExporterConfig {
+  std::string prometheus_path;  ///< empty = skip the Prometheus file
+  std::string json_path;        ///< empty = skip the JSON file
+  double period_s = 1.0;        ///< min seconds between periodic writes
+
+  /// Throws std::invalid_argument if period_s is not finite > 0 or both
+  /// paths are empty.
+  void validate() const;
+};
+
+/// Render a snapshot in Prometheus text exposition format.
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Sanitize a metric name for Prometheus ([a-zA-Z0-9_:], '.' -> '_').
+std::string prometheus_name(const std::string& name);
+
+class Exporter {
+ public:
+  /// Validates the config. The registry must outlive the exporter.
+  Exporter(MetricsRegistry& registry, ExporterConfig config);
+
+  /// Flush-on-shutdown: best-effort final write (I/O errors swallowed —
+  /// destructors must not throw).
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Write the configured files if at least period_s elapsed since the
+  /// last write (the first tick always writes). Returns true if it wrote.
+  /// Throws std::runtime_error on I/O failure.
+  bool tick(double now_s);
+
+  /// Unconditional write, stamped with the most recent tick time.
+  void flush();
+
+  /// Completed write rounds.
+  std::size_t writes() const { return writes_; }
+
+  const ExporterConfig& config() const { return config_; }
+
+ private:
+  void write_files();
+
+  MetricsRegistry& registry_;
+  ExporterConfig config_;
+  double last_write_s_ = 0.0;
+  bool wrote_once_ = false;
+  std::size_t writes_ = 0;
+};
+
+}  // namespace idlered::obs

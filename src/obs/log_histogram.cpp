@@ -1,0 +1,265 @@
+#include "obs/log_histogram.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+#include "util/contracts.h"
+#include "util/thread_annotations.h"
+
+namespace idlered::obs {
+
+namespace {
+
+// Same CAS-based floating add as MetricsRegistry (libstdc++'s floating
+// fetch_add is uneven across targeted GCC versions; this path is cold
+// relative to the bucket fetch_add).
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double value) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (value < cur && !a.compare_exchange_weak(cur, value,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double value) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (value > cur && !a.compare_exchange_weak(cur, value,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+struct Shard {
+  std::vector<std::atomic<std::uint64_t>> counts;
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  explicit Shard(std::size_t buckets) : counts(buckets) {}
+};
+
+// Histograms are identified by a process-unique serial rather than their
+// address, so a stale thread-local cache entry for a destroyed histogram
+// can never be mistaken for a new one allocated at the same address.
+std::atomic<std::uint64_t> g_histogram_serial{1};
+
+struct TlsEntry {
+  std::uint64_t serial = 0;
+  Shard* shard = nullptr;
+};
+
+thread_local std::vector<TlsEntry> t_shards;
+
+}  // namespace
+
+void LogHistogramConfig::validate() const {
+  if (!std::isfinite(min_value) || !(min_value > 0.0))
+    throw std::invalid_argument(
+        "LogHistogramConfig: min_value must be finite and > 0");
+  if (!std::isfinite(max_value) || !(max_value > min_value))
+    throw std::invalid_argument(
+        "LogHistogramConfig: max_value must be finite and > min_value");
+  if (!std::isfinite(rel_error) || !(rel_error > 0.0) || !(rel_error < 1.0))
+    throw std::invalid_argument(
+        "LogHistogramConfig: rel_error must be in (0, 1)");
+}
+
+double LogHistogramConfig::gamma() const {
+  return (1.0 + rel_error) * (1.0 + rel_error);
+}
+
+std::size_t LogHistogramConfig::interior_buckets() const {
+  const double n =
+      std::ceil(std::log(max_value / min_value) / std::log(gamma()));
+  return std::max<std::size_t>(1, static_cast<std::size_t>(n));
+}
+
+std::size_t LogHistogramConfig::total_buckets() const {
+  return interior_buckets() + 2;
+}
+
+std::size_t LogHistogramConfig::bucket_index(double value) const {
+  // NaN fails the comparison and lands in underflow alongside v < min.
+  if (!(value >= min_value)) return 0;
+  const std::size_t n = interior_buckets();
+  // Checked before the log so +inf never reaches the float->int cast.
+  if (value >= bucket_lower(n + 1)) return n + 1;
+  const double r = std::log(value / min_value) / std::log(gamma());
+  const auto b = static_cast<std::size_t>(r) + 1;  // floor(r) + 1, r >= 0
+  return std::min(b, n);  // guard the boundary against log() rounding
+}
+
+double LogHistogramConfig::bucket_lower(std::size_t bucket) const {
+  if (bucket == 0) return 0.0;
+  // exp-form rather than repeated multiplication: one call, and exact
+  // enough that bucket_index and bucket_lower agree at the overflow edge.
+  return min_value *
+         std::exp(static_cast<double>(bucket - 1) * std::log(gamma()));
+}
+
+double LogHistogramConfig::bucket_estimate(std::size_t bucket) const {
+  const std::size_t n = interior_buckets();
+  if (bucket == 0) return min_value;
+  if (bucket >= n + 1) return bucket_lower(n + 1);
+  // Geometric midpoint lower * sqrt(gamma) = lower * (1 + rel_error):
+  // every value in [lower, lower * gamma) is within a relative rel_error
+  // of this point.
+  return bucket_lower(bucket) * (1.0 + rel_error);
+}
+
+bool LogHistogramConfig::same_layout(const LogHistogramConfig& other) const {
+  // lint: allow(float-compare): layout identity is exact by design
+  return min_value == other.min_value && max_value == other.max_value &&
+         rel_error == other.rel_error;
+}
+
+struct LogHistogram::Impl {
+  const LogHistogramConfig config;
+  const std::size_t buckets;
+  const std::uint64_t serial = g_histogram_serial.fetch_add(1);
+  mutable util::Mutex m;  // guards the shard list
+  std::vector<std::unique_ptr<Shard>> shards IDLERED_GUARDED_BY(m);
+
+  explicit Impl(const LogHistogramConfig& cfg)
+      : config(cfg), buckets(cfg.total_buckets()) {}
+
+  Shard& local_shard() IDLERED_EXCLUDES(m) {
+    for (const TlsEntry& e : t_shards)
+      if (e.serial == serial) return *e.shard;
+    util::LockGuard lock(m);
+    shards.push_back(std::make_unique<Shard>(buckets));
+    Shard* s = shards.back().get();
+    t_shards.push_back(TlsEntry{serial, s});
+    return *s;
+  }
+};
+
+LogHistogram::LogHistogram(const LogHistogramConfig& config) {
+  config.validate();
+  impl_ = std::make_unique<Impl>(config);
+}
+
+LogHistogram::~LogHistogram() = default;
+
+void LogHistogram::observe(double value) {
+  const std::size_t b = impl_->config.bucket_index(value);
+  Shard& shard = impl_->local_shard();
+  shard.counts[b].fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(value)) {
+    atomic_add(shard.sum, value);
+    atomic_min(shard.min, value);
+    atomic_max(shard.max, value);
+  }
+}
+
+LogHistogramSnapshot LogHistogram::snapshot() const {
+  util::LockGuard lock(impl_->m);
+  LogHistogramSnapshot snap;
+  snap.config = impl_->config;
+  snap.counts.assign(impl_->buckets, 0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : impl_->shards) {
+    for (std::size_t b = 0; b < snap.counts.size(); ++b)
+      snap.counts[b] += s->counts[b].load(std::memory_order_relaxed);
+    snap.sum += s->sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, s->min.load(std::memory_order_relaxed));
+    hi = std::max(hi, s->max.load(std::memory_order_relaxed));
+  }
+  for (std::uint64_t c : snap.counts) snap.count += c;
+  // Empty (or NaN-only) histograms report 0/0 extremes, not infinities.
+  snap.min = std::isfinite(lo) ? lo : 0.0;
+  snap.max = std::isfinite(hi) ? hi : 0.0;
+  return snap;
+}
+
+void LogHistogram::reset() {
+  util::LockGuard lock(impl_->m);
+  for (const auto& s : impl_->shards) {
+    for (auto& c : s->counts) c.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+    s->min.store(std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+    s->max.store(-std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+  }
+}
+
+const LogHistogramConfig& LogHistogram::config() const {
+  return impl_->config;
+}
+
+std::size_t LogHistogram::shard_count() const {
+  util::LockGuard lock(impl_->m);
+  return impl_->shards.size();
+}
+
+double LogHistogramSnapshot::quantile(double p) const {
+  IDLERED_EXPECTS(p >= 0.0 && p <= 1.0,
+                  "LogHistogramSnapshot::quantile: p must be in [0, 1]");
+  if (count == 0) return 0.0;
+  // Same rank convention as an exact offline sort's
+  // sorted[llround(p * (n - 1))], so the two can be compared directly.
+  const auto rank = static_cast<std::uint64_t>(
+      std::llround(p * static_cast<double>(count - 1)));
+  // The extreme ranks are tracked exactly — no bucket estimate needed.
+  if (rank == 0) return min;
+  if (rank == count - 1) return max;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cum += counts[b];
+    if (cum > rank) {
+      // Clamping to the exact extremes only tightens the estimate: the
+      // true order statistic is >= min and <= max, and if the midpoint
+      // lies outside [min, max] the clamped value is strictly closer.
+      return std::clamp(config.bucket_estimate(b), min, max);
+    }
+  }
+  return max;  // counts/count raced mid-snapshot; max is the safe answer
+}
+
+util::JsonValue LogHistogramSnapshot::to_json() const {
+  using util::JsonValue;
+  JsonValue j = JsonValue::object();
+  j.set("count", count);
+  j.set("sum", sum);
+  j.set("min", min);
+  j.set("max", max);
+  j.set("min_value", config.min_value);
+  j.set("max_value", config.max_value);
+  j.set("rel_error", config.rel_error);
+  j.set("p50", quantile(0.50));
+  j.set("p90", quantile(0.90));
+  j.set("p99", quantile(0.99));
+  j.set("p999", quantile(0.999));
+  JsonValue buckets = JsonValue::object();
+  for (std::size_t b = 0; b < counts.size(); ++b)
+    if (counts[b] != 0) buckets.set(std::to_string(b), counts[b]);
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+ScopedLogTimer::ScopedLogTimer(IdFn id_fn) {
+  if (!enabled()) return;
+  id_ = id_fn();
+  t0_ = util::monotonic_seconds();
+  active_ = true;
+}
+
+ScopedLogTimer::~ScopedLogTimer() {
+  if (!active_) return;
+  const double elapsed = util::monotonic_seconds() - t0_;
+  MetricsRegistry::global().observe_log(id_, elapsed);
+}
+
+}  // namespace idlered::obs

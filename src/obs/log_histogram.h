@@ -1,0 +1,151 @@
+// Log-bucketed (HDR-style) latency histogram with bounded relative error.
+//
+// Fixed-bucket histograms (MetricsRegistry::histogram) force every site to
+// guess its value range up front and give no quantiles. A LogHistogram
+// covers [min_value, max_value) with geometrically spaced buckets of ratio
+// gamma = (1 + rel_error)^2, so any quantile estimated from a bucket's
+// geometric midpoint is within a factor (1 + rel_error) of the true order
+// statistic of the recorded stream — ~5% by default, over 18 decades,
+// in ~430 buckets.
+//
+// Write path mirrors MetricsRegistry: each writing thread gets a private
+// shard of relaxed atomics found through a serial-keyed thread-local
+// cache, so observe() after first touch is a handful of uncontended
+// atomic ops plus one log() — no locks, safe under the work-stealing
+// ThreadPool. snapshot() merges shards under the registration mutex and
+// is meant for quiescent points (end of bench / session).
+//
+// Determinism contract: nothing here reads a clock or feeds back into
+// evaluation; ScopedLogTimer reads util::monotonic_seconds but only
+// writes the result into the registry (write-only from the instrumented
+// code's point of view).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/json.h"
+
+namespace idlered::obs {
+
+/// Bucket layout of a LogHistogram. Value v maps to:
+///   bucket 0                     v < min_value  (underflow; also NaN)
+///   bucket 1 + floor(log(v/min_value) / log(gamma))   otherwise, capped
+///   bucket interior_buckets()+1  v >= min_value * gamma^interior_buckets()
+struct LogHistogramConfig {
+  double min_value = 1e-9;  ///< lower tracking bound (1 ns as seconds)
+  double max_value = 1e9;   ///< upper tracking bound
+  double rel_error = 0.05;  ///< quantile relative-error bound
+
+  /// Throws std::invalid_argument unless 0 < min_value < max_value (both
+  /// finite) and 0 < rel_error < 1.
+  void validate() const;
+
+  /// Bucket width ratio (1 + rel_error)^2: a geometric-midpoint estimate
+  /// of any value inside a bucket is off by at most sqrt(gamma) - 1 =
+  /// rel_error, relatively.
+  double gamma() const;
+
+  /// Number of interior buckets: ceil(log(max_value / min_value) /
+  /// log(gamma)). ~427 for the defaults.
+  std::size_t interior_buckets() const;
+
+  /// interior_buckets() + 2 (underflow + overflow).
+  std::size_t total_buckets() const;
+
+  /// Bucket index of a value, in [0, total_buckets()).
+  std::size_t bucket_index(double value) const;
+
+  /// Lower edge of interior bucket b in [1, interior_buckets()]; the
+  /// underflow bucket (b = 0) returns 0 and the overflow bucket returns
+  /// min_value * gamma^interior_buckets().
+  double bucket_lower(std::size_t bucket) const;
+
+  /// Quantile representative of a bucket: the geometric midpoint
+  /// lower * sqrt(gamma) for interior buckets, min_value for underflow,
+  /// and the overflow lower edge for overflow. Callers clamp against the
+  /// exact observed min/max.
+  double bucket_estimate(std::size_t bucket) const;
+
+  /// Exact same layout (bitwise-equal fields) — used to reject
+  /// re-registration under one name with a different shape.
+  bool same_layout(const LogHistogramConfig& other) const;
+};
+
+/// Merged view of one histogram, ready for reporting.
+struct LogHistogramSnapshot {
+  LogHistogramConfig config;
+  std::vector<std::uint64_t> counts;  ///< config.total_buckets() entries
+  std::uint64_t count = 0;            ///< total observations
+  double sum = 0.0;                   ///< sum of finite observed values
+  double min = 0.0;                   ///< exact observed extremes
+  double max = 0.0;                   ///< (both 0 while count == 0)
+
+  /// Order-statistic estimate at rank round(p * (count - 1)), clamped to
+  /// [min, max]. Within a factor (1 + rel_error) of the true sorted value
+  /// whenever that value lies in [min_value, max_value); exact at the
+  /// extremes. Returns 0.0 on an empty histogram. p must be in [0, 1].
+  double quantile(double p) const;
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"min_value":..,"max_value":..,
+  ///  "rel_error":..,"p50":..,"p90":..,"p99":..,"p999":..,
+  ///  "buckets":{"<index>":count,...}}  (sparse: zero buckets omitted)
+  util::JsonValue to_json() const;
+};
+
+/// The histogram itself. Thread-safe for concurrent observe(); snapshot()
+/// and reset() are safe concurrently with writers (per-slot consistent,
+/// like MetricsRegistry::snapshot).
+class LogHistogram {
+ public:
+  /// Validates the config (throws std::invalid_argument).
+  explicit LogHistogram(const LogHistogramConfig& config = {});
+  ~LogHistogram();
+
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Record one value. NaN counts in the underflow bucket but does not
+  /// touch sum/min/max; +-inf and out-of-range finite values land in the
+  /// overflow/underflow buckets (finite ones still update sum/min/max).
+  void observe(double value);
+
+  /// Merge all shards (see header comment for consistency caveats).
+  LogHistogramSnapshot snapshot() const;
+
+  /// Zero every shard. Only safe when no other thread is writing.
+  void reset();
+
+  const LogHistogramConfig& config() const;
+
+  /// Number of threads that have written so far.
+  std::size_t shard_count() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// RAII timer feeding a registry log-histogram in seconds. Constructed by
+/// IDLERED_LOG_TIMER with a stateless lambda that registers the metric
+/// once per site; does nothing when obs::enabled() is false at entry.
+class ScopedLogTimer {
+ public:
+  /// Returns the MetricsRegistry::Id of the target log-histogram.
+  using IdFn = std::size_t (*)();
+
+  explicit ScopedLogTimer(IdFn id_fn);
+  ~ScopedLogTimer();
+
+  ScopedLogTimer(const ScopedLogTimer&) = delete;
+  ScopedLogTimer& operator=(const ScopedLogTimer&) = delete;
+
+ private:
+  std::size_t id_ = 0;
+  double t0_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace idlered::obs

@@ -36,14 +36,19 @@ struct Shard {
   Shard() : ints(kIntSlots), doubles(kDoubleSlots) {}
 };
 
-enum class Kind { kCounter, kGauge, kHistogram };
+enum class Kind { kCounter, kGauge, kHistogram, kLogHistogram };
 
 struct Meta {
   Kind kind = Kind::kCounter;
   std::string name;
   std::size_t int_slot = 0;     ///< first integer slot (counter / buckets)
   std::size_t double_slot = 0;  ///< gauge value or histogram sum
-  std::vector<double> edges;    ///< histogram only
+  std::vector<double> edges;    ///< fixed-bucket histogram only
+  // A log-histogram manages its own per-thread shards (its bucket count
+  // would exhaust kIntSlots); the meta entry owns the instance. The
+  // pointer is set before meta_count is released, so the lock-free write
+  // path may dereference it for any published id.
+  std::unique_ptr<LogHistogram> log;
 };
 
 // Registries are identified by a process-unique serial rather than their
@@ -95,7 +100,9 @@ struct MetricsRegistry::Impl {
   }
 
   Id register_metric(Kind kind, const std::string& name,
-                     std::vector<double> edges) IDLERED_EXCLUDES(m) {
+                     std::vector<double> edges,
+                     const LogHistogramConfig* log_config = nullptr)
+      IDLERED_EXCLUDES(m) {
     util::LockGuard lock(m);
     const auto it = index.find(name);
     if (it != index.end()) {
@@ -108,6 +115,11 @@ struct MetricsRegistry::Impl {
         throw std::invalid_argument(
             "MetricsRegistry: histogram '" + name +
             "' re-registered with different bucket edges");
+      if (kind == Kind::kLogHistogram &&
+          !existing.log->config().same_layout(*log_config))
+        throw std::invalid_argument(
+            "MetricsRegistry: log_histogram '" + name +
+            "' re-registered with a different layout");
       return it->second;
     }
     const std::size_t n = meta_count.load(std::memory_order_relaxed);
@@ -128,6 +140,9 @@ struct MetricsRegistry::Impl {
         mm.int_slot = take_int_slots(edges.size() + 1);
         mm.double_slot = take_double_slots(1);
         mm.edges = std::move(edges);
+        break;
+      case Kind::kLogHistogram:
+        mm.log = std::make_unique<LogHistogram>(*log_config);
         break;
     }
     index.emplace(name, n);
@@ -179,6 +194,12 @@ MetricsRegistry::Id MetricsRegistry::histogram(const std::string& name,
   return impl_->register_metric(Kind::kHistogram, name, std::move(edges));
 }
 
+MetricsRegistry::Id MetricsRegistry::log_histogram(
+    const std::string& name, const LogHistogramConfig& config) {
+  config.validate();
+  return impl_->register_metric(Kind::kLogHistogram, name, {}, &config);
+}
+
 void MetricsRegistry::add(Id counter_id, std::uint64_t delta) {
   const Meta& mm = impl_->published(
       counter_id, Kind::kCounter,
@@ -209,6 +230,13 @@ void MetricsRegistry::observe(Id histogram_id, double value) {
   Shard& shard = impl_->local_shard();
   shard.ints[mm.int_slot + b].fetch_add(1, std::memory_order_relaxed);
   atomic_add(shard.doubles[mm.double_slot], value);
+}
+
+void MetricsRegistry::observe_log(Id log_histogram_id, double value) {
+  const Meta& mm = impl_->published(
+      log_histogram_id, Kind::kLogHistogram,
+      "MetricsRegistry::observe_log: id is not a registered log_histogram");
+  mm.log->observe(value);
 }
 
 std::uint64_t MetricsSnapshot::Histogram::total() const {
@@ -258,6 +286,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         snap.histograms.push_back(std::move(h));
         break;
       }
+      case Kind::kLogHistogram:
+        snap.log_histograms.push_back({mm.name, mm.log->snapshot()});
+        break;
     }
   }
   return snap;
@@ -269,6 +300,9 @@ void MetricsRegistry::reset() {
     for (auto& v : s->ints) v.store(0, std::memory_order_relaxed);
     for (auto& v : s->doubles) v.store(0.0, std::memory_order_relaxed);
   }
+  const std::size_t n = impl_->meta_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i)
+    if (impl_->meta[i].kind == Kind::kLogHistogram) impl_->meta[i].log->reset();
 }
 
 std::size_t MetricsRegistry::shard_count() const {
@@ -300,10 +334,14 @@ util::JsonValue MetricsSnapshot::to_json() const {
     hj.set("total", static_cast<double>(h.total()));
     hists_json.set(h.name, std::move(hj));
   }
+  JsonValue log_hists_json = JsonValue::object();
+  for (const LogHist& lh : log_histograms)
+    log_hists_json.set(lh.name, lh.hist.to_json());
   JsonValue out = JsonValue::object();
   out.set("counters", std::move(counters_json));
   out.set("gauges", std::move(gauges_json));
   out.set("histograms", std::move(hists_json));
+  out.set("log_histograms", std::move(log_hists_json));
   return out;
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/log_histogram.h"
 #include "util/json.h"
 
 namespace idlered::obs {
@@ -47,12 +48,18 @@ struct MetricsSnapshot {
     std::uint64_t total() const;          ///< sum of counts
   };
 
+  struct LogHist {
+    std::string name;
+    LogHistogramSnapshot hist;
+  };
+
   std::vector<Counter> counters;
   std::vector<Gauge> gauges;
   std::vector<Histogram> histograms;
+  std::vector<LogHist> log_histograms;
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} for the
-  /// BENCH_<name>.json obs block.
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///  "log_histograms": {...}} for the BENCH_<name>.json obs block.
   util::JsonValue to_json() const;
 };
 
@@ -76,12 +83,17 @@ class MetricsRegistry {
   /// counts values in [edges[i-1], edges[i]); the last bucket is the
   /// overflow [edges.back(), +inf). Values below edges[0] land in bucket 0.
   Id histogram(const std::string& name, std::vector<double> edges);
+  /// Log-bucketed quantile histogram (see obs/log_histogram.h).
+  /// Re-registering the same name with a different layout throws.
+  Id log_histogram(const std::string& name,
+                   const LogHistogramConfig& config = {});
 
   /// Hot-path writes. Ids must come from the matching register call on
   /// this registry (checked via IDLERED_EXPECTS).
   void add(Id counter_id, std::uint64_t delta = 1);
   void set(Id gauge_id, double value);
   void observe(Id histogram_id, double value);
+  void observe_log(Id log_histogram_id, double value);
 
   /// Merge all shards. See the header comment for consistency caveats.
   MetricsSnapshot snapshot() const;

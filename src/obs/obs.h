@@ -12,6 +12,11 @@
 //   IDLERED_COUNT("name")           global-registry counter += 1
 //   IDLERED_COUNT_ADD("name", n)    global-registry counter += n
 //   IDLERED_HIST("name", {e...}, v) observe v in a fixed-bucket histogram
+//   IDLERED_LOG_HIST("name", v)     observe v in a log-bucketed quantile
+//                                   histogram (obs::LogHistogram)
+//   IDLERED_LOG_TIMER("name")       RAII timer feeding a log-histogram of
+//                                   elapsed seconds ("name" should end in
+//                                   ".seconds")
 //   IDLERED_OBS_ONLY(code)          arbitrary code compiled out with obs;
 //                                   sites still guard it with
 //                                   obs::enabled() for the runtime gate
@@ -60,6 +65,27 @@
     }                                                                      \
   } while (0)
 
+#define IDLERED_LOG_HIST(name, value)                                       \
+  do {                                                                      \
+    if (::idlered::obs::enabled()) {                                        \
+      static const ::idlered::obs::MetricsRegistry::Id idlered_obs_id =     \
+          ::idlered::obs::MetricsRegistry::global().log_histogram(name);    \
+      ::idlered::obs::MetricsRegistry::global().observe_log(idlered_obs_id, \
+                                                            (value));       \
+    }                                                                       \
+  } while (0)
+
+// The stateless lambda registers once per site (function-local static)
+// and decays to ScopedLogTimer::IdFn; registration only runs when the
+// runtime gate is open at scope entry.
+#define IDLERED_LOG_TIMER(name)                                          \
+  ::idlered::obs::ScopedLogTimer IDLERED_OBS_CAT(idlered_obs_timer_,     \
+                                                 __LINE__)(+[]() {       \
+    static const ::idlered::obs::MetricsRegistry::Id idlered_obs_id =    \
+        ::idlered::obs::MetricsRegistry::global().log_histogram(name);   \
+    return static_cast<std::size_t>(idlered_obs_id);                     \
+  })
+
 #define IDLERED_OBS_ONLY(...) __VA_ARGS__
 
 #else  // IDLERED_OBS_DISABLED
@@ -75,6 +101,12 @@
   } while (0)
 #define IDLERED_HIST(name, edges, value) \
   do {                                   \
+  } while (0)
+#define IDLERED_LOG_HIST(name, value) \
+  do {                                \
+  } while (0)
+#define IDLERED_LOG_TIMER(name) \
+  do {                          \
   } while (0)
 #define IDLERED_OBS_ONLY(...)
 

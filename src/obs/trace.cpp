@@ -87,11 +87,10 @@ std::size_t Recorder::flush() {
   return impl_->lines.size();
 }
 
-const std::string& Recorder::sink_path() const
-    IDLERED_NO_THREAD_SAFETY_ANALYSIS {
-  // The path is written once in start() before any reader cares; returning
-  // a reference keeps the accessor allocation-free, at the price of an
-  // analysis opt-out for this deliberate unguarded read.
+std::string Recorder::sink_path() const {
+  // Returned by value under the lock: the copy costs one allocation on a
+  // cold path and lets the annotation hold with no analysis opt-out.
+  util::LockGuard lock(impl_->m);
   return impl_->sink_path;
 }
 

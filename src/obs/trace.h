@@ -68,7 +68,9 @@ class Recorder {
   /// failure, std::logic_error if start() gave no path.
   std::size_t flush();
 
-  const std::string& sink_path() const;
+  /// Copy of the sink path given at start() (value, taken under the
+  /// recorder lock — safe against a concurrent start()).
+  std::string sink_path() const;
 
   /// Copy of the buffered event lines (tests and exporters).
   std::vector<std::string> lines() const;

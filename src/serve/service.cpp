@@ -118,6 +118,7 @@ Admit DecisionService::submit(const StopEvent& event) {
 
 std::size_t DecisionService::pump(std::vector<Decision>& out) {
   IDLERED_SPAN("serve.pump");
+  IDLERED_LOG_TIMER("serve.pump.seconds");
   // One task per shard, chunk = 1: shard drains are coarse and skewed, so
   // work stealing balances them. Slots are disjoint per shard — the
   // pool's determinism contract — and concatenated in shard order below.

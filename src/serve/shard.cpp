@@ -9,6 +9,7 @@
 #include "core/analytic.h"
 #include "core/policies.h"
 #include "core/solver_lp.h"
+#include "obs/decision_trace.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "robust/health_monitor.h"
@@ -49,6 +50,79 @@ void trace_drain([[maybe_unused]] std::size_t shard,
   })
 }
 
+// The dspan chain (obs/decision_trace.h): every stage recomputes the
+// trace id from (seed, vehicle, seq), so no wire format changes and the
+// Decision stream stays bit-identical traced vs untraced.
+
+// Root of the chain, emitted from the producer thread when the queue
+// accepts the event. A point event: its timestamp is the admission time.
+void trace_ingest([[maybe_unused]] std::uint64_t seed,
+                  [[maybe_unused]] std::size_t shard,
+                  [[maybe_unused]] const StopEvent& event) {
+  IDLERED_OBS_ONLY(if (obs::enabled()) {
+    const double t0 = obs::recorder().now();
+    util::JsonValue ev = obs::make_dspan(
+        obs::decision_trace_id(seed, event.vehicle, event.seq), "ingest",
+        nullptr, t0, 0.0);
+    ev.set("shard", static_cast<double>(shard));
+    ev.set("vehicle", event.vehicle);
+    ev.set("seq", event.seq);
+    obs::recorder().emit(std::move(ev));
+  })
+}
+
+// Pricing stage, parented on the durability barrier when there is one.
+void trace_solve([[maybe_unused]] std::uint64_t seed,
+                 [[maybe_unused]] std::size_t shard,
+                 [[maybe_unused]] const StopEvent& event,
+                 [[maybe_unused]] robust::ControllerMode rung,
+                 [[maybe_unused]] const char* parent,
+                 [[maybe_unused]] double t0, [[maybe_unused]] bool replay) {
+  IDLERED_OBS_ONLY(if (obs::enabled()) {
+    const double dur = obs::recorder().now() - t0;
+    util::JsonValue ev = obs::make_dspan(
+        obs::decision_trace_id(seed, event.vehicle, event.seq), "solve",
+        parent, t0, dur);
+    ev.set("shard", static_cast<double>(shard));
+    ev.set("rung", robust::to_string(rung));
+    if (replay) ev.set("replay", true);
+    obs::recorder().emit(std::move(ev));
+  })
+}
+
+// Terminal stage, emitted for every outcome. The parent names the last
+// stage the event actually passed through: solve for priced events, the
+// WAL barrier for applied-but-rejected events on durable shards, ingest
+// for stale duplicates (which are never WAL-appended) and for
+// non-durable shards.
+void trace_decision([[maybe_unused]] std::uint64_t seed,
+                    [[maybe_unused]] std::size_t shard,
+                    [[maybe_unused]] const StopEvent& event,
+                    [[maybe_unused]] const Decision& d,
+                    [[maybe_unused]] bool durable,
+                    [[maybe_unused]] double t0, [[maybe_unused]] bool replay) {
+  IDLERED_OBS_ONLY(if (obs::enabled()) {
+    const double dur = obs::recorder().now() - t0;
+    const char* parent = "ingest";
+    if (d.outcome == Outcome::kDecided) {
+      parent = "solve";
+    } else if (d.outcome != Outcome::kRejectedStale && durable) {
+      parent = "wal";
+    }
+    util::JsonValue ev = obs::make_dspan(
+        obs::decision_trace_id(seed, event.vehicle, event.seq), "decision",
+        parent, t0, dur);
+    ev.set("shard", static_cast<double>(shard));
+    ev.set("vehicle", event.vehicle);
+    ev.set("seq", event.seq);
+    ev.set("outcome", to_string(d.outcome));
+    ev.set("rung", robust::to_string(d.rung));
+    ev.set("durable", durable);
+    if (replay) ev.set("replay", true);
+    obs::recorder().emit(std::move(ev));
+  })
+}
+
 }  // namespace
 
 void ShardParams::validate() const {
@@ -81,12 +155,16 @@ void Shard::attach_durable(const std::string& dir, bool fresh) {
 }
 
 Admit Shard::submit(const StopEvent& event) {
-  if (queue_.try_push(event)) return Admit::kAccepted;
+  if (queue_.try_push(event)) {
+    trace_ingest(params_.seed, params_.index, event);
+    return Admit::kAccepted;
+  }
   IDLERED_COUNT("serve.submit.rejected");
   return Admit::kRejectedQueueFull;
 }
 
 std::size_t Shard::drain(std::vector<Decision>& out) {
+  IDLERED_LOG_TIMER("serve.drain.seconds");
   const std::size_t depth = queue_.size();
   const robust::ControllerMode ceiling =
       shedder_.observe(depth, queue_.capacity());
@@ -112,6 +190,10 @@ std::size_t Shard::drain(std::vector<Decision>& out) {
   // prediction tracks in-batch seq advances so it matches apply order
   // exactly.
   if (durable()) {
+    IDLERED_OBS_ONLY(
+        const bool tracing = obs::enabled();
+        const double wal_t0 = tracing ? obs::recorder().now() : 0.0;
+        std::vector<const StopEvent*> walled;)
     std::map<std::uint64_t, std::uint64_t> pending;
     std::uint64_t index = apply_index_;
     for (const StopEvent& ev : batch_) {
@@ -125,8 +207,25 @@ std::size_t Shard::drain(std::vector<Decision>& out) {
       if (ev.seq == 0 || ev.seq <= last) continue;  // stale: pure no-op
       pending[ev.vehicle] = ev.seq;
       wal_.append(WalRecord{++index, ev, ceiling});
+      IDLERED_OBS_ONLY(if (tracing) walled.push_back(&ev);)
     }
-    wal_.flush();
+    {
+      IDLERED_LOG_TIMER("serve.wal_flush.seconds");
+      wal_.flush();
+    }
+    // One barrier, one dspan per record it covered: every record shares
+    // the barrier's t0/dur because none of its decisions may be emitted
+    // before the whole flush returns.
+    IDLERED_OBS_ONLY(if (tracing) {
+      const double wal_dur = obs::recorder().now() - wal_t0;
+      for (const StopEvent* ev : walled) {
+        util::JsonValue dspan = obs::make_dspan(
+            obs::decision_trace_id(params_.seed, ev->vehicle, ev->seq),
+            "wal", "ingest", wal_t0, wal_dur);
+        dspan.set("shard", static_cast<double>(params_.index));
+        obs::recorder().emit(std::move(dspan));
+      }
+    })
   }
 
   std::size_t applied = 0;
@@ -152,6 +251,16 @@ VehicleState& Shard::vehicle(std::uint64_t id) {
 
 Decision Shard::apply_event(const StopEvent& event,
                             robust::ControllerMode ceiling) {
+  double apply_t0 = 0.0;
+  IDLERED_OBS_ONLY(if (obs::enabled()) apply_t0 = obs::recorder().now();)
+  const Decision d = apply_event_impl(event, ceiling);
+  trace_decision(params_.seed, params_.index, event, d, durable(), apply_t0,
+                 replaying_);
+  return d;
+}
+
+Decision Shard::apply_event_impl(const StopEvent& event,
+                                 robust::ControllerMode ceiling) {
   Decision d;
   d.vehicle = event.vehicle;
   d.seq = event.seq;
@@ -200,8 +309,12 @@ Decision Shard::apply_event(const StopEvent& event,
   state.acc.insert(event.stop_length_s);
   d.outcome = Outcome::kDecided;
   robust::ControllerMode rung = ceiling;
+  double solve_t0 = 0.0;
+  IDLERED_OBS_ONLY(if (obs::enabled()) solve_t0 = obs::recorder().now();)
   d.threshold = decide_threshold(event, state, rung);
   d.rung = rung;
+  trace_solve(params_.seed, params_.index, event, rung,
+              durable() ? "wal" : "ingest", solve_t0, replaying_);
   IDLERED_COUNT("serve.decisions");
   return d;
 }
@@ -309,6 +422,7 @@ std::vector<Decision> Shard::recover() {
   }
 
   std::vector<Decision> replayed;
+  replaying_ = true;
   for (const WalRecord& rec : read_wal(dir_, params_.index)) {
     if (rec.index <= apply_index_) continue;  // already in the snapshot
     replayed.push_back(apply_event(rec.event, rec.ceiling));
@@ -317,6 +431,7 @@ std::vector<Decision> Shard::recover() {
     IDLERED_ENSURES(apply_index_ == rec.index,
                     "WAL replay index out of step with snapshot cursor");
   }
+  replaying_ = false;
   IDLERED_COUNT_ADD("serve.replayed", replayed.size());
   return replayed;
 }

@@ -140,7 +140,12 @@ class Shard {
 
  private:
   VehicleState& vehicle(std::uint64_t id) IDLERED_REQUIRES(pump_role_);
+  /// Thin tracing wrapper over apply_event_impl: times the apply and
+  /// emits the terminal "decision" dspan (obs builds, tracing on).
   Decision apply_event(const StopEvent& event, robust::ControllerMode ceiling)
+      IDLERED_REQUIRES(pump_role_);
+  Decision apply_event_impl(const StopEvent& event,
+                            robust::ControllerMode ceiling)
       IDLERED_REQUIRES(pump_role_);
   double decide_threshold(const StopEvent& event, VehicleState& state,
                           robust::ControllerMode& rung)
@@ -166,6 +171,9 @@ class Shard {
   /// Lazily registered per-shard queue-depth gauge (obs builds only).
   std::size_t gauge_id_ IDLERED_GUARDED_BY(pump_role_) = 0;
   bool gauge_registered_ IDLERED_GUARDED_BY(pump_role_) = false;
+  /// True while recover() replays the WAL: replayed dspans are flagged so
+  /// chain checks can exclude re-derived decisions.
+  bool replaying_ IDLERED_GUARDED_BY(pump_role_) = false;
   /// Zero-state capability object naming the pump-thread contract.
   mutable util::ThreadRole pump_role_;
 };

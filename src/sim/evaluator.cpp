@@ -104,9 +104,8 @@ CostTotals evaluate(const core::Policy& policy, std::span<const double> stops,
     IDLERED_COUNT("sim.evaluate.sampled_calls");
   }
   IDLERED_COUNT_ADD("sim.evaluate.stops", stops.size());
-  IDLERED_HIST("sim.evaluate.stops_per_call",
-               ({1.0, 10.0, 100.0, 1000.0, 10000.0}),
-               static_cast<double>(stops.size()));
+  IDLERED_LOG_HIST("sim.evaluate.stops_per_call",
+                   static_cast<double>(stops.size()));
 
   if (options.kernel == EvalKernel::kBatch) {
     IDLERED_COUNT("sim.evaluate.batch_calls");

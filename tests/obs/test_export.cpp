@@ -1,0 +1,174 @@
+// Exporter: Prometheus text rendering (types, cumulative buckets,
+// summary quantiles, name sanitization), the injectable-clock tick
+// cadence, atomic tmp+rename writes, and the flush-on-destruction
+// contract BenchRun relies on.
+#include "obs/export.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace idlered::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Unique scratch paths per test, cleaned up on scope exit.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : dir_(fs::temp_directory_path() /
+             ("idlered_export_" + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  const fs::path& dir() const { return dir_; }
+
+ private:
+  fs::path dir_;
+};
+
+TEST(ExporterConfigTest, ValidationRejectsDegenerateConfigs) {
+  ExporterConfig c;
+  EXPECT_THROW(c.validate(), std::invalid_argument);  // no paths at all
+  c.prometheus_path = "x.prom";
+  c.period_s = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.period_s = 1.0;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(PrometheusNameTest, SanitizesToLegalCharset) {
+  EXPECT_EQ(prometheus_name("serve.pump.seconds"), "serve_pump_seconds");
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+  EXPECT_EQ(prometheus_name("ok_name:sub"), "ok_name:sub");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+}
+
+TEST(PrometheusTextTest, RendersEveryMetricKind) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("serve.decisions"), 42);
+  reg.set(reg.gauge("queue.depth"), 7.5);
+  const auto h = reg.histogram("batch.sizes", {1.0, 10.0});
+  reg.observe(h, 0.5);   // below first edge
+  reg.observe(h, 5.0);   // middle
+  reg.observe(h, 50.0);  // overflow
+  const auto lh = reg.log_histogram("lat.seconds");
+  reg.observe_log(lh, 0.002);
+  reg.observe_log(lh, 0.004);
+
+  const std::string text = to_prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE serve_decisions counter\n"
+                      "serve_decisions 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge\nqueue_depth 7.5\n"),
+            std::string::npos);
+  // Fixed histograms export *cumulative* le-buckets plus the +Inf bucket
+  // equal to _count — the Prometheus histogram contract.
+  EXPECT_NE(text.find("batch_sizes_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("batch_sizes_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("batch_sizes_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("batch_sizes_count 3\n"), std::string::npos);
+  // Log histograms export as summaries with quantile labels.
+  EXPECT_NE(text.find("# TYPE lat_seconds summary\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.999\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 2\n"), std::string::npos);
+}
+
+TEST(ExporterTest, TickHonoursThePeriodWithAnInjectedClock) {
+  ScratchDir scratch("tick");
+  MetricsRegistry reg;
+  reg.add(reg.counter("ticks"), 1);
+  ExporterConfig config;
+  config.prometheus_path = scratch.path("m.prom");
+  config.json_path = scratch.path("m.json");
+  config.period_s = 1.0;
+  Exporter exporter(reg, config);
+
+  EXPECT_TRUE(exporter.tick(100.0));   // first tick always writes
+  EXPECT_FALSE(exporter.tick(100.5));  // inside the period: suppressed
+  EXPECT_FALSE(exporter.tick(100.9));
+  EXPECT_TRUE(exporter.tick(101.0));   // period elapsed
+  EXPECT_EQ(exporter.writes(), 2u);
+  EXPECT_TRUE(fs::exists(config.prometheus_path));
+  EXPECT_TRUE(fs::exists(config.json_path));
+  // Atomic writes: no .tmp litter once tick returns.
+  EXPECT_FALSE(fs::exists(config.prometheus_path + ".tmp"));
+  EXPECT_FALSE(fs::exists(config.json_path + ".tmp"));
+
+  const std::string json = read_file(config.json_path);
+  EXPECT_NE(json.find("\"schema\": \"idlered-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ticks\": 1"), std::string::npos);
+}
+
+TEST(ExporterTest, FlushWritesUnconditionally) {
+  ScratchDir scratch("flush");
+  MetricsRegistry reg;
+  const auto c = reg.counter("events");
+  reg.add(c, 5);
+  ExporterConfig config;
+  config.prometheus_path = scratch.path("m.prom");
+  Exporter exporter(reg, config);
+  ASSERT_TRUE(exporter.tick(0.0));
+  reg.add(c, 5);
+  exporter.flush();  // no tick needed: picks up the new value
+  EXPECT_EQ(exporter.writes(), 2u);
+  EXPECT_NE(read_file(config.prometheus_path).find("events 10\n"),
+            std::string::npos);
+}
+
+TEST(ExporterTest, DestructorFlushesFinalState) {
+  ScratchDir scratch("dtor");
+  MetricsRegistry reg;
+  const auto c = reg.counter("events");
+  ExporterConfig config;
+  config.prometheus_path = scratch.path("m.prom");
+  {
+    Exporter exporter(reg, config);
+    reg.add(c, 3);
+    // No tick at all: the destructor alone must leave a current file.
+  }
+  EXPECT_NE(read_file(config.prometheus_path).find("events 3\n"),
+            std::string::npos);
+}
+
+TEST(ExporterTest, TickThrowsWhenTheTargetIsUnwritable) {
+  ScratchDir scratch("err");
+  MetricsRegistry reg;
+  ExporterConfig config;
+  config.prometheus_path =
+      (scratch.dir() / "missing_subdir" / "m.prom").string();
+  Exporter exporter(reg, config);
+  EXPECT_THROW(exporter.tick(0.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace idlered::obs

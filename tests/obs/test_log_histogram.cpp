@@ -1,0 +1,240 @@
+// LogHistogram: bucket-layout algebra, the quantile relative-error bound
+// against an exact sort (the property the log spacing is designed to
+// guarantee), exact merge across concurrent writer threads, and the
+// registry integration (re-registration layout checks, snapshot, reset).
+#include "obs/log_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/random.h"
+
+namespace idlered::obs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Exact order statistic with the same rank convention as
+/// LogHistogramSnapshot::quantile: rank = round(p * (count - 1)).
+double exact_quantile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::llround(p * static_cast<double>(values.size() - 1)));
+  return values[rank];
+}
+
+TEST(LogHistogramConfigTest, ValidationRejectsDegenerateLayouts) {
+  EXPECT_NO_THROW(LogHistogramConfig{}.validate());
+  LogHistogramConfig c;
+  c.min_value = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.max_value = c.min_value;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.rel_error = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.rel_error = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = {};
+  c.max_value = kInf;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_THROW({ LogHistogram rejected(c); }, std::invalid_argument);
+}
+
+TEST(LogHistogramConfigTest, BucketIndexPartitionsTheRange) {
+  const LogHistogramConfig c;
+  const std::size_t n = c.interior_buckets();
+  EXPECT_EQ(c.total_buckets(), n + 2);
+  // The defaults cover 18 decades at ~5% error in a few hundred buckets —
+  // the "bounded memory" half of the design contract.
+  EXPECT_GT(n, 400u);
+  EXPECT_LT(n, 500u);
+
+  EXPECT_EQ(c.bucket_index(kNaN), 0u);
+  EXPECT_EQ(c.bucket_index(-1.0), 0u);
+  EXPECT_EQ(c.bucket_index(0.0), 0u);
+  EXPECT_EQ(c.bucket_index(c.min_value / 2), 0u);
+  EXPECT_EQ(c.bucket_index(c.min_value), 1u);
+  EXPECT_EQ(c.bucket_index(kInf), n + 1);
+  EXPECT_EQ(c.bucket_index(c.max_value * 10), n + 1);
+
+  // Edges are strictly increasing (gamma > 1); a bucket's geometric
+  // midpoint maps back to that bucket exactly. The edge itself may land
+  // one bucket down under floating-point jitter — harmless, because a
+  // value that close to an edge is within the error bound from either
+  // side's estimate.
+  const double root_gamma = std::sqrt(c.gamma());
+  for (std::size_t b = 1; b + 1 <= n; ++b) {
+    EXPECT_LT(c.bucket_lower(b), c.bucket_lower(b + 1));
+    EXPECT_EQ(c.bucket_index(c.bucket_lower(b) * root_gamma), b)
+        << "bucket " << b;
+    const std::size_t at_edge = c.bucket_index(c.bucket_lower(b));
+    EXPECT_TRUE(at_edge == b || at_edge == b - 1)
+        << "bucket " << b << " edge mapped to " << at_edge;
+  }
+}
+
+TEST(LogHistogramConfigTest, SameLayoutIsExactFieldEquality) {
+  const LogHistogramConfig a;
+  LogHistogramConfig b;
+  EXPECT_TRUE(a.same_layout(b));
+  b.rel_error = 0.01;
+  EXPECT_FALSE(a.same_layout(b));
+}
+
+TEST(LogHistogramTest, EmptySnapshotIsAllZero) {
+  const LogHistogram h;
+  const LogHistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_EQ(h.shard_count(), 0u);
+}
+
+TEST(LogHistogramTest, TracksExactSumMinMaxAndCount) {
+  LogHistogram h;
+  for (const double v : {0.25, 4.0, 1.0}) h.observe(v);
+  const LogHistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5.25);
+  EXPECT_DOUBLE_EQ(snap.min, 0.25);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+  // Quantiles at the extremes are exact: the estimate is clamped to the
+  // observed min/max, not the bucket midpoint.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 4.0);
+}
+
+TEST(LogHistogramTest, NanAndOutOfRangeLandInEdgeBuckets) {
+  LogHistogram h;
+  h.observe(kNaN);        // underflow bucket, no sum/min/max
+  h.observe(0.0);         // underflow bucket (below min_value), finite
+  h.observe(kInf);        // overflow bucket, no sum
+  h.observe(2e9);         // overflow bucket, finite: sum/min/max update
+  const LogHistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.counts.front(), 2u);
+  EXPECT_EQ(snap.counts.back(), 2u);
+  EXPECT_DOUBLE_EQ(snap.sum, 2e9);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 2e9);
+}
+
+// The headline property: every quantile of a lognormal latency stream —
+// the bench's actual shape — estimated to within rel_error of the exact
+// order statistic, at several error settings.
+TEST(LogHistogramTest, QuantilesWithinRelativeErrorOfExactSort) {
+  for (const double rel_error : {0.05, 0.01}) {
+    LogHistogramConfig config;
+    config.rel_error = rel_error;
+    LogHistogram h(config);
+    util::Rng rng(0xC0FFEE);
+    std::vector<double> values;
+    values.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+      const double v = rng.lognormal(-6.0, 1.5);  // ~2.5 ms median
+      values.push_back(v);
+      h.observe(v);
+    }
+    const LogHistogramSnapshot snap = h.snapshot();
+    ASSERT_EQ(snap.count, values.size());
+    for (const double p : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+      const double exact = exact_quantile(values, p);
+      const double est = snap.quantile(p);
+      EXPECT_LE(std::abs(est - exact), rel_error * exact)
+          << "p=" << p << " rel_error=" << rel_error << " exact=" << exact
+          << " est=" << est;
+    }
+  }
+}
+
+// Concurrent writers must merge exactly: the shard design may not drop or
+// double-count a single observation.
+TEST(LogHistogramTest, ConcurrentObserveMergesExactly) {
+  LogHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      util::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(rng.uniform(1e-6, 1e-3));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LogHistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_GE(snap.min, 1e-6);
+  EXPECT_LE(snap.max, 1e-3);
+  EXPECT_EQ(h.shard_count(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(LogHistogramTest, ResetZerosEveryShard) {
+  LogHistogram h;
+  h.observe(1.0);
+  h.observe(2.0);
+  h.reset();
+  const LogHistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+}
+
+TEST(LogHistogramTest, ToJsonCarriesQuantilesAndSparseBuckets) {
+  LogHistogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(1e-3 * i);
+  const util::JsonValue json = h.snapshot().to_json();
+  const std::string text = json.dump();
+  EXPECT_NE(text.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+  EXPECT_NE(text.find("\"rel_error\""), std::string::npos);
+  EXPECT_NE(text.find("\"buckets\""), std::string::npos);
+}
+
+TEST(LogHistogramRegistryTest, RegisterObserveSnapshotRoundTrip) {
+  MetricsRegistry reg;
+  const auto id = reg.log_histogram("latency.seconds");
+  EXPECT_EQ(id, reg.log_histogram("latency.seconds"));
+  reg.observe_log(id, 0.002);
+  reg.observe_log(id, 0.004);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.log_histograms.size(), 1u);
+  EXPECT_EQ(snap.log_histograms[0].name, "latency.seconds");
+  EXPECT_EQ(snap.log_histograms[0].hist.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.log_histograms[0].hist.sum, 0.006);
+
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().log_histograms[0].hist.count, 0u);
+}
+
+TEST(LogHistogramRegistryTest, ReRegistrationLayoutMismatchThrows) {
+  MetricsRegistry reg;
+  reg.log_histogram("latency.seconds");
+  LogHistogramConfig other;
+  other.rel_error = 0.01;
+  EXPECT_THROW(reg.log_histogram("latency.seconds", other),
+               std::invalid_argument);
+  // Kind collisions are rejected like every other metric kind.
+  reg.counter("calls");
+  EXPECT_THROW(reg.log_histogram("calls"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("latency.seconds"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace idlered::obs

@@ -1,0 +1,286 @@
+// Decision tracing contract tests.
+//
+// Two properties, stated once:
+//   * Tracing is WRITE-ONLY: a traced service produces a Decision stream
+//     bit-identical to an untraced one (same config, same events). The
+//     dspans cross-reference the decision stream; they never feed it.
+//   * The emitted dspans form complete parent-linked chains: every
+//     non-replay decision has an ingest root, a solve span iff it was
+//     priced, and a WAL span iff the shard was durable and the event was
+//     not a stale duplicate. Replayed decisions are flagged so offline
+//     completeness audits (tools/obs_report.py --chains) can exclude
+//     them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/decision_trace.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "serve/service.h"
+
+namespace idlered::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+[[maybe_unused]] std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "idlered_dtrace_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+ServeConfig base_config() {
+  ServeConfig c;
+  c.num_shards = 2;
+  c.threads = 2;
+  c.break_even = 60.0;
+  c.warmup_stops = 4;
+  c.queue_capacity = 256;
+  c.drain_batch = 32;
+  c.seed = 11;
+  return c;
+}
+
+// Deterministic schedule with the hostile paths mixed in: NaN stops
+// (rejected-invalid), backwards timestamps (rejected-out-of-order), and
+// duplicate seqs (rejected-stale) so every decision parent shows up.
+std::vector<StopEvent> schedule(std::size_t n, std::uint64_t vehicles) {
+  std::vector<StopEvent> events;
+  events.reserve(n);
+  std::vector<std::uint64_t> next_seq(vehicles + 1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = (i % vehicles) + 1;
+    StopEvent e;
+    e.vehicle = v;
+    e.seq = next_seq[v]++;
+    e.timestamp_s = static_cast<double>(e.seq);
+    e.stop_length_s = 15.0 + static_cast<double>((e.seq * 13 + v * 7) % 97);
+    if (i % 13 == 5) e.stop_length_s = kNan;
+    if (i % 17 == 9) e.timestamp_s = static_cast<double>(e.seq) - 1.5;
+    if (i % 11 == 7 && e.seq > 1) e.seq -= 1;  // stale duplicate
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<Decision> run_service(const ServeConfig& config,
+                                  const std::vector<StopEvent>& events) {
+  DecisionService svc(config);
+  std::vector<Decision> out;
+  std::size_t i = 0;
+  for (const StopEvent& e : events) {
+    EXPECT_EQ(svc.submit(e), Admit::kAccepted);
+    if (++i % 8 == 0) svc.pump(out);
+  }
+  svc.drain_all(out);
+  return out;
+}
+
+TEST(DecisionTraceIdTest, DeterministicAndHexStable) {
+  const std::uint64_t id = obs::decision_trace_id(11, 1002, 7);
+  EXPECT_EQ(id, obs::decision_trace_id(11, 1002, 7));
+  EXPECT_NE(id, obs::decision_trace_id(11, 1002, 8));
+  EXPECT_NE(id, obs::decision_trace_id(12, 1002, 7));
+
+  const std::string hex = obs::trace_id_hex(id);
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        << "non-hex digit " << c;
+  EXPECT_EQ(obs::trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(obs::trace_id_hex(0xdeadbeefcafef00dULL), "deadbeefcafef00d");
+}
+
+// The write-only contract. Runs in every build config: with obs compiled
+// out this degenerates to determinism across two identical runs, which
+// is exactly what the OFF-config CI leg should still assert.
+TEST(DecisionTraceTest, TracedStreamIsBitIdenticalToUntraced) {
+  const std::vector<StopEvent> events = schedule(600, 7);
+  const std::vector<Decision> untraced = run_service(base_config(), events);
+
+#if IDLERED_OBS_ENABLED
+  const std::string sink = fresh_dir("bitident") + "/trace.jsonl";
+  obs::recorder().start(sink);
+  const std::vector<Decision> traced = run_service(base_config(), events);
+  obs::recorder().stop();
+  obs::recorder().flush();
+#else
+  const std::vector<Decision> traced = run_service(base_config(), events);
+#endif
+
+  ASSERT_EQ(traced.size(), untraced.size());
+  for (std::size_t i = 0; i < traced.size(); ++i)
+    ASSERT_TRUE(bit_identical(traced[i], untraced[i]))
+        << "decision " << i << " diverged under tracing";
+}
+
+#if IDLERED_OBS_ENABLED
+
+/// Minimal dspan view scraped from the JSONL sink. The emitter writes one
+/// flat object per line, so field extraction by key substring is exact
+/// enough for these assertions (no string field contains '",').
+struct DspanLine {
+  std::string trace;
+  std::string stage;
+  std::string parent;
+  std::string outcome;
+  bool replay = false;
+  bool durable = false;
+};
+
+std::string str_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+std::vector<DspanLine> read_dspans(const std::string& path) {
+  std::vector<DspanLine> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\": \"dspan\"") == std::string::npos) continue;
+    DspanLine d;
+    d.trace = str_field(line, "trace");
+    d.stage = str_field(line, "stage");
+    d.parent = str_field(line, "parent");
+    d.outcome = str_field(line, "outcome");
+    d.replay = line.find("\"replay\": true") != std::string::npos;
+    d.durable = line.find("\"durable\": true") != std::string::npos;
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<DspanLine>> by_trace(
+    const std::vector<DspanLine>& spans) {
+  std::map<std::string, std::vector<DspanLine>> chains;
+  for (const DspanLine& d : spans) chains[d.trace].push_back(d);
+  return chains;
+}
+
+void check_chains(const std::vector<DspanLine>& spans, bool durable) {
+  std::set<std::string> outcomes_seen;
+  std::size_t decisions = 0;
+  for (const auto& [trace, chain] : by_trace(spans)) {
+    std::set<std::string> stages;
+    for (const DspanLine& d : chain)
+      if (!d.replay) stages.insert(d.stage);
+    for (const DspanLine& d : chain) {
+      if (d.stage != "decision" || d.replay) continue;
+      ++decisions;
+      outcomes_seen.insert(d.outcome);
+      EXPECT_EQ(d.durable, durable) << "trace " << trace;
+      EXPECT_TRUE(stages.count("ingest")) << "trace " << trace;
+      if (d.outcome == "decided") {
+        EXPECT_TRUE(stages.count("solve")) << "trace " << trace;
+        EXPECT_EQ(d.parent, "solve") << "trace " << trace;
+      }
+      if (durable && d.outcome != "rejected-stale") {
+        EXPECT_TRUE(stages.count("wal")) << "trace " << trace;
+        if (d.outcome != "decided") {
+          EXPECT_EQ(d.parent, "wal") << "trace " << trace;
+        }
+      }
+      if (d.outcome == "rejected-stale") {
+        EXPECT_EQ(d.parent, "ingest") << "trace " << trace;
+      }
+      if (!durable && d.outcome != "decided") {
+        EXPECT_EQ(d.parent, "ingest") << "trace " << trace;
+      }
+    }
+  }
+  EXPECT_GT(decisions, 0u);
+  // The hostile schedule must have exercised the full outcome spread —
+  // otherwise the parent assertions above were vacuous.
+  EXPECT_TRUE(outcomes_seen.count("decided"));
+  EXPECT_TRUE(outcomes_seen.count("rejected-invalid"));
+  EXPECT_TRUE(outcomes_seen.count("rejected-out-of-order"));
+  EXPECT_TRUE(outcomes_seen.count("rejected-stale"));
+}
+
+TEST(DecisionTraceTest, InMemoryChainsAreCompleteAndParentLinked) {
+  const std::string sink = fresh_dir("mem") + "/trace.jsonl";
+  obs::recorder().start(sink);
+  run_service(base_config(), schedule(600, 7));
+  obs::recorder().stop();
+  obs::recorder().flush();
+  const std::vector<DspanLine> spans = read_dspans(sink);
+  EXPECT_FALSE(spans.empty());
+  check_chains(spans, /*durable=*/false);
+  for (const DspanLine& d : spans)
+    EXPECT_FALSE(d.replay) << "no replay spans without recovery";
+}
+
+TEST(DecisionTraceTest, DurableChainsIncludeTheWalBarrier) {
+  const std::string dir = fresh_dir("wal");
+  ServeConfig config = base_config();
+  config.durable_dir = dir;
+  const std::string sink = dir + "/trace.jsonl";
+  obs::recorder().start(sink);
+  run_service(config, schedule(600, 7));
+  obs::recorder().stop();
+  obs::recorder().flush();
+  check_chains(read_dspans(sink), /*durable=*/true);
+}
+
+TEST(DecisionTraceTest, ReplayedDecisionsAreFlagged) {
+  const std::string dir = fresh_dir("replay");
+  ServeConfig config = base_config();
+  config.durable_dir = dir;
+  const std::vector<StopEvent> events = schedule(200, 5);
+
+  // Crash mid-stream: feed and pump, then drop the service without
+  // shutdown. The WAL tail past the last checkpoint replays on recover.
+  {
+    DecisionService svc(config);
+    std::vector<Decision> out;
+    std::size_t i = 0;
+    for (const StopEvent& e : events) {
+      ASSERT_EQ(svc.submit(e), Admit::kAccepted);
+      if (++i % 32 == 0) svc.pump(out);
+    }
+    svc.drain_all(out);
+  }
+
+  const std::string sink = dir + "/trace.jsonl";
+  obs::recorder().start(sink);
+  const DecisionService::Recovered recovered =
+      DecisionService::recover(config);
+  obs::recorder().stop();
+  obs::recorder().flush();
+
+  ASSERT_FALSE(recovered.replayed.empty())
+      << "schedule must leave a WAL tail for this test to bite";
+  const std::vector<DspanLine> spans = read_dspans(sink);
+  std::size_t replay_decisions = 0;
+  for (const DspanLine& d : spans) {
+    // Recovery emits only replayed solve/decision spans: no ingest (the
+    // events do not pass through the queue again) and no WAL barrier.
+    EXPECT_TRUE(d.replay) << "stage " << d.stage;
+    EXPECT_NE(d.stage, "ingest");
+    EXPECT_NE(d.stage, "wal");
+    if (d.stage == "decision") ++replay_decisions;
+  }
+  EXPECT_EQ(replay_decisions, recovered.replayed.size());
+}
+
+#endif  // IDLERED_OBS_ENABLED
+
+}  // namespace
+}  // namespace idlered::serve

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""bench_diff: perf-regression gate over BENCH_<name>.json envelopes.
+
+Compares a freshly produced schema-v2 bench envelope against a committed
+baseline (bench/baselines/BENCH_<name>.json) and exits nonzero when a
+gated metric regressed beyond tolerance. Metrics are auto-discovered from
+the numeric leaves of the envelope's "results" payload and classified by
+naming convention:
+
+  throughput  *_per_sec, *_speedup*      regression = fresh below baseline
+  latency     *_us                       regression = fresh above baseline
+  budget      *alloc*, *failures*        regression = fresh above baseline
+                                         (absolute, tolerance ignored:
+                                         these are exact invariants)
+  config      events, vehicles, cells,   must match exactly or the
+              *_bound, schema_version    comparison is meaningless -> 2
+
+Leaves that match nothing (wall-clock seconds, quantile bucket dumps, …)
+are informational only: wall seconds re-gate what the rate metrics
+already cover, and buckets are not scalars.
+
+Usage:
+  tools/bench_diff.py bench/baselines/BENCH_lp_arena.json BENCH_lp_arena.json
+  tools/bench_diff.py BASE.json FRESH.json --tolerance 0.30
+  tools/bench_diff.py BASE.json FRESH.json --list
+
+Tolerance is relative (default 0.10 = 10%); CI passes a generous value
+because shared runners are noisy, local runs can afford a tight one.
+Exit codes: 0 ok, 1 regression, 2 usage/IO/config mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 2
+
+CONFIG_KEYS = {"events", "vehicles", "cells", "schema_version"}
+
+
+def flatten(obj, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested dict, keyed by /-joined paths."""
+    out: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            out.update(flatten(value, f"{prefix}/{key}" if prefix else key))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix] = float(obj)
+    return out
+
+
+def classify(path: str) -> str:
+    leaf = path.rsplit("/", 1)[-1]
+    if leaf in CONFIG_KEYS or leaf.endswith("_bound"):
+        return "config"
+    if "/buckets/" in path:
+        return "info"
+    if leaf.endswith("_per_sec") or "speedup" in leaf:
+        return "throughput"
+    if leaf.endswith("_us"):
+        return "latency"
+    if "alloc" in leaf or leaf.endswith("failures"):
+        return "budget"
+    return "info"
+
+
+def load_envelope(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: envelope is not a JSON object")
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: schema_version "
+                         f"{payload.get('schema_version')!r} != "
+                         f"{SCHEMA_VERSION}")
+    if not isinstance(payload.get("bench"), str):
+        raise ValueError(f"{path}: missing \"bench\" name")
+    return payload
+
+
+def fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="bench_diff.py",
+                                     description=__doc__)
+    parser.add_argument("baseline", help="committed baseline envelope")
+    parser.add_argument("fresh", help="freshly produced envelope")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="relative regression tolerance (default 0.10)")
+    parser.add_argument("--list", action="store_true",
+                        help="list gated metrics and exit")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    try:
+        base = load_envelope(args.baseline)
+        fresh = load_envelope(args.fresh)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_diff: error: {e}", file=sys.stderr)
+        return 2
+
+    if base["bench"] != fresh["bench"]:
+        print(f"bench_diff: error: bench name mismatch "
+              f"({base['bench']!r} vs {fresh['bench']!r})", file=sys.stderr)
+        return 2
+
+    # The obs block is runtime telemetry (trace stats, metric snapshots),
+    # not a bench result — never gate on it.
+    base_leaves = flatten({k: v for k, v in base.items() if k != "obs"})
+    fresh_leaves = flatten({k: v for k, v in fresh.items() if k != "obs"})
+
+    if args.list:
+        for path in sorted(base_leaves):
+            kind = classify(path)
+            if kind not in ("info",):
+                print(f"{kind:>10}  {path}")
+        return 0
+
+    regressions: list[str] = []
+    mismatches: list[str] = []
+    rows: list[tuple[str, str, str, str, str, str]] = []
+    for path in sorted(base_leaves):
+        kind = classify(path)
+        if kind == "info":
+            continue
+        if path not in fresh_leaves:
+            regressions.append(f"{path}: present in baseline, missing in "
+                               f"fresh run")
+            continue
+        b, f = base_leaves[path], fresh_leaves[path]
+        if kind == "config":
+            if b != f:
+                mismatches.append(f"{path}: baseline {fmt(b)} != fresh "
+                                  f"{fmt(f)}")
+            continue
+        if kind == "budget":
+            ok = f <= b
+            delta = f"{f - b:+g}"
+        elif kind == "throughput":
+            ok = f >= b * (1.0 - args.tolerance)
+            delta = f"{(f - b) / b:+.1%}" if b else "n/a"
+        else:  # latency
+            ok = f <= b * (1.0 + args.tolerance)
+            delta = f"{(f - b) / b:+.1%}" if b else "n/a"
+        verdict = "ok" if ok else "REGRESSED"
+        rows.append((kind, path, fmt(b), fmt(f), delta, verdict))
+        if not ok:
+            regressions.append(f"{path}: baseline {fmt(b)} -> fresh "
+                               f"{fmt(f)} ({delta}, {kind}, tolerance "
+                               f"{args.tolerance:.0%})")
+
+    new_gates = [p for p in sorted(fresh_leaves)
+                 if p not in base_leaves and classify(p) not in
+                 ("info", "config")]
+
+    print(f"bench_diff: {base['bench']} — {args.baseline} vs {args.fresh} "
+          f"(tolerance {args.tolerance:.0%})")
+    if rows:
+        widths = [max(len(r[c]) for r in rows) for c in range(6)]
+        for r in rows:
+            print("  " + "  ".join(
+                r[c].ljust(widths[c]) if c in (0, 1) else r[c].rjust(widths[c])
+                for c in range(6)))
+    if new_gates:
+        print("  note: fresh-only metrics (no baseline yet): "
+              + ", ".join(new_gates))
+
+    if mismatches:
+        print("bench_diff: config mismatch — baseline and fresh runs are "
+              "not comparable:", file=sys.stderr)
+        for m in mismatches:
+            print(f"  {m}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"bench_diff: {len(regressions)} regression(s):",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"bench_diff: ok ({len(rows)} gated metric(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -18,11 +18,22 @@ Usage:
   tools/obs_report.py TRACE_fig5_sweep_b28.jsonl
   tools/obs_report.py TRACE.jsonl --metrics BENCH_fig5_sweep_b28.json
   tools/obs_report.py --validate TRACE.jsonl [--metrics BENCH.json]
+  tools/obs_report.py TRACE.jsonl --trace-tree 9f3c2a7e4b1d8e05
+  tools/obs_report.py TRACE.jsonl --chains [--min-complete 0.99]
 
 --validate checks structure instead of rendering: every line must parse as
 a JSON object with a known "type", the required fields per type, and a
 numeric timestamp; the metrics file must carry schema_version 2 and an
 "obs" block. Exit codes: 0 ok, 1 validation failure, 2 usage/IO error.
+
+--trace-tree renders one decision's parent-linked dspan timeline (the
+ingest -> [wal] -> solve -> decision chain for a 16-hex trace id, as
+emitted by the serve path when tracing is on).
+
+--chains audits end-to-end completeness: every non-replay decision dspan
+must have an ingest root, a solve span when the outcome is "decided", and
+a wal span when the shard was durable and the event was admitted. Exits 1
+when the complete fraction drops below --min-complete (default 0.99).
 """
 
 from __future__ import annotations
@@ -61,7 +72,15 @@ EVENT_FIELDS = {
     "shed": {"pump": NUMERIC, "from": str, "to": str, "depth": NUMERIC},
     "serve_drain": {"shard": NUMERIC, "pump": NUMERIC, "depth": NUMERIC,
                     "popped": NUMERIC, "ceiling": str},
+    # Decision-scoped span: one per pipeline stage of one streamed stop
+    # event, keyed by a 16-hex trace id derived from (seed, vehicle, seq).
+    # Stages: ingest (root) -> [wal] -> solve -> decision; non-root stages
+    # carry "parent". Replayed (WAL-recovered) stages carry replay=true.
+    "dspan": {"trace": str, "stage": str, "thread": NUMERIC,
+              "t0": NUMERIC, "dur": NUMERIC},
 }
+
+DSPAN_STAGES = {"ingest", "wal", "solve", "decision"}
 
 ENGINE_DECISION_FIELDS = {"vertex": str, "strategy": str, "vehicle": str,
                           "wc_cr": NUMERIC, "realized_cr": NUMERIC}
@@ -109,6 +128,17 @@ def load_trace(path: str) -> tuple[list[dict], list[str]]:
             if not isinstance(ev.get("t"), NUMERIC):
                 errors.append(f"{where}: missing/invalid timestamp \"t\"")
             errors.extend(check_fields(ev, EVENT_FIELDS[etype], where))
+            if etype == "dspan":
+                stage = ev.get("stage")
+                if stage not in DSPAN_STAGES:
+                    errors.append(f"{where}: dspan stage {stage!r} not in "
+                                  f"{sorted(DSPAN_STAGES)}")
+                trace = ev.get("trace")
+                if isinstance(trace, str) and not (
+                        len(trace) == 16
+                        and all(c in "0123456789abcdef" for c in trace)):
+                    errors.append(f"{where}: dspan trace {trace!r} is not "
+                                  f"a 16-digit lowercase hex id")
             if etype == "decision":
                 if "vertex" in ev:
                     errors.extend(check_fields(
@@ -145,6 +175,22 @@ def load_metrics(path: str) -> tuple[dict, list[str]]:
         errors.append(f"{path}: missing \"obs\" block")
     elif not isinstance(obs.get("metrics"), dict):
         errors.append(f"{path}: obs block lacks a \"metrics\" snapshot")
+    else:
+        for section in ("counters", "gauges", "histograms",
+                        "log_histograms"):
+            if not isinstance(obs["metrics"].get(section), dict):
+                errors.append(f"{path}: metrics snapshot lacks the "
+                              f"\"{section}\" section")
+        for name, h in obs["metrics"].get("log_histograms", {}).items():
+            if not isinstance(h, dict):
+                errors.append(f"{path}: log histogram {name!r} is not an "
+                              f"object")
+                continue
+            for key in ("count", "sum", "rel_error",
+                        "p50", "p90", "p99", "p999"):
+                if not isinstance(h.get(key), NUMERIC):
+                    errors.append(f"{path}: log histogram {name!r} lacks "
+                                  f"numeric {key!r}")
     return payload, errors
 
 
@@ -255,6 +301,129 @@ def render_fallback_timeline(events: list[dict], limit: int = 40) -> str:
     return out
 
 
+def group_dspans(events: list[dict]) -> dict[str, list[dict]]:
+    chains: dict[str, list[dict]] = collections.defaultdict(list)
+    for ev in events:
+        if ev["type"] == "dspan":
+            chains[ev["trace"]].append(ev)
+    return chains
+
+
+def chain_missing(spans: list[dict], decision: dict) -> list[str]:
+    """Stages a non-replay decision's chain is missing, per the serve
+    pipeline's emission contract (src/serve/shard.cpp):
+
+      ingest    always (the root span, emitted on queue admission)
+      solve     iff the outcome is "decided" (only priced events solve)
+      wal       iff the shard was durable and the event was not predicted
+                stale (the barrier appends exactly the non-stale events)
+    """
+    stages = {s["stage"] for s in spans if not s.get("replay")}
+    missing = []
+    if "ingest" not in stages:
+        missing.append("ingest")
+    if decision.get("outcome") == "decided" and "solve" not in stages:
+        missing.append("solve")
+    if (decision.get("durable")
+            and decision.get("outcome") != "rejected-stale"
+            and "wal" not in stages):
+        missing.append("wal")
+    return missing
+
+
+def render_trace_tree(events: list[dict], trace_id: str) -> tuple[str, int]:
+    """Render one decision's parent-linked timeline; (text, exit code)."""
+    spans = group_dspans(events).get(trace_id, [])
+    if not spans:
+        return (f"trace {trace_id}: no dspan events "
+                f"(is this a --trace run of the serve path?)\n", 1)
+    order = {"ingest": 0, "wal": 1, "solve": 2, "decision": 3}
+    spans.sort(key=lambda s: (order.get(s["stage"], 9), s["t0"]))
+    t_base = min(s["t0"] for s in spans)
+    by_stage = {s["stage"]: s for s in spans}
+    out = f"trace {trace_id}:\n"
+    for s in spans:
+        depth = 0
+        parent = s.get("parent")
+        seen = set()
+        while parent and parent in by_stage and parent not in seen:
+            seen.add(parent)
+            depth += 1
+            parent = by_stage[parent].get("parent")
+        extra = [f"{k}={s[k]}" for k in
+                 ("shard", "vehicle", "seq", "rung", "outcome", "durable")
+                 if k in s]
+        if s.get("replay"):
+            extra.append("replay")
+        out += (f"  {'  ' * depth}{s['stage']:<8} "
+                f"+{(s['t0'] - t_base) * 1e6:9.1f} us  "
+                f"dur {s['dur'] * 1e6:9.1f} us  thread {int(s['thread'])}"
+                + (f"  ({', '.join(extra)})" if extra else "") + "\n")
+    decision = by_stage.get("decision")
+    if decision is not None and not decision.get("replay"):
+        missing = chain_missing(spans, decision)
+        if missing:
+            out += f"  INCOMPLETE: missing stage(s) {', '.join(missing)}\n"
+            return out, 1
+        out += "  chain complete\n"
+    return out, 0
+
+
+def render_chains(events: list[dict], min_complete: float) -> tuple[str, int]:
+    """Audit ingest->WAL chain completeness; (text, exit code)."""
+    chains = group_dspans(events)
+    total = complete = 0
+    examples: list[str] = []
+    stage_counts: collections.Counter = collections.Counter(
+        s["stage"] for spans in chains.values() for s in spans)
+    for trace, spans in chains.items():
+        decision = next((s for s in spans if s["stage"] == "decision"
+                         and not s.get("replay")), None)
+        if decision is None:
+            continue  # replay-only or ingest-only trace: not auditable
+        total += 1
+        missing = chain_missing(spans, decision)
+        if not missing:
+            complete += 1
+        elif len(examples) < 5:
+            examples.append(f"  {trace}: missing {', '.join(missing)} "
+                            f"(outcome={decision.get('outcome')})")
+    breakdown = ", ".join(f"{k}={n}" for k, n in stage_counts.most_common())
+    out = f"dspan stages: {breakdown or 'none'}\n"
+    if total == 0:
+        out += ("decision chains: no non-replay decision dspans found "
+                "(was the serve path traced?)\n")
+        return out, 1
+    frac = complete / total
+    out += (f"decision chains: {complete}/{total} complete "
+            f"({frac:.2%}, floor {min_complete:.2%})\n")
+    if examples:
+        out += "incomplete examples:\n" + "\n".join(examples) + "\n"
+    return out, 0 if frac >= min_complete else 1
+
+
+def render_log_histograms(metrics: dict) -> str:
+    log_hists = metrics.get("log_histograms", {})
+    if not log_hists:
+        return ""
+    rows = [["log histogram", "count", "p50", "p90", "p99", "p99.9",
+             "max", "rel err"]]
+    for name in sorted(log_hists):
+        h = log_hists[name]
+        # Timer histograms (".seconds") render human units; anything else
+        # (e.g. stops-per-call) is a bare number.
+        fmt = (fmt_seconds if name.endswith(".seconds")
+               else lambda v: f"{v:.4g}")
+        rows.append([
+            name, str(h.get("count")),
+            fmt(h.get("p50", 0.0)), fmt(h.get("p90", 0.0)),
+            fmt(h.get("p99", 0.0)), fmt(h.get("p999", 0.0)),
+            fmt(h.get("max", 0.0)),
+            f"{h.get('rel_error', 0.0):.0%}"])
+    return ("latency quantiles (log-bucketed, bounded relative error):\n"
+            + render_table(rows) + "\n")
+
+
 def render_metrics(payload: dict) -> str:
     obs = payload.get("obs", {})
     metrics = obs.get("metrics", {})
@@ -285,7 +454,9 @@ def render_metrics(payload: dict) -> str:
             else:
                 labels.append(f">={edges[-1]}")
             out += f"    {labels[-1]}: {count}\n"
-    if not counters and not gauges and not metrics.get("histograms"):
+    out += render_log_histograms(metrics)
+    if (not counters and not gauges and not metrics.get("histograms")
+            and not metrics.get("log_histograms")):
         out += "  (empty — run with --trace to enable collection)\n"
     return out
 
@@ -299,10 +470,20 @@ def main(argv: list[str]) -> int:
                         help="BENCH_<name>.json envelope to summarize")
     parser.add_argument("--validate", action="store_true",
                         help="validate structure instead of rendering")
+    parser.add_argument("--trace-tree", metavar="TRACE_ID",
+                        help="render one decision's dspan timeline "
+                             "(16-hex trace id)")
+    parser.add_argument("--chains", action="store_true",
+                        help="audit ingest->WAL dspan chain completeness")
+    parser.add_argument("--min-complete", type=float, default=0.99,
+                        metavar="FRAC",
+                        help="--chains failure floor (default 0.99)")
     args = parser.parse_args(argv)
 
     if not args.trace and not args.metrics:
         parser.error("nothing to do: give a trace file and/or --metrics")
+    if (args.trace_tree or args.chains) and not args.trace:
+        parser.error("--trace-tree/--chains need a trace file")
 
     events: list[dict] = []
     payload: dict = {}
@@ -336,6 +517,15 @@ def main(argv: list[str]) -> int:
         for err in errors:
             print(f"warning: {err}", file=sys.stderr)
 
+    if args.trace_tree:
+        text, code = render_trace_tree(events, args.trace_tree)
+        print(text, end="")
+        return code
+    if args.chains:
+        text, code = render_chains(events, args.min_complete)
+        print(text, end="")
+        return code
+
     if events:
         meta = next((e for e in events if e["type"] == "meta"), {})
         counts = collections.Counter(e["type"] for e in events)
@@ -345,6 +535,8 @@ def main(argv: list[str]) -> int:
         print(render_spans(events))
         print(render_decision_mix(events))
         print(render_fallback_timeline(events))
+        if any(e["type"] == "dspan" for e in events):
+            print(render_chains(events, 0.0)[0])
     if payload:
         print(render_metrics(payload))
     return 0

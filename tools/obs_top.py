@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""obs_top: live terminal view of an obs::Exporter metrics file.
+
+Polls a METRICS_<name>.json file (the JSON side of the exporter pair;
+written atomically, so a read never sees a torn document) and redraws a
+compact dashboard: counters with per-interval rates, gauges, and the
+log-histogram latency quantiles. Point it at the file a bench writes when
+run with --export and watch the serve pipeline in flight:
+
+  build/bench/bench_serve_throughput --trace --export &
+  tools/obs_top.py METRICS_serve_throughput.json
+
+Options:
+  --interval SECONDS   poll period (default 1.0)
+  --once               render a single frame and exit (no screen clearing;
+                       this is what CI uses to smoke the format)
+  --filter PREFIX      only show metrics whose name starts with PREFIX
+
+Exit codes: 0 on quit/EOF, 2 if the file never appears or is invalid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != "idlered-metrics-v1":
+        raise ValueError(f"{path}: not an idlered-metrics-v1 document")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: missing \"metrics\" block")
+    return doc
+
+
+def fmt_value(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.1f}us"
+
+
+def render(doc: dict, prev: dict | None, name_filter: str) -> str:
+    metrics = doc["metrics"]
+    prev_counters = (prev or {}).get("metrics", {}).get("counters", {})
+    dt = None
+    if prev is not None:
+        dt = doc.get("t", 0.0) - prev.get("t", 0.0)
+        if not dt or dt <= 0:
+            dt = None
+    lines = [f"obs_top — export t={doc.get('t', 0.0):.3f}s "
+             f"write #{doc.get('writes', '?')}"]
+
+    counters = {k: v for k, v in metrics.get("counters", {}).items()
+                if k.startswith(name_filter)}
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        for k in sorted(counters):
+            rate = ""
+            if dt is not None and k in prev_counters:
+                rate = f"  ({(counters[k] - prev_counters[k]) / dt:,.0f}/s)"
+            lines.append(f"  {k.ljust(width)}  "
+                         f"{fmt_value(counters[k]):>12}{rate}")
+
+    gauges = {k: v for k, v in metrics.get("gauges", {}).items()
+              if k.startswith(name_filter)}
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        for k in sorted(gauges):
+            lines.append(f"  {k.ljust(width)}  {fmt_value(gauges[k]):>12}")
+
+    log_hists = {k: v for k, v in metrics.get("log_histograms", {}).items()
+                 if k.startswith(name_filter)}
+    if log_hists:
+        lines.append("latency quantiles:")
+        width = max(len(k) for k in log_hists)
+        for k in sorted(log_hists):
+            h = log_hists[k]
+            fmt = fmt_seconds if k.endswith(".seconds") else fmt_value
+            lines.append(
+                f"  {k.ljust(width)}  n={h.get('count', 0):<8} "
+                f"p50={fmt(h.get('p50', 0.0)):>9} "
+                f"p90={fmt(h.get('p90', 0.0)):>9} "
+                f"p99={fmt(h.get('p99', 0.0)):>9} "
+                f"p99.9={fmt(h.get('p999', 0.0)):>9} "
+                f"max={fmt(h.get('max', 0.0)):>9}")
+
+    if len(lines) == 1:
+        lines.append("  (no metrics match)" if name_filter
+                     else "  (no metrics yet)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="obs_top.py", description=__doc__)
+    parser.add_argument("path", help="METRICS_<name>.json written by "
+                                     "obs::Exporter")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="poll period in seconds (default 1.0)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit")
+    parser.add_argument("--filter", default="", metavar="PREFIX",
+                        help="only metrics starting with PREFIX")
+    args = parser.parse_args(argv)
+
+    prev: dict | None = None
+    waited = 0.0
+    while True:
+        try:
+            doc = load(args.path)
+        except FileNotFoundError:
+            if args.once or waited >= 30.0:
+                print(f"obs_top: error: {args.path} not found",
+                      file=sys.stderr)
+                return 2
+            time.sleep(args.interval)
+            waited += args.interval
+            continue
+        except (ValueError, json.JSONDecodeError) as e:
+            print(f"obs_top: error: {e}", file=sys.stderr)
+            return 2
+
+        frame = render(doc, prev, args.filter)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI home+clear keeps the frame flicker-free on any terminal;
+        # plain scrolling when stdout is a pipe.
+        if os.isatty(1):
+            sys.stdout.write("\x1b[H\x1b[2J")
+        print(frame, flush=True)
+        prev = doc
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
