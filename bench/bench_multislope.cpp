@@ -1,0 +1,170 @@
+// Multislope (k-slope) sweep: where does a third engine state pay?
+//
+// Runs the Figure-5 methodology (Chicago-shaped law rescaled per mean stop
+// length, B = 28 s) over the standard two-slope lineup PLUS the multislope
+// family on a 3-slope profile (idle / HVAC-preserving intermediate state /
+// deep off), and reports per-point mean CR of the 3-slope generalized COA
+// against the paper's two-slope COA. Because every policy's CR denominator
+// stays the two-slope offline min(y, B), a mean CR below COA's — or below
+// 1.0 — is a real fuel saving the two-state controller cannot reach.
+//
+// Invariant-gated exit code (all three must hold):
+//   1. engine thread-invariance: full-width report bit-identical to 1
+//      thread;
+//   2. the arena-LP generalized COA matches the closed form with zero
+//      mismatches on every sweep cohort — both on the k = 2 profile
+//      (where the pass IS the two-slope COA differential) and on the
+//      3-slope profile (per-transition);
+//   3. at least one sweep regime where the 3-slope MS-COA beats the
+//      two-slope COA on mean CR.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_run.h"
+#include "common/sweep.h"
+#include "costmodel/multislope.h"
+#include "engine/strategy.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace idlered;
+  bench::BenchRun run("multislope", argc, argv);
+
+  std::printf("%s",
+              util::banner("Multislope sweep: 3-slope engine-state profile "
+                           "vs the two-slope lineup (B = 28 s)").c_str());
+
+  bench::SweepConfig config = bench::default_sweep(28.0);
+  const auto fleets = bench::build_sweep_fleets(config);
+
+  // Intermediate state at 0.3x idle draw for 15 s-equivalent switch cost
+  // (the HVAC-preserving tier of ablation A5); deep off stays the paper's
+  // B = 28 s so the offline accounting is unchanged.
+  const auto profile3 = costmodel::SlopeProfile::three_state(0.3, 15.0, 28.0);
+  const auto profile2 = costmodel::SlopeProfile::two_slope(28.0);
+  std::printf("3-slope profile: %s\n\n", profile3.describe().c_str());
+
+  engine::EvalPlan plan = bench::make_sweep_plan(config, fleets);
+  const auto ms = engine::multislope_strategy_set(profile3);
+  plan.strategies.insert(plan.strategies.end(), ms.begin(), ms.end());
+
+  engine::EvalSession wide(plan);
+  const auto report = wide.run();
+  engine::EvalPlan plan1 = plan;
+  plan1.threads = 1;
+  engine::EvalSession narrow(std::move(plan1));
+  const auto report1 = narrow.run();
+
+  // Invariant 1: bit-identical CRs regardless of pool width.
+  bool bitwise = true;
+  for (std::size_t p = 0; p < report.points.size(); ++p) {
+    const auto& vs = report.points[p].comparison.vehicles;
+    const auto& vs1 = report1.points[p].comparison.vehicles;
+    for (std::size_t v = 0; v < vs.size(); ++v)
+      for (std::size_t s = 0; s < vs[v].cr.size(); ++s)
+        if (vs[v].cr[s] != vs1[v].cr[s]) bitwise = false;
+  }
+
+  const auto index_of = [&](const char* name) {
+    return static_cast<std::size_t>(
+        std::find(report.strategy_names.begin(), report.strategy_names.end(),
+                  name) -
+        report.strategy_names.begin());
+  };
+  const std::size_t i_coa = index_of("COA");
+  const std::size_t i_ms_coa = index_of("MS-COA");
+  const std::size_t i_ms_det = index_of("MS-DET");
+  const std::size_t i_ms_rand = index_of("MS-Rand");
+
+  // Invariant 3: the fig5-style table, mean CR of COA vs the 3-slope
+  // family; count the regimes (sweep points) where 3 slopes win.
+  util::Table table({"mean_stop_s", "COA", "MS-COA(k3)", "MS-DET(k3)",
+                     "MS-Rand(k3)", "k3 wins"});
+  int win_points = 0;
+  double best_gain = 0.0;
+  double first_win_mean = 0.0;
+  util::JsonValue series = util::JsonValue::array();
+  for (const auto& rp : report.points) {
+    const auto mean = rp.comparison.mean_cr();
+    const bool wins = mean[i_ms_coa] < mean[i_coa] - 1e-9;
+    if (wins) {
+      if (win_points == 0) first_win_mean = rp.axis;
+      ++win_points;
+      best_gain = std::max(best_gain, mean[i_coa] - mean[i_ms_coa]);
+    }
+    table.add_row({util::fmt(rp.axis, 1), util::fmt(mean[i_coa], 3),
+                   util::fmt(mean[i_ms_coa], 3), util::fmt(mean[i_ms_det], 3),
+                   util::fmt(mean[i_ms_rand], 3), wins ? "yes" : ""});
+    util::JsonValue row = util::JsonValue::object();
+    row.set("mean_stop_s", rp.axis);
+    row.set("mean_cr_coa", mean[i_coa]);
+    row.set("mean_cr_ms_coa", mean[i_ms_coa]);
+    row.set("mean_cr_ms_det", mean[i_ms_det]);
+    row.set("mean_cr_ms_rand", mean[i_ms_rand]);
+    row.set("k3_beats_k2", wins);
+    series.push_back(std::move(row));
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("3-slope MS-COA beats two-slope COA on mean CR at %d/%zu "
+              "sweep points (first win at mean %.1f s, best mean-CR gain "
+              "%.3f).\n",
+              win_points, report.points.size(), first_win_mean, best_gain);
+
+  // Invariant 2: the generalized COA through the arena LP, one batched
+  // solve_constrained_lp_batch pass per cohort, cross-checked against the
+  // closed form. k = 2 first (the two-slope COA differential), then the
+  // 3-slope per-transition pass.
+  lp::WorkspacePool pool(2, 3);
+  std::size_t solves_k2 = 0, mismatches_k2 = 0;
+  std::size_t solves_k3 = 0, mismatches_k3 = 0;
+  double seconds_k2 = 0.0, seconds_k3 = 0.0;
+  for (const auto& pf : fleets) {
+    const auto b2 = bench::multislope_coa_lp_batch(*pf.fleet, profile2, pool);
+    solves_k2 += b2.solves;
+    mismatches_k2 += b2.mismatches;
+    seconds_k2 += b2.seconds;
+    const auto b3 = bench::multislope_coa_lp_batch(*pf.fleet, profile3, pool);
+    solves_k3 += b3.solves;
+    mismatches_k3 += b3.mismatches;
+    seconds_k3 += b3.seconds;
+  }
+  std::printf("\nbatched generalized-COA LP: k=2 %zu solves (%.4f s, %zu "
+              "mismatches vs closed-form COA) | k=3 %zu solves (%.4f s, "
+              "%zu mismatches vs per-transition closed form)\n",
+              solves_k2, seconds_k2, mismatches_k2, solves_k3, seconds_k3,
+              mismatches_k3);
+  std::printf("engine threads=%d vs threads=1: %s\n", report.threads,
+              bitwise ? "bit-identical" : "MISMATCH");
+
+  run.stage_report(report);
+  util::JsonValue extra = util::JsonValue::object();
+  extra.set("bitwise_thread_invariant", bitwise);
+  extra.set("profile", profile3.describe());
+  extra.set("k3_win_points", static_cast<double>(win_points));
+  extra.set("first_win_mean_stop_s", first_win_mean);
+  extra.set("best_mean_cr_gain", best_gain);
+  extra.set("series", std::move(series));
+  run.stage("multislope_sweep", std::move(extra));
+  // Leaf names follow the bench_diff gating conventions: `*_per_sec`
+  // must not drop (throughput), `*_failures` must not rise at all (the
+  // differential is an exact invariant), `vehicles`/`cells` are config.
+  util::JsonValue lp_payload = util::JsonValue::object();
+  lp_payload.set("vehicles",
+                 static_cast<double>(config.vehicles_per_point));
+  lp_payload.set("cells", static_cast<double>(solves_k2 + solves_k3));
+  lp_payload.set("k2_solves_per_sec",
+                 seconds_k2 > 0.0 ? static_cast<double>(solves_k2) / seconds_k2
+                                  : 0.0);
+  lp_payload.set("k2_mismatch_failures", static_cast<double>(mismatches_k2));
+  lp_payload.set("k3_solves_per_sec",
+                 seconds_k3 > 0.0 ? static_cast<double>(solves_k3) / seconds_k3
+                                  : 0.0);
+  lp_payload.set("k3_mismatch_failures", static_cast<double>(mismatches_k3));
+  run.stage("multislope_coa_lp_batch", std::move(lp_payload));
+
+  const bool ok =
+      bitwise && mismatches_k2 == 0 && mismatches_k3 == 0 && win_points >= 1;
+  std::printf("\ninvariants: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

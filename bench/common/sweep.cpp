@@ -181,4 +181,41 @@ CoaBatchSummary coa_lp_batch(const sim::Fleet& fleet, double break_even,
   return summary;
 }
 
+MultislopeCoaBatchSummary multislope_coa_lp_batch(
+    const sim::Fleet& fleet, const costmodel::SlopeProfile& profile,
+    lp::WorkspacePool& pool) {
+  const engine::FleetCache cache(fleet);
+
+  MultislopeCoaBatchSummary summary;
+  summary.vehicles = cache.size();
+  summary.transitions = profile.num_transitions();
+  summary.solves = summary.vehicles * summary.transitions;
+
+  std::vector<core::LpBatchProblem> problems;
+  problems.reserve(summary.solves);
+  std::vector<core::LpStrategySolution> out(summary.solves);
+
+  // Same clock scope as coa_lp_batch: the per-(vehicle, transition) stats
+  // lookups plus the single batched LP pass; the fleet cache build stays
+  // outside (shared with the evaluation engine).
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t v = 0; v < cache.size(); ++v) {
+    for (double t : profile.breakpoints())
+      problems.push_back(
+          core::LpBatchProblem{cache.vehicle(v).stats_for(t), t});
+  }
+  core::solve_constrained_lp_batch(problems, pool, out);
+  summary.seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    summary.strategy_counts[static_cast<std::size_t>(out[i].strategy)]++;
+    const core::Strategy closed_form =
+        core::choose_strategy(problems[i].stats, problems[i].break_even)
+            .strategy;
+    if (out[i].strategy != closed_form) summary.mismatches++;
+  }
+  return summary;
+}
+
 }  // namespace idlered::bench

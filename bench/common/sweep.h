@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "costmodel/multislope.h"
 #include "engine/eval_session.h"
 #include "lp/arena.h"
 #include "sim/fleet_eval.h"
@@ -93,5 +94,30 @@ struct CoaBatchSummary {
 
 CoaBatchSummary coa_lp_batch(const sim::Fleet& fleet, double break_even,
                              lp::WorkspacePool& pool);
+
+/// Batched multislope generalized-COA LP pass: one eq. (32)-(33) vertex LP
+/// per (vehicle, transition) cell, each at its transition's own break-even
+/// t_i, staged vehicle-major and solved in ONE per-entry
+/// `core::solve_constrained_lp_batch` pass through the pool. Every
+/// selection is cross-checked against the closed-form `choose_strategy()`
+/// at the same (stats, t_i); on SlopeProfile::two_slope(B) the pass is
+/// exactly coa_lp_batch's differential (one transition at t_0 = B), so
+/// `mismatches == 0` is the "LP COA == closed-form two-slope COA" gate.
+struct MultislopeCoaBatchSummary {
+  std::size_t vehicles = 0;
+  std::size_t transitions = 0;   ///< per vehicle (profile.num_transitions())
+  std::size_t solves = 0;        ///< vehicles * transitions
+  double seconds = 0.0;          ///< batch wall time (stats + LP solves)
+  std::size_t mismatches = 0;    ///< LP vertex != closed-form choice
+  std::size_t strategy_counts[4] = {0, 0, 0, 0};  ///< per core::Strategy
+
+  double solves_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(solves) / seconds : 0.0;
+  }
+};
+
+MultislopeCoaBatchSummary multislope_coa_lp_batch(
+    const sim::Fleet& fleet, const costmodel::SlopeProfile& profile,
+    lp::WorkspacePool& pool);
 
 }  // namespace idlered::bench

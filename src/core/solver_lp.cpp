@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "lp/simplex.h"
 #include "util/contracts.h"
@@ -42,6 +43,45 @@ LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
   return solve_constrained_lp(stats, break_even, workspace);
 }
 
+namespace {
+
+// Shared primal -> strategy mapping of every solve path (one-shot,
+// workspace, per-entry batch), so all three stay bit-for-bit identical by
+// construction.
+LpStrategySolution map_lp_solution(const dist::ShortStopStats& stats,
+                                   double break_even,
+                                   const LpCoefficients& k, bool gamma_usable,
+                                   std::span<const double> x,
+                                   double objective_value) {
+  LpStrategySolution out;
+  out.alpha = x[0];
+  out.beta = x[1];
+  out.gamma = x[2];
+  out.expected_cost = objective_value + k.constant;
+  IDLERED_ENSURES(out.alpha >= -1e-9 && out.beta >= -1e-9 &&
+                      out.gamma >= -1e-9 &&
+                      out.alpha + out.beta + out.gamma <= 1.0 + 1e-9,
+                  "solve_constrained_lp: (alpha, beta, gamma) must be a "
+                  "sub-probability vector (eq. 33)");
+  IDLERED_ENSURES(std::isfinite(out.expected_cost) &&
+                      out.expected_cost >= 0.0,
+                  "solve_constrained_lp: optimal cost must be finite and "
+                  "non-negative (eq. 32)");
+  if (gamma_usable && out.gamma > 0.5) {
+    out.strategy = Strategy::kBDet;
+    out.b = b_det_optimal_threshold(stats, break_even);
+  } else if (out.alpha > 0.5) {
+    out.strategy = Strategy::kToi;
+  } else if (out.beta > 0.5) {
+    out.strategy = Strategy::kDet;
+  } else {
+    out.strategy = Strategy::kNRand;
+  }
+  return out;
+}
+
+}  // namespace
+
 LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
                                         double break_even,
                                         lp::Workspace& workspace) {
@@ -69,31 +109,8 @@ LpStrategySolution solve_constrained_lp(const dist::ShortStopStats& stats,
     throw std::runtime_error("solve_constrained_lp: LP not optimal: " +
                              lp::to_string(sol.status));
 
-  LpStrategySolution out;
-  out.alpha = sol.x[0];
-  out.beta = sol.x[1];
-  out.gamma = sol.x[2];
-  out.expected_cost = sol.objective_value + k.constant;
-  IDLERED_ENSURES(out.alpha >= -1e-9 && out.beta >= -1e-9 &&
-                      out.gamma >= -1e-9 &&
-                      out.alpha + out.beta + out.gamma <= 1.0 + 1e-9,
-                  "solve_constrained_lp: (alpha, beta, gamma) must be a "
-                  "sub-probability vector (eq. 33)");
-  IDLERED_ENSURES(std::isfinite(out.expected_cost) &&
-                      out.expected_cost >= 0.0,
-                  "solve_constrained_lp: optimal cost must be finite and "
-                  "non-negative (eq. 32)");
-  if (gamma_usable && out.gamma > 0.5) {
-    out.strategy = Strategy::kBDet;
-    out.b = b_det_optimal_threshold(stats, break_even);
-  } else if (out.alpha > 0.5) {
-    out.strategy = Strategy::kToi;
-  } else if (out.beta > 0.5) {
-    out.strategy = Strategy::kDet;
-  } else {
-    out.strategy = Strategy::kNRand;
-  }
-  return out;
+  return map_lp_solution(stats, break_even, k, gamma_usable, sol.x,
+                         sol.objective_value);
 }
 
 std::size_t solve_constrained_lp_batch(
@@ -108,6 +125,58 @@ std::size_t solve_constrained_lp_batch(
     out[i] = solve_constrained_lp(stats[i], break_even, workspace);
   }
   return stats.size();
+}
+
+std::size_t solve_constrained_lp_batch(
+    std::span<const LpBatchProblem> problems, lp::WorkspacePool& pool,
+    std::span<LpStrategySolution> out, std::size_t slot) {
+  IDLERED_EXPECTS(out.size() == problems.size(),
+                  "solve_constrained_lp_batch: one output slot per problem "
+                  "required");
+  const std::size_t n = problems.size();
+  if (n == 0) return 0;
+
+  // Every problem shares the constraint structure of eq. (33): row 0 is
+  // a + b + g <= 1 and — when the b-DET vertex is infeasible — row 1 is
+  // g <= 0. Only the objective differs per problem, so one shared
+  // coefficient/sense/rhs block serves the whole cohort and the staging
+  // cost is one objective triple plus one primal triple per problem.
+  static constexpr double kCoeffs[6] = {1.0, 1.0, 1.0, 0.0, 0.0, 1.0};
+  static constexpr double kRhs[2] = {1.0, 0.0};
+  static constexpr lp::Sense kSenses[2] = {lp::Sense::kLessEqual,
+                                           lp::Sense::kLessEqual};
+
+  std::vector<LpCoefficients> ks(n);
+  std::vector<double> objectives(3 * n);
+  std::vector<double> primals(3 * n);
+  std::vector<lp::ProblemView> views(n);
+  std::vector<lp::BatchResult> results(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ks[i] = lp_coefficients(problems[i].stats, problems[i].break_even);
+    const bool gamma_usable = std::isfinite(ks[i].k_gamma);
+    const std::size_t m = gamma_usable ? 1 : 2;
+    objectives[3 * i + 0] = ks[i].k_alpha;
+    objectives[3 * i + 1] = ks[i].k_beta;
+    objectives[3 * i + 2] = gamma_usable ? ks[i].k_gamma : 0.0;
+    views[i].objective = std::span<const double>(&objectives[3 * i], 3);
+    views[i].coeffs = std::span<const double>(kCoeffs, 3 * m);
+    views[i].senses = std::span<const lp::Sense>(kSenses, m);
+    views[i].rhs = std::span<const double>(kRhs, m);
+    views[i].x_out = std::span<double>(&primals[3 * i], 3);
+  }
+
+  lp::solve_batch(pool, views, results, slot);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!results[i].optimal())
+      throw std::runtime_error("solve_constrained_lp_batch: LP not optimal: " +
+                               lp::to_string(results[i].status));
+    out[i] = map_lp_solution(problems[i].stats, problems[i].break_even, ks[i],
+                             std::isfinite(ks[i].k_gamma),
+                             std::span<const double>(&primals[3 * i], 3),
+                             results[i].objective_value);
+  }
+  return n;
 }
 
 }  // namespace idlered::core

@@ -57,6 +57,27 @@ std::size_t solve_constrained_lp_batch(
     lp::WorkspacePool& pool, std::span<LpStrategySolution> out,
     std::size_t slot = 0);
 
+/// One eq. (32)-(33) vertex LP with its own break-even interval — the unit
+/// of the per-entry batched overload below. The multislope generalized COA
+/// produces one entry per (vehicle, transition), each at the transition's
+/// own break-even t_i.
+struct LpBatchProblem {
+  dist::ShortStopStats stats;
+  double break_even = 0.0;
+};
+
+/// Per-entry break-even batch: stages every vertex LP into flat storage up
+/// front and solves the whole cohort in ONE `lp::solve_batch` pass through
+/// the given pool slot (primal outputs land in per-problem spans, so
+/// results survive workspace reuse). Solutions are bit-for-bit identical
+/// to per-entry `solve_constrained_lp` calls (the arena guarantees batch
+/// == N scalar solves; the strategy mapping is shared code). Throws like
+/// the scalar path on infeasible statistics or a non-optimal LP. Returns
+/// the number of problems solved.
+std::size_t solve_constrained_lp_batch(
+    std::span<const LpBatchProblem> problems, lp::WorkspacePool& pool,
+    std::span<LpStrategySolution> out, std::size_t slot = 0);
+
 /// The K coefficients of eq. (32), exposed for tests/ablations. K_gamma is
 /// +infinity when the b-DET vertex is infeasible (eq. 36 violated).
 struct LpCoefficients {

@@ -1,0 +1,168 @@
+#include "costmodel/multislope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace idlered::costmodel {
+
+namespace {
+
+// Envelope crossing of two slopes a (shallower, cheaper) and b: the stop
+// length at which line b_b + r_b y drops below b_a + r_a y.
+double crossing(const Slope& a, const Slope& b) {
+  return (b.switch_cost - a.switch_cost) / (a.rate - b.rate);
+}
+
+}  // namespace
+
+SlopeProfile::SlopeProfile(std::vector<Slope> slopes) {
+  IDLERED_EXPECTS(!slopes.empty(),
+                  "SlopeProfile: at least one slope required");
+  for (const Slope& s : slopes) {
+    IDLERED_EXPECTS(std::isfinite(s.rate) && s.rate >= 0.0,
+                    "SlopeProfile: every rate must be finite and >= 0");
+    IDLERED_EXPECTS(std::isfinite(s.switch_cost) && s.switch_cost >= 0.0,
+                    "SlopeProfile: every switch cost must be finite and "
+                    ">= 0");
+  }
+
+  // Canonical order: by switch cost, ties broken toward the lower rate so
+  // the dominance pass below keeps the useful one.
+  std::sort(slopes.begin(), slopes.end(),
+            [](const Slope& a, const Slope& b) {
+              return a.switch_cost != b.switch_cost
+                         ? a.switch_cost < b.switch_cost
+                         : a.rate < b.rate;
+            });
+  // lint: allow(float-compare): contract on an exact sentinel zero
+  IDLERED_EXPECTS(slopes.front().switch_cost == 0.0,
+                  "SlopeProfile: the cheapest slope must have switch cost 0 "
+                  "(the vehicle starts in a free state)");
+
+  // Lower-envelope construction in one stack pass. A candidate is
+  // dominated when it is no faster than the last kept slope (it pays more
+  // to run no cheaper); a kept slope is popped when the candidate
+  // overtakes the envelope at or before the point where the kept slope
+  // did (the kept slope never owns an envelope segment).
+  states_.reserve(slopes.size());
+  for (const Slope& s : slopes) {
+    if (!states_.empty() && s.rate >= states_.back().rate) {
+      ++pruned_;
+      continue;
+    }
+    while (states_.size() >= 2 &&
+           crossing(states_[states_.size() - 2], s) <=
+               crossing(states_[states_.size() - 2], states_.back())) {
+      states_.pop_back();
+      ++pruned_;
+    }
+    states_.push_back(s);
+  }
+
+  breakpoints_.reserve(states_.size() - 1);
+  for (std::size_t i = 0; i + 1 < states_.size(); ++i)
+    breakpoints_.push_back(crossing(states_[i], states_[i + 1]));
+
+  for (std::size_t i = 0; i + 1 < breakpoints_.size(); ++i) {
+    IDLERED_ASSERT_INVARIANT(breakpoints_[i] < breakpoints_[i + 1],
+                             "SlopeProfile: breakpoints must be strictly "
+                             "increasing after convexification");
+  }
+  for (std::size_t i = 0; i + 1 < states_.size(); ++i) {
+    IDLERED_ASSERT_INVARIANT(
+        states_[i].rate > states_[i + 1].rate &&
+            states_[i].switch_cost < states_[i + 1].switch_cost,
+        "SlopeProfile: retained slopes must have strictly decreasing rates "
+        "and strictly increasing switch costs");
+  }
+}
+
+SlopeProfile SlopeProfile::two_slope(double break_even) {
+  IDLERED_EXPECTS(std::isfinite(break_even) && break_even > 0.0,
+                  "SlopeProfile::two_slope: break-even must be finite and "
+                  "> 0");
+  return SlopeProfile({{1.0, 0.0}, {0.0, break_even}});
+}
+
+SlopeProfile SlopeProfile::three_state(double mid_rate, double mid_cost,
+                                       double deep_cost) {
+  IDLERED_EXPECTS(std::isfinite(mid_rate) && mid_rate > 0.0 && mid_rate < 1.0,
+                  "SlopeProfile::three_state: mid rate must be in (0, 1)");
+  IDLERED_EXPECTS(std::isfinite(mid_cost) && mid_cost > 0.0 &&
+                      std::isfinite(deep_cost) && deep_cost > mid_cost,
+                  "SlopeProfile::three_state: need 0 < mid_cost < deep_cost");
+  return SlopeProfile({{1.0, 0.0}, {mid_rate, mid_cost}, {0.0, deep_cost}});
+}
+
+double SlopeProfile::delta_rate(std::size_t transition) const {
+  return states_[transition].rate - states_[transition + 1].rate;
+}
+
+double SlopeProfile::delta_cost(std::size_t transition) const {
+  return states_[transition + 1].switch_cost - states_[transition].switch_cost;
+}
+
+double SlopeProfile::offline_cost(double y) const {
+  IDLERED_EXPECTS(std::isfinite(y) && y >= 0.0,
+                  "SlopeProfile::offline_cost: y must be finite and >= 0");
+  double best = states_[0].switch_cost + states_[0].rate * y;
+  for (std::size_t i = 1; i < states_.size(); ++i) {
+    const double c = states_[i].switch_cost + states_[i].rate * y;
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+std::size_t SlopeProfile::offline_state(double y) const {
+  IDLERED_EXPECTS(std::isfinite(y) && y >= 0.0,
+                  "SlopeProfile::offline_state: y must be finite and >= 0");
+  std::size_t j = 0;
+  while (j < breakpoints_.size() && breakpoints_[j] <= y) ++j;
+  return j;
+}
+
+bool SlopeProfile::classic() const {
+  // lint: allow(float-compare): classic() is an exact-shape test by design
+  return states_.size() == 2 && states_[0].rate == 1.0 &&
+         // lint: allow(float-compare): classic() is an exact-shape test
+         states_[0].switch_cost == 0.0 && states_[1].rate == 0.0;
+}
+
+std::string SlopeProfile::describe() const {
+  std::ostringstream os;
+  os << states_.size() << " slopes:";
+  for (const Slope& s : states_)
+    os << " (" << s.rate << ", " << s.switch_cost << ")";
+  if (pruned_ > 0) os << " [" << pruned_ << " pruned]";
+  return os.str();
+}
+
+double envelope_follower_cost(const SlopeProfile& profile, double y) {
+  // The follower rents along the envelope, so its rent equals OPT(y); the
+  // unrecovered part is the switch cost of the deepest state entered.
+  const double opt = profile.offline_cost(y);
+  return opt + profile.state(profile.offline_state(y)).switch_cost;
+}
+
+double randomized_envelope_cost(const SlopeProfile& profile, double y) {
+  IDLERED_EXPECTS(std::isfinite(y) && y >= 0.0,
+                  "randomized_envelope_cost: y must be finite and >= 0");
+  // Per the decomposition, scaling every transition time by the shared
+  // factor s = ln(1 + u(e-1)) gives each component exactly the two-slope
+  // N-Rand threshold law at its own break-even, and N-Rand equalizes:
+  // E[comp_i(y)] = e/(e-1) min(dr_i y, db_i), independent of how the
+  // component draws correlate.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < profile.num_transitions(); ++i) {
+    const double rent = profile.delta_rate(i) * y;
+    const double buy = profile.delta_cost(i);
+    sum += rent < buy ? rent : buy;
+  }
+  return profile.terminal_rate() * y + util::kEOverEMinus1 * sum;
+}
+
+}  // namespace idlered::costmodel

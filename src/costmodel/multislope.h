@@ -1,0 +1,144 @@
+// The k-slope engine-state machine (multislope ski rental).
+//
+// The paper's two-slope model — idle at rate 1 vs. off at restart cost B —
+// is the k = 2 case of the multislope ski-rental problem of Lotker,
+// Patt-Shamir & Rawitz (PAPERS.md): a vehicle exposes k engine states, each
+// a (running rate r_i, cumulative switch-in cost b_i) pair. Stop-start
+// accessory mode, partial shutdown, and HEV modes are intermediate slopes
+// between "idling" and "deep off". The offline optimum is the lower
+// envelope
+//
+//     OPT(y) = min_i (b_i + r_i y),
+//
+// and `SlopeProfile` is that envelope in canonical form: slopes sorted by
+// switch cost, dominated slopes pruned, non-convex slopes removed, so that
+// the retained rates are strictly decreasing, the costs strictly
+// increasing, and the envelope breakpoints
+//
+//     t_i = (b_{i+1} - b_i) / (r_i - r_{i+1})        (transition i)
+//
+// strictly increasing. Every retained slope carries a segment of the
+// envelope.
+//
+// The load-bearing identity behind every cost function in this module is
+// the additive decomposition into independent classic two-slope components:
+// for transition i let dr_i = r_i - r_{i+1} and db_i = b_{i+1} - b_i; then
+// for any schedule that enters state i+1 at time x_i,
+//
+//     cost(y) = r_{k-1} y + sum_i comp_i(y),
+//     comp_i(y) = dr_i y            if y < x_i        (still renting)
+//               = dr_i x_i + db_i   if y >= x_i       (bought transition i)
+//
+// i.e. component i is a classic ski-rental instance with rent rate dr_i,
+// buy cost db_i and break-even t_i = db_i / dr_i. Likewise
+// OPT(y) = r_{k-1} y + sum_i min(dr_i y, db_i). The closed forms below
+// (envelope follower, randomized envelope) and the generalized COA
+// (multislope_policy.h) are all per-component two-slope results composed
+// through this identity; at k = 2 each reduces bit-for-bit to the paper's
+// two-slope formulas (property-tested).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace idlered::costmodel {
+
+/// One engine state: running cost per idle-second-equivalent and the
+/// cumulative cost of switching into it from the base state.
+struct Slope {
+  double rate = 1.0;         ///< r_i, running cost per second
+  double switch_cost = 0.0;  ///< b_i, cumulative switch-in cost
+};
+
+/// A validated, dominance-pruned, convexified multislope instance.
+///
+/// Construction contract (IDLERED_EXPECTS): at least one slope; every rate
+/// finite and >= 0; every switch cost finite and >= 0; the cheapest slope
+/// must have switch cost 0 (the vehicle starts in a free state). Dominated
+/// slopes (another slope no more expensive and no faster) and slopes that
+/// never touch the lower envelope (convexity violations) are *pruned*, not
+/// rejected — `pruned()` reports how many inputs were dropped.
+class SlopeProfile {
+ public:
+  explicit SlopeProfile(std::vector<Slope> slopes);
+
+  /// The paper's two-slope instance: idle at rate 1, off at rate 0 for a
+  /// restart cost of `break_even`. The k = 2 degeneracy anchor: every
+  /// multislope policy on this profile is bit-identical to its two-slope
+  /// counterpart.
+  static SlopeProfile two_slope(double break_even);
+
+  /// Vehicle-flavoured three-state builder: idle (rate 1) / engine off
+  /// with accessories on battery (rate `mid_rate`, cost `mid_cost`) / deep
+  /// off (rate 0, cost `deep_cost`). Inputs must satisfy
+  /// 0 < mid_rate < 1 and 0 < mid_cost < deep_cost; the result is
+  /// guaranteed k = 3 (the mid state survives pruning) only when
+  /// mid_cost / (1 - mid_rate) < (deep_cost - mid_cost) / mid_rate.
+  static SlopeProfile three_state(double mid_rate, double mid_cost,
+                                  double deep_cost);
+
+  std::size_t num_states() const { return states_.size(); }
+  std::size_t num_transitions() const { return states_.size() - 1; }
+  const Slope& state(std::size_t i) const { return states_[i]; }
+  std::span<const Slope> states() const { return states_; }
+
+  /// Inputs dropped by dominance pruning / convexification.
+  std::size_t pruned() const { return pruned_; }
+
+  /// Envelope breakpoints, one per transition, strictly increasing.
+  /// breakpoint(i) is where state i+1 overtakes state i on the envelope.
+  std::span<const double> breakpoints() const { return breakpoints_; }
+  double breakpoint(std::size_t transition) const {
+    return breakpoints_[transition];
+  }
+
+  /// Rent rate dr_i = r_i - r_{i+1} (> 0) of transition i's component.
+  double delta_rate(std::size_t transition) const;
+  /// Buy cost db_i = b_{i+1} - b_i (> 0) of transition i's component.
+  double delta_cost(std::size_t transition) const;
+
+  double base_rate() const { return states_.front().rate; }
+  double terminal_rate() const { return states_.back().rate; }
+  double deepest_switch_cost() const { return states_.back().switch_cost; }
+
+  /// OPT(y) = min_i (b_i + r_i y). Requires a finite y >= 0.
+  double offline_cost(double y) const;
+
+  /// The state the offline optimum runs in for a stop of length y: the
+  /// deepest state whose envelope segment contains y (ties at a breakpoint
+  /// resolve to the deeper state).
+  std::size_t offline_state(double y) const;
+
+  /// True when this is exactly the paper's two-slope instance (k = 2,
+  /// rates {1, 0}, base switch cost 0) — the profile on which every
+  /// multislope policy collapses bit-for-bit onto its two-slope
+  /// counterpart.
+  bool classic() const;
+
+  /// One-line summary ("3 slopes: (1, 0) -> (0.3, 15) -> (0, 35)").
+  std::string describe() const;
+
+ private:
+  std::vector<Slope> states_;
+  std::vector<double> breakpoints_;
+  std::size_t pruned_ = 0;
+};
+
+/// Cost of the deterministic envelope follower (the DET generalization:
+/// enter state i+1 at breakpoint t_i) for a stop of length y:
+///     cost(y) = OPT(y) + b_{j(y)},   j(y) = #{ i : t_i <= y }.
+/// At most 2-competitive; equals the two-slope DET cost at k = 2.
+double envelope_follower_cost(const SlopeProfile& profile, double y);
+
+/// Exact expected cost of the randomized envelope strategy (Lotker et
+/// al.): all transition times scale by a shared factor s = ln(1 + u(e-1)),
+/// u uniform on [0, 1] — each component's marginal threshold law is the
+/// two-slope N-Rand equalizer at break-even t_i, so
+///     E[cost(y)] = r_{k-1} y + e/(e-1) sum_i min(dr_i y, db_i)
+///                <= e/(e-1) OPT(y)    for every y (pointwise).
+/// Closed form, no quadrature; equals the two-slope N-Rand cost at k = 2.
+double randomized_envelope_cost(const SlopeProfile& profile, double y);
+
+}  // namespace idlered::costmodel

@@ -1,0 +1,218 @@
+#include "costmodel/multislope_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/policies.h"
+#include "util/contracts.h"
+#include "util/math.h"
+
+namespace idlered::costmodel {
+
+namespace {
+
+// Multislope policies report break_even() = b_{k-1} so evaluator CR
+// denominators stay the two-slope offline cost; a profile with no
+// transitions has nothing to switch to and no positive break-even.
+double policy_break_even(const SlopeProfile& profile) {
+  IDLERED_EXPECTS(profile.num_transitions() >= 1,
+                  "multislope policy: profile must have at least two "
+                  "states");
+  return profile.deepest_switch_cost();
+}
+
+void require_stop(double y) {
+  IDLERED_EXPECTS(std::isfinite(y) && y >= 0.0,
+                  "multislope policy: stop length must be finite and >= 0");
+}
+
+// The same vertex -> policy mapping as ProposedPolicy's delegate builder,
+// applied at the component's own break-even t_i.
+core::PolicyPtr build_component(double break_even,
+                                const core::StrategyChoice& choice) {
+  switch (choice.strategy) {
+    case core::Strategy::kToi: return core::make_toi(break_even);
+    case core::Strategy::kDet: return core::make_det(break_even);
+    case core::Strategy::kBDet: return core::make_b_det(break_even, choice.b);
+    case core::Strategy::kNRand: return core::make_n_rand(break_even);
+  }
+  throw std::logic_error("MultislopeCoaPolicy: unknown strategy");
+}
+
+}  // namespace
+
+// --------------------------------------------------------- MultislopeNevPolicy
+
+MultislopeNevPolicy::MultislopeNevPolicy(SlopeProfile profile)
+    : Policy(policy_break_even(profile)), profile_(std::move(profile)) {}
+
+double MultislopeNevPolicy::expected_cost(double y) const {
+  require_stop(y);
+  return profile_.base_rate() * y;
+}
+
+double MultislopeNevPolicy::sample_threshold(util::Rng& /*rng*/) const {
+  // lint: allow(float-compare): exact sampled-mode precondition
+  IDLERED_EXPECTS(profile_.base_rate() == 1.0,
+                  "MS-NEV: sampled mode requires base rate 1 (the "
+                  "evaluator's never-shut-off cost is y)");
+  return std::numeric_limits<double>::infinity();
+}
+
+// ---------------------------------------------------- MultislopeEnvelopePolicy
+
+MultislopeEnvelopePolicy::MultislopeEnvelopePolicy(SlopeProfile profile)
+    : Policy(policy_break_even(profile)), profile_(std::move(profile)) {}
+
+double MultislopeEnvelopePolicy::expected_cost(double y) const {
+  return envelope_follower_cost(profile_, y);
+}
+
+double MultislopeEnvelopePolicy::sample_threshold(util::Rng& /*rng*/) const {
+  IDLERED_EXPECTS(profile_.classic(),
+                  "MS-DET: a single threshold cannot encode a k > 2 "
+                  "schedule; sampled mode is classic-profile only");
+  return profile_.breakpoint(0);
+}
+
+// -------------------------------------------------------- MultislopeRandPolicy
+
+MultislopeRandPolicy::MultislopeRandPolicy(SlopeProfile profile)
+    : Policy(policy_break_even(profile)), profile_(std::move(profile)) {}
+
+double MultislopeRandPolicy::expected_cost(double y) const {
+  return randomized_envelope_cost(profile_, y);
+}
+
+double MultislopeRandPolicy::sample_scale(util::Rng& rng) const {
+  // Inverse CDF of the N-Rand scale law: u = (e^s - 1)/(e - 1).
+  const double u = rng.uniform();
+  return std::log(1.0 + u * (util::kE - 1.0));
+}
+
+double MultislopeRandPolicy::sample_threshold(util::Rng& rng) const {
+  IDLERED_EXPECTS(profile_.classic(),
+                  "MS-Rand: a single threshold cannot encode a k > 2 "
+                  "schedule; sampled mode is classic-profile only (use "
+                  "sample_scale + scaled_schedule_cost)");
+  // t_0 * ln(1 + u(e-1)) — for the classic profile t_0 == B exactly, so
+  // this is N-Rand's inverse-CDF draw, same single uniform consumed.
+  return profile_.breakpoint(0) * sample_scale(rng);
+}
+
+double scaled_schedule_cost(const SlopeProfile& profile, double scale,
+                            double y) {
+  IDLERED_EXPECTS(std::isfinite(scale) && scale >= 0.0,
+                  "scaled_schedule_cost: scale must be finite and >= 0");
+  IDLERED_EXPECTS(std::isfinite(y) && y >= 0.0,
+                  "scaled_schedule_cost: y must be finite and >= 0");
+  double total = profile.terminal_rate() * y;
+  for (std::size_t i = 0; i < profile.num_transitions(); ++i) {
+    const double x = scale * profile.breakpoint(i);
+    const double dr = profile.delta_rate(i);
+    total += y < x ? dr * y : dr * x + profile.delta_cost(i);
+  }
+  return total;
+}
+
+// --------------------------------------------------------- MultislopeCoaPolicy
+
+MultislopeCoaPolicy::MultislopeCoaPolicy(
+    SlopeProfile profile, std::vector<dist::ShortStopStats> transition_stats)
+    : Policy(policy_break_even(profile)),
+      profile_(std::move(profile)),
+      stats_(std::move(transition_stats)) {
+  IDLERED_EXPECTS(stats_.size() == profile_.num_transitions(),
+                  "MS-COA: one ShortStopStats (at break-even t_i) per "
+                  "transition required");
+  choices_.reserve(stats_.size());
+  components_.reserve(stats_.size());
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const double t = profile_.breakpoint(i);
+    choices_.push_back(core::choose_strategy(stats_[i], t));
+    components_.push_back(build_component(t, choices_.back()));
+    IDLERED_ENSURES(std::isfinite(choices_.back().expected_cost) &&
+                        choices_.back().expected_cost >= 0.0 &&
+                        std::isfinite(choices_.back().cr),
+                    "MS-COA: component vertex guarantee invalid");
+  }
+}
+
+MultislopeCoaPolicy::MultislopeCoaPolicy(
+    SlopeProfile profile, std::vector<dist::ShortStopStats> transition_stats,
+    std::span<const core::StrategyChoice> choices)
+    : Policy(policy_break_even(profile)),
+      profile_(std::move(profile)),
+      stats_(std::move(transition_stats)),
+      choices_(choices.begin(), choices.end()) {
+  IDLERED_EXPECTS(stats_.size() == profile_.num_transitions() &&
+                      choices_.size() == profile_.num_transitions(),
+                  "MS-COA: one stats entry and one vertex choice per "
+                  "transition required");
+  components_.reserve(choices_.size());
+  for (std::size_t i = 0; i < choices_.size(); ++i) {
+    components_.push_back(
+        build_component(profile_.breakpoint(i), choices_[i]));
+  }
+}
+
+double MultislopeCoaPolicy::expected_cost(double y) const {
+  require_stop(y);
+  double total = profile_.terminal_rate() * y;
+  for (std::size_t i = 0; i < components_.size(); ++i)
+    total += profile_.delta_rate(i) * components_[i]->expected_cost(y);
+  return total;
+}
+
+double MultislopeCoaPolicy::sample_threshold(util::Rng& rng) const {
+  IDLERED_EXPECTS(profile_.classic(),
+                  "MS-COA: a single threshold cannot encode a k > 2 "
+                  "schedule; sampled mode is classic-profile only");
+  return components_[0]->sample_threshold(rng);
+}
+
+bool MultislopeCoaPolicy::deterministic() const {
+  return std::all_of(components_.begin(), components_.end(),
+                     [](const core::PolicyPtr& p) {
+                       return p->deterministic();
+                     });
+}
+
+double MultislopeCoaPolicy::worst_case_cr() const {
+  double worst = 1.0;  // the terminal-rate rent is paid by OPT too
+  for (const core::StrategyChoice& c : choices_)
+    worst = std::max(worst, c.cr);
+  return worst;
+}
+
+std::vector<dist::ShortStopStats> transition_stats_from_sample(
+    const SlopeProfile& profile, const std::vector<double>& sample) {
+  std::vector<dist::ShortStopStats> out;
+  out.reserve(profile.num_transitions());
+  for (double t : profile.breakpoints())
+    out.push_back(dist::ShortStopStats::from_sample(sample, t));
+  return out;
+}
+
+core::PolicyPtr make_ms_nev(const SlopeProfile& profile) {
+  return std::make_shared<MultislopeNevPolicy>(profile);
+}
+
+core::PolicyPtr make_ms_det(const SlopeProfile& profile) {
+  return std::make_shared<MultislopeEnvelopePolicy>(profile);
+}
+
+core::PolicyPtr make_ms_rand(const SlopeProfile& profile) {
+  return std::make_shared<MultislopeRandPolicy>(profile);
+}
+
+core::PolicyPtr make_ms_coa(
+    const SlopeProfile& profile,
+    std::vector<dist::ShortStopStats> transition_stats) {
+  return std::make_shared<MultislopeCoaPolicy>(profile,
+                                               std::move(transition_stats));
+}
+
+}  // namespace idlered::costmodel

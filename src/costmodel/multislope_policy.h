@@ -1,0 +1,168 @@
+// Online policies for the k-slope engine-state machine, as core::Policy
+// implementations — the multislope strategy family ("MS-*"):
+//
+//   MS-NEV   never leave the base state: cost r_0 y.
+//   MS-DET   deterministic envelope follower (enter state i+1 at
+//            breakpoint t_i); <= 2-competitive.
+//   MS-Rand  the randomized multislope algorithm of Lotker et al.: one
+//            shared scale s = ln(1 + u(e-1)) applied to every breakpoint;
+//            e/(e-1)-competitive in expectation, pointwise in y.
+//   MS-COA   the generalized COA: the additive decomposition
+//            (multislope.h) splits the instance into one classic two-slope
+//            component per transition, and the paper's eq. (32)-(33)
+//            vertex selection runs independently on each component with
+//            its own side statistics (mu_{t_i}-, q_{t_i}+) measured at the
+//            component's break-even t_i. Worst-case CR is bounded by the
+//            worst component guarantee. Cohort-scale construction solves
+//            all (vehicle, transition) vertex LPs in ONE lp::solve_batch
+//            pass (core::solve_constrained_lp_batch, per-entry break-even
+//            overload); the closed-form choose_strategy path here is
+//            bit-identical to it (differential-tested).
+//
+// Every policy reports break_even() = the profile's deepest switch cost,
+// so evaluator CR denominators stay the two-slope offline cost min(y, B)
+// and multislope CRs are directly comparable with the paper lineup. On
+// SlopeProfile::two_slope(B) each policy is bit-identical (costs AND
+// sampled RNG stream) to its two-slope counterpart: MS-NEV = NEV,
+// MS-DET = DET, MS-Rand = N-Rand, MS-COA = COA (property-tested).
+//
+// Sampling contract: a single drawn threshold cannot encode a k > 2
+// switching schedule, so sample_threshold() on a non-classic profile is a
+// contract violation (IDLERED_EXPECTS) for MS-DET / MS-Rand / MS-COA;
+// expected mode is the supported evaluation path for k > 2 (MS-NEV, whose
+// schedule never switches, samples at any k with base rate 1). Trace-level
+// simulation of the randomized schedule goes through sample_scale() +
+// scaled_schedule_cost() instead.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/analytic.h"
+#include "core/policy.h"
+#include "costmodel/multislope.h"
+#include "dist/distribution.h"
+
+namespace idlered::costmodel {
+
+/// Never leave the base state. Bit-identical to NEV on the classic
+/// profile; sample_threshold() (+inf, never shut off) is valid at every k
+/// with base rate 1.
+class MultislopeNevPolicy final : public core::Policy {
+ public:
+  explicit MultislopeNevPolicy(SlopeProfile profile);
+
+  std::string name() const override { return "MS-NEV"; }
+  double expected_cost(double y) const override;
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override { return true; }
+
+  const SlopeProfile& profile() const { return profile_; }
+
+ private:
+  SlopeProfile profile_;
+};
+
+/// Deterministic envelope follower — the DET generalization.
+class MultislopeEnvelopePolicy final : public core::Policy {
+ public:
+  explicit MultislopeEnvelopePolicy(SlopeProfile profile);
+
+  std::string name() const override { return "MS-DET"; }
+  double expected_cost(double y) const override;
+  /// Classic profile only (contract): returns the single breakpoint B,
+  /// matching DET's fixed threshold.
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override { return true; }
+
+  const SlopeProfile& profile() const { return profile_; }
+
+ private:
+  SlopeProfile profile_;
+};
+
+/// The randomized multislope algorithm (shared-scale breakpoint law).
+class MultislopeRandPolicy final : public core::Policy {
+ public:
+  explicit MultislopeRandPolicy(SlopeProfile profile);
+
+  std::string name() const override { return "MS-Rand"; }
+  double expected_cost(double y) const override;
+  /// Classic profile only (contract): B * ln(1 + u(e-1)), the exact
+  /// N-Rand inverse-CDF draw (one uniform consumed, same RNG position).
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override { return false; }
+
+  /// Draw the shared schedule scale s = ln(1 + u(e-1)) in [0, 1]; the
+  /// realized schedule enters state i+1 at s * t_i. Valid at every k.
+  double sample_scale(util::Rng& rng) const;
+
+  const SlopeProfile& profile() const { return profile_; }
+
+ private:
+  SlopeProfile profile_;
+};
+
+/// Realized (not expected) cost of the scaled schedule x_i = scale * t_i
+/// for a stop of length y — the trace-level simulation path for MS-Rand
+/// (scale from sample_scale) and MS-DET (scale = 1).
+double scaled_schedule_cost(const SlopeProfile& profile, double scale,
+                            double y);
+
+/// The generalized COA: per-transition vertex selection on the additive
+/// decomposition.
+class MultislopeCoaPolicy final : public core::Policy {
+ public:
+  /// `transition_stats[i]` is the (mu_b-, q_b+) pair measured at
+  /// break-even t_i = profile.breakpoint(i); one entry per transition
+  /// (contract). Vertex selection runs the closed-form choose_strategy on
+  /// each component.
+  MultislopeCoaPolicy(SlopeProfile profile,
+                      std::vector<dist::ShortStopStats> transition_stats);
+
+  /// Precomputed-selection overload: `choices[i]` is the component-i
+  /// vertex, e.g. out of the batched arena-LP pass
+  /// (core::solve_constrained_lp_batch). Must agree in shape with the
+  /// profile (contract).
+  MultislopeCoaPolicy(SlopeProfile profile,
+                      std::vector<dist::ShortStopStats> transition_stats,
+                      std::span<const core::StrategyChoice> choices);
+
+  std::string name() const override { return "MS-COA"; }
+  double expected_cost(double y) const override;
+  /// Classic profile only (contract): delegates to the selected vertex,
+  /// bit-matching ProposedPolicy's draw.
+  double sample_threshold(util::Rng& rng) const override;
+  bool deterministic() const override;
+
+  const SlopeProfile& profile() const { return profile_; }
+  /// Per-transition vertex selections, component order.
+  std::span<const core::StrategyChoice> choices() const { return choices_; }
+  std::span<const dist::ShortStopStats> transition_stats() const {
+    return stats_;
+  }
+  /// Upper bound on the worst-case CR: the worst component guarantee
+  /// (rent paid at the terminal rate is 1-competitive against itself).
+  double worst_case_cr() const;
+
+ private:
+  SlopeProfile profile_;
+  std::vector<dist::ShortStopStats> stats_;
+  std::vector<core::StrategyChoice> choices_;
+  std::vector<core::PolicyPtr> components_;  ///< vertex policy per transition
+};
+
+/// Per-transition side statistics out of a raw stop sample: entry i is
+/// dist::ShortStopStats::from_sample at break-even t_i.
+std::vector<dist::ShortStopStats> transition_stats_from_sample(
+    const SlopeProfile& profile, const std::vector<double>& sample);
+
+/// Factories matching the core make_* family.
+core::PolicyPtr make_ms_nev(const SlopeProfile& profile);
+core::PolicyPtr make_ms_det(const SlopeProfile& profile);
+core::PolicyPtr make_ms_rand(const SlopeProfile& profile);
+core::PolicyPtr make_ms_coa(const SlopeProfile& profile,
+                            std::vector<dist::ShortStopStats> transition_stats);
+
+}  // namespace idlered::costmodel

@@ -1,10 +1,13 @@
 #include "engine/strategy.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 #include "core/policies.h"
 #include "core/proposed.h"
+#include "costmodel/multislope_policy.h"
+#include "util/contracts.h"
 
 namespace idlered::engine {
 
@@ -39,6 +42,14 @@ double VehicleView::first_moment() const {
 dist::ShortStopStats VehicleView::short_stop_stats() const {
   require(SideInfo::kShortStopStats, "short_stop_stats()");
   return cache_->stats_for(break_even_);
+}
+
+dist::ShortStopStats VehicleView::short_stop_stats_at(double b) const {
+  require(SideInfo::kShortStopStats, "short_stop_stats_at()");
+  IDLERED_EXPECTS(std::isfinite(b) && b > 0.0,
+                  "VehicleView::short_stop_stats_at: break-even must be "
+                  "finite and > 0");
+  return cache_->stats_for(b);
 }
 
 std::span<const double> VehicleView::stops() const {
@@ -125,6 +136,35 @@ std::vector<StrategyBuilderPtr> standard_strategy_set() {
   set.push_back(make_strategy(
       "COA", SideInfo::kShortStopStats, [](const VehicleView& v) {
         return core::make_proposed(v.break_even(), v.short_stop_stats());
+      }));
+  return set;
+}
+
+std::vector<StrategyBuilderPtr> multislope_strategy_set(
+    const costmodel::SlopeProfile& profile) {
+  // One shared canonical profile; builders are copied around freely, so
+  // they hold it by shared_ptr rather than re-pruning per vehicle.
+  auto shared = std::make_shared<const costmodel::SlopeProfile>(profile);
+  std::vector<StrategyBuilderPtr> set;
+  set.push_back(make_strategy("MS-NEV", SideInfo::kNone,
+                              [shared](const VehicleView&) {
+                                return costmodel::make_ms_nev(*shared);
+                              }));
+  set.push_back(make_strategy("MS-DET", SideInfo::kNone,
+                              [shared](const VehicleView&) {
+                                return costmodel::make_ms_det(*shared);
+                              }));
+  set.push_back(make_strategy("MS-Rand", SideInfo::kNone,
+                              [shared](const VehicleView&) {
+                                return costmodel::make_ms_rand(*shared);
+                              }));
+  set.push_back(make_strategy(
+      "MS-COA", SideInfo::kShortStopStats, [shared](const VehicleView& v) {
+        std::vector<dist::ShortStopStats> stats;
+        stats.reserve(shared->num_transitions());
+        for (double t : shared->breakpoints())
+          stats.push_back(v.short_stop_stats_at(t));
+        return costmodel::make_ms_coa(*shared, std::move(stats));
       }));
   return set;
 }

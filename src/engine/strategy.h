@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "costmodel/multislope.h"
 #include "engine/vehicle_cache.h"
 #include "sim/fleet_eval.h"
 
@@ -54,6 +55,12 @@ class VehicleView {
   /// (mu_B_minus, q_B_plus) at break_even(). Requires kShortStopStats or
   /// higher. Served from the per-vehicle cache.
   dist::ShortStopStats short_stop_stats() const;
+
+  /// (mu_b-, q_b+) at an arbitrary break-even b — the multislope COA reads
+  /// one pair per transition breakpoint t_i. Same kShortStopStats gate and
+  /// the same memoized cache as short_stop_stats(); b must be finite and
+  /// > 0 (contract).
+  dist::ShortStopStats short_stop_stats_at(double b) const;
 
   /// The raw stop lengths. Requires kFullTrace.
   std::span<const double> stops() const;
@@ -96,6 +103,16 @@ StrategyBuilderPtr make_strategy(
 /// migration of sim::standard_strategy_set(), same names, same order, same
 /// policies.
 std::vector<StrategyBuilderPtr> standard_strategy_set();
+
+/// The multislope strategy family over one k-slope engine-state profile:
+/// MS-NEV / MS-DET / MS-Rand (kNone) and MS-COA (kShortStopStats — one
+/// (mu, q) pair per transition breakpoint, served by the vehicle cache).
+/// On SlopeProfile::two_slope(B) each policy is bit-identical to its
+/// two-slope counterpart, so appending this set to standard_strategy_set()
+/// yields directly comparable CR columns (every policy reports
+/// break_even() = the profile's deepest switch cost).
+std::vector<StrategyBuilderPtr> multislope_strategy_set(
+    const costmodel::SlopeProfile& profile);
 
 /// Compatibility adaptor: wraps a legacy sim::StrategySpec (bare
 /// PolicyFactory over the whole StopTrace) as a builder with

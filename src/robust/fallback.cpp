@@ -1,6 +1,10 @@
 #include "robust/fallback.h"
 
 #include <stdexcept>
+#include <vector>
+
+#include "costmodel/multislope_policy.h"
+#include "util/contracts.h"
 
 namespace idlered::robust {
 
@@ -23,6 +27,26 @@ ControllerMode select_mode(const LadderInputs& in) {
       return in.warmed_up ? ControllerMode::kProposed : ControllerMode::kNRand;
   }
   return ControllerMode::kNRand;
+}
+
+core::PolicyPtr multislope_policy_for_mode(
+    ControllerMode mode, const costmodel::SlopeProfile& profile,
+    std::span<const dist::ShortStopStats> transition_stats) {
+  switch (mode) {
+    case ControllerMode::kProposed: {
+      IDLERED_EXPECTS(
+          transition_stats.size() == profile.num_transitions(),
+          "multislope_policy_for_mode: the COA rung needs one stats entry "
+          "per transition");
+      return costmodel::make_ms_coa(
+          profile, std::vector<dist::ShortStopStats>(transition_stats.begin(),
+                                                     transition_stats.end()));
+    }
+    case ControllerMode::kDet: return costmodel::make_ms_det(profile);
+    case ControllerMode::kNRand: return costmodel::make_ms_rand(profile);
+    case ControllerMode::kNev: return costmodel::make_ms_nev(profile);
+  }
+  throw std::invalid_argument("multislope_policy_for_mode: unknown mode");
 }
 
 void RobustConfig::validate() const {

@@ -21,8 +21,12 @@
 // can be tested exhaustively.
 #pragma once
 
+#include <span>
 #include <string>
 
+#include "core/policy.h"
+#include "costmodel/multislope.h"
+#include "dist/distribution.h"
 #include "robust/health_monitor.h"
 #include "robust/input_guard.h"
 
@@ -43,6 +47,24 @@ struct LadderInputs {
 /// The ladder:  soc_low/actuator_suspect -> NEV;  critical -> N-Rand;
 /// degraded -> DET;  healthy -> Proposed once warmed up, else N-Rand.
 ControllerMode select_mode(const LadderInputs& in);
+
+/// Degraded-rung mapping for a k-slope engine-state profile: each rung's
+/// guarantee carries over transition-by-transition via the additive
+/// decomposition, so the ladder instantiates the matching multislope
+/// policy —
+///   kProposed -> MS-COA  (needs one (mu, q) pair per transition, measured
+///                         at that transition's breakpoint t_i)
+///   kDet      -> MS-DET  (envelope follower; <= 2-competitive per stop)
+///   kNRand    -> MS-Rand (e/(e-1) expected, distribution-free)
+///   kNev      -> MS-NEV  (stay in the base state; requires base rate 1)
+/// `transition_stats` is read only on the kProposed rung, where it must
+/// hold exactly profile.num_transitions() entries (contract); the three
+/// statistics-free rungs ignore it, mirroring how the two-slope ladder
+/// drops the estimator when degraded. On SlopeProfile::two_slope(B) each
+/// rung is bit-identical to its two-slope counterpart.
+core::PolicyPtr multislope_policy_for_mode(
+    ControllerMode mode, const costmodel::SlopeProfile& profile,
+    std::span<const dist::ShortStopStats> transition_stats);
 
 /// Knobs of the robust path of sim::AdaptiveController. Disabled by
 /// default: an AdaptiveController without robustness enabled behaves

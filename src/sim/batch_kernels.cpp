@@ -6,6 +6,7 @@
 
 #include "core/policies.h"
 #include "core/proposed.h"
+#include "costmodel/multislope_policy.h"
 #include "util/math.h"
 
 // Vectorization hint for the lane loops: the bodies are dependence-free by
@@ -90,6 +91,26 @@ double generic_online_sum(const core::Policy& policy,
   return lane_reduce(y, [&policy](double v) { return policy.expected_cost(v); });
 }
 
+double multislope_envelope_online_sum(const costmodel::SlopeProfile& profile,
+                                      std::span<const double> y) {
+  return lane_reduce(y, [&profile](double v) {
+    return costmodel::envelope_follower_cost(profile, v);
+  });
+}
+
+double multislope_rand_online_sum(const costmodel::SlopeProfile& profile,
+                                  std::span<const double> y) {
+  return lane_reduce(y, [&profile](double v) {
+    return costmodel::randomized_envelope_cost(profile, v);
+  });
+}
+
+double multislope_nev_online_sum(const costmodel::SlopeProfile& profile,
+                                 std::span<const double> y) {
+  const double rate = profile.base_rate();
+  return lane_reduce(y, [rate](double v) { return rate * v; });
+}
+
 bool expected_online_sum(const core::Policy& policy,
                          std::span<const double> y, double* online) {
   const double b = policy.break_even();
@@ -123,6 +144,22 @@ bool expected_online_sum(const core::Policy& policy,
         return true;
     }
   }
+  if (const auto* e =
+          dynamic_cast<const costmodel::MultislopeEnvelopePolicy*>(&policy)) {
+    *online = multislope_envelope_online_sum(e->profile(), y);
+    return true;
+  }
+  if (const auto* r =
+          dynamic_cast<const costmodel::MultislopeRandPolicy*>(&policy)) {
+    *online = multislope_rand_online_sum(r->profile(), y);
+    return true;
+  }
+  if (const auto* nv =
+          dynamic_cast<const costmodel::MultislopeNevPolicy*>(&policy)) {
+    *online = multislope_nev_online_sum(nv->profile(), y);
+    return true;
+  }
+  // MultislopeCoaPolicy: intentionally unhandled — generic fallback.
   return false;
 }
 

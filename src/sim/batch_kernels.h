@@ -30,6 +30,7 @@
 #include <span>
 
 #include "core/policy.h"
+#include "costmodel/multislope.h"
 
 namespace idlered::sim::batch {
 
@@ -66,10 +67,32 @@ double momrand_online_sum(std::span<const double> y, double break_even);
 double generic_online_sum(const core::Policy& policy,
                           std::span<const double> y);
 
+/// MS-DET online total: sum_i envelope_follower_cost(profile, y_i) — the
+/// per-element expression is the same function MultislopeEnvelopePolicy::
+/// expected_cost evaluates, so only the reduction order differs from
+/// scalar. Valid for every k (including k = 2, where it equals the DET
+/// kernel bit-for-bit).
+double multislope_envelope_online_sum(const costmodel::SlopeProfile& profile,
+                                      std::span<const double> y);
+
+/// MS-Rand expected online total: sum_i randomized_envelope_cost(profile,
+/// y_i), i.e. r_{k-1} y + e/(e-1) * sum_j min(dr_j y, db_j) per element.
+double multislope_rand_online_sum(const costmodel::SlopeProfile& profile,
+                                  std::span<const double> y);
+
+/// MS-NEV online total: base_rate * sum-in-lane-order of y_i (per-element
+/// cost base_rate() * y_i, matching MultislopeNevPolicy::expected_cost).
+double multislope_nev_online_sum(const costmodel::SlopeProfile& profile,
+                                 std::span<const double> y);
+
 /// Closed-form dispatch: recognizes ThresholdPolicy, NRandPolicy,
-/// MomRandPolicy and ProposedPolicy (via its selected vertex) and runs the
-/// matching kernel. Returns false — leaving *online untouched — for
-/// anything else; the caller then uses generic_online_sum.
+/// MomRandPolicy, ProposedPolicy (via its selected vertex) and the
+/// multislope family MS-NEV / MS-DET / MS-Rand (any k). MS-COA has no
+/// closed-form kernel — its per-transition delegates are virtual — so it
+/// returns false and takes the generic fallback (kernel-parity is pinned
+/// by tests/property/test_multislope.cpp). Returns false — leaving
+/// *online untouched — for anything else; the caller then uses
+/// generic_online_sum.
 bool expected_online_sum(const core::Policy& policy,
                          std::span<const double> y, double* online);
 

@@ -8,6 +8,7 @@
 #include "core/costs.h"
 #include "core/policies.h"
 #include "core/proposed.h"
+#include "costmodel/multislope_policy.h"
 #include "obs/obs.h"
 
 namespace idlered::sim {
@@ -106,6 +107,18 @@ AdaptiveController::AdaptiveController(const Config& config)
     throw std::invalid_argument(
         "AdaptiveController: decay_lambda must be in (0, 1]");
   config_.robust.validate();
+  if (config_.profile) {
+    if (config_.profile->deepest_switch_cost() != config_.break_even)
+      throw std::invalid_argument(
+          "AdaptiveController: profile's deepest switch cost must equal "
+          "break_even (the offline accounting stays min(y, B))");
+    transition_estimators_.reserve(config_.profile->num_transitions());
+    for (double t : config_.profile->breakpoints())
+      transition_estimators_.emplace_back(t, config_.decay_lambda);
+    // The statistics-free warm-up rung of the multislope family; equal to
+    // N-Rand bit-for-bit on the classic k = 2 profile.
+    policy_ = costmodel::make_ms_rand(*config_.profile);
+  }
   if (config_.battery) {
     // Reuse SocConstrainedController's parameter validation.
     SocConstrainedController(core::make_nev(config.break_even),
@@ -200,14 +213,33 @@ void AdaptiveController::observe_reading(double reading) {
   if (config_.robust.enabled) {
     const robust::Verdict v = estimator_.observe(reading);
     health_.record_observation(v != robust::Verdict::kAccept);
+    if (v == robust::Verdict::kAccept) observe_transitions(reading);
   } else {
     if (!std::isfinite(reading) || reading < 0.0)
       throw std::invalid_argument(
           "AdaptiveController: stop length must be finite and >= 0");
     estimator_.observe(reading);
+    observe_transitions(reading);
   }
   ++stops_seen_;
   refresh_policy();
+}
+
+void AdaptiveController::observe_transitions(double accepted_reading) {
+  // Mirrors the guarded stream exactly: callers only pass readings the
+  // main estimator accepted, so each per-breakpoint estimate is over the
+  // same sample, just thresholded at its own t_i.
+  for (core::DecayingStatsEstimator& est : transition_estimators_)
+    est.observe(accepted_reading);
+}
+
+std::vector<dist::ShortStopStats> AdaptiveController::transition_stats()
+    const {
+  std::vector<dist::ShortStopStats> stats;
+  stats.reserve(transition_estimators_.size());
+  for (const core::DecayingStatsEstimator& est : transition_estimators_)
+    stats.push_back(est.stats());
+  return stats;
 }
 
 void AdaptiveController::note_drive(double drive_s) {
@@ -237,10 +269,16 @@ void AdaptiveController::account_engine_off(double off_s,
 void AdaptiveController::refresh_policy() {
   const robust::ControllerMode before = mode_;
   if (!config_.robust.enabled) {
-    // Original behaviour: N-Rand during warm-up, COA from then on.
+    // Original behaviour: N-Rand during warm-up, COA from then on (the
+    // multislope pair MS-Rand / MS-COA when a profile is configured).
     if (stops_seen_ >= config_.warmup_stops && estimator_.ready()) {
-      policy_ = std::make_shared<core::ProposedPolicy>(config_.break_even,
-                                                       estimator_.stats());
+      if (config_.profile) {
+        policy_ = std::make_shared<costmodel::MultislopeCoaPolicy>(
+            *config_.profile, transition_stats());
+      } else {
+        policy_ = std::make_shared<core::ProposedPolicy>(config_.break_even,
+                                                         estimator_.stats());
+      }
       mode_ = robust::ControllerMode::kProposed;
     }
   } else {
@@ -253,31 +291,60 @@ void AdaptiveController::refresh_policy() {
     robust::ControllerMode mode = robust::select_mode(in);
 
     if (mode == robust::ControllerMode::kProposed) {
-      const auto stats = estimator_.stats();
-      auto proposed =
-          std::make_shared<core::ProposedPolicy>(config_.break_even, stats);
       // Only trust the b-DET vertex when eq. (36) holds with a safety
       // margin; near the boundary, estimation error flips the LP vertex and
       // b-DET's guarantee evaporates. DET keeps 2-competitiveness per stop.
-      if (proposed->choice().strategy == core::Strategy::kBDet &&
-          !robust::trust_b_det(stats, config_.break_even,
-                               config_.robust.health.b_det_margin)) {
-        mode = robust::ControllerMode::kDet;
+      // For a k-slope profile the check runs per transition at that
+      // transition's own (stats_i, t_i): one untrusted b-DET component
+      // demotes the whole rung, exactly as one untrusted vertex does at
+      // k = 2.
+      if (config_.profile) {
+        const std::vector<dist::ShortStopStats> stats = transition_stats();
+        auto coa = std::make_shared<costmodel::MultislopeCoaPolicy>(
+            *config_.profile, stats);
+        bool trusted = true;
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+          if (coa->choices()[i].strategy == core::Strategy::kBDet &&
+              !robust::trust_b_det(stats[i], config_.profile->breakpoint(i),
+                                   config_.robust.health.b_det_margin)) {
+            trusted = false;
+            break;
+          }
+        }
+        if (!trusted) {
+          mode = robust::ControllerMode::kDet;
+        } else {
+          policy_ = std::move(coa);
+        }
       } else {
-        policy_ = std::move(proposed);
+        const auto stats = estimator_.stats();
+        auto proposed =
+            std::make_shared<core::ProposedPolicy>(config_.break_even, stats);
+        if (proposed->choice().strategy == core::Strategy::kBDet &&
+            !robust::trust_b_det(stats, config_.break_even,
+                                 config_.robust.health.b_det_margin)) {
+          mode = robust::ControllerMode::kDet;
+        } else {
+          policy_ = std::move(proposed);
+        }
       }
     }
     switch (mode) {
       case robust::ControllerMode::kProposed:
         break;  // set above
       case robust::ControllerMode::kDet:
-        if (mode_ != mode) policy_ = core::make_det(config_.break_even);
-        break;
       case robust::ControllerMode::kNRand:
-        if (mode_ != mode) policy_ = core::make_n_rand(config_.break_even);
-        break;
       case robust::ControllerMode::kNev:
-        if (mode_ != mode) policy_ = core::make_nev(config_.break_even);
+        if (mode_ != mode) {
+          policy_ = config_.profile
+                        ? robust::multislope_policy_for_mode(
+                              mode, *config_.profile, {})
+                        : (mode == robust::ControllerMode::kDet
+                               ? core::make_det(config_.break_even)
+                           : mode == robust::ControllerMode::kNRand
+                               ? core::make_n_rand(config_.break_even)
+                               : core::make_nev(config_.break_even));
+        }
         break;
     }
     mode_ = mode;

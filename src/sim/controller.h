@@ -22,9 +22,11 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/estimator.h"
 #include "core/policy.h"
+#include "costmodel/multislope.h"
 #include "robust/fallback.h"
 #include "robust/fault_model.h"
 #include "robust/guarded_estimator.h"
@@ -44,6 +46,21 @@ class AdaptiveController {
     /// Battery whose SOC gates the ladder (robust mode, sampled/faulted
     /// processing only — expected mode has no per-stop engine-off time).
     std::optional<BatteryModel> battery;
+    /// Optional k-slope engine-state profile. When set, every rung of the
+    /// controller acts through the multislope family instead of the
+    /// two-slope lineup: warm-up / kNRand -> MS-Rand, kDet -> MS-DET,
+    /// kNev -> MS-NEV, and kProposed -> MS-COA over per-transition
+    /// statistics learned online (one estimator per breakpoint t_i, fed
+    /// exactly the accepted readings, same decay_lambda). The profile's
+    /// deepest switch cost must equal break_even, so the offline
+    /// accounting stays min(y, B) and CRs remain comparable with the
+    /// two-slope controller; on SlopeProfile::two_slope(break_even) every
+    /// rung is bit-identical to the two-slope controller. Sampled/faulted
+    /// processing needs a single drawn threshold per stop, which only the
+    /// classic() k = 2 profile (and MS-NEV, which never shuts off) can
+    /// provide — a non-classic profile there trips the policy's
+    /// sample_threshold contract.
+    std::optional<costmodel::SlopeProfile> profile;
   };
 
   /// Validates the configuration; throws std::invalid_argument on
@@ -106,9 +123,14 @@ class AdaptiveController {
  private:
   void account_engine_off(double off_s, int restart_attempts);
   void refresh_policy();
+  void observe_transitions(double accepted_reading);
+  std::vector<dist::ShortStopStats> transition_stats() const;
 
   Config config_;
   robust::GuardedEstimator estimator_;
+  /// One estimator per profile transition (empty without a profile), at
+  /// break-even t_i; fed exactly the readings the guard accepts.
+  std::vector<core::DecayingStatsEstimator> transition_estimators_;
   robust::HealthMonitor health_;
   core::PolicyPtr policy_;  ///< current acting policy
   robust::ControllerMode mode_ = robust::ControllerMode::kNRand;

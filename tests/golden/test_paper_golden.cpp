@@ -20,6 +20,7 @@
 
 #include "common/sweep.h"
 #include "costmodel/break_even.h"
+#include "costmodel/multislope.h"
 #include "engine/eval_session.h"
 #include "engine/thread_pool.h"
 #include "stats/descriptive.h"
@@ -152,6 +153,77 @@ TEST(Fig5Golden, HeadlineNumbersAtB28) {
 
 TEST(Fig6Golden, HeadlineNumbersAtB47) {
   check_sweep(47.0, SweepGolden{1.322, 1.989, 17.667, 1.138, 10});
+}
+
+// ------------------------------------------------------- multislope (k-slope)
+
+TEST(MultislopeGolden, ThreeSlopeSweepEndpoints) {
+  // Pins the endpoints of bench_multislope's fig5-style table (3-slope
+  // profile: idle / 0.3x-rate HVAC tier at cost 15 / deep off at B = 28,
+  // mean CR over the Chicago-shaped fleets at mean 4.7 s and 168.0 s).
+  const bench::SweepConfig config = bench::default_sweep(28.0);
+  const auto fleets = bench::build_sweep_fleets(config);
+  const auto profile3 =
+      costmodel::SlopeProfile::three_state(0.3, 15.0, 28.0);
+
+  engine::EvalPlan plan;
+  plan.strategies = engine::standard_strategy_set();
+  const auto ms = engine::multislope_strategy_set(profile3);
+  plan.strategies.insert(plan.strategies.end(), ms.begin(), ms.end());
+  plan.points.push_back(engine::PlanPoint{fleets.front().mean_stop_s, 28.0,
+                                          fleets.front().fleet});
+  plan.points.push_back(engine::PlanPoint{fleets.back().mean_stop_s, 28.0,
+                                          fleets.back().fleet});
+  engine::EvalSession session(std::move(plan));
+  const auto report = session.run();
+
+  const auto& names = report.strategy_names;
+  const std::size_t coa = strategy_index(names, "COA");
+  const std::size_t ms_coa = strategy_index(names, "MS-COA");
+  const std::size_t ms_det = strategy_index(names, "MS-DET");
+  const std::size_t ms_rand = strategy_index(names, "MS-Rand");
+
+  const auto first = report.points[0].comparison.mean_cr();
+  const auto last = report.points[1].comparison.mean_cr();
+  EXPECT_NEAR(first[coa], 1.092, k3dp);
+  EXPECT_NEAR(first[ms_coa], 1.090, k3dp);
+  EXPECT_NEAR(first[ms_det], 1.090, k3dp);
+  EXPECT_NEAR(first[ms_rand], 1.570, k3dp);
+  EXPECT_NEAR(last[coa], 1.055, k3dp);
+  EXPECT_NEAR(last[ms_coa], 1.055, k3dp);
+  EXPECT_NEAR(last[ms_det], 1.920, k3dp);
+  EXPECT_NEAR(last[ms_rand], 1.573, k3dp);
+  // The short-mean endpoint already shows the third slope paying: the
+  // 3-slope generalized COA sits at or below the two-slope COA.
+  EXPECT_LE(first[ms_coa], first[coa] + 1e-9);
+}
+
+TEST(MultislopeGolden, K2DegeneracyReproducesTwoSlopeColumnsBitwise) {
+  // On the classic two-slope profile every MS-* CR column must equal its
+  // two-slope counterpart to the bit, per vehicle — no tolerance.
+  const bench::SweepConfig config = bench::default_sweep(28.0);
+  const auto fleets = bench::build_sweep_fleets(config);
+
+  engine::EvalPlan plan;
+  plan.strategies = engine::standard_strategy_set();
+  const auto ms = engine::multislope_strategy_set(
+      costmodel::SlopeProfile::two_slope(28.0));
+  plan.strategies.insert(plan.strategies.end(), ms.begin(), ms.end());
+  plan.points.push_back(engine::PlanPoint{fleets[8].mean_stop_s, 28.0,
+                                          fleets[8].fleet});
+  engine::EvalSession session(std::move(plan));
+  const auto report = session.run();
+
+  const auto& names = report.strategy_names;
+  const std::pair<const char*, const char*> pairs[] = {
+      {"NEV", "MS-NEV"}, {"DET", "MS-DET"}, {"N-Rand", "MS-Rand"},
+      {"COA", "MS-COA"}};
+  for (const auto& [two_slope, multi] : pairs) {
+    const std::size_t a = strategy_index(names, two_slope);
+    const std::size_t b = strategy_index(names, multi);
+    for (const auto& vehicle : report.points[0].comparison.vehicles)
+      EXPECT_EQ(vehicle.cr[a], vehicle.cr[b]) << two_slope;
+  }
 }
 
 // -------------------------------------------------------------------- Table 1

@@ -1,0 +1,19 @@
+// lint-fixture: path=src/costmodel/multislope_example.cpp
+// Regression for the `deprecated-eval` multi-line false negative: a
+// formatter may break the call between the callee name and its opening
+// parenthesis. The finding lands on the line carrying the deprecated name.
+// The path puts the fixture under src/costmodel/ so the multislope files
+// are demonstrably in scope. (Fixtures are linted, not compiled.)
+
+void example(const void* policy, const double* stops) {
+  idlered::sim::evaluate_expected  // LINT-BAD(deprecated-eval)
+      (policy, stops);
+  idlered::sim::evaluate_sampled   // LINT-BAD(deprecated-eval)
+
+      (policy, stops, 7);
+  idlered::sim::evaluate(
+      policy, stops, {});
+  // lint: allow(deprecated-eval): wrapper regression coverage
+  idlered::sim::offline_cost_total
+      (stops, 28.0);
+}

@@ -1,0 +1,13 @@
+// lint-fixture: path=src/costmodel/multislope_example_good.cpp
+// Good counterpart for the multi-line `deprecated-eval` matcher: a
+// deprecated name ending a line must NOT fire when the next code line does
+// not open a call, and identifiers that merely embed a wrapper name never
+// match. (Fixtures are linted, not compiled.)
+
+int example_good() {
+  int offline_cost_total
+      = 3;
+  int my_evaluate_expected = 0;
+  int evaluate_sampled_count = 1;
+  return offline_cost_total + my_evaluate_expected + evaluate_sampled_count;
+}

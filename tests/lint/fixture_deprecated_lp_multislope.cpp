@@ -1,0 +1,17 @@
+// lint-fixture: path=src/costmodel/multislope_solver_example.cpp
+// The extended `deprecated-lp` rule over the multislope costmodel files:
+// the value-type lp::Problem, its lp::Constraint builder, and the
+// one-argument value-type lp::solve overload are all findings; the arena
+// workspace API stays clean. (Fixtures are linted, not compiled.)
+
+void example(idlered::lp::Workspace& ws) {
+  idlered::lp::Problem problem;                     // LINT-BAD(deprecated-lp)
+  idlered::lp::Constraint row;                      // LINT-BAD(deprecated-lp)
+  const auto sol = idlered::lp::solve(problem);     // LINT-BAD(deprecated-lp)
+  auto stage = ws.stage(2, 3);
+  const auto view = stage.view();
+  const auto sol2 = idlered::lp::solve(ws, view);
+  (void)row;
+  (void)sol;
+  (void)sol2;
+}

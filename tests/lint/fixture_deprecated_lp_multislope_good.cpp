@@ -1,0 +1,17 @@
+// lint-fixture: path=src/costmodel/multislope_policy_example.cpp
+// Good counterpart for the extended `deprecated-lp` rule: arena-only usage
+// in the multislope costmodel — batched staging, the two-argument arena
+// solve, the batch descriptor type, and identifiers that merely embed
+// "Problem" — must all stay clean. (Fixtures are linted, not compiled.)
+
+void example_good(idlered::lp::Workspace& ws) {
+  auto stage = ws.stage(2, 3);
+  const auto view = stage.view();
+  const auto sol = idlered::lp::solve(ws, view);
+  idlered::core::LpBatchProblem batch{};
+  int lp_problem_count = 0;
+  idlered::lp::solve_batch(ws, view);
+  (void)sol;
+  (void)batch;
+  (void)lp_problem_count;
+}

@@ -1,0 +1,589 @@
+// Property and differential battery for the multislope (k-slope)
+// engine-state framework:
+//
+//  * SlopeProfile canonicalization: dominance pruning and convexification
+//    preserve the offline lower envelope exactly; construction contracts
+//    reject garbage (IDLERED_EXPECTS).
+//  * k = 2 degeneracy: on SlopeProfile::two_slope(B), every MS-* policy is
+//    bit-identical to its two-slope counterpart — expected costs AND the
+//    sampled-mode RNG stream.
+//  * The randomized envelope strategy's pointwise e/(e-1) bound on
+//    adversarial stop lengths, cross-checked against the quadrature oracle
+//    of core/multislope.h and against a Monte-Carlo average of realized
+//    scaled-schedule costs.
+//  * Differential: the per-entry-break-even LP batch
+//    (core::solve_constrained_lp_batch over LpBatchProblem) is bit-for-bit
+//    the scalar solve; the generalized COA through the arena LP matches
+//    the closed-form selection with zero mismatches on Figure-5-style
+//    cohorts.
+//  * Batch kernels: MS-NEV / MS-DET / MS-Rand kernels vs the scalar sum
+//    within the documented ULP bound (bit-identical to the two-slope
+//    kernels at k = 2); MS-COA takes the generic fallback.
+//  * Engine / controller / robust wiring: multislope_strategy_set at k = 2
+//    reproduces the standard lineup's CRs bitwise; the fallback-ladder
+//    rung mapping; the AdaptiveController with a two-slope profile is
+//    bit-identical to the profile-free controller.
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "core/multislope.h"
+#include "core/policies.h"
+#include "core/proposed.h"
+#include "core/solver_lp.h"
+#include "costmodel/multislope.h"
+#include "costmodel/multislope_policy.h"
+#include "engine/eval_session.h"
+#include "engine/strategy.h"
+#include "engine/vehicle_cache.h"
+#include "robust/fallback.h"
+#include "sim/batch_kernels.h"
+#include "sim/controller.h"
+#include "traces/area_profiles.h"
+#include "traces/fleet_generator.h"
+#include "util/contracts.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace idlered::costmodel {
+namespace {
+
+constexpr double kB = 28.0;
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+double ulp_bound(std::size_t n, double reference) {
+  return 8.0 * static_cast<double>(n) * kEps * std::fabs(reference);
+}
+
+dist::ShortStopStats stats_point(double mu, double q) {
+  dist::ShortStopStats s;
+  s.mu_b_minus = mu;
+  s.q_b_plus = q;
+  return s;
+}
+
+SlopeProfile three_state_profile() {
+  return SlopeProfile::three_state(0.3, 15.0, kB);
+}
+
+/// Adversarial stop lengths for a profile: every breakpoint, just below
+/// and just above it, zero, tiny, and a far tail.
+std::vector<double> adversarial_stops(const SlopeProfile& profile) {
+  std::vector<double> ys{0.0, 1e-9, 0.5};
+  for (double t : profile.breakpoints()) {
+    ys.push_back(std::nextafter(t, 0.0));
+    ys.push_back(t);
+    ys.push_back(std::nextafter(t, 1e30));
+    ys.push_back(0.5 * t);
+    ys.push_back(2.0 * t);
+  }
+  ys.push_back(100.0 * profile.deepest_switch_cost());
+  return ys;
+}
+
+// ------------------------------------------------------------ canonicalization
+
+TEST(SlopeProfileProperty, TwoSlopeIsTheClassicInstance) {
+  const SlopeProfile p = SlopeProfile::two_slope(kB);
+  EXPECT_TRUE(p.classic());
+  EXPECT_EQ(p.num_states(), 2u);
+  EXPECT_EQ(p.num_transitions(), 1u);
+  EXPECT_EQ(p.breakpoint(0), kB);  // (B - 0) / (1 - 0) == B exactly
+  EXPECT_EQ(p.base_rate(), 1.0);
+  EXPECT_EQ(p.terminal_rate(), 0.0);
+  EXPECT_EQ(p.deepest_switch_cost(), kB);
+  EXPECT_EQ(p.pruned(), 0u);
+}
+
+TEST(SlopeProfileProperty, DominatedAndNonConvexSlopesArePruned) {
+  // (0.9, 20) is dominated by (0.3, 15): slower AND more expensive.
+  const SlopeProfile dominated(
+      {{1.0, 0.0}, {0.3, 15.0}, {0.9, 20.0}, {0.0, kB}});
+  EXPECT_EQ(dominated.num_states(), 3u);
+  EXPECT_EQ(dominated.pruned(), 1u);
+
+  // three_state with the envelope condition violated: the mid state never
+  // touches the lower envelope, so it convexifies away to k = 2.
+  //   mid_cost / (1 - mid_rate) = 25 / 0.5 = 50
+  //   (deep - mid) / mid_rate  =  3 / 0.5 =  6   -> 50 >= 6, pruned.
+  const SlopeProfile flat = SlopeProfile::three_state(0.5, 25.0, kB);
+  EXPECT_EQ(flat.num_states(), 2u);
+  EXPECT_EQ(flat.pruned(), 1u);
+  EXPECT_TRUE(flat.classic());
+
+  // The guaranteed-k-3 parameterization survives.
+  const SlopeProfile p3 = three_state_profile();
+  EXPECT_EQ(p3.num_states(), 3u);
+  EXPECT_EQ(p3.pruned(), 0u);
+  EXPECT_FALSE(p3.classic());
+}
+
+TEST(SlopeProfileProperty, PruningPreservesTheLowerEnvelopeExactly) {
+  // Random slope soups: the canonical profile's OPT(y) must equal the
+  // brute-force min over ALL raw inputs — pruning may only drop slopes
+  // that never strictly win.
+  util::Rng rng(7001);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Slope> raw{{1.0, 0.0}};
+    const int extra = 1 + static_cast<int>(rng.uniform() * 6.0);
+    for (int i = 0; i < extra; ++i)
+      raw.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 60.0)});
+    const SlopeProfile p(raw);
+
+    // Canonical invariants: strictly decreasing rates, strictly increasing
+    // costs and breakpoints.
+    for (std::size_t i = 0; i + 1 < p.num_states(); ++i) {
+      EXPECT_LT(p.state(i + 1).rate, p.state(i).rate);
+      EXPECT_GT(p.state(i + 1).switch_cost, p.state(i).switch_cost);
+    }
+    for (std::size_t i = 0; i + 1 < p.num_transitions(); ++i)
+      EXPECT_LT(p.breakpoint(i), p.breakpoint(i + 1));
+    EXPECT_EQ(p.num_states() + p.pruned(), raw.size());
+
+    for (double y : adversarial_stops(p)) {
+      double brute = std::numeric_limits<double>::infinity();
+      for (const Slope& s : raw)
+        brute = std::min(brute, s.switch_cost + s.rate * y);
+      EXPECT_EQ(p.offline_cost(y), brute) << "trial " << trial << " y=" << y;
+    }
+  }
+}
+
+TEST(SlopeProfileProperty, ConstructionContractsReject) {
+  util::contracts::ScopedMode scope(util::contracts::Mode::kThrow);
+  using util::contracts::ContractViolation;
+  EXPECT_THROW(SlopeProfile({}), ContractViolation);
+  EXPECT_THROW(SlopeProfile({{1.0, 0.0}, {-0.1, 5.0}}), ContractViolation);
+  EXPECT_THROW(SlopeProfile({{1.0, 0.0}, {0.0, std::nan("")}}),
+               ContractViolation);
+  // No free starting state: the cheapest slope must have switch cost 0.
+  EXPECT_THROW(SlopeProfile({{1.0, 1.0}, {0.0, kB}}), ContractViolation);
+  EXPECT_THROW(SlopeProfile::two_slope(0.0), ContractViolation);
+  EXPECT_THROW(SlopeProfile::three_state(1.5, 15.0, kB), ContractViolation);
+  // Queries validate their stop length.
+  const SlopeProfile p = SlopeProfile::two_slope(kB);
+  EXPECT_THROW(p.offline_cost(-1.0), ContractViolation);
+  EXPECT_THROW(
+      p.offline_cost(std::numeric_limits<double>::infinity()),
+      ContractViolation);
+}
+
+// ----------------------------------------------------------- k = 2 degeneracy
+
+TEST(MultislopeK2Property, ExpectedCostsBitIdenticalToTwoSlope) {
+  const SlopeProfile p = SlopeProfile::two_slope(kB);
+  const MultislopeNevPolicy ms_nev(p);
+  const MultislopeEnvelopePolicy ms_det(p);
+  const MultislopeRandPolicy ms_rand(p);
+  const auto nev = core::make_nev(kB);
+  const auto det = core::make_det(kB);
+  const auto nrand = core::make_n_rand(kB);
+
+  // Stats points driving COA into each of its four vertices.
+  const std::vector<dist::ShortStopStats> regimes{
+      stats_point(0.5, 0.9),        // long stops dominate -> TOI
+      stats_point(0.9 * kB, 0.02),  // short stops dominate -> DET
+      stats_point(0.2 * kB, 0.3),   // mixed
+      stats_point(0.05 * kB, 0.5),  // mixed
+  };
+
+  util::Rng rng(7002);
+  std::vector<double> ys = adversarial_stops(p);
+  for (int i = 0; i < 200; ++i) ys.push_back(rng.uniform(0.0, 5.0 * kB));
+
+  for (double y : ys) {
+    EXPECT_EQ(ms_nev.expected_cost(y), nev->expected_cost(y)) << y;
+    EXPECT_EQ(ms_det.expected_cost(y), det->expected_cost(y)) << y;
+    EXPECT_EQ(ms_rand.expected_cost(y), nrand->expected_cost(y)) << y;
+  }
+  for (const auto& stats : regimes) {
+    const MultislopeCoaPolicy ms_coa(p, {stats});
+    const core::ProposedPolicy coa(kB, stats);
+    ASSERT_EQ(ms_coa.choices().size(), 1u);
+    EXPECT_EQ(ms_coa.choices()[0].strategy, coa.choice().strategy);
+    EXPECT_EQ(ms_coa.choices()[0].b, coa.choice().b);
+    EXPECT_EQ(ms_coa.worst_case_cr(), std::max(1.0, coa.choice().cr));
+    EXPECT_EQ(ms_coa.deterministic(), coa.deterministic());
+    for (double y : ys)
+      EXPECT_EQ(ms_coa.expected_cost(y), coa.expected_cost(y))
+          << core::to_string(coa.choice().strategy) << " y=" << y;
+  }
+}
+
+TEST(MultislopeK2Property, SampledDrawsBitIdenticalToTwoSlope) {
+  const SlopeProfile p = SlopeProfile::two_slope(kB);
+  const MultislopeEnvelopePolicy ms_det(p);
+  const MultislopeRandPolicy ms_rand(p);
+  const MultislopeNevPolicy ms_nev(p);
+  const auto det = core::make_det(kB);
+  const auto nrand = core::make_n_rand(kB);
+
+  // Same seed => same draw sequence, to the bit, at the same RNG position
+  // (each draw consumes exactly one uniform on both sides).
+  util::Rng a(20140601), b(20140601);
+  for (int i = 0; i < 256; ++i)
+    EXPECT_EQ(ms_rand.sample_threshold(a), nrand->sample_threshold(b));
+  EXPECT_EQ(ms_det.sample_threshold(a), det->sample_threshold(b));
+  EXPECT_TRUE(std::isinf(ms_nev.sample_threshold(a)));
+
+  // MS-COA delegates to the same vertex policy; check a randomized vertex
+  // (N-Rand regime) so the delegate draw actually consumes randomness.
+  const auto stats = stats_point(0.05 * kB, 0.5);
+  const MultislopeCoaPolicy ms_coa(p, {stats});
+  const core::ProposedPolicy coa(kB, stats);
+  util::Rng c(99), d(99);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(ms_coa.sample_threshold(c), coa.sample_threshold(d));
+}
+
+// ----------------------------------------------- randomized envelope strategy
+
+TEST(MultislopeRandomizedProperty, PointwiseEOverEMinus1BoundOnAdversaries) {
+  const std::vector<SlopeProfile> profiles{
+      SlopeProfile::two_slope(kB), three_state_profile(),
+      SlopeProfile({{1.0, 0.0}, {0.55, 6.0}, {0.25, 16.0}, {0.0, 40.0}})};
+  for (const SlopeProfile& p : profiles) {
+    for (double y : adversarial_stops(p)) {
+      const double opt = p.offline_cost(y);
+      const double expected = randomized_envelope_cost(p, y);
+      // E[cost] never beats OPT and never exceeds e/(e-1) OPT, pointwise.
+      EXPECT_GE(expected, opt * (1.0 - 1e-12)) << p.describe() << " y=" << y;
+      EXPECT_LE(expected, util::kEOverEMinus1 * opt * (1.0 + 1e-12))
+          << p.describe() << " y=" << y;
+    }
+  }
+}
+
+TEST(MultislopeRandomizedProperty, ClosedFormMatchesQuadratureOracle) {
+  // core/multislope.h computes the same expectation by quadrature over the
+  // scale law; the closed form must agree on the 3-state vehicle.
+  const SlopeProfile p = three_state_profile();
+  const core::MultislopeInstance oracle =
+      core::three_state_vehicle(0.3, 15.0, kB);
+  for (double y : adversarial_stops(p)) {
+    if (y <= 0.0) continue;
+    const double closed = randomized_envelope_cost(p, y);
+    const double quad = core::randomized_envelope_expected_cost(oracle, y);
+    EXPECT_NEAR(closed, quad, 1e-4 * std::max(1.0, quad))
+        << "y=" << y;
+  }
+}
+
+TEST(MultislopeRandomizedProperty, MonteCarloOverScaledSchedulesConverges) {
+  const SlopeProfile p = three_state_profile();
+  const MultislopeRandPolicy rand_policy(p);
+  util::Rng rng(20140601);
+  for (double y : {10.0, 25.0, 35.0, 60.0}) {
+    const int kDraws = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < kDraws; ++i)
+      sum += scaled_schedule_cost(p, rand_policy.sample_scale(rng), y);
+    const double mc = sum / kDraws;
+    const double expected = rand_policy.expected_cost(y);
+    EXPECT_NEAR(mc, expected, 0.01 * expected) << "y=" << y;
+  }
+}
+
+TEST(MultislopeEnvelopeProperty, FollowerMatchesScheduleOracle) {
+  const SlopeProfile p = three_state_profile();
+  const core::Schedule oracle =
+      core::envelope_follower(core::three_state_vehicle(0.3, 15.0, kB));
+  for (double y : adversarial_stops(p)) {
+    EXPECT_NEAR(envelope_follower_cost(p, y), oracle.online_cost(y),
+                1e-9 * std::max(1.0, oracle.online_cost(y)))
+        << "y=" << y;
+  }
+}
+
+// ----------------------------------------------------------- policy contracts
+
+TEST(MultislopePolicyContracts, SampledModeAndShapeViolations) {
+  util::contracts::ScopedMode scope(util::contracts::Mode::kThrow);
+  using util::contracts::ContractViolation;
+  const SlopeProfile p3 = three_state_profile();
+  util::Rng rng(1);
+
+  // A single threshold cannot encode a k > 2 schedule.
+  EXPECT_THROW(MultislopeEnvelopePolicy(p3).sample_threshold(rng),
+               ContractViolation);
+  EXPECT_THROW(MultislopeRandPolicy(p3).sample_threshold(rng),
+               ContractViolation);
+  EXPECT_THROW(MultislopeCoaPolicy(p3, transition_stats_from_sample(
+                                           p3, {5.0, 20.0, 50.0}))
+                   .sample_threshold(rng),
+               ContractViolation);
+
+  // MS-NEV samples at any k, but only with base rate 1.
+  const SlopeProfile discounted({{0.8, 0.0}, {0.0, kB}});
+  EXPECT_THROW(MultislopeNevPolicy(discounted).sample_threshold(rng),
+               ContractViolation);
+
+  // Shape contracts: a transitionless profile has no policy; MS-COA needs
+  // one stats entry per transition.
+  const SlopeProfile single({{1.0, 0.0}});
+  EXPECT_THROW(MultislopeNevPolicy{single}, ContractViolation);
+  EXPECT_THROW(MultislopeCoaPolicy(p3, {stats_point(1.0, 0.5)}),
+               ContractViolation);
+
+  // Stop-length contracts.
+  const MultislopeNevPolicy nev{SlopeProfile::two_slope(kB)};
+  EXPECT_THROW(nev.expected_cost(-1.0), ContractViolation);
+  EXPECT_THROW(scaled_schedule_cost(p3, -0.5, 1.0), ContractViolation);
+}
+
+// ------------------------------------------------------------ LP differential
+
+TEST(MultislopeLpDifferential, BatchOverloadBitIdenticalToScalarSolves) {
+  util::Rng rng(7003);
+  std::vector<core::LpBatchProblem> problems;
+  for (int i = 0; i < 64; ++i) {
+    const double t = rng.uniform(2.0, 60.0);
+    const double q = rng.uniform();
+    const double mu = rng.uniform() * t * (1.0 - q);
+    problems.push_back({stats_point(mu, q), t});
+  }
+  std::vector<core::LpStrategySolution> batch(problems.size());
+  lp::WorkspacePool pool(2, 3);
+  EXPECT_EQ(core::solve_constrained_lp_batch(problems, pool, batch),
+            problems.size());
+
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const auto scalar = core::solve_constrained_lp(problems[i].stats,
+                                                   problems[i].break_even);
+    EXPECT_EQ(batch[i].alpha, scalar.alpha) << i;
+    EXPECT_EQ(batch[i].beta, scalar.beta) << i;
+    EXPECT_EQ(batch[i].gamma, scalar.gamma) << i;
+    EXPECT_EQ(batch[i].expected_cost, scalar.expected_cost) << i;
+    EXPECT_EQ(batch[i].strategy, scalar.strategy) << i;
+    EXPECT_EQ(batch[i].b, scalar.b) << i;
+  }
+}
+
+TEST(MultislopeLpDifferential, GeneralizedCoaMatchesClosedFormOnCohorts) {
+  // Figure-5-style cohorts: Chicago-shaped law rescaled to three means
+  // straddling B, 40 vehicles each. For every (vehicle, transition) the
+  // arena-LP vertex must equal the closed-form choose_strategy vertex —
+  // zero mismatches — for both the classic profile (where this IS the
+  // two-slope COA differential) and the 3-slope profile.
+  const auto chicago = traces::chicago();
+  lp::WorkspacePool pool(2, 3);
+  for (const SlopeProfile& profile :
+       {SlopeProfile::two_slope(kB), three_state_profile()}) {
+    for (double mean : {10.0, 28.0, 60.0}) {
+      util::Rng rng(20140601 + static_cast<std::uint64_t>(mean));
+      const sim::Fleet fleet =
+          traces::generate_scaled_fleet(chicago, mean, 40, rng);
+      const engine::FleetCache cache(fleet);
+
+      std::vector<core::LpBatchProblem> problems;
+      for (std::size_t v = 0; v < cache.size(); ++v)
+        for (double t : profile.breakpoints())
+          problems.push_back({cache.vehicle(v).stats_for(t), t});
+      std::vector<core::LpStrategySolution> out(problems.size());
+      core::solve_constrained_lp_batch(problems, pool, out);
+
+      std::size_t mismatches = 0;
+      for (std::size_t i = 0; i < problems.size(); ++i) {
+        const auto closed = core::choose_strategy(problems[i].stats,
+                                                  problems[i].break_even);
+        if (out[i].strategy != closed.strategy) ++mismatches;
+      }
+      EXPECT_EQ(mismatches, 0u)
+          << profile.describe() << " mean=" << mean;
+
+      // The precomputed-choices MS-COA (the batched construction path)
+      // prices every stop exactly like the closed-form construction.
+      const std::size_t kT = profile.num_transitions();
+      for (std::size_t v = 0; v < std::min<std::size_t>(cache.size(), 5);
+           ++v) {
+        std::vector<dist::ShortStopStats> stats;
+        std::vector<core::StrategyChoice> choices;
+        for (std::size_t t = 0; t < kT; ++t) {
+          stats.push_back(problems[v * kT + t].stats);
+          core::StrategyChoice c;
+          c.strategy = out[v * kT + t].strategy;
+          c.b = out[v * kT + t].b;
+          choices.push_back(c);
+        }
+        const MultislopeCoaPolicy from_lp(profile, stats, choices);
+        const MultislopeCoaPolicy from_closed(profile, stats);
+        for (double y : adversarial_stops(profile))
+          EXPECT_EQ(from_lp.expected_cost(y), from_closed.expected_cost(y));
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- batch kernel parity
+
+TEST(MultislopeKernelParity, KernelsMatchScalarWithinUlpBound) {
+  util::Rng rng(7004);
+  for (const SlopeProfile& profile :
+       {SlopeProfile::two_slope(kB), three_state_profile()}) {
+    std::vector<core::PolicyPtr> policies{
+        make_ms_nev(profile), make_ms_det(profile), make_ms_rand(profile),
+        make_ms_coa(profile, transition_stats_from_sample(
+                                 profile, {3.0, 12.0, 30.0, 80.0}))};
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{8}, std::size_t{9}, std::size_t{63},
+                          std::size_t{257}}) {
+      std::vector<double> ys(n);
+      for (double& y : ys) y = rng.uniform(0.0, 4.0 * kB);
+      for (const auto& policy : policies) {
+        double scalar = 0.0;
+        for (double y : ys) scalar += policy->expected_cost(y);
+        double online = 0.0;
+        const bool handled =
+            sim::batch::expected_online_sum(*policy, ys, &online);
+        if (policy->name() == "MS-COA") {
+          // No closed-form kernel: the dispatch must decline and the
+          // generic fallback must still satisfy the reduction bound.
+          EXPECT_FALSE(handled);
+          online = sim::batch::generic_online_sum(*policy, ys);
+        } else {
+          EXPECT_TRUE(handled) << policy->name();
+        }
+        EXPECT_NEAR(online, scalar, ulp_bound(n, scalar))
+            << policy->name() << " k=" << profile.num_states()
+            << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(MultislopeKernelParity, K2KernelsBitIdenticalToTwoSlopeKernels) {
+  const SlopeProfile p = SlopeProfile::two_slope(kB);
+  util::Rng rng(7005);
+  std::vector<double> ys(512);
+  for (double& y : ys) y = rng.uniform(0.0, 4.0 * kB);
+  EXPECT_EQ(sim::batch::multislope_envelope_online_sum(p, ys),
+            sim::batch::threshold_online_sum(ys, kB, kB));
+  EXPECT_EQ(sim::batch::multislope_rand_online_sum(p, ys),
+            sim::batch::nrand_online_sum(ys, kB));
+  EXPECT_EQ(sim::batch::multislope_nev_online_sum(p, ys),
+            sim::batch::threshold_online_sum(
+                ys, std::numeric_limits<double>::infinity(), kB));
+}
+
+// ------------------------------------------------- engine / robust / controller
+
+TEST(MultislopeEngine, StrategySetAtK2ReproducesStandardLineupBitwise) {
+  const auto chicago = traces::chicago();
+  util::Rng rng(20140601);
+  auto fleet = std::make_shared<sim::Fleet>(
+      traces::generate_scaled_fleet(chicago, 30.0, 25, rng));
+
+  engine::EvalPlan plan = engine::EvalPlan::single(
+      fleet, kB, engine::standard_strategy_set());
+  const auto ms =
+      engine::multislope_strategy_set(SlopeProfile::two_slope(kB));
+  plan.strategies.insert(plan.strategies.end(), ms.begin(), ms.end());
+  engine::EvalSession session(std::move(plan));
+  const auto report = session.run();
+
+  const auto index_of = [&](const char* name) {
+    for (std::size_t s = 0; s < report.strategy_names.size(); ++s)
+      if (report.strategy_names[s] == name) return s;
+    ADD_FAILURE() << "strategy missing: " << name;
+    return std::size_t{0};
+  };
+  const std::pair<const char*, const char*> pairs[] = {
+      {"NEV", "MS-NEV"}, {"DET", "MS-DET"}, {"N-Rand", "MS-Rand"},
+      {"COA", "MS-COA"}};
+  for (const auto& [two_slope, multi] : pairs) {
+    const std::size_t a = index_of(two_slope);
+    const std::size_t b = index_of(multi);
+    for (const auto& vehicle : report.points[0].comparison.vehicles)
+      EXPECT_EQ(vehicle.cr[a], vehicle.cr[b]) << two_slope;
+  }
+}
+
+TEST(MultislopeRobust, LadderRungMapping) {
+  const SlopeProfile p3 = three_state_profile();
+  const auto stats = transition_stats_from_sample(p3, {5.0, 25.0, 60.0});
+  EXPECT_EQ(robust::multislope_policy_for_mode(
+                robust::ControllerMode::kProposed, p3, stats)
+                ->name(),
+            "MS-COA");
+  EXPECT_EQ(robust::multislope_policy_for_mode(robust::ControllerMode::kDet,
+                                               p3, {})
+                ->name(),
+            "MS-DET");
+  EXPECT_EQ(robust::multislope_policy_for_mode(
+                robust::ControllerMode::kNRand, p3, {})
+                ->name(),
+            "MS-Rand");
+  EXPECT_EQ(robust::multislope_policy_for_mode(robust::ControllerMode::kNev,
+                                               p3, {})
+                ->name(),
+            "MS-NEV");
+
+  util::contracts::ScopedMode scope(util::contracts::Mode::kThrow);
+  EXPECT_THROW(robust::multislope_policy_for_mode(
+                   robust::ControllerMode::kProposed, p3, {}),
+               util::contracts::ContractViolation);
+}
+
+TEST(MultislopeController, K2ProfileBitIdenticalToProfileFreeController) {
+  sim::AdaptiveController::Config plain;
+  plain.break_even = kB;
+  sim::AdaptiveController::Config with_profile = plain;
+  with_profile.profile = SlopeProfile::two_slope(kB);
+
+  sim::AdaptiveController a(plain), b(with_profile);
+  util::Rng rng(20140601);
+  for (int i = 0; i < 200; ++i) {
+    const double y = rng.uniform(0.0, 4.0 * kB);
+    EXPECT_EQ(a.process_stop_expected(y), b.process_stop_expected(y)) << i;
+    EXPECT_EQ(a.mode(), b.mode());
+  }
+  EXPECT_EQ(a.totals().online, b.totals().online);
+  EXPECT_EQ(a.totals().offline, b.totals().offline);
+}
+
+TEST(MultislopeController, ThreeSlopeLearnsAndActsThroughTheFamily) {
+  sim::AdaptiveController::Config config;
+  config.break_even = kB;
+  config.warmup_stops = 10;
+  config.profile = three_state_profile();
+
+  sim::AdaptiveController c(config);
+  EXPECT_EQ(c.current_policy().name(), "MS-Rand");
+  EXPECT_EQ(c.mode(), robust::ControllerMode::kNRand);
+
+  util::Rng rng(20140601);
+  for (int i = 0; i < 50; ++i)
+    c.process_stop_expected(rng.uniform(0.0, 3.0 * kB));
+  EXPECT_EQ(c.current_policy().name(), "MS-COA");
+  EXPECT_EQ(c.mode(), robust::ControllerMode::kProposed);
+  EXPECT_GT(c.totals().online, 0.0);
+
+  // A profile whose deepest switch cost disagrees with break_even is a
+  // configuration error, not a contract violation.
+  sim::AdaptiveController::Config bad = config;
+  bad.profile = SlopeProfile::two_slope(kB + 1.0);
+  EXPECT_THROW(sim::AdaptiveController{bad}, std::invalid_argument);
+}
+
+TEST(MultislopeController, RobustLadderUsesMultislopeRungs) {
+  sim::AdaptiveController::Config config;
+  config.break_even = kB;
+  config.warmup_stops = 5;
+  config.profile = three_state_profile();
+  config.robust.enabled = true;
+
+  sim::AdaptiveController c(config);
+  EXPECT_EQ(c.current_policy().name(), "MS-Rand");
+  util::Rng rng(20140601);
+  for (int i = 0; i < 40; ++i)
+    c.process_stop_expected(rng.uniform(0.0, 3.0 * kB));
+  EXPECT_EQ(c.mode(), robust::ControllerMode::kProposed);
+  EXPECT_EQ(c.current_policy().name(), "MS-COA");
+}
+
+}  // namespace
+}  // namespace idlered::costmodel

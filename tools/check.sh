@@ -32,10 +32,14 @@ cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=thread
 cmake --build "$repo/build-tsan" -j "$jobs" \
       --target test_engine --target test_obs --target test_property \
-      --target test_serve --target test_lp_arena --target bench_engine_scaling
+      --target test_multislope --target test_serve --target test_lp_arena \
+      --target bench_engine_scaling
 "$repo/build-tsan/tests/test_engine"
 "$repo/build-tsan/tests/test_obs"
 "$repo/build-tsan/tests/test_property"
+# The multislope battery: its engine wiring test runs wide-vs-1-thread
+# EvalSessions over the MS strategy lineup under real pool concurrency.
+"$repo/build-tsan/tests/test_multislope"
 # The streaming service: producer threads against the bounded MPSC queues
 # and the pooled pump path (thread-count invariance, crash recovery).
 "$repo/build-tsan/tests/test_serve"
@@ -45,7 +49,7 @@ cmake --build "$repo/build-tsan" -j "$jobs" \
 # A small batch-kernel fleet run: exercises the StopBatch offline-total
 # memo and the prewarm pass under real engine concurrency.
 "$repo/build-tsan/bench/bench_engine_scaling" 20 5 > /dev/null
-echo "test_engine + test_obs + test_property + test_serve + test_lp_arena + batch engine run: clean under TSan"
+echo "test_engine + test_obs + test_property + test_multislope + test_serve + test_lp_arena + batch engine run: clean under TSan"
 
 echo "== 5/6 replay-critical suites under standalone UBSan (every check fatal) =="
 # Unlike step 2 (UBSan piggybacked on ASan, recoverable), this build makes
@@ -59,14 +63,18 @@ cmake -B "$repo/build-ubsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DENABLE_SANITIZERS=undefined
 cmake --build "$repo/build-ubsan" -j "$jobs" \
       --target test_serve --target test_lp_arena --target test_property \
-      --target test_util
+      --target test_multislope --target test_util
 "$repo/build-ubsan/tests/test_serve"
 "$repo/build-ubsan/tests/test_lp_arena"
 "$repo/build-ubsan/tests/test_property"
+# The multislope battery leans on exact FP identities (k=2 bit-identity,
+# envelope decomposition) — any UB-tainted arithmetic in the new closed
+# forms aborts here.
+"$repo/build-ubsan/tests/test_multislope"
 # test_util holds the util::bits suite: the endian-explicit load/store and
 # bit_cast helpers the WAL checksum path now runs on.
 "$repo/build-ubsan/tests/test_util"
-echo "test_serve + test_lp_arena + test_property + test_util: clean under fatal UBSan"
+echo "test_serve + test_lp_arena + test_property + test_multislope + test_util: clean under fatal UBSan"
 
 echo "== 6/6 static analysis: clang-tidy + idlered_lint + contracts =="
 # tidy.sh skips gracefully (exit 0 with a warning) when no clang-tidy

@@ -15,10 +15,16 @@ Encodes rules that generic static analyzers cannot know about this codebase
                     evaluate_sampled / offline_cost_total wrappers outside
                     their definitions (src/sim/evaluator.{h,cpp}). New code
                     goes through sim::evaluate(policy, stops, EvalOptions).
+                    Calls split across lines by a formatter (callee name at
+                    end of line, `(` opening the next) are caught too — the
+                    historical per-line matcher missed them.
 
-  deprecated-lp     No `lp::Problem` (the heap-per-solve value-type LP path)
-                    in src/ outside its home (src/lp/simplex.{h,cpp}, where
-                    the compatibility wrapper lives). Library code solves
+  deprecated-lp     No value-type LP path in src/ outside its home
+                    (src/lp/simplex.{h,cpp}, where the compatibility
+                    wrapper lives): `lp::Problem`, its `lp::Constraint`
+                    builder, and the one-argument `lp::solve(problem)`
+                    overload all allocate per solve. Library code —
+                    including the multislope COA in src/costmodel/ — solves
                     through the arena workspace API of src/lp/arena.h
                     (lp::Workspace + lp::solve(Workspace&, ProblemView) or
                     lp::solve_batch), which is allocation-free and
@@ -325,10 +331,20 @@ def rule_determinism(src: SourceFile) -> list[Finding]:
         "util::monotonic_seconds()")
 
 
-DEPRECATED_EVAL_RE = re.compile(
-    r"\b(?:evaluate_expected|evaluate_sampled|offline_cost_total)\s*\(")
+DEPRECATED_EVAL_NAMES = r"(?:evaluate_expected|evaluate_sampled|offline_cost_total)"
+
+DEPRECATED_EVAL_RE = re.compile(rf"\b{DEPRECATED_EVAL_NAMES}\s*\(")
+
+# A formatter may break the call between the callee name and its opening
+# parenthesis; the per-line matcher above cannot see that (historical false
+# negative — regression fixture fixture_deprecated_eval_multiline.cpp). The
+# finding lands on the line carrying the name.
+DEPRECATED_EVAL_EOL_RE = re.compile(rf"\b{DEPRECATED_EVAL_NAMES}\s*$")
 
 DEPRECATED_EVAL_HOME = {"src/sim/evaluator.h", "src/sim/evaluator.cpp"}
+
+DEPRECATED_EVAL_MSG = ("call to deprecated evaluator wrapper — use "
+                       "sim::evaluate(policy, stops, EvalOptions)")
 
 
 @rule("deprecated-eval")
@@ -337,13 +353,29 @@ def rule_deprecated_eval(src: SourceFile) -> list[Finding]:
         return []
     if src.path in DEPRECATED_EVAL_HOME:
         return []
-    return scan_pattern(
-        src, "deprecated-eval", DEPRECATED_EVAL_RE,
-        "call to deprecated evaluator wrapper — use "
-        "sim::evaluate(policy, stops, EvalOptions)")
+    findings = scan_pattern(src, "deprecated-eval", DEPRECATED_EVAL_RE,
+                            DEPRECATED_EVAL_MSG)
+    for idx, line in enumerate(src.code_lines):
+        if not DEPRECATED_EVAL_EOL_RE.search(line):
+            continue
+        j = idx + 1
+        while j < len(src.code_lines) and not src.code_lines[j].strip():
+            j += 1
+        if j < len(src.code_lines) and \
+                src.code_lines[j].lstrip().startswith("(") and \
+                not src.allowed(idx, "deprecated-eval"):
+            findings.append(Finding(src.path, idx + 1, "deprecated-eval",
+                                    DEPRECATED_EVAL_MSG))
+    return findings
 
 
-DEPRECATED_LP_RE = re.compile(r"\blp::Problem\b")
+# The whole value-type surface, not just the Problem type: the Constraint
+# builder and the one-argument solve overload resurrect the heap path just
+# as effectively (the arena solve always takes a workspace first, so the
+# single-argument call form is unambiguous).
+DEPRECATED_LP_RE = re.compile(
+    r"\blp::(?:Problem|Constraint)\b"
+    r"|\blp::solve\s*\(\s*[A-Za-z_:][\w:.]*\s*\)")
 
 # Exception list for the value-type LP path: the compatibility wrapper's
 # own definition. Everything else in src/ uses lp/arena.h.
@@ -358,8 +390,9 @@ def rule_deprecated_lp(src: SourceFile) -> list[Finding]:
         return []
     return scan_pattern(
         src, "deprecated-lp", DEPRECATED_LP_RE,
-        "value-type lp::Problem in src/ — the legacy path allocates per "
-        "solve; use lp::Workspace + lp::solve(workspace, ProblemView) or "
+        "value-type LP path (lp::Problem / lp::Constraint / one-argument "
+        "lp::solve) in src/ — the legacy path allocates per solve; use "
+        "lp::Workspace + lp::solve(workspace, ProblemView) or "
         "lp::solve_batch (src/lp/arena.h)")
 
 
